@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Framework ablation (Section 2.2): how much work the bypass network
+ * does for the register cache. With fewer bypass stages, more
+ * operands must come from the cache, raising both its read pressure
+ * and the cost of filtering decisions; the paper's machine uses two
+ * stages (ALU feedback + cache write-to-read).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Bypass network depth sensitivity", "Section 2.2");
+
+    TextTable t({"bypass stages", "geomean IPC", "bypass frac",
+                 "miss/operand"});
+    for (unsigned stages : {1u, 2u, 3u, 4u}) {
+        sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+        cfg.bypassStages = stages;
+        const auto r = run(cfg);
+        const double byp = r.mean(
+            [](const core::SimResult &s) { return s.bypassFraction; });
+        t.addRow({TextTable::num(uint64_t(stages)),
+                  TextTable::num(r.geomeanIpc()),
+                  TextTable::num(byp, 3),
+                  TextTable::num(meanMissPerOperand(r), 4)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected: the bypass fraction grows with depth "
+                "(~57%% at the paper's two stages) and the\n"
+                "cache miss rate falls; beyond two stages the "
+                "returns diminish, which is why the paper's\n"
+                "machine stops there (bypass wiring dominates "
+                "cycle time).\n");
+    return 0;
+}

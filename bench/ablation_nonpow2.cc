@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Section 4.1 claim: because the cache index is decoupled from the
+ * value identifier, "the technique also trivially enables the use of
+ * non-power-of-two-sized caches". This harness sweeps such sizes,
+ * which standard bit-sliced indexing cannot build, and shows they
+ * interpolate smoothly between the power-of-two points — useful when
+ * the cycle-time budget allows, say, 56 entries but not 64.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Non-power-of-two cache sizes via decoupled indexing",
+           "Section 4.1");
+
+    TextTable t({"entries", "sets(2-way)", "geomean IPC",
+                 "miss/operand"});
+    for (unsigned entries : {32u, 40u, 48u, 56u, 64u, 72u, 80u}) {
+        sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+        cfg.rc.entries = entries;
+        const auto r = run(cfg);
+        t.addRow({TextTable::num(uint64_t(entries)),
+                  TextTable::num(uint64_t(entries / 2)),
+                  TextTable::num(r.geomeanIpc()),
+                  TextTable::num(meanMissPerOperand(r), 4)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected: monotone improvement with size and no "
+                "discontinuities at non-power-of-two points —\n"
+                "set counts like 28 are first-class citizens under "
+                "decoupled indexing.\n");
+    return 0;
+}

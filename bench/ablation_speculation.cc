@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Section 3.4 ablation: wrong-path effects on use-based caching.
+ * With an oracle front end (no wrong-path execution), the use
+ * counters see only committed consumers; comparing against the real
+ * front end isolates the cost of (a) mis-speculation itself and (b)
+ * the wrong-path pollution of remaining-use counts the paper lists
+ * among its sources of incorrect use information.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Speculation and wrong-path use pollution",
+           "Section 3.4");
+
+    struct Variant
+    {
+        const char *name;
+        sim::SimConfig cfg;
+    };
+    std::vector<Variant> variants;
+    for (const bool oracle : {false, true}) {
+        auto ub = sim::SimConfig::useBasedCache();
+        ub.perfectBranchPrediction = oracle;
+        variants.push_back(
+            {oracle ? "use-based + oracle BP" : "use-based", ub});
+        auto lru = sim::SimConfig::lruCache();
+        lru.perfectBranchPrediction = oracle;
+        variants.push_back(
+            {oracle ? "lru + oracle BP" : "lru", lru});
+    }
+
+    TextTable t({"design", "geomean IPC", "miss/operand",
+                 "mispredicts", "dou acc"});
+    for (const auto &v : variants) {
+        const sim::SuiteResult r = run(v.cfg);
+        const uint64_t mispred = r.total(
+            [](const core::SimResult &s) { return s.branchMispredicts; });
+        const double dou = r.mean(
+            [](const core::SimResult &s) { return s.douAccuracy; });
+        t.addRow({v.name, TextTable::num(r.geomeanIpc()),
+                  TextTable::num(meanMissPerOperand(r), 4),
+                  TextTable::num(mispred), TextTable::num(dou, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected: oracle fetch removes (nearly) all "
+                "mispredicts and lifts IPC for both caches.\n"
+                "Absolute miss rates RISE under the oracle (the "
+                "hotter machine keeps more values in flight,\n"
+                "raising cache pressure), but use-based's relative "
+                "advantage over LRU widens: with no\n"
+                "wrong-path consumers depleting remaining-use "
+                "counters (Section 3.4's pollution effect), its\n"
+                "counts are cleaner and its replacement decisions "
+                "better.\n");
+    return 0;
+}

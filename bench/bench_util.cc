@@ -1,0 +1,65 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "workload/workload.hh"
+
+namespace ubrc::bench
+{
+
+std::vector<std::string>
+workloads()
+{
+    return sim::benchWorkloads(workload::workloadNames());
+}
+
+uint64_t
+instBudget()
+{
+    return sim::benchMaxInsts(defaultInsts);
+}
+
+sim::SuiteResult
+run(const sim::SimConfig &cfg)
+{
+    return sim::runSuite(cfg, workloads(), {}, instBudget());
+}
+
+void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("Reproduces %s of Butts & Sohi, \"Use-Based Register "
+                "Caching with Decoupled Indexing\", ISCA 2004.\n",
+                paper_ref.c_str());
+    std::printf("workloads:");
+    for (const auto &w : workloads())
+        std::printf(" %s", w.c_str());
+    std::printf("  |  %llu insts each\n\n",
+                static_cast<unsigned long long>(instBudget()));
+}
+
+double
+monolithicIpc(Cycle latency)
+{
+    static std::map<Cycle, double> cache;
+    auto it = cache.find(latency);
+    if (it != cache.end())
+        return it->second;
+    const double ipc = run(sim::SimConfig::monolithic(latency))
+                           .geomeanIpc();
+    cache[latency] = ipc;
+    return ipc;
+}
+
+double
+meanMissPerOperand(const sim::SuiteResult &r)
+{
+    double sum = 0;
+    for (const auto &run : r.runs)
+        sum += run.result.missPerOperand;
+    return r.runs.empty() ? 0.0 : sum / r.runs.size();
+}
+
+} // namespace ubrc::bench

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness runs real simulations and prints the rows or series
+ * of one figure or table from the paper. Two environment variables
+ * control cost: UBRC_WORKLOADS (comma list or "all") selects kernels
+ * and UBRC_MAX_INSTS overrides the per-kernel instruction budget.
+ */
+
+#ifndef UBRC_BENCH_BENCH_UTIL_HH
+#define UBRC_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+namespace ubrc::bench
+{
+
+/** Default per-kernel instruction budget for harness runs. */
+constexpr uint64_t defaultInsts = 150000;
+
+/** Workloads and budget after applying the environment overrides. */
+std::vector<std::string> workloads();
+uint64_t instBudget();
+
+/** Run a config over the selected workloads. */
+sim::SuiteResult run(const sim::SimConfig &cfg);
+
+/** Print the standard harness banner. */
+void banner(const std::string &what, const std::string &paper_ref);
+
+/** Geomean IPC of a monolithic file, cached per latency. */
+double monolithicIpc(Cycle latency);
+
+/** Convenience metric extractors. */
+double meanMissPerOperand(const sim::SuiteResult &r);
+
+} // namespace ubrc::bench
+
+#endif // UBRC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 6: performance versus register cache size and organization
+ * (direct-mapped through fully-associative), all with standard
+ * (physical-register) indexing, against monolithic register files of
+ * varying latency (the dotted lines).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Register cache size and organization sweep", "Figure 6");
+
+    const double mono1 = monolithicIpc(1);
+    const double mono2 = monolithicIpc(2);
+    const double mono3 = monolithicIpc(3);
+    const double mono4 = monolithicIpc(4);
+    std::printf("no-cache register file (dotted lines): "
+                "1c=%.3f  2c=%.3f  3c=%.3f  4c=%.3f geomean IPC\n\n",
+                mono1, mono2, mono3, mono4);
+
+    const unsigned sizes[] = {16, 32, 48, 64, 80, 128};
+    TextTable table({"entries", "direct", "2-way", "4-way",
+                     "full", "best/mono3"});
+    for (unsigned entries : sizes) {
+        std::vector<std::string> row = {TextTable::num(uint64_t(entries))};
+        double best = 0;
+        for (unsigned assoc : {1u, 2u, 4u, entries}) {
+            sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+            cfg.rc.entries = entries;
+            cfg.rc.assoc = assoc;
+            // Standard indexing for this figure.
+            cfg.rc.indexing = regcache::IndexPolicy::PhysReg;
+            const double ipc = run(cfg).geomeanIpc();
+            best = std::max(best, ipc);
+            row.push_back(TextTable::num(ipc));
+        }
+        row.push_back(TextTable::num(best / mono3, 3));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape (paper): associativity matters "
+                "strongly; direct-mapped caches fail to reach\n"
+                "the 3-cycle register file even at 80+ entries; "
+                "the fully-associative curve flattens near the\n"
+                "90th-percentile live-value count; 64-entry 2-way "
+                "is the chosen design point.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 7: decoupled indexing set-assignment policies (standard
+ * physical-register bits, round-robin, minimum, filtered round-robin)
+ * across associativities, on the 64-entry cache.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Decoupled indexing algorithms", "Figure 7");
+
+    using regcache::IndexPolicy;
+    const std::pair<const char *, IndexPolicy> policies[] = {
+        {"preg", IndexPolicy::PhysReg},
+        {"round-robin", IndexPolicy::RoundRobin},
+        {"minimum", IndexPolicy::Minimum},
+        {"filtered-rr", IndexPolicy::FilteredRoundRobin},
+    };
+
+    TextTable table({"policy", "direct", "2-way", "4-way",
+                     "2-way vs preg"});
+    double preg_2way = 0;
+    for (const auto &[name, pol] : policies) {
+        std::vector<std::string> row = {name};
+        double two_way = 0;
+        for (unsigned assoc : {1u, 2u, 4u}) {
+            sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+            cfg.rc.assoc = assoc;
+            cfg.rc.indexing = pol;
+            const double ipc = run(cfg).geomeanIpc();
+            if (assoc == 2)
+                two_way = ipc;
+            row.push_back(TextTable::num(ipc));
+        }
+        if (pol == IndexPolicy::PhysReg)
+            preg_2way = two_way;
+        char rel[32];
+        std::snprintf(rel, sizeof(rel), "%+.2f%%",
+                      100.0 * (two_way / preg_2way - 1.0));
+        row.push_back(rel);
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape (paper): the use-based assignments "
+                "(filtered round-robin, minimum) perform best\n"
+                "(~+1.9%% on 2-way); even plain round-robin "
+                "measurably beats standard preg indexing, and the\n"
+                "advantage is larger at lower associativity.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 8: register cache miss-rate breakdown (misses on filtered
+ * initial writes, capacity evictions, conflicts) for the LRU,
+ * non-bypass, and use-based caches under standard indexing versus
+ * filtered round-robin decoupled indexing. Miss rates are per
+ * operand, as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+namespace
+{
+
+struct Breakdown
+{
+    double noWrite = 0, capacity = 0, conflict = 0;
+
+    double total() const { return noWrite + capacity + conflict; }
+};
+
+Breakdown
+measure(sim::SimConfig cfg)
+{
+    const sim::SuiteResult r = run(cfg);
+    Breakdown b;
+    uint64_t ops = 0, nw = 0, cap = 0, conf = 0;
+    for (const auto &run : r.runs) {
+        ops += run.result.operandReads();
+        nw += run.result.rcMissNoWrite;
+        cap += run.result.rcMissCapacity;
+        conf += run.result.rcMissConflict;
+    }
+    if (ops) {
+        b.noWrite = double(nw) / ops;
+        b.capacity = double(cap) / ops;
+        b.conflict = double(conf) / ops;
+    }
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Miss-rate breakdown by cause and indexing", "Figure 8");
+
+    struct Design
+    {
+        const char *name;
+        sim::SimConfig cfg;
+    };
+    const Design designs[] = {
+        {"lru", sim::SimConfig::lruCache()},
+        {"non-bypass", sim::SimConfig::nonBypassCache()},
+        {"use-based", sim::SimConfig::useBasedCache()},
+    };
+
+    TextTable table({"cache", "indexing", "no-write", "capacity",
+                     "conflict", "total/operand"});
+    double conflict_std_ub = 0, conflict_frr_ub = 0;
+    for (const auto &d : designs) {
+        for (const bool decoupled : {false, true}) {
+            sim::SimConfig cfg = d.cfg;
+            cfg.rc.indexing =
+                decoupled ? regcache::IndexPolicy::FilteredRoundRobin
+                          : regcache::IndexPolicy::PhysReg;
+            const Breakdown b = measure(cfg);
+            table.addRow({d.name,
+                          decoupled ? "filtered-rr" : "standard",
+                          TextTable::num(b.noWrite, 4),
+                          TextTable::num(b.capacity, 4),
+                          TextTable::num(b.conflict, 4),
+                          TextTable::num(b.total(), 4)});
+            if (std::string(d.name) == "use-based") {
+                (decoupled ? conflict_frr_ub : conflict_std_ub) =
+                    b.conflict;
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    if (conflict_std_ub > 0)
+        std::printf("use-based conflict-miss reduction from decoupled "
+                    "indexing: %.0f%% (paper: 30-40%%)\n",
+                    100.0 * (1.0 - conflict_frr_ub / conflict_std_ub));
+    std::printf("Expected shape (paper): use-based has the lowest "
+                "total; non-bypass's misses on filtered values can\n"
+                "push its total above LRU at this size; decoupled "
+                "indexing cuts conflict misses ~30-40%%.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11: performance versus register cache / L1-file size for the
+ * LRU, non-bypass, and use-based (2- and 4-way) caches and the
+ * two-level register file (whose L1 gets the indicated entries +32),
+ * against the monolithic register file latency lines.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    banner("Performance versus cache/L1 size", "Figure 11");
+
+    std::printf("no-cache register file: 1c=%.3f  2c=%.3f  3c=%.3f  "
+                "4c=%.3f geomean IPC\n\n",
+                monolithicIpc(1), monolithicIpc(2), monolithicIpc(3),
+                monolithicIpc(4));
+
+    const unsigned sizes[] = {16, 32, 48, 64, 96, 128};
+    TextTable table({"entries", "lru", "non-bypass", "use-based 2w",
+                     "use-based 4w", "two-level(+32)"});
+    for (unsigned entries : sizes) {
+        std::vector<std::string> row = {TextTable::num(uint64_t(entries))};
+
+        auto lru = sim::SimConfig::lruCache();
+        lru.rc.entries = entries;
+        row.push_back(TextTable::num(run(lru).geomeanIpc()));
+
+        auto nb = sim::SimConfig::nonBypassCache();
+        nb.rc.entries = entries;
+        row.push_back(TextTable::num(run(nb).geomeanIpc()));
+
+        auto ub2 = sim::SimConfig::useBasedCache();
+        ub2.rc.entries = entries;
+        row.push_back(TextTable::num(run(ub2).geomeanIpc()));
+
+        auto ub4 = sim::SimConfig::useBasedCache();
+        ub4.rc.entries = entries;
+        ub4.rc.assoc = 4;
+        row.push_back(TextTable::num(run(ub4).geomeanIpc()));
+
+        auto tl = sim::SimConfig::twoLevelFile(entries);
+        row.push_back(TextTable::num(run(tl).geomeanIpc()));
+
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape (paper): use-based wins across "
+                "sizes and its advantage grows as caches shrink;\n"
+                "LRU and non-bypass cross near ~20 entries "
+                "(non-bypass relatively better when small); the\n"
+                "4-way use-based cache matches the 64-entry 2-way "
+                "baseline with only ~48 entries; the two-level\n"
+                "file falls off rapidly at small L1 sizes due to "
+                "rename stalls.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the paper's core components:
+ * register cache operations, the degree-of-use predictor, the
+ * decoupled-index allocators, and the YAGS predictor. These measure
+ * simulation-host throughput (ops/second of the models themselves),
+ * useful when sizing large sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "frontend/branch_predictor.hh"
+#include "regcache/dou_predictor.hh"
+#include "regcache/index_allocator.hh"
+#include "regcache/register_cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+static void
+BM_RegisterCacheReadHit(benchmark::State &state)
+{
+    stats::StatGroup sg("rc");
+    RegCacheParams params;
+    RegisterCache rc(params, sg);
+    for (unsigned i = 0; i < 32; ++i)
+        rc.insert(static_cast<PhysReg>(i), i % params.numSets(), 7,
+                  true, 0);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const PhysReg p = static_cast<PhysReg>(now % 32);
+        benchmark::DoNotOptimize(
+            rc.read(p, p % params.numSets(), ++now));
+    }
+}
+BENCHMARK(BM_RegisterCacheReadHit);
+
+static void
+BM_RegisterCacheInsertEvict(benchmark::State &state)
+{
+    stats::StatGroup sg("rc");
+    RegCacheParams params;
+    RegisterCache rc(params, sg);
+    Cycle now = 0;
+    PhysReg p = 0;
+    for (auto _ : state) {
+        ++now;
+        p = static_cast<PhysReg>((p + 1) % 512);
+        rc.invalidate(p, static_cast<unsigned>(p) % params.numSets(),
+                      now);
+        rc.insert(p, static_cast<unsigned>(p) % params.numSets(),
+                  static_cast<unsigned>(now % 8), false, now);
+    }
+}
+BENCHMARK(BM_RegisterCacheInsertEvict);
+
+static void
+BM_DouPredictorTrainPredict(benchmark::State &state)
+{
+    stats::StatGroup sg("dou");
+    DegreeOfUsePredictor dou(DouParams{}, sg);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (rng.next() & 0x3ff) * 4;
+        dou.train(pc, 0, static_cast<unsigned>(pc >> 2) & 7);
+        benchmark::DoNotOptimize(dou.predict(pc, 0));
+    }
+}
+BENCHMARK(BM_DouPredictorTrainPredict);
+
+static void
+BM_IndexAllocator(benchmark::State &state)
+{
+    const auto policy = static_cast<IndexPolicy>(state.range(0));
+    IndexAllocator ia(policy, 32, 2);
+    Rng rng(2);
+    for (auto _ : state) {
+        const unsigned uses = static_cast<unsigned>(rng.below(10));
+        const unsigned set =
+            ia.assign(static_cast<PhysReg>(rng.below(512)), uses);
+        ia.release(set, uses);
+        benchmark::DoNotOptimize(set);
+    }
+}
+BENCHMARK(BM_IndexAllocator)
+    ->Arg(static_cast<int>(IndexPolicy::PhysReg))
+    ->Arg(static_cast<int>(IndexPolicy::RoundRobin))
+    ->Arg(static_cast<int>(IndexPolicy::Minimum))
+    ->Arg(static_cast<int>(IndexPolicy::FilteredRoundRobin));
+
+static void
+BM_YagsPredictUpdate(benchmark::State &state)
+{
+    frontend::YagsPredictor yags;
+    Rng rng(3);
+    uint64_t ghr = 0;
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (rng.next() & 0xfff) * 4;
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(yags.predict(pc, ghr));
+        yags.update(pc, ghr, taken);
+        ghr = (ghr << 1) | taken;
+    }
+}
+BENCHMARK(BM_YagsPredictUpdate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 1: the simulated machine configuration. Prints the actual
+ * defaults of the simulator so they can be diffed against the paper.
+ */
+
+#include <cstdio>
+
+#include "frontend/branch_predictor.hh"
+#include "regcache/dou_predictor.hh"
+#include "sim/config.hh"
+
+using namespace ubrc;
+
+int
+main()
+{
+    const sim::SimConfig c;
+    std::printf("== Simulator configuration (Table 1) ==\n\n");
+    std::printf("Front end : %u-wide fetch, one taken branch per "
+                "block, perfect BTB,\n"
+                "            YAGS conditional predictor, %u-entry "
+                "RAS, cascading indirect predictor\n",
+                c.fetchWidth, c.rasDepth);
+    std::printf("Pipeline  : fetch+decode %u, rename+dispatch %u, "
+                "issue 1, regcache read 1;\n"
+                "            ~15-cycle minimum branch "
+                "mis-speculation loop\n",
+                c.fetchToRename, c.renameToIssue);
+    std::printf("Windows   : IQ %u, ROB %u, %u physical registers, "
+                "LQ %u, SQ %u, %u-wide issue/retire "
+                "(%u stores/cycle)\n",
+                c.iqEntries, c.robEntries, c.numPhysRegs, c.lqEntries,
+                c.sqEntries, c.issueWidth, c.maxRetireStores);
+    std::printf("Execute   : %u int ALU (%ldc), %u branch (%ldc), "
+                "%u int mul (%ldc), %u fx ALU (%ldc),\n"
+                "            %u fx mul/div (%ld/%ldc), %u load units "
+                "(%ldc load-to-use), %u store units,\n"
+                "            %u-stage bypass network\n",
+                c.intAluUnits, long(c.intAluLat), c.branchUnits,
+                long(c.branchLat), c.intMulUnits, long(c.intMulLat),
+                c.fxAluUnits, long(c.fxAluLat), c.fxMulDivUnits,
+                long(c.fxMulLat), long(c.fxDivLat), c.loadUnits,
+                long(c.loadToUse), c.storeUnits, c.bypassStages);
+    std::printf("Memory    : %lluKB %u-way L1I/L1D (%uB lines), "
+                "%lluMB %u-way L2 (%uB lines, %ldc),\n"
+                "            %ldc memory, %u-entry victim/prefetch "
+                "buffers, unit-stride prefetcher,\n"
+                "            %u-entry coalescing store buffer\n",
+                static_cast<unsigned long long>(
+                    c.memory.l1d.sizeBytes / 1024),
+                c.memory.l1d.assoc, c.memory.l1d.lineBytes,
+                static_cast<unsigned long long>(
+                    c.memory.l2.sizeBytes / (1024 * 1024)),
+                c.memory.l2.assoc, c.memory.l2.lineBytes,
+                long(c.memory.l2Latency), long(c.memory.memLatency),
+                c.memory.victimEntries, c.storeBufferEntries);
+
+    frontend::YagsPredictor yags(c.yags);
+    std::printf("YAGS      : %.1f KB of state\n",
+                yags.storageBits() / 8.0 / 1024);
+
+    stats::StatGroup sg("x");
+    regcache::DegreeOfUsePredictor dou(c.dou, sg);
+    std::printf("Use pred  : %u-entry, %u-way, %u-bit tag, %u-bit "
+                "prediction, 2-bit confidence = %.1f KB\n",
+                c.dou.entries, c.dou.assoc, c.dou.tagBits,
+                c.dou.predBits, dou.storageBits() / 8.0 / 1024);
+    std::printf("Reg cache : %s\n",
+                sim::SimConfig::useBasedCache().describe().c_str());
+    std::printf("Baselines : monolithic RF latency %ldc (swept 1-5); "
+                "backing file %ldc (swept 1-5)\n",
+                long(c.rfLatency), long(c.backingLatency));
+    return 0;
+}

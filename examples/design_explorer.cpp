@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Design-space explorer: compare every register storage organization
+ * the paper evaluates, over a chosen workload set, in one run. This
+ * is the "which register file should my core use?" scenario the
+ * paper's introduction motivates.
+ *
+ * Usage: design_explorer [workload[,workload...]] [max_insts]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads;
+    if (argc > 1) {
+        std::stringstream ss(argv[1]);
+        std::string name;
+        while (std::getline(ss, name, ','))
+            workloads.push_back(name);
+    } else {
+        workloads = {"gzip", "crafty", "mcf", "parser"};
+    }
+    const uint64_t max_insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 100000;
+
+    struct Candidate
+    {
+        const char *name;
+        sim::SimConfig cfg;
+    };
+    std::vector<Candidate> candidates;
+    for (Cycle lat = 1; lat <= 4; ++lat) {
+        static char names[4][16];
+        std::snprintf(names[lat - 1], sizeof(names[0]),
+                      "monolithic-%ldc", long(lat));
+        candidates.push_back(
+            {names[lat - 1], sim::SimConfig::monolithic(lat)});
+    }
+    candidates.push_back({"lru cache", sim::SimConfig::lruCache()});
+    candidates.push_back(
+        {"non-bypass cache", sim::SimConfig::nonBypassCache()});
+    candidates.push_back(
+        {"use-based cache", sim::SimConfig::useBasedCache()});
+    candidates.push_back(
+        {"two-level file", sim::SimConfig::twoLevelFile(64)});
+
+    TextTable table({"design", "geomean IPC", "vs mono-3",
+                     "miss/op", "notes"});
+    double mono3 = 0;
+    std::vector<std::pair<std::string, double>> ranking;
+    for (const auto &c : candidates) {
+        const sim::SuiteResult r =
+            sim::runSuite(c.cfg, workloads, {}, max_insts);
+        const double ipc = r.geomeanIpc();
+        if (std::string(c.name) == "monolithic-3c")
+            mono3 = ipc;
+        ranking.emplace_back(c.name, ipc);
+        double miss = 0;
+        for (const auto &run : r.runs)
+            miss += run.result.missPerOperand;
+        miss /= r.runs.size();
+        char rel[32] = "-";
+        if (mono3 > 0)
+            std::snprintf(rel, sizeof(rel), "%+.1f%%",
+                          100 * (ipc / mono3 - 1));
+        table.addRow({c.name, TextTable::num(ipc), rel,
+                      TextTable::num(miss, 4), c.cfg.describe()});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto best = ranking[0];
+    for (const auto &r : ranking)
+        if (r.second > best.second)
+            best = r;
+    std::printf("best design on this suite: %s (%.3f geomean IPC)\n",
+                best.first.c_str(), best.second);
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Component-level scenario: drive the register cache and the
+ * decoupled-index allocators directly with a synthetic register
+ * reference stream — no processor at all. This is how to prototype a
+ * new insertion/replacement/indexing policy against the paper's
+ * ones before wiring it into the full timing model.
+ *
+ * The synthetic stream mimics the paper's workload character: a
+ * degree-of-use distribution that is mostly 1 with a heavy tail, a
+ * bypass network that satisfies ~57% of uses, and register lifetimes
+ * of a few tens of "cycles".
+ */
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "regcache/index_allocator.hh"
+#include "regcache/register_cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+namespace
+{
+
+struct StreamStats
+{
+    uint64_t uses = 0;
+    uint64_t bypassed = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return uses ? double(misses) / uses : 0;
+    }
+};
+
+/** One synthetic value flowing through the machine. */
+struct Value
+{
+    PhysReg preg;
+    unsigned set;
+    unsigned usesLeft;
+    unsigned predicted;
+    bool pinned;
+    Cycle dies;
+};
+
+StreamStats
+drive(InsertionPolicy ins, ReplacementPolicy repl, IndexPolicy idx,
+      uint64_t steps)
+{
+    stats::StatGroup sg("rc");
+    RegCacheParams params;
+    params.insertion = ins;
+    params.replacement = repl;
+    params.indexing = idx;
+    RegisterCache rc(params, sg);
+    IndexAllocator ia(idx, params.numSets(), params.assoc);
+
+    Rng rng(7);
+    StreamStats out;
+    std::deque<Value> live;
+    // Physical registers come off a scrambled free list, as in a
+    // real machine after warmup -- this is precisely why deriving
+    // the cache index from the register number works poorly.
+    std::vector<PhysReg> free_list;
+    for (int p = 511; p >= 0; --p)
+        free_list.push_back(static_cast<PhysReg>(p));
+    for (size_t i = free_list.size() - 1; i > 0; --i)
+        std::swap(free_list[i], free_list[rng.below(i + 1)]);
+
+    for (Cycle now = 0; now < static_cast<Cycle>(steps); ++now) {
+        // Produce ~1 value per cycle with a skewed degree of use.
+        const uint64_t r = rng.below(100);
+        unsigned uses = r < 55 ? 1 : r < 75 ? 2 : r < 85 ? 0
+                        : r < 95 ? 3 + rng.below(3)
+                                 : 8 + rng.below(8);
+        if (free_list.empty())
+            continue;
+        const PhysReg preg = free_list.back();
+        free_list.pop_back();
+
+        Value v;
+        v.preg = preg;
+        v.usesLeft = uses;
+        v.predicted = uses; // a perfect predictor, for clarity
+        v.pinned = uses >= params.maxUse;
+        v.set = ia.assign(preg, v.predicted);
+        v.dies = now + 20 + rng.below(60);
+
+        // ~57% of first uses ride the bypass network.
+        unsigned stage1 = 0;
+        if (v.usesLeft > 0 && rng.chance(0.57)) {
+            ++stage1;
+            --v.usesLeft;
+            ++out.uses;
+            ++out.bypassed;
+        }
+        if (shouldInsert(ins, v.pinned, v.predicted, stage1))
+            rc.insert(preg, v.set, v.pinned ? params.maxUse
+                                            : v.usesLeft,
+                      v.pinned, now);
+        live.push_back(v);
+
+        // Consume outstanding uses of random live values.
+        for (int k = 0; k < 2 && !live.empty(); ++k) {
+            Value &u = live[rng.below(live.size())];
+            if (u.usesLeft == 0)
+                continue;
+            --u.usesLeft;
+            ++out.uses;
+            if (rc.read(u.preg, u.set, now)) {
+                ++out.hits;
+            } else {
+                ++out.misses;
+                rc.fill(u.preg, u.set, now);
+            }
+        }
+
+        // Retire dead values: invalidate, release the set, and
+        // return the register to the (now scrambled) free list.
+        while (!live.empty() && live.front().dies <= now) {
+            rc.invalidate(live.front().preg, live.front().set, now);
+            ia.release(live.front().set, live.front().predicted);
+            free_list.push_back(live.front().preg);
+            live.pop_front();
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Synthetic-stream policy playground (no processor; "
+                "drives RegisterCache directly)\n\n");
+    struct Combo
+    {
+        const char *name;
+        InsertionPolicy ins;
+        ReplacementPolicy repl;
+        IndexPolicy idx;
+    };
+    const Combo combos[] = {
+        {"lru + preg idx", InsertionPolicy::Always,
+         ReplacementPolicy::LRU, IndexPolicy::PhysReg},
+        {"lru + round-robin", InsertionPolicy::Always,
+         ReplacementPolicy::LRU, IndexPolicy::RoundRobin},
+        {"non-bypass + rr", InsertionPolicy::NonBypass,
+         ReplacementPolicy::LRU, IndexPolicy::RoundRobin},
+        {"use-based + preg", InsertionPolicy::UseBased,
+         ReplacementPolicy::UseBased, IndexPolicy::PhysReg},
+        {"use-based + filtered-rr", InsertionPolicy::UseBased,
+         ReplacementPolicy::UseBased,
+         IndexPolicy::FilteredRoundRobin},
+        {"use-based + minimum", InsertionPolicy::UseBased,
+         ReplacementPolicy::UseBased, IndexPolicy::Minimum},
+    };
+
+    TextTable t({"policy combo", "uses", "bypassed", "hits", "misses",
+                 "miss rate"});
+    for (const auto &c : combos) {
+        const StreamStats s = drive(c.ins, c.repl, c.idx, 200000);
+        t.addRow({c.name, TextTable::num(s.uses),
+                  TextTable::num(s.bypassed), TextTable::num(s.hits),
+                  TextTable::num(s.misses),
+                  TextTable::num(s.missRate(), 4)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Even on a synthetic stream with a perfect use "
+                "predictor, use-based management plus decoupled\n"
+                "indexing shows the paper's ordering. Swap in your "
+                "own policy by editing this file.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+; Sample kernel for `ubrcsim --asm examples/sample_kernel.s`
+;
+; Sums the 64-bit words of a small table, then repeatedly hashes the
+; sum. Demonstrates the assembly dialect: sections, labels, pseudo
+; instructions, and the `result` convention (the tools and tests look
+; this symbol up to read the kernel's answer).
+
+        .data 0x100000
+result: .word64 0
+table:  .word64 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+
+        .code
+start:  la   s0, table
+        li   s1, 16           ; elements
+        li   s2, 0            ; sum
+sum:    ld   t0, 0(s0)
+        add  s2, s2, t0
+        addi s0, s0, 8
+        addi s1, s1, -1
+        bnez s1, sum
+
+        li   s3, 200000       ; hash rounds
+        li   s4, 0x9e3779b97f4a7c15
+mix:    mul  s2, s2, s4       ; multiply-xorshift round
+        srli t1, s2, 29
+        xor  s2, s2, t1
+        addi s3, s3, -1
+        bnez s3, mix
+
+        la   t2, result
+        sd   s2, 0(t2)
+        halt

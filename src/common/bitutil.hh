@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and predictors.
+ */
+
+#ifndef UBRC_COMMON_BITUTIL_HH
+#define UBRC_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ubrc
+{
+
+/** True iff v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)) for v > 0. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [lo, hi] (inclusive) of v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** A quick 64-bit integer hash (Stafford mix13 finalizer). */
+constexpr uint64_t
+mixHash(uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_BITUTIL_HH

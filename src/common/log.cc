@@ -1,0 +1,45 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+
+namespace ubrc
+{
+
+int logVerbosity = 1;
+
+namespace detail
+{
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(len > 0 ? len : 0, '\0');
+    if (len > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+void
+emit(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+void
+exitWithMessage(const char *kind, const std::string &msg, bool abort_process)
+{
+    emit(kind, msg);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace ubrc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, after the gem5 conventions:
+ * panic() for internal invariant violations, fatal() for user/config
+ * errors, warn()/inform() for status messages.
+ */
+
+#ifndef UBRC_COMMON_LOG_HH
+#define UBRC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ubrc
+{
+
+/** Verbosity for inform(); 0 silences everything but warnings. */
+extern int logVerbosity;
+
+namespace detail
+{
+[[noreturn]] void exitWithMessage(const char *kind, const std::string &msg,
+                                  bool abort_process);
+void emit(const char *kind, const std::string &msg);
+
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * should never happen regardless of configuration or input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::exitWithMessage("panic",
+                            detail::formatString(fmt, args...), true);
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input) and
+ * exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::exitWithMessage("fatal",
+                            detail::formatString(fmt, args...), false);
+}
+
+/** Report a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::emit("warn", detail::formatString(fmt, args...));
+}
+
+/** Report normal operating status (suppressed when verbosity is 0). */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if (logVerbosity > 0)
+        detail::emit("info", detail::formatString(fmt, args...));
+}
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_LOG_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator and the workload data-set
+ * generators draws from this PRNG so that runs are exactly reproducible
+ * given a seed. The generator is xoshiro256** (public domain algorithm by
+ * Blackman and Vigna), which is fast and has no observable statistical
+ * defects at the scales we use.
+ */
+
+#ifndef UBRC_COMMON_RNG_HH
+#define UBRC_COMMON_RNG_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace ubrc
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct with a seed; any value (including 0) is acceptable. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to expand the seed into four state words.
+        for (auto &word : state) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        assert(bound > 0);
+        // Multiply-shift range reduction (Lemire); bias is negligible
+        // for simulation purposes.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_RNG_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sparse, page-granular simulated memory image.
+ *
+ * Both the functional core and the timing memory hierarchy operate on
+ * this structure. Untouched memory reads as zero. Accesses may span
+ * page boundaries.
+ */
+
+#ifndef UBRC_COMMON_SPARSE_MEMORY_HH
+#define UBRC_COMMON_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ubrc
+{
+
+/** Byte-addressable sparse memory backed by 4 KB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr(1) << pageShift;
+
+    /** Read size bytes (1..8) at addr, little-endian, zero-extended. */
+    uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+        return v;
+    }
+
+    /** Write the low size bytes (1..8) of value at addr. */
+    void
+    write(Addr addr, unsigned size, uint64_t value)
+    {
+        for (unsigned i = 0; i < size; ++i)
+            writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+    }
+
+    uint8_t
+    readByte(Addr addr) const
+    {
+        auto it = pages.find(addr >> pageShift);
+        if (it == pages.end())
+            return 0;
+        return (*it->second)[addr & (pageSize - 1)];
+    }
+
+    void
+    writeByte(Addr addr, uint8_t value)
+    {
+        (*pageFor(addr))[addr & (pageSize - 1)] = value;
+    }
+
+    /** Bulk copy into memory. */
+    void
+    writeBlock(Addr addr, const uint8_t *src, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i)
+            writeByte(addr + i, src[i]);
+    }
+
+    /** Number of pages currently instantiated. */
+    size_t pageCount() const { return pages.size(); }
+
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<uint8_t, pageSize>;
+
+    Page *
+    pageFor(Addr addr)
+    {
+        auto &slot = pages[addr >> pageShift];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return slot.get();
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_SPARSE_MEMORY_HH

@@ -1,0 +1,127 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace ubrc::stats
+{
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    weightedSum = 0;
+}
+
+double
+Distribution::mean() const
+{
+    return total ? static_cast<double>(weightedSum) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+uint64_t
+Distribution::percentile(double frac) const
+{
+    if (total == 0)
+        return 0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    // frac == 0 conventionally returns the minimum sampled value.
+    const double target =
+        std::max(1.0, frac * static_cast<double>(total));
+    uint64_t running = 0;
+    for (size_t v = 0; v < buckets.size(); ++v) {
+        running += buckets[v];
+        if (static_cast<double>(running) >= target)
+            return v;
+    }
+    return buckets.size() - 1;
+}
+
+double
+Distribution::cdfAt(uint64_t v) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t running = 0;
+    const size_t limit = std::min<size_t>(v + 1, buckets.size());
+    for (size_t i = 0; i < limit; ++i)
+        running += buckets[i];
+    return static_cast<double>(running) / static_cast<double>(total);
+}
+
+Scalar &
+StatGroup::scalar(const std::string &stat_name)
+{
+    return scalars[stat_name];
+}
+
+Mean &
+StatGroup::mean(const std::string &stat_name)
+{
+    return means[stat_name];
+}
+
+uint64_t
+StatGroup::scalarValue(const std::string &stat_name) const
+{
+    auto it = scalars.find(stat_name);
+    return it == scalars.end() ? 0 : it->second.value();
+}
+
+Distribution &
+StatGroup::distribution(const std::string &stat_name, size_t max_value)
+{
+    auto it = distributions.find(stat_name);
+    if (it == distributions.end()) {
+        it = distributions
+                 .emplace(stat_name, Distribution(max_value))
+                 .first;
+    }
+    return it->second;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &[stat_name, s] : scalars) {
+        std::snprintf(line, sizeof(line), "%s.%s %lu\n", name.c_str(),
+                      stat_name.c_str(),
+                      static_cast<unsigned long>(s.value()));
+        out += line;
+    }
+    for (const auto &[stat_name, m] : means) {
+        std::snprintf(line, sizeof(line), "%s.%s %.6f\n", name.c_str(),
+                      stat_name.c_str(), m.value());
+        out += line;
+    }
+    for (const auto &[stat_name, d] : distributions) {
+        std::snprintf(line, sizeof(line),
+                      "%s.%s mean=%.3f median=%lu p90=%lu n=%lu\n",
+                      name.c_str(), stat_name.c_str(), d.mean(),
+                      static_cast<unsigned long>(d.median()),
+                      static_cast<unsigned long>(d.percentile(0.9)),
+                      static_cast<unsigned long>(d.count()));
+        out += line;
+    }
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[stat_name, s] : scalars)
+        s.reset();
+    for (auto &[stat_name, m] : means)
+        m.reset();
+    for (auto &[stat_name, d] : distributions)
+        d.reset();
+}
+
+} // namespace ubrc::stats

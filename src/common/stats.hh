@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Subsystems declare named statistics (scalars, means, distributions)
+ * inside a StatGroup. Groups can be dumped as text and queried
+ * programmatically by the benchmark harnesses.
+ */
+
+#ifndef UBRC_COMMON_STATS_HH
+#define UBRC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ubrc::stats
+{
+
+/** A monotonically increasing event count. */
+class Scalar
+{
+  public:
+    Scalar &operator++() { ++count; return *this; }
+    Scalar &operator+=(uint64_t n) { count += n; return *this; }
+    void reset() { count = 0; }
+    uint64_t value() const { return count; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/** Running arithmetic mean over sampled values. */
+class Mean
+{
+  public:
+    void
+    sample(double v, uint64_t weight = 1)
+    {
+        total += v * static_cast<double>(weight);
+        samples += weight;
+    }
+
+    void reset() { total = 0; samples = 0; }
+    uint64_t count() const { return samples; }
+    double sum() const { return total; }
+
+    double
+    value() const
+    {
+        return samples ? total / static_cast<double>(samples) : 0.0;
+    }
+
+  private:
+    double total = 0;
+    uint64_t samples = 0;
+};
+
+/**
+ * A bucketed distribution over non-negative integers with exact
+ * percentile queries. Values at or beyond the maximum are clamped into
+ * the final bucket.
+ */
+class Distribution
+{
+  public:
+    /** @param max_value Largest distinct value tracked exactly. */
+    explicit Distribution(size_t max_value = 1024)
+        : buckets(max_value + 1, 0)
+    {}
+
+    void
+    sample(uint64_t v, uint64_t weight = 1)
+    {
+        const size_t idx = v < buckets.size() ? v : buckets.size() - 1;
+        buckets[idx] += weight;
+        total += weight;
+        weightedSum += v * weight;
+    }
+
+    void reset();
+
+    uint64_t count() const { return total; }
+    double mean() const;
+
+    /** Smallest value v such that at least frac of samples are <= v. */
+    uint64_t percentile(double frac) const;
+    uint64_t median() const { return percentile(0.5); }
+
+    /** Cumulative fraction of samples <= v. */
+    double cdfAt(uint64_t v) const;
+
+    const std::vector<uint64_t> &raw() const { return buckets; }
+
+  private:
+    std::vector<uint64_t> buckets;
+    uint64_t total = 0;
+    uint64_t weightedSum = 0;
+};
+
+/**
+ * A named collection of statistics with text dumping. Statistics
+ * register themselves by name; names must be unique within a group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name)
+        : name(std::move(group_name))
+    {}
+
+    Scalar &scalar(const std::string &stat_name);
+    Mean &mean(const std::string &stat_name);
+    Distribution &distribution(const std::string &stat_name,
+                               size_t max_value = 1024);
+
+    /** Read a scalar's value without creating it (0 if absent). */
+    uint64_t scalarValue(const std::string &stat_name) const;
+
+    /** Render all statistics as "group.stat  value" lines. */
+    std::string dump() const;
+
+    void resetAll();
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    std::string name;
+    std::map<std::string, Scalar> scalars;
+    std::map<std::string, Mean> means;
+    std::map<std::string, Distribution> distributions;
+};
+
+} // namespace ubrc::stats
+
+#endif // UBRC_COMMON_STATS_HH

@@ -1,0 +1,65 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ubrc
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lu", static_cast<unsigned long>(v));
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < headers.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            line += cell;
+            if (c + 1 < headers.size())
+                line += std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = emit_row(headers);
+    size_t rule_len = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(rule_len, '-') + "\n";
+    for (const auto &row : rows)
+        out += emit_row(row);
+    return out;
+}
+
+} // namespace ubrc

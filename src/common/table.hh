@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses, which print
+ * the rows/series of each paper figure and table.
+ */
+
+#ifndef UBRC_COMMON_TABLE_HH
+#define UBRC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ubrc
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; headers are
+ * set once; rows are appended. render() aligns columns by width.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> column_headers)
+        : headers(std::move(column_headers))
+    {}
+
+    /** Append a row. Missing cells render empty; extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+    static std::string num(uint64_t v);
+
+    std::string render() const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_TABLE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef UBRC_COMMON_TYPES_HH
+#define UBRC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ubrc
+{
+
+/** Simulated clock cycle. Signed so "not yet" sentinels can be negative. */
+using Cycle = int64_t;
+
+/** Global dynamic instruction sequence number (1-based; 0 = invalid). */
+using InstSeqNum = uint64_t;
+
+/** Simulated virtual address. */
+using Addr = uint64_t;
+
+/** Architectural register index (0..numArchRegs-1). */
+using ArchReg = int16_t;
+
+/** Physical register index (0..numPhysRegs-1). */
+using PhysReg = int16_t;
+
+/** Sentinel for "no register". */
+constexpr PhysReg invalidPhysReg = -1;
+constexpr ArchReg invalidArchReg = -1;
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_TYPES_HH

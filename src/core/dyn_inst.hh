@@ -1,0 +1,108 @@
+/**
+ * @file
+ * In-flight (dynamic) instruction state carried from rename to
+ * retirement.
+ */
+
+#ifndef UBRC_CORE_DYN_INST_HH
+#define UBRC_CORE_DYN_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "frontend/branch_predictor.hh"
+#include "isa/instruction.hh"
+
+namespace ubrc::core
+{
+
+/** Scheduling state of an in-flight instruction. */
+enum class InstState : uint8_t
+{
+    Waiting, ///< operands not all scheduled
+    Ready,   ///< eligible for selection
+    Issued,  ///< selected; in the issue-to-execute pipe (replayable)
+    Done,    ///< execution complete, value (if any) produced
+};
+
+/** Where a source operand's value came from (for Figure 9). */
+enum class OperandSource : uint8_t
+{
+    None,
+    Bypass,
+    Cache,
+    File,
+};
+
+/** A dynamic instruction. Lives in the ROB from rename to retire. */
+struct DynInst
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    isa::Instruction si;
+
+    // --- rename ---
+    PhysReg srcPreg[2] = {invalidPhysReg, invalidPhysReg};
+    ArchReg srcArch[2] = {invalidArchReg, invalidArchReg};
+    uint8_t numSrcs = 0; ///< non-zero-register sources
+    PhysReg dest = invalidPhysReg;
+    PhysReg prevDest = invalidPhysReg;
+    ArchReg archDest = invalidArchReg;
+    bool hasDest = false;
+    uint16_t rcSet = 0;    ///< decoupled register cache set index
+    uint8_t predUses = 0;  ///< degree-of-use prediction (or default)
+    bool pinned = false;   ///< prediction saturated at the counter max
+
+    // --- front-end checkpoints (restored on a squash at this inst) ---
+    uint64_t ghrBefore = 0;
+    uint64_t pathBefore = 0;
+    frontend::ReturnAddressStack::Checkpoint rasCp{};
+    bool predTaken = false;
+    Addr predNextPc = 0;
+    /** Oracle-trace position at fetch (perfect-prediction mode). */
+    uint32_t oracleIdx = 0;
+
+    // --- scheduling ---
+    InstState state = InstState::Waiting;
+    uint8_t waitCount = 0;   ///< producers not yet scheduled
+    uint32_t issueGen = 0;   ///< invalidates stale pipeline events
+    Cycle readyCycle = 0;
+    Cycle renameCycle = -1;
+    Cycle issueCycle = -1;
+    Cycle doneCycle = -1;
+    bool executing = false;  ///< passed operand checks; will complete
+    bool srcConsumed[2] = {false, false}; ///< two-level bookkeeping
+    uint8_t replays = 0;
+
+    // --- memory ---
+    bool isLoad = false;
+    bool isStore = false;
+    Addr effAddr = 0;
+    bool addrKnown = false;
+    uint64_t storeData = 0;
+    InstSeqNum forwardedFrom = 0; ///< store that fed this load (0: memory)
+    InstSeqNum waitingOnStore = 0; ///< partial-overlap stall target
+
+    // --- results ---
+    uint64_t result = 0;
+    Addr actualNextPc = 0;
+    bool actualTaken = false;
+    bool completed = false;
+
+    OperandSource srcFrom[2] = {OperandSource::None, OperandSource::None};
+    /** Set when a cache miss fill will deliver this operand. */
+    bool srcFileFill[2] = {false, false};
+    /**
+     * Operand already captured into the payload latch (by bypass,
+     * cache read, or fill delivery); re-execution attempts after a
+     * miss on another operand do not re-acquire it.
+     */
+    bool srcHeld[2] = {false, false};
+
+    bool isBranch() const { return si.isBranch(); }
+    bool isHalt() const { return si.isHalt(); }
+};
+
+} // namespace ubrc::core
+
+#endif // UBRC_CORE_DYN_INST_HH

@@ -1,0 +1,1623 @@
+#include "core/processor.hh"
+#include <cstdlib>
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/log.hh"
+#include "isa/disasm.hh"
+
+namespace ubrc::core
+{
+
+using sim::RegScheme;
+
+namespace
+{
+
+/** Functional-unit classes for issue bandwidth accounting. */
+enum FuClass : unsigned
+{
+    FuIntAlu,
+    FuBranch,
+    FuIntMul,
+    FuFxAlu,
+    FuFxMulDiv,
+    FuLoad,
+    FuStore,
+    FuNumClasses
+};
+
+} // namespace
+
+Processor::Processor(const sim::SimConfig &config,
+                     const workload::Workload &workload)
+    : cfg(config),
+      work(workload),
+      prog(work.program),
+      statGroup("sim"),
+      hier(cfg.memory, statGroup),
+      storeBuf(cfg.storeBufferEntries, cfg.storeDrainPorts, hier,
+               cfg.memory.l1d.lineBytes),
+      yags(cfg.yags),
+      ras(cfg.rasDepth),
+      ipred(cfg.indirect),
+      dou(cfg.dou, statGroup),
+      eventRing(eventRingSize),
+      allocatedDist(cfg.numPhysRegs + 1),
+      liveDist(cfg.numPhysRegs + 1)
+{
+    work.initMemory(memImage);
+    if (cfg.checker) {
+        work.initMemory(goldenMem);
+        golden = std::make_unique<isa::FunctionalCore>(prog, goldenMem);
+    }
+
+    if (cfg.scheme == RegScheme::Cached) {
+        rcache = std::make_unique<regcache::RegisterCache>(cfg.rc,
+                                                           statGroup);
+        if (cfg.classifyMisses)
+            shadow = std::make_unique<regcache::ShadowFullyAssocCache>(
+                cfg.rc.entries, cfg.rc.replacement, cfg.rc.maxUse);
+        idxAlloc = std::make_unique<regcache::IndexAllocator>(
+            cfg.rc.indexing, cfg.rc.numSets(), cfg.rc.assoc,
+            cfg.rc.highUseThreshold);
+        backing = std::make_unique<regfile::BackingFile>(
+            cfg.backingLatency, statGroup);
+    } else if (cfg.scheme == RegScheme::TwoLevel) {
+        twoLevel = std::make_unique<regfile::TwoLevelFile>(
+            cfg.twoLevel, cfg.numPhysRegs, statGroup);
+    }
+
+    // Physical register setup: preg 0 is the constant zero; pregs
+    // 1..31 hold the initial architectural values (all zero).
+    pregs.resize(cfg.numPhysRegs);
+    for (unsigned i = 0; i < isa::numArchRegs; ++i) {
+        mapTable[i] = static_cast<PhysReg>(i);
+        pregs[i].doneAt = -1000000;
+        pregs[i].storageReadyAt = -1000000;
+        pregs[i].allocated = true;
+        pregs[i].rcSet = idxAlloc
+                             ? idxAlloc->assign(static_cast<PhysReg>(i), 0)
+                             : 0;
+        if (twoLevel) {
+            twoLevel->allocate(static_cast<PhysReg>(i));
+            twoLevel->onWrite(static_cast<PhysReg>(i));
+        }
+    }
+    allocatedPregs = isa::numArchRegs;
+    freeList.reserve(cfg.numPhysRegs);
+    for (unsigned p = cfg.numPhysRegs - 1; p >= isa::numArchRegs; --p)
+        freeList.push_back(static_cast<PhysReg>(p));
+
+    fetchPc = prog.entry;
+
+    if (cfg.perfectBranchPrediction) {
+        // Pre-execute the program architecturally, recording every
+        // branch outcome in fetch (program) order. The front end
+        // replays this trace instead of predicting.
+        SparseMemory pre_mem;
+        work.initMemory(pre_mem);
+        isa::FunctionalCore pre(prog, pre_mem);
+        const uint64_t cap =
+            cfg.maxInsts ? cfg.maxInsts + 100000 : 100'000'000ULL;
+        for (uint64_t i = 0; i < cap && !pre.halted(); ++i) {
+            const Addr pre_pc = pre.pc();
+            const bool is_branch = prog.at(pre_pc).isBranch();
+            const isa::ExecResult res = pre.step();
+            if (is_branch)
+                oracleTrace.push_back({res.nextPc, res.taken});
+        }
+    }
+
+    st.retired = &statGroup.scalar("insts_retired");
+    st.cyclesStat = &statGroup.scalar("cycles");
+    st.opBypass = &statGroup.scalar("operand_bypass");
+    st.opCache = &statGroup.scalar("operand_cache");
+    st.opFile = &statGroup.scalar("operand_file");
+    st.rcMisses = &statGroup.scalar("rc_operand_misses");
+    st.missNoWrite = &statGroup.scalar("rc_miss_no_write");
+    st.missConflict = &statGroup.scalar("rc_miss_conflict");
+    st.missCapacity = &statGroup.scalar("rc_miss_capacity");
+    st.writesFiltered = &statGroup.scalar("rc_writes_filtered");
+    st.valuesProduced = &statGroup.scalar("values_produced");
+    st.valuesNeverCached = &statGroup.scalar("values_never_cached");
+    st.miniReplays = &statGroup.scalar("mini_replays");
+    st.groupSquashes = &statGroup.scalar("issue_group_squashes");
+    st.branches = &statGroup.scalar("branches_retired");
+    st.branchMispredicts = &statGroup.scalar("branch_mispredicts");
+    st.memViolations = &statGroup.scalar("mem_order_violations");
+    st.fetchBlocks = &statGroup.scalar("fetch_blocks");
+    st.renameStallsRegs = &statGroup.scalar("rename_stalls_regs");
+    st.renameStallsRob = &statGroup.scalar("rename_stalls_rob");
+    st.renameStallsIq = &statGroup.scalar("rename_stalls_iq");
+    st.rcOccupancy = &statGroup.mean("rc_occupancy");
+    st.emptyTime = &statGroup.distribution("preg_empty_time", 4096);
+    st.liveTime = &statGroup.distribution("preg_live_time", 4096);
+    st.deadTime = &statGroup.distribution("preg_dead_time", 4096);
+}
+
+Processor::~Processor() = default;
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+DynInst *
+Processor::findInst(InstSeqNum seq)
+{
+    auto it = bySeq.find(seq);
+    return it == bySeq.end() ? nullptr : it->second;
+}
+
+void
+Processor::schedule(Cycle when, Event ev)
+{
+    if (when <= now)
+        when = now + 1;
+    if (when - now >= static_cast<Cycle>(eventRingSize))
+        panic("event scheduled %" PRId64 " cycles ahead", when - now);
+    eventRing[when % eventRingSize].push_back(ev);
+}
+
+Cycle
+Processor::latencyOf(const DynInst &inst) const
+{
+    const isa::Instruction &si = inst.si;
+    switch (si.info().cls) {
+      case isa::OpClass::IntAlu: return cfg.intAluLat;
+      case isa::OpClass::Branch: return cfg.branchLat;
+      case isa::OpClass::IntMul: return cfg.intMulLat;
+      case isa::OpClass::FxAlu: return cfg.fxAluLat;
+      case isa::OpClass::FxMulDiv:
+        return (si.op == isa::Opcode::FXMUL) ? cfg.fxMulLat
+                                             : cfg.fxDivLat;
+      case isa::OpClass::Load: return cfg.loadToUse;
+      case isa::OpClass::Store: return 1;
+      default: return 1;
+    }
+}
+
+unsigned
+Processor::fuClassOf(const isa::Instruction &si) const
+{
+    switch (si.info().cls) {
+      case isa::OpClass::IntAlu: return FuIntAlu;
+      case isa::OpClass::Branch: return FuBranch;
+      case isa::OpClass::IntMul: return FuIntMul;
+      case isa::OpClass::FxAlu: return FuFxAlu;
+      case isa::OpClass::FxMulDiv: return FuFxMulDiv;
+      case isa::OpClass::Load: return FuLoad;
+      case isa::OpClass::Store: return FuStore;
+      default: return FuIntAlu;
+    }
+}
+
+void
+Processor::insertIntoIQ(DynInst &inst)
+{
+    auto it = std::lower_bound(issueQueue.begin(), issueQueue.end(),
+                               inst.seq,
+                               [](const DynInst *a, InstSeqNum s) {
+                                   return a->seq < s;
+                               });
+    issueQueue.insert(it, &inst);
+}
+
+void
+Processor::recomputeReadiness(DynInst &inst, Cycle floor_cycle)
+{
+    if (inst.state != InstState::Waiting &&
+        inst.state != InstState::Ready)
+        return;
+    Cycle ready = std::max<Cycle>(floor_cycle,
+                                  inst.renameCycle + cfg.renameToIssue);
+    for (unsigned k = 0; k < inst.numSrcs; ++k) {
+        const PhysReg p = inst.srcPreg[k];
+        if (p < 0 || inst.srcHeld[k])
+            continue;
+        const Cycle dp = pregs[p].doneAt;
+        if (dp >= cycleInf) {
+            // Producer time unknown: sleep until it is retimed.
+            inst.state = InstState::Waiting;
+            return;
+        }
+        ready = std::max(ready, dp + 1 - cfg.issueToExec());
+    }
+    inst.state = InstState::Ready;
+    inst.readyCycle = ready;
+}
+
+void
+Processor::retimeConsumers(PhysReg preg)
+{
+    auto &list = pregs[preg].consumers;
+    size_t kept = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+        DynInst *w = findInst(list[i]);
+        if (!w || w->state == InstState::Done)
+            continue; // prune dead or finished consumers
+        recomputeReadiness(*w, now);
+        list[kept++] = list[i];
+    }
+    list.resize(kept);
+}
+
+void
+Processor::returnToReady(DynInst &inst, Cycle earliest)
+{
+    ++inst.issueGen; // invalidate scheduled pipeline events
+    inst.executing = false;
+    inst.srcHeld[0] = inst.srcHeld[1] = false;
+    inst.srcFileFill[0] = inst.srcFileFill[1] = false;
+    inst.state = InstState::Waiting;
+    recomputeReadiness(inst, earliest);
+    insertIntoIQ(inst);
+    // The speculative completion time advertised at issue is void;
+    // dependents must wait for the re-issue.
+    if (inst.hasDest && !inst.completed) {
+        pregs[inst.dest].doneAt = cycleInf;
+        retimeConsumers(inst.dest);
+    }
+}
+
+void
+Processor::miniReplay(DynInst &inst)
+{
+    static int debug_left =
+        std::getenv("UBRC_DEBUG_REPLAY") ? 40 : 0;
+    if (debug_left > 0) {
+        --debug_left;
+        for (unsigned k = 0; k < inst.numSrcs; ++k) {
+            const PhysReg p = inst.srcPreg[k];
+            if (p < 0 || inst.srcHeld[k])
+                continue;
+            if (now < pregs[p].doneAt + 1) {
+                DynInst *prod = findInst(pregs[p].producerSeq);
+                warn("miniReplay seq=%llu %s @%" PRId64
+                     " src%u preg=%d doneAt=%" PRId64
+                     " prod=%s prodState=%d",
+                     (unsigned long long)inst.seq,
+                     isa::disassemble(inst.si).c_str(), now, k, int(p),
+                     pregs[p].doneAt,
+                     prod ? isa::disassemble(prod->si).c_str() : "?",
+                     prod ? int(prod->state) : -1);
+            }
+        }
+    }
+    ++*st.miniReplays;
+    ++inst.replays;
+    returnToReady(inst, now + 1);
+}
+
+bool
+Processor::operandTimely(const DynInst &inst, Cycle exec_start) const
+{
+    for (unsigned k = 0; k < inst.numSrcs; ++k) {
+        const PhysReg p = inst.srcPreg[k];
+        if (p < 0 || inst.srcHeld[k])
+            continue;
+        if (exec_start < pregs[p].doneAt + 1)
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+void
+Processor::run()
+{
+    while (!simDone) {
+        tick();
+        if (cfg.maxCycles && static_cast<uint64_t>(now) >= cfg.maxCycles)
+            break;
+        if (now - lastRetireCycle > 500000) {
+            if (!rob.empty()) {
+                const DynInst &h = rob.front();
+                unsigned pending = 0;
+                for (const auto &slot_events : eventRing)
+                    for (const auto &e : slot_events)
+                        if (e.seq == h.seq)
+                            ++pending;
+                bool in_iq = false;
+                for (const DynInst *i : issueQueue)
+                    if (i->seq == h.seq)
+                        in_iq = true;
+                warn("stuck head: seq=%llu pc=0x%llx %s state=%d "
+                     "exec=%d ready=%" PRId64 " wait=%u done=%d "
+                     "waitStore=%llu iq=%zu issueCyc=%" PRId64
+                     " gen=%u replays=%u pendingEvents=%u inIQ=%d",
+                     static_cast<unsigned long long>(h.seq),
+                     static_cast<unsigned long long>(h.pc),
+                     isa::disassemble(h.si).c_str(),
+                     static_cast<int>(h.state), int(h.executing),
+                     h.readyCycle, unsigned(h.waitCount),
+                     int(h.completed),
+                     static_cast<unsigned long long>(h.waitingOnStore),
+                     issueQueue.size(), h.issueCycle,
+                     unsigned(h.issueGen), unsigned(h.replays),
+                     pending, int(in_iq));
+            }
+            panic("no retirement for 500k cycles at cycle %" PRId64
+                  " (pc=0x%llx, rob=%zu)",
+                  now, static_cast<unsigned long long>(fetchPc),
+                  rob.size());
+        }
+    }
+}
+
+void
+Processor::tick()
+{
+    ++now;
+    ++*st.cyclesStat;
+    storeBuf.tick(now);
+    if (twoLevel)
+        twoLevel->tick(now);
+    processEvents();
+    doRetire();
+    doIssue();
+    doRename();
+    doFetch();
+    sampleCycleStats();
+}
+
+void
+Processor::processEvents()
+{
+    auto &slot = eventRing[now % eventRingSize];
+    if (slot.empty())
+        return;
+    std::vector<Event> events = std::move(slot);
+    slot.clear();
+    for (const Event &ev : events) {
+        if (ev.kind == EvKind::Fill) {
+            onFill(ev.fillPreg);
+            continue;
+        }
+        if (ev.kind == EvKind::Insert) {
+            onInsertDecision(ev.fillPreg, ev.seq);
+            continue;
+        }
+        DynInst *inst = findInst(ev.seq);
+        if (!inst || inst->issueGen != ev.gen)
+            continue; // squashed or replayed
+        if (ev.kind == EvKind::ExecStart)
+            onExecStart(*inst);
+        else
+            onComplete(*inst);
+    }
+}
+
+void
+Processor::sampleCycleStats()
+{
+    if (rcache)
+        st.rcOccupancy->sample(rcache->validCount());
+    if (cfg.trackLifetimes)
+        allocatedDist.sample(allocatedPregs);
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+std::optional<Addr>
+Processor::predictControl(const isa::Instruction &si, Addr pc,
+                          FrontEndSlot &slot)
+{
+    using isa::Opcode;
+    switch (si.op) {
+      case Opcode::J:
+        slot.predTaken = true;
+        return static_cast<Addr>(si.imm);
+      case Opcode::JAL:
+        slot.predTaken = true;
+        ras.push(pc + isa::instBytes);
+        return static_cast<Addr>(si.imm);
+      case Opcode::JR: {
+        slot.predTaken = true;
+        Addr target;
+        if (si.rs1 == 1) { // return
+            target = ras.pop();
+        } else {
+            target = ipred.predict(pc, pathHist);
+            if (target == 0)
+                target = pc + isa::instBytes; // no prediction yet
+            pathHist = (pathHist << 3) ^ (target >> 2);
+        }
+        return target;
+      }
+      case Opcode::JALR: {
+        slot.predTaken = true;
+        Addr target = ipred.predict(pc, pathHist);
+        if (target == 0)
+            target = pc + isa::instBytes;
+        pathHist = (pathHist << 3) ^ (target >> 2);
+        ras.push(pc + isa::instBytes);
+        return target;
+      }
+      default:
+        break;
+    }
+    // Conditional branch.
+    const bool taken = yags.predict(pc, ghr);
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+    slot.predTaken = taken;
+    if (taken)
+        return static_cast<Addr>(si.imm);
+    return std::nullopt; // not taken: fall through, keep fetching
+}
+
+void
+Processor::doFetch()
+{
+    if (simDone || fetchHalted)
+        return;
+    if (fetchStallUntil > now)
+        return;
+    if (frontQ.size() >= cfg.frontQueueLimit)
+        return;
+    if (!prog.contains(fetchPc))
+        return; // ran off the program (wrong path); wait for redirect
+
+    const Cycle icache_extra = hier.ifetchAccess(fetchPc);
+    if (icache_extra > 0) {
+        fetchStallUntil = now + icache_extra;
+        return;
+    }
+
+    ++*st.fetchBlocks;
+    Addr pc = fetchPc;
+    unsigned fetched = 0;
+    unsigned scanned = 0;
+    while (fetched < cfg.fetchWidth && scanned < 3 * cfg.fetchWidth) {
+        if (!prog.contains(pc))
+            break;
+        const isa::Instruction &si = prog.at(pc);
+        ++scanned;
+        if (si.isNop()) { // nops are skipped for free (Table 1)
+            pc += isa::instBytes;
+            continue;
+        }
+
+        FrontEndSlot slot;
+        slot.pc = pc;
+        slot.si = si;
+        slot.renameReadyAt = now + cfg.fetchToRename;
+        slot.ghrBefore = ghr;
+        slot.pathBefore = pathHist;
+        slot.rasCp = ras.save();
+        slot.predTaken = false;
+        slot.oracleIdx = static_cast<uint32_t>(oracleCursor);
+
+        Addr next_pc = pc + isa::instBytes;
+        bool end_block = false;
+        if (si.isHalt()) {
+            fetchHalted = true;
+            end_block = true;
+        } else if (si.isBranch()) {
+            if (cfg.perfectBranchPrediction &&
+                oracleCursor < oracleTrace.size()) {
+                const OracleOutcome &o = oracleTrace[oracleCursor++];
+                slot.predTaken = o.taken;
+                if (si.isCondBranch())
+                    ghr = (ghr << 1) | (o.taken ? 1 : 0);
+                if (o.taken) {
+                    next_pc = o.nextPc;
+                    end_block = true;
+                }
+            } else if (auto target = predictControl(si, pc, slot)) {
+                next_pc = *target;
+                end_block = true; // one taken branch per fetch block
+            }
+        }
+        slot.predNextPc = next_pc;
+        frontQ.push_back(slot);
+        ++fetched;
+        pc = next_pc;
+        if (end_block)
+            break;
+    }
+    fetchPc = pc;
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+Processor::doRename()
+{
+    if (renameStallUntil > now)
+        return;
+
+    unsigned renamed = 0;
+    while (renamed < cfg.renameWidth && !frontQ.empty()) {
+        FrontEndSlot &slot = frontQ.front();
+        if (slot.renameReadyAt > now)
+            break;
+
+        const isa::Instruction &si = slot.si;
+        const bool wants_dest = si.hasDest();
+        const bool is_load = si.isLoad();
+        const bool is_store = si.isStore();
+
+        if (rob.size() >= cfg.robEntries) {
+            ++*st.renameStallsRob;
+            break;
+        }
+        if (!si.isHalt() && issueQueue.size() >= cfg.iqEntries) {
+            ++*st.renameStallsIq;
+            break;
+        }
+        if (wants_dest && freeList.empty()) {
+            ++*st.renameStallsRegs;
+            break;
+        }
+        if (wants_dest && twoLevel && !twoLevel->canAllocate()) {
+            ++*st.renameStallsRegs;
+            break;
+        }
+        if (is_load && loadQueue.size() >= cfg.lqEntries)
+            break;
+        if (is_store && storeQueue.size() >= cfg.sqEntries)
+            break;
+
+        rob.emplace_back();
+        DynInst &inst = rob.back();
+        inst.seq = nextSeq++;
+        inst.pc = slot.pc;
+        inst.si = si;
+        inst.ghrBefore = slot.ghrBefore;
+        inst.pathBefore = slot.pathBefore;
+        inst.rasCp = slot.rasCp;
+        inst.predTaken = slot.predTaken;
+        inst.predNextPc = slot.predNextPc;
+        inst.oracleIdx = slot.oracleIdx;
+        inst.renameCycle = now;
+        inst.isLoad = is_load;
+        inst.isStore = is_store;
+        bySeq[inst.seq] = &inst;
+
+        // Source operands.
+        ArchReg raw_srcs[2];
+        const int n_raw = si.srcRegs(raw_srcs);
+        inst.numSrcs = 0;
+        for (int k = 0; k < n_raw; ++k) {
+            const ArchReg a = raw_srcs[k];
+            const unsigned idx = inst.numSrcs++;
+            inst.srcArch[idx] = a;
+            if (a == 0) {
+                inst.srcPreg[idx] = invalidPhysReg; // constant zero
+                continue;
+            }
+            const PhysReg p = mapTable[a];
+            inst.srcPreg[idx] = p;
+            PregState &ps = pregs[p];
+            ++ps.actualUses;
+            ps.consumers.push_back(inst.seq);
+            // Early training: once the observed use count saturates
+            // the predictor's range, the eventual (free-time)
+            // training value is already known -- deliver it now so
+            // long-lived, heavily read values get predicted (and
+            // pinned) without waiting for the register to die.
+            if (ps.actualUses == cfg.dou.maxPrediction() &&
+                ps.producerPc != 0)
+                dou.train(ps.producerPc, ps.producerCtrl,
+                          ps.actualUses);
+            if (twoLevel)
+                twoLevel->onConsumerRenamed(p);
+        }
+
+        // Destination.
+        if (wants_dest) {
+            const PhysReg p = freeList.back();
+            freeList.pop_back();
+            ++allocatedPregs;
+            inst.hasDest = true;
+            inst.archDest = si.rd;
+            inst.dest = p;
+            inst.prevDest = mapTable[si.rd];
+            mapTable[si.rd] = p;
+
+            PregState &ps = pregs[p];
+            ps = PregState{};
+            ps.allocated = true;
+            ps.doneAt = cycleInf;
+            ps.storageReadyAt = cycleInf;
+            ps.allocAt = now;
+            ps.producerPc = inst.pc;
+            ps.producerCtrl = inst.ghrBefore;
+            ps.producerSeq = inst.seq;
+
+            // Degree-of-use prediction (Section 3.3).
+            unsigned pred = cfg.rc.unknownDefault;
+            if (auto d = dou.predict(inst.pc, inst.ghrBefore))
+                pred = *d;
+            inst.predUses = static_cast<uint8_t>(pred);
+            inst.pinned = pred >= cfg.rc.maxUse;
+            ps.predUses = inst.predUses;
+            ps.pinned = inst.pinned;
+            ps.remUses = static_cast<int32_t>(
+                std::min<unsigned>(pred, cfg.rc.maxUse));
+
+            // Decoupled index assignment (Section 4.1).
+            inst.rcSet = idxAlloc
+                             ? static_cast<uint16_t>(
+                                   idxAlloc->assign(p, pred))
+                             : 0;
+            ps.rcSet = inst.rcSet;
+
+            if (twoLevel) {
+                twoLevel->allocate(p);
+                if (inst.prevDest > 0)
+                    twoLevel->onArchReassigned(inst.prevDest);
+            }
+        }
+
+        if (si.isHalt()) {
+            inst.state = InstState::Done;
+            inst.completed = true;
+            inst.actualNextPc = inst.pc;
+            inst.doneCycle = now;
+        } else {
+            inst.state = InstState::Waiting;
+            recomputeReadiness(inst, now);
+            insertIntoIQ(inst);
+        }
+
+        if (is_load)
+            loadQueue.push_back(&inst);
+        if (is_store)
+            storeQueue.push_back(&inst);
+
+        frontQ.pop_front();
+        ++renamed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+void
+Processor::doIssue()
+{
+    unsigned fu_left[FuNumClasses] = {
+        cfg.intAluUnits, cfg.branchUnits, cfg.intMulUnits,
+        cfg.fxAluUnits,  cfg.fxMulDivUnits, cfg.loadUnits,
+        cfg.storeUnits,
+    };
+
+    unsigned issued = 0;
+    bool any_issued = false;
+    for (DynInst *ip : issueQueue) {
+        if (issued >= cfg.issueWidth)
+            break;
+        DynInst &inst = *ip;
+        if (inst.state != InstState::Ready || inst.readyCycle > now)
+            continue;
+        const unsigned cls = fuClassOf(inst.si);
+        if (fu_left[cls] == 0)
+            continue;
+
+        const Cycle exec_start = now + cfg.issueToExec();
+
+        // Monolithic register file: an operand that has fallen out of
+        // the bypass window is only readable once its write into the
+        // file completes -- the "issue restriction" gap.
+        if (cfg.scheme == RegScheme::Monolithic) {
+            bool gap = false;
+            for (unsigned k = 0; k < inst.numSrcs; ++k) {
+                const PhysReg p = inst.srcPreg[k];
+                if (p < 0)
+                    continue;
+                const Cycle dp = pregs[p].doneAt;
+                if (dp >= cycleInf)
+                    continue; // will be caught by readiness
+                if (exec_start > dp + cfg.bypassStages) {
+                    // The operand must come from the file, and the
+                    // read cannot begin until the producer's write
+                    // has finished (at the end of dp + rfLatency):
+                    // the issue-restriction gap of a multi-cycle
+                    // register file with a short bypass network.
+                    if (now < dp + cfg.rfLatency) {
+                        inst.readyCycle = std::max(
+                            inst.readyCycle, dp + cfg.rfLatency);
+                        gap = true;
+                    }
+                }
+            }
+            if (gap)
+                continue;
+        }
+
+        // Issue.
+        --fu_left[cls];
+        ++issued;
+        any_issued = true;
+        inst.state = InstState::Issued;
+        inst.issueCycle = now;
+        inst.executing = false;
+        ++inst.issueGen;
+
+        // Speculative completion time (loads assume an L1 hit).
+        const Cycle spec_done = exec_start + latencyOf(inst) - 1;
+
+        if (inst.hasDest) {
+            pregs[inst.dest].doneAt = spec_done;
+            retimeConsumers(inst.dest);
+        }
+
+        schedule(exec_start, {inst.seq, inst.issueGen,
+                              EvKind::ExecStart, invalidPhysReg});
+    }
+
+    if (any_issued) {
+        std::erase_if(issueQueue, [](const DynInst *i) {
+            return i->state != InstState::Ready &&
+                   i->state != InstState::Waiting;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute
+// ---------------------------------------------------------------------
+
+void
+Processor::acquireOperands(DynInst &inst, Cycle exec_start,
+                           std::vector<PhysReg> &misses)
+{
+    for (unsigned k = 0; k < inst.numSrcs; ++k) {
+        const PhysReg p = inst.srcPreg[k];
+        if (p < 0) {
+            inst.srcFrom[k] = OperandSource::None;
+            continue;
+        }
+        if (inst.srcHeld[k])
+            continue; // already captured into the payload latch
+        PregState &ps = pregs[p];
+        ps.lastReadAt = std::max(ps.lastReadAt, exec_start);
+
+        if (inst.srcFileFill[k]) {
+            // A backing-file fill delivers this operand directly.
+            inst.srcFileFill[k] = false;
+            inst.srcHeld[k] = true;
+            inst.srcFrom[k] = OperandSource::File;
+            ++*st.opFile;
+            continue;
+        }
+
+        const Cycle dp = ps.doneAt;
+        if (exec_start <= dp + static_cast<Cycle>(cfg.bypassStages)) {
+            inst.srcFrom[k] = OperandSource::Bypass;
+            inst.srcHeld[k] = true;
+            ++*st.opBypass;
+            // First-stage bypass readers are visible to the producer's
+            // cache-write (insertion) decision, which happens later in
+            // this same cycle (Section 3.1).
+            if (exec_start == dp + 1)
+                ++ps.stage1Bypasses;
+            if (cfg.scheme == RegScheme::Cached) {
+                // Keep the remaining-use counts in step for values
+                // consumed off the bypass network (Section 3.3).
+                if (ps.insertedNow && rcache)
+                    rcache->noteBypassUse(p, ps.rcSet);
+                else if (!ps.pinned && ps.remUses > 0)
+                    --ps.remUses;
+                if (shadow)
+                    shadow->noteBypassUse(p);
+            }
+            continue;
+        }
+
+        switch (cfg.scheme) {
+          case RegScheme::Monolithic:
+            inst.srcFrom[k] = OperandSource::File;
+            inst.srcHeld[k] = true;
+            ++*st.opFile;
+            break;
+          case RegScheme::TwoLevel:
+            // The L1 file always holds live-mapped values.
+            inst.srcFrom[k] = OperandSource::File;
+            inst.srcHeld[k] = true;
+            ++*st.opFile;
+            break;
+          case RegScheme::Cached: {
+            if (rcache->read(p, ps.rcSet, now)) {
+                inst.srcFrom[k] = OperandSource::Cache;
+                inst.srcHeld[k] = true;
+                ++*st.opCache;
+                if (shadow && !shadow->read(p))
+                    shadow->fill(p, now); // resync
+            } else {
+                misses.push_back(p);
+                inst.srcFileFill[k] = true;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+Processor::handleCacheMisses(DynInst &inst, Cycle exec_start,
+                             const std::vector<PhysReg> &misses)
+{
+    Cycle latest_ready = 0;
+    for (PhysReg p : misses) {
+        PregState &ps = pregs[p];
+        ++*st.rcMisses;
+
+        // Classify (Figure 8): a miss on a value whose initial write
+        // was filtered is a "no-write" miss; otherwise conflict if a
+        // same-size fully-associative cache would have hit.
+        if (!ps.everCached) {
+            ++*st.missNoWrite;
+        } else if (shadow && shadow->contains(p)) {
+            ++*st.missConflict;
+        } else {
+            ++*st.missCapacity;
+        }
+        if (shadow) {
+            shadow->read(p); // keep shadow LRU/uses in step
+        }
+
+        // Schedule the backing-file read through the shared port. The
+        // miss was detected in the register-read stage (one cycle
+        // before exec_start), so the read can begin at exec_start:
+        // for a 2-cycle backing file the value re-bypasses to the
+        // missing instruction 2 cycles after its nominal execute,
+        // matching Figure 3 (I4b: issue 4, miss 5, read 6-7, exec 8).
+        const Cycle data_ready =
+            backing->scheduleRead(exec_start, ps.storageReadyAt);
+        ps.doneAt = data_ready;
+        ps.fillInFlight = true;
+        schedule(data_ready,
+                 {ps.producerSeq, 0, EvKind::Fill, p});
+        latest_ready = std::max(latest_ready, data_ready);
+        retimeConsumers(p);
+    }
+
+    // All instructions issuing in the cycle after this one are
+    // squashed and must reissue (the Alpha 21264 replay model).
+    squashIssueGroup(inst.issueCycle + 1, inst.seq);
+
+    // The missing instruction itself waits for the fill and then
+    // executes with the data bypassed straight from the file read.
+    ++inst.issueGen;
+    inst.executing = false;
+    if (inst.hasDest) {
+        // Re-advertise the expected completion so dependents retime.
+        pregs[inst.dest].doneAt = latest_ready + latencyOf(inst);
+        retimeConsumers(inst.dest);
+    }
+    schedule(latest_ready + 1,
+             {inst.seq, inst.issueGen, EvKind::ExecStart,
+              invalidPhysReg});
+}
+
+void
+Processor::squashIssueGroup(Cycle issue_cycle, InstSeqNum except)
+{
+    unsigned squashed = 0;
+    for (auto &entry : rob) {
+        if (entry.state == InstState::Issued && !entry.executing &&
+            entry.issueCycle == issue_cycle && entry.seq != except) {
+            // Independent instructions reissue the cycle after the
+            // squash (the miss was detected last cycle; issue for
+            // this cycle has not been performed yet).
+            returnToReady(entry, now);
+            ++squashed;
+        }
+    }
+    if (squashed)
+        *st.groupSquashes += squashed;
+}
+
+void
+Processor::onInsertDecision(PhysReg preg, InstSeqNum producer_seq)
+{
+    PregState &ps = pregs[preg];
+    if (!ps.allocated || ps.producerSeq != producer_seq)
+        return; // producer squashed; the value no longer exists
+    const bool insert = regcache::shouldInsert(
+        cfg.rc.insertion, ps.pinned, ps.predUses, ps.stage1Bypasses);
+    if (!insert) {
+        ++*st.writesFiltered;
+        return;
+    }
+    const unsigned count =
+        ps.pinned ? cfg.rc.maxUse
+                  : static_cast<unsigned>(
+                        std::max<int32_t>(ps.remUses, 0));
+    rcache->insert(preg, ps.rcSet, count, ps.pinned, now);
+    if (shadow)
+        shadow->insert(preg, count, ps.pinned, now);
+    ps.everCached = true;
+    ps.insertedNow = true;
+}
+
+void
+Processor::onFill(PhysReg preg)
+{
+    PregState &ps = pregs[preg];
+    if (!ps.allocated || !ps.fillInFlight)
+        return;
+    ps.fillInFlight = false;
+    if (rcache && !rcache->contains(preg, ps.rcSet)) {
+        rcache->fill(preg, ps.rcSet, now);
+        ps.everCached = true;
+        ps.insertedNow = true;
+        if (shadow)
+            shadow->fill(preg, now);
+    }
+}
+
+void
+Processor::onExecStart(DynInst &inst)
+{
+    const Cycle exec_start = now;
+
+    // Re-verify operand timing: producers may have slipped (load
+    // misses, register cache misses, replays).
+    if (!operandTimely(inst, exec_start)) {
+        miniReplay(inst);
+        return;
+    }
+
+    std::vector<PhysReg> misses;
+    acquireOperands(inst, exec_start, misses);
+    if (!misses.empty()) {
+        handleCacheMisses(inst, exec_start, misses);
+        return;
+    }
+
+    inst.executing = true;
+    if (twoLevel) {
+        for (unsigned k = 0; k < inst.numSrcs; ++k) {
+            if (inst.srcPreg[k] >= 0 && !inst.srcConsumed[k]) {
+                inst.srcConsumed[k] = true;
+                twoLevel->onConsumerDone(inst.srcPreg[k]);
+            }
+        }
+    } else {
+        inst.srcConsumed[0] = inst.srcConsumed[1] = true;
+    }
+
+    executeBody(inst, exec_start);
+}
+
+void
+Processor::executeBody(DynInst &inst, Cycle exec_start)
+{
+    const isa::Instruction &si = inst.si;
+    const uint64_t a =
+        inst.srcPreg[0] >= 0 ? pregs[inst.srcPreg[0]].value : 0;
+    const uint64_t b =
+        inst.srcPreg[1] >= 0 ? pregs[inst.srcPreg[1]].value : 0;
+
+    Cycle done = exec_start + latencyOf(inst) - 1;
+
+    if (inst.isLoad) {
+        inst.effAddr = a + static_cast<uint64_t>(si.imm);
+        inst.addrKnown = true;
+        if (!executeLoad(inst, exec_start))
+            return; // stalled on a partially overlapping store
+        done = inst.doneCycle; // set by executeLoad
+    } else if (inst.isStore) {
+        inst.effAddr = a + static_cast<uint64_t>(si.imm);
+        inst.addrKnown = true;
+        inst.storeData = b;
+        executeStore(inst, exec_start);
+    } else if (si.isCondBranch()) {
+        inst.actualTaken = isa::evaluateBranchCond(si, a, b);
+        inst.actualNextPc = inst.actualTaken
+                                ? static_cast<Addr>(si.imm)
+                                : inst.pc + isa::instBytes;
+    } else if (si.isBranch()) {
+        inst.actualTaken = true;
+        switch (si.op) {
+          case isa::Opcode::J:
+            inst.actualNextPc = static_cast<Addr>(si.imm);
+            break;
+          case isa::Opcode::JAL:
+            inst.actualNextPc = static_cast<Addr>(si.imm);
+            inst.result = inst.pc + isa::instBytes;
+            break;
+          case isa::Opcode::JR:
+            inst.actualNextPc = a;
+            break;
+          case isa::Opcode::JALR:
+            inst.actualNextPc = a;
+            inst.result = inst.pc + isa::instBytes;
+            break;
+          default:
+            panic("unexpected branch op in executeBody");
+        }
+    } else {
+        inst.result = isa::evaluateAlu(si, a, b, inst.pc);
+    }
+
+    inst.doneCycle = done;
+    if (done <= now) {
+        // Single-cycle operations finish in their execute cycle; run
+        // completion inline so same-cycle event ordering cannot let a
+        // consumer read the value before it is written.
+        onComplete(inst);
+    } else {
+        schedule(done, {inst.seq, inst.issueGen, EvKind::Complete,
+                        invalidPhysReg});
+    }
+}
+
+bool
+Processor::executeLoad(DynInst &inst, Cycle exec_start)
+{
+    const unsigned size = inst.si.info().memSize;
+    const Addr lo = inst.effAddr;
+    const Addr hi = inst.effAddr + size;
+
+    // Find the youngest older store with a known overlapping address.
+    DynInst *hit_store = nullptr;
+    for (auto it = storeQueue.rbegin(); it != storeQueue.rend(); ++it) {
+        DynInst *s = *it;
+        if (s->seq >= inst.seq)
+            continue;
+        if (!s->addrKnown)
+            continue; // optimistic: assume no conflict
+        const unsigned ssize = s->si.info().memSize;
+        const Addr slo = s->effAddr;
+        const Addr shi = s->effAddr + ssize;
+        if (slo < hi && lo < shi) {
+            hit_store = s;
+            break;
+        }
+    }
+
+    uint64_t raw;
+    Cycle extra = 0;
+    if (hit_store) {
+        const unsigned ssize = hit_store->si.info().memSize;
+        const Addr slo = hit_store->effAddr;
+        if (slo <= lo && lo + size <= slo + ssize) {
+            // Full coverage: forward from the store queue.
+            raw = hit_store->storeData >> ((lo - slo) * 8);
+            if (size < 8)
+                raw &= (1ULL << (size * 8)) - 1;
+            inst.forwardedFrom = hit_store->seq;
+        } else {
+            // Partial overlap: wait until the store commits.
+            inst.waitingOnStore = hit_store->seq;
+            ++inst.issueGen;
+            inst.executing = false;
+            if (inst.hasDest) {
+                pregs[inst.dest].doneAt = cycleInf;
+                retimeConsumers(inst.dest);
+            }
+            return false;
+        }
+    } else {
+        raw = memImage.read(lo, size);
+        inst.forwardedFrom = 0;
+        extra = hier.loadAccess(lo);
+    }
+
+    inst.result = isa::extendLoad(inst.si, raw);
+    inst.doneCycle = exec_start + cfg.loadToUse - 1 + extra;
+    if (inst.hasDest && extra > 0) {
+        // Load-hit speculation failed; push the wakeup time out.
+        pregs[inst.dest].doneAt = inst.doneCycle;
+        retimeConsumers(inst.dest);
+    }
+    return true;
+}
+
+void
+Processor::executeStore(DynInst &inst, Cycle exec_start)
+{
+    (void)exec_start;
+    // Memory-order violation check: any younger load that already
+    // executed with an overlapping address and did not forward from
+    // this store (or a yet-younger one) read stale data.
+    const unsigned size = inst.si.info().memSize;
+    const Addr lo = inst.effAddr;
+    const Addr hi = inst.effAddr + size;
+    DynInst *offender = nullptr;
+    for (DynInst *l : loadQueue) {
+        if (l->seq <= inst.seq || !l->addrKnown || !l->executing)
+            continue;
+        const unsigned lsize = l->si.info().memSize;
+        if (!(l->effAddr < hi && lo < l->effAddr + lsize))
+            continue;
+        if (l->forwardedFrom >= inst.seq)
+            continue; // saw this store or a younger one
+        if (!offender || l->seq < offender->seq)
+            offender = l;
+    }
+    if (offender) {
+        ++*st.memViolations;
+        // Squash from the offending load (inclusive) and refetch it.
+        squashAfter(offender->seq - 1, offender->pc, *offender, false);
+    }
+}
+
+void
+Processor::resolveBranch(DynInst &inst)
+{
+    if (inst.actualNextPc == inst.predNextPc)
+        return;
+    ++*st.branchMispredicts;
+    squashAfter(inst.seq, inst.actualNextPc, inst, true);
+}
+
+void
+Processor::onComplete(DynInst &inst)
+{
+    inst.completed = true;
+    inst.state = InstState::Done;
+    inst.doneCycle = now;
+
+    if (inst.hasDest) {
+        PregState &ps = pregs[inst.dest];
+        ps.value = inst.result;
+        // Retime consumers only if the completion slipped versus the
+        // advertised time (e.g. a partial-overlap store stall);
+        // retiming on-time completions would delay ready dependents.
+        const bool slipped = ps.doneAt != now;
+        ps.doneAt = now;
+        if (slipped)
+            retimeConsumers(inst.dest);
+        if (ps.writeAt < 0)
+            ps.writeAt = now;
+
+        switch (cfg.scheme) {
+          case RegScheme::Cached:
+            ps.storageReadyAt = backing->noteWrite(now);
+            // The cache write (and the insertion decision, which must
+            // observe the first-stage bypass readers of the write
+            // cycle) happens next cycle, after that cycle's executes.
+            schedule(now + 1, {ps.producerSeq, 0, EvKind::Insert,
+                               inst.dest});
+            break;
+          case RegScheme::Monolithic:
+            ps.storageReadyAt = now + cfg.rfLatency;
+            break;
+          case RegScheme::TwoLevel:
+            twoLevel->onWrite(inst.dest);
+            ps.storageReadyAt = now;
+            break;
+        }
+    }
+
+    if (inst.isBranch())
+        resolveBranch(inst);
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+Processor::checkRetired(const DynInst &inst)
+{
+    if (!golden)
+        return;
+    // The timing core never renames nops (fetch skips them), so the
+    // golden interpreter steps over them silently.
+    while (!golden->halted() && prog.contains(golden->pc()) &&
+           prog.at(golden->pc()).isNop())
+        golden->step();
+    const isa::ExecResult g = golden->step();
+    if (g.pc != inst.pc)
+        panic("checker: retired pc 0x%llx but golden pc 0x%llx "
+              "(seq %llu, %s)",
+              static_cast<unsigned long long>(inst.pc),
+              static_cast<unsigned long long>(g.pc),
+              static_cast<unsigned long long>(inst.seq),
+              isa::disassemble(inst.si).c_str());
+    if (inst.hasDest && g.wroteReg && g.destValue != inst.result)
+        panic("checker: %s @0x%llx produced %llx, golden %llx",
+              isa::disassemble(inst.si).c_str(),
+              static_cast<unsigned long long>(inst.pc),
+              static_cast<unsigned long long>(inst.result),
+              static_cast<unsigned long long>(g.destValue));
+    if (inst.si.isMem() && g.effAddr != inst.effAddr)
+        panic("checker: %s @0x%llx addr %llx, golden %llx",
+              isa::disassemble(inst.si).c_str(),
+              static_cast<unsigned long long>(inst.pc),
+              static_cast<unsigned long long>(inst.effAddr),
+              static_cast<unsigned long long>(g.effAddr));
+    if (inst.isBranch() && g.nextPc != inst.actualNextPc)
+        panic("checker: branch @0x%llx next %llx, golden %llx",
+              static_cast<unsigned long long>(inst.pc),
+              static_cast<unsigned long long>(inst.actualNextPc),
+              static_cast<unsigned long long>(g.nextPc));
+}
+
+void
+Processor::recordLifetimeOnFree(const PregState &p)
+{
+    if (p.writeAt < 0)
+        return; // never written (initial mapping)
+    const Cycle empty = p.writeAt - p.allocAt;
+    const Cycle live =
+        p.lastReadAt > p.writeAt ? p.lastReadAt - p.writeAt : 0;
+    const Cycle last_activity = std::max(p.writeAt, p.lastReadAt);
+    const Cycle dead = now - last_activity;
+    st.emptyTime->sample(static_cast<uint64_t>(std::max<Cycle>(empty, 0)));
+    st.liveTime->sample(static_cast<uint64_t>(live));
+    st.deadTime->sample(static_cast<uint64_t>(std::max<Cycle>(dead, 0)));
+
+    if (cfg.trackLifetimes && live > 0) {
+        const size_t need = static_cast<size_t>(p.lastReadAt) + 2;
+        if (liveDelta.size() < need)
+            liveDelta.resize(need + 1024, 0);
+        ++liveDelta[p.writeAt];
+        --liveDelta[p.lastReadAt + 1];
+    }
+}
+
+void
+Processor::freePhysReg(PhysReg preg)
+{
+    PregState &ps = pregs[preg];
+    if (!ps.allocated)
+        panic("double free of preg %d", int(preg));
+
+    if (rcache)
+        rcache->invalidate(preg, ps.rcSet, now);
+    if (shadow)
+        shadow->invalidate(preg);
+    if (twoLevel)
+        twoLevel->onFree(preg);
+
+    // Train the degree-of-use predictor with the committed consumer
+    // count (wrong-path consumers were deducted at squash).
+    if (ps.producerPc != 0)
+        dou.train(ps.producerPc, ps.producerCtrl, ps.actualUses);
+
+    // Figure 10: committed values that never entered the cache. This
+    // is judged at free time, when any pending cache-write decision
+    // has long resolved.
+    if (cfg.scheme == RegScheme::Cached && ps.producerPc != 0 &&
+        !ps.everCached)
+        ++*st.valuesNeverCached;
+
+    recordLifetimeOnFree(ps);
+
+    ps.allocated = false;
+    ps.doneAt = cycleInf;
+    ps.fillInFlight = false;
+    freeList.push_back(preg);
+    --allocatedPregs;
+}
+
+void
+Processor::trainRetired(const DynInst &inst)
+{
+    const isa::Instruction &si = inst.si;
+    if (si.isCondBranch()) {
+        ++*st.branches;
+        yags.update(inst.pc, inst.ghrBefore, inst.actualTaken);
+    } else if (si.op == isa::Opcode::JALR ||
+               (si.op == isa::Opcode::JR && si.rs1 != 1)) {
+        ++*st.branches;
+        ipred.update(inst.pc, inst.pathBefore, inst.actualNextPc);
+    } else if (si.isBranch()) {
+        ++*st.branches;
+    }
+}
+
+void
+Processor::doRetire()
+{
+    unsigned retired = 0;
+    unsigned stores = 0;
+    while (retired < cfg.retireWidth && !rob.empty()) {
+        DynInst &head = rob.front();
+        if (!head.completed)
+            break;
+
+        if (head.isStore) {
+            if (stores >= cfg.maxRetireStores)
+                break;
+            if (!storeBuf.canAccept(head.effAddr))
+                break;
+            memImage.write(head.effAddr, head.si.info().memSize,
+                           head.storeData);
+            storeBuf.push(head.effAddr, now);
+            ++stores;
+            if (!storeQueue.empty() &&
+                storeQueue.front()->seq == head.seq)
+                storeQueue.pop_front();
+            // Wake loads stalled on this store's partial overlap.
+            for (DynInst *l : loadQueue) {
+                if (l->waitingOnStore == head.seq) {
+                    l->waitingOnStore = 0;
+                    ++l->issueGen;
+                    schedule(now + 1, {l->seq, l->issueGen,
+                                       EvKind::ExecStart,
+                                       invalidPhysReg});
+                }
+            }
+        }
+        if (head.isLoad && !loadQueue.empty() &&
+            loadQueue.front()->seq == head.seq)
+            loadQueue.pop_front();
+
+        checkRetired(head);
+        trainRetired(head);
+
+        if (head.hasDest) {
+            ++*st.valuesProduced;
+            if (idxAlloc)
+                idxAlloc->release(head.rcSet, head.predUses);
+            if (head.prevDest > 0)
+                freePhysReg(head.prevDest);
+        }
+
+        ++*st.retired;
+        ++numRetired;
+        lastRetireCycle = now;
+        ++retired;
+
+        const bool was_halt = head.isHalt();
+        bySeq.erase(head.seq);
+        rob.pop_front();
+
+        if (was_halt || (cfg.maxInsts && numRetired >= cfg.maxInsts)) {
+            simDone = true;
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash / recovery
+// ---------------------------------------------------------------------
+
+void
+Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
+                       const DynInst &restore_from, bool reapply_own_ras)
+{
+    // Snapshot restore metadata first: restore_from may live in the
+    // squashed region (memory-order violations refetch the load).
+    const uint64_t r_ghr = restore_from.ghrBefore;
+    const uint64_t r_path = restore_from.pathBefore;
+    const auto r_ras = restore_from.rasCp;
+    const isa::Instruction r_si = restore_from.si;
+    const Addr r_pc = restore_from.pc;
+    const bool r_taken = restore_from.actualTaken;
+    const Addr r_target = restore_from.actualNextPc;
+    const uint32_t r_oracle = restore_from.oracleIdx;
+
+    while (!rob.empty() && rob.back().seq > keep_seq) {
+        DynInst &inst = rob.back();
+
+        if (inst.hasDest) {
+            mapTable[inst.archDest] = inst.prevDest;
+            if (idxAlloc)
+                idxAlloc->release(inst.rcSet, inst.predUses);
+            if (rcache)
+                rcache->invalidate(inst.dest, inst.rcSet, now);
+            if (shadow)
+                shadow->invalidate(inst.dest);
+            if (twoLevel) {
+                twoLevel->onSquash(inst.dest);
+                if (inst.prevDest > 0)
+                    twoLevel->onArchReassignCancelled(inst.prevDest);
+            }
+            PregState &ps = pregs[inst.dest];
+            ps.allocated = false;
+            ps.doneAt = cycleInf;
+            ps.fillInFlight = false;
+            freeList.push_back(inst.dest);
+            --allocatedPregs;
+        }
+
+        for (unsigned k = 0; k < inst.numSrcs; ++k) {
+            const PhysReg p = inst.srcPreg[k];
+            if (p < 0)
+                continue;
+            if (pregs[p].actualUses > 0)
+                --pregs[p].actualUses;
+            if (twoLevel && !inst.srcConsumed[k])
+                twoLevel->onConsumerDone(p);
+        }
+
+        if (inst.isLoad && !loadQueue.empty() &&
+            loadQueue.back()->seq == inst.seq)
+            loadQueue.pop_back();
+        if (inst.isStore && !storeQueue.empty() &&
+            storeQueue.back()->seq == inst.seq)
+            storeQueue.pop_back();
+
+        bySeq.erase(inst.seq);
+        rob.pop_back();
+    }
+
+    std::erase_if(issueQueue, [keep_seq](const DynInst *i) {
+        return i->seq > keep_seq;
+    });
+    frontQ.clear();
+
+    // Front-end state recovery.
+    ghr = r_ghr;
+    pathHist = r_path;
+    ras.restore(r_ras);
+    if (reapply_own_ras) {
+        if (r_si.isCondBranch()) {
+            ghr = (ghr << 1) | (r_taken ? 1 : 0);
+        } else if (r_si.op == isa::Opcode::JAL) {
+            ras.push(r_pc + isa::instBytes);
+        } else if (r_si.op == isa::Opcode::JALR) {
+            pathHist = (pathHist << 3) ^ (r_target >> 2);
+            ras.push(r_pc + isa::instBytes);
+        } else if (r_si.op == isa::Opcode::JR) {
+            if (r_si.rs1 == 1)
+                ras.pop();
+            else
+                pathHist = (pathHist << 3) ^ (r_target >> 2);
+        }
+    }
+
+    fetchPc = new_fetch_pc;
+    fetchStallUntil = now + 1;
+    fetchHalted = false;
+    if (cfg.perfectBranchPrediction) {
+        // Rewind the oracle trace to the squash point; a surviving
+        // branch keeps its consumed entry.
+        oracleCursor = r_oracle;
+        if (reapply_own_ras && r_si.isBranch())
+            ++oracleCursor;
+    }
+
+    // Two-level register file recovery: restored mappings whose
+    // values migrated to L2 must be copied back (Section 5.5).
+    if (twoLevel) {
+        std::vector<PhysReg> mapped;
+        std::vector<PhysReg> displaced;
+        for (unsigned a = 1; a < isa::numArchRegs; ++a) {
+            const PhysReg p = mapTable[a];
+            mapped.push_back(p);
+            if (pregs[p].allocated && !twoLevel->inL1(p))
+                displaced.push_back(p);
+        }
+        const Cycle done = twoLevel->recover(mapped, now);
+        if (!displaced.empty()) {
+            renameStallUntil = std::max(renameStallUntil, done);
+            for (PhysReg p : displaced)
+                pregs[p].doneAt = std::max(pregs[p].doneAt, done);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+const stats::Distribution &
+Processor::allocatedDistribution() const
+{
+    return allocatedDist;
+}
+
+const stats::Distribution &
+Processor::liveDistribution() const
+{
+    if (!liveDistBuilt) {
+        // Fold in pregs still allocated at the end of simulation.
+        int64_t running = 0;
+        for (size_t c = 0; c < liveDelta.size(); ++c) {
+            running += liveDelta[c];
+            if (running < 0)
+                running = 0;
+            liveDist.sample(static_cast<uint64_t>(running));
+        }
+        liveDistBuilt = true;
+    }
+    return liveDist;
+}
+
+SimResult
+Processor::result() const
+{
+    SimResult r;
+    r.cycles = st.cyclesStat->value();
+    r.instsRetired = st.retired->value();
+    r.ipc = r.cycles ? static_cast<double>(r.instsRetired) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+
+    r.opBypass = st.opBypass->value();
+    r.opCache = st.opCache->value();
+    r.opFile = st.opFile->value();
+    const uint64_t ops = r.operandReads();
+    r.bypassFraction =
+        ops ? static_cast<double>(r.opBypass) / static_cast<double>(ops)
+            : 0.0;
+
+    r.rcMisses = st.rcMisses->value();
+    r.rcMissNoWrite = st.missNoWrite->value();
+    r.rcMissConflict = st.missConflict->value();
+    r.rcMissCapacity = st.missCapacity->value();
+    r.missPerOperand =
+        ops ? static_cast<double>(r.rcMisses) / static_cast<double>(ops)
+            : 0.0;
+
+    r.valuesProduced = st.valuesProduced->value();
+    r.writesFiltered = st.writesFiltered->value();
+    r.valuesNeverCached = st.valuesNeverCached->value();
+    r.miniReplays = st.miniReplays->value();
+    r.issueGroupSquashes = st.groupSquashes->value();
+    r.branchMispredicts = st.branchMispredicts->value();
+    r.memOrderViolations = st.memViolations->value();
+
+    const uint64_t branches = st.branches->value();
+    r.branchMispredictRate =
+        branches ? static_cast<double>(r.branchMispredicts) /
+                       static_cast<double>(branches)
+                 : 0.0;
+    r.douAccuracy = dou.accuracy();
+
+    if (rcache) {
+        r.rcInserts = statGroup.scalar("rc_inserts").value();
+        r.rcFills = statGroup.scalar("rc_fills").value();
+        r.avgOccupancy = st.rcOccupancy->value();
+        r.avgEntryLifetime =
+            statGroup.mean("rc_entry_lifetime").value();
+        r.readsPerCachedValue =
+            statGroup.mean("rc_reads_per_entry").value();
+        r.cachedTotal = r.rcInserts + r.rcFills;
+        const uint64_t never =
+            statGroup.scalar("rc_entries_never_read").value();
+        r.cachedNeverRead = never;
+        r.cacheCountPerValue =
+            r.valuesProduced
+                ? static_cast<double>(r.cachedTotal) /
+                      static_cast<double>(r.valuesProduced)
+                : 0.0;
+        r.zeroUseVictimFraction = rcache->zeroUseVictimFraction();
+
+        r.cacheReadBw = r.cycles ? static_cast<double>(ops) /
+                                       static_cast<double>(r.cycles)
+                                 : 0.0;
+        r.cacheWriteBw =
+            r.cycles ? static_cast<double>(r.cachedTotal) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+        r.fileReadBw =
+            r.cycles
+                ? static_cast<double>(
+                      statGroup.scalar("backing_reads").value()) /
+                      static_cast<double>(r.cycles)
+                : 0.0;
+        r.fileWriteBw =
+            r.cycles
+                ? static_cast<double>(
+                      statGroup.scalar("backing_writes").value()) /
+                      static_cast<double>(r.cycles)
+                : 0.0;
+    }
+
+    r.medianEmptyTime = st.emptyTime->median();
+    r.medianLiveTime = st.liveTime->median();
+    r.medianDeadTime = st.deadTime->median();
+
+    if (cfg.trackLifetimes) {
+        r.allocatedP50 = allocatedDist.percentile(0.5);
+        r.allocatedP90 = allocatedDist.percentile(0.9);
+        const auto &live = liveDistribution();
+        r.liveP50 = live.percentile(0.5);
+        r.liveP90 = live.percentile(0.9);
+    }
+    return r;
+}
+
+} // namespace ubrc::core

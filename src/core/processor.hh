@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The out-of-order processor timing model.
+ *
+ * An execution-driven, cycle-level model of the machine in Table 1:
+ * 8-wide fetch/issue/retire, 128-entry issue queue, 512-entry ROB and
+ * physical register file, full wrong-path execution with walk-back
+ * rename recovery, speculative scheduling with replay, a load/store
+ * queue with forwarding and violation detection, and one of three
+ * register storage organizations (monolithic multi-cycle file,
+ * register cache + backing file, or a two-level register file).
+ *
+ * Every retired instruction is optionally checked against a golden
+ * architectural interpreter running in lockstep.
+ */
+
+#ifndef UBRC_CORE_PROCESSOR_HH
+#define UBRC_CORE_PROCESSOR_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sparse_memory.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "frontend/branch_predictor.hh"
+#include "isa/functional_core.hh"
+#include "mem/hierarchy.hh"
+#include "regcache/dou_predictor.hh"
+#include "regcache/index_allocator.hh"
+#include "regcache/register_cache.hh"
+#include "regfile/backing_file.hh"
+#include "regfile/two_level.hh"
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+namespace ubrc::core
+{
+
+/** Derived metrics of a finished simulation (see bench/). */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t instsRetired = 0;
+    double ipc = 0;
+
+    // Operand sourcing (Figure 9 / bypass fraction).
+    uint64_t opBypass = 0, opCache = 0, opFile = 0;
+    uint64_t operandReads() const { return opBypass + opCache + opFile; }
+    double bypassFraction = 0;
+
+    // Register cache behaviour (Figures 8 and 10, Table 2).
+    uint64_t rcMisses = 0;
+    uint64_t rcMissNoWrite = 0, rcMissConflict = 0, rcMissCapacity = 0;
+    double missPerOperand = 0;
+    uint64_t rcInserts = 0, rcFills = 0;
+    uint64_t valuesProduced = 0;   ///< retired dest-writing insts
+    uint64_t writesFiltered = 0;
+    uint64_t valuesNeverCached = 0;
+    uint64_t cachedNeverRead = 0, cachedTotal = 0;
+    double avgOccupancy = 0;
+    double avgEntryLifetime = 0;
+    double readsPerCachedValue = 0;
+    double cacheCountPerValue = 0;
+    double zeroUseVictimFraction = 0;
+
+    // Bandwidths, accesses per cycle (Figure 9).
+    double cacheReadBw = 0, cacheWriteBw = 0;
+    double fileReadBw = 0, fileWriteBw = 0;
+
+    // Predictors.
+    double douAccuracy = 0;
+    double branchMispredictRate = 0;
+
+    // Register lifetime phases, median cycles (Figure 1), and
+    // occupancy percentiles (Figure 2). Valid when trackLifetimes.
+    uint64_t medianEmptyTime = 0, medianLiveTime = 0, medianDeadTime = 0;
+    uint64_t allocatedP50 = 0, allocatedP90 = 0;
+    uint64_t liveP50 = 0, liveP90 = 0;
+
+    // Replay machinery.
+    uint64_t miniReplays = 0, issueGroupSquashes = 0;
+    uint64_t branchMispredicts = 0, memOrderViolations = 0;
+};
+
+/** The processor. One instance simulates one workload to completion. */
+class Processor
+{
+  public:
+    Processor(const sim::SimConfig &config,
+              const workload::Workload &workload);
+    ~Processor();
+
+    /** Run to HALT (or the configured limits). */
+    void run();
+
+    /** Advance one cycle (exposed for tests). */
+    void tick();
+
+    bool finished() const { return simDone; }
+    Cycle cycle() const { return now; }
+    uint64_t retiredCount() const { return numRetired; }
+
+    /** Derived metrics; valid once finished (or any time mid-run). */
+    SimResult result() const;
+
+    /** Raw statistics dump. */
+    std::string statsDump() const { return statGroup.dump(); }
+
+    const stats::StatGroup &statsGroup() const { return statGroup; }
+
+    /** Full cycle-by-cycle occupancy distributions (Figure 2). */
+    const stats::Distribution &allocatedDistribution() const;
+    const stats::Distribution &liveDistribution() const;
+
+  private:
+    // --- static configuration ---
+    static constexpr Cycle cycleInf = INT64_MAX / 4;
+    static constexpr unsigned eventRingSize = 8192;
+
+    struct FrontEndSlot
+    {
+        Addr pc;
+        isa::Instruction si;
+        Cycle renameReadyAt;
+        uint64_t ghrBefore, pathBefore;
+        frontend::ReturnAddressStack::Checkpoint rasCp;
+        bool predTaken;
+        Addr predNextPc;
+        uint32_t oracleIdx;
+    };
+
+    enum class EvKind : uint8_t { ExecStart, Complete, Fill, Insert };
+
+    struct Event
+    {
+        InstSeqNum seq;
+        uint32_t gen;
+        EvKind kind;
+        PhysReg fillPreg; ///< for Fill events
+    };
+
+    /** Per-physical-register bookkeeping. */
+    struct PregState
+    {
+        Cycle doneAt = 0;          ///< cycle execution finishes
+        Cycle storageReadyAt = 0;  ///< backing/monolithic write done
+        uint64_t value = 0;
+        /** Renamed, not-yet-finished consumers (retimed on changes). */
+        std::vector<InstSeqNum> consumers;
+
+        // Use-based management (Section 3).
+        uint8_t predUses = 0;
+        bool pinned = false;
+        int32_t remUses = 0;       ///< pre-insertion remaining uses
+        uint32_t actualUses = 0;   ///< committed-consumer count
+        uint32_t stage1Bypasses = 0;
+        bool everCached = false;
+        bool insertedNow = false;  ///< currently believed in cache
+        uint16_t rcSet = 0;
+        bool fillInFlight = false;
+
+        // Producer identity for predictor training.
+        Addr producerPc = 0;
+        uint64_t producerCtrl = 0;
+        InstSeqNum producerSeq = 0;
+
+        // Lifetime instrumentation (Figure 1).
+        Cycle allocAt = 0;
+        Cycle writeAt = -1;
+        Cycle lastReadAt = -1;
+        bool allocated = false;
+    };
+
+    // --- pipeline stages (called in tick order) ---
+    void processEvents();
+    void doRetire();
+    void doIssue();
+    void doRename();
+    void doFetch();
+    void sampleCycleStats();
+
+    // --- event handlers ---
+    void onExecStart(DynInst &inst);
+    void onComplete(DynInst &inst);
+    void onFill(PhysReg preg);
+    void onInsertDecision(PhysReg preg, InstSeqNum producer_seq);
+
+    // --- helpers ---
+    DynInst *findInst(InstSeqNum seq);
+    void schedule(Cycle when, Event ev);
+    Cycle latencyOf(const DynInst &inst) const;
+    unsigned fuClassOf(const isa::Instruction &si) const;
+    void recomputeReadiness(DynInst &inst, Cycle floor_cycle);
+    void retimeConsumers(PhysReg preg);
+    void returnToReady(DynInst &inst, Cycle earliest);
+    void miniReplay(DynInst &inst);
+    bool operandTimely(const DynInst &inst, Cycle exec_start) const;
+    void acquireOperands(DynInst &inst, Cycle exec_start,
+                         std::vector<PhysReg> &misses);
+    void handleCacheMisses(DynInst &inst, Cycle exec_start,
+                           const std::vector<PhysReg> &misses);
+    void squashIssueGroup(Cycle issue_cycle, InstSeqNum except);
+    void executeBody(DynInst &inst, Cycle exec_start);
+    bool executeLoad(DynInst &inst, Cycle exec_start);
+    void executeStore(DynInst &inst, Cycle exec_start);
+    void resolveBranch(DynInst &inst);
+    void squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
+                     const DynInst &restore_from, bool reapply_own_ras);
+    void freePhysReg(PhysReg preg);
+    void trainRetired(const DynInst &inst);
+    void checkRetired(const DynInst &inst);
+    void insertIntoIQ(DynInst &inst);
+    void recordLifetimeOnFree(const PregState &p);
+    std::optional<Addr> predictControl(const isa::Instruction &si,
+                                       Addr pc, FrontEndSlot &slot);
+
+    // --- configuration and workload ---
+    sim::SimConfig cfg;
+    workload::Workload work;
+    isa::Program prog;
+
+    // --- memory and golden model ---
+    SparseMemory memImage;
+    SparseMemory goldenMem;
+    std::unique_ptr<isa::FunctionalCore> golden;
+
+    // --- components ---
+    mutable stats::StatGroup statGroup;
+    mem::MemoryHierarchy hier;
+    mem::StoreBuffer storeBuf;
+    frontend::YagsPredictor yags;
+    frontend::ReturnAddressStack ras;
+    frontend::CascadingIndirectPredictor ipred;
+    regcache::DegreeOfUsePredictor dou;
+    std::unique_ptr<regcache::RegisterCache> rcache;
+    std::unique_ptr<regcache::ShadowFullyAssocCache> shadow;
+    std::unique_ptr<regcache::IndexAllocator> idxAlloc;
+    std::unique_ptr<regfile::BackingFile> backing;
+    std::unique_ptr<regfile::TwoLevelFile> twoLevel;
+
+    // --- machine state ---
+    Cycle now = 0;
+    InstSeqNum nextSeq = 1;
+    bool simDone = false;
+    uint64_t numRetired = 0;
+
+    // fetch
+    Addr fetchPc;
+    bool fetchHalted = false;
+    Cycle fetchStallUntil = 0;
+    uint64_t ghr = 0;
+    uint64_t pathHist = 0;
+    std::deque<FrontEndSlot> frontQ;
+
+    /** Oracle branch outcomes (perfectBranchPrediction mode). */
+    struct OracleOutcome
+    {
+        Addr nextPc;
+        bool taken;
+    };
+    std::vector<OracleOutcome> oracleTrace;
+    size_t oracleCursor = 0;
+
+    // rename
+    std::array<PhysReg, isa::numArchRegs> mapTable;
+    std::vector<PhysReg> freeList;
+    Cycle renameStallUntil = 0;
+    unsigned allocatedPregs = 0;
+
+    // windows
+    std::deque<DynInst> rob;
+    std::unordered_map<InstSeqNum, DynInst *> bySeq;
+    std::vector<DynInst *> issueQueue;   // seq-sorted
+    std::deque<DynInst *> loadQueue;     // program order
+    std::deque<DynInst *> storeQueue;    // program order
+
+    // events
+    std::vector<std::vector<Event>> eventRing;
+
+    // physical registers
+    std::vector<PregState> pregs;
+
+    // retirement watchdog
+    Cycle lastRetireCycle = 0;
+
+    // lifetime instrumentation (Figure 1 / 2)
+    std::vector<int32_t> liveDelta;
+    stats::Distribution allocatedDist;
+    mutable stats::Distribution liveDist;
+    mutable bool liveDistBuilt = false;
+
+    // cached stat handles
+    struct
+    {
+        stats::Scalar *retired, *cyclesStat;
+        stats::Scalar *opBypass, *opCache, *opFile;
+        stats::Scalar *rcMisses, *missNoWrite, *missConflict,
+            *missCapacity;
+        stats::Scalar *writesFiltered, *valuesProduced,
+            *valuesNeverCached;
+        stats::Scalar *miniReplays, *groupSquashes;
+        stats::Scalar *branches, *branchMispredicts, *memViolations;
+        stats::Scalar *fetchBlocks, *renameStallsRegs,
+            *renameStallsRob, *renameStallsIq;
+        stats::Mean *rcOccupancy;
+        stats::Distribution *emptyTime, *liveTime, *deadTime;
+    } st;
+};
+
+} // namespace ubrc::core
+
+#endif // UBRC_CORE_PROCESSOR_HH

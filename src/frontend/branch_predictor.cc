@@ -1,0 +1,160 @@
+#include "frontend/branch_predictor.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "isa/instruction.hh"
+
+namespace ubrc::frontend
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+uint8_t
+updateCounter(uint8_t ctr, bool taken)
+{
+    if (taken)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+} // namespace
+
+YagsPredictor::YagsPredictor(const YagsConfig &config)
+    : cfg(config),
+      choice(cfg.choiceEntries, 1),
+      takenCache(cfg.cacheEntries),
+      ntCache(cfg.cacheEntries)
+{
+    if (!isPowerOfTwo(cfg.choiceEntries) || !isPowerOfTwo(cfg.cacheEntries))
+        fatal("YAGS table sizes must be powers of two");
+}
+
+unsigned
+YagsPredictor::choiceIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc / isa::instBytes) &
+                                 (cfg.choiceEntries - 1));
+}
+
+unsigned
+YagsPredictor::cacheIndex(Addr pc, uint64_t ghist) const
+{
+    const uint64_t hist = ghist & ((1ULL << cfg.historyBits) - 1);
+    return static_cast<unsigned>(((pc / isa::instBytes) ^ hist) &
+                                 (cfg.cacheEntries - 1));
+}
+
+uint8_t
+YagsPredictor::tagOf(Addr pc) const
+{
+    return static_cast<uint8_t>((pc / isa::instBytes) &
+                                ((1u << cfg.tagBits) - 1));
+}
+
+bool
+YagsPredictor::predict(Addr pc, uint64_t ghist) const
+{
+    const bool choice_taken = choice[choiceIndex(pc)] >= 2;
+    const unsigned idx = cacheIndex(pc, ghist);
+    const uint8_t tag = tagOf(pc);
+    // Consult the cache that stores exceptions to the choice
+    // direction.
+    const CacheEntry &e = choice_taken ? ntCache[idx] : takenCache[idx];
+    if (e.valid && e.tag == tag)
+        return e.counter >= 2;
+    return choice_taken;
+}
+
+void
+YagsPredictor::update(Addr pc, uint64_t ghist, bool taken)
+{
+    const unsigned cidx = choiceIndex(pc);
+    const bool choice_taken = choice[cidx] >= 2;
+    const unsigned idx = cacheIndex(pc, ghist);
+    const uint8_t tag = tagOf(pc);
+    CacheEntry &e = choice_taken ? ntCache[idx] : takenCache[idx];
+
+    const bool cache_hit = e.valid && e.tag == tag;
+    if (cache_hit) {
+        e.counter = updateCounter(e.counter, taken);
+    } else if (taken != choice_taken) {
+        // Allocate an exception entry only when the choice PHT was
+        // wrong -- the cache stores exceptions only.
+        e.valid = true;
+        e.tag = tag;
+        e.counter = taken ? 2 : 1;
+    }
+
+    // The choice PHT is not updated when the exception cache hit and
+    // predicted correctly while the choice direction disagreed; this
+    // preserves the bias entry (standard YAGS rule).
+    const bool cache_correct =
+        cache_hit && ((e.counter >= 2) == taken);
+    if (!(cache_correct && taken != choice_taken))
+        choice[cidx] = updateCounter(choice[cidx], taken);
+}
+
+uint64_t
+YagsPredictor::storageBits() const
+{
+    const uint64_t choice_bits = uint64_t(cfg.choiceEntries) * 2;
+    const uint64_t entry_bits = 2 + cfg.tagBits + 1;
+    return choice_bits + 2ULL * cfg.cacheEntries * entry_bits;
+}
+
+CascadingIndirectPredictor::CascadingIndirectPredictor(const Config &config)
+    : cfg(config), l1(cfg.l1Entries, 0), l2(cfg.l2Entries)
+{
+    if (!isPowerOfTwo(cfg.l1Entries) || !isPowerOfTwo(cfg.l2Entries))
+        fatal("indirect predictor table sizes must be powers of two");
+}
+
+unsigned
+CascadingIndirectPredictor::l1Index(Addr pc) const
+{
+    return static_cast<unsigned>((pc / isa::instBytes) &
+                                 (cfg.l1Entries - 1));
+}
+
+unsigned
+CascadingIndirectPredictor::l2Index(Addr pc, uint64_t path_hist) const
+{
+    return static_cast<unsigned>(
+        mixHash((pc / isa::instBytes) ^ (path_hist * 0x9e3779b9u)) &
+        (cfg.l2Entries - 1));
+}
+
+uint16_t
+CascadingIndirectPredictor::tagOf(Addr pc) const
+{
+    return static_cast<uint16_t>((pc / isa::instBytes) &
+                                 ((1u << cfg.tagBits) - 1));
+}
+
+Addr
+CascadingIndirectPredictor::predict(Addr pc, uint64_t path_hist) const
+{
+    const L2Entry &e = l2[l2Index(pc, path_hist)];
+    if (e.valid && e.tag == tagOf(pc))
+        return e.target;
+    return l1[l1Index(pc)];
+}
+
+void
+CascadingIndirectPredictor::update(Addr pc, uint64_t path_hist, Addr target)
+{
+    Addr &first = l1[l1Index(pc)];
+    // Cascade rule: promote to the history-indexed stage when the
+    // simple stage proves insufficient (polymorphic target).
+    if (first != 0 && first != target) {
+        L2Entry &e = l2[l2Index(pc, path_hist)];
+        e.valid = true;
+        e.tag = tagOf(pc);
+        e.target = target;
+    }
+    first = target;
+}
+
+} // namespace ubrc::frontend

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Conditional branch direction prediction: a YAGS predictor
+ * (Eden & Mudge), sized to the paper's 12 KB budget.
+ *
+ * YAGS keeps a bimodal choice PHT plus two small tagged caches that
+ * record only the exceptions to the bimodal behaviour: the T-cache
+ * holds "taken" exceptions for biased-not-taken branches and vice
+ * versa. Tags are checked with the low PC bits so aliased history
+ * entries do not disturb unrelated branches.
+ */
+
+#ifndef UBRC_FRONTEND_BRANCH_PREDICTOR_HH
+#define UBRC_FRONTEND_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ubrc::frontend
+{
+
+/** Configuration for the YAGS predictor (defaults: ~12 KB). */
+struct YagsConfig
+{
+    unsigned choiceEntries = 16384; ///< bimodal choice PHT (2-bit each)
+    unsigned cacheEntries = 4096;   ///< per direction cache
+    unsigned tagBits = 6;
+    unsigned historyBits = 12;
+};
+
+/** A YAGS conditional branch direction predictor. */
+class YagsPredictor
+{
+  public:
+    explicit YagsPredictor(const YagsConfig &config = {});
+
+    /** Predict the direction of the branch at pc under history ghist. */
+    bool predict(Addr pc, uint64_t ghist) const;
+
+    /**
+     * Train with the resolved outcome. Pass the same history the
+     * prediction was made with (the core checkpoints it per branch).
+     */
+    void update(Addr pc, uint64_t ghist, bool taken);
+
+    /** Storage used, in bits (for the Table-1 budget check). */
+    uint64_t storageBits() const;
+
+  private:
+    struct CacheEntry
+    {
+        uint8_t tag = 0;
+        uint8_t counter = 0; // 2-bit
+        bool valid = false;
+    };
+
+    unsigned choiceIndex(Addr pc) const;
+    unsigned cacheIndex(Addr pc, uint64_t ghist) const;
+    uint8_t tagOf(Addr pc) const;
+
+    YagsConfig cfg;
+    std::vector<uint8_t> choice;        // 2-bit counters
+    std::vector<CacheEntry> takenCache; // exceptions for NT-biased
+    std::vector<CacheEntry> ntCache;    // exceptions for T-biased
+};
+
+/**
+ * A fixed-depth return address stack with the standard
+ * checkpoint/repair scheme: the core snapshots {top index, top value}
+ * at every branch and restores both on a squash.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 64)
+        : stack(depth, 0)
+    {}
+
+    /** State to snapshot for recovery. */
+    struct Checkpoint
+    {
+        uint32_t top;
+        Addr topValue;
+    };
+
+    void
+    push(Addr return_addr)
+    {
+        top = (top + 1) % stack.size();
+        stack[top] = return_addr;
+    }
+
+    Addr
+    pop()
+    {
+        const Addr v = stack[top];
+        top = (top + static_cast<uint32_t>(stack.size()) - 1) %
+              stack.size();
+        return v;
+    }
+
+    Addr peek() const { return stack[top]; }
+
+    Checkpoint save() const { return {top, stack[top]}; }
+
+    void
+    restore(const Checkpoint &cp)
+    {
+        top = cp.top;
+        stack[top] = cp.topValue;
+    }
+
+  private:
+    std::vector<Addr> stack;
+    uint32_t top = 0;
+};
+
+/**
+ * A two-stage cascading indirect branch target predictor (Driesen &
+ * Hoelzle style, ~32 KB): a first-stage table indexed by PC and a
+ * tagged second-stage table indexed by PC xor target-path history.
+ * The second stage captures path-correlated targets; the first stage
+ * is the fallback for easy (monomorphic) branches.
+ */
+class CascadingIndirectPredictor
+{
+  public:
+    struct Config
+    {
+        unsigned l1Entries = 1024;
+        unsigned l2Entries = 2048;
+        unsigned tagBits = 8;
+    };
+
+    CascadingIndirectPredictor() : CascadingIndirectPredictor(Config{}) {}
+    explicit CascadingIndirectPredictor(const Config &config);
+
+    /** Predict the target; 0 if no prediction is available. */
+    Addr predict(Addr pc, uint64_t path_hist) const;
+
+    /** Train with the resolved target. */
+    void update(Addr pc, uint64_t path_hist, Addr target);
+
+  private:
+    struct L2Entry
+    {
+        Addr target = 0;
+        uint16_t tag = 0;
+        bool valid = false;
+    };
+
+    unsigned l1Index(Addr pc) const;
+    unsigned l2Index(Addr pc, uint64_t path_hist) const;
+    uint16_t tagOf(Addr pc) const;
+
+    Config cfg;
+    std::vector<Addr> l1;
+    std::vector<L2Entry> l2;
+};
+
+} // namespace ubrc::frontend
+
+#endif // UBRC_FRONTEND_BRANCH_PREDICTOR_HH

@@ -1,0 +1,608 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace ubrc::isa
+{
+
+namespace
+{
+
+/** A tokenized statement: optional label, mnemonic, operand strings. */
+struct Statement
+{
+    int line = 0;
+    std::string label;
+    std::string mnemonic;            // empty for label-only lines
+    std::vector<std::string> operands;
+};
+
+[[noreturn]] void
+err(int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "line " << line << ": " << msg;
+    throw AssemblerError(os.str());
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Split an operand list on commas, respecting character literals. */
+std::vector<std::string>
+splitOperands(const std::string &s, int line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_char = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '\'' )
+            in_char = !in_char;
+        if (c == ',' && !in_char) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (in_char)
+        err(line, "unterminated character literal");
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    for (const auto &op : out)
+        if (op.empty())
+            err(line, "empty operand");
+    return out;
+}
+
+std::vector<Statement>
+tokenize(const std::string &source)
+{
+    std::vector<Statement> stmts;
+    std::istringstream in(source);
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        // Strip comments (';' or '#'), respecting character literals.
+        std::string text;
+        bool in_char = false;
+        for (char c : raw) {
+            if (c == '\'')
+                in_char = !in_char;
+            if ((c == ';' || c == '#') && !in_char)
+                break;
+            text += c;
+        }
+        text = trim(text);
+        if (text.empty())
+            continue;
+
+        Statement st;
+        st.line = line;
+
+        // Optional leading label.
+        size_t colon = text.find(':');
+        if (colon != std::string::npos) {
+            std::string maybe_label = trim(text.substr(0, colon));
+            bool valid = !maybe_label.empty();
+            for (char c : maybe_label)
+                if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '.'))
+                    valid = false;
+            if (valid) {
+                st.label = maybe_label;
+                text = trim(text.substr(colon + 1));
+            }
+        }
+
+        if (!text.empty()) {
+            size_t sp = text.find_first_of(" \t");
+            if (sp == std::string::npos) {
+                st.mnemonic = lower(text);
+            } else {
+                st.mnemonic = lower(trim(text.substr(0, sp)));
+                st.operands = splitOperands(trim(text.substr(sp)), line);
+            }
+        }
+        if (!st.label.empty() || !st.mnemonic.empty())
+            stmts.push_back(std::move(st));
+    }
+    return stmts;
+}
+
+const std::map<std::string, int> &
+registerAliases()
+{
+    static const std::map<std::string, int> aliases = [] {
+        std::map<std::string, int> m;
+        for (int i = 0; i < numArchRegs; ++i)
+            m["r" + std::to_string(i)] = i;
+        m["zero"] = 0;
+        m["ra"] = 1;
+        m["sp"] = 2;
+        m["fp"] = 3;
+        m["gp"] = 4;
+        for (int i = 0; i < 8; ++i)
+            m["t" + std::to_string(i)] = 5 + i;
+        for (int i = 0; i < 10; ++i)
+            m["s" + std::to_string(i)] = 13 + i;
+        for (int i = 0; i < 8; ++i)
+            m["a" + std::to_string(i)] = 23 + i;
+        m["at"] = 31;
+        return m;
+    }();
+    return aliases;
+}
+
+const std::map<std::string, Opcode> &
+mnemonicTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> m;
+        for (size_t i = 0; i < static_cast<size_t>(Opcode::NUM_OPCODES);
+             ++i) {
+            const auto op = static_cast<Opcode>(i);
+            m[opInfo(op).mnemonic] = op;
+        }
+        return m;
+    }();
+    return table;
+}
+
+/** Pass-1/2 assembler state. */
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, Addr code_base)
+        : stmts(tokenize(source))
+    {
+        prog.codeBase = code_base;
+        prog.entry = code_base;
+        runPass(1);
+        runPass(2);
+        if (!entryLabel.empty())
+            prog.entry = lookupLabel(entryLabel, entryLine);
+    }
+
+    Program take() { return std::move(prog); }
+
+  private:
+    enum class Section { Code, Data };
+
+    void
+    runPass(int pass_num)
+    {
+        pass = pass_num;
+        section = Section::Code;
+        codeCursor = 0;
+        dataCursor = 0;
+        dataSegIdx = 0;
+        for (const auto &st : stmts)
+            doStatement(st);
+        if (pass == 1 && !prog.symbols.count("__end"))
+            prog.symbols["__end"] =
+                prog.codeBase + codeCursor * instBytes;
+    }
+
+    void
+    doStatement(const Statement &st)
+    {
+        if (!st.label.empty())
+            defineLabel(st.label, st.line);
+        if (st.mnemonic.empty())
+            return;
+        if (st.mnemonic[0] == '.')
+            doDirective(st);
+        else
+            doInstruction(st);
+    }
+
+    Addr
+    here() const
+    {
+        return section == Section::Code
+                   ? prog.codeBase + codeCursor * instBytes
+                   : dataCursor;
+    }
+
+    void
+    defineLabel(const std::string &name, int line)
+    {
+        if (pass == 1) {
+            if (prog.symbols.count(name))
+                err(line, "duplicate label '" + name + "'");
+            prog.symbols[name] = here();
+        }
+    }
+
+    Addr
+    lookupLabel(const std::string &name, int line) const
+    {
+        auto it = prog.symbols.find(name);
+        if (it == prog.symbols.end())
+            err(line, "undefined label '" + name + "'");
+        return it->second;
+    }
+
+    void
+    doDirective(const Statement &st)
+    {
+        const std::string &d = st.mnemonic;
+        const int line = st.line;
+        if (d == ".code") {
+            section = Section::Code;
+            if (!st.operands.empty())
+                err(line, ".code does not take a relocation operand");
+        } else if (d == ".data") {
+            if (st.operands.size() != 1)
+                err(line, ".data requires an address operand");
+            section = Section::Data;
+            dataCursor = static_cast<Addr>(
+                parseImmediate(st.operands[0], line));
+            startDataSegment();
+        } else if (d == ".word64" || d == ".word32" || d == ".byte") {
+            const unsigned size =
+                d == ".word64" ? 8 : (d == ".word32" ? 4 : 1);
+            requireData(line, d);
+            for (const auto &op : st.operands)
+                emitData(parseImmediate(op, line), size);
+            if (st.operands.empty())
+                err(line, d + " requires at least one value");
+        } else if (d == ".space") {
+            requireData(line, d);
+            if (st.operands.size() != 1)
+                err(line, ".space requires a size operand");
+            int64_t n = parseImmediate(st.operands[0], line);
+            if (n < 0)
+                err(line, ".space size must be non-negative");
+            for (int64_t i = 0; i < n; ++i)
+                emitData(0, 1);
+        } else if (d == ".align") {
+            requireData(line, d);
+            if (st.operands.size() != 1)
+                err(line, ".align requires an alignment operand");
+            int64_t a = parseImmediate(st.operands[0], line);
+            if (a <= 0 || (a & (a - 1)))
+                err(line, ".align requires a power of two");
+            while (dataCursor % static_cast<Addr>(a))
+                emitData(0, 1);
+        } else if (d == ".entry") {
+            if (st.operands.size() != 1)
+                err(line, ".entry requires a label operand");
+            entryLabel = st.operands[0];
+            entryLine = line;
+        } else {
+            err(line, "unknown directive '" + d + "'");
+        }
+    }
+
+    void
+    requireData(int line, const std::string &d) const
+    {
+        if (section != Section::Data)
+            err(line, d + " outside a .data section");
+    }
+
+    void
+    startDataSegment()
+    {
+        if (pass == 2) {
+            prog.data.push_back({dataCursor, {}});
+            dataSegIdx = prog.data.size() - 1;
+        }
+    }
+
+    void
+    emitData(int64_t value, unsigned size)
+    {
+        if (pass == 2) {
+            auto &seg = prog.data[dataSegIdx].bytes;
+            for (unsigned i = 0; i < size; ++i)
+                seg.push_back(static_cast<uint8_t>(
+                    static_cast<uint64_t>(value) >> (8 * i)));
+        }
+        dataCursor += size;
+    }
+
+    ArchReg
+    parseReg(const std::string &s, int line) const
+    {
+        int r = parseRegister(lower(s));
+        if (r < 0)
+            err(line, "bad register '" + s + "'");
+        return static_cast<ArchReg>(r);
+    }
+
+    int64_t
+    parseImmediate(const std::string &s, int line) const
+    {
+        // label[+/-offset], 'c', hex, or decimal.
+        if (s.size() >= 3 && s.front() == '\'') {
+            if (s.size() != 3 || s.back() != '\'')
+                err(line, "bad character literal " + s);
+            return static_cast<unsigned char>(s[1]);
+        }
+        // Leading alpha/underscore/dot => label expression.
+        if (std::isalpha(static_cast<unsigned char>(s[0])) ||
+            s[0] == '_' || s[0] == '.') {
+            size_t op_pos = s.find_first_of("+-", 1);
+            std::string label = trim(
+                op_pos == std::string::npos ? s : s.substr(0, op_pos));
+            int64_t base = 0;
+            if (pass == 2 || prog.symbols.count(label))
+                base = static_cast<int64_t>(lookupLabelPass(label, line));
+            if (op_pos == std::string::npos)
+                return base;
+            int64_t off = parseNumber(trim(s.substr(op_pos + 1)), line);
+            return s[op_pos] == '+' ? base + off : base - off;
+        }
+        return parseNumber(s, line);
+    }
+
+    /**
+     * In pass 1, forward label references resolve to 0 (only sizes
+     * matter); in pass 2 everything must be defined.
+     */
+    Addr
+    lookupLabelPass(const std::string &name, int line) const
+    {
+        auto it = prog.symbols.find(name);
+        if (it != prog.symbols.end())
+            return it->second;
+        if (pass == 1)
+            return 0;
+        err(line, "undefined label '" + name + "'");
+    }
+
+    int64_t
+    parseNumber(const std::string &s, int line) const
+    {
+        if (s.empty())
+            err(line, "empty number");
+        errno = 0;
+        char *end = nullptr;
+        long long v = std::strtoll(s.c_str(), &end, 0);
+        if (errno == ERANGE && s[0] != '-') {
+            // Large unsigned constants (e.g. 0xffff...) wrap to the
+            // same 64-bit pattern.
+            errno = 0;
+            unsigned long long uv = std::strtoull(s.c_str(), &end, 0);
+            if (errno == 0 && end != s.c_str() && *end == '\0')
+                return static_cast<int64_t>(uv);
+            err(line, "number out of range '" + s + "'");
+        }
+        if (errno != 0 || end == s.c_str() || *end != '\0')
+            err(line, "bad number '" + s + "'");
+        return v;
+    }
+
+    void
+    emitInst(Instruction inst)
+    {
+        if (pass == 2)
+            prog.code.push_back(inst);
+        ++codeCursor;
+    }
+
+    void
+    expectOperands(const Statement &st, size_t n) const
+    {
+        if (st.operands.size() != n) {
+            std::ostringstream os;
+            os << "'" << st.mnemonic << "' expects " << n
+               << " operand(s), got " << st.operands.size();
+            err(st.line, os.str());
+        }
+    }
+
+    void
+    doInstruction(const Statement &st)
+    {
+        if (section != Section::Code)
+            err(st.line, "instruction outside .code section");
+        if (tryPseudo(st))
+            return;
+
+        auto it = mnemonicTable().find(st.mnemonic);
+        if (it == mnemonicTable().end())
+            err(st.line, "unknown mnemonic '" + st.mnemonic + "'");
+        const Opcode op = it->second;
+        const OpInfo &oi = opInfo(op);
+        Instruction inst;
+        inst.op = op;
+        const int line = st.line;
+
+        if (oi.isLoad) {
+            // ld rd, offset(rs1)  or  ld rd, rs1, offset
+            expectMemOperands(st, inst, true);
+        } else if (oi.isStore) {
+            // sd rs2, offset(rs1)
+            expectMemOperands(st, inst, false);
+        } else if (oi.isCondBranch) {
+            expectOperands(st, 3);
+            inst.rs1 = parseReg(st.operands[0], line);
+            inst.rs2 = parseReg(st.operands[1], line);
+            inst.imm = parseImmediate(st.operands[2], line);
+        } else if (op == Opcode::J) {
+            expectOperands(st, 1);
+            inst.imm = parseImmediate(st.operands[0], line);
+        } else if (op == Opcode::JAL) {
+            expectOperands(st, 2);
+            inst.rd = parseReg(st.operands[0], line);
+            inst.imm = parseImmediate(st.operands[1], line);
+        } else if (op == Opcode::JR) {
+            expectOperands(st, 1);
+            inst.rs1 = parseReg(st.operands[0], line);
+        } else if (op == Opcode::JALR) {
+            expectOperands(st, 2);
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+        } else if (op == Opcode::LI) {
+            expectOperands(st, 2);
+            inst.rd = parseReg(st.operands[0], line);
+            inst.imm = parseImmediate(st.operands[1], line);
+        } else if (op == Opcode::NOP || op == Opcode::HALT) {
+            expectOperands(st, 0);
+        } else if (oi.hasImm) {
+            // Register-immediate ALU.
+            expectOperands(st, 3);
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.imm = parseImmediate(st.operands[2], line);
+        } else {
+            // Register-register (2-source) op.
+            expectOperands(st, 3);
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.rs2 = parseReg(st.operands[2], line);
+        }
+        emitInst(inst);
+    }
+
+    /** Parse "rd, offset(base)" or "rd, base, offset" memory forms. */
+    void
+    expectMemOperands(const Statement &st, Instruction &inst, bool is_load)
+    {
+        const int line = st.line;
+        if (st.operands.size() == 3) {
+            // reg, base, offset
+            if (is_load)
+                inst.rd = parseReg(st.operands[0], line);
+            else
+                inst.rs2 = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.imm = parseImmediate(st.operands[2], line);
+            return;
+        }
+        expectOperands(st, 2);
+        if (is_load)
+            inst.rd = parseReg(st.operands[0], line);
+        else
+            inst.rs2 = parseReg(st.operands[0], line);
+        const std::string &mem = st.operands[1];
+        size_t open = mem.find('(');
+        size_t close = mem.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            err(line, "bad memory operand '" + mem + "'");
+        std::string off = trim(mem.substr(0, open));
+        inst.imm = off.empty() ? 0 : parseImmediate(off, line);
+        inst.rs1 =
+            parseReg(trim(mem.substr(open + 1, close - open - 1)), line);
+    }
+
+    /** Expand pseudo-instructions; returns true if handled. */
+    bool
+    tryPseudo(const Statement &st)
+    {
+        const std::string &m = st.mnemonic;
+        const int line = st.line;
+        Instruction inst;
+        if (m == "la") {
+            expectOperands(st, 2);
+            inst.op = Opcode::LI;
+            inst.rd = parseReg(st.operands[0], line);
+            inst.imm = parseImmediate(st.operands[1], line);
+        } else if (m == "mv") {
+            expectOperands(st, 2);
+            inst.op = Opcode::ADDI;
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.imm = 0;
+        } else if (m == "not") {
+            expectOperands(st, 2);
+            inst.op = Opcode::XORI;
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.imm = -1;
+        } else if (m == "neg") {
+            expectOperands(st, 2);
+            inst.op = Opcode::SUB;
+            inst.rd = parseReg(st.operands[0], line);
+            inst.rs1 = 0;
+            inst.rs2 = parseReg(st.operands[1], line);
+        } else if (m == "beqz" || m == "bnez") {
+            expectOperands(st, 2);
+            inst.op = m == "beqz" ? Opcode::BEQ : Opcode::BNE;
+            inst.rs1 = parseReg(st.operands[0], line);
+            inst.rs2 = 0;
+            inst.imm = parseImmediate(st.operands[1], line);
+        } else if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+            expectOperands(st, 3);
+            inst.op = (m == "bgt")    ? Opcode::BLT
+                      : (m == "ble")  ? Opcode::BGE
+                      : (m == "bgtu") ? Opcode::BLTU
+                                      : Opcode::BGEU;
+            // a OP b  becomes  b OP' a
+            inst.rs1 = parseReg(st.operands[1], line);
+            inst.rs2 = parseReg(st.operands[0], line);
+            inst.imm = parseImmediate(st.operands[2], line);
+        } else if (m == "call") {
+            expectOperands(st, 1);
+            inst.op = Opcode::JAL;
+            inst.rd = 1; // ra
+            inst.imm = parseImmediate(st.operands[0], line);
+        } else if (m == "ret") {
+            expectOperands(st, 0);
+            inst.op = Opcode::JR;
+            inst.rs1 = 1; // ra
+        } else {
+            return false;
+        }
+        emitInst(inst);
+        return true;
+    }
+
+    std::vector<Statement> stmts;
+    Program prog;
+    int pass = 1;
+    Section section = Section::Code;
+    size_t codeCursor = 0;
+    Addr dataCursor = 0;
+    size_t dataSegIdx = 0;
+    std::string entryLabel;
+    int entryLine = 0;
+};
+
+} // namespace
+
+int
+parseRegister(const std::string &name)
+{
+    const auto &aliases = registerAliases();
+    auto it = aliases.find(name);
+    return it == aliases.end() ? -1 : it->second;
+}
+
+Program
+assemble(const std::string &source, Addr code_base)
+{
+    Assembler as(source, code_base);
+    return as.take();
+}
+
+} // namespace ubrc::isa

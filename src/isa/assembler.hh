@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-pass assembler for the UBRC mini ISA.
+ *
+ * Source format (one statement per line; ';' or '#' starts a comment):
+ *
+ *     .data 0x10000          ; set the data cursor
+ *     table: .word64 1, 2, 3 ; labelled initialized data
+ *            .space 4096     ; zero-filled reservation
+ *     .code                  ; switch to the code section
+ *     start: li   t0, 100
+ *     loop:  addi t0, t0, -1
+ *            bnez t0, loop
+ *            halt
+ *
+ * Registers may be written r0..r31 or by ABI alias (zero, ra, sp, fp,
+ * gp, t0-t7, s0-s9, a0-a7, at). Immediates accept decimal, hex
+ * (0x...), character literals ('a'), and label[+/-offset] expressions.
+ *
+ * Pseudo-instructions expand to single real instructions:
+ *     la rd, label     -> li rd, <addr>
+ *     mv rd, rs        -> addi rd, rs, 0
+ *     not rd, rs       -> xori rd, rs, -1
+ *     neg rd, rs       -> sub rd, zero, rs
+ *     beqz/bnez rs, t  -> beq/bne rs, zero, t
+ *     bgt/ble/bgtu/bleu a, b, t -> blt/bge with swapped operands
+ *     call label       -> jal ra, label
+ *     ret              -> jr ra
+ */
+
+#ifndef UBRC_ISA_ASSEMBLER_HH
+#define UBRC_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace ubrc::isa
+{
+
+/** Raised on any syntax or semantic error; message includes the line. */
+class AssemblerError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Assemble source text into a program image.
+ *
+ * @param source Assembly text.
+ * @param code_base Address of the first instruction.
+ * @return The assembled program. Entry defaults to code_base or the
+ *         label named by a .entry directive.
+ * @throws AssemblerError on malformed input.
+ */
+Program assemble(const std::string &source, Addr code_base = 0x1000);
+
+/** Parse a register name ("r7", "t0", "zero"); -1 if invalid. */
+int parseRegister(const std::string &name);
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_ASSEMBLER_HH

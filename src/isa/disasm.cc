@@ -1,0 +1,86 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace ubrc::isa
+{
+
+namespace
+{
+
+std::string
+reg(ArchReg r)
+{
+    return "r" + std::to_string(r);
+}
+
+std::string
+immStr(int64_t v)
+{
+    char buf[32];
+    if (v >= 4096 || v <= -4096)
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &oi = inst.info();
+    std::string out = oi.mnemonic;
+
+    if (inst.op == Opcode::NOP || inst.op == Opcode::HALT)
+        return out;
+    out += ' ';
+
+    if (oi.isLoad) {
+        out += reg(inst.rd) + ", " + immStr(inst.imm) + "(" +
+               reg(inst.rs1) + ")";
+    } else if (oi.isStore) {
+        out += reg(inst.rs2) + ", " + immStr(inst.imm) + "(" +
+               reg(inst.rs1) + ")";
+    } else if (oi.isCondBranch) {
+        out += reg(inst.rs1) + ", " + reg(inst.rs2) + ", " +
+               immStr(inst.imm);
+    } else if (inst.op == Opcode::J) {
+        out += immStr(inst.imm);
+    } else if (inst.op == Opcode::JAL) {
+        out += reg(inst.rd) + ", " + immStr(inst.imm);
+    } else if (inst.op == Opcode::JR) {
+        out += reg(inst.rs1);
+    } else if (inst.op == Opcode::JALR) {
+        out += reg(inst.rd) + ", " + reg(inst.rs1);
+    } else if (inst.op == Opcode::LI) {
+        out += reg(inst.rd) + ", " + immStr(inst.imm);
+    } else if (oi.hasImm) {
+        out += reg(inst.rd) + ", " + reg(inst.rs1) + ", " +
+               immStr(inst.imm);
+    } else {
+        out += reg(inst.rd) + ", " + reg(inst.rs1) + ", " +
+               reg(inst.rs2);
+    }
+    return out;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::string out;
+    char addr[32];
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        std::snprintf(addr, sizeof(addr), "%08llx: ",
+                      static_cast<unsigned long long>(prog.addrOf(i)));
+        out += addr;
+        out += disassemble(prog.code[i]);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ubrc::isa

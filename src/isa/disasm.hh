@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Disassembly of decoded instructions back to assembly text, used by
+ * traces, tests, and debugging dumps.
+ */
+
+#ifndef UBRC_ISA_DISASM_HH
+#define UBRC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace ubrc::isa
+{
+
+/** Render a single instruction as canonical assembly text. */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program, one "addr: text" line per instruction. */
+std::string disassemble(const Program &prog);
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_DISASM_HH

@@ -1,0 +1,219 @@
+#include "isa/functional_core.hh"
+
+#include "common/log.hh"
+
+namespace ubrc::isa
+{
+
+uint64_t
+evaluateAlu(const Instruction &inst, uint64_t a, uint64_t b, Addr pc)
+{
+    const int64_t sa = static_cast<int64_t>(a);
+    const int64_t sb = static_cast<int64_t>(b);
+    switch (inst.op) {
+      case Opcode::ADD:
+      case Opcode::FXADD:
+        return a + b;
+      case Opcode::SUB:
+      case Opcode::FXSUB:
+        return a - b;
+      case Opcode::AND: return a & b;
+      case Opcode::OR:  return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA: return static_cast<uint64_t>(sa >> (b & 63));
+      case Opcode::SLT: return sa < sb ? 1 : 0;
+      case Opcode::SLTU: return a < b ? 1 : 0;
+      case Opcode::SEQ: return a == b ? 1 : 0;
+      case Opcode::ADDI: return a + static_cast<uint64_t>(inst.imm);
+      case Opcode::ANDI: return a & static_cast<uint64_t>(inst.imm);
+      case Opcode::ORI:  return a | static_cast<uint64_t>(inst.imm);
+      case Opcode::XORI: return a ^ static_cast<uint64_t>(inst.imm);
+      case Opcode::SLLI: return a << (inst.imm & 63);
+      case Opcode::SRLI: return a >> (inst.imm & 63);
+      case Opcode::SRAI:
+        return static_cast<uint64_t>(sa >> (inst.imm & 63));
+      case Opcode::SLTI: return sa < inst.imm ? 1 : 0;
+      case Opcode::LI: return static_cast<uint64_t>(inst.imm);
+      case Opcode::MUL: return a * b;
+      case Opcode::MULH:
+        // Unsigned high part, as multi-precision arithmetic needs.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b)) >>
+            64);
+      case Opcode::DIV:
+        if (b == 0)
+            return ~0ULL;
+        if (sa == INT64_MIN && sb == -1)
+            return a;
+        return static_cast<uint64_t>(sa / sb);
+      case Opcode::REM:
+        if (b == 0)
+            return a;
+        if (sa == INT64_MIN && sb == -1)
+            return 0;
+        return static_cast<uint64_t>(sa % sb);
+      case Opcode::FXMUL:
+        // Q32.32 multiply.
+        return static_cast<uint64_t>(
+            (static_cast<__int128>(sa) * static_cast<__int128>(sb)) >> 32);
+      case Opcode::FXDIV:
+        if (b == 0)
+            return ~0ULL;
+        return static_cast<uint64_t>(
+            (static_cast<__int128>(sa) << 32) / sb);
+      case Opcode::JAL:
+      case Opcode::JALR:
+        // Link value.
+        return pc + instBytes;
+      default:
+        panic("evaluateAlu: opcode %s is not an ALU op",
+              inst.info().mnemonic);
+    }
+}
+
+bool
+evaluateBranchCond(const Instruction &inst, uint64_t a, uint64_t b)
+{
+    const int64_t sa = static_cast<int64_t>(a);
+    const int64_t sb = static_cast<int64_t>(b);
+    switch (inst.op) {
+      case Opcode::BEQ:  return a == b;
+      case Opcode::BNE:  return a != b;
+      case Opcode::BLT:  return sa < sb;
+      case Opcode::BGE:  return sa >= sb;
+      case Opcode::BLTU: return a < b;
+      case Opcode::BGEU: return a >= b;
+      default:
+        panic("evaluateBranchCond: %s is not a conditional branch",
+              inst.info().mnemonic);
+    }
+}
+
+uint64_t
+extendLoad(const Instruction &inst, uint64_t raw)
+{
+    const OpInfo &oi = inst.info();
+    if (!oi.memSigned || oi.memSize == 8)
+        return raw;
+    const unsigned bits = oi.memSize * 8;
+    const uint64_t sign = 1ULL << (bits - 1);
+    return (raw ^ sign) - sign;
+}
+
+void
+loadProgramData(const Program &prog, SparseMemory &mem)
+{
+    for (const auto &seg : prog.data)
+        mem.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+FunctionalCore::FunctionalCore(const Program &program, SparseMemory &memory)
+    : prog(program), mem(memory), currentPc(program.entry)
+{
+    loadProgramData(prog, mem);
+}
+
+void
+FunctionalCore::reset()
+{
+    regs.fill(0);
+    currentPc = prog.entry;
+    isHalted = false;
+    instCount = 0;
+    loadProgramData(prog, mem);
+}
+
+ExecResult
+FunctionalCore::step()
+{
+    ExecResult res;
+    res.pc = currentPc;
+    if (isHalted) {
+        res.isHalt = true;
+        res.nextPc = currentPc;
+        return res;
+    }
+    if (!prog.contains(currentPc))
+        fatal("functional core: PC 0x%llx outside program code",
+              static_cast<unsigned long long>(currentPc));
+
+    const Instruction &inst = prog.at(currentPc);
+    const OpInfo &oi = inst.info();
+    const uint64_t a = regs[inst.rs1];
+    const uint64_t b = regs[inst.rs2];
+    Addr next = currentPc + instBytes;
+
+    if (inst.isHalt()) {
+        isHalted = true;
+        res.isHalt = true;
+    } else if (inst.isNop()) {
+        // nothing
+    } else if (oi.isLoad) {
+        res.isMem = true;
+        res.effAddr = a + static_cast<uint64_t>(inst.imm);
+        const uint64_t raw = mem.read(res.effAddr, oi.memSize);
+        setReg(inst.rd, extendLoad(inst, raw));
+        res.wroteReg = inst.rd != 0;
+        res.destReg = inst.rd;
+        res.destValue = regs[inst.rd];
+    } else if (oi.isStore) {
+        res.isMem = true;
+        res.effAddr = a + static_cast<uint64_t>(inst.imm);
+        mem.write(res.effAddr, oi.memSize, b);
+    } else if (oi.isCondBranch) {
+        res.taken = evaluateBranchCond(inst, a, b);
+        if (res.taken)
+            next = static_cast<Addr>(inst.imm);
+    } else if (oi.isBranch) {
+        res.taken = true;
+        switch (inst.op) {
+          case Opcode::J:
+            next = static_cast<Addr>(inst.imm);
+            break;
+          case Opcode::JAL:
+            setReg(inst.rd, currentPc + instBytes);
+            next = static_cast<Addr>(inst.imm);
+            res.wroteReg = inst.rd != 0;
+            res.destReg = inst.rd;
+            res.destValue = regs[inst.rd];
+            break;
+          case Opcode::JR:
+            next = a;
+            break;
+          case Opcode::JALR:
+            next = a;
+            setReg(inst.rd, currentPc + instBytes);
+            res.wroteReg = inst.rd != 0;
+            res.destReg = inst.rd;
+            res.destValue = regs[inst.rd];
+            break;
+          default:
+            panic("functional core: unexpected branch opcode");
+        }
+    } else {
+        setReg(inst.rd, evaluateAlu(inst, a, b, currentPc));
+        res.wroteReg = inst.rd != 0;
+        res.destReg = inst.rd;
+        res.destValue = regs[inst.rd];
+    }
+
+    res.nextPc = next;
+    currentPc = next;
+    ++instCount;
+    return res;
+}
+
+uint64_t
+FunctionalCore::run(uint64_t max_insts)
+{
+    uint64_t n = 0;
+    while (!isHalted && n < max_insts) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace ubrc::isa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Architectural (functional) execution of mini-ISA programs.
+ *
+ * The functional core serves three roles:
+ *  - it runs workload kernels to completion for self-checks,
+ *  - it acts as the golden reference the timing core's retirement
+ *    stream is compared against, and
+ *  - workload generators use it to characterize instruction streams.
+ */
+
+#ifndef UBRC_ISA_FUNCTIONAL_CORE_HH
+#define UBRC_ISA_FUNCTIONAL_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/sparse_memory.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ubrc::isa
+{
+
+/** The architectural outcome of executing one instruction. */
+struct ExecResult
+{
+    Addr pc = 0;            ///< PC of the executed instruction
+    Addr nextPc = 0;        ///< architectural next PC
+    bool isHalt = false;
+    bool wroteReg = false;
+    ArchReg destReg = 0;
+    uint64_t destValue = 0;
+    bool isMem = false;
+    Addr effAddr = 0;
+    bool taken = false;     ///< for control instructions
+};
+
+/**
+ * Pure functional evaluation of a single instruction given operand
+ * values. Shared by the functional core and the timing core's execute
+ * stage so the two cannot diverge.
+ *
+ * Does not handle memory or control flow; see computeMemAddr(),
+ * evaluateBranch().
+ */
+uint64_t evaluateAlu(const Instruction &inst, uint64_t a, uint64_t b,
+                     Addr pc);
+
+/** Condition evaluation for conditional branches. */
+bool evaluateBranchCond(const Instruction &inst, uint64_t a, uint64_t b);
+
+/** Sign/zero-extend a loaded value per the opcode. */
+uint64_t extendLoad(const Instruction &inst, uint64_t raw);
+
+/**
+ * An architectural interpreter over a program image and memory.
+ */
+class FunctionalCore
+{
+  public:
+    FunctionalCore(const Program &program, SparseMemory &memory);
+
+    /** Reset to the program entry; reloads initialized data. */
+    void reset();
+
+    /** Execute one instruction. @return its architectural outcome. */
+    ExecResult step();
+
+    bool halted() const { return isHalted; }
+    Addr pc() const { return currentPc; }
+    uint64_t reg(int idx) const { return regs[idx]; }
+    void setReg(int idx, uint64_t v) { if (idx != 0) regs[idx] = v; }
+
+    uint64_t instsExecuted() const { return instCount; }
+
+    /**
+     * Run until HALT or the instruction limit.
+     * @return number of instructions executed by this call.
+     */
+    uint64_t run(uint64_t max_insts = ~0ULL);
+
+  private:
+    const Program &prog;
+    SparseMemory &mem;
+    std::array<uint64_t, numArchRegs> regs{};
+    Addr currentPc;
+    bool isHalted = false;
+    uint64_t instCount = 0;
+};
+
+/** Copy a program's initialized data segments into memory. */
+void loadProgramData(const Program &prog, SparseMemory &mem);
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_FUNCTIONAL_CORE_HH

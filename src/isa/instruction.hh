@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Static (decoded) instruction representation and the program image.
+ */
+
+#ifndef UBRC_ISA_INSTRUCTION_HH
+#define UBRC_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace ubrc::isa
+{
+
+/** Bytes per instruction slot in the simulated address space. */
+constexpr Addr instBytes = 4;
+
+/**
+ * A decoded static instruction. Branch/jump targets are stored as
+ * absolute addresses in imm. Memory addresses are rs1 + imm.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    ArchReg rd = 0;
+    ArchReg rs1 = 0;
+    ArchReg rs2 = 0;
+    int64_t imm = 0;
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    bool isBranch() const { return info().isBranch; }
+    bool isCondBranch() const { return info().isCondBranch; }
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isNop() const { return op == Opcode::NOP; }
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /**
+     * Register source operands, in operand order. For stores, the
+     * address base (rs1) is operand 0 and the data register (rs2) is
+     * operand 1.
+     */
+    int
+    srcRegs(ArchReg out[2]) const
+    {
+        const OpInfo &oi = info();
+        int n = 0;
+        if (oi.numSrcs >= 1)
+            out[n++] = rs1;
+        if (oi.numSrcs >= 2)
+            out[n++] = rs2;
+        return n;
+    }
+
+    bool hasDest() const { return info().hasDest && rd != 0; }
+};
+
+/** An initialized data segment of a program image. */
+struct DataSegment
+{
+    Addr base;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * A complete program: code, initialized data, entry point, and the
+ * symbol table produced by the assembler.
+ */
+struct Program
+{
+    Addr codeBase = 0x1000;
+    std::vector<Instruction> code;
+    std::vector<DataSegment> data;
+    Addr entry = 0x1000;
+    std::map<std::string, Addr> symbols;
+
+    /** Address of the instruction at index i. */
+    Addr addrOf(size_t i) const { return codeBase + i * instBytes; }
+
+    /** True iff addr names a valid instruction slot. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= codeBase &&
+               addr < codeBase + code.size() * instBytes &&
+               (addr - codeBase) % instBytes == 0;
+    }
+
+    /** Instruction at addr. @pre contains(addr). */
+    const Instruction &
+    at(Addr addr) const
+    {
+        return code[(addr - codeBase) / instBytes];
+    }
+
+    /** Look up a label address; fatal if absent. */
+    Addr symbol(const std::string &name) const;
+};
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_INSTRUCTION_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Opcode definitions for the UBRC mini ISA.
+ *
+ * The ISA is a 64-bit, 32-register RISC machine rich enough to express
+ * the SPECint-like kernels in src/workload. Register r0 is hardwired to
+ * zero. "FX" opcodes are fixed-point (Q32.32) arithmetic that exercise
+ * the long-latency functional-unit classes that floating point would
+ * occupy on the paper's machine (SPECint uses FP negligibly).
+ */
+
+#ifndef UBRC_ISA_OPCODES_HH
+#define UBRC_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace ubrc::isa
+{
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU (register-register)
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU, SEQ,
+    // Integer ALU (register-immediate)
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // Immediate load (64-bit immediate allowed)
+    LI,
+    // Integer multiply (4-cycle unit)
+    MUL, MULH,
+    // Integer divide / remainder (long-latency unit)
+    DIV, REM,
+    // Fixed-point Q32.32 ("FP-class" units)
+    FXADD, FXSUB, FXMUL, FXDIV,
+    // Loads: rd <- mem[rs1 + imm]
+    LD, LW, LWU, LB, LBU,
+    // Stores: mem[rs1 + imm] <- rs2
+    SD, SW, SB,
+    // Conditional branches: compare rs1, rs2; target in imm
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control: J target; JAL rd, target;
+    // JR rs1; JALR rd, rs1
+    J, JAL, JR, JALR,
+    // Misc
+    NOP, HALT,
+
+    NUM_OPCODES
+};
+
+/** Functional-unit class an opcode executes on (see Table 1). */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< 6 units, 1-cycle latency
+    Branch,     ///< 2 units, 2-cycle latency
+    IntMul,     ///< 2 units, 4-cycle latency
+    FxAlu,      ///< 4 units, 3-cycle latency ("FP ALU" class)
+    FxMulDiv,   ///< 2 units, 4-cycle mul / 18-cycle div
+    Load,       ///< load pipes, 4-cycle load-to-use on L1 hit
+    Store,      ///< 2 units
+    Nop,        ///< removed at decode (fetch skips nops)
+    NUM_CLASSES
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass cls;
+    uint8_t numSrcs;   ///< register sources (0-2)
+    bool hasDest;      ///< writes a destination register
+    bool hasImm;       ///< carries an immediate / target
+    bool isBranch;     ///< any control transfer
+    bool isCondBranch; ///< conditional control transfer
+    bool isIndirect;   ///< target comes from a register
+    bool isLoad;
+    bool isStore;
+    uint8_t memSize;   ///< access size in bytes (0 if not memory)
+    bool memSigned;    ///< sign-extend loaded value
+};
+
+/** Look up static opcode properties. */
+const OpInfo &opInfo(Opcode op);
+
+/** Number of architectural integer registers. */
+constexpr int numArchRegs = 32;
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_OPCODES_HH

@@ -1,0 +1,17 @@
+#include "isa/instruction.hh"
+
+#include "common/log.hh"
+
+namespace ubrc::isa
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("program has no symbol named '%s'", name.c_str());
+    return it->second;
+}
+
+} // namespace ubrc::isa

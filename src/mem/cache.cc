@@ -1,0 +1,93 @@
+#include "mem/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace ubrc::mem
+{
+
+TagCache::TagCache(const CacheGeometry &geometry) : geom(geometry)
+{
+    if (geom.lineBytes == 0 || !isPowerOfTwo(geom.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (geom.assoc == 0 || geom.numLines() % geom.assoc != 0)
+        fatal("cache associativity must divide the line count");
+    if (geom.numSets() == 0)
+        fatal("cache must have at least one set");
+    ways.resize(geom.numLines());
+}
+
+TagCache::Way *
+TagCache::findWay(uint64_t line)
+{
+    Way *base = &ways[setOf(line) * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+const TagCache::Way *
+TagCache::findWay(uint64_t line) const
+{
+    const Way *base = &ways[setOf(line) * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+TagCache::lookup(Addr addr)
+{
+    Way *w = findWay(lineOf(addr));
+    if (!w)
+        return false;
+    w->lastUse = ++useClock;
+    return true;
+}
+
+bool
+TagCache::insert(Addr addr, Addr *victim_out)
+{
+    const uint64_t line = lineOf(addr);
+    if (Way *w = findWay(line)) {
+        w->lastUse = ++useClock; // already present; refresh
+        return false;
+    }
+    Way *base = &ways[setOf(line) * geom.assoc];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    const bool evicted = victim->valid;
+    if (evicted && victim_out)
+        *victim_out = victim->line * geom.lineBytes;
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = ++useClock;
+    return evicted;
+}
+
+bool
+TagCache::invalidate(Addr addr)
+{
+    if (Way *w = findWay(lineOf(addr))) {
+        w->valid = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+TagCache::contains(Addr addr) const
+{
+    return findWay(lineOf(addr)) != nullptr;
+}
+
+} // namespace ubrc::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Generic set-associative tag store with LRU replacement, used for the
+ * instruction, data, and unified caches and the victim/prefetch
+ * buffers (which are just fully-associative instances).
+ */
+
+#ifndef UBRC_MEM_CACHE_HH
+#define UBRC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ubrc::mem
+{
+
+/** Geometry of a cache. */
+struct CacheGeometry
+{
+    uint64_t sizeBytes;
+    unsigned assoc;
+    unsigned lineBytes;
+
+    uint64_t numLines() const { return sizeBytes / lineBytes; }
+    uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/**
+ * A tag-only set-associative cache model with true-LRU replacement.
+ * No data is stored; the simulator's memory image is functional and
+ * shared, so caches only decide hit/miss and track residency.
+ */
+class TagCache
+{
+  public:
+    explicit TagCache(const CacheGeometry &geometry);
+
+    /**
+     * Look up addr; on hit, update LRU. Does not allocate.
+     * @return true on hit.
+     */
+    bool lookup(Addr addr);
+
+    /**
+     * Insert the line containing addr.
+     * @param victim_out Receives the evicted line address, if any.
+     * @return true if a valid line was evicted.
+     */
+    bool insert(Addr addr, Addr *victim_out = nullptr);
+
+    /** Remove the line containing addr if present. */
+    bool invalidate(Addr addr);
+
+    /** True if the line is present (no LRU update). */
+    bool contains(Addr addr) const;
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    uint64_t lineOf(Addr addr) const { return addr / geom.lineBytes; }
+
+  private:
+    struct Way
+    {
+        uint64_t line = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint64_t setOf(uint64_t line) const { return line % geom.numSets(); }
+    Way *findWay(uint64_t line);
+    const Way *findWay(uint64_t line) const;
+
+    CacheGeometry geom;
+    std::vector<Way> ways; // numSets x assoc, row-major
+    uint64_t useClock = 0;
+};
+
+} // namespace ubrc::mem
+
+#endif // UBRC_MEM_CACHE_HH

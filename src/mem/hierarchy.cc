@@ -1,0 +1,182 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+namespace ubrc::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemConfig &config,
+                                 stats::StatGroup &stat_group)
+    : cfg(config),
+      l1i(cfg.l1i),
+      l1d(cfg.l1d),
+      l2(cfg.l2),
+      l1Victim({uint64_t(cfg.victimEntries) * cfg.l1d.lineBytes,
+                cfg.victimEntries, cfg.l1d.lineBytes}),
+      l2Victim({uint64_t(cfg.victimEntries) * cfg.l2.lineBytes,
+                cfg.victimEntries, cfg.l2.lineBytes})
+{
+    st.l1iMisses = &stat_group.scalar("l1i_misses");
+    st.l1dMisses = &stat_group.scalar("l1d_misses");
+    st.l2Misses = &stat_group.scalar("l2_misses");
+    st.l1iAccesses = &stat_group.scalar("l1i_accesses");
+    st.l1dAccesses = &stat_group.scalar("l1d_accesses");
+    st.victimHits = &stat_group.scalar("victim_hits");
+    st.prefetchIssued = &stat_group.scalar("prefetch_issued");
+}
+
+Cycle
+MemoryHierarchy::l2Access(Addr addr)
+{
+    if (l2.lookup(addr))
+        return cfg.l2Latency;
+    if (l2Victim.lookup(addr)) {
+        ++*st.victimHits;
+        l2Victim.invalidate(addr);
+        l2.insert(addr);
+        return cfg.l2Latency + cfg.victimLatency;
+    }
+    ++*st.l2Misses;
+    Addr victim = 0;
+    if (l2.insert(addr, &victim))
+        l2Victim.insert(victim);
+    return cfg.memLatency;
+}
+
+void
+MemoryHierarchy::maybePrefetch(Addr miss_addr)
+{
+    if (!cfg.prefetchEnable)
+        return;
+    const Addr line = miss_addr / cfg.l1d.lineBytes;
+    if (line == lastMissLine + 1)
+        ++streamRun;
+    else if (line != lastMissLine)
+        streamRun = 0;
+    lastMissLine = line;
+    if (streamRun >= 2) {
+        // Opportunistic: bring the next lines into the L1-side
+        // victim/prefetch buffer.
+        for (unsigned i = 1; i <= cfg.prefetchDepth; ++i) {
+            const Addr pf = (line + i) * cfg.l1d.lineBytes;
+            if (!l1d.contains(pf) && !l1Victim.contains(pf)) {
+                l1Victim.insert(pf);
+                l2.insert(pf);
+                ++*st.prefetchIssued;
+            }
+        }
+    }
+}
+
+Cycle
+MemoryHierarchy::dataAccess(Addr addr, bool is_store)
+{
+    ++*st.l1dAccesses;
+    if (l1d.lookup(addr))
+        return cfg.l1Latency;
+    if (l1Victim.lookup(addr)) {
+        ++*st.victimHits;
+        l1Victim.invalidate(addr);
+        Addr victim = 0;
+        if (l1d.insert(addr, &victim))
+            l1Victim.insert(victim);
+        return cfg.l1Latency + cfg.victimLatency;
+    }
+    ++*st.l1dMisses;
+    if (!is_store)
+        maybePrefetch(addr);
+    const Cycle below = l2Access(addr);
+    Addr victim = 0;
+    if (l1d.insert(addr, &victim))
+        l1Victim.insert(victim);
+    return cfg.l1Latency + below;
+}
+
+Cycle
+MemoryHierarchy::loadAccess(Addr addr)
+{
+    return dataAccess(addr, false);
+}
+
+Cycle
+MemoryHierarchy::storeAccess(Addr addr)
+{
+    return dataAccess(addr, true);
+}
+
+Cycle
+MemoryHierarchy::ifetchAccess(Addr addr)
+{
+    ++*st.l1iAccesses;
+    if (l1i.lookup(addr))
+        return cfg.l1Latency;
+    ++*st.l1iMisses;
+    const Cycle below = l2Access(addr);
+    l1i.insert(addr);
+    if (cfg.prefetchEnable) {
+        // Sequential next-line instruction prefetch: straight-line
+        // code misses at most once per stream, not once per line.
+        for (unsigned i = 1; i <= cfg.prefetchDepth; ++i) {
+            const Addr pf = addr + i * cfg.l1i.lineBytes;
+            if (!l1i.contains(pf)) {
+                l2.insert(pf);
+                l1i.insert(pf);
+                ++*st.prefetchIssued;
+            }
+        }
+    }
+    return cfg.l1Latency + below;
+}
+
+StoreBuffer::StoreBuffer(unsigned num_entries, unsigned drain_ports,
+                         MemoryHierarchy &hierarchy, unsigned line_bytes)
+    : capacity(num_entries),
+      mem(hierarchy),
+      lineBytes(line_bytes),
+      drainBusyUntil(drain_ports, 0)
+{
+}
+
+bool
+StoreBuffer::canAccept(Addr addr) const
+{
+    if (entries.size() < capacity)
+        return true;
+    // Full, but a coalescing hit needs no new entry.
+    const uint64_t line = lineOf(addr);
+    for (const auto &e : entries)
+        if (e.line == line)
+            return true;
+    return false;
+}
+
+void
+StoreBuffer::push(Addr addr, Cycle now)
+{
+    const uint64_t line = lineOf(addr);
+    for (auto &e : entries) {
+        if (e.line == line)
+            return; // coalesced
+    }
+    entries.push_back({line, now});
+}
+
+void
+StoreBuffer::tick(Cycle now)
+{
+    // Each free drain port retires the oldest pending entry; the
+    // port stays busy for the access duration (1 cycle on an L1
+    // hit).
+    for (auto &busy_until : drainBusyUntil) {
+        if (busy_until > now || entries.empty())
+            continue;
+        const Entry e = entries.front();
+        if (e.readyAt > now)
+            break;
+        entries.erase(entries.begin());
+        const Cycle extra = mem.storeAccess(e.line * lineBytes);
+        busy_until = now + 1 + extra;
+    }
+}
+
+} // namespace ubrc::mem

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Timing model of the cache/memory hierarchy described in Table 1:
+ * split 32 KB 2-way L1 I/D caches (64 B lines), a 1 MB 4-way unified
+ * L2 (128 B lines, 12-cycle latency), 180-cycle memory, a 64-entry
+ * unified victim/prefetch buffer beside each of L1D and L2, a
+ * unit-stride prefetcher, and a 16-entry coalescing store buffer.
+ *
+ * Data is functional and lives in the shared SparseMemory image; the
+ * hierarchy only computes access latencies and maintains residency.
+ * Misses are non-blocking (latency is charged to the requesting
+ * instruction; up to four store-buffer drains overlap), which stands
+ * in for MSHR behaviour at this level of detail.
+ */
+
+#ifndef UBRC_MEM_HIERARCHY_HH
+#define UBRC_MEM_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace ubrc::mem
+{
+
+/** Hierarchy parameters (defaults match Table 1). */
+struct MemConfig
+{
+    CacheGeometry l1i{32 * 1024, 2, 64};
+    CacheGeometry l1d{32 * 1024, 2, 64};
+    CacheGeometry l2{1024 * 1024, 4, 128};
+    unsigned victimEntries = 64;   ///< per victim/prefetch buffer
+    Cycle l1Latency = 0;           ///< extra cycles beyond the pipe
+    Cycle victimLatency = 2;
+    Cycle l2Latency = 12;
+    Cycle memLatency = 180;
+    unsigned prefetchDepth = 2;    ///< lines fetched ahead on a stream
+    bool prefetchEnable = true;
+};
+
+/**
+ * The cache hierarchy. All access methods return the *extra* latency
+ * beyond the pipelined L1-hit path (0 for an L1 hit).
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const MemConfig &config, stats::StatGroup &stat_group);
+
+    /** Data-side read (demand load). */
+    Cycle loadAccess(Addr addr);
+
+    /** Data-side write (store-buffer drain). Allocates on miss. */
+    Cycle storeAccess(Addr addr);
+
+    /** Instruction fetch. */
+    Cycle ifetchAccess(Addr addr);
+
+    const MemConfig &config() const { return cfg; }
+
+  private:
+    /** Shared L2-and-beyond path for both L1s. */
+    Cycle l2Access(Addr addr);
+
+    /** Data-side common path. */
+    Cycle dataAccess(Addr addr, bool is_store);
+
+    /** Unit-stride prefetch on a demand miss. */
+    void maybePrefetch(Addr miss_addr);
+
+    MemConfig cfg;
+    TagCache l1i;
+    TagCache l1d;
+    TagCache l2;
+    TagCache l1Victim;  ///< unified victim/prefetch buffer beside L1D
+    TagCache l2Victim;  ///< ... and beside L2
+
+    Addr lastMissLine = 0;
+    int streamRun = 0;
+
+    struct
+    {
+        stats::Scalar *l1iMisses, *l1dMisses, *l2Misses;
+        stats::Scalar *l1iAccesses, *l1dAccesses;
+        stats::Scalar *victimHits, *prefetchIssued;
+    } st;
+};
+
+/**
+ * The 16-entry coalescing store buffer. Retired stores enter here (at
+ * most two per cycle, enforced by the retire stage); entries drain to
+ * the data cache in the background. A full buffer back-pressures
+ * retirement.
+ */
+class StoreBuffer
+{
+  public:
+    StoreBuffer(unsigned entries, unsigned drain_ports,
+                MemoryHierarchy &hierarchy, unsigned line_bytes);
+
+    /** True if a store to addr can be accepted this cycle. */
+    bool canAccept(Addr addr) const;
+
+    /** Insert (or coalesce) a retired store. @pre canAccept(addr). */
+    void push(Addr addr, Cycle now);
+
+    /** Advance the drain engine; call once per cycle. */
+    void tick(Cycle now);
+
+    bool empty() const { return entries.empty(); }
+    size_t occupancy() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t line;
+        Cycle readyAt; ///< entered the buffer; drains in FIFO order
+    };
+
+    uint64_t lineOf(Addr addr) const { return addr / lineBytes; }
+
+    unsigned capacity;
+    MemoryHierarchy &mem;
+    unsigned lineBytes;
+    std::vector<Entry> entries; // FIFO, front drains first
+    std::vector<Cycle> drainBusyUntil;
+};
+
+} // namespace ubrc::mem
+
+#endif // UBRC_MEM_HIERARCHY_HH

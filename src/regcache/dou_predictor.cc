@@ -1,0 +1,132 @@
+#include "regcache/dou_predictor.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "isa/instruction.hh"
+
+namespace ubrc::regcache
+{
+
+DegreeOfUsePredictor::DegreeOfUsePredictor(const DouParams &params,
+                                           stats::StatGroup &stat_group)
+    : cfg(params)
+{
+    if (cfg.entries == 0 || cfg.entries % cfg.assoc != 0)
+        fatal("degree-of-use predictor: bad geometry");
+    table.resize(cfg.entries);
+    st.supplied = &stat_group.scalar("dou_supplied");
+    st.unavailable = &stat_group.scalar("dou_unavailable");
+    st.trainCorrect = &stat_group.scalar("dou_train_correct");
+    st.trainWrong = &stat_group.scalar("dou_train_wrong");
+}
+
+unsigned
+DegreeOfUsePredictor::indexOf(Addr pc, uint64_t ctrl) const
+{
+    const uint64_t ctrl_sig = ctrl & ((1ULL << cfg.ctrlBits) - 1);
+    return static_cast<unsigned>(
+        mixHash((pc / isa::instBytes) ^ (ctrl_sig << 17)) %
+        cfg.numSets());
+}
+
+uint8_t
+DegreeOfUsePredictor::tagOf(Addr pc) const
+{
+    return static_cast<uint8_t>((pc / (isa::instBytes * cfg.numSets())) &
+                                ((1u << cfg.tagBits) - 1));
+}
+
+unsigned
+DegreeOfUsePredictor::clamp(unsigned uses) const
+{
+    return std::min(uses, cfg.maxPrediction());
+}
+
+std::optional<unsigned>
+DegreeOfUsePredictor::predict(Addr pc, uint64_t ctrl) const
+{
+    const Entry *base = &table[indexOf(pc, ctrl) * cfg.assoc];
+    const uint8_t tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        const Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            // LRU state is touched at train time only; prediction
+            // lookups are side-effect free.
+            if (e.confidence >= cfg.confThreshold) {
+                ++*st.supplied;
+                return e.prediction;
+            }
+            break;
+        }
+    }
+    ++*st.unavailable;
+    return std::nullopt;
+}
+
+void
+DegreeOfUsePredictor::train(Addr pc, uint64_t ctrl, unsigned actual_uses)
+{
+    Entry *base = &table[indexOf(pc, ctrl) * cfg.assoc];
+    const uint8_t tag = tagOf(pc);
+    const uint8_t actual = static_cast<uint8_t>(clamp(actual_uses));
+
+    Entry *hit = nullptr;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            hit = &base[w];
+            break;
+        }
+    }
+
+    if (hit) {
+        const bool was_confident = hit->confidence >= cfg.confThreshold;
+        if (hit->prediction == actual) {
+            if (was_confident)
+                ++*st.trainCorrect;
+            hit->confidence = std::min<unsigned>(hit->confidence + 1,
+                                                 cfg.confMax);
+        } else {
+            if (was_confident)
+                ++*st.trainWrong;
+            if (hit->confidence == 0)
+                hit->prediction = actual;
+            else
+                --hit->confidence;
+        }
+        hit->lastUse = ++useClock;
+        return;
+    }
+
+    // Allocate, replacing the LRU way.
+    Entry *victim = &base[0];
+    for (unsigned w = 1; w < cfg.assoc; ++w)
+        if (!base[w].valid ||
+            (victim->valid && base[w].lastUse < victim->lastUse))
+            victim = &base[w];
+    victim->valid = true;
+    victim->tag = tag;
+    victim->prediction = actual;
+    victim->confidence = 1;
+    victim->lastUse = ++useClock;
+}
+
+double
+DegreeOfUsePredictor::accuracy() const
+{
+    const uint64_t total =
+        st.trainCorrect->value() + st.trainWrong->value();
+    return total ? static_cast<double>(st.trainCorrect->value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+uint64_t
+DegreeOfUsePredictor::storageBits() const
+{
+    return uint64_t(cfg.entries) *
+           (cfg.tagBits + cfg.predBits + 2 /*confidence*/ + 1 /*valid*/);
+}
+
+} // namespace ubrc::regcache

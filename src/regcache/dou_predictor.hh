@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Degree-of-use predictor (Butts & Sohi, MICRO 2002), as configured in
+ * Table 1: a 4K-entry, 4-way set-associative table with 6-bit tags,
+ * 4-bit predictions, and 2-bit confidence counters, indexed by the
+ * producing instruction's address hashed with a 6-bit future
+ * control-flow signature (we use the speculative global branch
+ * history at rename, which encodes the same upcoming-path context).
+ *
+ * A prediction is supplied only at full confidence; otherwise the
+ * consumer falls back to its "unknown default". Training happens when
+ * the physical register is freed, at which point the true consumer
+ * count (wrong-path readers excluded) is known.
+ */
+
+#ifndef UBRC_REGCACHE_DOU_PREDICTOR_HH
+#define UBRC_REGCACHE_DOU_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ubrc::regcache
+{
+
+/** Predictor geometry (defaults: ~9 KB as in Table 1). */
+struct DouParams
+{
+    unsigned entries = 4096;
+    unsigned assoc = 4;
+    unsigned tagBits = 6;
+    unsigned predBits = 4;     ///< predictions saturate at 2^4 - 1
+    unsigned confMax = 3;      ///< 2-bit confidence
+    unsigned confThreshold = 3; ///< required to supply a prediction
+    unsigned ctrlBits = 6;     ///< future control-flow hash width
+
+    unsigned maxPrediction() const { return (1u << predBits) - 1; }
+    unsigned numSets() const { return entries / assoc; }
+};
+
+/** History-based degree-of-use predictor. */
+class DegreeOfUsePredictor
+{
+  public:
+    DegreeOfUsePredictor(const DouParams &params,
+                         stats::StatGroup &stat_group);
+
+    /**
+     * Predict the number of uses of the value produced at pc under
+     * control-flow context ctrl (e.g. the speculative global branch
+     * history). Returns nullopt when no confident prediction exists.
+     */
+    std::optional<unsigned> predict(Addr pc, uint64_t ctrl) const;
+
+    /** Train with the actual (committed) use count of the value. */
+    void train(Addr pc, uint64_t ctrl, unsigned actual_uses);
+
+    /** Observed accuracy: correct confident predictions / supplied. */
+    double accuracy() const;
+
+    /** Storage used, in bits (for the Table-1 budget check). */
+    uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        uint8_t tag = 0;
+        uint8_t prediction = 0;
+        uint8_t confidence = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned indexOf(Addr pc, uint64_t ctrl) const;
+    uint8_t tagOf(Addr pc) const;
+    unsigned clamp(unsigned uses) const;
+
+    DouParams cfg;
+    std::vector<Entry> table;
+    mutable uint64_t useClock = 0;
+
+    struct
+    {
+        stats::Scalar *supplied, *unavailable;
+        stats::Scalar *trainCorrect, *trainWrong;
+    } st;
+};
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_DOU_PREDICTOR_HH

@@ -1,0 +1,74 @@
+#include "regcache/index_allocator.hh"
+
+#include "common/log.hh"
+
+namespace ubrc::regcache
+{
+
+IndexAllocator::IndexAllocator(IndexPolicy policy, unsigned num_sets,
+                               unsigned associativity,
+                               unsigned high_use_threshold)
+    : pol(policy),
+      nSets(num_sets),
+      assoc(associativity),
+      highThreshold(high_use_threshold),
+      skipLimit(associativity / 2 ? associativity / 2 : 1),
+      loads(num_sets, 0),
+      highUse(num_sets, 0)
+{
+    if (nSets == 0)
+        fatal("index allocator needs at least one set");
+}
+
+unsigned
+IndexAllocator::assign(PhysReg preg, unsigned predicted_uses)
+{
+    unsigned set = 0;
+    switch (pol) {
+      case IndexPolicy::PhysReg:
+        set = static_cast<unsigned>(preg) % nSets;
+        break;
+      case IndexPolicy::RoundRobin:
+        set = rrNext;
+        rrNext = (rrNext + 1) % nSets;
+        break;
+      case IndexPolicy::Minimum: {
+        set = 0;
+        for (unsigned s = 1; s < nSets; ++s)
+            if (loads[s] < loads[set])
+                set = s;
+        break;
+      }
+      case IndexPolicy::FilteredRoundRobin: {
+        // Skip sets crowded with high-use values; if every set is
+        // crowded, fall back to the plain round-robin choice.
+        set = rrNext;
+        for (unsigned tries = 0; tries < nSets; ++tries) {
+            const unsigned cand = (rrNext + tries) % nSets;
+            if (highUse[cand] <= skipLimit) {
+                set = cand;
+                break;
+            }
+        }
+        rrNext = (set + 1) % nSets;
+        break;
+      }
+    }
+    loads[set] += predicted_uses;
+    if (predicted_uses > highThreshold)
+        ++highUse[set];
+    return set;
+}
+
+void
+IndexAllocator::release(unsigned set, unsigned predicted_uses)
+{
+    if (set >= nSets)
+        panic("index allocator: release of bad set %u", set);
+    loads[set] -= predicted_uses <= loads[set] ? predicted_uses
+                                               : loads[set];
+    if (predicted_uses > highThreshold && highUse[set] > 0)
+        --highUse[set];
+}
+
+} // namespace ubrc::regcache

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Decoupled-indexing set assignment (Section 4 of the paper).
+ *
+ * At rename, each produced value is assigned a register cache set
+ * index that travels with the physical register tag through the map
+ * table. The assignment policy aims to minimize future conflicts:
+ *
+ *  - PhysReg: standard indexing (low-order physical register bits);
+ *    the degenerate, coupled baseline.
+ *  - RoundRobin: sequential assignment in rename order.
+ *  - Minimum: the set with the smallest sum of predicted uses among
+ *    values currently assigned to it.
+ *  - FilteredRoundRobin: round-robin, skipping sets holding more than
+ *    assoc/2 high-use values (predicted uses > highUseThreshold).
+ */
+
+#ifndef UBRC_REGCACHE_INDEX_ALLOCATOR_HH
+#define UBRC_REGCACHE_INDEX_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "regcache/policies.hh"
+
+namespace ubrc::regcache
+{
+
+/** Assigns and releases register cache set indices. */
+class IndexAllocator
+{
+  public:
+    IndexAllocator(IndexPolicy policy, unsigned num_sets, unsigned assoc,
+                   unsigned high_use_threshold = 5);
+
+    /**
+     * Assign a set for a newly renamed value.
+     * @param preg The allocated physical register.
+     * @param predicted_uses Degree-of-use prediction for the value.
+     */
+    unsigned assign(PhysReg preg, unsigned predicted_uses);
+
+    /**
+     * Release the bookkeeping for a value, at producer retirement or
+     * squash. Pass the same set and prediction given to/by assign().
+     */
+    void release(unsigned set, unsigned predicted_uses);
+
+    IndexPolicy policy() const { return pol; }
+    unsigned numSets() const { return nSets; }
+
+    /** Bookkeeping inspection for tests. */
+    uint64_t setLoad(unsigned set) const { return loads[set]; }
+    uint32_t setHighUse(unsigned set) const { return highUse[set]; }
+
+  private:
+    IndexPolicy pol;
+    unsigned nSets;
+    unsigned assoc;
+    unsigned highThreshold;
+    unsigned skipLimit; ///< assoc/2: filtered-RR occupancy bound
+    unsigned rrNext = 0;
+    std::vector<uint64_t> loads;   ///< minimum: sum of predicted uses
+    std::vector<uint32_t> highUse; ///< filtered: high-use value count
+};
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_INDEX_ALLOCATOR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Policy enumerations for register cache management and indexing
+ * (Sections 3 and 4 of the paper).
+ */
+
+#ifndef UBRC_REGCACHE_POLICIES_HH
+#define UBRC_REGCACHE_POLICIES_HH
+
+namespace ubrc::regcache
+{
+
+/** What gets written into the register cache at writeback. */
+enum class InsertionPolicy
+{
+    /** Write every produced value (Yung & Wilhelm style LRU cache). */
+    Always,
+    /**
+     * Skip the write if the value bypassed to *any* consumer before
+     * the write (Cruz et al. heuristic).
+     */
+    NonBypass,
+    /**
+     * Skip the write only if first-stage bypasses satisfied *all*
+     * predicted uses (this paper, Section 3.1).
+     */
+    UseBased,
+};
+
+/** Victim selection within a set. */
+enum class ReplacementPolicy
+{
+    /** Least-recently-used entry. */
+    LRU,
+    /**
+     * Entry with the fewest remaining uses; ties broken by LRU
+     * (this paper, Section 3.2). Pinned entries are never preferred.
+     */
+    UseBased,
+};
+
+/** How register cache set indices are assigned (Section 4). */
+enum class IndexPolicy
+{
+    /** Standard indexing: low-order physical register tag bits. */
+    PhysReg,
+    /** Decoupled: sequential set assignment in rename order. */
+    RoundRobin,
+    /** Decoupled: set with the minimum sum of predicted uses. */
+    Minimum,
+    /**
+     * Decoupled: round-robin, skipping sets that hold more than
+     * associativity/2 high-use (predicted uses > 5) values.
+     */
+    FilteredRoundRobin,
+};
+
+const char *toString(InsertionPolicy p);
+const char *toString(ReplacementPolicy p);
+const char *toString(IndexPolicy p);
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_POLICIES_HH

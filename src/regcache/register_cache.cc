@@ -1,0 +1,341 @@
+#include "regcache/register_cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ubrc::regcache
+{
+
+const char *
+toString(InsertionPolicy p)
+{
+    switch (p) {
+      case InsertionPolicy::Always: return "always";
+      case InsertionPolicy::NonBypass: return "non-bypass";
+      case InsertionPolicy::UseBased: return "use-based";
+    }
+    return "?";
+}
+
+const char *
+toString(ReplacementPolicy p)
+{
+    switch (p) {
+      case ReplacementPolicy::LRU: return "lru";
+      case ReplacementPolicy::UseBased: return "use-based";
+    }
+    return "?";
+}
+
+const char *
+toString(IndexPolicy p)
+{
+    switch (p) {
+      case IndexPolicy::PhysReg: return "preg";
+      case IndexPolicy::RoundRobin: return "round-robin";
+      case IndexPolicy::Minimum: return "minimum";
+      case IndexPolicy::FilteredRoundRobin: return "filtered-rr";
+    }
+    return "?";
+}
+
+bool
+shouldInsert(InsertionPolicy policy, bool pinned, unsigned predicted_uses,
+             unsigned stage1_bypasses)
+{
+    switch (policy) {
+      case InsertionPolicy::Always:
+        return true;
+      case InsertionPolicy::NonBypass:
+        // Filter if the value bypassed to anyone before the write.
+        return stage1_bypasses == 0;
+      case InsertionPolicy::UseBased:
+        // Filter only if every predicted use was already satisfied.
+        return pinned || stage1_bypasses < predicted_uses;
+    }
+    return true;
+}
+
+RegisterCache::RegisterCache(const RegCacheParams &params,
+                             stats::StatGroup &stat_group)
+    : cfg(params)
+{
+    if (cfg.assoc == 0 || cfg.entries == 0 ||
+        cfg.entries % cfg.assoc != 0)
+        fatal("register cache: %u entries not divisible into %u ways",
+              cfg.entries, cfg.assoc);
+    entries_.resize(cfg.entries);
+    st.inserts = &stat_group.scalar("rc_inserts");
+    st.fills = &stat_group.scalar("rc_fills");
+    st.readHits = &stat_group.scalar("rc_read_hits");
+    st.readMisses = &stat_group.scalar("rc_read_misses");
+    st.evictions = &stat_group.scalar("rc_evictions");
+    st.evictionsZeroUse = &stat_group.scalar("rc_evictions_zero_use");
+    st.evictionsLiveUse = &stat_group.scalar("rc_evictions_live_use");
+    st.invalidations = &stat_group.scalar("rc_invalidations");
+    st.entriesNeverRead = &stat_group.scalar("rc_entries_never_read");
+    st.entryLifetime = &stat_group.mean("rc_entry_lifetime");
+    st.readsPerEntry = &stat_group.mean("rc_reads_per_entry");
+}
+
+RegisterCache::Entry *
+RegisterCache::find(PhysReg preg, unsigned set)
+{
+    Entry *base = &entries_[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].preg == preg)
+            return &base[w];
+    return nullptr;
+}
+
+const RegisterCache::Entry *
+RegisterCache::find(PhysReg preg, unsigned set) const
+{
+    const Entry *base = &entries_[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].preg == preg)
+            return &base[w];
+    return nullptr;
+}
+
+RegisterCache::Entry &
+RegisterCache::victimIn(unsigned set)
+{
+    Entry *base = &entries_[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w)
+        if (!base[w].valid)
+            return base[w];
+
+    Entry *victim = &base[0];
+    for (unsigned w = 1; w < cfg.assoc; ++w) {
+        Entry &cand = base[w];
+        if (cfg.replacement == ReplacementPolicy::LRU) {
+            if (cand.lastUse < victim->lastUse)
+                victim = &cand;
+        } else {
+            // Use-based: fewest remaining uses wins; pinned entries
+            // count as infinite. Ties fall back to LRU.
+            const uint64_t v_uses =
+                victim->pinned ? ~0ULL : victim->remUses;
+            const uint64_t c_uses = cand.pinned ? ~0ULL : cand.remUses;
+            if (c_uses < v_uses ||
+                (c_uses == v_uses && cand.lastUse < victim->lastUse))
+                victim = &cand;
+        }
+    }
+    return *victim;
+}
+
+void
+RegisterCache::retireEntry(Entry &e, Cycle now, bool evicted)
+{
+    if (!e.valid)
+        return;
+    if (evicted) {
+        ++*st.evictions;
+        if (!e.pinned && e.remUses == 0)
+            ++*st.evictionsZeroUse;
+        else
+            ++*st.evictionsLiveUse;
+    } else {
+        ++*st.invalidations;
+    }
+    if (e.reads == 0)
+        ++*st.entriesNeverRead;
+    st.entryLifetime->sample(static_cast<double>(now - e.insertedAt));
+    st.readsPerEntry->sample(static_cast<double>(e.reads));
+    e.valid = false;
+    --numValid;
+}
+
+void
+RegisterCache::place(Entry &slot, PhysReg preg, unsigned rem_uses,
+                     bool pinned, Cycle now)
+{
+    slot.valid = true;
+    slot.preg = preg;
+    slot.remUses = std::min<uint32_t>(rem_uses, cfg.maxUse);
+    slot.pinned = pinned;
+    slot.lastUse = ++useClock;
+    slot.insertedAt = now;
+    slot.reads = 0;
+    ++numValid;
+}
+
+void
+RegisterCache::insert(PhysReg preg, unsigned set, unsigned remaining_uses,
+                      bool pinned, Cycle now)
+{
+    if (Entry *e = find(preg, set))
+        panic("register cache: double insert of preg %d (set %u)",
+              int(e->preg), set);
+    Entry &slot = victimIn(set);
+    retireEntry(slot, now, true);
+    place(slot, preg, remaining_uses, pinned, now);
+    ++*st.inserts;
+}
+
+void
+RegisterCache::fill(PhysReg preg, unsigned set, Cycle now)
+{
+    if (find(preg, set))
+        return; // a racing fill already brought it in
+    Entry &slot = victimIn(set);
+    retireEntry(slot, now, true);
+    place(slot, preg, cfg.fillDefault, false, now);
+    ++*st.fills;
+}
+
+bool
+RegisterCache::read(PhysReg preg, unsigned set, Cycle now)
+{
+    (void)now;
+    Entry *e = find(preg, set);
+    if (!e) {
+        ++*st.readMisses;
+        return false;
+    }
+    ++*st.readHits;
+    ++e->reads;
+    e->lastUse = ++useClock;
+    if (!e->pinned && e->remUses > 0)
+        --e->remUses;
+    return true;
+}
+
+void
+RegisterCache::noteBypassUse(PhysReg preg, unsigned set)
+{
+    Entry *e = find(preg, set);
+    if (e && !e->pinned && e->remUses > 0)
+        --e->remUses;
+}
+
+void
+RegisterCache::invalidate(PhysReg preg, unsigned set, Cycle now)
+{
+    if (Entry *e = find(preg, set))
+        retireEntry(*e, now, false);
+}
+
+bool
+RegisterCache::contains(PhysReg preg, unsigned set) const
+{
+    return find(preg, set) != nullptr;
+}
+
+int
+RegisterCache::remainingUses(PhysReg preg, unsigned set) const
+{
+    const Entry *e = find(preg, set);
+    return e ? static_cast<int>(e->remUses) : -1;
+}
+
+double
+RegisterCache::zeroUseVictimFraction() const
+{
+    const uint64_t total = st.evictions->value();
+    return total ? static_cast<double>(st.evictionsZeroUse->value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+ShadowFullyAssocCache::ShadowFullyAssocCache(unsigned num_entries,
+                                             ReplacementPolicy replacement,
+                                             unsigned max_use)
+    : capacity(num_entries), repl(replacement), maxUse(max_use)
+{
+    entries_.resize(capacity);
+}
+
+ShadowFullyAssocCache::Entry *
+ShadowFullyAssocCache::find(PhysReg preg)
+{
+    for (auto &e : entries_)
+        if (e.valid && e.preg == preg)
+            return &e;
+    return nullptr;
+}
+
+ShadowFullyAssocCache::Entry &
+ShadowFullyAssocCache::victim()
+{
+    for (auto &e : entries_)
+        if (!e.valid)
+            return e;
+    Entry *victim = &entries_[0];
+    for (auto &cand : entries_) {
+        if (repl == ReplacementPolicy::LRU) {
+            if (cand.lastUse < victim->lastUse)
+                victim = &cand;
+        } else {
+            const uint64_t v_uses =
+                victim->pinned ? ~0ULL : victim->remUses;
+            const uint64_t c_uses = cand.pinned ? ~0ULL : cand.remUses;
+            if (c_uses < v_uses ||
+                (c_uses == v_uses && cand.lastUse < victim->lastUse))
+                victim = &cand;
+        }
+    }
+    return *victim;
+}
+
+void
+ShadowFullyAssocCache::insert(PhysReg preg, unsigned remaining_uses,
+                              bool pinned, Cycle now)
+{
+    (void)now;
+    if (find(preg))
+        return;
+    Entry &slot = victim();
+    slot.valid = true;
+    slot.preg = preg;
+    slot.remUses = std::min<uint32_t>(remaining_uses, maxUse);
+    slot.pinned = pinned;
+    slot.lastUse = ++useClock;
+}
+
+void
+ShadowFullyAssocCache::fill(PhysReg preg, Cycle now)
+{
+    insert(preg, 0, false, now);
+}
+
+bool
+ShadowFullyAssocCache::read(PhysReg preg)
+{
+    Entry *e = find(preg);
+    if (!e)
+        return false;
+    e->lastUse = ++useClock;
+    if (!e->pinned && e->remUses > 0)
+        --e->remUses;
+    return true;
+}
+
+void
+ShadowFullyAssocCache::noteBypassUse(PhysReg preg)
+{
+    Entry *e = find(preg);
+    if (e && !e->pinned && e->remUses > 0)
+        --e->remUses;
+}
+
+void
+ShadowFullyAssocCache::invalidate(PhysReg preg)
+{
+    if (Entry *e = find(preg))
+        e->valid = false;
+}
+
+bool
+ShadowFullyAssocCache::contains(PhysReg preg) const
+{
+    for (const auto &e : entries_)
+        if (e.valid && e.preg == preg)
+            return true;
+    return false;
+}
+
+} // namespace ubrc::regcache

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The register cache proper (Section 3 of the paper).
+ *
+ * A small set-associative structure indexed by an externally assigned
+ * set index (decoupled indexing) and tagged with the full physical
+ * register identifier. Each entry carries a remaining-use counter;
+ * use-based replacement victimizes the entry with the fewest remaining
+ * uses. Entries whose producing value saturated the use predictor are
+ * pinned (their counter is never decremented) until invalidated.
+ *
+ * The class is purely structural: the insertion *decision* (filtering)
+ * is made by the caller via shouldInsert(), because it depends on
+ * bypass-network information only the core has.
+ */
+
+#ifndef UBRC_REGCACHE_REGISTER_CACHE_HH
+#define UBRC_REGCACHE_REGISTER_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "regcache/policies.hh"
+
+namespace ubrc::regcache
+{
+
+/** Register cache structural and policy parameters. */
+struct RegCacheParams
+{
+    unsigned entries = 64;
+    unsigned assoc = 2;
+    InsertionPolicy insertion = InsertionPolicy::UseBased;
+    ReplacementPolicy replacement = ReplacementPolicy::UseBased;
+    IndexPolicy indexing = IndexPolicy::FilteredRoundRobin;
+
+    /**
+     * Saturation value of the remaining-use counters (3 bits -> 7 in
+     * the paper's chosen design). Predictions at or above this pin
+     * the entry.
+     */
+    unsigned maxUse = 7;
+    /** Remaining uses assumed when the predictor has no prediction. */
+    unsigned unknownDefault = 1;
+    /** Remaining uses assumed for values filled after a miss. */
+    unsigned fillDefault = 0;
+    /** Predicted uses above this count as "high use" for filtering. */
+    unsigned highUseThreshold = 5;
+
+    unsigned numSets() const { return entries / assoc; }
+};
+
+/**
+ * Decide whether a completed value should be written into the cache.
+ *
+ * @param policy Insertion policy in force.
+ * @param pinned Producer's prediction saturated at maxUse.
+ * @param predicted_uses Predicted remaining uses at rename.
+ * @param stage1_bypasses Consumers satisfied by the first bypass
+ *        stage before the cache write would occur.
+ */
+bool shouldInsert(InsertionPolicy policy, bool pinned,
+                  unsigned predicted_uses, unsigned stage1_bypasses);
+
+/** The register cache. */
+class RegisterCache
+{
+  public:
+    RegisterCache(const RegCacheParams &params,
+                  stats::StatGroup &stat_group);
+
+    unsigned numSets() const { return cfg.numSets(); }
+
+    /**
+     * Write a produced value into set `set`. A victim is chosen by
+     * the replacement policy if the set is full.
+     *
+     * @param remaining_uses Initial remaining-use counter value.
+     * @param pinned Never decrement this entry's counter.
+     */
+    void insert(PhysReg preg, unsigned set, unsigned remaining_uses,
+                bool pinned, Cycle now);
+
+    /**
+     * Fill after a miss: the use count was lost, so the counter is
+     * set to fillDefault and the entry is not pinned (Section 3.3).
+     */
+    void fill(PhysReg preg, unsigned set, Cycle now);
+
+    /**
+     * Operand read. On a hit, decrements the remaining-use counter
+     * (unless pinned) and refreshes LRU.
+     * @return true on hit.
+     */
+    bool read(PhysReg preg, unsigned set, Cycle now);
+
+    /**
+     * A bypassed consumer was satisfied while the value is cached;
+     * keep the counter in step (Section 3.3).
+     */
+    void noteBypassUse(PhysReg preg, unsigned set);
+
+    /** Invalidate on physical register free. */
+    void invalidate(PhysReg preg, unsigned set, Cycle now);
+
+    /** Presence check without side effects. */
+    bool contains(PhysReg preg, unsigned set) const;
+
+    /** Remaining uses recorded for a cached value; -1 if absent. */
+    int remainingUses(PhysReg preg, unsigned set) const;
+
+    /** Currently valid entries (for occupancy stats). */
+    unsigned validCount() const { return numValid; }
+
+    const RegCacheParams &params() const { return cfg; }
+
+    /** Fraction of evictions whose victim had zero remaining uses. */
+    double zeroUseVictimFraction() const;
+
+  private:
+    struct Entry
+    {
+        PhysReg preg = invalidPhysReg;
+        uint32_t remUses = 0;
+        uint64_t lastUse = 0;
+        Cycle insertedAt = 0;
+        uint32_t reads = 0;
+        bool pinned = false;
+        bool valid = false;
+    };
+
+    Entry *find(PhysReg preg, unsigned set);
+    const Entry *find(PhysReg preg, unsigned set) const;
+    Entry &victimIn(unsigned set);
+    void retireEntry(Entry &e, Cycle now, bool evicted);
+    void place(Entry &slot, PhysReg preg, unsigned rem_uses, bool pinned,
+               Cycle now);
+
+    RegCacheParams cfg;
+    std::vector<Entry> entries_; // numSets x assoc
+    uint64_t useClock = 0;
+    unsigned numValid = 0;
+
+    struct
+    {
+        stats::Scalar *inserts, *fills, *readHits, *readMisses;
+        stats::Scalar *evictions, *evictionsZeroUse, *evictionsLiveUse;
+        stats::Scalar *invalidations, *entriesNeverRead;
+        stats::Mean *entryLifetime, *readsPerEntry;
+    } st;
+};
+
+/**
+ * Shadow fully-associative reference cache used to classify misses as
+ * conflict (hit here, missed in the set-associative cache) versus
+ * capacity (missed in both), mirroring the real cache's insertion
+ * decisions and replacement flavour (Figure 8).
+ */
+class ShadowFullyAssocCache
+{
+  public:
+    ShadowFullyAssocCache(unsigned entries, ReplacementPolicy repl,
+                          unsigned max_use);
+
+    void insert(PhysReg preg, unsigned remaining_uses, bool pinned,
+                Cycle now);
+    void fill(PhysReg preg, Cycle now);
+    bool read(PhysReg preg); // decrements like the real cache
+    void noteBypassUse(PhysReg preg);
+    void invalidate(PhysReg preg);
+    bool contains(PhysReg preg) const;
+
+  private:
+    struct Entry
+    {
+        PhysReg preg = invalidPhysReg;
+        uint32_t remUses = 0;
+        uint64_t lastUse = 0;
+        bool pinned = false;
+        bool valid = false;
+    };
+
+    Entry *find(PhysReg preg);
+    Entry &victim();
+
+    unsigned capacity;
+    ReplacementPolicy repl;
+    unsigned maxUse;
+    std::vector<Entry> entries_;
+    uint64_t useClock = 0;
+};
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_REGISTER_CACHE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timing model of the backing register file behind a register cache
+ * (Section 2.2). The backing file receives every produced value
+ * (write bandwidth is full) but serves reads only on register cache
+ * misses, so a single read port — shared with one of the write ports —
+ * suffices. This class arbitrates that port and accounts for the
+ * producer's write completing before the value can be read back.
+ */
+
+#ifndef UBRC_REGFILE_BACKING_FILE_HH
+#define UBRC_REGFILE_BACKING_FILE_HH
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ubrc::regfile
+{
+
+/** Read-port arbiter and latency model for the backing file. */
+class BackingFile
+{
+  public:
+    BackingFile(Cycle latency, stats::StatGroup &stat_group)
+        : lat(latency),
+          reads(&stat_group.scalar("backing_reads")),
+          writes(&stat_group.scalar("backing_writes"))
+    {}
+
+    Cycle latency() const { return lat; }
+
+    /**
+     * Record a produced value's write. The write pipeline starts the
+     * cycle after execution completes and takes the file latency.
+     * @return cycle at whose end the value is present in the file.
+     */
+    Cycle
+    noteWrite(Cycle producer_done)
+    {
+        ++*writes;
+        return producer_done + lat;
+    }
+
+    /**
+     * Schedule a miss-fill read through the single shared read port
+     * (new read accepted at most once per cycle; latency pipelined).
+     *
+     * @param request_cycle Earliest cycle the read may begin.
+     * @param value_in_file_at Cycle the producer's write completes
+     *        (from noteWrite); the read cannot return data earlier.
+     * @return cycle at whose end the data is available to bypass.
+     */
+    Cycle
+    scheduleRead(Cycle request_cycle, Cycle value_in_file_at)
+    {
+        const Cycle start = std::max(request_cycle, portFreeAt);
+        portFreeAt = start + 1;
+        ++*reads;
+        return std::max(start + lat - 1, value_in_file_at);
+    }
+
+  private:
+    Cycle lat;
+    Cycle portFreeAt = 0;
+    stats::Scalar *reads;
+    stats::Scalar *writes;
+};
+
+} // namespace ubrc::regfile
+
+#endif // UBRC_REGFILE_BACKING_FILE_HH

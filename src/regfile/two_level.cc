@@ -1,0 +1,144 @@
+#include "regfile/two_level.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ubrc::regfile
+{
+
+TwoLevelFile::TwoLevelFile(const TwoLevelParams &params,
+                           unsigned num_phys_regs,
+                           stats::StatGroup &stat_group)
+    : cfg(params), regs(num_phys_regs)
+{
+    st.transfersDown = &stat_group.scalar("tl_transfers_to_l2");
+    st.transfersUp = &stat_group.scalar("tl_transfers_to_l1");
+    st.recoveries = &stat_group.scalar("tl_recoveries");
+}
+
+void
+TwoLevelFile::allocate(PhysReg preg)
+{
+    RegState &r = regs[preg];
+    if (r.allocated)
+        panic("two-level: double allocation of preg %d", int(preg));
+    r = RegState{};
+    r.allocated = true;
+    r.inL1 = true;
+    ++l1Used;
+}
+
+bool
+TwoLevelFile::eligible(const RegState &r) const
+{
+    return r.allocated && r.inL1 && r.written && r.reassigned &&
+           r.pendingConsumers == 0;
+}
+
+void
+TwoLevelFile::maybeQueue(PhysReg preg)
+{
+    RegState &r = regs[preg];
+    if (eligible(r) && !r.queuedForTransfer) {
+        r.queuedForTransfer = true;
+        transferQueue.push_back(preg);
+    }
+}
+
+void
+TwoLevelFile::onWrite(PhysReg preg)
+{
+    regs[preg].written = true;
+    maybeQueue(preg);
+}
+
+void
+TwoLevelFile::onConsumerRenamed(PhysReg preg)
+{
+    ++regs[preg].pendingConsumers;
+}
+
+void
+TwoLevelFile::onConsumerDone(PhysReg preg)
+{
+    RegState &r = regs[preg];
+    if (r.pendingConsumers > 0)
+        --r.pendingConsumers;
+    maybeQueue(preg);
+}
+
+void
+TwoLevelFile::onArchReassigned(PhysReg preg)
+{
+    regs[preg].reassigned = true;
+    maybeQueue(preg);
+}
+
+void
+TwoLevelFile::onArchReassignCancelled(PhysReg preg)
+{
+    regs[preg].reassigned = false;
+}
+
+void
+TwoLevelFile::onFree(PhysReg preg)
+{
+    RegState &r = regs[preg];
+    if (r.inL1) {
+        if (l1Used == 0)
+            panic("two-level: L1 occupancy underflow");
+        --l1Used;
+    }
+    r = RegState{};
+}
+
+void
+TwoLevelFile::onSquash(PhysReg preg)
+{
+    onFree(preg);
+}
+
+void
+TwoLevelFile::tick(Cycle now)
+{
+    (void)now;
+    if (cfg.l1Entries - l1Used >= cfg.freeThreshold)
+        return;
+    unsigned moved = 0;
+    while (moved < cfg.bandwidth && !transferQueue.empty()) {
+        const PhysReg preg = transferQueue.back();
+        transferQueue.pop_back();
+        RegState &r = regs[preg];
+        r.queuedForTransfer = false;
+        if (!eligible(r))
+            continue; // stale queue entry
+        r.inL1 = false;
+        --l1Used;
+        ++moved;
+        ++*st.transfersDown;
+    }
+}
+
+Cycle
+TwoLevelFile::recover(const std::vector<PhysReg> &pregs, Cycle now)
+{
+    unsigned to_copy = 0;
+    for (PhysReg preg : pregs) {
+        RegState &r = regs[preg];
+        if (r.allocated && !r.inL1) {
+            r.inL1 = true;
+            ++l1Used; // may transiently exceed capacity, see header
+            ++to_copy;
+            ++*st.transfersUp;
+        }
+    }
+    if (to_copy == 0)
+        return now;
+    ++*st.recoveries;
+    const Cycle batches =
+        static_cast<Cycle>((to_copy + cfg.bandwidth - 1) / cfg.bandwidth);
+    return now + cfg.l2Latency + batches;
+}
+
+} // namespace ubrc::regfile

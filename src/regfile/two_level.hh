@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Two-level register file after Balasubramonian et al. (MICRO 2001),
+ * with the paper's four optimistic modifications (Section 5.5):
+ * 4-registers/cycle L1-L2 bandwidth, explicit recovery transfers, an
+ * infinite L2, and a unified integer/FP file (we charge the 32-entry
+ * L1 capacity penalty by construction: callers size the L1 as
+ * cacheEntries + 32).
+ *
+ * Semantics modelled:
+ *  - Every result is written to the L1 file; rename requires a free
+ *    L1 slot or it stalls.
+ *  - A value becomes *eligible* for transfer to L2 once it has been
+ *    written, has no renamed-but-unexecuted consumers, and its
+ *    architectural register has been reassigned.
+ *  - When free L1 slots drop below a threshold, up to `bandwidth`
+ *    eligible values per cycle move to L2, freeing their L1 slots.
+ *  - On a control mis-speculation, restored mappings whose values
+ *    live in L2 must be copied back before they can be read; the
+ *    copy-back proceeds at `bandwidth`/cycle after `l2Latency` and
+ *    overlaps the front-end refill, stalling rename if incomplete.
+ */
+
+#ifndef UBRC_REGFILE_TWO_LEVEL_HH
+#define UBRC_REGFILE_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ubrc::regfile
+{
+
+/** Two-level register file parameters. */
+struct TwoLevelParams
+{
+    unsigned l1Entries = 96;   ///< cache entries + 32 in comparisons
+    unsigned freeThreshold = 8; ///< transfer when free slots < this
+    unsigned bandwidth = 4;    ///< L1<->L2 registers per cycle
+    Cycle l2Latency = 2;
+};
+
+/** State machine for the two-level register file. */
+class TwoLevelFile
+{
+  public:
+    TwoLevelFile(const TwoLevelParams &params, unsigned num_phys_regs,
+                 stats::StatGroup &stat_group);
+
+    /** True if rename can allocate an L1 slot this cycle. */
+    bool canAllocate() const { return l1Used < cfg.l1Entries; }
+
+    /** Allocate an L1 slot for a newly renamed value. */
+    void allocate(PhysReg preg);
+
+    /** The value was produced (written into its L1 slot). */
+    void onWrite(PhysReg preg);
+
+    /** A consumer of preg was renamed / has executed. */
+    void onConsumerRenamed(PhysReg preg);
+    void onConsumerDone(PhysReg preg);
+
+    /** The architectural register mapping to preg was overwritten. */
+    void onArchReassigned(PhysReg preg);
+
+    /** The overwrite of preg's arch register was squashed. */
+    void onArchReassignCancelled(PhysReg preg);
+
+    /** The physical register was freed (retire of overwriter). */
+    void onFree(PhysReg preg);
+
+    /** The producing instruction of preg was squashed. */
+    void onSquash(PhysReg preg);
+
+    /** Background transfer engine; call once per cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Recovery: `pregs` are again architecturally mapped after a
+     * squash. Any of them resident in L2 are copied back.
+     * @return cycle at whose end all values are in L1 again.
+     */
+    Cycle recover(const std::vector<PhysReg> &pregs, Cycle now);
+
+    /** Is the value currently in the L1 file? */
+    bool inL1(PhysReg preg) const { return regs[preg].inL1; }
+
+    unsigned l1Occupancy() const { return l1Used; }
+
+  private:
+    struct RegState
+    {
+        bool allocated = false;
+        bool inL1 = false;      ///< occupies an L1 slot
+        bool written = false;
+        bool reassigned = false;
+        uint32_t pendingConsumers = 0;
+        bool queuedForTransfer = false;
+    };
+
+    bool eligible(const RegState &r) const;
+    void maybeQueue(PhysReg preg);
+
+    TwoLevelParams cfg;
+    std::vector<RegState> regs;
+    std::vector<PhysReg> transferQueue;
+    unsigned l1Used = 0;
+
+    struct
+    {
+        stats::Scalar *transfersDown, *transfersUp, *recoveries;
+    } st;
+};
+
+} // namespace ubrc::regfile
+
+#endif // UBRC_REGFILE_TWO_LEVEL_HH

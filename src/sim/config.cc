@@ -1,0 +1,98 @@
+#include "sim/config.hh"
+
+#include <cstdio>
+
+namespace ubrc::sim
+{
+
+const char *
+toString(RegScheme s)
+{
+    switch (s) {
+      case RegScheme::Monolithic: return "monolithic";
+      case RegScheme::Cached: return "cached";
+      case RegScheme::TwoLevel: return "two-level";
+    }
+    return "?";
+}
+
+SimConfig
+SimConfig::useBasedCache()
+{
+    SimConfig cfg;
+    cfg.scheme = RegScheme::Cached;
+    cfg.rc.entries = 64;
+    cfg.rc.assoc = 2;
+    cfg.rc.insertion = regcache::InsertionPolicy::UseBased;
+    cfg.rc.replacement = regcache::ReplacementPolicy::UseBased;
+    cfg.rc.indexing = regcache::IndexPolicy::FilteredRoundRobin;
+    return cfg;
+}
+
+SimConfig
+SimConfig::lruCache()
+{
+    SimConfig cfg = useBasedCache();
+    cfg.rc.insertion = regcache::InsertionPolicy::Always;
+    cfg.rc.replacement = regcache::ReplacementPolicy::LRU;
+    cfg.rc.indexing = regcache::IndexPolicy::RoundRobin;
+    return cfg;
+}
+
+SimConfig
+SimConfig::nonBypassCache()
+{
+    SimConfig cfg = useBasedCache();
+    cfg.rc.insertion = regcache::InsertionPolicy::NonBypass;
+    cfg.rc.replacement = regcache::ReplacementPolicy::LRU;
+    cfg.rc.indexing = regcache::IndexPolicy::RoundRobin;
+    return cfg;
+}
+
+SimConfig
+SimConfig::monolithic(Cycle latency)
+{
+    SimConfig cfg;
+    cfg.scheme = RegScheme::Monolithic;
+    cfg.rfLatency = latency;
+    return cfg;
+}
+
+SimConfig
+SimConfig::twoLevelFile(unsigned cache_entries)
+{
+    SimConfig cfg;
+    cfg.scheme = RegScheme::TwoLevel;
+    cfg.twoLevel.l1Entries = cache_entries + 32;
+    return cfg;
+}
+
+std::string
+SimConfig::describe() const
+{
+    char buf[256];
+    switch (scheme) {
+      case RegScheme::Monolithic:
+        std::snprintf(buf, sizeof(buf), "monolithic RF, %ld-cycle",
+                      static_cast<long>(rfLatency));
+        break;
+      case RegScheme::Cached:
+        std::snprintf(buf, sizeof(buf),
+                      "%u-entry %u-way cache [ins=%s repl=%s idx=%s], "
+                      "%ld-cycle backing file",
+                      rc.entries, rc.assoc, regcache::toString(rc.insertion),
+                      regcache::toString(rc.replacement),
+                      regcache::toString(rc.indexing),
+                      static_cast<long>(backingLatency));
+        break;
+      case RegScheme::TwoLevel:
+        std::snprintf(buf, sizeof(buf),
+                      "two-level RF, L1=%u, L2 latency %ld",
+                      twoLevel.l1Entries,
+                      static_cast<long>(twoLevel.l2Latency));
+        break;
+    }
+    return buf;
+}
+
+} // namespace ubrc::sim

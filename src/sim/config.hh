@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Top-level simulator configuration. Defaults reproduce Table 1 of
+ * the paper; named constructors produce the reference designs used in
+ * the evaluation (monolithic register files of various latencies, the
+ * LRU and non-bypass register caches, the use-based cache, and the
+ * two-level register file).
+ */
+
+#ifndef UBRC_SIM_CONFIG_HH
+#define UBRC_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "frontend/branch_predictor.hh"
+#include "mem/hierarchy.hh"
+#include "regcache/dou_predictor.hh"
+#include "regcache/register_cache.hh"
+#include "regfile/two_level.hh"
+
+namespace ubrc::sim
+{
+
+/** Which register storage organization backs the execution core. */
+enum class RegScheme
+{
+    /** A single multi-cycle register file (no cache). */
+    Monolithic,
+    /** Register cache + backing file (the paper's framework). */
+    Cached,
+    /** Two-level (L1/L2) register file (Balasubramonian et al.). */
+    TwoLevel,
+};
+
+const char *toString(RegScheme s);
+
+/** Complete machine configuration. */
+struct SimConfig
+{
+    // --- widths (Table 1) ---
+    unsigned fetchWidth = 8;
+    unsigned renameWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned retireWidth = 8;
+    unsigned maxRetireStores = 2;
+
+    // --- pipeline depths ---
+    /** Fetch (4) + decode (2) stages before rename. */
+    unsigned fetchToRename = 6;
+    /** Rename (3) + dispatch (2) stages before issue eligibility. */
+    unsigned renameToIssue = 5;
+    /** Bypass network stages (ALU feedback + cache write-to-read). */
+    unsigned bypassStages = 2;
+
+    // --- windows ---
+    unsigned iqEntries = 128;
+    unsigned robEntries = 512;
+    unsigned numPhysRegs = 512;
+    unsigned lqEntries = 128;
+    unsigned sqEntries = 128;
+    unsigned frontQueueLimit = 64;
+
+    // --- functional units (counts and latencies, Table 1) ---
+    unsigned intAluUnits = 6;
+    unsigned branchUnits = 2;
+    unsigned intMulUnits = 2;
+    unsigned fxAluUnits = 4;
+    unsigned fxMulDivUnits = 2;
+    unsigned loadUnits = 4;
+    unsigned storeUnits = 2;
+    Cycle intAluLat = 1;
+    Cycle branchLat = 2;
+    Cycle intMulLat = 4;
+    Cycle fxAluLat = 3;
+    Cycle fxMulLat = 4;
+    Cycle fxDivLat = 18;
+    Cycle loadToUse = 4; ///< on an L1 hit
+
+    // --- register storage ---
+    RegScheme scheme = RegScheme::Cached;
+    /** Monolithic register file read (= write) latency. */
+    Cycle rfLatency = 3;
+    /** Backing file read (= write) latency behind a cache. */
+    Cycle backingLatency = 2;
+    regcache::RegCacheParams rc;
+    regcache::DouParams dou;
+    regfile::TwoLevelParams twoLevel;
+
+    // --- memory and predictors ---
+    mem::MemConfig memory;
+    frontend::YagsConfig yags;
+    frontend::CascadingIndirectPredictor::Config indirect;
+    unsigned rasDepth = 64;
+    unsigned storeBufferEntries = 16;
+    unsigned storeDrainPorts = 4;
+
+    // --- run control ---
+    uint64_t maxInsts = 0;  ///< 0: run to HALT
+    uint64_t maxCycles = 0; ///< 0: unbounded
+    bool checker = true;    ///< golden-model retirement checking
+    bool classifyMisses = true; ///< shadow FA cache for Fig. 8
+    bool trackLifetimes = false; ///< Fig. 1 / Fig. 2 instrumentation
+    /**
+     * Oracle front end: branches resolve to their true outcome at
+     * fetch, eliminating wrong-path execution. Used by the
+     * speculation ablation to quantify the Section 3.4 wrong-path
+     * use-count pollution.
+     */
+    bool perfectBranchPrediction = false;
+
+    /** Issue-to-execute distance for this storage scheme. */
+    Cycle
+    issueToExec() const
+    {
+        return scheme == RegScheme::Monolithic ? rfLatency + 1 : 2;
+    }
+
+    // --- named designs from the evaluation ---
+
+    /** The paper's proposed design point (Section 5.3). */
+    static SimConfig useBasedCache();
+    /** LRU register cache (Yung & Wilhelm reference design). */
+    static SimConfig lruCache();
+    /** Non-bypass register cache (Cruz et al. reference design). */
+    static SimConfig nonBypassCache();
+    /** Monolithic file with the given read/write latency. */
+    static SimConfig monolithic(Cycle latency);
+    /** Two-level register file with an L1 of cache_entries + 32. */
+    static SimConfig twoLevelFile(unsigned cache_entries);
+
+    /** One-line summary for logs. */
+    std::string describe() const;
+};
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_CONFIG_HH

@@ -1,0 +1,95 @@
+#include "sim/runner.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ubrc::sim
+{
+
+double
+SuiteResult::geomeanIpc() const
+{
+    if (runs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const auto &r : runs)
+        log_sum += std::log(r.result.ipc > 0 ? r.result.ipc : 1e-9);
+    return std::exp(log_sum / static_cast<double>(runs.size()));
+}
+
+double
+SuiteResult::mean(double (*metric)(const core::SimResult &)) const
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : runs)
+        sum += metric(r.result);
+    return sum / static_cast<double>(runs.size());
+}
+
+uint64_t
+SuiteResult::total(uint64_t (*metric)(const core::SimResult &)) const
+{
+    uint64_t sum = 0;
+    for (const auto &r : runs)
+        sum += metric(r.result);
+    return sum;
+}
+
+core::SimResult
+runOne(const SimConfig &config, const workload::Workload &workload,
+       uint64_t max_insts)
+{
+    SimConfig cfg = config;
+    if (max_insts)
+        cfg.maxInsts = max_insts;
+    core::Processor proc(cfg, workload);
+    proc.run();
+    return proc.result();
+}
+
+SuiteResult
+runSuite(const SimConfig &config,
+         const std::vector<std::string> &workload_names,
+         const workload::WorkloadParams &params, uint64_t max_insts)
+{
+    SuiteResult out;
+    for (const auto &name : workload_names) {
+        const workload::Workload w = workload::buildWorkload(name, params);
+        out.runs.push_back({name, runOne(config, w, max_insts)});
+    }
+    return out;
+}
+
+std::vector<std::string>
+benchWorkloads(const std::vector<std::string> &defaults)
+{
+    const char *env = std::getenv("UBRC_WORKLOADS");
+    if (!env || !*env || std::strcmp(env, "all") == 0)
+        return defaults;
+    std::vector<std::string> out;
+    std::stringstream ss(env);
+    std::string name;
+    while (std::getline(ss, name, ','))
+        if (!name.empty())
+            out.push_back(name);
+    if (out.empty())
+        return defaults;
+    return out;
+}
+
+uint64_t
+benchMaxInsts(uint64_t default_max)
+{
+    const char *env = std::getenv("UBRC_MAX_INSTS");
+    if (!env || !*env)
+        return default_max;
+    return std::strtoull(env, nullptr, 0);
+}
+
+} // namespace ubrc::sim

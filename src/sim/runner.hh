@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Convenience layer for running configurations over workload suites
+ * and aggregating results, used by the benchmark harnesses and the
+ * examples.
+ */
+
+#ifndef UBRC_SIM_RUNNER_HH
+#define UBRC_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/processor.hh"
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+namespace ubrc::sim
+{
+
+/** Result of one (config, workload) simulation. */
+struct WorkloadRun
+{
+    std::string workload;
+    core::SimResult result;
+};
+
+/** Results of one configuration across a workload suite. */
+struct SuiteResult
+{
+    std::vector<WorkloadRun> runs;
+
+    /** Geometric-mean IPC over the suite. */
+    double geomeanIpc() const;
+
+    /** Arithmetic mean of an arbitrary per-run metric. */
+    double mean(double (*metric)(const core::SimResult &)) const;
+
+    /** Sum of an arbitrary per-run counter. */
+    uint64_t total(uint64_t (*metric)(const core::SimResult &)) const;
+};
+
+/**
+ * Run one workload under one configuration.
+ * @param max_insts If nonzero, retire at most this many instructions.
+ */
+core::SimResult runOne(const SimConfig &config,
+                       const workload::Workload &workload,
+                       uint64_t max_insts = 0);
+
+/** Run a configuration over a set of workloads (by name). */
+SuiteResult runSuite(const SimConfig &config,
+                     const std::vector<std::string> &workload_names,
+                     const workload::WorkloadParams &params = {},
+                     uint64_t max_insts = 0);
+
+/**
+ * Workload subset and run-length controls for benchmark binaries,
+ * honouring the UBRC_WORKLOADS (comma-separated names or "all") and
+ * UBRC_MAX_INSTS environment variables.
+ */
+std::vector<std::string> benchWorkloads(
+    const std::vector<std::string> &defaults);
+uint64_t benchMaxInsts(uint64_t default_max);
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_RUNNER_HH

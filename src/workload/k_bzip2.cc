@@ -1,0 +1,177 @@
+/**
+ * @file
+ * `bzip2`-like kernel: move-to-front transform plus histogram.
+ *
+ * bzip2's BWT stage is approximated by its move-to-front coder: for
+ * each input byte, scan a 256-entry recency table for its position
+ * (data-dependent trip count), emit the position, and shift the table
+ * down by one — byte loads and stores with serial dependences. A
+ * counting-sort histogram pass follows.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 {INBUF}       ; input cursor
+        .word64 {INLEN}       ; remaining
+        .word64 0             ; checksum accumulator
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s0, {MTFTAB}     ; recency table (256 bytes)
+        li   t0, 0            ; init table[i] = i
+init:   sb   t0, 0(s0)        ; note: s0 advances during init
+        addi s0, s0, 1
+        addi t0, t0, 1
+        li   t1, 256
+        blt  t0, t1, init
+main:   call body
+        bnez a1, main
+        call hfold            ; weighted histogram fold in a1
+        slli a1, a1, 16
+        la   t0, state
+        ld   t1, 16(t0)
+        add  t1, t1, a1
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   li   s0, {MTFTAB}
+        li   s4, {HIST}       ; histogram base (64-bit counters)
+        la   a7, state
+        ld   s1, 0(a7)        ; input cursor
+        ld   s2, 8(a7)        ; remaining
+        ld   s3, 16(a7)       ; checksum accumulator
+        li   a6, {CHUNK}
+outer:  beqz s2, out
+        lbu  t0, 0(s1)        ; next input byte
+        li   t1, 0            ; scan for its position
+scan:   add  t2, s0, t1
+        lbu  t3, 0(t2)
+        beq  t3, t0, found
+        addi t1, t1, 1
+        j    scan
+found:  add  s3, s3, t1       ; emit position
+        slli t4, t1, 3        ; histogram[position]++
+        add  t4, t4, s4
+        ld   t5, 0(t4)
+        addi t5, t5, 1
+        sd   t5, 0(t4)
+        beqz t1, advance      ; already at front?
+shift:  addi t6, t1, -1       ; shift table[0..pos-1] down
+        add  t7, s0, t6
+        lbu  a0, 0(t7)
+        add  a1, s0, t1
+        sb   a0, 0(a1)
+        mv   t1, t6
+        bnez t1, shift
+        sb   t0, 0(s0)        ; new front
+advance: addi s1, s1, 1
+        addi s2, s2, -1
+        addi a6, a6, -1
+        bnez a6, outer
+out:    sd   s1, 0(a7)
+        sd   s2, 8(a7)
+        sd   s3, 16(a7)
+        mv   a1, s2
+        ret
+
+hfold:  li   s4, {HIST}
+        li   t0, 0            ; fold histogram into checksum
+        li   t1, 0
+hloop:  slli t2, t1, 3
+        add  t2, t2, s4
+        ld   t3, 0(t2)
+        mul  t4, t3, t1       ; weight by symbol
+        add  t0, t0, t4
+        addi t1, t1, 1
+        li   t5, 256
+        blt  t1, t5, hloop
+        mv   a1, t0
+        ret
+)";
+
+} // namespace
+
+Workload
+buildBzip2(const WorkloadParams &p)
+{
+    const uint64_t in_len = 6 * 1024 * p.scale;
+    const Addr in_buf = layout::dataBase;
+    const Addr mtf_tab = layout::resultArea + 0x400;
+    const Addr hist = layout::resultArea + 0x1000;
+
+    // Skewed byte distribution with locality, as post-BWT data shows.
+    Rng rng(p.seed * 0xcd11u + 23);
+    std::vector<uint8_t> input(in_len);
+    uint8_t recent[4] = {5, 9, 17, 33};
+    for (auto &b : input) {
+        if (rng.chance(0.6)) {
+            b = recent[rng.below(4)]; // repeat a recent symbol
+        } else {
+            b = static_cast<uint8_t>(rng.below(96));
+            recent[rng.below(4)] = b;
+        }
+    }
+
+    // Reference model.
+    uint64_t checksum = 0;
+    {
+        uint8_t table[256];
+        for (int i = 0; i < 256; ++i)
+            table[i] = static_cast<uint8_t>(i);
+        uint64_t histo[256] = {};
+        for (uint8_t b : input) {
+            uint64_t pos = 0;
+            while (table[pos] != b)
+                ++pos;
+            checksum += pos;
+            ++histo[pos];
+            for (uint64_t i = pos; i > 0; --i)
+                table[i] = table[i - 1];
+            table[0] = b;
+        }
+        uint64_t fold = 0;
+        for (uint64_t sym = 0; sym < 256; ++sym)
+            fold += histo[sym] * sym;
+        checksum += fold << 16;
+    }
+
+    Workload w;
+    w.name = "bzip2";
+    w.description = "move-to-front transform with data-dependent scan "
+                    "and shift loops";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"MTFTAB", numStr(mtf_tab)},
+        {"INBUF", numStr(in_buf)},
+        {"INLEN", numStr(in_len)},
+        {"HIST", numStr(hist)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(512)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, input, in_buf, hist](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        mem.writeBlock(in_buf, input.data(), input.size());
+        for (uint64_t i = 0; i < 256; ++i)
+            mem.write(hist + i * 8, 8, 0);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

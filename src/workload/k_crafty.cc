@@ -1,0 +1,196 @@
+/**
+ * @file
+ * `crafty`-like kernel: bitboard manipulation.
+ *
+ * Chess engines live on 64-bit bitboard arithmetic: SWAR popcounts,
+ * shifts, masks, and xor-folds, with high instruction-level
+ * parallelism. The SWAR constants are loaded into registers once and
+ * read on every iteration, producing a handful of extremely high
+ * degree-of-use values — exactly the "pinned" case the paper's
+ * saturating use counter is designed for.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Both passes are chunked functions that rematerialize the SWAR
+// constants at entry (as a compiled chess engine does per call).
+// Within a chunk the constants are read ~128 times, so after one
+// training pass the degree-of-use predictor pins them in the cache.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 0             ; board index (pass 1)
+        .word64 0             ; popcount total
+        .word64 0             ; attack-mask xor fold
+        .word64 0             ; pair index (pass 2)
+        .word64 0             ; pair intersection total
+
+        .code
+start:  li   sp, {STACKTOP}
+m1:     call body1
+        bnez a1, m1
+m2:     call body2
+        bnez a1, m2
+        la   a7, state
+        ld   t1, 8(a7)        ; popcount total
+        ld   t2, 32(a7)       ; pair total
+        ld   t3, 16(a7)       ; fold
+        slli t0, t1, 20
+        add  t0, t0, t2
+        xor  t0, t0, t3
+        la   t4, result
+        sd   t0, 0(t4)
+        halt
+
+body1:  li   s0, 0x5555555555555555  ; SWAR masks (high-use values)
+        li   s1, 0x3333333333333333
+        li   s2, 0x0f0f0f0f0f0f0f0f
+        li   s3, 0x0101010101010101
+        li   s4, {BOARDS}
+        li   s5, {NBOARDS}
+        la   a7, state
+        ld   s7, 0(a7)        ; board index
+        ld   s6, 8(a7)        ; popcount total
+        ld   s8, 16(a7)       ; fold
+        li   a6, {CHUNK}
+loop1:  bge  s7, s5, out1
+        slli t0, s7, 3
+        add  t0, t0, s4
+        ld   t1, 0(t0)                ; board
+        srli t2, t1, 1                ; SWAR popcount
+        and  t2, t2, s0
+        sub  t1, t1, t2
+        and  t3, t1, s1
+        srli t4, t1, 2
+        and  t4, t4, s1
+        add  t1, t3, t4
+        srli t5, t1, 4
+        add  t1, t1, t5
+        and  t1, t1, s2
+        mul  t1, t1, s3
+        srli t1, t1, 56
+        add  s6, s6, t1
+        ld   t6, 0(t0)                ; regenerate attack spread
+        slli t7, t6, 8                ;   north one rank
+        srli a0, t6, 8                ;   south one rank
+        or   t7, t7, a0
+        slli a1, t6, 1                ;   east/west files (approximate)
+        srli a2, t6, 1
+        or   a1, a1, a2
+        or   t7, t7, a1
+        xor  s8, s8, t7
+        addi s7, s7, 1
+        addi a6, a6, -1
+        bnez a6, loop1
+out1:   sd   s7, 0(a7)
+        sd   s6, 8(a7)
+        sd   s8, 16(a7)
+        slt  a1, s7, s5       ; more boards left?
+        ret
+
+body2:  li   s0, 0x5555555555555555
+        li   s1, 0x3333333333333333
+        li   s2, 0x0f0f0f0f0f0f0f0f
+        li   s3, 0x0101010101010101
+        li   s4, {BOARDS}
+        li   s5, {NBOARDS}
+        la   a7, state
+        ld   s7, 24(a7)       ; pair index
+        ld   s9, 32(a7)       ; pair total
+        li   a6, {CHUNK}
+loop2:  bge  s7, s5, out2
+        slli t0, s7, 3
+        add  t0, t0, s4
+        ld   t1, 0(t0)
+        ld   t2, 8(t0)
+        and  t3, t1, t2
+        srli t4, t3, 1                ; popcount of the intersection
+        and  t4, t4, s0
+        sub  t3, t3, t4
+        and  t5, t3, s1
+        srli t6, t3, 2
+        and  t6, t6, s1
+        add  t3, t5, t6
+        srli t7, t3, 4
+        add  t3, t3, t7
+        and  t3, t3, s2
+        mul  t3, t3, s3
+        srli t3, t3, 56
+        add  s9, s9, t3
+        addi s7, s7, 2
+        addi a6, a6, -1
+        bnez a6, loop2
+out2:   sd   s7, 24(a7)
+        sd   s9, 32(a7)
+        slt  a1, s7, s5
+        ret
+)";
+
+uint64_t
+popcount64(uint64_t v)
+{
+    return static_cast<uint64_t>(__builtin_popcountll(v));
+}
+
+} // namespace
+
+Workload
+buildCrafty(const WorkloadParams &p)
+{
+    const uint64_t n_boards = 40 * 1000 * p.scale;
+    const Addr base = layout::dataBase;
+
+    Rng rng(p.seed * 0x51c3u + 7);
+    std::vector<uint64_t> boards(n_boards);
+    for (auto &b : boards) {
+        // Sparse-ish boards, like piece placements.
+        b = rng.next() & rng.next();
+        if (rng.chance(0.25))
+            b &= rng.next();
+    }
+
+    // Reference model.
+    uint64_t pop_total = 0, fold = 0, pair_total = 0;
+    for (uint64_t i = 0; i < n_boards; ++i) {
+        const uint64_t b = boards[i];
+        pop_total += popcount64(b);
+        uint64_t spread = ((b << 8) | (b >> 8)) | ((b << 1) | (b >> 1));
+        fold ^= spread;
+    }
+    for (uint64_t i = 0; i + 1 < n_boards; i += 2)
+        pair_total += popcount64(boards[i] & boards[i + 1]);
+    const uint64_t checksum = ((pop_total << 20) + pair_total) ^ fold;
+
+    Workload w;
+    w.name = "crafty";
+    w.description = "bitboard SWAR popcounts and mask generation "
+                    "(high ILP, pinned high-use constants)";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"BOARDS", numStr(base)},
+        {"NBOARDS", numStr(n_boards)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(128)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, boards, base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < boards.size(); ++i)
+            mem.write(base + i * 8, 8, boards[i]);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * `eon`-like kernel: fixed-point vector mathematics.
+ *
+ * eon is the one SPECint 2000 benchmark with meaningful floating-point
+ * content (a C++ ray tracer). This kernel runs Q32.32 dot products and
+ * periodic normalization divides over vector arrays, keeping the
+ * FxAlu (3-cycle) and FxMulDiv (4/18-cycle) units busy the way eon's
+ * shading math keeps FP units busy.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Vectors are 4 x Q32.32 components. For each pair (a[i], b[i]):
+//   dot = sum_k fxmul(a_k, b_k); every 16th pair, dot = fxdiv(dot, norm).
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 0             ; vector index
+        .word64 0             ; checksum
+
+        .code
+start:  li   sp, {STACKTOP}
+main:   call body
+        bnez a1, main
+        la   t0, state
+        ld   t1, 8(t0)
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   li   s0, {ABASE}
+        li   s1, {BBASE}
+        li   s2, {NVECS}
+        li   s5, {NORM}       ; normalization constant (high-use)
+        la   a7, state
+        ld   s3, 0(a7)        ; vector index
+        ld   s4, 8(a7)        ; checksum
+        li   a6, {CHUNK}
+loop:   bge  s3, s2, out
+        slli t0, s3, 5        ; 32 bytes per vector
+        add  t1, t0, s0
+        add  t2, t0, s1
+        ld   t3, 0(t1)        ; a components
+        ld   t4, 8(t1)
+        ld   t5, 16(t1)
+        ld   t6, 24(t1)
+        ld   a0, 0(t2)        ; b components
+        ld   a1, 8(t2)
+        ld   a2, 16(t2)
+        ld   a3, 24(t2)
+        fxmul t3, t3, a0      ; elementwise products
+        fxmul t4, t4, a1
+        fxmul t5, t5, a2
+        fxmul t6, t6, a3
+        fxadd t3, t3, t4      ; reduce
+        fxadd t5, t5, t6
+        fxadd t3, t3, t5      ; dot product
+        andi t7, s3, 15       ; every 16th: normalize
+        bnez t7, accum
+        fxdiv t3, t3, s5
+accum:  xor  s4, s4, t3
+        slli s4, s4, 1
+        srli t7, s4, 63       ; keep it a rotate so bits survive
+        or   s4, s4, t7
+        addi s3, s3, 1
+        addi a6, a6, -1
+        bnez a6, loop
+out:    sd   s3, 0(a7)
+        sd   s4, 8(a7)
+        slt  a1, s3, s2
+        ret
+)";
+
+int64_t
+fxmulRef(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(
+        (static_cast<__int128>(a) * static_cast<__int128>(b)) >> 32);
+}
+
+int64_t
+fxdivRef(int64_t a, uint64_t b)
+{
+    if (b == 0)
+        return -1;
+    return static_cast<int64_t>((static_cast<__int128>(a) << 32) /
+                                static_cast<int64_t>(b));
+}
+
+} // namespace
+
+Workload
+buildEon(const WorkloadParams &p)
+{
+    const uint64_t n_vecs = 40 * 1000 * p.scale;
+    const Addr a_base = layout::dataBase;
+    const Addr b_base = layout::dataBase2;
+    const uint64_t norm = (3ULL << 32) + 0x8000; // ~3.0 in Q32.32
+
+    Rng rng(p.seed * 0x5e0du + 41);
+    std::vector<uint64_t> a(n_vecs * 4), b(n_vecs * 4);
+    for (auto &v : a)
+        v = rng.below(1ULL << 34); // small positive fixed-point values
+    for (auto &v : b)
+        v = rng.below(1ULL << 34);
+
+    // Reference model.
+    uint64_t checksum = 0;
+    for (uint64_t i = 0; i < n_vecs; ++i) {
+        int64_t dot = 0;
+        int64_t partial[4];
+        for (int k = 0; k < 4; ++k)
+            partial[k] = fxmulRef(static_cast<int64_t>(a[i * 4 + k]),
+                                  static_cast<int64_t>(b[i * 4 + k]));
+        dot = (partial[0] + partial[1]) + (partial[2] + partial[3]);
+        if ((i & 15) == 0)
+            dot = fxdivRef(dot, norm);
+        // Matches the kernel's shift-then-or sequence exactly (the
+        // or-ed bit is read from the already shifted value).
+        checksum ^= static_cast<uint64_t>(dot);
+        checksum <<= 1;
+        checksum |= checksum >> 63;
+    }
+
+    Workload w;
+    w.name = "eon";
+    w.description = "fixed-point dot products and normalization "
+                    "(long-latency unit pressure)";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"ABASE", numStr(a_base)},
+        {"BBASE", numStr(b_base)},
+        {"NVECS", numStr(n_vecs)},
+        {"NORM", numStr(norm)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(256)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, a, b, a_base,
+                    b_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < a.size(); ++i)
+            mem.write(a_base + i * 8, 8, a[i]);
+        for (uint64_t i = 0; i < b.size(); ++i)
+            mem.write(b_base + i * 8, 8, b[i]);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

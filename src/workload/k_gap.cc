@@ -1,0 +1,175 @@
+/**
+ * @file
+ * `gap`-like kernel: multi-precision integer arithmetic.
+ *
+ * GAP's computer-algebra workload is dominated by big-number loops:
+ * limb-wise adds with carry propagation (serial dependence through the
+ * carry) and schoolbook multiplication (mul/mulh pairs with medium
+ * fan-out partial products).
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Numbers are LIMBS x 64-bit little-endian limbs, packed contiguously.
+// The kernel sums products A[i] * B[i] (mod 2^(64*LIMBS)) into ACC for
+// all pairs, then folds ACC into a checksum.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s4, 0            ; pair index
+mloop:  mv   a0, s4
+        call pairmul
+        addi s4, s4, 1
+        li   t0, {NPAIRS}
+        blt  s4, t0, mloop
+        call foldacc
+        la   t0, result
+        sd   a1, 0(t0)
+        halt
+
+        ; multiply pair a0, accumulating into ACC
+pairmul: li  s0, {ABASE}
+        li   s1, {BBASE}
+        li   s2, {ACC}
+        slli t0, a0, {LOGBYTES}
+        add  s5, s0, t0       ; a = &A[pair]
+        add  s6, s1, t0       ; b = &B[pair]
+        ; --- multiply a (LIMBS limbs) by b, accumulate into ACC ---
+        li   s7, 0            ; i
+iloop:  slli t1, s7, 3
+        add  t2, s5, t1
+        ld   s8, 0(t2)        ; a_i
+        li   s9, 0            ; j
+        li   a0, 0            ; carry
+jloop:  add  t3, s7, s9       ; k = i + j
+        li   t4, {LIMBS}
+        bge  t3, t4, jdone    ; drop limbs beyond the modulus
+        slli t5, s9, 3
+        add  t6, s6, t5
+        ld   t6, 0(t6)        ; b_j
+        mul  t7, s8, t6       ; low partial product
+        mulh a1, s8, t6       ; high partial product
+        slli a2, t3, 3
+        add  a2, a2, s2       ; &ACC[k]
+        ld   a3, 0(a2)
+        add  a4, a3, t7       ; acc += lo
+        sltu a5, a4, a3       ; carry out of low add
+        add  a4, a4, a0       ; plus incoming carry
+        sltu a6, a4, a0
+        add  a5, a5, a6
+        sd   a4, 0(a2)
+        add  a0, a1, a5       ; next carry = hi + carries
+        addi s9, s9, 1
+        li   t4, {LIMBS}
+        blt  s9, t4, jloop
+jdone:  addi s7, s7, 1
+        li   t4, {LIMBS}
+        blt  s7, t4, iloop
+        ret
+
+        ; fold ACC into a checksum, returned in a1
+foldacc: li  s2, {ACC}
+        li   s7, 0
+        li   a7, 0
+fold1:  slli t0, s7, 3
+        add  t0, t0, s2
+        ld   t1, 0(t0)
+        slli t2, a7, 7
+        srli t3, a7, 57
+        or   t2, t2, t3       ; rotate left 7
+        xor  a7, t2, t1
+        addi s7, s7, 1
+        li   t4, {LIMBS}
+        blt  s7, t4, fold1
+        mv   a1, a7
+        ret
+)";
+
+} // namespace
+
+Workload
+buildGap(const WorkloadParams &p)
+{
+    constexpr uint64_t limbs = 8;
+    const uint64_t n_pairs = 2200 * p.scale;
+    const Addr a_base = layout::dataBase;
+    const Addr b_base = layout::dataBase2;
+    const Addr acc = layout::resultArea + 0x100;
+
+    Rng rng(p.seed * 0x77f1u + 3);
+    std::vector<uint64_t> a(n_pairs * limbs), b(n_pairs * limbs);
+    for (auto &v : a)
+        v = rng.next();
+    for (auto &v : b)
+        v = rng.next();
+
+    // Reference model.
+    std::vector<uint64_t> ref_acc(limbs, 0);
+    for (uint64_t pair = 0; pair < n_pairs; ++pair) {
+        const uint64_t *pa = &a[pair * limbs];
+        const uint64_t *pb = &b[pair * limbs];
+        for (uint64_t i = 0; i < limbs; ++i) {
+            uint64_t carry = 0;
+            for (uint64_t j = 0; i + j < limbs; ++j) {
+                const uint64_t k = i + j;
+                const __uint128_t prod =
+                    static_cast<__uint128_t>(pa[i]) * pb[j];
+                const uint64_t lo = static_cast<uint64_t>(prod);
+                const uint64_t hi = static_cast<uint64_t>(prod >> 64);
+                uint64_t sum = ref_acc[k] + lo;
+                uint64_t c = sum < ref_acc[k];
+                sum += carry;
+                c += sum < carry;
+                ref_acc[k] = sum;
+                carry = hi + c;
+            }
+        }
+    }
+    uint64_t checksum = 0;
+    for (uint64_t i = 0; i < limbs; ++i)
+        checksum = ((checksum << 7) | (checksum >> 57)) ^ ref_acc[i];
+
+    Workload w;
+    w.name = "gap";
+    w.description = "multi-precision schoolbook multiply-accumulate "
+                    "with carry chains";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"ABASE", numStr(a_base)},
+        {"BBASE", numStr(b_base)},
+        {"ACC", numStr(acc)},
+        {"NPAIRS", numStr(n_pairs)},
+        {"LIMBS", numStr(limbs)},
+        {"LOGBYTES", numStr(6)}, // limbs * 8 bytes = 64
+        {"STACKTOP", numStr(layout::stackTop)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, a, b, a_base, b_base,
+                    acc](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < a.size(); ++i)
+            mem.write(a_base + i * 8, 8, a[i]);
+        for (uint64_t i = 0; i < b.size(); ++i)
+            mem.write(b_base + i * 8, 8, b[i]);
+        for (uint64_t i = 0; i < limbs; ++i)
+            mem.write(acc + i * 8, 8, 0);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

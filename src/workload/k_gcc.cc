@@ -1,0 +1,210 @@
+/**
+ * @file
+ * `gcc`-like kernel: expression-tree walking with indirect dispatch.
+ *
+ * Compilers traverse IR trees dispatching on node kinds. This kernel
+ * recursively evaluates random binary expression trees, dispatching on
+ * the operator through a jump table (indirect jumps for the cascading
+ * indirect predictor) with recursive calls (return-address stack).
+ *
+ * Node layout: op(8) value(8) left(8) right(8) = 32 bytes.
+ * op 0 = leaf; ops 1..4 = add, sub, mul, xor.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+jumptable:
+        .word64 0, op_add, op_sub, op_mul, op_xor
+
+state:  .word64 0             ; root index
+        .word64 0             ; checksum
+
+        .code
+start:  li   sp, {STACKTOP}
+main:   call chunkfn
+        bnez a1, main
+        la   t0, state
+        ld   t1, 8(t0)
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+        ; evaluate a chunk of roots; returns nonzero while work remains
+chunkfn: addi sp, sp, -8
+        sd   ra, 0(sp)
+        li   s0, {ROOTS}      ; array of root pointers
+        li   s1, {NROOTS}
+        la   a7, state        ; eval does not touch a7 or s-registers
+        ld   s2, 0(a7)        ; root index
+        ld   s3, 8(a7)        ; checksum
+        li   s5, {CHUNK}
+cloop:  bge  s2, s1, cout
+        slli t0, s2, 3
+        add  t0, t0, s0
+        ld   a0, 0(t0)        ; root node
+        call eval
+        slli t1, s3, 5        ; checksum = checksum*31 + value
+        sub  t1, t1, s3
+        add  s3, t1, a1
+        addi s2, s2, 1
+        addi s5, s5, -1
+        bnez s5, cloop
+cout:   sd   s2, 0(a7)
+        sd   s3, 8(a7)
+        slt  a1, s2, s1
+        ld   ra, 0(sp)
+        addi sp, sp, 8
+        ret
+
+eval:   ld   t0, 0(a0)        ; node op
+        bnez t0, internal
+        ld   a1, 8(a0)        ; leaf: return its value
+        ret
+internal:
+        addi sp, sp, -24
+        sd   ra, 0(sp)
+        sd   a0, 8(sp)
+        ld   a0, 16(a0)       ; left child
+        call eval
+        sd   a1, 16(sp)       ; left result
+        ld   a0, 8(sp)
+        ld   a0, 24(a0)       ; right child
+        call eval
+        ld   t1, 16(sp)       ; left result
+        ld   a0, 8(sp)
+        ld   t0, 0(a0)        ; op again
+        la   t2, jumptable    ; dispatch through the jump table
+        slli t3, t0, 3
+        add  t2, t2, t3
+        ld   t2, 0(t2)
+        jr   t2
+op_add: add  a1, t1, a1
+        j    evdone
+op_sub: sub  a1, t1, a1
+        j    evdone
+op_mul: mul  a1, t1, a1
+        j    evdone
+op_xor: xor  a1, t1, a1
+evdone: ld   ra, 0(sp)
+        addi sp, sp, 24
+        ret
+)";
+
+struct Node
+{
+    uint64_t op; // 0 leaf, 1..4 ops
+    uint64_t value;
+    uint32_t left;  // node index
+    uint32_t right;
+};
+
+/** Recursively build a random tree; returns its node index. */
+uint32_t
+genTree(Rng &rng, int depth, std::vector<Node> &nodes)
+{
+    const uint32_t idx = static_cast<uint32_t>(nodes.size());
+    nodes.push_back({});
+    // Mostly depth-determined shape (predictable leaf/internal
+    // branches, as real IR trees are) with some randomness, plus a
+    // global size cap to bound the footprint.
+    const bool leaf = depth >= 4 ? !rng.chance(0.03)
+                                 : rng.chance(0.04);
+    if (depth >= 8 || nodes.size() > 150000 || leaf) {
+        nodes[idx] = {0, rng.below(1ULL << 32), 0, 0};
+        return idx;
+    }
+    // Skewed operator mix, like real IR opcode frequencies; the
+    // dominant opcode keeps the indirect dispatch predictable.
+    const uint64_t opr = rng.below(100);
+    const uint64_t op = opr < 55 ? 1 : opr < 80 ? 2 : opr < 95 ? 3 : 4;
+    const uint32_t l = genTree(rng, depth + 1, nodes);
+    const uint32_t r = genTree(rng, depth + 1, nodes);
+    nodes[idx] = {op, 0, l, r};
+    return idx;
+}
+
+uint64_t
+evalTree(const std::vector<Node> &nodes, uint32_t idx)
+{
+    const Node &n = nodes[idx];
+    if (n.op == 0)
+        return n.value;
+    const uint64_t l = evalTree(nodes, n.left);
+    const uint64_t r = evalTree(nodes, n.right);
+    switch (n.op) {
+      case 1: return l + r;
+      case 2: return l - r;
+      case 3: return l * r;
+      default: return l ^ r;
+    }
+}
+
+} // namespace
+
+Workload
+buildGcc(const WorkloadParams &p)
+{
+    const uint64_t n_roots = 2400 * p.scale;
+    const Addr nodes_base = layout::dataBase;
+    const Addr roots_base = layout::dataBase2;
+    constexpr uint64_t node_size = 32;
+
+    Rng rng(p.seed * 0x6b8du + 83);
+    std::vector<Node> nodes;
+    // Node index 0 is a dummy so "index 0" is never a real child.
+    nodes.push_back({0, 0, 0, 0});
+    std::vector<uint32_t> roots(n_roots);
+    for (auto &r : roots)
+        r = genTree(rng, 0, nodes);
+
+    // Reference model.
+    uint64_t checksum = 0;
+    for (uint32_t r : roots)
+        checksum = checksum * 31 + evalTree(nodes, r);
+
+    Workload w;
+    w.name = "gcc";
+    w.description = "recursive expression-tree evaluation with "
+                    "jump-table indirect dispatch";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"ROOTS", numStr(roots_base)},
+        {"NROOTS", numStr(n_roots)},
+        {"CHUNK", numStr(128)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, nodes, roots, nodes_base,
+                    roots_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < nodes.size(); ++i) {
+            const Addr a = nodes_base + i * node_size;
+            mem.write(a, 8, nodes[i].op);
+            mem.write(a + 8, 8, nodes[i].value);
+            mem.write(a + 16, 8, nodes_base + nodes[i].left * node_size);
+            mem.write(a + 24, 8,
+                      nodes_base + nodes[i].right * node_size);
+        }
+        for (uint64_t i = 0; i < roots.size(); ++i)
+            mem.write(roots_base + i * 8, 8,
+                      nodes_base + roots[i] * node_size);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

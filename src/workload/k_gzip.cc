@@ -1,0 +1,136 @@
+/**
+ * @file
+ * `gzip`-like kernel: run-length compression of a byte buffer.
+ *
+ * Mirrors the inner character of LZ-family compressors: byte loads,
+ * data-dependent short match loops, and branchy control flow with
+ * moderately predictable exits. The input is generated with runs of
+ * random length so match loops have realistic (short, skewed) trip
+ * counts.
+ */
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// The compressor body is a function called per ~512-byte chunk, with
+// cursors and the running checksum spilled to a statics area between
+// calls -- the register-lifetime structure of real compiled code.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 {INBUF}       ; input cursor
+        .word64 {INLEN}       ; bytes remaining
+        .word64 {OUTBUF}      ; output cursor
+        .word64 0             ; checksum
+
+        .code
+start:  li   sp, {STACKTOP}
+main:   call body
+        bnez a1, main
+        la   t0, state
+        ld   t1, 24(t0)
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   la   a7, state
+        ld   s0, 0(a7)        ; input cursor
+        ld   s1, 8(a7)        ; bytes remaining
+        ld   s2, 16(a7)       ; output cursor
+        ld   s3, 24(a7)       ; checksum
+        li   a6, {CHUNK}      ; byte budget for this call
+outer:  beqz s1, done
+        lbu  t0, 0(s0)        ; run byte
+        li   t1, 1            ; run length
+run:    bge  t1, s1, runend   ; stop at end of input
+        add  t2, s0, t1
+        lbu  t3, 0(t2)
+        bne  t3, t0, runend
+        addi t1, t1, 1
+        li   t4, 255
+        blt  t1, t4, run
+runend: sb   t0, 0(s2)        ; emit (byte, length)
+        sb   t1, 1(s2)
+        addi s2, s2, 2
+        slli t5, s3, 5        ; checksum = checksum*33 + byte + len
+        add  s3, t5, s3
+        add  s3, s3, t0
+        add  s3, s3, t1
+        add  s0, s0, t1
+        sub  s1, s1, t1
+        sub  a6, a6, t1
+        blt  zero, a6, outer
+done:   sd   s0, 0(a7)
+        sd   s1, 8(a7)
+        sd   s2, 16(a7)
+        sd   s3, 24(a7)
+        mv   a1, s1           ; remaining work indicator
+        ret
+)";
+
+} // namespace
+
+Workload
+buildGzip(const WorkloadParams &p)
+{
+    const uint64_t in_len = 96 * 1024 * p.scale;
+    const Addr in_buf = layout::dataBase;
+    const Addr out_buf = layout::outputBase;
+
+    // Generate the input: runs of a random byte, geometric-ish length.
+    Rng rng(p.seed * 0x67a3u + 11);
+    std::vector<uint8_t> input(in_len);
+    size_t pos = 0;
+    while (pos < in_len) {
+        const uint8_t byte = static_cast<uint8_t>(rng.below(64));
+        uint64_t run = 1 + rng.below(4);
+        if (rng.chance(0.15))
+            run += rng.below(24); // occasional long runs
+        for (uint64_t i = 0; i < run && pos < in_len; ++i)
+            input[pos++] = byte;
+    }
+
+    // C++ reference model of the kernel's RLE + checksum.
+    uint64_t checksum = 0;
+    {
+        uint64_t i = 0;
+        while (i < in_len) {
+            const uint8_t byte = input[i];
+            uint64_t len = 1;
+            while (len < 255 && i + len < in_len &&
+                   input[i + len] == byte)
+                ++len;
+            checksum = checksum * 33 + byte + len;
+            i += len;
+        }
+    }
+
+    Workload w;
+    w.name = "gzip";
+    w.description = "run-length compression over a byte stream "
+                    "(LZ-style match loops)";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"INBUF", numStr(in_buf)},
+        {"INLEN", numStr(in_len)},
+        {"OUTBUF", numStr(out_buf)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(512)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, input, in_buf](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        mem.writeBlock(in_buf, input.data(), input.size());
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

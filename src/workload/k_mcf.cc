@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `mcf`-like kernel: pointer chasing over a large linked structure.
+ *
+ * mcf's network-simplex traversals are dominated by serial dependent
+ * loads over a working set far exceeding the L1. This kernel walks a
+ * randomly permuted circular linked list of nodes (footprint larger
+ * than L1, comparable to L2) accumulating node fields and updating a
+ * per-node accumulator on a data-dependent condition. ILP is minimal:
+ * each iteration depends on the previous node's `next` pointer.
+ */
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Node layout: next(8) value(8) acc(8) pad(8) = 32 bytes. Like the
+// real network simplex, the kernel alternates two phases: a serial
+// pointer chase along the permuted node ring, and an arc-style random
+// gather over the node array whose independent loads expose high
+// memory-level parallelism. Both phases are chunked functions with
+// their running state spilled to statics between calls.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 {NODE0}       ; current node (chase)
+        .word64 0             ; chase sum
+        .word64 {GSEED}       ; gather LCG state
+        .word64 0             ; gather sum
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s9, {NCALLS}
+main:   call body
+        call gather
+        addi s9, s9, -1
+        bnez s9, main
+        la   t0, state
+        ld   t1, 8(t0)        ; chase sum
+        ld   t2, 24(t0)       ; gather sum
+        slli t3, t2, 20
+        srli t4, t2, 44
+        or   t3, t3, t4       ; rotate gather sum left 20
+        add  t1, t1, t3
+        la   t5, result
+        sd   t1, 0(t5)
+        halt
+
+body:   la   a7, state
+        ld   s0, 0(a7)
+        ld   s2, 8(a7)
+        li   s1, {CHUNK}
+loop:   ld   t0, 0(s0)        ; next pointer (serial dependence)
+        ld   t1, 8(s0)        ; value
+        add  s2, s2, t1
+        andi t2, t1, 7        ; update acc on value % 8 == 0
+        bnez t2, skip
+        ld   t3, 16(s0)
+        add  t3, t3, s2
+        sd   t3, 16(s0)
+skip:   mv   s0, t0
+        addi s1, s1, -1
+        bnez s1, loop
+        sd   s0, 0(a7)
+        sd   s2, 8(a7)
+        ret
+
+gather: li   s0, {NODES}
+        li   s7, {LCGMUL}
+        li   s8, {LCGADD}
+        li   s6, {NODEMASK}
+        la   a7, state
+        ld   s3, 16(a7)       ; LCG state
+        ld   s2, 24(a7)       ; gather sum
+        li   s1, {CHUNK}
+gloop:  mul  s3, s3, s7       ; independent random node index
+        add  s3, s3, s8
+        srli t0, s3, 30
+        and  t0, t0, s6
+        slli t0, t0, 5        ; *32 bytes per node
+        add  t0, t0, s0
+        ld   t1, 8(t0)        ; node value (high MLP: no serial dep)
+        add  s2, s2, t1
+        addi s1, s1, -1
+        bnez s1, gloop
+        sd   s3, 16(a7)
+        sd   s2, 24(a7)
+        ret
+)";
+
+constexpr uint64_t chaseChunk = 256;
+constexpr uint64_t lcgMul = 6364136223846793005ULL;
+constexpr uint64_t lcgAdd = 1442695040888963407ULL;
+
+} // namespace
+
+Workload
+buildMcf(const WorkloadParams &p)
+{
+    // Power-of-two node count for gather masking; 1 MB footprint
+    // straddles the L2 so both phases see real memory behaviour.
+    const uint64_t n_nodes = 32 * 1024 * p.scale;
+    const uint64_t n_calls = 352 * p.scale;
+    const uint64_t n_iter = n_calls * chaseChunk;
+    const uint64_t gather_seed = p.seed * 0x5851u + 0x9e37u;
+    const Addr base = layout::dataBase;
+    constexpr uint64_t node_size = 32;
+
+    // Random cyclic permutation so the chase defeats the prefetcher.
+    Rng rng(p.seed * 0x9d2cu + 5);
+    std::vector<uint32_t> order(n_nodes);
+    for (uint64_t i = 0; i < n_nodes; ++i)
+        order[i] = static_cast<uint32_t>(i);
+    for (uint64_t i = n_nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    std::vector<uint64_t> next(n_nodes), value(n_nodes);
+    for (uint64_t i = 0; i < n_nodes; ++i) {
+        const uint64_t cur = order[i];
+        const uint64_t nxt = order[(i + 1) % n_nodes];
+        next[cur] = base + nxt * node_size;
+        value[cur] = rng.below(1 << 20);
+    }
+
+    // Reference model: chase sum plus rotated gather sum.
+    uint64_t sum = 0;
+    {
+        uint64_t chase_sum = 0;
+        uint64_t node = order[0];
+        for (uint64_t it = 0; it < n_iter; ++it) {
+            chase_sum += value[node];
+            // The acc update does not affect the checksum.
+            node = (next[node] - base) / node_size;
+        }
+        uint64_t gather_sum = 0;
+        uint64_t s = gather_seed;
+        for (uint64_t it = 0; it < n_iter; ++it) {
+            s = s * lcgMul + lcgAdd;
+            gather_sum += value[(s >> 30) & (n_nodes - 1)];
+        }
+        sum = chase_sum +
+              ((gather_sum << 20) | (gather_sum >> 44));
+    }
+
+    Workload w;
+    w.name = "mcf";
+    w.description = "serial pointer chasing over a 1.5 MB linked list";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"NODE0", numStr(base + order[0] * node_size)},
+        {"NODES", numStr(base)},
+        {"NCALLS", numStr(n_calls)},
+        {"CHUNK", numStr(chaseChunk)},
+        {"GSEED", numStr(gather_seed)},
+        {"LCGMUL", numStr(lcgMul)},
+        {"LCGADD", numStr(lcgAdd)},
+        {"NODEMASK", numStr(n_nodes - 1)},
+        {"STACKTOP", numStr(layout::stackTop)},
+    }));
+    w.expectedResult = sum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, next, value, base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < next.size(); ++i) {
+            mem.write(base + i * node_size, 8, next[i]);
+            mem.write(base + i * node_size + 8, 8, value[i]);
+            // acc and pad start zero.
+        }
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

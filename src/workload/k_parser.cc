@@ -1,0 +1,261 @@
+/**
+ * @file
+ * `parser`-like kernel: tokenizing recursive-descent expression parser.
+ *
+ * The SPEC link-grammar parser is call-heavy, branchy byte processing.
+ * This kernel parses a stream of arithmetic expressions
+ * (digits, + - *, parentheses) by recursive descent: deep call/return
+ * chains exercise the return-address stack, and the token-dispatch
+ * compare chains mimic the parser's branch profile.
+ *
+ * Grammar: expr := term (('+'|'-') term)* ; term := factor ('*' factor)*
+ *          factor := number | '(' expr ')'
+ * Expressions are separated by ';' and the stream ends with '$'.
+ * All arithmetic is modulo 2^64.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Cursor lives in s0 across all calls. Results return in a1.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s0, {TEXT}       ; cursor
+        li   s1, 0            ; checksum
+top:    lbu  t0, 0(s0)
+        li   t7, 36           ; '$' (rematerialized per expression)
+        beq  t0, t7, finish
+        call parse_expr
+        slli t1, s1, 3        ; checksum = checksum*9 + value
+        add  s1, t1, s1
+        add  s1, s1, a1
+        lbu  t0, 0(s0)        ; skip the ';'
+        addi s0, s0, 1
+        j    top
+finish: la   t0, result
+        sd   s1, 0(t0)
+        halt
+
+parse_expr:
+        addi sp, sp, -16
+        sd   ra, 0(sp)
+        call parse_term
+        sd   a1, 8(sp)        ; accumulator
+pe_loop:
+        lbu  t0, 0(s0)
+        li   t1, '+'
+        beq  t0, t1, pe_add
+        li   t1, '-'
+        beq  t0, t1, pe_sub
+        ld   a1, 8(sp)
+        ld   ra, 0(sp)
+        addi sp, sp, 16
+        ret
+pe_add: addi s0, s0, 1
+        call parse_term
+        ld   t2, 8(sp)
+        add  t2, t2, a1
+        sd   t2, 8(sp)
+        j    pe_loop
+pe_sub: addi s0, s0, 1
+        call parse_term
+        ld   t2, 8(sp)
+        sub  t2, t2, a1
+        sd   t2, 8(sp)
+        j    pe_loop
+
+parse_term:
+        addi sp, sp, -16
+        sd   ra, 0(sp)
+        call parse_factor
+        sd   a1, 8(sp)
+pt_loop:
+        lbu  t0, 0(s0)
+        li   t1, '*'
+        bne  t0, t1, pt_done
+        addi s0, s0, 1
+        call parse_factor
+        ld   t2, 8(sp)
+        mul  t2, t2, a1
+        sd   t2, 8(sp)
+        j    pt_loop
+pt_done:
+        ld   a1, 8(sp)
+        ld   ra, 0(sp)
+        addi sp, sp, 16
+        ret
+
+parse_factor:
+        lbu  t0, 0(s0)
+        li   t1, '('
+        beq  t0, t1, pf_paren
+        li   a1, 0            ; parse a number
+pf_num: lbu  t0, 0(s0)
+        li   t1, '0'
+        blt  t0, t1, pf_ret
+        li   t1, '9'
+        bgt  t0, t1, pf_ret
+        slli t2, a1, 3        ; a1 = a1*10 + digit
+        slli t3, a1, 1
+        add  a1, t2, t3
+        addi t0, t0, -48
+        add  a1, a1, t0
+        addi s0, s0, 1
+        j    pf_num
+pf_ret: ret
+pf_paren:
+        addi sp, sp, -8
+        sd   ra, 0(sp)
+        addi s0, s0, 1        ; consume '('
+        call parse_expr
+        addi s0, s0, 1        ; consume ')'
+        ld   ra, 0(sp)
+        addi sp, sp, 8
+        ret
+)";
+
+/** Reference recursive-descent parser matching the kernel. */
+class RefParser
+{
+  public:
+    explicit RefParser(const std::string &text) : s(text) {}
+
+    uint64_t
+    checksumAll()
+    {
+        uint64_t checksum = 0;
+        while (s[pos] != '$') {
+            const uint64_t v = expr();
+            checksum = checksum * 9 + v;
+            ++pos; // ';'
+        }
+        return checksum;
+    }
+
+  private:
+    uint64_t
+    expr()
+    {
+        uint64_t acc = term();
+        while (s[pos] == '+' || s[pos] == '-') {
+            const char op = s[pos++];
+            const uint64_t rhs = term();
+            acc = op == '+' ? acc + rhs : acc - rhs;
+        }
+        return acc;
+    }
+
+    uint64_t
+    term()
+    {
+        uint64_t acc = factor();
+        while (s[pos] == '*') {
+            ++pos;
+            acc *= factor();
+        }
+        return acc;
+    }
+
+    uint64_t
+    factor()
+    {
+        if (s[pos] == '(') {
+            ++pos;
+            const uint64_t v = expr();
+            ++pos; // ')'
+            return v;
+        }
+        uint64_t v = 0;
+        while (s[pos] >= '0' && s[pos] <= '9')
+            v = v * 10 + (s[pos++] - '0');
+        return v;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+/** Generate a random expression into out. */
+void
+genExpr(Rng &rng, int depth, std::string &out)
+{
+    auto gen_factor = [&](auto &&self_expr) {
+        if (depth < 6 && rng.chance(0.22)) {
+            out += '(';
+            self_expr();
+            out += ')';
+        } else {
+            out += std::to_string(rng.below(1000));
+        }
+    };
+    auto gen_term = [&](auto &&self_expr) {
+        gen_factor(self_expr);
+        while (rng.chance(0.3)) {
+            out += '*';
+            gen_factor(self_expr);
+        }
+    };
+    // A lambda that can recurse through genExpr.
+    auto self_expr = [&] { genExpr(rng, depth + 1, out); };
+    gen_term(self_expr);
+    while (rng.chance(0.4)) {
+        out += rng.chance(0.5) ? '+' : '-';
+        gen_term(self_expr);
+    }
+}
+
+} // namespace
+
+Workload
+buildParser(const WorkloadParams &p)
+{
+    const uint64_t n_exprs = 7000 * p.scale;
+    const Addr text_base = layout::dataBase;
+
+    Rng rng(p.seed * 0x2f61u + 71);
+    std::string text;
+    for (uint64_t i = 0; i < n_exprs; ++i) {
+        genExpr(rng, 0, text);
+        text += ';';
+    }
+    text += '$';
+
+    RefParser ref(text);
+    const uint64_t checksum = ref.checksumAll();
+
+    Workload w;
+    w.name = "parser";
+    w.description = "recursive-descent expression parsing (deep "
+                    "call/return chains, compare-chain dispatch)";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"TEXT", numStr(text_base)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, text, text_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        mem.writeBlock(text_base,
+                       reinterpret_cast<const uint8_t *>(text.data()),
+                       text.size());
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * `perlbmk`-like kernel: hashing and associative-array operations.
+ *
+ * Perl scripts hammer hash tables: compute a string hash, probe an
+ * open-addressed table, and insert or bump a value. Probe loops have
+ * data-dependent trip counts and the hit/miss branch is unpredictable.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Keys are 8-byte values, 0 meaning "empty slot". The table stores
+// key(8) value(8) pairs. Hash is a multiplicative mix.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 0             ; key index
+        .word64 0             ; checksum
+
+        .code
+start:  li   sp, {STACKTOP}
+main:   call body
+        bnez a1, main
+        la   t0, state
+        ld   t1, 8(t0)
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   li   s0, {KEYS}
+        li   s1, {TABLE}
+        li   s2, {NKEYS}
+        li   s5, {HASHMUL}    ; high-use hash constant
+        li   s6, {SLOTMASK}
+        la   a7, state
+        ld   s3, 0(a7)        ; key index
+        ld   s4, 8(a7)        ; checksum
+        li   a6, {CHUNK}
+loop:   bge  s3, s2, out
+        slli t0, s3, 3
+        add  t0, t0, s0
+        ld   t1, 0(t0)        ; key (never zero by construction)
+        mul  t2, t1, s5       ; hash: multiply, fold, shift
+        srli t3, t2, 29
+        xor  t2, t2, t3
+        and  t2, t2, s6       ; initial slot
+probe:  slli t4, t2, 4        ; 16 bytes per slot
+        add  t4, t4, s1
+        ld   t5, 0(t4)        ; slot key
+        beqz t5, insert       ; empty: insert here
+        beq  t5, t1, hit      ; found
+        addi t2, t2, 1        ; linear probe
+        and  t2, t2, s6
+        j    probe
+insert: sd   t1, 0(t4)
+        li   t6, 1
+        sd   t6, 8(t4)
+        addi s4, s4, 3        ; checksum: inserts count 3
+        j    nextk
+hit:    ld   t7, 8(t4)        ; bump the value
+        addi t7, t7, 1
+        sd   t7, 8(t4)
+        add  s4, s4, t7       ; checksum: running multiplicity
+nextk:  addi s3, s3, 1
+        addi a6, a6, -1
+        bnez a6, loop
+out:    sd   s3, 0(a7)
+        sd   s4, 8(a7)
+        slt  a1, s3, s2
+        ret
+)";
+
+constexpr uint64_t hashMul = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+Workload
+buildPerlbmk(const WorkloadParams &p)
+{
+    const uint64_t n_slots = 32768; // power of two
+    const uint64_t n_keys = 90 * 1000 * p.scale;
+    const uint64_t n_distinct = 18 * 1000;
+    const Addr keys_base = layout::dataBase;
+    const Addr table = layout::dataBase2;
+
+    Rng rng(p.seed * 0x7c01u + 61);
+    // A universe of distinct nonzero keys; the key stream repeats
+    // them with a skewed distribution (hot keys), like interpreter
+    // symbol tables.
+    std::vector<uint64_t> universe(n_distinct);
+    for (auto &k : universe)
+        k = rng.next() | 1;
+    std::vector<uint64_t> keys(n_keys);
+    for (auto &k : keys) {
+        const uint64_t r = rng.below(100);
+        if (r < 50)
+            k = universe[rng.below(64)]; // hot set
+        else if (r < 80)
+            k = universe[rng.below(1024)];
+        else
+            k = universe[rng.below(n_distinct)];
+    }
+
+    // Reference model.
+    uint64_t checksum = 0;
+    {
+        std::vector<uint64_t> tab_key(n_slots, 0), tab_val(n_slots, 0);
+        for (uint64_t key : keys) {
+            uint64_t h = key * hashMul;
+            h ^= h >> 29;
+            uint64_t slot = h & (n_slots - 1);
+            while (true) {
+                if (tab_key[slot] == 0) {
+                    tab_key[slot] = key;
+                    tab_val[slot] = 1;
+                    checksum += 3;
+                    break;
+                }
+                if (tab_key[slot] == key) {
+                    checksum += ++tab_val[slot];
+                    break;
+                }
+                slot = (slot + 1) & (n_slots - 1);
+            }
+        }
+    }
+
+    Workload w;
+    w.name = "perlbmk";
+    w.description = "open-addressed hash table probing with skewed "
+                    "key reuse";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"KEYS", numStr(keys_base)},
+        {"TABLE", numStr(table)},
+        {"NKEYS", numStr(n_keys)},
+        {"HASHMUL", numStr(hashMul)},
+        {"SLOTMASK", numStr(n_slots - 1)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(256)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, keys, keys_base, table,
+                    n_slots](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < keys.size(); ++i)
+            mem.write(keys_base + i * 8, 8, keys[i]);
+        for (uint64_t i = 0; i < n_slots * 2; ++i)
+            mem.write(table + i * 8, 8, 0);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * `twolf`-like kernel: linked-list surgery under annealing moves.
+ *
+ * twolf's placement/routing loops spend their time unlinking and
+ * re-inserting elements of doubly-linked lists at pseudo-random
+ * positions and evaluating cost deltas. The kernel keeps next/prev/val
+ * arrays, picks victims with an in-register LCG, and performs the
+ * unlink/insert pointer updates — dependent loads and stores with
+ * unpredictable addresses.
+ */
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+constexpr uint64_t lcgMul = 6364136223846793005ULL;
+constexpr uint64_t lcgAdd = 1442695040888963407ULL;
+
+// next[], prev[] hold element indices (8 bytes each); val[] holds
+// costs. Element 0 is a sentinel that is never moved.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 {SEED}        ; LCG state
+        .word64 0             ; cost accumulator
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s9, {NCALLS}
+main:   call body
+        addi s9, s9, -1
+        bnez s9, main
+        call walkfn           ; 1024-link walk checksum in a1
+        slli a1, a1, 20
+        la   t0, state
+        ld   t1, 8(t0)
+        add  t1, t1, a1
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   li   s0, {NEXT}
+        li   s1, {PREV}
+        li   s2, {VAL}
+        li   s4, {LCGMUL}
+        li   s5, {LCGADD}
+        li   s6, {MASK}
+        li   s7, {CHUNK}
+        la   t0, state
+        ld   s3, 0(t0)        ; LCG state
+        ld   s8, 8(t0)        ; cost accumulator
+loop:   mul  s3, s3, s4       ; pick victim a (nonzero)
+        add  s3, s3, s5
+        srli t0, s3, 33
+        and  t0, t0, s6
+        ori  t0, t0, 1        ; avoid the sentinel
+        mul  s3, s3, s4       ; pick insertion point b
+        add  s3, s3, s5
+        srli t1, s3, 33
+        and  t1, t1, s6
+        beq  t0, t1, skip     ; cannot insert after self
+        slli t2, t0, 3
+        add  t3, t2, s0
+        ld   t4, 0(t3)        ; n = next[a]
+        add  t5, t2, s1
+        ld   t6, 0(t5)        ; p = prev[a]
+        beq  t6, t1, skip     ; already after b? leave it
+        slli t7, t4, 3        ; unlink: prev[n] = p
+        add  t7, t7, s1
+        sd   t6, 0(t7)
+        slli a0, t6, 3        ; next[p] = n
+        add  a0, a0, s0
+        sd   t4, 0(a0)
+        slli a1, t1, 3        ; m = next[b]
+        add  a2, a1, s0
+        ld   a3, 0(a2)
+        sd   t0, 0(a2)        ; next[b] = a
+        slli a4, a3, 3        ; prev[m] = a
+        add  a4, a4, s1
+        sd   t0, 0(a4)
+        sd   t1, 0(t5)        ; prev[a] = b
+        sd   a3, 0(t3)        ; next[a] = m
+        slli a5, t0, 3        ; cost += |val[a] - val[b]|
+        add  a5, a5, s2
+        ld   a6, 0(a5)
+        slli a7, t1, 3
+        add  a7, a7, s2
+        ld   a7, 0(a7)
+        sub  a6, a6, a7
+        srai a7, a6, 63
+        xor  a6, a6, a7
+        sub  a6, a6, a7
+        add  s8, s8, a6
+skip:   addi s7, s7, -1
+        bnez s7, loop
+        la   t0, state
+        sd   s3, 0(t0)
+        sd   s8, 8(t0)
+        ret
+
+walkfn: li   s0, {NEXT}       ; walk 1024 links from the sentinel
+        li   s2, {VAL}
+        li   t0, 0
+        li   t1, 1024
+        li   t2, 0
+walk:   slli t3, t0, 3
+        add  t3, t3, s0
+        ld   t0, 0(t3)
+        slli t4, t0, 3
+        add  t4, t4, s2
+        ld   t5, 0(t4)
+        add  t2, t2, t5
+        addi t1, t1, -1
+        bnez t1, walk
+        mv   a1, t2
+        ret
+)";
+
+constexpr uint64_t moveChunk = 256;
+
+} // namespace
+
+Workload
+buildTwolf(const WorkloadParams &p)
+{
+    const uint64_t n_elems = 8192; // power of two for masking
+    const uint64_t n_calls = 196 * p.scale;
+    const uint64_t n_iter = n_calls * moveChunk;
+    const uint64_t seed0 = p.seed * 0x8d2bu + 0x111u;
+    const Addr next_base = layout::dataBase;
+    const Addr prev_base = layout::dataBase + n_elems * 8;
+    const Addr val_base = layout::dataBase + 2 * n_elems * 8;
+
+    Rng rng(p.seed * 0x44afu + 53);
+    std::vector<uint64_t> val(n_elems);
+    for (auto &v : val)
+        v = rng.below(1 << 16);
+
+    // Initial circular list in index order.
+    std::vector<uint64_t> next(n_elems), prev(n_elems);
+    for (uint64_t i = 0; i < n_elems; ++i) {
+        next[i] = (i + 1) % n_elems;
+        prev[i] = (i + n_elems - 1) % n_elems;
+    }
+
+    // Reference model replaying the kernel exactly.
+    uint64_t cost = 0;
+    {
+        std::vector<uint64_t> nx = next, pv = prev;
+        uint64_t s = seed0;
+        for (uint64_t it = 0; it < n_iter; ++it) {
+            s = s * lcgMul + lcgAdd;
+            const uint64_t a = ((s >> 33) & (n_elems - 1)) | 1;
+            s = s * lcgMul + lcgAdd;
+            const uint64_t b = (s >> 33) & (n_elems - 1);
+            if (a == b)
+                continue;
+            const uint64_t n = nx[a];
+            const uint64_t pr = pv[a];
+            if (pr == b)
+                continue;
+            pv[n] = pr;
+            nx[pr] = n;
+            const uint64_t m = nx[b];
+            nx[b] = a;
+            pv[m] = a;
+            pv[a] = b;
+            nx[a] = m;
+            const int64_t d = static_cast<int64_t>(val[a]) -
+                              static_cast<int64_t>(val[b]);
+            cost += static_cast<uint64_t>(d < 0 ? -d : d);
+        }
+        uint64_t walk_sum = 0;
+        uint64_t node = 0;
+        for (int i = 0; i < 1024; ++i) {
+            node = nx[node];
+            walk_sum += val[node];
+        }
+        cost += walk_sum << 20;
+    }
+
+    Workload w;
+    w.name = "twolf";
+    w.description = "doubly-linked-list unlink/insert churn with "
+                    "unpredictable victims";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"NEXT", numStr(next_base)},
+        {"PREV", numStr(prev_base)},
+        {"VAL", numStr(val_base)},
+        {"SEED", numStr(seed0)},
+        {"LCGMUL", numStr(lcgMul)},
+        {"LCGADD", numStr(lcgAdd)},
+        {"MASK", numStr(n_elems - 1)},
+        {"NCALLS", numStr(n_calls)},
+        {"CHUNK", numStr(moveChunk)},
+        {"STACKTOP", numStr(layout::stackTop)},
+    }));
+    w.expectedResult = cost;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, next, prev, val, next_base,
+                    prev_base, val_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < next.size(); ++i) {
+            mem.write(next_base + i * 8, 8, next[i]);
+            mem.write(prev_base + i * 8, 8, prev[i]);
+            mem.write(val_base + i * 8, 8, val[i]);
+        }
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * `vortex`-like kernel: object-store record management.
+ *
+ * Vortex manipulates an object database: indexed lookups, record
+ * copies, and index maintenance. This kernel looks records up through
+ * an index table, copies them in 8-byte chunks to a staging area
+ * (store-heavy straight-line code), mutates a field, and writes the
+ * record back, rotating the index as it goes.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+// Records are 64 bytes (8 words). idx[] holds record numbers.
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 0             ; iteration
+        .word64 0             ; checksum
+
+        .code
+start:  li   sp, {STACKTOP}
+main:   call body
+        bnez a1, main
+        la   t0, state
+        ld   t1, 8(t0)
+        la   t2, result
+        sd   t1, 0(t2)
+        halt
+
+body:   li   s0, {RECBASE}
+        li   s1, {IDXBASE}
+        li   s2, {STAGE}
+        li   s3, {NITER}
+        li   s6, {IDXMASK}
+        la   a7, state
+        ld   s4, 0(a7)        ; iteration
+        ld   s5, 8(a7)        ; checksum
+        li   a6, {CHUNK}
+loop:   bge  s4, s3, out
+        and  t0, s4, s6       ; index slot
+        slli t0, t0, 3
+        add  t0, t0, s1
+        ld   t1, 0(t0)        ; record number
+        slli t2, t1, 6        ; *64
+        add  t2, t2, s0       ; record address
+        ld   t3, 0(t2)        ; copy 8 words to staging
+        sd   t3, 0(s2)
+        ld   t4, 8(t2)
+        sd   t4, 8(s2)
+        ld   t5, 16(t2)
+        sd   t5, 16(s2)
+        ld   t6, 24(t2)
+        sd   t6, 24(s2)
+        ld   t7, 32(t2)
+        sd   t7, 32(s2)
+        ld   a0, 40(t2)
+        sd   a0, 40(s2)
+        ld   a1, 48(t2)
+        sd   a1, 48(s2)
+        ld   a2, 56(t2)
+        sd   a2, 56(s2)
+        add  s5, s5, t3       ; checksum from header word
+        xor  s5, s5, a2
+        addi t3, t3, 1        ; mutate header, write back
+        sd   t3, 0(t2)
+        ld   a3, 0(t0)        ; rotate index: idx[slot] += 1 (mod NREC)
+        addi a3, a3, 1
+        li   a4, {NREC}
+        blt  a3, a4, nowrap
+        li   a3, 0
+nowrap: sd   a3, 0(t0)
+        addi s4, s4, 1
+        addi a6, a6, -1
+        bnez a6, loop
+out:    sd   s4, 0(a7)
+        sd   s5, 8(a7)
+        slt  a1, s4, s3
+        ret
+)";
+
+} // namespace
+
+Workload
+buildVortex(const WorkloadParams &p)
+{
+    const uint64_t n_rec = 8192 * p.scale; // 512 KB of records
+    const uint64_t idx_entries = 1024;
+    const uint64_t n_iter = 60 * 1000 * p.scale;
+    const Addr rec_base = layout::dataBase;
+    const Addr idx_base = layout::dataBase2;
+    const Addr stage = layout::resultArea + 0x200;
+
+    Rng rng(p.seed * 0xab1fu + 17);
+    std::vector<uint64_t> records(n_rec * 8);
+    for (auto &v : records)
+        v = rng.below(1ULL << 40);
+    std::vector<uint64_t> index(idx_entries);
+    for (auto &v : index)
+        v = rng.below(n_rec);
+
+    // Reference model.
+    uint64_t checksum = 0;
+    {
+        std::vector<uint64_t> recs = records;
+        std::vector<uint64_t> idx = index;
+        for (uint64_t it = 0; it < n_iter; ++it) {
+            const uint64_t slot = it & (idx_entries - 1);
+            const uint64_t r = idx[slot];
+            checksum += recs[r * 8 + 0];
+            checksum ^= recs[r * 8 + 7];
+            recs[r * 8 + 0] += 1;
+            idx[slot] = (idx[slot] + 1) % n_rec;
+        }
+    }
+
+    Workload w;
+    w.name = "vortex";
+    w.description = "object-store record copy and index maintenance "
+                    "(store-heavy)";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"RECBASE", numStr(rec_base)},
+        {"IDXBASE", numStr(idx_base)},
+        {"STAGE", numStr(stage)},
+        {"NITER", numStr(n_iter)},
+        {"IDXMASK", numStr(idx_entries - 1)},
+        {"NREC", numStr(n_rec)},
+        {"STACKTOP", numStr(layout::stackTop)},
+        {"CHUNK", numStr(128)},
+    }));
+    w.expectedResult = checksum;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, records, index, rec_base,
+                    idx_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < records.size(); ++i)
+            mem.write(rec_base + i * 8, 8, records[i]);
+        for (uint64_t i = 0; i < index.size(); ++i)
+            mem.write(idx_base + i * 8, 8, index[i]);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

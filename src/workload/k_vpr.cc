@@ -1,0 +1,185 @@
+/**
+ * @file
+ * `vpr`-like kernel: simulated-annealing placement moves.
+ *
+ * VPR's placer repeatedly picks random cell pairs, computes a
+ * fixed-point cost delta from their coordinates, and conditionally
+ * swaps them. The accept/reject branch is data-dependent and poorly
+ * predictable; fixed-point ops run on the long-latency "FP-class"
+ * units. The in-register LCG reproduces VPR's random move generation.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workload/kernel_util.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload::kernels
+{
+
+namespace
+{
+
+constexpr uint64_t lcgMul = 6364136223846793005ULL;
+constexpr uint64_t lcgAdd = 1442695040888963407ULL;
+
+const char *kernelAsm = R"(
+        .data 0x100000
+result: .word64 0
+state:  .word64 {SEED}        ; LCG state
+        .word64 0             ; accumulated cost
+        .word64 0             ; accepted moves
+
+        .code
+start:  li   sp, {STACKTOP}
+        li   s9, {NCALLS}
+main:   call body
+        addi s9, s9, -1
+        bnez s9, main
+        la   a7, state
+        ld   s7, 8(a7)
+        ld   s8, 16(a7)
+        slli t0, s8, 40       ; fold accept count into checksum
+        add  s7, s7, t0
+        la   t1, result
+        sd   s7, 0(t1)
+        halt
+
+body:   li   s0, {XBASE}
+        li   s1, {YBASE}
+        li   s2, {CHUNK}
+        li   s4, {LCGMUL}     ; high-use constants, reloaded per call
+        li   s5, {LCGADD}
+        li   s6, {CELLMASK}
+        la   a7, state
+        ld   s3, 0(a7)        ; LCG state
+        ld   s7, 8(a7)        ; accumulated cost
+        ld   s8, 16(a7)       ; accepted moves
+loop:   mul  s3, s3, s4       ; LCG step -> cell i
+        add  s3, s3, s5
+        srli t0, s3, 33
+        and  t0, t0, s6
+        mul  s3, s3, s4       ; LCG step -> cell j
+        add  s3, s3, s5
+        srli t1, s3, 33
+        and  t1, t1, s6
+        slli t2, t0, 3
+        add  t2, t2, s0
+        ld   t3, 0(t2)        ; x[i]
+        slli t4, t1, 3
+        add  t4, t4, s0
+        ld   t5, 0(t4)        ; x[j]
+        fxsub t6, t3, t5      ; dx
+        srai t7, t6, 63       ; |dx| via sign trick
+        xor  t6, t6, t7
+        sub  t6, t6, t7
+        slli a0, t0, 3
+        add  a0, a0, s1
+        ld   a1, 0(a0)        ; y[i]
+        slli a2, t1, 3
+        add  a2, a2, s1
+        ld   a3, 0(a2)        ; y[j]
+        fxsub a4, a1, a3      ; dy
+        srai a5, a4, 63
+        xor  a4, a4, a5
+        sub  a4, a4, a5
+        fxadd a6, t6, a4      ; cost = |dx| + |dy|
+        add  s7, s7, a6
+        andi a7, a6, {ACCEPTMASK} ; pseudo-random accept test
+        bnez a7, reject
+        sd   t5, 0(t2)        ; accept: swap x[i] <-> x[j]
+        sd   t3, 0(t4)
+        sd   a3, 0(a0)        ; and y[i] <-> y[j]
+        sd   a1, 0(a2)
+        addi s8, s8, 1
+reject: addi s2, s2, -1
+        bnez s2, loop
+        la   a7, state        ; a7 was clobbered by the accept test
+        sd   s3, 0(a7)
+        sd   s7, 8(a7)
+        sd   s8, 16(a7)
+        ret
+)";
+
+constexpr uint64_t moveChunk = 256;
+
+} // namespace
+
+Workload
+buildVpr(const WorkloadParams &p)
+{
+    const uint64_t n_cells = 4096;
+    const uint64_t n_calls = 176 * p.scale;
+    const uint64_t n_iter = n_calls * moveChunk;
+    const uint64_t seed0 = p.seed * 0x1357u + 0x2468u;
+    const Addr x_base = layout::dataBase;
+    const Addr y_base = layout::dataBase2;
+    constexpr uint64_t accept_mask = 7; // accept ~1/8 of moves
+
+    Rng rng(p.seed * 0x3d99u + 31);
+    std::vector<uint64_t> xs(n_cells), ys(n_cells);
+    for (auto &v : xs)
+        v = rng.below(1ULL << 40); // Q32.32 coordinates
+    for (auto &v : ys)
+        v = rng.below(1ULL << 40);
+
+    // Reference model (exactly replays the in-register LCG).
+    uint64_t cost = 0, accepted = 0;
+    {
+        std::vector<uint64_t> x = xs, y = ys;
+        uint64_t s = seed0;
+        for (uint64_t it = 0; it < n_iter; ++it) {
+            s = s * lcgMul + lcgAdd;
+            const uint64_t i = (s >> 33) & (n_cells - 1);
+            s = s * lcgMul + lcgAdd;
+            const uint64_t j = (s >> 33) & (n_cells - 1);
+            auto abs64 = [](uint64_t v) {
+                const int64_t sv = static_cast<int64_t>(v);
+                return static_cast<uint64_t>(sv < 0 ? -sv : sv);
+            };
+            const uint64_t dx = abs64(x[i] - x[j]);
+            const uint64_t dy = abs64(y[i] - y[j]);
+            const uint64_t c = dx + dy;
+            cost += c;
+            if ((c & accept_mask) == 0) {
+                std::swap(x[i], x[j]);
+                std::swap(y[i], y[j]);
+                ++accepted;
+            }
+        }
+        cost += accepted << 40;
+    }
+
+    Workload w;
+    w.name = "vpr";
+    w.description = "annealing placement moves: random swaps with "
+                    "fixed-point cost and unpredictable accepts";
+    w.program = isa::assemble(substitute(kernelAsm, {
+        {"XBASE", numStr(x_base)},
+        {"YBASE", numStr(y_base)},
+        {"NCALLS", numStr(n_calls)},
+        {"CHUNK", numStr(moveChunk)},
+        {"SEED", numStr(seed0)},
+        {"LCGMUL", numStr(lcgMul)},
+        {"LCGADD", numStr(lcgAdd)},
+        {"CELLMASK", numStr(n_cells - 1)},
+        {"ACCEPTMASK", numStr(accept_mask)},
+        {"STACKTOP", numStr(layout::stackTop)},
+    }));
+    w.expectedResult = cost;
+    w.hasExpectedResult = true;
+    w.initMemory = [prog = w.program, xs, ys, x_base,
+                    y_base](SparseMemory &mem) {
+        isa::loadProgramData(prog, mem);
+        for (uint64_t i = 0; i < xs.size(); ++i)
+            mem.write(x_base + i * 8, 8, xs[i]);
+        for (uint64_t i = 0; i < ys.size(); ++i)
+            mem.write(y_base + i * 8, 8, ys[i]);
+    };
+    return w;
+}
+
+} // namespace ubrc::workload::kernels

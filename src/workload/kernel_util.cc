@@ -1,0 +1,36 @@
+#include "workload/kernel_util.hh"
+
+#include "common/log.hh"
+
+namespace ubrc::workload
+{
+
+std::string
+substitute(const std::string &asm_template,
+           const std::map<std::string, std::string> &values)
+{
+    std::string out;
+    out.reserve(asm_template.size());
+    size_t i = 0;
+    while (i < asm_template.size()) {
+        char c = asm_template[i];
+        if (c == '{') {
+            size_t close = asm_template.find('}', i);
+            if (close == std::string::npos)
+                fatal("kernel template: unmatched '{' at offset %zu", i);
+            std::string key = asm_template.substr(i + 1, close - i - 1);
+            auto it = values.find(key);
+            if (it == values.end())
+                fatal("kernel template: unknown placeholder '{%s}'",
+                      key.c_str());
+            out += it->second;
+            i = close + 1;
+        } else {
+            out += c;
+            ++i;
+        }
+    }
+    return out;
+}
+
+} // namespace ubrc::workload

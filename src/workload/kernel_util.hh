@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Helpers shared by the kernel builders: assembly-template parameter
+ * substitution and the common simulated memory map.
+ */
+
+#ifndef UBRC_WORKLOAD_KERNEL_UTIL_HH
+#define UBRC_WORKLOAD_KERNEL_UTIL_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ubrc::workload
+{
+
+/** Common memory map used by all kernels. */
+namespace layout
+{
+constexpr Addr resultArea = 0x100000; ///< `result` and small statics
+constexpr Addr dataBase = 0x200000;   ///< generated data sets
+constexpr Addr dataBase2 = 0x800000;  ///< second data region
+constexpr Addr outputBase = 0x4000000; ///< kernel output buffers
+constexpr Addr stackTop = 0x40000000;  ///< stacks grow down from here
+} // namespace layout
+
+/**
+ * Replace every "{KEY}" in an assembly template with its value.
+ * Unknown placeholders are a fatal error; this catches typos in the
+ * kernel sources at construction time.
+ */
+std::string substitute(const std::string &asm_template,
+                       const std::map<std::string, std::string> &values);
+
+/** Convenience: decimal string for any integer. */
+inline std::string
+numStr(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace ubrc::workload
+
+#endif // UBRC_WORKLOAD_KERNEL_UTIL_HH

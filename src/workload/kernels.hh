@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal declarations of the individual kernel builders. Each lives
+ * in its own k_<name>.cc translation unit; registry.cc dispatches.
+ */
+
+#ifndef UBRC_WORKLOAD_KERNELS_HH
+#define UBRC_WORKLOAD_KERNELS_HH
+
+#include "isa/functional_core.hh"
+#include "workload/workload.hh"
+
+namespace ubrc::workload::kernels
+{
+
+Workload buildGzip(const WorkloadParams &p);
+Workload buildVpr(const WorkloadParams &p);
+Workload buildGcc(const WorkloadParams &p);
+Workload buildMcf(const WorkloadParams &p);
+Workload buildCrafty(const WorkloadParams &p);
+Workload buildParser(const WorkloadParams &p);
+Workload buildEon(const WorkloadParams &p);
+Workload buildPerlbmk(const WorkloadParams &p);
+Workload buildGap(const WorkloadParams &p);
+Workload buildVortex(const WorkloadParams &p);
+Workload buildBzip2(const WorkloadParams &p);
+Workload buildTwolf(const WorkloadParams &p);
+
+} // namespace ubrc::workload::kernels
+
+#endif // UBRC_WORKLOAD_KERNELS_HH

@@ -1,0 +1,66 @@
+#include "workload/workload.hh"
+
+#include <map>
+
+#include "common/log.hh"
+#include "workload/kernels.hh"
+
+namespace ubrc::workload
+{
+
+namespace
+{
+
+using Builder = Workload (*)(const WorkloadParams &);
+
+const std::map<std::string, Builder> &
+builders()
+{
+    static const std::map<std::string, Builder> table = {
+        {"gzip", kernels::buildGzip},
+        {"vpr", kernels::buildVpr},
+        {"gcc", kernels::buildGcc},
+        {"mcf", kernels::buildMcf},
+        {"crafty", kernels::buildCrafty},
+        {"parser", kernels::buildParser},
+        {"eon", kernels::buildEon},
+        {"perlbmk", kernels::buildPerlbmk},
+        {"gap", kernels::buildGap},
+        {"vortex", kernels::buildVortex},
+        {"bzip2", kernels::buildBzip2},
+        {"twolf", kernels::buildTwolf},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+        "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+    };
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    auto it = builders().find(name);
+    if (it == builders().end())
+        fatal("unknown workload '%s'", name.c_str());
+    return it->second(params);
+}
+
+std::vector<Workload>
+buildAllWorkloads(const WorkloadParams &params)
+{
+    std::vector<Workload> out;
+    for (const auto &name : workloadNames())
+        out.push_back(buildWorkload(name, params));
+    return out;
+}
+
+} // namespace ubrc::workload

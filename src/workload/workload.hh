@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload kernels: SPECint-2000-inspired programs for the mini ISA.
+ *
+ * Each kernel is a real program (assembled from source in this
+ * library) plus a deterministic data-set generator. The twelve kernels
+ * are named after the SPECint 2000 benchmarks whose dynamic character
+ * they imitate; see DESIGN.md for the substitution rationale.
+ *
+ * Every kernel writes a 64-bit checksum to the symbol `result` before
+ * halting; the generators also provide a C++ reference model so tests
+ * can validate functional execution exactly.
+ */
+
+#ifndef UBRC_WORKLOAD_WORKLOAD_HH
+#define UBRC_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sparse_memory.hh"
+#include "isa/instruction.hh"
+
+namespace ubrc::workload
+{
+
+/** Knobs common to all kernels. */
+struct WorkloadParams
+{
+    /**
+     * Work-amount multiplier. 1 yields roughly 0.5-2 million dynamic
+     * instructions per kernel; the footprint and iteration counts of
+     * each kernel scale with it.
+     */
+    uint64_t scale = 1;
+
+    /** Seed for the data-set generator. */
+    uint64_t seed = 1;
+};
+
+/** A ready-to-run workload. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    isa::Program program;
+
+    /**
+     * Populate memory with the program's initialized data and the
+     * generated data set. Must be called before execution (the
+     * timing and functional cores share one memory image).
+     */
+    std::function<void(SparseMemory &)> initMemory;
+
+    /**
+     * Expected value of the `result` symbol after a complete run, as
+     * computed by the kernel's C++ reference model. Zero when the
+     * kernel has no closed-form reference (none currently).
+     */
+    uint64_t expectedResult = 0;
+
+    /** True if expectedResult is meaningful. */
+    bool hasExpectedResult = false;
+};
+
+/** Names of all available kernels, in canonical order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build a kernel by name. Fatal on unknown names. */
+Workload buildWorkload(const std::string &name,
+                       const WorkloadParams &params = {});
+
+/** Build every kernel. */
+std::vector<Workload> buildAllWorkloads(const WorkloadParams &params = {});
+
+} // namespace ubrc::workload
+
+#endif // UBRC_WORKLOAD_WORKLOAD_HH

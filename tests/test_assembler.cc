@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+using namespace ubrc;
+using namespace ubrc::isa;
+
+namespace
+{
+
+Program
+asmOk(const std::string &src)
+{
+    return assemble(src);
+}
+
+} // namespace
+
+TEST(Assembler, EmptyProgram)
+{
+    Program p = asmOk("");
+    EXPECT_TRUE(p.code.empty());
+    EXPECT_EQ(p.entry, p.codeBase);
+}
+
+TEST(Assembler, SimpleInstructions)
+{
+    Program p = asmOk(R"(
+        add r1, r2, r3
+        addi r4, r5, -12
+        li  r6, 0x1000
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].rs1, 2);
+    EXPECT_EQ(p.code[0].rs2, 3);
+    EXPECT_EQ(p.code[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[1].imm, -12);
+    EXPECT_EQ(p.code[2].op, Opcode::LI);
+    EXPECT_EQ(p.code[2].imm, 0x1000);
+    EXPECT_EQ(p.code[3].op, Opcode::HALT);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = asmOk("add zero, ra, sp\nadd t0, s0, a0\n");
+    EXPECT_EQ(p.code[0].rd, 0);
+    EXPECT_EQ(p.code[0].rs1, 1);
+    EXPECT_EQ(p.code[0].rs2, 2);
+    EXPECT_EQ(p.code[1].rd, 5);
+    EXPECT_EQ(p.code[1].rs1, 13);
+    EXPECT_EQ(p.code[1].rs2, 23);
+}
+
+TEST(Assembler, ParseRegisterHelper)
+{
+    EXPECT_EQ(parseRegister("r0"), 0);
+    EXPECT_EQ(parseRegister("r31"), 31);
+    EXPECT_EQ(parseRegister("at"), 31);
+    EXPECT_EQ(parseRegister("nonsense"), -1);
+    EXPECT_EQ(parseRegister("r32"), -1);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = asmOk(R"(
+start:  addi r1, r1, 1
+        bne  r1, r2, start
+        j    end
+        nop
+end:    halt
+    )");
+    EXPECT_EQ(p.code[1].op, Opcode::BNE);
+    EXPECT_EQ(p.code[1].imm, static_cast<int64_t>(p.addrOf(0)));
+    EXPECT_EQ(p.code[2].imm, static_cast<int64_t>(p.addrOf(4)));
+    EXPECT_EQ(p.symbol("start"), p.addrOf(0));
+    EXPECT_EQ(p.symbol("end"), p.addrOf(4));
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = asmOk("j fwd\nnop\nfwd: halt\n");
+    EXPECT_EQ(p.code[0].imm, static_cast<int64_t>(p.addrOf(2)));
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    Program p = asmOk(R"(
+        ld r1, 16(r2)
+        ld r3, r4, 32
+        sd r5, -8(r6)
+        lbu r7, (r8)
+    )");
+    EXPECT_EQ(p.code[0].imm, 16);
+    EXPECT_EQ(p.code[0].rs1, 2);
+    EXPECT_EQ(p.code[1].imm, 32);
+    EXPECT_EQ(p.code[2].imm, -8);
+    EXPECT_EQ(p.code[2].rs2, 5);
+    EXPECT_EQ(p.code[3].imm, 0);
+    EXPECT_EQ(p.code[3].rs1, 8);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = asmOk(R"(
+        .data 0x9000
+tab:    .word64 1
+        .code
+        la   r1, tab
+        mv   r2, r3
+        not  r4, r5
+        neg  r6, r7
+        beqz r8, skip
+        bnez r9, skip
+        bgt  r1, r2, skip
+        ble  r1, r2, skip
+skip:   call skip
+        ret
+    )");
+    EXPECT_EQ(p.code[0].op, Opcode::LI);
+    EXPECT_EQ(p.code[0].imm, 0x9000);
+    EXPECT_EQ(p.code[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[2].op, Opcode::XORI);
+    EXPECT_EQ(p.code[2].imm, -1);
+    EXPECT_EQ(p.code[3].op, Opcode::SUB);
+    EXPECT_EQ(p.code[3].rs1, 0);
+    EXPECT_EQ(p.code[4].op, Opcode::BEQ);
+    EXPECT_EQ(p.code[4].rs2, 0);
+    EXPECT_EQ(p.code[5].op, Opcode::BNE);
+    // bgt a,b -> blt b,a
+    EXPECT_EQ(p.code[6].op, Opcode::BLT);
+    EXPECT_EQ(p.code[6].rs1, 2);
+    EXPECT_EQ(p.code[6].rs2, 1);
+    EXPECT_EQ(p.code[7].op, Opcode::BGE);
+    EXPECT_EQ(p.code[8].op, Opcode::JAL);
+    EXPECT_EQ(p.code[8].rd, 1);
+    EXPECT_EQ(p.code[9].op, Opcode::JR);
+    EXPECT_EQ(p.code[9].rs1, 1);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = asmOk(R"(
+        .data 0x10000
+w64:    .word64 0x1122334455667788, 2
+w32:    .word32 0xaabbccdd
+bytes:  .byte 1, 2, 3
+        .align 8
+after:  .word64 9
+        .space 16
+        .code
+        halt
+    )");
+    ASSERT_EQ(p.data.size(), 1u);
+    const auto &seg = p.data[0];
+    EXPECT_EQ(seg.base, 0x10000u);
+    EXPECT_EQ(p.symbol("w64"), 0x10000u);
+    EXPECT_EQ(p.symbol("w32"), 0x10010u);
+    EXPECT_EQ(p.symbol("bytes"), 0x10014u);
+    EXPECT_EQ(p.symbol("after"), 0x10018u); // aligned to 8
+    EXPECT_EQ(seg.bytes[0], 0x88);
+    EXPECT_EQ(seg.bytes[7], 0x11);
+    EXPECT_EQ(seg.bytes.size(), 16u + 4 + 3 + 1 + 8 + 16);
+}
+
+TEST(Assembler, CharacterLiterals)
+{
+    Program p = asmOk("li r1, 'A'\nli r2, ' '\n");
+    EXPECT_EQ(p.code[0].imm, 65);
+    EXPECT_EQ(p.code[1].imm, 32);
+}
+
+TEST(Assembler, LabelArithmetic)
+{
+    Program p = asmOk(R"(
+        .data 0x8000
+base:   .space 64
+        .code
+        la r1, base+16
+        la r2, base-8
+    )");
+    EXPECT_EQ(p.code[0].imm, 0x8010);
+    EXPECT_EQ(p.code[1].imm, 0x7ff8);
+}
+
+TEST(Assembler, CommentsIgnored)
+{
+    Program p = asmOk("add r1, r2, r3 ; trailing\n# whole line\nhalt\n");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    Program p = asmOk(".entry main\nnop\nmain: halt\n");
+    EXPECT_EQ(p.entry, p.addrOf(1));
+}
+
+TEST(Assembler, LargeUnsignedConstants)
+{
+    Program p = asmOk("li r1, 0xffffffffffffffff\n"
+                      "li r2, 0x5555555555555555\n");
+    EXPECT_EQ(p.code[0].imm, -1);
+    EXPECT_EQ(p.code[1].imm, 0x5555555555555555LL);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r1, r2\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r1, r2\n"), AssemblerError);
+    EXPECT_THROW(assemble("halt r1\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, DataOutsideSection)
+{
+    EXPECT_THROW(assemble(".word64 5\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, InstructionInDataSection)
+{
+    EXPECT_THROW(assemble(".data 0x1000\nadd r1, r2, r3\n"),
+                 AssemblerError);
+}
+
+TEST(AssemblerErrors, BadNumber)
+{
+    EXPECT_THROW(assemble("li r1, 12zz\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, BadAlignment)
+{
+    EXPECT_THROW(assemble(".data 0x1000\n.align 3\n"), AssemblerError);
+}
+
+TEST(AssemblerErrors, MessageContainsLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus\n");
+        FAIL() << "expected AssemblerError";
+    } catch (const AssemblerError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the backing register file port model (Section 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "regfile/backing_file.hh"
+
+using namespace ubrc;
+using namespace ubrc::regfile;
+
+TEST(BackingFile, WriteCompletionTime)
+{
+    stats::StatGroup sg("rf");
+    BackingFile bf(2, sg);
+    EXPECT_EQ(bf.noteWrite(100), 102);
+}
+
+TEST(BackingFile, ReadLatencyFromFreePort)
+{
+    stats::StatGroup sg("rf");
+    BackingFile bf(2, sg);
+    // Value has long been in the file; read takes the full latency.
+    EXPECT_EQ(bf.scheduleRead(50, 0), 51); // 50 + 2 - 1
+}
+
+TEST(BackingFile, SinglePortSerializesReads)
+{
+    stats::StatGroup sg("rf");
+    BackingFile bf(2, sg);
+    const Cycle r1 = bf.scheduleRead(10, 0);
+    const Cycle r2 = bf.scheduleRead(10, 0);
+    const Cycle r3 = bf.scheduleRead(10, 0);
+    EXPECT_EQ(r1, 11);
+    EXPECT_EQ(r2, 12); // port busy at 10
+    EXPECT_EQ(r3, 13);
+}
+
+TEST(BackingFile, ReadWaitsForWriteCompletion)
+{
+    stats::StatGroup sg("rf");
+    BackingFile bf(2, sg);
+    const Cycle write_done = bf.noteWrite(100); // 102
+    // A read racing the in-flight write returns no earlier than the
+    // write completes.
+    EXPECT_EQ(bf.scheduleRead(100, write_done), 102);
+}
+
+TEST(BackingFile, CountsAccesses)
+{
+    stats::StatGroup sg("rf");
+    BackingFile bf(2, sg);
+    bf.noteWrite(1);
+    bf.noteWrite(2);
+    bf.scheduleRead(5, 0);
+    EXPECT_EQ(sg.scalar("backing_writes").value(), 2u);
+    EXPECT_EQ(sg.scalar("backing_reads").value(), 1u);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+using namespace ubrc;
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(BitUtil, MixHashSpreads)
+{
+    // Nearby keys should map to very different hashes.
+    const uint64_t h1 = mixHash(1);
+    const uint64_t h2 = mixHash(2);
+    EXPECT_NE(h1, h2);
+    int diff_bits = __builtin_popcountll(h1 ^ h2);
+    EXPECT_GT(diff_bits, 10);
+}

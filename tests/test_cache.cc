@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the generic tag cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::mem;
+
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    return {4 * 64, 2, 64}; // 4 lines, 2-way, 2 sets
+}
+
+} // namespace
+
+TEST(TagCache, MissThenHitAfterInsert)
+{
+    TagCache c(smallGeom());
+    EXPECT_FALSE(c.lookup(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.lookup(0x1000));
+    EXPECT_TRUE(c.lookup(0x1030)); // same line
+    EXPECT_FALSE(c.lookup(0x1040)); // next line
+}
+
+TEST(TagCache, LruEviction)
+{
+    TagCache c(smallGeom());
+    // Lines 0x0000, 0x0080, 0x0100 map to set 0 (2 sets, 64B lines).
+    c.insert(0x0000);
+    c.insert(0x0080);
+    EXPECT_TRUE(c.lookup(0x0000)); // make 0x0080 the LRU
+    Addr victim = 0;
+    EXPECT_TRUE(c.insert(0x0100, &victim));
+    EXPECT_EQ(victim, 0x0080u);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x0080));
+    EXPECT_TRUE(c.contains(0x0100));
+}
+
+TEST(TagCache, InsertExistingRefreshesWithoutEviction)
+{
+    TagCache c(smallGeom());
+    c.insert(0x0000);
+    c.insert(0x0080);
+    EXPECT_FALSE(c.insert(0x0000)); // refresh, no eviction
+    Addr victim = 0;
+    c.insert(0x0100, &victim);
+    EXPECT_EQ(victim, 0x0080u); // 0x0000 was refreshed
+}
+
+TEST(TagCache, Invalidate)
+{
+    TagCache c(smallGeom());
+    c.insert(0x2000);
+    EXPECT_TRUE(c.invalidate(0x2000));
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_FALSE(c.invalidate(0x2000));
+}
+
+TEST(TagCache, SetsAreIndependent)
+{
+    TagCache c(smallGeom());
+    c.insert(0x0000); // set 0
+    c.insert(0x0040); // set 1
+    c.insert(0x0080); // set 0
+    c.insert(0x00c0); // set 1
+    // Set 0 full; inserting into set 1 must not evict set 0.
+    c.insert(0x0140);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0080));
+}
+
+TEST(TagCache, FullyAssociativeGeometry)
+{
+    TagCache c({8 * 64, 8, 64}); // one set
+    for (Addr a = 0; a < 8; ++a)
+        c.insert(a * 64);
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_TRUE(c.contains(a * 64));
+    c.insert(8 * 64);
+    EXPECT_FALSE(c.contains(0)); // LRU went
+}
+
+TEST(TagCacheDeathTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT(TagCache({100, 2, 48}), ::testing::ExitedWithCode(1),
+                "power of two");
+}

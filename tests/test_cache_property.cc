@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Property test: the generic tag cache agrees with a straightforward
+ * reference LRU model over long random access streams, across
+ * geometries from direct-mapped to fully associative.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::mem;
+
+namespace
+{
+
+/** Obviously-correct set-associative LRU model. */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(const CacheGeometry &g)
+        : lineBytes(g.lineBytes), numSets(g.numSets()),
+          assoc(g.assoc), sets(numSets)
+    {}
+
+    bool
+    lookup(Addr addr)
+    {
+        auto &s = sets[setOf(addr)];
+        const uint64_t line = addr / lineBytes;
+        for (auto it = s.begin(); it != s.end(); ++it) {
+            if (*it == line) {
+                s.erase(it);
+                s.push_front(line); // MRU at front
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    insert(Addr addr, Addr *victim)
+    {
+        auto &s = sets[setOf(addr)];
+        const uint64_t line = addr / lineBytes;
+        for (auto it = s.begin(); it != s.end(); ++it) {
+            if (*it == line) {
+                s.erase(it);
+                s.push_front(line);
+                return false;
+            }
+        }
+        bool evicted = false;
+        if (s.size() == assoc) {
+            if (victim)
+                *victim = s.back() * lineBytes;
+            s.pop_back();
+            evicted = true;
+        }
+        s.push_front(line);
+        return evicted;
+    }
+
+    bool
+    invalidate(Addr addr)
+    {
+        auto &s = sets[setOf(addr)];
+        const uint64_t line = addr / lineBytes;
+        for (auto it = s.begin(); it != s.end(); ++it) {
+            if (*it == line) {
+                s.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    contains(Addr addr) const
+    {
+        const auto &s = sets[setOf(addr)];
+        const uint64_t line = addr / lineBytes;
+        for (uint64_t l : s)
+            if (l == line)
+                return true;
+        return false;
+    }
+
+  private:
+    size_t setOf(Addr addr) const { return (addr / lineBytes) % numSets; }
+
+    unsigned lineBytes;
+    uint64_t numSets;
+    size_t assoc;
+    std::vector<std::list<uint64_t>> sets;
+};
+
+} // namespace
+
+class TagCacheProperty
+    : public ::testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(TagCacheProperty, AgreesWithReferenceLru)
+{
+    const CacheGeometry g = GetParam();
+    TagCache cache(g);
+    ReferenceLru ref(g);
+    Rng rng(g.sizeBytes + g.assoc);
+
+    // Confine addresses so sets see heavy reuse and conflict.
+    const Addr addr_space = g.sizeBytes * 4;
+
+    for (int step = 0; step < 30000; ++step) {
+        const Addr addr = rng.below(addr_space);
+        const unsigned op = static_cast<unsigned>(rng.below(100));
+        if (op < 50) {
+            ASSERT_EQ(cache.lookup(addr), ref.lookup(addr))
+                << "lookup @" << addr << " step " << step;
+        } else if (op < 85) {
+            Addr v1 = ~0ULL, v2 = ~0ULL;
+            const bool e1 = cache.insert(addr, &v1);
+            const bool e2 = ref.insert(addr, &v2);
+            ASSERT_EQ(e1, e2) << "insert @" << addr << " step " << step;
+            if (e1) {
+                ASSERT_EQ(v1, v2) << "victim @" << addr;
+            }
+        } else if (op < 95) {
+            ASSERT_EQ(cache.invalidate(addr), ref.invalidate(addr))
+                << "invalidate @" << addr;
+        } else {
+            ASSERT_EQ(cache.contains(addr), ref.contains(addr))
+                << "contains @" << addr;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagCacheProperty,
+    ::testing::Values(CacheGeometry{4 * 64, 1, 64},   // direct-mapped
+                      CacheGeometry{8 * 64, 2, 64},   // 2-way
+                      CacheGeometry{16 * 32, 4, 32},  // 4-way small
+                      CacheGeometry{8 * 128, 8, 128}, // fully assoc
+                      CacheGeometry{32 * 64, 2, 64}));

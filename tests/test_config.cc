@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the named simulator configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+using namespace ubrc::regcache;
+
+TEST(Config, UseBasedDesignPoint)
+{
+    const SimConfig c = SimConfig::useBasedCache();
+    EXPECT_EQ(c.scheme, RegScheme::Cached);
+    EXPECT_EQ(c.rc.entries, 64u);
+    EXPECT_EQ(c.rc.assoc, 2u);
+    EXPECT_EQ(c.rc.insertion, InsertionPolicy::UseBased);
+    EXPECT_EQ(c.rc.replacement, ReplacementPolicy::UseBased);
+    EXPECT_EQ(c.rc.indexing, IndexPolicy::FilteredRoundRobin);
+    // Tuned parameters from Section 5.3.
+    EXPECT_EQ(c.rc.maxUse, 7u);
+    EXPECT_EQ(c.rc.unknownDefault, 1u);
+    EXPECT_EQ(c.rc.fillDefault, 0u);
+    EXPECT_EQ(c.backingLatency, 2);
+}
+
+TEST(Config, ReferenceCaches)
+{
+    const SimConfig lru = SimConfig::lruCache();
+    EXPECT_EQ(lru.rc.insertion, InsertionPolicy::Always);
+    EXPECT_EQ(lru.rc.replacement, ReplacementPolicy::LRU);
+    const SimConfig nb = SimConfig::nonBypassCache();
+    EXPECT_EQ(nb.rc.insertion, InsertionPolicy::NonBypass);
+    EXPECT_EQ(nb.rc.replacement, ReplacementPolicy::LRU);
+}
+
+TEST(Config, MonolithicLatency)
+{
+    const SimConfig c = SimConfig::monolithic(3);
+    EXPECT_EQ(c.scheme, RegScheme::Monolithic);
+    EXPECT_EQ(c.rfLatency, 3);
+    EXPECT_EQ(c.issueToExec(), 4); // rfLatency + 1
+    EXPECT_EQ(SimConfig::monolithic(1).issueToExec(), 2);
+}
+
+TEST(Config, CachedIssueToExecIsTwo)
+{
+    EXPECT_EQ(SimConfig::useBasedCache().issueToExec(), 2);
+    EXPECT_EQ(SimConfig::twoLevelFile(64).issueToExec(), 2);
+}
+
+TEST(Config, TwoLevelAddsArchRegisters)
+{
+    const SimConfig c = SimConfig::twoLevelFile(64);
+    EXPECT_EQ(c.scheme, RegScheme::TwoLevel);
+    EXPECT_EQ(c.twoLevel.l1Entries, 96u); // 64 + 32
+}
+
+TEST(Config, Table1Defaults)
+{
+    const SimConfig c;
+    EXPECT_EQ(c.fetchWidth, 8u);
+    EXPECT_EQ(c.issueWidth, 8u);
+    EXPECT_EQ(c.retireWidth, 8u);
+    EXPECT_EQ(c.maxRetireStores, 2u);
+    EXPECT_EQ(c.iqEntries, 128u);
+    EXPECT_EQ(c.robEntries, 512u);
+    EXPECT_EQ(c.numPhysRegs, 512u);
+    EXPECT_EQ(c.lqEntries, 128u);
+    EXPECT_EQ(c.sqEntries, 128u);
+    EXPECT_EQ(c.intAluUnits, 6u);
+    EXPECT_EQ(c.branchUnits, 2u);
+    EXPECT_EQ(c.fxDivLat, 18);
+    EXPECT_EQ(c.loadToUse, 4);
+    EXPECT_EQ(c.memory.memLatency, 180);
+    EXPECT_EQ(c.memory.l2Latency, 12);
+    EXPECT_EQ(c.bypassStages, 2u);
+}
+
+TEST(Config, DescribeMentionsScheme)
+{
+    EXPECT_NE(SimConfig::useBasedCache().describe().find("use-based"),
+              std::string::npos);
+    EXPECT_NE(SimConfig::monolithic(3).describe().find("monolithic"),
+              std::string::npos);
+    EXPECT_NE(SimConfig::twoLevelFile(64).describe().find("two-level"),
+              std::string::npos);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Property test: randomly generated instructions of every opcode
+ * survive a disassemble -> assemble round trip unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+
+using namespace ubrc;
+using namespace ubrc::isa;
+
+namespace
+{
+
+/** Build a random but well-formed instance of op. */
+Instruction
+randomInstance(Opcode op, Rng &rng)
+{
+    const OpInfo &oi = opInfo(op);
+    Instruction inst;
+    inst.op = op;
+    if (oi.hasDest)
+        inst.rd = static_cast<ArchReg>(rng.below(numArchRegs));
+    if (oi.numSrcs >= 1)
+        inst.rs1 = static_cast<ArchReg>(rng.below(numArchRegs));
+    if (oi.numSrcs >= 2)
+        inst.rs2 = static_cast<ArchReg>(rng.below(numArchRegs));
+    if (oi.hasImm) {
+        if (oi.isBranch) {
+            // Branch targets are absolute instruction addresses.
+            inst.imm = static_cast<int64_t>(0x1000 +
+                                            rng.below(1024) * 4);
+        } else if (op == Opcode::LI) {
+            inst.imm = static_cast<int64_t>(rng.next());
+        } else {
+            inst.imm = rng.range(-4096, 4096);
+        }
+    }
+    return inst;
+}
+
+} // namespace
+
+class DisasmRoundTrip : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(DisasmRoundTrip, RandomInstancesRoundTrip)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 997 + 13);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Instruction inst = randomInstance(GetParam(), rng);
+        const std::string text = disassemble(inst);
+        Program p;
+        ASSERT_NO_THROW(p = assemble(text + "\n")) << text;
+        ASSERT_EQ(p.code.size(), 1u) << text;
+        const Instruction &r = p.code[0];
+        EXPECT_EQ(r.op, inst.op) << text;
+        EXPECT_EQ(r.rd, inst.rd) << text;
+        EXPECT_EQ(r.rs1, inst.rs1) << text;
+        EXPECT_EQ(r.rs2, inst.rs2) << text;
+        EXPECT_EQ(r.imm, inst.imm) << text;
+    }
+}
+
+namespace
+{
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> v;
+    for (size_t i = 0; i < static_cast<size_t>(Opcode::NUM_OPCODES);
+         ++i)
+        v.push_back(static_cast<Opcode>(i));
+    return v;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmRoundTrip, ::testing::ValuesIn(allOpcodes()),
+    [](const auto &info) {
+        std::string name = opInfo(info.param).mnemonic;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

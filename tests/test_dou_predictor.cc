@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the degree-of-use predictor (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "regcache/dou_predictor.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+namespace
+{
+
+struct DouFixture : ::testing::Test
+{
+    DouFixture() : stats("dou"), pred(DouParams{}, stats) {}
+
+    stats::StatGroup stats;
+    DegreeOfUsePredictor pred;
+};
+
+} // namespace
+
+TEST_F(DouFixture, NoPredictionWhenCold)
+{
+    EXPECT_FALSE(pred.predict(0x1000, 0).has_value());
+}
+
+TEST_F(DouFixture, ConfidenceGatesPrediction)
+{
+    const Addr pc = 0x1000;
+    pred.train(pc, 0, 3); // confidence 1
+    EXPECT_FALSE(pred.predict(pc, 0).has_value());
+    pred.train(pc, 0, 3); // confidence 2
+    EXPECT_FALSE(pred.predict(pc, 0).has_value());
+    pred.train(pc, 0, 3); // confidence 3 (threshold)
+    auto p = pred.predict(pc, 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 3u);
+}
+
+TEST_F(DouFixture, MispredictionLowersConfidence)
+{
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        pred.train(pc, 0, 2);
+    ASSERT_TRUE(pred.predict(pc, 0).has_value());
+    pred.train(pc, 0, 5); // disagree: confidence drops
+    EXPECT_FALSE(pred.predict(pc, 0).has_value());
+}
+
+TEST_F(DouFixture, RetrainsAfterRepeatedChanges)
+{
+    const Addr pc = 0x3000;
+    for (int i = 0; i < 4; ++i)
+        pred.train(pc, 0, 1);
+    // Behaviour changes: after confidence decays to zero, the new
+    // value is installed and re-confirmed.
+    for (int i = 0; i < 8; ++i)
+        pred.train(pc, 0, 6);
+    auto p = pred.predict(pc, 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 6u);
+}
+
+TEST_F(DouFixture, PredictionsClampToFourBits)
+{
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 4; ++i)
+        pred.train(pc, 0, 1000);
+    auto p = pred.predict(pc, 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 15u); // 4-bit saturation
+}
+
+TEST_F(DouFixture, ControlFlowContextSeparatesInstances)
+{
+    const Addr pc = 0x5000;
+    // Same static instruction, different control-flow contexts with
+    // different degrees of use.
+    for (int i = 0; i < 4; ++i) {
+        pred.train(pc, 0x01, 1);
+        pred.train(pc, 0x3e, 4);
+    }
+    auto p1 = pred.predict(pc, 0x01);
+    auto p2 = pred.predict(pc, 0x3e);
+    ASSERT_TRUE(p1.has_value());
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(*p1, 1u);
+    EXPECT_EQ(*p2, 4u);
+}
+
+TEST_F(DouFixture, AccuracyTracksConfidentTraining)
+{
+    const Addr pc = 0x6000;
+    for (int i = 0; i < 10; ++i)
+        pred.train(pc, 0, 2);
+    EXPECT_DOUBLE_EQ(pred.accuracy(), 1.0);
+    // One confident disagreement lowers accuracy below 1.
+    pred.train(pc, 0, 9);
+    EXPECT_LT(pred.accuracy(), 1.0);
+    EXPECT_GT(pred.accuracy(), 0.5);
+}
+
+TEST_F(DouFixture, StorageBudgetNearNineKB)
+{
+    // Table 1: ~9 KB predictor.
+    const uint64_t bits = pred.storageBits();
+    EXPECT_GT(bits, 6 * 1024 * 8u);
+    EXPECT_LT(bits, 11 * 1024 * 8u);
+}
+
+TEST_F(DouFixture, ManyPcsCoexist)
+{
+    for (Addr pc = 0x1000; pc < 0x1000 + 64 * 4; pc += 4)
+        for (int i = 0; i < 3; ++i)
+            pred.train(pc, 0, (pc >> 2) % 7);
+    int correct = 0;
+    for (Addr pc = 0x1000; pc < 0x1000 + 64 * 4; pc += 4) {
+        auto p = pred.predict(pc, 0);
+        if (p && *p == (pc >> 2) % 7)
+            ++correct;
+    }
+    EXPECT_GT(correct, 56); // a few may alias; most must survive
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit and parameterized tests for architectural execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sparse_memory.hh"
+#include "isa/assembler.hh"
+#include "isa/functional_core.hh"
+
+using namespace ubrc;
+using namespace ubrc::isa;
+
+namespace
+{
+
+/** Run a program to completion and return (core, memory) state. */
+struct RunResult
+{
+    std::array<uint64_t, numArchRegs> regs;
+    uint64_t insts;
+};
+
+RunResult
+runProgram(const std::string &src, SparseMemory &mem)
+{
+    Program p = assemble(src);
+    FunctionalCore core(p, mem);
+    core.run(1'000'000);
+    EXPECT_TRUE(core.halted());
+    RunResult r;
+    for (int i = 0; i < numArchRegs; ++i)
+        r.regs[i] = core.reg(i);
+    r.insts = core.instsExecuted();
+    return r;
+}
+
+RunResult
+runProgram(const std::string &src)
+{
+    SparseMemory mem;
+    return runProgram(src, mem);
+}
+
+} // namespace
+
+TEST(FunctionalCore, RegisterZeroIsHardwired)
+{
+    auto r = runProgram("li r0, 99\nadd r0, r0, r0\nhalt\n");
+    EXPECT_EQ(r.regs[0], 0u);
+}
+
+/** (source fragment, destination register, expected value). */
+using AluCase = std::tuple<const char *, int, uint64_t>;
+
+class AluOps : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluOps, ComputesExpectedValue)
+{
+    const auto &[body, rd, expected] = GetParam();
+    const std::string src =
+        std::string("li r1, 100\nli r2, 7\nli r3, -5\n") + body +
+        "\nhalt\n";
+    auto r = runProgram(src);
+    EXPECT_EQ(r.regs[rd], expected) << body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluOps,
+    ::testing::Values(
+        AluCase{"add r4, r1, r2", 4, 107},
+        AluCase{"sub r4, r1, r2", 4, 93},
+        AluCase{"add r4, r1, r3", 4, 95},
+        AluCase{"and r4, r1, r2", 4, 100 & 7},
+        AluCase{"or  r4, r1, r2", 4, 100 | 7},
+        AluCase{"xor r4, r1, r2", 4, 100 ^ 7},
+        AluCase{"sll r4, r2, r2", 4, 7ull << 7},
+        AluCase{"srl r4, r1, r2", 4, 100ull >> 7},
+        AluCase{"srl r4, r3, r2", 4, uint64_t(-5) >> 7},
+        AluCase{"sra r4, r3, r2", 4, uint64_t(-1)},
+        AluCase{"slt r4, r3, r2", 4, 1},
+        AluCase{"slt r4, r2, r3", 4, 0},
+        AluCase{"sltu r4, r3, r2", 4, 0}, // -5 is huge unsigned
+        AluCase{"seq r4, r1, r1", 4, 1},
+        AluCase{"seq r4, r1, r2", 4, 0},
+        AluCase{"mul r4, r1, r2", 4, 700},
+        AluCase{"mul r4, r3, r2", 4, uint64_t(-35)},
+        AluCase{"div r4, r1, r2", 4, 14},
+        AluCase{"div r4, r3, r2", 4, uint64_t(0)}, // -5/7 == 0
+        AluCase{"rem r4, r1, r2", 4, 2},
+        AluCase{"addi r4, r1, 5", 4, 105},
+        AluCase{"andi r4, r1, 6", 4, 100 & 6},
+        AluCase{"ori  r4, r1, 3", 4, 100 | 3},
+        AluCase{"xori r4, r1, 1", 4, 101},
+        AluCase{"slli r4, r2, 4", 4, 7u << 4},
+        AluCase{"srli r4, r1, 2", 4, 25},
+        AluCase{"srai r4, r3, 1", 4, uint64_t(-3)},
+        AluCase{"slti r4, r3, 0", 4, 1}));
+
+TEST(FunctionalCore, MulhUnsignedHighPart)
+{
+    auto r = runProgram("li r1, 0xffffffffffffffff\n"
+                        "li r2, 2\n"
+                        "mulh r3, r1, r2\n"
+                        "halt\n");
+    EXPECT_EQ(r.regs[3], 1u);
+}
+
+TEST(FunctionalCore, DivideByZeroIsDefined)
+{
+    auto r = runProgram("li r1, 5\nli r2, 0\n"
+                        "div r3, r1, r2\nrem r4, r1, r2\n"
+                        "fxdiv r5, r1, r2\nhalt\n");
+    EXPECT_EQ(r.regs[3], ~0ULL);
+    EXPECT_EQ(r.regs[4], 5u);
+    EXPECT_EQ(r.regs[5], ~0ULL);
+}
+
+TEST(FunctionalCore, FixedPointOps)
+{
+    // 2.0 * 3.0 = 6.0 and 6.0 / 2.0 = 3.0 in Q32.32.
+    auto r = runProgram("li r1, 0x200000000\n"
+                        "li r2, 0x300000000\n"
+                        "fxmul r3, r1, r2\n"
+                        "fxdiv r4, r3, r1\n"
+                        "fxadd r5, r1, r2\n"
+                        "fxsub r6, r2, r1\n"
+                        "halt\n");
+    EXPECT_EQ(r.regs[3], 0x600000000u);
+    EXPECT_EQ(r.regs[4], 0x300000000u);
+    EXPECT_EQ(r.regs[5], 0x500000000u);
+    EXPECT_EQ(r.regs[6], 0x100000000u);
+}
+
+TEST(FunctionalCore, LoadsAndStores)
+{
+    SparseMemory mem;
+    auto r = runProgram(R"(
+        li  r1, 0x10000
+        li  r2, -2
+        sd  r2, 0(r1)
+        ld  r3, 0(r1)
+        lw  r4, 0(r1)
+        lwu r5, 0(r1)
+        lb  r6, 0(r1)
+        lbu r7, 0(r1)
+        sb  r2, 9(r1)
+        lbu r8, 9(r1)
+        sw  r2, 16(r1)
+        ld  r9, 16(r1)
+        halt
+    )", mem);
+    EXPECT_EQ(r.regs[3], uint64_t(-2));
+    EXPECT_EQ(r.regs[4], uint64_t(-2)); // lw sign-extends
+    EXPECT_EQ(r.regs[5], 0xfffffffeu);  // lwu zero-extends
+    EXPECT_EQ(r.regs[6], uint64_t(-2)); // lb sign-extends
+    EXPECT_EQ(r.regs[7], 0xfeu);
+    EXPECT_EQ(r.regs[8], 0xfeu);
+    EXPECT_EQ(r.regs[9], 0xfffffffeu); // sw wrote 4 bytes, rest 0
+    EXPECT_EQ(mem.read(0x10000, 8), uint64_t(-2));
+}
+
+TEST(FunctionalCore, BranchesAndLoops)
+{
+    auto r = runProgram(R"(
+        li   r1, 0
+        li   r2, 10
+loop:   addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    )");
+    EXPECT_EQ(r.regs[1], 10u);
+    EXPECT_EQ(r.insts, 2 + 20 + 1u);
+}
+
+TEST(FunctionalCore, CallReturnAndLink)
+{
+    auto r = runProgram(R"(
+        li   sp, 0x20000
+        li   r5, 3
+        call double_it
+        call double_it
+        halt
+double_it:
+        add  r5, r5, r5
+        ret
+    )");
+    EXPECT_EQ(r.regs[5], 12u);
+}
+
+TEST(FunctionalCore, IndirectJumpTable)
+{
+    auto r = runProgram(R"(
+        .data 0x10000
+table:  .word64 case0, case1
+        .code
+        li   r1, 1
+        la   r2, table
+        slli r3, r1, 3
+        add  r2, r2, r3
+        ld   r4, 0(r2)
+        jr   r4
+case0:  li   r5, 100
+        halt
+case1:  li   r5, 200
+        halt
+    )");
+    EXPECT_EQ(r.regs[5], 200u);
+}
+
+TEST(FunctionalCore, JalrLinksAndJumps)
+{
+    auto r = runProgram(R"(
+        la   r1, target
+        jalr r2, r1
+        halt
+target: li   r3, 7
+        jr   r2
+    )");
+    EXPECT_EQ(r.regs[3], 7u);
+}
+
+TEST(FunctionalCore, ResetRestoresInitialState)
+{
+    SparseMemory mem;
+    Program p = assemble(".data 0x10000\nv: .word64 5\n.code\n"
+                         "la r1, v\nld r2, 0(r1)\n"
+                         "addi r2, r2, 1\nsd r2, 0(r1)\nhalt\n");
+    FunctionalCore core(p, mem);
+    core.run();
+    EXPECT_EQ(mem.read(0x10000, 8), 6u);
+    core.reset();
+    EXPECT_FALSE(core.halted());
+    EXPECT_EQ(core.pc(), p.entry);
+    EXPECT_EQ(mem.read(0x10000, 8), 5u); // data reloaded
+    core.run();
+    EXPECT_EQ(mem.read(0x10000, 8), 6u);
+}
+
+TEST(FunctionalCore, RunRespectsInstructionLimit)
+{
+    SparseMemory mem;
+    Program p = assemble("loop: j loop\n");
+    FunctionalCore core(p, mem);
+    EXPECT_EQ(core.run(100), 100u);
+    EXPECT_FALSE(core.halted());
+}
+
+TEST(FunctionalCore, StepReportsOutcome)
+{
+    SparseMemory mem;
+    Program p = assemble("li r1, 3\nbeqz r0, over\nnop\nover: halt\n");
+    FunctionalCore core(p, mem);
+    ExecResult r1 = core.step();
+    EXPECT_TRUE(r1.wroteReg);
+    EXPECT_EQ(r1.destReg, 1);
+    EXPECT_EQ(r1.destValue, 3u);
+    ExecResult r2 = core.step();
+    EXPECT_TRUE(r2.taken);
+    EXPECT_EQ(r2.nextPc, p.symbol("over"));
+    ExecResult r3 = core.step();
+    EXPECT_TRUE(r3.isHalt);
+    EXPECT_TRUE(core.halted());
+}

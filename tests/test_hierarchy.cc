@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy timing model and store buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/hierarchy.hh"
+
+using namespace ubrc;
+using namespace ubrc::mem;
+
+namespace
+{
+
+struct HierFixture : ::testing::Test
+{
+    HierFixture() : stats("mem"), hier(MemConfig{}, stats) {}
+
+    stats::StatGroup stats;
+    MemoryHierarchy hier;
+};
+
+} // namespace
+
+TEST_F(HierFixture, ColdLoadPaysMemoryLatency)
+{
+    const Cycle lat = hier.loadAccess(0x100000);
+    EXPECT_EQ(lat, hier.config().memLatency);
+}
+
+TEST_F(HierFixture, SecondAccessHitsL1)
+{
+    hier.loadAccess(0x100000);
+    EXPECT_EQ(hier.loadAccess(0x100008), 0);
+}
+
+TEST_F(HierFixture, L2HitAfterL1Eviction)
+{
+    // Fill one L1 set (2-way, 32 KB, 64 B lines -> 256 sets) with
+    // three conflicting lines; the first then hits in L2 (or the
+    // victim buffer).
+    const Addr stride = 256 * 64;
+    hier.loadAccess(0x0);
+    hier.loadAccess(stride);
+    hier.loadAccess(2 * stride);
+    const Cycle lat = hier.loadAccess(0x0);
+    EXPECT_GT(lat, 0);
+    EXPECT_LE(lat, hier.config().l2Latency + hier.config().victimLatency);
+}
+
+TEST_F(HierFixture, StridePrefetcherHidesStreamMisses)
+{
+    // Walk sequential lines; after the detector warms, lines should
+    // be served from the victim/prefetch buffer at low latency.
+    Cycle total_late = 0;
+    for (int i = 0; i < 32; ++i) {
+        const Cycle lat = hier.loadAccess(0x400000 + i * 64);
+        if (i >= 4)
+            total_late += lat;
+    }
+    // Without prefetch this would be 28 * 180; with it, far less.
+    EXPECT_LT(total_late, 28 * hier.config().memLatency / 4);
+    EXPECT_GT(stats.scalar("prefetch_issued").value(), 0u);
+}
+
+TEST_F(HierFixture, IfetchUsesSeparateL1)
+{
+    hier.loadAccess(0x500000);
+    // Same line via ifetch still misses L1I (hits L2).
+    const Cycle lat = hier.ifetchAccess(0x500000);
+    EXPECT_EQ(lat, hier.config().l2Latency);
+    EXPECT_EQ(hier.ifetchAccess(0x500000), 0);
+}
+
+TEST_F(HierFixture, StatsCountMisses)
+{
+    hier.loadAccess(0x600000);
+    hier.loadAccess(0x600000);
+    EXPECT_EQ(stats.scalar("l1d_misses").value(), 1u);
+    EXPECT_EQ(stats.scalar("l1d_accesses").value(), 2u);
+}
+
+TEST(StoreBuffer, CoalescesSameLine)
+{
+    stats::StatGroup sg("mem");
+    MemoryHierarchy hier(MemConfig{}, sg);
+    StoreBuffer sb(4, 1, hier, 64);
+    sb.push(0x1000, 0);
+    sb.push(0x1008, 0); // same line: coalesces
+    EXPECT_EQ(sb.occupancy(), 1u);
+    sb.push(0x1040, 0);
+    EXPECT_EQ(sb.occupancy(), 2u);
+}
+
+TEST(StoreBuffer, BackpressureWhenFull)
+{
+    stats::StatGroup sg("mem");
+    MemoryHierarchy hier(MemConfig{}, sg);
+    StoreBuffer sb(2, 1, hier, 64);
+    sb.push(0x0, 0);
+    sb.push(0x40, 0);
+    EXPECT_FALSE(sb.canAccept(0x80));
+    EXPECT_TRUE(sb.canAccept(0x0)); // coalescing slot still open
+}
+
+TEST(StoreBuffer, DrainsOverTime)
+{
+    stats::StatGroup sg("mem");
+    MemoryHierarchy hier(MemConfig{}, sg);
+    // Warm the lines so drains are L1 hits.
+    hier.loadAccess(0x0);
+    hier.loadAccess(0x40);
+    StoreBuffer sb(4, 1, hier, 64);
+    sb.push(0x0, 1);
+    sb.push(0x40, 1);
+    for (Cycle c = 2; c < 10 && !sb.empty(); ++c)
+        sb.tick(c);
+    EXPECT_TRUE(sb.empty());
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for decoupled-indexing set assignment (Section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "regcache/index_allocator.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+TEST(IndexAllocator, PhysRegPolicyIsModulo)
+{
+    IndexAllocator ia(IndexPolicy::PhysReg, 8, 2);
+    EXPECT_EQ(ia.assign(0, 1), 0u);
+    EXPECT_EQ(ia.assign(9, 1), 1u);
+    EXPECT_EQ(ia.assign(17, 1), 1u);
+    EXPECT_EQ(ia.assign(23, 1), 7u);
+}
+
+TEST(IndexAllocator, RoundRobinCycles)
+{
+    IndexAllocator ia(IndexPolicy::RoundRobin, 4, 2);
+    for (unsigned i = 0; i < 12; ++i)
+        EXPECT_EQ(ia.assign(static_cast<PhysReg>(i), 1), i % 4);
+}
+
+TEST(IndexAllocator, MinimumPicksSmallestLoad)
+{
+    IndexAllocator ia(IndexPolicy::Minimum, 3, 2);
+    EXPECT_EQ(ia.assign(1, 5), 0u); // loads: 5 0 0
+    EXPECT_EQ(ia.assign(2, 3), 1u); // loads: 5 3 0
+    EXPECT_EQ(ia.assign(3, 1), 2u); // loads: 5 3 1
+    EXPECT_EQ(ia.assign(4, 1), 2u); // loads: 5 3 2
+    EXPECT_EQ(ia.assign(5, 9), 2u); // loads: 5 3 11
+    EXPECT_EQ(ia.assign(6, 0), 1u); // ties go to the lowest set? no:
+                                    // 5 3 11 -> min is set 1
+}
+
+TEST(IndexAllocator, MinimumReleaseRestoresLoad)
+{
+    IndexAllocator ia(IndexPolicy::Minimum, 2, 2);
+    const unsigned s = ia.assign(1, 6);
+    EXPECT_EQ(ia.setLoad(s), 6u);
+    ia.release(s, 6);
+    EXPECT_EQ(ia.setLoad(s), 0u);
+    // Release never underflows.
+    ia.release(s, 100);
+    EXPECT_EQ(ia.setLoad(s), 0u);
+}
+
+TEST(IndexAllocator, FilteredSkipsCrowdedSets)
+{
+    // 2-way: threshold is assoc/2 = 1 high-use value per set.
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 3, 2,
+                      /*high_use_threshold=*/5);
+    // Crowd set 0 with two high-use values (predicted > 5).
+    EXPECT_EQ(ia.assign(1, 7), 0u);
+    EXPECT_EQ(ia.assign(2, 7), 1u); // round-robin continues
+    EXPECT_EQ(ia.assign(3, 7), 2u);
+    // Sets 0..2 each hold one high-use value (at the skip limit).
+    EXPECT_EQ(ia.assign(4, 7), 0u); // still allowed (count == limit)
+    // Set 0 now exceeds the limit: next round-robin pass skips it.
+    EXPECT_EQ(ia.assign(5, 1), 1u);
+    EXPECT_EQ(ia.assign(6, 1), 2u);
+    EXPECT_EQ(ia.assign(7, 1), 1u); // skipped set 0 again
+}
+
+TEST(IndexAllocator, FilteredFallsBackWhenAllCrowded)
+{
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 2, 2, 5);
+    // Two high-use values per set: every set exceeds the limit.
+    ia.assign(1, 9);
+    ia.assign(2, 9);
+    ia.assign(3, 9);
+    ia.assign(4, 9);
+    // No eligible set: falls back to plain round-robin.
+    const unsigned s = ia.assign(5, 1);
+    EXPECT_LT(s, 2u);
+}
+
+TEST(IndexAllocator, FilteredReleaseUncrowds)
+{
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 2, 2, 5);
+    ia.assign(1, 9); // set 0
+    ia.assign(2, 9); // set 1
+    ia.assign(3, 9); // set 0: now over limit
+    EXPECT_EQ(ia.setHighUse(0), 2u);
+    ia.release(0, 9);
+    EXPECT_EQ(ia.setHighUse(0), 1u);
+    // Low-use values do not affect the high-use count.
+    ia.release(0, 1);
+    EXPECT_EQ(ia.setHighUse(0), 1u);
+}
+
+TEST(IndexAllocator, HighUseThresholdIsExclusive)
+{
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 4, 2, 5);
+    ia.assign(1, 5); // exactly 5: NOT high-use
+    EXPECT_EQ(ia.setHighUse(0), 0u);
+    ia.assign(2, 6); // 6 > 5: high-use
+    EXPECT_EQ(ia.setHighUse(1), 1u);
+}
+
+TEST(IndexAllocatorDeathTest, BadReleasePanics)
+{
+    IndexAllocator ia(IndexPolicy::RoundRobin, 4, 2);
+    EXPECT_DEATH(ia.release(99, 1), "bad set");
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the decoded-instruction helpers and the program image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+using namespace ubrc;
+using namespace ubrc::isa;
+
+TEST(Instruction, SourceOperandOrder)
+{
+    Program p = assemble("add r1, r2, r3\nsd r4, 8(r5)\n"
+                         "ld r6, 0(r7)\nbeq r8, r9, 0x1000\n");
+    ArchReg srcs[2];
+
+    EXPECT_EQ(p.code[0].srcRegs(srcs), 2);
+    EXPECT_EQ(srcs[0], 2);
+    EXPECT_EQ(srcs[1], 3);
+
+    // Stores: base first, data second.
+    EXPECT_EQ(p.code[1].srcRegs(srcs), 2);
+    EXPECT_EQ(srcs[0], 5);
+    EXPECT_EQ(srcs[1], 4);
+
+    EXPECT_EQ(p.code[2].srcRegs(srcs), 1);
+    EXPECT_EQ(srcs[0], 7);
+
+    EXPECT_EQ(p.code[3].srcRegs(srcs), 2);
+    EXPECT_EQ(srcs[0], 8);
+    EXPECT_EQ(srcs[1], 9);
+}
+
+TEST(Instruction, WritesToRegisterZeroHaveNoDest)
+{
+    Program p = assemble("add r0, r1, r2\nadd r3, r1, r2\n");
+    EXPECT_FALSE(p.code[0].hasDest());
+    EXPECT_TRUE(p.code[1].hasDest());
+}
+
+TEST(Instruction, ClassPredicates)
+{
+    Program p = assemble("ld r1, 0(r2)\nsd r1, 0(r2)\n"
+                         "beq r1, r2, 0x1000\nj 0x1000\n"
+                         "nop\nhalt\nadd r1, r2, r3\n");
+    EXPECT_TRUE(p.code[0].isLoad());
+    EXPECT_TRUE(p.code[0].isMem());
+    EXPECT_TRUE(p.code[1].isStore());
+    EXPECT_TRUE(p.code[2].isCondBranch());
+    EXPECT_TRUE(p.code[2].isBranch());
+    EXPECT_TRUE(p.code[3].isBranch());
+    EXPECT_FALSE(p.code[3].isCondBranch());
+    EXPECT_TRUE(p.code[4].isNop());
+    EXPECT_TRUE(p.code[5].isHalt());
+    EXPECT_FALSE(p.code[6].isMem());
+    EXPECT_FALSE(p.code[6].isBranch());
+}
+
+TEST(Program, AddressingHelpers)
+{
+    Program p = assemble("nop\nnop\nhalt\n", 0x2000);
+    EXPECT_EQ(p.codeBase, 0x2000u);
+    EXPECT_EQ(p.addrOf(2), 0x2008u);
+    EXPECT_TRUE(p.contains(0x2000));
+    EXPECT_TRUE(p.contains(0x2008));
+    EXPECT_FALSE(p.contains(0x200c)); // past the end
+    EXPECT_FALSE(p.contains(0x2001)); // misaligned
+    EXPECT_FALSE(p.contains(0x1ffc)); // before the start
+    EXPECT_TRUE(p.at(0x2008).isHalt());
+}
+
+TEST(Program, EndSymbolIsDefined)
+{
+    Program p = assemble("nop\nhalt\n");
+    EXPECT_EQ(p.symbol("__end"), p.codeBase + 2 * instBytes);
+}
+
+TEST(ProgramDeathTest, MissingSymbolIsFatal)
+{
+    Program p = assemble("halt\n");
+    EXPECT_EXIT(p.symbol("missing"), ::testing::ExitedWithCode(1),
+                "no symbol");
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(ubrc::panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LogDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(ubrc::fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(Log, WarnDoesNotTerminate)
+{
+    ubrc::warn("just a warning");
+    SUCCEED();
+}
+
+TEST(Log, InformRespectsVerbosity)
+{
+    const int saved = ubrc::logVerbosity;
+    ubrc::logVerbosity = 0;
+    ubrc::inform("should be suppressed");
+    ubrc::logVerbosity = saved;
+    SUCCEED();
+}

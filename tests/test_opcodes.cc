@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Consistency tests over the whole opcode table: every opcode's
+ * static properties must be mutually coherent, since the rename,
+ * issue, and execute stages all key off them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcodes.hh"
+
+using namespace ubrc::isa;
+
+namespace
+{
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> v;
+    for (size_t i = 0; i < static_cast<size_t>(Opcode::NUM_OPCODES);
+         ++i)
+        v.push_back(static_cast<Opcode>(i));
+    return v;
+}
+
+} // namespace
+
+class OpcodeTable : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(OpcodeTable, PropertiesAreCoherent)
+{
+    const OpInfo &oi = opInfo(GetParam());
+
+    ASSERT_NE(oi.mnemonic, nullptr);
+    EXPECT_GT(std::string(oi.mnemonic).size(), 0u);
+    EXPECT_LE(oi.numSrcs, 2u);
+
+    if (oi.isLoad) {
+        EXPECT_TRUE(oi.hasDest);
+        EXPECT_EQ(oi.numSrcs, 1u); // address base
+        EXPECT_GT(oi.memSize, 0u);
+        EXPECT_EQ(oi.cls, OpClass::Load);
+        EXPECT_FALSE(oi.isStore);
+        EXPECT_FALSE(oi.isBranch);
+    }
+    if (oi.isStore) {
+        EXPECT_FALSE(oi.hasDest);
+        EXPECT_EQ(oi.numSrcs, 2u); // base + data
+        EXPECT_GT(oi.memSize, 0u);
+        EXPECT_EQ(oi.cls, OpClass::Store);
+        EXPECT_FALSE(oi.isBranch);
+    }
+    if (oi.isCondBranch) {
+        EXPECT_TRUE(oi.isBranch);
+        EXPECT_EQ(oi.numSrcs, 2u);
+        EXPECT_FALSE(oi.hasDest);
+        EXPECT_TRUE(oi.hasImm); // target
+    }
+    if (oi.isBranch) {
+        EXPECT_EQ(oi.cls, OpClass::Branch);
+    }
+    if (oi.isIndirect) {
+        EXPECT_TRUE(oi.isBranch);
+        EXPECT_GE(oi.numSrcs, 1u); // target register
+    }
+    if (oi.memSize > 0) {
+        EXPECT_TRUE(oi.isLoad || oi.isStore);
+    }
+    if (oi.memSigned) {
+        EXPECT_TRUE(oi.isLoad);
+    }
+    if (oi.cls == OpClass::Nop) {
+        EXPECT_FALSE(oi.hasDest);
+        EXPECT_EQ(oi.numSrcs, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeTable, ::testing::ValuesIn(allOpcodes()),
+    [](const auto &info) {
+        std::string name = opInfo(info.param).mnemonic;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(OpcodeTable, MnemonicsAreUnique)
+{
+    std::set<std::string> seen;
+    for (Opcode op : allOpcodes())
+        EXPECT_TRUE(seen.insert(opInfo(op).mnemonic).second)
+            << opInfo(op).mnemonic;
+}
+
+TEST(OpcodeTable, MemorySizesArePowersOfTwo)
+{
+    for (Opcode op : allOpcodes()) {
+        const OpInfo &oi = opInfo(op);
+        if (oi.memSize) {
+            EXPECT_TRUE(oi.memSize == 1 || oi.memSize == 4 ||
+                        oi.memSize == 8)
+                << oi.mnemonic;
+        }
+    }
+}

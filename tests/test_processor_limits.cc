@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Robustness under squeezed machine resources: the processor must
+ * stay architecturally correct (golden checker on) when any window
+ * is made tiny, and the corresponding stall statistics must appear.
+ * Also covers the oracle (perfect branch prediction) front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+namespace
+{
+
+core::SimResult
+runSqueezed(SimConfig cfg, const char *wl = "gzip",
+            uint64_t insts = 20000)
+{
+    return runOne(cfg, workload::buildWorkload(wl), insts);
+}
+
+} // namespace
+
+TEST(ProcessorLimits, TinyRob)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.robEntries = 16;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+    EXPECT_GT(r.ipc, 0.05);
+}
+
+TEST(ProcessorLimits, TinyIssueQueue)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.iqEntries = 8;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+}
+
+TEST(ProcessorLimits, TinyLsq)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.lqEntries = 4;
+    cfg.sqEntries = 4;
+    const auto r = runSqueezed(cfg, "vortex");
+    EXPECT_EQ(r.instsRetired, 20000u);
+}
+
+TEST(ProcessorLimits, FewPhysicalRegisters)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.numPhysRegs = 48; // barely above the 32 architectural
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+}
+
+TEST(ProcessorLimits, NarrowMachine)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.fetchWidth = 2;
+    cfg.renameWidth = 2;
+    cfg.issueWidth = 2;
+    cfg.retireWidth = 2;
+    cfg.maxRetireStores = 1;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+    EXPECT_LE(r.ipc, 2.0);
+}
+
+TEST(ProcessorLimits, TinyRegisterCache)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.rc.entries = 4;
+    cfg.rc.assoc = 2;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+    EXPECT_GT(r.missPerOperand, 0.02); // a 4-entry cache misses a lot
+}
+
+TEST(ProcessorLimits, TinyFrontQueue)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.frontQueueLimit = 8;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+}
+
+TEST(ProcessorLimits, PerformanceMonotoneInWindowSize)
+{
+    auto small = SimConfig::useBasedCache();
+    small.robEntries = 32;
+    auto large = SimConfig::useBasedCache();
+    const auto rs = runSqueezed(small, "mcf");
+    const auto rl = runSqueezed(large, "mcf");
+    // mcf's memory-level parallelism needs the big window.
+    EXPECT_LT(rs.ipc, rl.ipc);
+}
+
+TEST(ProcessorOracle, PerfectPredictionEliminatesMispredicts)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.perfectBranchPrediction = true;
+    // vpr's accept/reject branch is unpredictable for real
+    // predictors.
+    const auto real = runSqueezed(SimConfig::useBasedCache(), "vpr");
+    const auto oracle = runSqueezed(cfg, "vpr");
+    EXPECT_GT(real.branchMispredicts, 50u);
+    EXPECT_LT(oracle.branchMispredicts, real.branchMispredicts / 10);
+    EXPECT_GT(oracle.ipc, real.ipc);
+}
+
+TEST(ProcessorOracle, StillArchitecturallyChecked)
+{
+    // The checker runs during oracle mode too; finishing means every
+    // retired instruction matched the interpreter.
+    for (const char *wl : {"gzip", "parser", "twolf"}) {
+        auto cfg = SimConfig::useBasedCache();
+        cfg.perfectBranchPrediction = true;
+        const auto r = runSqueezed(cfg, wl);
+        EXPECT_EQ(r.instsRetired, 20000u) << wl;
+    }
+}
+
+TEST(ProcessorOracle, WorksWithMonolithicFile)
+{
+    auto cfg = SimConfig::monolithic(3);
+    cfg.perfectBranchPrediction = true;
+    const auto r = runSqueezed(cfg);
+    EXPECT_EQ(r.instsRetired, 20000u);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property-style sweep: one real workload runs under every register
+ * storage scheme and policy combination with the golden checker on,
+ * and cross-scheme invariants are asserted. This exercises the whole
+ * machine (speculation, replay, cache policies, recovery) under each
+ * configuration the paper evaluates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::core;
+using namespace ubrc::sim;
+
+namespace
+{
+
+constexpr uint64_t testInsts = 30000;
+
+SimResult
+runCfg(const SimConfig &cfg, const std::string &wl = "gzip")
+{
+    return runOne(cfg, workload::buildWorkload(wl), testInsts);
+}
+
+} // namespace
+
+class SchemeSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SchemeSweep, AllSchemesCompleteAndAreSane)
+{
+    const std::string wl = GetParam();
+    const SimResult mono = runCfg(SimConfig::monolithic(3), wl);
+    const SimResult ub = runCfg(SimConfig::useBasedCache(), wl);
+    const SimResult lru = runCfg(SimConfig::lruCache(), wl);
+    const SimResult nb = runCfg(SimConfig::nonBypassCache(), wl);
+    const SimResult tl = runCfg(SimConfig::twoLevelFile(64), wl);
+
+    for (const SimResult *r : {&mono, &ub, &lru, &nb, &tl}) {
+        EXPECT_EQ(r->instsRetired, testInsts);
+        EXPECT_GT(r->ipc, 0.0);
+        EXPECT_LE(r->ipc, 8.0);
+        EXPECT_GE(r->missPerOperand, 0.0);
+        EXPECT_LE(r->missPerOperand, 1.0);
+    }
+    // No cache, no cache misses.
+    EXPECT_EQ(mono.rcMisses, 0u);
+    EXPECT_EQ(tl.rcMisses, 0u);
+    // Cached schemes: miss categories account for all misses, and
+    // file-sourced operands never exceed the misses that requested
+    // them (squashed instructions may abandon a fill in flight).
+    for (const SimResult *r : {&ub, &lru, &nb}) {
+        EXPECT_EQ(r->rcMisses, r->rcMissNoWrite + r->rcMissConflict +
+                                   r->rcMissCapacity);
+        EXPECT_LE(r->opFile, r->rcMisses);
+        EXPECT_GT(r->opFile, r->rcMisses / 2); // most fills consumed
+    }
+    // LRU writes everything: nothing filtered, and only values whose
+    // registers died in the write cycle itself can be "never cached".
+    EXPECT_EQ(lru.writesFiltered, 0u);
+    EXPECT_LT(lru.valuesNeverCached, lru.valuesProduced / 20);
+    // Filtering policies do filter. (Which filters more is workload
+    // dependent: use-based also drops predicted-dead values, see the
+    // Figure 10 discussion.)
+    EXPECT_GT(ub.writesFiltered, 0u);
+    EXPECT_GT(nb.writesFiltered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SchemeSweep,
+                         ::testing::Values("gzip", "crafty", "parser",
+                                           "vpr"),
+                         [](const auto &info) { return info.param; });
+
+TEST(SchemeProperties, UseBasedMissesBelowLru)
+{
+    // Aggregated over several kernels, use-based management must cut
+    // the miss rate versus LRU (the paper's central claim).
+    double ub_miss = 0, lru_miss = 0;
+    for (const char *wl : {"gzip", "crafty", "vpr", "twolf"}) {
+        ub_miss += runCfg(SimConfig::useBasedCache(), wl).missPerOperand;
+        lru_miss += runCfg(SimConfig::lruCache(), wl).missPerOperand;
+    }
+    EXPECT_LT(ub_miss, lru_miss);
+}
+
+TEST(SchemeProperties, SmallerCachesMissMore)
+{
+    auto small = SimConfig::useBasedCache();
+    small.rc.entries = 16;
+    auto large = SimConfig::useBasedCache();
+    large.rc.entries = 128;
+    const double m_small = runCfg(small).missPerOperand;
+    const double m_large = runCfg(large).missPerOperand;
+    EXPECT_GT(m_small, m_large);
+}
+
+TEST(SchemeProperties, AssociativityHelps)
+{
+    auto dm = SimConfig::useBasedCache();
+    dm.rc.assoc = 1;
+    auto four = SimConfig::useBasedCache();
+    four.rc.assoc = 4;
+    EXPECT_GT(runCfg(dm).missPerOperand,
+              runCfg(four).missPerOperand);
+}
+
+TEST(SchemeProperties, SlowerMonolithicFilesAreSlower)
+{
+    double prev = 1e9;
+    for (Cycle lat : {1, 2, 3, 5}) {
+        const double ipc = runCfg(SimConfig::monolithic(lat)).ipc;
+        EXPECT_LT(ipc, prev + 1e-9) << "latency " << lat;
+        prev = ipc;
+    }
+}
+
+TEST(SchemeProperties, BackingLatencyDegradesCachedPerformance)
+{
+    auto fast = SimConfig::useBasedCache();
+    fast.backingLatency = 1;
+    auto slow = SimConfig::useBasedCache();
+    slow.backingLatency = 5;
+    EXPECT_GT(runCfg(fast).ipc, runCfg(slow).ipc);
+}
+
+TEST(SchemeProperties, DecoupledIndexingBeatsPregIndexing)
+{
+    // Aggregate conflict misses across kernels: filtered round-robin
+    // must not exceed standard preg indexing (Section 4's claim).
+    uint64_t preg_conf = 0, frr_conf = 0;
+    for (const char *wl : {"gzip", "vpr", "twolf", "gap"}) {
+        auto preg = SimConfig::useBasedCache();
+        preg.rc.indexing = regcache::IndexPolicy::PhysReg;
+        auto frr = SimConfig::useBasedCache();
+        preg_conf += runCfg(preg, wl).rcMissConflict;
+        frr_conf += runCfg(frr, wl).rcMissConflict;
+    }
+    EXPECT_LT(frr_conf, preg_conf);
+}
+
+TEST(SchemeProperties, CheckerCanBeDisabled)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.checker = false;
+    const SimResult r = runCfg(cfg);
+    EXPECT_EQ(r.instsRetired, testInsts);
+}
+
+TEST(SchemeProperties, MissClassificationOptional)
+{
+    auto cfg = SimConfig::useBasedCache();
+    cfg.classifyMisses = false;
+    const SimResult r = runCfg(cfg);
+    EXPECT_EQ(r.rcMissConflict, 0u); // everything lands in capacity
+    EXPECT_EQ(r.rcMisses,
+              r.rcMissNoWrite + r.rcMissCapacity);
+}
+
+TEST(SchemeProperties, DeterministicRuns)
+{
+    const SimResult a = runCfg(SimConfig::useBasedCache());
+    const SimResult b = runCfg(SimConfig::useBasedCache());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.rcMisses, b.rcMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+}

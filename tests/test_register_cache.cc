@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the register cache: use-based insertion filtering,
+ * remaining-use counting, pinning, and victim selection (Section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "regcache/register_cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+namespace
+{
+
+struct RcFixture : ::testing::Test
+{
+    RcFixture() : stats("rc") {}
+
+    RegisterCache
+    make(unsigned entries, unsigned assoc, ReplacementPolicy repl)
+    {
+        RegCacheParams p;
+        p.entries = entries;
+        p.assoc = assoc;
+        p.replacement = repl;
+        return RegisterCache(p, stats);
+    }
+
+    stats::StatGroup stats;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// Insertion filter (Section 3.1)
+// ---------------------------------------------------------------- //
+
+struct InsertCase
+{
+    InsertionPolicy policy;
+    bool pinned;
+    unsigned predicted;
+    unsigned stage1;
+    bool expectInsert;
+};
+
+class ShouldInsertTest : public ::testing::TestWithParam<InsertCase>
+{
+};
+
+TEST_P(ShouldInsertTest, MatchesPolicy)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(shouldInsert(c.policy, c.pinned, c.predicted, c.stage1),
+              c.expectInsert);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ShouldInsertTest,
+    ::testing::Values(
+        // Always: inserts regardless.
+        InsertCase{InsertionPolicy::Always, false, 0, 0, true},
+        InsertCase{InsertionPolicy::Always, false, 1, 1, true},
+        InsertCase{InsertionPolicy::Always, false, 5, 5, true},
+        // Non-bypass: filters on ANY first-stage bypass.
+        InsertCase{InsertionPolicy::NonBypass, false, 4, 1, false},
+        InsertCase{InsertionPolicy::NonBypass, false, 4, 0, true},
+        InsertCase{InsertionPolicy::NonBypass, false, 0, 0, true},
+        // Use-based: filters only when ALL predicted uses bypassed.
+        InsertCase{InsertionPolicy::UseBased, false, 1, 1, false},
+        InsertCase{InsertionPolicy::UseBased, false, 2, 1, true},
+        InsertCase{InsertionPolicy::UseBased, false, 0, 0, false},
+        InsertCase{InsertionPolicy::UseBased, false, 3, 3, false},
+        // Pinned values are always worth caching.
+        InsertCase{InsertionPolicy::UseBased, true, 7, 7, true}));
+
+// ---------------------------------------------------------------- //
+// Structure: reads, counting, pinning, invalidation
+// ---------------------------------------------------------------- //
+
+TEST_F(RcFixture, ReadHitDecrementsRemainingUses)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(10, 0, 3, false, 0);
+    EXPECT_EQ(rc.remainingUses(10, 0), 3);
+    EXPECT_TRUE(rc.read(10, 0, 1));
+    EXPECT_EQ(rc.remainingUses(10, 0), 2);
+    rc.read(10, 0, 2);
+    rc.read(10, 0, 3);
+    rc.read(10, 0, 4); // does not underflow
+    EXPECT_EQ(rc.remainingUses(10, 0), 0);
+}
+
+TEST_F(RcFixture, ReadMissReturnsFalse)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    EXPECT_FALSE(rc.read(10, 0, 0));
+    rc.insert(10, 0, 1, false, 0);
+    EXPECT_FALSE(rc.read(10, 1, 0)); // wrong set: decoupled index
+}
+
+TEST_F(RcFixture, PinnedEntriesNeverDecrement)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(5, 1, 7, true, 0);
+    for (int i = 0; i < 20; ++i)
+        rc.read(5, 1, i);
+    EXPECT_EQ(rc.remainingUses(5, 1), 7);
+}
+
+TEST_F(RcFixture, BypassUseDecrements)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(6, 0, 4, false, 0);
+    rc.noteBypassUse(6, 0);
+    EXPECT_EQ(rc.remainingUses(6, 0), 3);
+    rc.noteBypassUse(7, 0); // absent: no effect, no crash
+}
+
+TEST_F(RcFixture, InvalidateRemoves)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(8, 0, 2, false, 0);
+    rc.invalidate(8, 0, 5);
+    EXPECT_FALSE(rc.contains(8, 0));
+    EXPECT_EQ(rc.validCount(), 0u);
+}
+
+TEST_F(RcFixture, RemainingUsesClampToMax)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(9, 0, 100, false, 0); // clamped to maxUse (7)
+    EXPECT_EQ(rc.remainingUses(9, 0), 7);
+}
+
+TEST_F(RcFixture, FillUsesFillDefault)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.fill(11, 0, 0);
+    EXPECT_TRUE(rc.contains(11, 0));
+    EXPECT_EQ(rc.remainingUses(11, 0), 0); // fill default
+}
+
+TEST_F(RcFixture, DoubleFillIsIdempotent)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.fill(11, 0, 0);
+    rc.fill(11, 0, 1);
+    EXPECT_EQ(rc.validCount(), 1u);
+}
+
+TEST_F(RcFixture, DoubleInsertPanics)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(12, 0, 1, false, 0);
+    EXPECT_DEATH(rc.insert(12, 0, 1, false, 1), "double insert");
+}
+
+// ---------------------------------------------------------------- //
+// Replacement (Section 3.2)
+// ---------------------------------------------------------------- //
+
+TEST_F(RcFixture, UseBasedVictimHasFewestUses)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 5, false, 0);
+    rc.insert(2, 0, 1, false, 1);
+    rc.insert(3, 0, 3, false, 2); // set full: evict preg 2 (1 use)
+    EXPECT_TRUE(rc.contains(1, 0));
+    EXPECT_FALSE(rc.contains(2, 0));
+    EXPECT_TRUE(rc.contains(3, 0));
+}
+
+TEST_F(RcFixture, FewestUsesBeatsRecency)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 2, false, 0);
+    rc.insert(2, 0, 2, false, 1);
+    rc.read(1, 0, 2); // preg 1: recently used BUT now fewer uses
+    rc.insert(3, 0, 2, false, 3);
+    EXPECT_FALSE(rc.contains(1, 0)); // fewest remaining uses loses
+    EXPECT_TRUE(rc.contains(2, 0));
+}
+
+TEST_F(RcFixture, UseBasedTieBrokenByLru)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 2, false, 0);
+    rc.insert(2, 0, 2, false, 1);
+    // Deplete both counters to zero.
+    rc.read(1, 0, 2);
+    rc.read(1, 0, 3);
+    rc.read(2, 0, 4);
+    rc.read(2, 0, 5);
+    // Tie at zero uses: touch preg 1 so preg 2 becomes the LRU.
+    rc.read(1, 0, 6);
+    rc.insert(3, 0, 1, false, 7);
+    EXPECT_TRUE(rc.contains(1, 0));
+    EXPECT_FALSE(rc.contains(2, 0));
+}
+
+TEST_F(RcFixture, PinnedEntriesAreLastChoiceVictims)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 7, true, 0);  // pinned
+    rc.insert(2, 0, 6, false, 1); // high uses but unpinned
+    rc.insert(3, 0, 0, false, 2); // evicts preg 2, not the pinned 1
+    EXPECT_TRUE(rc.contains(1, 0));
+    EXPECT_FALSE(rc.contains(2, 0));
+}
+
+TEST_F(RcFixture, LruReplacementIgnoresUses)
+{
+    auto rc = make(4, 2, ReplacementPolicy::LRU);
+    rc.insert(1, 0, 0, false, 0); // zero uses, but MRU later
+    rc.insert(2, 0, 7, false, 1);
+    rc.read(1, 0, 2); // preg 1 is MRU
+    rc.insert(3, 0, 3, false, 3);
+    EXPECT_TRUE(rc.contains(1, 0));  // LRU evicted preg 2
+    EXPECT_FALSE(rc.contains(2, 0));
+}
+
+TEST_F(RcFixture, InvalidWaysPreferredOverEviction)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 0, false, 0);
+    rc.insert(2, 0, 5, false, 1);
+    EXPECT_EQ(stats.scalar("rc_evictions").value(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Statistics
+// ---------------------------------------------------------------- //
+
+TEST_F(RcFixture, EvictionStatsSplitZeroVsLiveUses)
+{
+    auto rc = make(2, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 0, false, 0);
+    rc.insert(2, 0, 4, false, 0);
+    rc.insert(3, 0, 4, false, 0); // evicts preg1 (0 uses)
+    rc.insert(4, 0, 4, false, 0); // evicts a live entry
+    EXPECT_EQ(stats.scalar("rc_evictions_zero_use").value(), 1u);
+    EXPECT_EQ(stats.scalar("rc_evictions_live_use").value(), 1u);
+    EXPECT_NEAR(rc.zeroUseVictimFraction(), 0.5, 1e-9);
+}
+
+TEST_F(RcFixture, NeverReadAndLifetimeTracked)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 2, false, 10);
+    rc.insert(2, 1, 2, false, 10);
+    rc.read(1, 0, 15);
+    rc.invalidate(1, 0, 20);
+    rc.invalidate(2, 1, 30);
+    EXPECT_EQ(stats.scalar("rc_entries_never_read").value(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean("rc_entry_lifetime").value(),
+                     (10.0 + 20.0) / 2);
+    EXPECT_DOUBLE_EQ(stats.mean("rc_reads_per_entry").value(), 0.5);
+}
+
+// ---------------------------------------------------------------- //
+// Shadow fully-associative classifier
+// ---------------------------------------------------------------- //
+
+TEST(ShadowCache, BasicResidency)
+{
+    ShadowFullyAssocCache s(2, ReplacementPolicy::UseBased, 7);
+    s.insert(1, 3, false, 0);
+    s.insert(2, 1, false, 1);
+    EXPECT_TRUE(s.contains(1));
+    s.insert(3, 2, false, 2); // evicts preg 2 (fewest uses)
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_TRUE(s.contains(3));
+}
+
+TEST(ShadowCache, ReadDecrementsAndInvalidates)
+{
+    ShadowFullyAssocCache s(4, ReplacementPolicy::UseBased, 7);
+    s.insert(1, 1, false, 0);
+    EXPECT_TRUE(s.read(1));
+    s.invalidate(1);
+    EXPECT_FALSE(s.read(1));
+}

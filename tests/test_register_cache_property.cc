@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Property-based tests: the register cache is driven with long random
+ * operation streams and checked against an executable reference model
+ * of the paper's semantics, across a sweep of geometries and both
+ * replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "regcache/register_cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+namespace
+{
+
+/** Straight-line reference model of the cache semantics. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(unsigned entries, unsigned assoc,
+                   ReplacementPolicy repl, unsigned max_use)
+        : numSets(entries / assoc), assocN(assoc), repl(repl),
+          maxUse(max_use), sets(numSets)
+    {}
+
+    struct Entry
+    {
+        PhysReg preg;
+        unsigned uses;
+        bool pinned;
+        uint64_t lastTouch;
+    };
+
+    void
+    insert(PhysReg preg, unsigned set, unsigned uses, bool pinned)
+    {
+        auto &s = sets[set];
+        if (s.size() == assocN)
+            s.erase(s.begin() + victimIndex(s));
+        s.push_back({preg, std::min(uses, maxUse), pinned, ++clock});
+    }
+
+    void
+    fill(PhysReg preg, unsigned set)
+    {
+        if (find(set, preg))
+            return;
+        insert(preg, set, 0, false);
+    }
+
+    bool
+    read(PhysReg preg, unsigned set)
+    {
+        Entry *e = find(set, preg);
+        if (!e)
+            return false;
+        e->lastTouch = ++clock;
+        if (!e->pinned && e->uses > 0)
+            --e->uses;
+        return true;
+    }
+
+    void
+    bypass(PhysReg preg, unsigned set)
+    {
+        Entry *e = find(set, preg);
+        if (e && !e->pinned && e->uses > 0)
+            --e->uses;
+    }
+
+    void
+    invalidate(PhysReg preg, unsigned set)
+    {
+        auto &s = sets[set];
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (s[i].preg == preg) {
+                s.erase(s.begin() + i);
+                return;
+            }
+        }
+    }
+
+    bool contains(PhysReg preg, unsigned set) { return find(set, preg); }
+
+    int
+    remaining(PhysReg preg, unsigned set)
+    {
+        Entry *e = find(set, preg);
+        return e ? static_cast<int>(e->uses) : -1;
+    }
+
+    unsigned
+    valid() const
+    {
+        unsigned n = 0;
+        for (const auto &s : sets)
+            n += s.size();
+        return n;
+    }
+
+  private:
+    Entry *
+    find(unsigned set, PhysReg preg)
+    {
+        for (auto &e : sets[set])
+            if (e.preg == preg)
+                return &e;
+        return nullptr;
+    }
+
+    size_t
+    victimIndex(std::vector<Entry> &s) const
+    {
+        size_t v = 0;
+        for (size_t i = 1; i < s.size(); ++i) {
+            if (repl == ReplacementPolicy::LRU) {
+                if (s[i].lastTouch < s[v].lastTouch)
+                    v = i;
+            } else {
+                const uint64_t iu = s[i].pinned ? ~0ULL : s[i].uses;
+                const uint64_t vu = s[v].pinned ? ~0ULL : s[v].uses;
+                if (iu < vu ||
+                    (iu == vu && s[i].lastTouch < s[v].lastTouch))
+                    v = i;
+            }
+        }
+        return v;
+    }
+
+    unsigned numSets;
+    unsigned assocN;
+    ReplacementPolicy repl;
+    unsigned maxUse;
+    std::vector<std::vector<Entry>> sets;
+    uint64_t clock = 0;
+};
+
+struct PropertyParam
+{
+    unsigned entries;
+    unsigned assoc;
+    ReplacementPolicy repl;
+};
+
+class RegCacheProperty : public ::testing::TestWithParam<PropertyParam>
+{
+};
+
+} // namespace
+
+TEST_P(RegCacheProperty, AgreesWithReferenceModel)
+{
+    const auto &[entries, assoc, repl] = GetParam();
+    stats::StatGroup sg("rc");
+    RegCacheParams params;
+    params.entries = entries;
+    params.assoc = assoc;
+    params.replacement = repl;
+    RegisterCache rc(params, sg);
+    ReferenceCache ref(entries, assoc, repl, params.maxUse);
+
+    Rng rng(entries * 131 + assoc * 7 +
+            (repl == ReplacementPolicy::LRU ? 1 : 0));
+    const unsigned num_sets = entries / assoc;
+    const int num_pregs = 128;
+    // Track where each preg was mapped so operations are coherent.
+    std::map<PhysReg, unsigned> set_of;
+
+    for (int step = 0; step < 20000; ++step) {
+        const PhysReg preg = static_cast<PhysReg>(rng.below(num_pregs));
+        const unsigned op = static_cast<unsigned>(rng.below(100));
+        const Cycle now = step;
+
+        if (op < 30) {
+            // Produce a new value: invalidate any prior incarnation,
+            // then insert into a fresh random set.
+            if (auto it = set_of.find(preg); it != set_of.end()) {
+                rc.invalidate(preg, it->second, now);
+                ref.invalidate(preg, it->second);
+            }
+            const unsigned set =
+                static_cast<unsigned>(rng.below(num_sets));
+            const unsigned uses = static_cast<unsigned>(rng.below(10));
+            const bool pinned = rng.chance(0.1);
+            rc.insert(preg, set, uses, pinned, now);
+            ref.insert(preg, set, uses, pinned);
+            set_of[preg] = set;
+        } else if (op < 70) {
+            auto it = set_of.find(preg);
+            if (it == set_of.end())
+                continue;
+            const bool a = rc.read(preg, it->second, now);
+            const bool b = ref.read(preg, it->second);
+            ASSERT_EQ(a, b) << "read divergence at step " << step;
+            if (!a) { // miss: fill, like the machine does
+                rc.fill(preg, it->second, now);
+                ref.fill(preg, it->second);
+            }
+        } else if (op < 80) {
+            auto it = set_of.find(preg);
+            if (it == set_of.end())
+                continue;
+            rc.noteBypassUse(preg, it->second);
+            ref.bypass(preg, it->second);
+        } else if (op < 90) {
+            auto it = set_of.find(preg);
+            if (it == set_of.end())
+                continue;
+            rc.invalidate(preg, it->second, now);
+            ref.invalidate(preg, it->second);
+            set_of.erase(it);
+        } else {
+            auto it = set_of.find(preg);
+            if (it == set_of.end())
+                continue;
+            ASSERT_EQ(rc.contains(preg, it->second),
+                      ref.contains(preg, it->second))
+                << "presence divergence at step " << step;
+            ASSERT_EQ(rc.remainingUses(preg, it->second),
+                      ref.remaining(preg, it->second))
+                << "count divergence at step " << step;
+        }
+
+        if (step % 512 == 0) {
+            ASSERT_EQ(rc.validCount(), ref.valid())
+                << "occupancy divergence at step " << step;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RegCacheProperty,
+    ::testing::Values(
+        PropertyParam{16, 1, ReplacementPolicy::UseBased},
+        PropertyParam{16, 2, ReplacementPolicy::UseBased},
+        PropertyParam{32, 2, ReplacementPolicy::LRU},
+        PropertyParam{64, 2, ReplacementPolicy::UseBased},
+        PropertyParam{64, 4, ReplacementPolicy::UseBased},
+        PropertyParam{64, 4, ReplacementPolicy::LRU},
+        PropertyParam{48, 2, ReplacementPolicy::UseBased}, // non-pow2
+        PropertyParam{64, 64, ReplacementPolicy::UseBased},
+        PropertyParam{64, 64, ReplacementPolicy::LRU}));

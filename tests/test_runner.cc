@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the suite runner and benchmark environment controls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+TEST(Runner, RunSuiteCoversAllWorkloads)
+{
+    const SuiteResult r = runSuite(SimConfig::useBasedCache(),
+                                   {"gzip", "crafty"}, {}, 20000);
+    ASSERT_EQ(r.runs.size(), 2u);
+    EXPECT_EQ(r.runs[0].workload, "gzip");
+    EXPECT_EQ(r.runs[1].workload, "crafty");
+    for (const auto &run : r.runs)
+        EXPECT_EQ(run.result.instsRetired, 20000u);
+}
+
+TEST(Runner, GeomeanBetweenExtremes)
+{
+    const SuiteResult r = runSuite(SimConfig::useBasedCache(),
+                                   {"gzip", "crafty"}, {}, 20000);
+    const double g = r.geomeanIpc();
+    const double a = r.runs[0].result.ipc;
+    const double b = r.runs[1].result.ipc;
+    EXPECT_GE(g, std::min(a, b));
+    EXPECT_LE(g, std::max(a, b));
+}
+
+TEST(Runner, MeanAndTotalHelpers)
+{
+    const SuiteResult r = runSuite(SimConfig::useBasedCache(),
+                                   {"gzip", "crafty"}, {}, 20000);
+    const double mean_ipc =
+        r.mean([](const core::SimResult &s) { return s.ipc; });
+    EXPECT_GT(mean_ipc, 0.0);
+    const uint64_t total =
+        r.total([](const core::SimResult &s) { return s.instsRetired; });
+    EXPECT_EQ(total, 40000u);
+}
+
+TEST(Runner, BenchWorkloadsDefaults)
+{
+    unsetenv("UBRC_WORKLOADS");
+    const std::vector<std::string> defaults = {"a", "b"};
+    EXPECT_EQ(benchWorkloads(defaults), defaults);
+    setenv("UBRC_WORKLOADS", "all", 1);
+    EXPECT_EQ(benchWorkloads(defaults), defaults);
+    setenv("UBRC_WORKLOADS", "gzip,mcf", 1);
+    const auto v = benchWorkloads(defaults);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "gzip");
+    EXPECT_EQ(v[1], "mcf");
+    unsetenv("UBRC_WORKLOADS");
+}
+
+TEST(Runner, BenchMaxInstsEnv)
+{
+    unsetenv("UBRC_MAX_INSTS");
+    EXPECT_EQ(benchMaxInsts(123), 123u);
+    setenv("UBRC_MAX_INSTS", "5000", 1);
+    EXPECT_EQ(benchMaxInsts(123), 5000u);
+    unsetenv("UBRC_MAX_INSTS");
+}
+
+TEST(Runner, RunOneHonoursMaxInsts)
+{
+    const auto w = workload::buildWorkload("gzip");
+    const core::SimResult r =
+        runOne(SimConfig::useBasedCache(), w, 15000);
+    EXPECT_EQ(r.instsRetired, 15000u);
+}

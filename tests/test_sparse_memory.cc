@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the sparse memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sparse_memory.hh"
+
+using ubrc::SparseMemory;
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(SparseMemory, WriteReadRoundTrip)
+{
+    SparseMemory m;
+    m.write(0x1000, 8, 0x0123456789abcdefULL);
+    EXPECT_EQ(m.read(0x1000, 8), 0x0123456789abcdefULL);
+    // Little-endian byte order.
+    EXPECT_EQ(m.readByte(0x1000), 0xefu);
+    EXPECT_EQ(m.readByte(0x1007), 0x01u);
+}
+
+TEST(SparseMemory, PartialSizes)
+{
+    SparseMemory m;
+    m.write(0x2000, 4, 0xddccbbaa);
+    EXPECT_EQ(m.read(0x2000, 1), 0xaau);
+    EXPECT_EQ(m.read(0x2000, 2), 0xbbaau);
+    EXPECT_EQ(m.read(0x2000, 4), 0xddccbbaau);
+    EXPECT_EQ(m.read(0x2000, 8), 0xddccbbaau); // above bytes zero
+}
+
+TEST(SparseMemory, CrossesPageBoundary)
+{
+    SparseMemory m;
+    const ubrc::Addr addr = SparseMemory::pageSize - 4;
+    m.write(addr, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(addr, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(SparseMemory, WriteBlock)
+{
+    SparseMemory m;
+    const uint8_t data[] = {1, 2, 3, 4, 5};
+    m.writeBlock(0x3000, data, sizeof(data));
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(m.readByte(0x3000 + i), data[i]);
+}
+
+TEST(SparseMemory, ClearDropsEverything)
+{
+    SparseMemory m;
+    m.write(0x1000, 8, 42);
+    m.clear();
+    EXPECT_EQ(m.read(0x1000, 8), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(SparseMemory, OverwriteIsLastWriteWins)
+{
+    SparseMemory m;
+    m.write(0x4000, 8, ~0ULL);
+    m.write(0x4002, 2, 0);
+    EXPECT_EQ(m.read(0x4000, 8), 0xffffffff0000ffffULL);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace ubrc::stats;
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 7u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Mean, ComputesWeightedMean)
+{
+    Mean m;
+    EXPECT_EQ(m.value(), 0.0);
+    m.sample(2.0);
+    m.sample(4.0);
+    EXPECT_DOUBLE_EQ(m.value(), 3.0);
+    m.sample(10.0, 2); // weight 2
+    EXPECT_DOUBLE_EQ(m.value(), 26.0 / 4.0);
+    EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(Distribution, MeanAndMedian)
+{
+    Distribution d(100);
+    for (uint64_t v = 1; v <= 9; ++v)
+        d.sample(v);
+    EXPECT_EQ(d.median(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_EQ(d.count(), 9u);
+}
+
+TEST(Distribution, PercentileEdges)
+{
+    Distribution d(100);
+    for (int i = 0; i < 10; ++i)
+        d.sample(10);
+    EXPECT_EQ(d.percentile(0.0), 10u);
+    EXPECT_EQ(d.percentile(1.0), 10u);
+    EXPECT_EQ(d.percentile(0.5), 10u);
+}
+
+TEST(Distribution, PercentileSkewed)
+{
+    Distribution d(100);
+    for (int i = 0; i < 90; ++i)
+        d.sample(1);
+    for (int i = 0; i < 10; ++i)
+        d.sample(50);
+    EXPECT_EQ(d.percentile(0.5), 1u);
+    EXPECT_EQ(d.percentile(0.9), 1u);
+    EXPECT_EQ(d.percentile(0.95), 50u);
+}
+
+TEST(Distribution, ClampsOverflowIntoLastBucket)
+{
+    Distribution d(10);
+    d.sample(5000);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.median(), 10u);
+}
+
+TEST(Distribution, CdfMonotone)
+{
+    Distribution d(20);
+    for (uint64_t v = 0; v <= 20; ++v)
+        d.sample(v);
+    double prev = -1;
+    for (uint64_t v = 0; v <= 20; ++v) {
+        const double c = d.cdfAt(v);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(d.cdfAt(20), 1.0);
+    EXPECT_NEAR(d.cdfAt(9), 10.0 / 21.0, 1e-12);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d(10);
+    EXPECT_EQ(d.median(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.cdfAt(5), 0.0);
+}
+
+TEST(StatGroup, NamesAreStable)
+{
+    StatGroup g("grp");
+    Scalar &a = g.scalar("a");
+    ++a;
+    Scalar &a2 = g.scalar("a");
+    EXPECT_EQ(&a, &a2);
+    EXPECT_EQ(a2.value(), 1u);
+}
+
+TEST(StatGroup, DumpContainsEntries)
+{
+    StatGroup g("core");
+    g.scalar("hits") += 3;
+    g.mean("occ").sample(1.5);
+    g.distribution("lat", 64).sample(7);
+    const std::string out = g.dump();
+    EXPECT_NE(out.find("core.hits 3"), std::string::npos);
+    EXPECT_NE(out.find("core.occ"), std::string::npos);
+    EXPECT_NE(out.find("core.lat"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClears)
+{
+    StatGroup g("g");
+    g.scalar("x") += 9;
+    g.mean("m").sample(4);
+    g.distribution("d").sample(2);
+    g.resetAll();
+    EXPECT_EQ(g.scalar("x").value(), 0u);
+    EXPECT_EQ(g.mean("m").count(), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Property test: Distribution percentiles agree with a sorted-vector
+ * reference over random sample sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace ubrc;
+using namespace ubrc::stats;
+
+namespace
+{
+
+/** Smallest v such that at least ceil(frac * n) samples are <= v. */
+uint64_t
+refPercentile(std::vector<uint64_t> sorted, double frac)
+{
+    const size_t n = sorted.size();
+    size_t need = static_cast<size_t>(
+        std::ceil(frac * static_cast<double>(n)));
+    if (need == 0)
+        need = 1;
+    return sorted[need - 1];
+}
+
+} // namespace
+
+TEST(DistributionProperty, PercentilesMatchSortedReference)
+{
+    Rng rng(314);
+    for (int trial = 0; trial < 40; ++trial) {
+        Distribution d(512);
+        std::vector<uint64_t> samples;
+        const int n = 1 + static_cast<int>(rng.below(400));
+        for (int i = 0; i < n; ++i) {
+            const uint64_t v = rng.below(512);
+            d.sample(v);
+            samples.push_back(v);
+        }
+        std::sort(samples.begin(), samples.end());
+        for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+            ASSERT_EQ(d.percentile(frac),
+                      refPercentile(samples, frac))
+                << "trial " << trial << " frac " << frac << " n " << n;
+        }
+        // Mean agrees too.
+        double sum = 0;
+        for (uint64_t v : samples)
+            sum += static_cast<double>(v);
+        ASSERT_NEAR(d.mean(), sum / n, 1e-9);
+    }
+}
+
+TEST(DistributionProperty, WeightedSamplesEquivalent)
+{
+    Rng rng(99);
+    Distribution weighted(256), unweighted(256);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t v = rng.below(256);
+        const uint64_t w = 1 + rng.below(5);
+        weighted.sample(v, w);
+        for (uint64_t k = 0; k < w; ++k)
+            unweighted.sample(v);
+    }
+    for (double frac : {0.1, 0.5, 0.9})
+        EXPECT_EQ(weighted.percentile(frac),
+                  unweighted.percentile(frac));
+    EXPECT_DOUBLE_EQ(weighted.mean(), unweighted.mean());
+    EXPECT_EQ(weighted.count(), unweighted.count());
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/table.hh"
+
+using ubrc::TextTable;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlign)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.render();
+    // 'b' column starts at the same offset in each data line.
+    size_t l1 = out.find("xxxx");
+    size_t l2 = out.find("y", l1);
+    size_t c1 = out.find('1', l1) - l1;
+    size_t c2 = out.find('2', l2) - l2;
+    EXPECT_EQ(c1, c2);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NE(t.render().find("only"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(uint64_t(42)), "42");
+    EXPECT_EQ(TextTable::num(0.5, 0), "0");
+}

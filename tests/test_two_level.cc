@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the two-level register file model (Section 5.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "regfile/two_level.hh"
+
+using namespace ubrc;
+using namespace ubrc::regfile;
+
+namespace
+{
+
+struct TlFixture : ::testing::Test
+{
+    TlFixture() : stats("tl")
+    {
+        params.l1Entries = 4;
+        params.freeThreshold = 4; // always transfer when possible
+        params.bandwidth = 2;
+        params.l2Latency = 2;
+    }
+
+    TwoLevelFile
+    make()
+    {
+        return TwoLevelFile(params, 64, stats);
+    }
+
+    TwoLevelParams params;
+    stats::StatGroup stats;
+};
+
+} // namespace
+
+TEST_F(TlFixture, CapacityGatesAllocation)
+{
+    auto tl = make();
+    for (PhysReg p = 0; p < 4; ++p) {
+        EXPECT_TRUE(tl.canAllocate());
+        tl.allocate(p);
+    }
+    EXPECT_FALSE(tl.canAllocate());
+    tl.onFree(2);
+    EXPECT_TRUE(tl.canAllocate());
+}
+
+TEST_F(TlFixture, TransferRequiresAllConditions)
+{
+    auto tl = make();
+    tl.allocate(1);
+    // Not written, not reassigned: never transfers.
+    tl.tick(1);
+    EXPECT_TRUE(tl.inL1(1));
+    tl.onWrite(1);
+    tl.tick(2);
+    EXPECT_TRUE(tl.inL1(1)); // still mapped (not reassigned)
+    tl.onConsumerRenamed(1);
+    tl.onArchReassigned(1);
+    tl.tick(3);
+    EXPECT_TRUE(tl.inL1(1)); // pending consumer holds it
+    tl.onConsumerDone(1);
+    tl.tick(4);
+    EXPECT_FALSE(tl.inL1(1)); // all conditions met: moved to L2
+    EXPECT_EQ(tl.l1Occupancy(), 0u);
+}
+
+TEST_F(TlFixture, ThresholdSuppressesTransfers)
+{
+    params.freeThreshold = 1; // only transfer when L1 nearly full
+    auto tl = make();
+    tl.allocate(1);
+    tl.onWrite(1);
+    tl.onArchReassigned(1);
+    tl.tick(1);
+    EXPECT_TRUE(tl.inL1(1)); // 3 slots free >= threshold: no move
+    tl.allocate(2);
+    tl.allocate(3);
+    tl.allocate(4); // 0 free < 1
+    tl.tick(2);
+    EXPECT_FALSE(tl.inL1(1));
+}
+
+TEST_F(TlFixture, BandwidthLimitsTransfersPerCycle)
+{
+    auto tl = make();
+    for (PhysReg p = 0; p < 4; ++p) {
+        tl.allocate(p);
+        tl.onWrite(p);
+        tl.onArchReassigned(p);
+    }
+    tl.tick(1);
+    EXPECT_EQ(tl.l1Occupancy(), 2u); // bandwidth 2
+    tl.tick(2);
+    EXPECT_EQ(tl.l1Occupancy(), 0u);
+}
+
+TEST_F(TlFixture, ReassignCancelRevokesEligibility)
+{
+    auto tl = make();
+    tl.allocate(1);
+    tl.onWrite(1);
+    tl.onArchReassigned(1);
+    tl.onArchReassignCancelled(1); // the overwriter was squashed
+    tl.tick(1);
+    EXPECT_TRUE(tl.inL1(1));
+}
+
+TEST_F(TlFixture, RecoveryCopiesBackAndTakesTime)
+{
+    auto tl = make();
+    for (PhysReg p = 0; p < 3; ++p) {
+        tl.allocate(p);
+        tl.onWrite(p);
+        tl.onArchReassigned(p);
+    }
+    tl.tick(1);
+    tl.tick(2);
+    ASSERT_EQ(tl.l1Occupancy(), 0u);
+    // A squash restores all three mappings.
+    const Cycle done = tl.recover({0, 1, 2}, 100);
+    // l2Latency (2) + ceil(3/2) batches = 2 + 2.
+    EXPECT_EQ(done, 104);
+    EXPECT_TRUE(tl.inL1(0));
+    EXPECT_TRUE(tl.inL1(1));
+    EXPECT_TRUE(tl.inL1(2));
+    EXPECT_EQ(stats.scalar("tl_transfers_to_l1").value(), 3u);
+}
+
+TEST_F(TlFixture, RecoveryWithNothingDisplacedIsFree)
+{
+    auto tl = make();
+    tl.allocate(1);
+    EXPECT_EQ(tl.recover({1}, 50), 50);
+}
+
+TEST_F(TlFixture, SquashReleasesSlot)
+{
+    auto tl = make();
+    tl.allocate(1);
+    EXPECT_EQ(tl.l1Occupancy(), 1u);
+    tl.onSquash(1);
+    EXPECT_EQ(tl.l1Occupancy(), 0u);
+}
+
+TEST_F(TlFixture, DoubleAllocatePanics)
+{
+    auto tl = make();
+    tl.allocate(1);
+    EXPECT_DEATH(tl.allocate(1), "double allocation");
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload kernel tests: every kernel assembles, runs to completion
+ * on the functional core, and reproduces its C++ reference model's
+ * checksum exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sparse_memory.hh"
+#include "isa/functional_core.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::workload;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, FunctionalChecksumMatchesReference)
+{
+    const Workload w = buildWorkload(GetParam());
+    ASSERT_TRUE(w.hasExpectedResult);
+    SparseMemory mem;
+    w.initMemory(mem);
+    isa::FunctionalCore core(w.program, mem);
+    const uint64_t executed = core.run(100'000'000ULL);
+    ASSERT_TRUE(core.halted()) << "kernel did not halt";
+    EXPECT_EQ(mem.read(w.program.symbol("result"), 8),
+              w.expectedResult);
+    // Dynamic length in the intended band (roughly 0.3M - 4M).
+    EXPECT_GT(executed, 300'000u);
+    EXPECT_LT(executed, 4'000'000u);
+}
+
+TEST_P(WorkloadTest, SeedChangesDataSet)
+{
+    WorkloadParams p1, p2;
+    p1.seed = 1;
+    p2.seed = 2;
+    const Workload w1 = buildWorkload(GetParam(), p1);
+    const Workload w2 = buildWorkload(GetParam(), p2);
+    EXPECT_NE(w1.expectedResult, w2.expectedResult);
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossBuilds)
+{
+    const Workload w1 = buildWorkload(GetParam());
+    const Workload w2 = buildWorkload(GetParam());
+    EXPECT_EQ(w1.expectedResult, w2.expectedResult);
+    EXPECT_EQ(w1.program.code.size(), w2.program.code.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, TwelveKernels)
+{
+    EXPECT_EQ(workloadNames().size(), 12u);
+    EXPECT_EQ(buildAllWorkloads().size(), 12u);
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(buildWorkload("no-such-kernel"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadRegistry, DescriptionsPresent)
+{
+    for (const auto &w : buildAllWorkloads()) {
+        EXPECT_FALSE(w.description.empty()) << w.name;
+        EXPECT_FALSE(w.program.code.empty()) << w.name;
+    }
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Integration: every workload kernel runs on the full timing core
+ * with the golden architectural checker enabled. Any divergence
+ * between the out-of-order machine and the interpreter (wrong
+ * forwarding, broken recovery, stale bypass values...) aborts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+class TimingWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TimingWorkload, RunsCheckedOnUseBasedCache)
+{
+    const auto w = workload::buildWorkload(GetParam());
+    const core::SimResult r =
+        runOne(SimConfig::useBasedCache(), w, 40000);
+    EXPECT_EQ(r.instsRetired, 40000u);
+    EXPECT_GT(r.ipc, 0.01);
+    EXPECT_GT(r.operandReads(), 10000u);
+    EXPECT_GE(r.douAccuracy, 0.5);
+}
+
+TEST_P(TimingWorkload, RunsCheckedOnMonolithicFile)
+{
+    const auto w = workload::buildWorkload(GetParam());
+    const core::SimResult r = runOne(SimConfig::monolithic(3), w, 25000);
+    EXPECT_EQ(r.instsRetired, 25000u);
+    EXPECT_EQ(r.rcMisses, 0u);
+}
+
+TEST_P(TimingWorkload, RunsCheckedOnTwoLevelFile)
+{
+    const auto w = workload::buildWorkload(GetParam());
+    const core::SimResult r =
+        runOne(SimConfig::twoLevelFile(64), w, 25000);
+    EXPECT_EQ(r.instsRetired, 25000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, TimingWorkload,
+                         ::testing::ValuesIn(workload::workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(TimingWorkload, FullKernelRunToHalt)
+{
+    // One kernel end to end (no instruction cap): the timing core
+    // must produce the exact reference checksum in memory. We use the
+    // smallest kernel to keep the test fast.
+    const auto w = workload::buildWorkload("gcc");
+    auto cfg = SimConfig::useBasedCache();
+    core::Processor p(cfg, w);
+    p.run();
+    EXPECT_TRUE(p.finished());
+    // The checker validated every retired instruction, including the
+    // final store of the checksum.
+    EXPECT_GT(p.retiredCount(), 500000u);
+}

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * ubrcsim — command-line driver for the UBRC simulator.
+ *
+ * Runs any workload kernel (or an assembly file) under any register
+ * storage organization with every policy knob exposed, and prints
+ * either a summary or the full statistics dump.
+ *
+ *   ubrcsim --workload mcf --scheme cached --entries 64 --assoc 2
+ *   ubrcsim --workload gzip --scheme monolithic --rf-latency 3
+ *   ubrcsim --asm my_kernel.s --insts 1000000 --stats
+ *   ubrcsim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/functional_core.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "ubrcsim — use-based register caching simulator\n"
+        "\n"
+        "workload selection:\n"
+        "  --workload NAME     kernel from the built-in suite\n"
+        "  --asm FILE          assemble FILE and run it instead\n"
+        "  --list              list built-in kernels and exit\n"
+        "  --disasm            print the program listing and exit\n"
+        "  --seed N            data-set generator seed (default 1)\n"
+        "  --scale N           workload scale factor (default 1)\n"
+        "\n"
+        "register storage (default: the paper's design point):\n"
+        "  --scheme S          cached | monolithic | two-level\n"
+        "  --entries N         cache entries / two-level L1 - 32\n"
+        "  --assoc N           cache associativity (0 = full)\n"
+        "  --insertion P       always | non-bypass | use-based\n"
+        "  --replacement P     lru | use-based\n"
+        "  --indexing P        preg | round-robin | minimum |\n"
+        "                      filtered-rr\n"
+        "  --rf-latency N      monolithic file latency (default 3)\n"
+        "  --backing-latency N backing file latency (default 2)\n"
+        "  --max-use N         use counter saturation (default 7)\n"
+        "  --unknown-default N (default 1)   --fill-default N (default 0)\n"
+        "\n"
+        "run control:\n"
+        "  --insts N           stop after N retired instructions\n"
+        "  --no-checker        disable the golden architectural checker\n"
+        "  --stats             dump every statistic after the run\n");
+}
+
+const char *
+nextArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal("missing value after %s", argv[i]);
+    return argv[++i];
+}
+
+regcache::InsertionPolicy
+parseInsertion(const std::string &s)
+{
+    if (s == "always")
+        return regcache::InsertionPolicy::Always;
+    if (s == "non-bypass")
+        return regcache::InsertionPolicy::NonBypass;
+    if (s == "use-based")
+        return regcache::InsertionPolicy::UseBased;
+    fatal("unknown insertion policy '%s'", s.c_str());
+}
+
+regcache::ReplacementPolicy
+parseReplacement(const std::string &s)
+{
+    if (s == "lru")
+        return regcache::ReplacementPolicy::LRU;
+    if (s == "use-based")
+        return regcache::ReplacementPolicy::UseBased;
+    fatal("unknown replacement policy '%s'", s.c_str());
+}
+
+regcache::IndexPolicy
+parseIndexing(const std::string &s)
+{
+    if (s == "preg")
+        return regcache::IndexPolicy::PhysReg;
+    if (s == "round-robin")
+        return regcache::IndexPolicy::RoundRobin;
+    if (s == "minimum")
+        return regcache::IndexPolicy::Minimum;
+    if (s == "filtered-rr")
+        return regcache::IndexPolicy::FilteredRoundRobin;
+    fatal("unknown indexing policy '%s'", s.c_str());
+}
+
+workload::Workload
+loadAsmWorkload(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    workload::Workload w;
+    w.name = path;
+    w.description = "user assembly file";
+    try {
+        w.program = isa::assemble(ss.str());
+    } catch (const isa::AssemblerError &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+    w.initMemory = [prog = w.program](SparseMemory &m) {
+        isa::loadProgramData(prog, m);
+    };
+    return w;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "gzip";
+    std::string asm_path;
+    bool do_list = false, do_disasm = false, dump_stats = false;
+    workload::WorkloadParams wparams;
+    uint64_t max_insts = 500000;
+
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    unsigned entries = cfg.rc.entries;
+    unsigned assoc = cfg.rc.assoc;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            do_list = true;
+        } else if (arg == "--disasm") {
+            do_disasm = true;
+        } else if (arg == "--workload") {
+            workload_name = nextArg(argc, argv, i);
+        } else if (arg == "--asm") {
+            asm_path = nextArg(argc, argv, i);
+        } else if (arg == "--seed") {
+            wparams.seed = std::strtoull(nextArg(argc, argv, i),
+                                         nullptr, 0);
+        } else if (arg == "--scale") {
+            wparams.scale = std::strtoull(nextArg(argc, argv, i),
+                                          nullptr, 0);
+        } else if (arg == "--scheme") {
+            const std::string s = nextArg(argc, argv, i);
+            if (s == "cached")
+                cfg.scheme = sim::RegScheme::Cached;
+            else if (s == "monolithic")
+                cfg.scheme = sim::RegScheme::Monolithic;
+            else if (s == "two-level")
+                cfg.scheme = sim::RegScheme::TwoLevel;
+            else
+                fatal("unknown scheme '%s'", s.c_str());
+        } else if (arg == "--entries") {
+            entries = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i), nullptr, 0));
+        } else if (arg == "--assoc") {
+            assoc = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i), nullptr, 0));
+        } else if (arg == "--insertion") {
+            cfg.rc.insertion = parseInsertion(nextArg(argc, argv, i));
+        } else if (arg == "--replacement") {
+            cfg.rc.replacement =
+                parseReplacement(nextArg(argc, argv, i));
+        } else if (arg == "--indexing") {
+            cfg.rc.indexing = parseIndexing(nextArg(argc, argv, i));
+        } else if (arg == "--rf-latency") {
+            cfg.rfLatency = std::strtol(nextArg(argc, argv, i),
+                                        nullptr, 0);
+        } else if (arg == "--backing-latency") {
+            cfg.backingLatency = std::strtol(nextArg(argc, argv, i),
+                                             nullptr, 0);
+        } else if (arg == "--max-use") {
+            cfg.rc.maxUse = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i), nullptr, 0));
+        } else if (arg == "--unknown-default") {
+            cfg.rc.unknownDefault = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i), nullptr, 0));
+        } else if (arg == "--fill-default") {
+            cfg.rc.fillDefault = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i), nullptr, 0));
+        } else if (arg == "--insts") {
+            max_insts = std::strtoull(nextArg(argc, argv, i),
+                                      nullptr, 0);
+        } else if (arg == "--no-checker") {
+            cfg.checker = false;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (do_list) {
+        for (const auto &name : workload::workloadNames()) {
+            const auto w = workload::buildWorkload(name, wparams);
+            std::printf("%-9s %s\n", name.c_str(),
+                        w.description.c_str());
+        }
+        return 0;
+    }
+
+    // Resolve geometry knobs.
+    if (assoc == 0)
+        assoc = entries;
+    cfg.rc.entries = entries;
+    cfg.rc.assoc = assoc;
+    cfg.twoLevel.l1Entries = entries + 32;
+
+    const workload::Workload w =
+        asm_path.empty() ? workload::buildWorkload(workload_name,
+                                                   wparams)
+                         : loadAsmWorkload(asm_path);
+
+    if (do_disasm) {
+        std::fputs(isa::disassemble(w.program).c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("workload : %s (%s)\n", w.name.c_str(),
+                w.description.c_str());
+    std::printf("design   : %s\n", cfg.describe().c_str());
+    cfg.maxInsts = max_insts;
+    core::Processor proc(cfg, w);
+    proc.run();
+    const core::SimResult r = proc.result();
+
+    std::printf("\n%12llu instructions, %llu cycles  ->  IPC %.3f\n",
+                static_cast<unsigned long long>(r.instsRetired),
+                static_cast<unsigned long long>(r.cycles), r.ipc);
+    if (r.operandReads()) {
+        std::printf("operands : bypass %.1f%%, cache %.1f%%, file "
+                    "%.1f%%  (miss rate %.2f%%/operand)\n",
+                    100.0 * r.opBypass / r.operandReads(),
+                    100.0 * r.opCache / r.operandReads(),
+                    100.0 * r.opFile / r.operandReads(),
+                    100.0 * r.missPerOperand);
+    }
+    std::printf("branches : %.2f%% mispredicted;  use predictor "
+                "%.1f%% accurate\n",
+                100.0 * r.branchMispredictRate, 100.0 * r.douAccuracy);
+    if (cfg.scheme == sim::RegScheme::Cached) {
+        std::printf("cache    : occupancy %.1f/%u, %.2f reads/cached "
+                    "value, cached %.2fx per value\n",
+                    r.avgOccupancy, cfg.rc.entries,
+                    r.readsPerCachedValue, r.cacheCountPerValue);
+    }
+    if (dump_stats)
+        std::printf("\n%s", proc.statsDump().c_str());
+    return 0;
+}
