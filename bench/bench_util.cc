@@ -1,8 +1,10 @@
 #include "bench/bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
+#include "sim/sim_error.hh"
 #include "workload/workload.hh"
 
 namespace ubrc::bench
@@ -23,7 +25,19 @@ instBudget()
 sim::SuiteResult
 run(const sim::SimConfig &cfg)
 {
-    return sim::runSuite(cfg, workloads(), {}, instBudget());
+    try {
+        cfg.validate();
+    } catch (const sim::ConfigError &e) {
+        std::fprintf(stderr, "bench: configuration error: %s\n",
+                     e.what());
+        std::exit(e.exitCode());
+    }
+    const sim::SuiteResult r =
+        sim::runSuite(cfg, workloads(), {}, instBudget());
+    if (r.numFailed())
+        std::fprintf(stderr, "bench: %zu workload(s) failed:\n%s",
+                     r.numFailed(), r.failureSummary().c_str());
+    return r;
 }
 
 void

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "common/bitutil.hh"
 #include "common/log.hh"
 #include "isa/disasm.hh"
 
@@ -48,6 +49,8 @@ Processor::Processor(const sim::SimConfig &config,
       liveDist(cfg.numPhysRegs + 1)
 {
     work.initMemory(memImage);
+    if (cfg.inject.enabled())
+        injector = std::make_unique<inject::FaultInjector>(cfg.inject);
     if (cfg.checker) {
         work.initMemory(goldenMem);
         golden = std::make_unique<isa::FunctionalCore>(prog, goldenMem);
@@ -314,7 +317,10 @@ Processor::run()
         tick();
         if (cfg.maxCycles && static_cast<uint64_t>(now) >= cfg.maxCycles)
             break;
-        if (now - lastRetireCycle > 500000) {
+        if (cfg.watchdogCycles &&
+            static_cast<uint64_t>(now - lastRetireCycle) >
+                cfg.watchdogCycles) {
+            std::string head_desc = "(empty ROB)";
             if (!rob.empty()) {
                 const DynInst &h = rob.front();
                 unsigned pending = 0;
@@ -326,25 +332,28 @@ Processor::run()
                 for (const DynInst *i : issueQueue)
                     if (i->seq == h.seq)
                         in_iq = true;
-                warn("stuck head: seq=%llu pc=0x%llx %s state=%d "
-                     "exec=%d ready=%" PRId64 " wait=%u done=%d "
-                     "waitStore=%llu iq=%zu issueCyc=%" PRId64
-                     " gen=%u replays=%u pendingEvents=%u inIQ=%d",
-                     static_cast<unsigned long long>(h.seq),
-                     static_cast<unsigned long long>(h.pc),
-                     isa::disassemble(h.si).c_str(),
-                     static_cast<int>(h.state), int(h.executing),
-                     h.readyCycle, unsigned(h.waitCount),
-                     int(h.completed),
-                     static_cast<unsigned long long>(h.waitingOnStore),
-                     issueQueue.size(), h.issueCycle,
-                     unsigned(h.issueGen), unsigned(h.replays),
-                     pending, int(in_iq));
+                head_desc = detail::formatString(
+                    "stuck head seq=%llu pc=0x%llx '%s' state=%d "
+                    "exec=%d ready=%" PRId64 " wait=%u done=%d "
+                    "waitStore=%llu iq=%zu issueCyc=%" PRId64
+                    " gen=%u replays=%u pendingEvents=%u inIQ=%d",
+                    static_cast<unsigned long long>(h.seq),
+                    static_cast<unsigned long long>(h.pc),
+                    isa::disassemble(h.si).c_str(),
+                    static_cast<int>(h.state), int(h.executing),
+                    h.readyCycle, unsigned(h.waitCount),
+                    int(h.completed),
+                    static_cast<unsigned long long>(h.waitingOnStore),
+                    issueQueue.size(), h.issueCycle,
+                    unsigned(h.issueGen), unsigned(h.replays),
+                    pending, int(in_iq));
             }
-            panic("no retirement for 500k cycles at cycle %" PRId64
-                  " (pc=0x%llx, rob=%zu)",
-                  now, static_cast<unsigned long long>(fetchPc),
-                  rob.size());
+            raise(sim::DeadlockError(detail::formatString(
+                "no retirement for %llu cycles at cycle %" PRId64
+                " (pc=0x%llx, rob=%zu): %s",
+                static_cast<unsigned long long>(cfg.watchdogCycles),
+                now, static_cast<unsigned long long>(fetchPc),
+                rob.size(), head_desc.c_str())));
         }
     }
 }
@@ -354,6 +363,7 @@ Processor::tick()
 {
     ++now;
     ++*st.cyclesStat;
+    applyInjection();
     storeBuf.tick(now);
     if (twoLevel)
         twoLevel->tick(now);
@@ -389,6 +399,71 @@ Processor::processEvents()
             onExecStart(*inst);
         else
             onComplete(*inst);
+    }
+}
+
+void
+Processor::applyInjection()
+{
+    if (!injector)
+        return;
+    const auto draw = injector->sample();
+    if (!draw)
+        return;
+
+    switch (draw->target) {
+      case inject::TargetRegCacheValue: {
+        if (!rcache)
+            return;
+        const auto entries = rcache->validEntries();
+        if (entries.empty())
+            return;
+        const auto &e = entries[draw->site % entries.size()];
+        pregs[e.preg].value ^= 1ULL << draw->bit;
+        injector->record({now, draw->target, e.preg, e.set,
+                          draw->bit});
+        break;
+      }
+      case inject::TargetRegCacheUse: {
+        if (!rcache)
+            return;
+        const auto entries = rcache->validEntries();
+        if (entries.empty())
+            return;
+        const auto &e = entries[draw->site % entries.size()];
+        // Remaining-use counters are just wide enough for maxUse.
+        const unsigned width =
+            std::max(1u, ceilLog2(uint64_t(cfg.rc.maxUse) + 1));
+        const unsigned bit = draw->bit % width;
+        if (rcache->corruptUseCounter(e.preg, e.set, bit))
+            injector->record({now, draw->target, e.preg, e.set, bit});
+        break;
+      }
+      case inject::TargetDouCounter: {
+        const size_t index = draw->site % dou.entryCount();
+        const unsigned bit = draw->bit % cfg.dou.predBits;
+        if (dou.corruptPrediction(index, bit))
+            injector->record({now, draw->target,
+                              static_cast<int32_t>(index), 0, bit});
+        break;
+      }
+      case inject::TargetBackingValue: {
+        // Any allocated physical register other than the constant
+        // zero register is a fault site.
+        std::vector<PhysReg> live;
+        live.reserve(allocatedPregs);
+        for (unsigned p = 1; p < cfg.numPhysRegs; ++p)
+            if (pregs[p].allocated)
+                live.push_back(static_cast<PhysReg>(p));
+        if (live.empty())
+            return;
+        const PhysReg p = live[draw->site % live.size()];
+        pregs[p].value ^= 1ULL << draw->bit;
+        injector->record({now, draw->target, p, 0, draw->bit});
+        break;
+      }
+      default:
+        break;
     }
 }
 
@@ -1215,29 +1290,33 @@ Processor::checkRetired(const DynInst &inst)
         golden->step();
     const isa::ExecResult g = golden->step();
     if (g.pc != inst.pc)
-        panic("checker: retired pc 0x%llx but golden pc 0x%llx "
-              "(seq %llu, %s)",
-              static_cast<unsigned long long>(inst.pc),
-              static_cast<unsigned long long>(g.pc),
-              static_cast<unsigned long long>(inst.seq),
-              isa::disassemble(inst.si).c_str());
+        raise(sim::CheckerError(detail::formatString(
+            "checker: retired pc 0x%llx but golden pc 0x%llx "
+            "(seq %llu, %s)",
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(g.pc),
+            static_cast<unsigned long long>(inst.seq),
+            isa::disassemble(inst.si).c_str())));
     if (inst.hasDest && g.wroteReg && g.destValue != inst.result)
-        panic("checker: %s @0x%llx produced %llx, golden %llx",
-              isa::disassemble(inst.si).c_str(),
-              static_cast<unsigned long long>(inst.pc),
-              static_cast<unsigned long long>(inst.result),
-              static_cast<unsigned long long>(g.destValue));
+        raise(sim::CheckerError(detail::formatString(
+            "checker: %s @0x%llx produced %llx, golden %llx",
+            isa::disassemble(inst.si).c_str(),
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.result),
+            static_cast<unsigned long long>(g.destValue))));
     if (inst.si.isMem() && g.effAddr != inst.effAddr)
-        panic("checker: %s @0x%llx addr %llx, golden %llx",
-              isa::disassemble(inst.si).c_str(),
-              static_cast<unsigned long long>(inst.pc),
-              static_cast<unsigned long long>(inst.effAddr),
-              static_cast<unsigned long long>(g.effAddr));
+        raise(sim::CheckerError(detail::formatString(
+            "checker: %s @0x%llx addr %llx, golden %llx",
+            isa::disassemble(inst.si).c_str(),
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.effAddr),
+            static_cast<unsigned long long>(g.effAddr))));
     if (inst.isBranch() && g.nextPc != inst.actualNextPc)
-        panic("checker: branch @0x%llx next %llx, golden %llx",
-              static_cast<unsigned long long>(inst.pc),
-              static_cast<unsigned long long>(inst.actualNextPc),
-              static_cast<unsigned long long>(g.nextPc));
+        raise(sim::CheckerError(detail::formatString(
+            "checker: branch @0x%llx next %llx, golden %llx",
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.actualNextPc),
+            static_cast<unsigned long long>(g.nextPc))));
 }
 
 void
@@ -1268,7 +1347,8 @@ Processor::freePhysReg(PhysReg preg)
 {
     PregState &ps = pregs[preg];
     if (!ps.allocated)
-        panic("double free of preg %d", int(preg));
+        raise(sim::InvariantError(detail::formatString(
+            "double free of preg %d", int(preg))));
 
     if (rcache)
         rcache->invalidate(preg, ps.rcSet, now);
@@ -1351,6 +1431,12 @@ Processor::doRetire()
             loadQueue.front()->seq == head.seq)
             loadQueue.pop_front();
 
+        // Record into the forensics ring before checking so that a
+        // diverging instruction appears in its own crash dump.
+        retiredRing.push_back({head.seq, head.pc, head.si, now});
+        if (retiredRing.size() > sim::PipelineSnapshot::retiredWindow)
+            retiredRing.pop_front();
+
         checkRetired(head);
         trainRetired(head);
 
@@ -1397,6 +1483,13 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
     const Addr r_target = restore_from.actualNextPc;
     const uint32_t r_oracle = restore_from.oracleIdx;
 
+    // Prune the issue queue before destroying ROB entries: it holds
+    // raw pointers into the ROB, so the predicate must run while the
+    // squashed instructions are still alive.
+    std::erase_if(issueQueue, [keep_seq](const DynInst *i) {
+        return i->seq > keep_seq;
+    });
+
     while (!rob.empty() && rob.back().seq > keep_seq) {
         DynInst &inst = rob.back();
 
@@ -1442,9 +1535,6 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
         rob.pop_back();
     }
 
-    std::erase_if(issueQueue, [keep_seq](const DynInst *i) {
-        return i->seq > keep_seq;
-    });
     frontQ.clear();
 
     // Front-end state recovery.
@@ -1523,6 +1613,67 @@ Processor::liveDistribution() const
         liveDistBuilt = true;
     }
     return liveDist;
+}
+
+sim::PipelineSnapshot
+Processor::snapshot() const
+{
+    sim::PipelineSnapshot snap;
+    snap.cycle = now;
+    snap.fetchPc = fetchPc;
+    snap.instsRetired = numRetired;
+    snap.lastRetireCycle = lastRetireCycle;
+
+    snap.robSize = rob.size();
+    snap.robCapacity = cfg.robEntries;
+    snap.iqSize = issueQueue.size();
+    snap.iqCapacity = cfg.iqEntries;
+    snap.freeListSize = freeList.size();
+    snap.allocatedPregs = allocatedPregs;
+    snap.numPhysRegs = cfg.numPhysRegs;
+
+    const size_t n =
+        std::min(rob.size(), sim::PipelineSnapshot::robHeadWindow);
+    snap.robHead.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const DynInst &d = rob[i];
+        sim::SnapshotRobEntry e;
+        e.seq = d.seq;
+        e.pc = d.pc;
+        e.disasm = isa::disassemble(d.si);
+        e.state = static_cast<int>(d.state);
+        e.completed = d.completed;
+        e.executing = d.executing;
+        e.replays = d.replays;
+        e.readyCycle = d.readyCycle;
+        snap.robHead.push_back(std::move(e));
+    }
+
+    if (rcache) {
+        snap.cacheSets = rcache->numSets();
+        snap.cacheAssoc = cfg.rc.assoc;
+        for (const auto &v : rcache->validEntries())
+            snap.cacheEntries.push_back(
+                {v.set, v.way, v.preg, v.remUses, v.pinned});
+    }
+
+    snap.lastRetired.reserve(retiredRing.size());
+    for (const RetiredRecord &r : retiredRing)
+        snap.lastRetired.push_back(
+            {r.seq, r.pc, isa::disassemble(r.si), r.cycle});
+
+    if (injector)
+        for (const inject::FaultRecord &f : injector->log())
+            snap.injectedFaults.push_back(f.describe());
+
+    return snap;
+}
+
+const std::vector<inject::FaultRecord> &
+Processor::faultLog() const
+{
+    static const std::vector<inject::FaultRecord> empty;
+    return injector ? injector->log() : empty;
 }
 
 SimResult

@@ -28,6 +28,7 @@
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
 #include "frontend/branch_predictor.hh"
+#include "inject/fault_injector.hh"
 #include "isa/functional_core.hh"
 #include "mem/hierarchy.hh"
 #include "regcache/dou_predictor.hh"
@@ -36,6 +37,8 @@
 #include "regfile/backing_file.hh"
 #include "regfile/two_level.hh"
 #include "sim/config.hh"
+#include "sim/diagnostics.hh"
+#include "sim/sim_error.hh"
 #include "workload/workload.hh"
 
 namespace ubrc::core
@@ -117,6 +120,17 @@ class Processor
     const stats::Distribution &allocatedDistribution() const;
     const stats::Distribution &liveDistribution() const;
 
+    /**
+     * Capture the current pipeline state for crash-dump forensics:
+     * ROB head window, IQ occupancy, register cache set contents
+     * with remaining-use counts and pin bits, free-list size, the
+     * last retired instructions, and any injected faults.
+     */
+    sim::PipelineSnapshot snapshot() const;
+
+    /** Faults applied so far by the injection engine (may be empty). */
+    const std::vector<inject::FaultRecord> &faultLog() const;
+
   private:
     // --- static configuration ---
     static constexpr Cycle cycleInf = INT64_MAX / 4;
@@ -176,7 +190,17 @@ class Processor
         bool allocated = false;
     };
 
+    /** A retired instruction in the forensics history ring. */
+    struct RetiredRecord
+    {
+        InstSeqNum seq;
+        Addr pc;
+        isa::Instruction si;
+        Cycle cycle;
+    };
+
     // --- pipeline stages (called in tick order) ---
+    void applyInjection();
     void processEvents();
     void doRetire();
     void doIssue();
@@ -216,6 +240,15 @@ class Processor
     void checkRetired(const DynInst &inst);
     void insertIntoIQ(DynInst &inst);
     void recordLifetimeOnFree(const PregState &p);
+
+    /** Attach a pipeline snapshot to a SimError and throw it. */
+    template <typename ErrorT>
+    [[noreturn]] void
+    raise(ErrorT err) const
+    {
+        err.attachSnapshot(snapshot());
+        throw err;
+    }
     std::optional<Addr> predictControl(const isa::Instruction &si,
                                        Addr pc, FrontEndSlot &slot);
 
@@ -287,6 +320,12 @@ class Processor
 
     // retirement watchdog
     Cycle lastRetireCycle = 0;
+
+    // forensics: ring of the last retired instructions
+    std::deque<RetiredRecord> retiredRing;
+
+    // fault injection (null unless cfg.inject.rate > 0)
+    std::unique_ptr<inject::FaultInjector> injector;
 
     // lifetime instrumentation (Figure 1 / 2)
     std::vector<int32_t> liveDelta;

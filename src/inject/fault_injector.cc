@@ -1,0 +1,69 @@
+#include "inject/fault_injector.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ubrc::inject
+{
+
+const char *
+toString(Target t)
+{
+    switch (t) {
+      case TargetRegCacheValue: return "register-cache value";
+      case TargetRegCacheUse: return "register-cache use counter";
+      case TargetDouCounter: return "dou prediction counter";
+      case TargetBackingValue: return "backing-file value";
+      default: return "?";
+    }
+}
+
+std::string
+FaultRecord::describe() const
+{
+    char buf[160];
+    switch (target) {
+      case TargetRegCacheValue:
+      case TargetRegCacheUse:
+        std::snprintf(buf, sizeof(buf),
+                      "cycle %" PRId64 ": %s preg %d set %u bit %u",
+                      cycle, toString(target), site, detail, bit);
+        break;
+      case TargetDouCounter:
+        std::snprintf(buf, sizeof(buf),
+                      "cycle %" PRId64 ": %s entry %d bit %u", cycle,
+                      toString(target), site, bit);
+        break;
+      case TargetBackingValue:
+      default:
+        std::snprintf(buf, sizeof(buf),
+                      "cycle %" PRId64 ": %s preg %d bit %u", cycle,
+                      toString(target), site, bit);
+        break;
+    }
+    return buf;
+}
+
+FaultInjector::FaultInjector(const FaultParams &params)
+    : cfg(params), rng(params.seed)
+{
+    for (unsigned b = 0; b < 4; ++b) {
+        const Target t = static_cast<Target>(1u << b);
+        if (cfg.targets & t)
+            eligible.push_back(t);
+    }
+}
+
+std::optional<FaultDraw>
+FaultInjector::sample()
+{
+    if (eligible.empty() || !rng.chance(cfg.rate))
+        return std::nullopt;
+    FaultDraw draw;
+    draw.target = eligible[rng.below(eligible.size())];
+    draw.site = rng.next();
+    draw.bit = static_cast<unsigned>(rng.below(64));
+    return draw;
+}
+
+} // namespace ubrc::inject

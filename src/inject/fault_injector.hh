@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic, seeded fault-injection engine.
+ *
+ * Models register-storage soft errors: at a configured per-cycle rate
+ * the engine draws a fault site class and raw randomness from its own
+ * PRNG; the processor maps the draw onto a live structure (a value
+ * held in the register cache, a remaining-use counter, a degree-of-use
+ * prediction counter, or a backing-file value) and flips one bit.
+ *
+ * Everything is driven by one xoshiro256** stream seeded from
+ * FaultParams::seed, so the same seed over the same deterministic
+ * simulation produces the same fault sites — a corruption can be
+ * reproduced, attributed, and bisected. Every applied fault is logged
+ * in a FaultRecord so diagnostics can name the poisoned structure.
+ */
+
+#ifndef UBRC_INJECT_FAULT_INJECTOR_HH
+#define UBRC_INJECT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace ubrc::inject
+{
+
+/** Fault site classes, usable as a bitmask in FaultParams::targets. */
+enum Target : unsigned
+{
+    /** Flip a data bit of a value currently held in the cache. */
+    TargetRegCacheValue = 1u << 0,
+    /** Flip a bit of a register cache remaining-use counter. */
+    TargetRegCacheUse = 1u << 1,
+    /** Flip a bit of a degree-of-use prediction counter. */
+    TargetDouCounter = 1u << 2,
+    /** Flip a data bit of any allocated physical register. */
+    TargetBackingValue = 1u << 3,
+
+    TargetAll = (1u << 4) - 1,
+};
+
+const char *toString(Target t);
+
+/** Injection configuration (part of SimConfig). */
+struct FaultParams
+{
+    /** Per-cycle Bernoulli probability of attempting one fault. */
+    double rate = 0.0;
+    /** PRNG seed; same seed => identical fault sites. */
+    uint64_t seed = 1;
+    /** Bitmask of Target classes eligible for injection. */
+    unsigned targets = TargetAll;
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** One applied fault, as logged for diagnostics and tests. */
+struct FaultRecord
+{
+    Cycle cycle = 0;
+    Target target = TargetRegCacheValue;
+    /** Poisoned physical register, or DoU table index. */
+    int32_t site = 0;
+    /** Register cache set for cache targets; 0 otherwise. */
+    unsigned detail = 0;
+    /** Bit position that was flipped. */
+    unsigned bit = 0;
+
+    /** e.g. "cycle 812: register-cache value preg 87 set 12 bit 5". */
+    std::string describe() const;
+
+    bool
+    operator==(const FaultRecord &o) const
+    {
+        return cycle == o.cycle && target == o.target &&
+               site == o.site && detail == o.detail && bit == o.bit;
+    }
+};
+
+/** A raw fault draw; the processor maps it onto a live structure. */
+struct FaultDraw
+{
+    Target target;
+    /** Raw randomness for site selection (reduce modulo live sites). */
+    uint64_t site;
+    /** Raw bit index in [0, 64); reduce to the field's width. */
+    unsigned bit;
+};
+
+/** The seeded engine: one draw stream plus the applied-fault log. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultParams &params);
+
+    /**
+     * Per-cycle Bernoulli draw. Returns a fault draw on the (rare)
+     * injecting cycles, nullopt otherwise. Always consumes the same
+     * amount of randomness for a given outcome, keeping the stream
+     * aligned across identical runs.
+     */
+    std::optional<FaultDraw> sample();
+
+    /** Log a fault that was actually applied. */
+    void record(const FaultRecord &rec) { records.push_back(rec); }
+
+    const std::vector<FaultRecord> &log() const { return records; }
+    const FaultParams &params() const { return cfg; }
+
+  private:
+    FaultParams cfg;
+    Rng rng;
+    std::vector<Target> eligible;
+    std::vector<FaultRecord> records;
+};
+
+} // namespace ubrc::inject
+
+#endif // UBRC_INJECT_FAULT_INJECTOR_HH

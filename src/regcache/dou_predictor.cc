@@ -122,6 +122,18 @@ DegreeOfUsePredictor::accuracy() const
                  : 0.0;
 }
 
+bool
+DegreeOfUsePredictor::corruptPrediction(size_t index, unsigned bit)
+{
+    Entry &e = table[index % table.size()];
+    if (!e.valid)
+        return false;
+    e.prediction = static_cast<uint8_t>(
+        (e.prediction ^ (1u << bit)) &
+        ((1u << cfg.predBits) - 1));
+    return true;
+}
+
 uint64_t
 DegreeOfUsePredictor::storageBits() const
 {

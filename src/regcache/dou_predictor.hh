@@ -64,6 +64,15 @@ class DegreeOfUsePredictor
     /** Storage used, in bits (for the Table-1 budget check). */
     uint64_t storageBits() const;
 
+    /** Table capacity in entries (for fault-site selection). */
+    size_t entryCount() const { return table.size(); }
+
+    /**
+     * Fault injection: flip one bit of a valid entry's prediction
+     * counter. @return false if the chosen entry is invalid.
+     */
+    bool corruptPrediction(size_t index, unsigned bit);
+
   private:
     struct Entry
     {

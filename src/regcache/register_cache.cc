@@ -232,6 +232,32 @@ RegisterCache::remainingUses(PhysReg preg, unsigned set) const
     return e ? static_cast<int>(e->remUses) : -1;
 }
 
+std::vector<RegisterCache::EntryView>
+RegisterCache::validEntries() const
+{
+    std::vector<EntryView> out;
+    out.reserve(numValid);
+    for (unsigned set = 0; set < cfg.numSets(); ++set) {
+        const Entry *base = &entries_[set * cfg.assoc];
+        for (unsigned w = 0; w < cfg.assoc; ++w)
+            if (base[w].valid)
+                out.push_back({set, w, base[w].preg, base[w].remUses,
+                               base[w].pinned});
+    }
+    return out;
+}
+
+bool
+RegisterCache::corruptUseCounter(PhysReg preg, unsigned set,
+                                 unsigned bit)
+{
+    Entry *e = find(preg, set);
+    if (!e)
+        return false;
+    e->remUses ^= 1u << bit;
+    return true;
+}
+
 double
 RegisterCache::zeroUseVictimFraction() const
 {

@@ -119,6 +119,25 @@ class RegisterCache
     /** Fraction of evictions whose victim had zero remaining uses. */
     double zeroUseVictimFraction() const;
 
+    /** One valid entry, as exposed for diagnostics and injection. */
+    struct EntryView
+    {
+        unsigned set;
+        unsigned way;
+        PhysReg preg;
+        uint32_t remUses;
+        bool pinned;
+    };
+
+    /** All valid entries in set/way order (diagnostics, injection). */
+    std::vector<EntryView> validEntries() const;
+
+    /**
+     * Fault injection: flip one bit of an entry's remaining-use
+     * counter. @return false if the entry is not resident.
+     */
+    bool corruptUseCounter(PhysReg preg, unsigned set, unsigned bit);
+
   private:
     struct Entry
     {

@@ -1,9 +1,34 @@
 #include "sim/config.hh"
 
+#include <cstdarg>
 #include <cstdio>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "isa/opcodes.hh"
+#include "sim/sim_error.hh"
 
 namespace ubrc::sim
 {
+
+namespace
+{
+
+[[noreturn]] void
+bad(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+bad(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    throw ConfigError(buf);
+}
+
+} // namespace
 
 const char *
 toString(RegScheme s)
@@ -65,6 +90,128 @@ SimConfig::twoLevelFile(unsigned cache_entries)
     cfg.scheme = RegScheme::TwoLevel;
     cfg.twoLevel.l1Entries = cache_entries + 32;
     return cfg;
+}
+
+void
+SimConfig::validate() const
+{
+    // --- widths and windows ---
+    if (!fetchWidth || !renameWidth || !issueWidth || !retireWidth)
+        bad("pipeline widths must be nonzero "
+            "(fetch=%u rename=%u issue=%u retire=%u)",
+            fetchWidth, renameWidth, issueWidth, retireWidth);
+    if (!maxRetireStores)
+        bad("maxRetireStores must be nonzero or stores never retire");
+    if (!iqEntries || !robEntries || !lqEntries || !sqEntries ||
+        !frontQueueLimit)
+        bad("window sizes must be nonzero (iq=%u rob=%u lq=%u sq=%u "
+            "frontQueue=%u)",
+            iqEntries, robEntries, lqEntries, sqEntries,
+            frontQueueLimit);
+    if (numPhysRegs <= static_cast<unsigned>(isa::numArchRegs))
+        bad("numPhysRegs=%u leaves no registers to rename with "
+            "(need > %d architectural registers)",
+            numPhysRegs, isa::numArchRegs);
+    if (numPhysRegs > 32768)
+        bad("numPhysRegs=%u exceeds the 15-bit physical register "
+            "tag space (max 32768)", numPhysRegs);
+
+    // --- functional units ---
+    if (!intAluUnits || !branchUnits || !intMulUnits || !fxAluUnits ||
+        !fxMulDivUnits || !loadUnits || !storeUnits)
+        bad("every functional-unit class needs at least one unit, or "
+            "instructions of that class can never issue");
+    const Cycle lats[] = {intAluLat, branchLat,  intMulLat, fxAluLat,
+                          fxMulLat,  fxDivLat,   loadToUse};
+    for (Cycle l : lats) {
+        if (l < 1)
+            bad("functional-unit latencies must be >= 1 cycle");
+        if (l > 8000)
+            bad("functional-unit latency %ld exceeds the event "
+                "horizon (8000 cycles)", static_cast<long>(l));
+    }
+
+    // --- register storage ---
+    switch (scheme) {
+      case RegScheme::Monolithic:
+        if (rfLatency < 1)
+            bad("monolithic register file latency must be >= 1 "
+                "(got %ld)", static_cast<long>(rfLatency));
+        break;
+      case RegScheme::Cached: {
+        if (backingLatency < 1)
+            bad("backing file latency must be >= 1 (got %ld)",
+                static_cast<long>(backingLatency));
+        if (!rc.entries)
+            bad("register cache needs at least one entry");
+        if (!rc.assoc || rc.assoc > rc.entries)
+            bad("register cache associativity %u out of range "
+                "[1, entries=%u]", rc.assoc, rc.entries);
+        if (rc.entries % rc.assoc != 0)
+            bad("register cache: %u entries not divisible into "
+                "%u-way sets", rc.entries, rc.assoc);
+        if (rc.indexing == regcache::IndexPolicy::PhysReg &&
+            !isPowerOfTwo(rc.numSets()))
+            warn("preg (standard) indexing bit-slices the register "
+                 "tag and needs a power-of-two set count in "
+                 "hardware; %u sets is simulated with modulo "
+                 "indexing — use a decoupled policy (round-robin / "
+                 "minimum / filtered-rr) for non-power-of-two "
+                 "geometries", rc.numSets());
+        if (!rc.maxUse)
+            bad("rc.maxUse must be >= 1 (a zero-width use counter "
+                "cannot drive use-based management)");
+        if (rc.maxUse > dou.maxPrediction())
+            bad("rc.maxUse=%u exceeds the degree-of-use predictor's "
+                "counter range (predBits=%u => max %u)",
+                rc.maxUse, dou.predBits, dou.maxPrediction());
+        if (rc.unknownDefault > rc.maxUse)
+            bad("rc.unknownDefault=%u exceeds rc.maxUse=%u",
+                rc.unknownDefault, rc.maxUse);
+        if (rc.fillDefault > rc.maxUse)
+            bad("rc.fillDefault=%u exceeds rc.maxUse=%u",
+                rc.fillDefault, rc.maxUse);
+        break;
+      }
+      case RegScheme::TwoLevel:
+        if (twoLevel.l1Entries <=
+            static_cast<unsigned>(isa::numArchRegs))
+            bad("two-level L1 with %u entries cannot hold the %d "
+                "architectural mappings", twoLevel.l1Entries,
+                isa::numArchRegs);
+        if (twoLevel.l2Latency < 1)
+            bad("two-level L2 latency must be >= 1 (got %ld)",
+                static_cast<long>(twoLevel.l2Latency));
+        break;
+    }
+
+    // --- degree-of-use predictor ---
+    if (!dou.entries || !dou.assoc || dou.entries % dou.assoc != 0)
+        bad("degree-of-use predictor geometry invalid (%u entries, "
+            "%u-way)", dou.entries, dou.assoc);
+    if (!dou.predBits || dou.predBits > 8)
+        bad("dou.predBits=%u out of range [1, 8]", dou.predBits);
+    if (!dou.tagBits || dou.tagBits > 8)
+        bad("dou.tagBits=%u out of range [1, 8]", dou.tagBits);
+    if (dou.confThreshold > dou.confMax)
+        bad("dou.confThreshold=%u exceeds dou.confMax=%u — the "
+            "predictor could never supply a prediction",
+            dou.confThreshold, dou.confMax);
+
+    // --- run control ---
+    if (watchdogCycles && watchdogCycles < 100)
+        bad("watchdogCycles=%llu is below the minimum of 100; even "
+            "a healthy backing-file miss chain would be declared a "
+            "deadlock (use 0 to disable the watchdog)",
+            static_cast<unsigned long long>(watchdogCycles));
+
+    // --- fault injection ---
+    if (inject.rate < 0.0 || inject.rate > 1.0)
+        bad("inject.rate=%g is not a probability in [0, 1]",
+            inject.rate);
+    if (inject.enabled() && !(inject.targets & inject::TargetAll))
+        bad("fault injection enabled (rate=%g) but no valid target "
+            "class is selected in inject.targets", inject.rate);
 }
 
 std::string

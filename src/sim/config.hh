@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "frontend/branch_predictor.hh"
+#include "inject/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "regcache/dou_predictor.hh"
 #include "regcache/register_cache.hh"
@@ -99,6 +100,14 @@ struct SimConfig
     // --- run control ---
     uint64_t maxInsts = 0;  ///< 0: run to HALT
     uint64_t maxCycles = 0; ///< 0: unbounded
+    /**
+     * Forward-progress watchdog: cycles without a retirement before
+     * the run is declared deadlocked (DeadlockError carrying a
+     * pipeline snapshot). 0 disables the watchdog.
+     */
+    uint64_t watchdogCycles = 500000;
+    /** Seeded fault injection (disabled unless rate > 0). */
+    inject::FaultParams inject;
     bool checker = true;    ///< golden-model retirement checking
     bool classifyMisses = true; ///< shadow FA cache for Fig. 8
     bool trackLifetimes = false; ///< Fig. 1 / Fig. 2 instrumentation
@@ -132,6 +141,14 @@ struct SimConfig
 
     /** One-line summary for logs. */
     std::string describe() const;
+
+    /**
+     * Check every knob for consistency before a run. Throws
+     * ConfigError with an actionable message naming the offending
+     * knob; called by runOne(), ubrcsim, and the bench drivers so a
+     * bad configuration fails fast instead of deep inside a model.
+     */
+    void validate() const;
 };
 
 } // namespace ubrc::sim

@@ -1,0 +1,107 @@
+#include "sim/diagnostics.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+
+#include "common/log.hh"
+
+namespace ubrc::sim
+{
+
+namespace
+{
+
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+PipelineSnapshot::format() const
+{
+    std::string out;
+    appendf(out, "=== pipeline snapshot @ cycle %" PRId64 " ===\n",
+            cycle);
+    appendf(out,
+            "retired  : %llu insts, last retirement at cycle %" PRId64
+            " (%" PRId64 " cycles ago)\n",
+            static_cast<unsigned long long>(instsRetired),
+            lastRetireCycle, cycle - lastRetireCycle);
+    appendf(out, "fetch pc : 0x%llx\n",
+            static_cast<unsigned long long>(fetchPc));
+    appendf(out, "rob      : %zu/%zu entries\n", robSize, robCapacity);
+    for (size_t i = 0; i < robHead.size(); ++i) {
+        const SnapshotRobEntry &e = robHead[i];
+        appendf(out,
+                "  [head+%zu] seq=%llu pc=0x%llx state=%d completed=%d "
+                "executing=%d replays=%u ready=%" PRId64 "  %s\n",
+                i, static_cast<unsigned long long>(e.seq),
+                static_cast<unsigned long long>(e.pc), e.state,
+                int(e.completed), int(e.executing), e.replays,
+                e.readyCycle, e.disasm.c_str());
+    }
+    appendf(out, "iq       : %zu/%zu entries\n", iqSize, iqCapacity);
+    appendf(out, "pregs    : %u/%u allocated, free list %zu\n",
+            allocatedPregs, numPhysRegs, freeListSize);
+
+    if (cacheSets) {
+        appendf(out,
+                "register cache (%u sets x %u ways, %zu valid):\n",
+                cacheSets, cacheAssoc, cacheEntries.size());
+        for (const SnapshotCacheEntry &e : cacheEntries)
+            appendf(out, "  set %3u way %u: preg %3d remUses=%u%s\n",
+                    e.set, e.way, int(e.preg), e.remUses,
+                    e.pinned ? " pinned" : "");
+    }
+
+    if (!lastRetired.empty()) {
+        appendf(out, "last %zu retired (oldest first):\n",
+                lastRetired.size());
+        for (const SnapshotRetired &r : lastRetired)
+            appendf(out, "  cycle %" PRId64 " seq=%llu pc=0x%llx  %s\n",
+                    r.cycle, static_cast<unsigned long long>(r.seq),
+                    static_cast<unsigned long long>(r.pc),
+                    r.disasm.c_str());
+    }
+
+    if (!injectedFaults.empty()) {
+        appendf(out, "injected faults (%zu):\n", injectedFaults.size());
+        for (const std::string &f : injectedFaults)
+            appendf(out, "  %s\n", f.c_str());
+    }
+    return out;
+}
+
+void
+dumpSnapshot(const PipelineSnapshot &snap, std::FILE *out)
+{
+    const std::string text = snap.format();
+    std::fwrite(text.data(), 1, text.size(), out);
+}
+
+bool
+writeSnapshotFile(const PipelineSnapshot &snap, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write snapshot to '%s'", path.c_str());
+        return false;
+    }
+    dumpSnapshot(snap, f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace ubrc::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Crash-dump forensics: a structured snapshot of the pipeline state,
+ * captured whenever a recoverable simulation error (SimError) or the
+ * forward-progress watchdog fires. The snapshot is plain data — the
+ * processor fills it, the error carries it, and drivers render it to
+ * stderr or a dump file — so a failed run in a large sweep leaves
+ * enough state behind to diagnose without rerunning.
+ */
+
+#ifndef UBRC_SIM_DIAGNOSTICS_HH
+#define UBRC_SIM_DIAGNOSTICS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ubrc::sim
+{
+
+/** One ROB entry near the head, as captured at snapshot time. */
+struct SnapshotRobEntry
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm;
+    int state = 0; ///< core::InstState as an integer
+    bool completed = false;
+    bool executing = false;
+    unsigned replays = 0;
+    Cycle readyCycle = 0;
+};
+
+/** One valid register cache entry (set contents with use state). */
+struct SnapshotCacheEntry
+{
+    unsigned set = 0;
+    unsigned way = 0;
+    PhysReg preg = invalidPhysReg;
+    uint32_t remUses = 0;
+    bool pinned = false;
+};
+
+/** One recently retired instruction. */
+struct SnapshotRetired
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm;
+    Cycle cycle = 0;
+};
+
+/**
+ * Structured pipeline state at the moment of failure. Everything a
+ * post-mortem needs: where the machine was, what the ROB head looked
+ * like, what the register cache held (with remaining-use counts and
+ * pin bits), and what retired last.
+ */
+struct PipelineSnapshot
+{
+    /** ROB entries captured from the head. */
+    static constexpr size_t robHeadWindow = 8;
+    /** Retired instructions kept in the history ring. */
+    static constexpr size_t retiredWindow = 16;
+
+    Cycle cycle = 0;
+    Addr fetchPc = 0;
+    uint64_t instsRetired = 0;
+    Cycle lastRetireCycle = 0;
+
+    size_t robSize = 0, robCapacity = 0;
+    size_t iqSize = 0, iqCapacity = 0;
+    size_t freeListSize = 0;
+    unsigned allocatedPregs = 0, numPhysRegs = 0;
+
+    std::vector<SnapshotRobEntry> robHead;
+
+    unsigned cacheSets = 0, cacheAssoc = 0;
+    std::vector<SnapshotCacheEntry> cacheEntries;
+
+    /** Oldest-first window of the last retired instructions. */
+    std::vector<SnapshotRetired> lastRetired;
+
+    /** Human-readable log of injected faults, oldest first. */
+    std::vector<std::string> injectedFaults;
+
+    /** Render the snapshot as a multi-line report. */
+    std::string format() const;
+};
+
+/** Write a formatted snapshot to a stdio stream (e.g. stderr). */
+void dumpSnapshot(const PipelineSnapshot &snap, std::FILE *out);
+
+/**
+ * Write a formatted snapshot to a file.
+ * @return false (with a warning) if the file cannot be written.
+ */
+bool writeSnapshotFile(const PipelineSnapshot &snap,
+                       const std::string &path);
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_DIAGNOSTICS_HH

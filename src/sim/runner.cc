@@ -1,5 +1,7 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -10,35 +12,76 @@
 namespace ubrc::sim
 {
 
+namespace
+{
+
+/** Successful runs only; failed runs carry partial stats. */
+template <typename Fn>
+void
+forEachOk(const std::vector<WorkloadRun> &runs, Fn &&fn)
+{
+    for (const auto &r : runs)
+        if (!r.failed)
+            fn(r);
+}
+
+} // namespace
+
 double
 SuiteResult::geomeanIpc() const
 {
-    if (runs.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (const auto &r : runs)
+    size_t n = 0;
+    forEachOk(runs, [&](const WorkloadRun &r) {
         log_sum += std::log(r.result.ipc > 0 ? r.result.ipc : 1e-9);
-    return std::exp(log_sum / static_cast<double>(runs.size()));
+        ++n;
+    });
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
 }
 
 double
 SuiteResult::mean(double (*metric)(const core::SimResult &)) const
 {
-    if (runs.empty())
-        return 0.0;
     double sum = 0.0;
-    for (const auto &r : runs)
+    size_t n = 0;
+    forEachOk(runs, [&](const WorkloadRun &r) {
         sum += metric(r.result);
-    return sum / static_cast<double>(runs.size());
+        ++n;
+    });
+    return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 uint64_t
 SuiteResult::total(uint64_t (*metric)(const core::SimResult &)) const
 {
     uint64_t sum = 0;
-    for (const auto &r : runs)
-        sum += metric(r.result);
+    forEachOk(runs, [&](const WorkloadRun &r) { sum += metric(r.result); });
     return sum;
+}
+
+size_t
+SuiteResult::numFailed() const
+{
+    return static_cast<size_t>(
+        std::count_if(runs.begin(), runs.end(),
+                      [](const WorkloadRun &r) { return r.failed; }));
+}
+
+std::string
+SuiteResult::failureSummary() const
+{
+    std::string out;
+    for (const auto &r : runs) {
+        if (!r.failed)
+            continue;
+        out += r.workload;
+        out += ": [";
+        out += toString(r.errorKind);
+        out += "] ";
+        out += r.error;
+        out += '\n';
+    }
+    return out;
 }
 
 core::SimResult
@@ -48,9 +91,38 @@ runOne(const SimConfig &config, const workload::Workload &workload,
     SimConfig cfg = config;
     if (max_insts)
         cfg.maxInsts = max_insts;
+    cfg.validate();
     core::Processor proc(cfg, workload);
     proc.run();
     return proc.result();
+}
+
+RunOutcome
+runOneChecked(const SimConfig &config, const workload::Workload &workload,
+              uint64_t max_insts)
+{
+    SimConfig cfg = config;
+    if (max_insts)
+        cfg.maxInsts = max_insts;
+    cfg.validate();
+
+    RunOutcome out;
+    core::Processor proc(cfg, workload);
+    try {
+        proc.run();
+        out.result = proc.result();
+    } catch (const ConfigError &) {
+        throw; // a bad config is a caller bug, not a run hazard
+    } catch (const SimError &err) {
+        out.ok = false;
+        out.kind = err.kind();
+        out.message = err.what();
+        if (err.hasSnapshot())
+            out.snapshotText = err.snapshot().format();
+        out.result = proc.result(); // stats up to the failure point
+    }
+    out.faults = proc.faultLog();
+    return out;
 }
 
 SuiteResult
@@ -61,7 +133,18 @@ runSuite(const SimConfig &config,
     SuiteResult out;
     for (const auto &name : workload_names) {
         const workload::Workload w = workload::buildWorkload(name, params);
-        out.runs.push_back({name, runOne(config, w, max_insts)});
+        RunOutcome run = runOneChecked(config, w, max_insts);
+        WorkloadRun wr;
+        wr.workload = name;
+        wr.result = run.result;
+        if (!run.ok) {
+            wr.failed = true;
+            wr.errorKind = run.kind;
+            wr.error = run.message;
+            warn("workload '%s' failed (%s): %s — continuing suite",
+                 name.c_str(), toString(run.kind), run.message.c_str());
+        }
+        out.runs.push_back(std::move(wr));
     }
     return out;
 }
@@ -72,12 +155,26 @@ benchWorkloads(const std::vector<std::string> &defaults)
     const char *env = std::getenv("UBRC_WORKLOADS");
     if (!env || !*env || std::strcmp(env, "all") == 0)
         return defaults;
+
+    const auto &known = workload::workloadNames();
     std::vector<std::string> out;
     std::stringstream ss(env);
     std::string name;
-    while (std::getline(ss, name, ','))
-        if (!name.empty())
-            out.push_back(name);
+    while (std::getline(ss, name, ',')) {
+        if (name.empty())
+            continue;
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            std::string valid;
+            for (const auto &k : known) {
+                if (!valid.empty())
+                    valid += ", ";
+                valid += k;
+            }
+            fatal("UBRC_WORKLOADS: unknown workload '%s' (valid: %s)",
+                  name.c_str(), valid.c_str());
+        }
+        out.push_back(name);
+    }
     if (out.empty())
         return defaults;
     return out;
@@ -89,7 +186,14 @@ benchMaxInsts(uint64_t default_max)
     const char *env = std::getenv("UBRC_MAX_INSTS");
     if (!env || !*env)
         return default_max;
-    return std::strtoull(env, nullptr, 0);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') != nullptr)
+        fatal("UBRC_MAX_INSTS: cannot parse '%s' as an instruction "
+              "count", env);
+    return v;
 }
 
 } // namespace ubrc::sim

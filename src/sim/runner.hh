@@ -3,6 +3,12 @@
  * Convenience layer for running configurations over workload suites
  * and aggregating results, used by the benchmark harnesses and the
  * examples.
+ *
+ * Failures are contained per run: runOneChecked() converts a SimError
+ * (checker divergence, deadlock, invariant violation) into a
+ * RunOutcome instead of letting it terminate the process, and
+ * runSuite() keeps going past failed workloads so one poisoned run
+ * cannot sink a whole sweep.
  */
 
 #ifndef UBRC_SIM_RUNNER_HH
@@ -13,16 +19,31 @@
 
 #include "core/processor.hh"
 #include "sim/config.hh"
+#include "sim/sim_error.hh"
 #include "workload/workload.hh"
 
 namespace ubrc::sim
 {
+
+/** Outcome of one contained simulation: a result or a failure. */
+struct RunOutcome
+{
+    core::SimResult result;      ///< valid stats up to the failure point
+    bool ok = true;
+    ErrorKind kind = ErrorKind::Invariant; ///< valid when !ok
+    std::string message;         ///< error text, empty when ok
+    std::string snapshotText;    ///< formatted crash dump, empty when ok
+    std::vector<inject::FaultRecord> faults; ///< injected-fault log
+};
 
 /** Result of one (config, workload) simulation. */
 struct WorkloadRun
 {
     std::string workload;
     core::SimResult result;
+    bool failed = false;
+    ErrorKind errorKind = ErrorKind::Invariant; ///< valid when failed
+    std::string error;           ///< error text, empty unless failed
 };
 
 /** Results of one configuration across a workload suite. */
@@ -30,25 +51,45 @@ struct SuiteResult
 {
     std::vector<WorkloadRun> runs;
 
-    /** Geometric-mean IPC over the suite. */
+    /** Geometric-mean IPC over the successful runs. */
     double geomeanIpc() const;
 
-    /** Arithmetic mean of an arbitrary per-run metric. */
+    /** Arithmetic mean of a per-run metric over successful runs. */
     double mean(double (*metric)(const core::SimResult &)) const;
 
-    /** Sum of an arbitrary per-run counter. */
+    /** Sum of a per-run counter over successful runs. */
     uint64_t total(uint64_t (*metric)(const core::SimResult &)) const;
+
+    /** Number of runs that ended in a contained SimError. */
+    size_t numFailed() const;
+
+    /** One line per failed run ("name: message"), empty if none. */
+    std::string failureSummary() const;
 };
 
 /**
- * Run one workload under one configuration.
+ * Run one workload under one configuration. Validates the config and
+ * propagates SimError (divergence, deadlock, ...) to the caller.
  * @param max_insts If nonzero, retire at most this many instructions.
  */
 core::SimResult runOne(const SimConfig &config,
                        const workload::Workload &workload,
                        uint64_t max_insts = 0);
 
-/** Run a configuration over a set of workloads (by name). */
+/**
+ * Run one workload, containing any SimError in the returned outcome
+ * instead of throwing. ConfigError still propagates: a bad config is
+ * a caller bug, not a per-run hazard.
+ */
+RunOutcome runOneChecked(const SimConfig &config,
+                         const workload::Workload &workload,
+                         uint64_t max_insts = 0);
+
+/**
+ * Run a configuration over a set of workloads (by name). A run that
+ * fails with a SimError is recorded (WorkloadRun::failed) and the
+ * remaining workloads still run.
+ */
 SuiteResult runSuite(const SimConfig &config,
                      const std::vector<std::string> &workload_names,
                      const workload::WorkloadParams &params = {},
@@ -57,7 +98,10 @@ SuiteResult runSuite(const SimConfig &config,
 /**
  * Workload subset and run-length controls for benchmark binaries,
  * honouring the UBRC_WORKLOADS (comma-separated names or "all") and
- * UBRC_MAX_INSTS environment variables.
+ * UBRC_MAX_INSTS environment variables. Malformed values are fatal:
+ * an unparseable UBRC_MAX_INSTS or an unknown workload name aborts
+ * with a message naming the offending string rather than being
+ * silently ignored.
  */
 std::vector<std::string> benchWorkloads(
     const std::vector<std::string> &defaults);

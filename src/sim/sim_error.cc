@@ -1,0 +1,30 @@
+#include "sim/sim_error.hh"
+
+namespace ubrc::sim
+{
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return "config error";
+      case ErrorKind::CheckerDivergence: return "checker divergence";
+      case ErrorKind::Deadlock: return "deadlock";
+      case ErrorKind::Invariant: return "invariant violation";
+    }
+    return "?";
+}
+
+int
+exitCodeFor(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return 2;
+      case ErrorKind::CheckerDivergence: return 3;
+      case ErrorKind::Deadlock: return 4;
+      case ErrorKind::Invariant: return 5;
+    }
+    return 1;
+}
+
+} // namespace ubrc::sim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * Historically every failure — a bad knob, a golden-model divergence,
+ * a hung pipeline, a double-freed physical register — funnelled into
+ * panic()/fatal() and killed the whole process, aborting entire
+ * suite sweeps. The SimError hierarchy contains such failures to the
+ * run that raised them: runOneChecked() reports a per-run status,
+ * runSuite() finishes the remaining workloads, and drivers map the
+ * error kind to a distinct exit code.
+ *
+ * Division of labour with common/log.hh:
+ *  - panic()  — internal bug with no safe containment boundary; still
+ *               aborts the process (e.g. a corrupted event ring).
+ *  - fatal()  — unrecoverable *process-level* user error (bad
+ *               environment variable, bad CLI value); exits fast.
+ *  - SimError — anything scoped to one simulation run; thrown, caught
+ *               at the run boundary, and carries a PipelineSnapshot
+ *               for post-mortem diagnosis.
+ */
+
+#ifndef UBRC_SIM_SIM_ERROR_HH
+#define UBRC_SIM_SIM_ERROR_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sim/diagnostics.hh"
+
+namespace ubrc::sim
+{
+
+/** Classification of a contained per-run failure. */
+enum class ErrorKind
+{
+    /** Invalid configuration (caught by SimConfig::validate()). */
+    Config,
+    /** Retired state diverged from the golden architectural model. */
+    CheckerDivergence,
+    /** Forward-progress watchdog fired (no retirement). */
+    Deadlock,
+    /** Internal invariant violated at a containable boundary. */
+    Invariant,
+};
+
+const char *toString(ErrorKind kind);
+
+/**
+ * Process exit code for an error kind: 2 = config error, 3 = checker
+ * divergence, 4 = deadlock, 5 = internal invariant.
+ */
+int exitCodeFor(ErrorKind kind);
+
+/** Base class of all contained per-run simulation failures. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    ErrorKind kind() const { return kind_; }
+    int exitCode() const { return exitCodeFor(kind_); }
+
+    /** Attach the pipeline state captured at the failure point. */
+    void
+    attachSnapshot(PipelineSnapshot snap)
+    {
+        snap_ = std::make_shared<const PipelineSnapshot>(
+            std::move(snap));
+    }
+
+    bool hasSnapshot() const { return snap_ != nullptr; }
+
+    /** @pre hasSnapshot() */
+    const PipelineSnapshot &snapshot() const { return *snap_; }
+
+  private:
+    ErrorKind kind_;
+    /** Shared so exception copies stay cheap and noexcept-friendly. */
+    std::shared_ptr<const PipelineSnapshot> snap_;
+};
+
+/** Invalid configuration; raised before any cycle is simulated. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &message)
+        : SimError(ErrorKind::Config, message)
+    {}
+};
+
+/** The timing core's retired state diverged from the golden model. */
+class CheckerError : public SimError
+{
+  public:
+    explicit CheckerError(const std::string &message)
+        : SimError(ErrorKind::CheckerDivergence, message)
+    {}
+};
+
+/** The forward-progress watchdog detected a hung pipeline. */
+class DeadlockError : public SimError
+{
+  public:
+    explicit DeadlockError(const std::string &message)
+        : SimError(ErrorKind::Deadlock, message)
+    {}
+};
+
+/** An internal invariant failed at a per-run containment boundary. */
+class InvariantError : public SimError
+{
+  public:
+    explicit InvariantError(const std::string &message)
+        : SimError(ErrorKind::Invariant, message)
+    {}
+};
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_SIM_ERROR_HH

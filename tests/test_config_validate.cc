@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for SimConfig::validate(): every named configuration must
+ * pass, and each class of bad knob must be rejected with a message
+ * that names the offending value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/sim_error.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+namespace
+{
+
+/** Expect validate() to throw a ConfigError mentioning `needle`. */
+void
+expectRejected(const SimConfig &cfg, const std::string &needle)
+{
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError containing '" << needle << "'";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+    }
+}
+
+} // namespace
+
+TEST(ConfigValidate, NamedConfigurationsAreClean)
+{
+    EXPECT_NO_THROW(SimConfig::useBasedCache().validate());
+    EXPECT_NO_THROW(SimConfig::lruCache().validate());
+    EXPECT_NO_THROW(SimConfig::nonBypassCache().validate());
+    EXPECT_NO_THROW(SimConfig::monolithic(3).validate());
+    EXPECT_NO_THROW(SimConfig::twoLevelFile(64).validate());
+}
+
+TEST(ConfigValidate, ZeroPipelineWidth)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.issueWidth = 0;
+    expectRejected(cfg, "pipeline widths");
+}
+
+TEST(ConfigValidate, ZeroWindow)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.robEntries = 0;
+    expectRejected(cfg, "window sizes");
+}
+
+TEST(ConfigValidate, TooFewPhysRegs)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.numPhysRegs = 32; // == architectural count, nothing to rename
+    expectRejected(cfg, "numPhysRegs");
+}
+
+TEST(ConfigValidate, AssocExceedsEntries)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.entries = 16;
+    cfg.rc.assoc = 32;
+    expectRejected(cfg, "associativity");
+}
+
+TEST(ConfigValidate, EntriesNotDivisibleIntoSets)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.entries = 64;
+    cfg.rc.assoc = 3;
+    expectRejected(cfg, "divisible");
+}
+
+TEST(ConfigValidate, MaxUseOutOfCounterRange)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.maxUse = 100; // dou.predBits=4 => max prediction 15
+    expectRejected(cfg, "maxUse");
+}
+
+TEST(ConfigValidate, ZeroMaxUse)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.maxUse = 0;
+    expectRejected(cfg, "maxUse");
+}
+
+TEST(ConfigValidate, DefaultsExceedMaxUse)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.unknownDefault = cfg.rc.maxUse + 1;
+    expectRejected(cfg, "unknownDefault");
+}
+
+TEST(ConfigValidate, LatencyBeyondEventHorizon)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.fxDivLat = 9000; // event ring holds 8192 cycles
+    expectRejected(cfg, "event");
+}
+
+TEST(ConfigValidate, ZeroLatency)
+{
+    SimConfig cfg = SimConfig::monolithic(0);
+    expectRejected(cfg, "monolithic");
+}
+
+TEST(ConfigValidate, WatchdogBelowFloor)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.watchdogCycles = 50;
+    expectRejected(cfg, "watchdogCycles");
+}
+
+TEST(ConfigValidate, WatchdogZeroDisables)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.watchdogCycles = 0;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, InjectionRateOutOfRange)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.inject.rate = 1.5;
+    expectRejected(cfg, "inject.rate");
+}
+
+TEST(ConfigValidate, InjectionWithoutTargets)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.inject.rate = 0.1;
+    cfg.inject.targets = 0;
+    expectRejected(cfg, "target");
+}
+
+TEST(ConfigValidate, TwoLevelL1TooSmall)
+{
+    SimConfig cfg = SimConfig::twoLevelFile(64);
+    cfg.twoLevel.l1Entries = 16; // below the 32 architectural regs
+    expectRejected(cfg, "architectural");
+}
+
+TEST(ConfigValidate, DouConfidenceNeverSupplies)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.dou.confThreshold = cfg.dou.confMax + 1;
+    expectRejected(cfg, "confThreshold");
+}

@@ -77,3 +77,25 @@ TEST(Runner, RunOneHonoursMaxInsts)
         runOne(SimConfig::useBasedCache(), w, 15000);
     EXPECT_EQ(r.instsRetired, 15000u);
 }
+
+TEST(RunnerDeathTest, BenchMaxInstsRejectsGarbage)
+{
+    setenv("UBRC_MAX_INSTS", "12abc", 1);
+    EXPECT_EXIT(benchMaxInsts(123), testing::ExitedWithCode(1),
+                "UBRC_MAX_INSTS.*12abc");
+    setenv("UBRC_MAX_INSTS", "not-a-number", 1);
+    EXPECT_EXIT(benchMaxInsts(123), testing::ExitedWithCode(1),
+                "UBRC_MAX_INSTS");
+    setenv("UBRC_MAX_INSTS", "-5", 1);
+    EXPECT_EXIT(benchMaxInsts(123), testing::ExitedWithCode(1),
+                "UBRC_MAX_INSTS");
+    unsetenv("UBRC_MAX_INSTS");
+}
+
+TEST(RunnerDeathTest, BenchWorkloadsRejectsUnknownNames)
+{
+    setenv("UBRC_WORKLOADS", "gzip,nosuchkernel", 1);
+    EXPECT_EXIT(benchWorkloads({"gzip"}), testing::ExitedWithCode(1),
+                "unknown workload 'nosuchkernel'.*valid:");
+    unsetenv("UBRC_WORKLOADS");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the recoverable-error hierarchy: kind/exit-code mapping,
+ * base-class catchability, snapshot attachment, and — the point of
+ * the exercise — that a failing run inside a suite no longer takes
+ * the whole process down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/diagnostics.hh"
+#include "sim/runner.hh"
+#include "sim/sim_error.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+TEST(SimError, KindAndExitCodeMapping)
+{
+    EXPECT_EQ(ConfigError("x").kind(), ErrorKind::Config);
+    EXPECT_EQ(ConfigError("x").exitCode(), 2);
+    EXPECT_EQ(CheckerError("x").kind(), ErrorKind::CheckerDivergence);
+    EXPECT_EQ(CheckerError("x").exitCode(), 3);
+    EXPECT_EQ(DeadlockError("x").kind(), ErrorKind::Deadlock);
+    EXPECT_EQ(DeadlockError("x").exitCode(), 4);
+    EXPECT_EQ(InvariantError("x").kind(), ErrorKind::Invariant);
+    EXPECT_EQ(InvariantError("x").exitCode(), 5);
+}
+
+TEST(SimError, KindNames)
+{
+    EXPECT_STREQ(toString(ErrorKind::Config), "config error");
+    EXPECT_STREQ(toString(ErrorKind::CheckerDivergence),
+                 "checker divergence");
+    EXPECT_STREQ(toString(ErrorKind::Deadlock), "deadlock");
+    EXPECT_STREQ(toString(ErrorKind::Invariant),
+                 "invariant violation");
+}
+
+TEST(SimError, CatchableAsBaseClass)
+{
+    bool caught = false;
+    try {
+        throw DeadlockError("stuck");
+    } catch (const SimError &e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), ErrorKind::Deadlock);
+        EXPECT_STREQ(e.what(), "stuck");
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(SimError, SnapshotAttachmentSurvivesCopy)
+{
+    CheckerError e("diverged");
+    EXPECT_FALSE(e.hasSnapshot());
+    PipelineSnapshot snap;
+    snap.cycle = 42;
+    e.attachSnapshot(std::move(snap));
+    ASSERT_TRUE(e.hasSnapshot());
+
+    const CheckerError copy = e; // exceptions get copied when thrown
+    ASSERT_TRUE(copy.hasSnapshot());
+    EXPECT_EQ(copy.snapshot().cycle, 42);
+}
+
+TEST(SimError, RunOneCheckedContainsDivergence)
+{
+    // Corrupting cached values guarantees a wrong result reaches the
+    // checker eventually; the outcome must report it, not crash.
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.inject.rate = 0.01;
+    cfg.inject.seed = 3;
+    cfg.inject.targets = inject::TargetRegCacheValue;
+
+    const auto w = workload::buildWorkload("gzip");
+    const RunOutcome out = runOneChecked(cfg, w, 50000);
+    ASSERT_FALSE(out.ok);
+    EXPECT_EQ(out.kind, ErrorKind::CheckerDivergence);
+    EXPECT_NE(out.message.find("checker"), std::string::npos);
+    EXPECT_FALSE(out.snapshotText.empty());
+    EXPECT_FALSE(out.faults.empty());
+
+    // The same process can keep simulating cleanly afterwards.
+    SimConfig clean = SimConfig::useBasedCache();
+    const RunOutcome ok = runOneChecked(clean, w, 20000);
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.result.instsRetired, 20000u);
+}
+
+TEST(SimError, RunSuiteContinuesPastFailures)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.inject.rate = 0.01;
+    cfg.inject.seed = 3;
+    cfg.inject.targets = inject::TargetRegCacheValue;
+
+    const SuiteResult r =
+        runSuite(cfg, {"gzip", "crafty"}, {}, 50000);
+    ASSERT_EQ(r.runs.size(), 2u); // both ran despite failures
+    EXPECT_GE(r.numFailed(), 1u);
+    EXPECT_NE(r.failureSummary().find("checker"), std::string::npos);
+
+    // Aggregates must skip failed runs rather than average garbage.
+    const double g = r.geomeanIpc();
+    if (r.numFailed() == r.runs.size())
+        EXPECT_EQ(g, 0.0);
+    else
+        EXPECT_GT(g, 0.0);
+}
+
+TEST(SimError, RunOnePropagatesConfigError)
+{
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.rc.assoc = 3; // 64 entries not divisible into 3-way sets
+    const auto w = workload::buildWorkload("gzip");
+    EXPECT_THROW(runOne(cfg, w, 1000), ConfigError);
+    EXPECT_THROW(runOneChecked(cfg, w, 1000), ConfigError);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the forward-progress watchdog: a stalled ROB head must
+ * raise DeadlockError (with the stalled instruction named in the
+ * attached snapshot) instead of spinning forever, and disabling the
+ * watchdog must let long-latency code run to completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/processor.hh"
+#include "isa/assembler.hh"
+#include "sim/config.hh"
+#include "sim/sim_error.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::core;
+
+namespace
+{
+
+workload::Workload
+makeWorkload(const std::string &src)
+{
+    workload::Workload w;
+    w.name = "test";
+    w.program = isa::assemble(src);
+    w.initMemory = [prog = w.program](SparseMemory &m) {
+        isa::loadProgramData(prog, m);
+    };
+    return w;
+}
+
+/**
+ * A program whose ROB head is incomplete for ~fxDivLat cycles: with
+ * the divider latency raised above the watchdog threshold, retirement
+ * stalls long enough to trip it.
+ */
+const char *stallProg =
+    "li r1, 1000\n"
+    "li r2, 7\n"
+    "fxdiv r3, r1, r2\n"
+    "halt\n";
+
+} // namespace
+
+TEST(Watchdog, FiresOnStalledRetirement)
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    cfg.fxDivLat = 5000;     // below the 8192-cycle event horizon
+    cfg.watchdogCycles = 200; // trips long before the divide finishes
+    cfg.validate();
+
+    auto w = makeWorkload(stallProg);
+    Processor p(cfg, w);
+    try {
+        p.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const sim::DeadlockError &e) {
+        EXPECT_EQ(e.exitCode(), 4);
+        EXPECT_NE(std::string(e.what()).find("no retirement"),
+                  std::string::npos);
+
+        // The snapshot must name the stalled ROB head.
+        ASSERT_TRUE(e.hasSnapshot());
+        const sim::PipelineSnapshot &snap = e.snapshot();
+        ASSERT_FALSE(snap.robHead.empty());
+        EXPECT_NE(snap.robHead[0].disasm.find("fxdiv"),
+                  std::string::npos);
+        EXPECT_FALSE(snap.robHead[0].completed);
+        EXPECT_NE(snap.format().find("fxdiv"), std::string::npos);
+    }
+}
+
+TEST(Watchdog, MessageCarriesStallDetail)
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    cfg.fxDivLat = 5000;
+    cfg.watchdogCycles = 300;
+
+    auto w = makeWorkload(stallProg);
+    Processor p(cfg, w);
+    try {
+        p.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const sim::SimError &e) {
+        // Catchable as the base class, with the cycle count in text.
+        EXPECT_EQ(e.kind(), sim::ErrorKind::Deadlock);
+        EXPECT_NE(std::string(e.what()).find("300"), std::string::npos);
+    }
+}
+
+TEST(Watchdog, DisabledWatchdogLetsSlowCodeFinish)
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    cfg.fxDivLat = 5000;
+    cfg.watchdogCycles = 0; // disabled
+    cfg.validate();
+
+    auto w = makeWorkload(stallProg);
+    Processor p(cfg, w);
+    EXPECT_NO_THROW(p.run());
+    EXPECT_TRUE(p.finished());
+    EXPECT_EQ(p.retiredCount(), 4u);
+    EXPECT_GE(p.cycle(), 5000); // it really did sit out the divide
+}
+
+TEST(Watchdog, GenerousWatchdogDoesNotFire)
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    cfg.fxDivLat = 500;
+    cfg.watchdogCycles = 6000;
+
+    auto w = makeWorkload(stallProg);
+    Processor p(cfg, w);
+    EXPECT_NO_THROW(p.run());
+    EXPECT_TRUE(p.finished());
+}

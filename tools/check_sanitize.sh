@@ -1,0 +1,14 @@
+#!/bin/sh
+# Build the whole tree with ASan+UBSan (-DUBRC_SANITIZE=ON) and run
+# the test suite under it. A separate build directory keeps sanitized
+# objects out of the normal build.
+#
+# Usage: tools/check_sanitize.sh [build-dir]
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-sanitize"}
+
+cmake -B "$build" -S "$repo" -DUBRC_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

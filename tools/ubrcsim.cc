@@ -23,7 +23,9 @@
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "isa/functional_core.hh"
+#include "sim/diagnostics.hh"
 #include "sim/runner.hh"
+#include "sim/sim_error.hh"
 #include "workload/workload.hh"
 
 using namespace ubrc;
@@ -61,7 +63,22 @@ usage()
         "run control:\n"
         "  --insts N           stop after N retired instructions\n"
         "  --no-checker        disable the golden architectural checker\n"
-        "  --stats             dump every statistic after the run\n");
+        "  --stats             dump every statistic after the run\n"
+        "  --watchdog N        abort if no instruction retires for N\n"
+        "                      cycles (default 500000; 0 disables)\n"
+        "  --validate-only     check the configuration and exit\n"
+        "\n"
+        "fault injection:\n"
+        "  --inject-rate R     per-cycle bit-flip probability (0..1)\n"
+        "  --inject-seed S     fault-site PRNG seed (default 1)\n"
+        "\n"
+        "error handling:\n"
+        "  --dump-on-error FILE  also write the crash dump to FILE\n"
+        "\n"
+        "exit codes:\n"
+        "  0  run completed        2  configuration error\n"
+        "  3  checker divergence   4  deadlock (watchdog)\n"
+        "  5  internal invariant violation\n");
 }
 
 const char *
@@ -70,6 +87,28 @@ nextArg(int argc, char **argv, int &i)
     if (i + 1 >= argc)
         fatal("missing value after %s", argv[i]);
     return argv[++i];
+}
+
+/** Strict numeric parses: 0 silently disables these features, so a
+ * typo must not be mistaken for an explicit 0. */
+uint64_t
+parseU64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0' || std::strchr(s, '-'))
+        fatal("%s: cannot parse '%s' as a number", flag, s);
+    return v;
+}
+
+double
+parseF64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        fatal("%s: cannot parse '%s' as a number", flag, s);
+    return v;
 }
 
 regcache::InsertionPolicy
@@ -137,7 +176,9 @@ main(int argc, char **argv)
 {
     std::string workload_name = "gzip";
     std::string asm_path;
+    std::string dump_path;
     bool do_list = false, do_disasm = false, dump_stats = false;
+    bool validate_only = false;
     workload::WorkloadParams wparams;
     uint64_t max_insts = 500000;
 
@@ -209,6 +250,19 @@ main(int argc, char **argv)
             cfg.checker = false;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--watchdog") {
+            cfg.watchdogCycles =
+                parseU64("--watchdog", nextArg(argc, argv, i));
+        } else if (arg == "--validate-only") {
+            validate_only = true;
+        } else if (arg == "--inject-rate") {
+            cfg.inject.rate =
+                parseF64("--inject-rate", nextArg(argc, argv, i));
+        } else if (arg == "--inject-seed") {
+            cfg.inject.seed =
+                parseU64("--inject-seed", nextArg(argc, argv, i));
+        } else if (arg == "--dump-on-error") {
+            dump_path = nextArg(argc, argv, i);
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -231,6 +285,18 @@ main(int argc, char **argv)
     cfg.rc.assoc = assoc;
     cfg.twoLevel.l1Entries = entries + 32;
 
+    try {
+        cfg.validate();
+    } catch (const sim::ConfigError &e) {
+        std::fprintf(stderr, "ubrcsim: configuration error: %s\n",
+                     e.what());
+        return e.exitCode();
+    }
+    if (validate_only) {
+        std::printf("configuration ok: %s\n", cfg.describe().c_str());
+        return 0;
+    }
+
     const workload::Workload w =
         asm_path.empty() ? workload::buildWorkload(workload_name,
                                                    wparams)
@@ -246,7 +312,18 @@ main(int argc, char **argv)
     std::printf("design   : %s\n", cfg.describe().c_str());
     cfg.maxInsts = max_insts;
     core::Processor proc(cfg, w);
-    proc.run();
+    try {
+        proc.run();
+    } catch (const sim::SimError &e) {
+        std::fprintf(stderr, "ubrcsim: %s: %s\n",
+                     sim::toString(e.kind()), e.what());
+        if (e.hasSnapshot()) {
+            sim::dumpSnapshot(e.snapshot(), stderr);
+            if (!dump_path.empty())
+                sim::writeSnapshotFile(e.snapshot(), dump_path);
+        }
+        return e.exitCode();
+    }
     const core::SimResult r = proc.result();
 
     std::printf("\n%12llu instructions, %llu cycles  ->  IPC %.3f\n",
