@@ -32,8 +32,9 @@ run(const sim::SimConfig &cfg)
                      e.what());
         std::exit(e.exitCode());
     }
-    const sim::SuiteResult r =
-        sim::runSuite(cfg, workloads(), {}, instBudget());
+    const sim::SuiteResult r = sim::runSuite(cfg, workloads(), {},
+                                             instBudget(),
+                                             sim::benchJobs(1));
     if (r.numFailed())
         std::fprintf(stderr, "bench: %zu workload(s) failed:\n%s",
                      r.numFailed(), r.failureSummary().c_str());

@@ -3,9 +3,11 @@
  * Shared helpers for the figure/table reproduction harnesses.
  *
  * Every harness runs real simulations and prints the rows or series
- * of one figure or table from the paper. Two environment variables
- * control cost: UBRC_WORKLOADS (comma list or "all") selects kernels
- * and UBRC_MAX_INSTS overrides the per-kernel instruction budget.
+ * of one figure or table from the paper. Three environment variables
+ * control cost: UBRC_WORKLOADS (comma list or "all") selects kernels,
+ * UBRC_MAX_INSTS overrides the per-kernel instruction budget, and
+ * UBRC_JOBS runs the kernels of each suite on that many worker
+ * threads (results are bit-identical to a serial run).
  */
 
 #ifndef UBRC_BENCH_BENCH_UTIL_HH

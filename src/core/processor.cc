@@ -4,14 +4,12 @@
 #include <algorithm>
 #include <cinttypes>
 
-#include "common/bitutil.hh"
 #include "common/log.hh"
 #include "isa/disasm.hh"
+#include "storage/supplier_registry.hh"
 
 namespace ubrc::core
 {
-
-using sim::RegScheme;
 
 namespace
 {
@@ -43,7 +41,6 @@ Processor::Processor(const sim::SimConfig &config,
       yags(cfg.yags),
       ras(cfg.rasDepth),
       ipred(cfg.indirect),
-      dou(cfg.dou, statGroup),
       eventRing(eventRingSize),
       allocatedDist(cfg.numPhysRegs + 1),
       liveDist(cfg.numPhysRegs + 1)
@@ -56,21 +53,7 @@ Processor::Processor(const sim::SimConfig &config,
         golden = std::make_unique<isa::FunctionalCore>(prog, goldenMem);
     }
 
-    if (cfg.scheme == RegScheme::Cached) {
-        rcache = std::make_unique<regcache::RegisterCache>(cfg.rc,
-                                                           statGroup);
-        if (cfg.classifyMisses)
-            shadow = std::make_unique<regcache::ShadowFullyAssocCache>(
-                cfg.rc.entries, cfg.rc.replacement, cfg.rc.maxUse);
-        idxAlloc = std::make_unique<regcache::IndexAllocator>(
-            cfg.rc.indexing, cfg.rc.numSets(), cfg.rc.assoc,
-            cfg.rc.highUseThreshold);
-        backing = std::make_unique<regfile::BackingFile>(
-            cfg.backingLatency, statGroup);
-    } else if (cfg.scheme == RegScheme::TwoLevel) {
-        twoLevel = std::make_unique<regfile::TwoLevelFile>(
-            cfg.twoLevel, cfg.numPhysRegs, statGroup);
-    }
+    supplier = storage::makeSupplier(cfg, statGroup);
 
     // Physical register setup: preg 0 is the constant zero; pregs
     // 1..31 hold the initial architectural values (all zero).
@@ -78,15 +61,8 @@ Processor::Processor(const sim::SimConfig &config,
     for (unsigned i = 0; i < isa::numArchRegs; ++i) {
         mapTable[i] = static_cast<PhysReg>(i);
         pregs[i].doneAt = -1000000;
-        pregs[i].storageReadyAt = -1000000;
         pregs[i].allocated = true;
-        pregs[i].rcSet = idxAlloc
-                             ? idxAlloc->assign(static_cast<PhysReg>(i), 0)
-                             : 0;
-        if (twoLevel) {
-            twoLevel->allocate(static_cast<PhysReg>(i));
-            twoLevel->onWrite(static_cast<PhysReg>(i));
-        }
+        supplier->onInitialValue(static_cast<PhysReg>(i));
     }
     allocatedPregs = isa::numArchRegs;
     freeList.reserve(cfg.numPhysRegs);
@@ -118,13 +94,7 @@ Processor::Processor(const sim::SimConfig &config,
     st.opBypass = &statGroup.scalar("operand_bypass");
     st.opCache = &statGroup.scalar("operand_cache");
     st.opFile = &statGroup.scalar("operand_file");
-    st.rcMisses = &statGroup.scalar("rc_operand_misses");
-    st.missNoWrite = &statGroup.scalar("rc_miss_no_write");
-    st.missConflict = &statGroup.scalar("rc_miss_conflict");
-    st.missCapacity = &statGroup.scalar("rc_miss_capacity");
-    st.writesFiltered = &statGroup.scalar("rc_writes_filtered");
     st.valuesProduced = &statGroup.scalar("values_produced");
-    st.valuesNeverCached = &statGroup.scalar("values_never_cached");
     st.miniReplays = &statGroup.scalar("mini_replays");
     st.groupSquashes = &statGroup.scalar("issue_group_squashes");
     st.branches = &statGroup.scalar("branches_retired");
@@ -134,7 +104,6 @@ Processor::Processor(const sim::SimConfig &config,
     st.renameStallsRegs = &statGroup.scalar("rename_stalls_regs");
     st.renameStallsRob = &statGroup.scalar("rename_stalls_rob");
     st.renameStallsIq = &statGroup.scalar("rename_stalls_iq");
-    st.rcOccupancy = &statGroup.mean("rc_occupancy");
     st.emptyTime = &statGroup.distribution("preg_empty_time", 4096);
     st.liveTime = &statGroup.distribution("preg_live_time", 4096);
     st.deadTime = &statGroup.distribution("preg_dead_time", 4096);
@@ -320,40 +289,12 @@ Processor::run()
         if (cfg.watchdogCycles &&
             static_cast<uint64_t>(now - lastRetireCycle) >
                 cfg.watchdogCycles) {
-            std::string head_desc = "(empty ROB)";
-            if (!rob.empty()) {
-                const DynInst &h = rob.front();
-                unsigned pending = 0;
-                for (const auto &slot_events : eventRing)
-                    for (const auto &e : slot_events)
-                        if (e.seq == h.seq)
-                            ++pending;
-                bool in_iq = false;
-                for (const DynInst *i : issueQueue)
-                    if (i->seq == h.seq)
-                        in_iq = true;
-                head_desc = detail::formatString(
-                    "stuck head seq=%llu pc=0x%llx '%s' state=%d "
-                    "exec=%d ready=%" PRId64 " wait=%u done=%d "
-                    "waitStore=%llu iq=%zu issueCyc=%" PRId64
-                    " gen=%u replays=%u pendingEvents=%u inIQ=%d",
-                    static_cast<unsigned long long>(h.seq),
-                    static_cast<unsigned long long>(h.pc),
-                    isa::disassemble(h.si).c_str(),
-                    static_cast<int>(h.state), int(h.executing),
-                    h.readyCycle, unsigned(h.waitCount),
-                    int(h.completed),
-                    static_cast<unsigned long long>(h.waitingOnStore),
-                    issueQueue.size(), h.issueCycle,
-                    unsigned(h.issueGen), unsigned(h.replays),
-                    pending, int(in_iq));
-            }
             raise(sim::DeadlockError(detail::formatString(
                 "no retirement for %llu cycles at cycle %" PRId64
                 " (pc=0x%llx, rob=%zu): %s",
                 static_cast<unsigned long long>(cfg.watchdogCycles),
                 now, static_cast<unsigned long long>(fetchPc),
-                rob.size(), head_desc.c_str())));
+                rob.size(), describeStuckHead().c_str())));
         }
     }
 }
@@ -365,8 +306,7 @@ Processor::tick()
     ++*st.cyclesStat;
     applyInjection();
     storeBuf.tick(now);
-    if (twoLevel)
-        twoLevel->tick(now);
+    supplier->tick(now);
     processEvents();
     doRetire();
     doIssue();
@@ -403,75 +343,9 @@ Processor::processEvents()
 }
 
 void
-Processor::applyInjection()
-{
-    if (!injector)
-        return;
-    const auto draw = injector->sample();
-    if (!draw)
-        return;
-
-    switch (draw->target) {
-      case inject::TargetRegCacheValue: {
-        if (!rcache)
-            return;
-        const auto entries = rcache->validEntries();
-        if (entries.empty())
-            return;
-        const auto &e = entries[draw->site % entries.size()];
-        pregs[e.preg].value ^= 1ULL << draw->bit;
-        injector->record({now, draw->target, e.preg, e.set,
-                          draw->bit});
-        break;
-      }
-      case inject::TargetRegCacheUse: {
-        if (!rcache)
-            return;
-        const auto entries = rcache->validEntries();
-        if (entries.empty())
-            return;
-        const auto &e = entries[draw->site % entries.size()];
-        // Remaining-use counters are just wide enough for maxUse.
-        const unsigned width =
-            std::max(1u, ceilLog2(uint64_t(cfg.rc.maxUse) + 1));
-        const unsigned bit = draw->bit % width;
-        if (rcache->corruptUseCounter(e.preg, e.set, bit))
-            injector->record({now, draw->target, e.preg, e.set, bit});
-        break;
-      }
-      case inject::TargetDouCounter: {
-        const size_t index = draw->site % dou.entryCount();
-        const unsigned bit = draw->bit % cfg.dou.predBits;
-        if (dou.corruptPrediction(index, bit))
-            injector->record({now, draw->target,
-                              static_cast<int32_t>(index), 0, bit});
-        break;
-      }
-      case inject::TargetBackingValue: {
-        // Any allocated physical register other than the constant
-        // zero register is a fault site.
-        std::vector<PhysReg> live;
-        live.reserve(allocatedPregs);
-        for (unsigned p = 1; p < cfg.numPhysRegs; ++p)
-            if (pregs[p].allocated)
-                live.push_back(static_cast<PhysReg>(p));
-        if (live.empty())
-            return;
-        const PhysReg p = live[draw->site % live.size()];
-        pregs[p].value ^= 1ULL << draw->bit;
-        injector->record({now, draw->target, p, 0, draw->bit});
-        break;
-      }
-      default:
-        break;
-    }
-}
-
-void
 Processor::sampleCycleStats()
 {
-    if (rcache)
-        st.rcOccupancy->sample(rcache->validCount());
+    supplier->sampleCycleStats();
     if (cfg.trackLifetimes)
         allocatedDist.sample(allocatedPregs);
 }
@@ -633,7 +507,7 @@ Processor::doRename()
             ++*st.renameStallsRegs;
             break;
         }
-        if (wants_dest && twoLevel && !twoLevel->canAllocate()) {
+        if (wants_dest && !supplier->canAllocateDest()) {
             ++*st.renameStallsRegs;
             break;
         }
@@ -675,17 +549,8 @@ Processor::doRename()
             PregState &ps = pregs[p];
             ++ps.actualUses;
             ps.consumers.push_back(inst.seq);
-            // Early training: once the observed use count saturates
-            // the predictor's range, the eventual (free-time)
-            // training value is already known -- deliver it now so
-            // long-lived, heavily read values get predicted (and
-            // pinned) without waiting for the register to die.
-            if (ps.actualUses == cfg.dou.maxPrediction() &&
-                ps.producerPc != 0)
-                dou.train(ps.producerPc, ps.producerCtrl,
-                          ps.actualUses);
-            if (twoLevel)
-                twoLevel->onConsumerRenamed(p);
+            supplier->onConsumerRenamed(p, ps.actualUses,
+                                        ps.producerPc, ps.producerCtrl);
         }
 
         // Destination.
@@ -703,35 +568,21 @@ Processor::doRename()
             ps = PregState{};
             ps.allocated = true;
             ps.doneAt = cycleInf;
-            ps.storageReadyAt = cycleInf;
             ps.allocAt = now;
             ps.producerPc = inst.pc;
             ps.producerCtrl = inst.ghrBefore;
             ps.producerSeq = inst.seq;
 
-            // Degree-of-use prediction (Section 3.3).
-            unsigned pred = cfg.rc.unknownDefault;
-            if (auto d = dou.predict(inst.pc, inst.ghrBefore))
-                pred = *d;
-            inst.predUses = static_cast<uint8_t>(pred);
-            inst.pinned = pred >= cfg.rc.maxUse;
-            ps.predUses = inst.predUses;
-            ps.pinned = inst.pinned;
-            ps.remUses = static_cast<int32_t>(
-                std::min<unsigned>(pred, cfg.rc.maxUse));
+            // Degree-of-use prediction, set assignment, file-space
+            // reservation -- all storage-side (Sections 3.3, 4.1).
+            const storage::DestAlloc da =
+                supplier->allocateDest(p, inst.pc, inst.ghrBefore);
+            inst.predUses = da.predUses;
+            inst.pinned = da.pinned;
+            inst.rcSet = da.set;
 
-            // Decoupled index assignment (Section 4.1).
-            inst.rcSet = idxAlloc
-                             ? static_cast<uint16_t>(
-                                   idxAlloc->assign(p, pred))
-                             : 0;
-            ps.rcSet = inst.rcSet;
-
-            if (twoLevel) {
-                twoLevel->allocate(p);
-                if (inst.prevDest > 0)
-                    twoLevel->onArchReassigned(inst.prevDest);
-            }
+            if (inst.prevDest > 0)
+                supplier->onArchReassigned(inst.prevDest);
         }
 
         if (si.isHalt()) {
@@ -782,34 +633,25 @@ Processor::doIssue()
 
         const Cycle exec_start = now + cfg.issueToExec();
 
-        // Monolithic register file: an operand that has fallen out of
-        // the bypass window is only readable once its write into the
-        // file completes -- the "issue restriction" gap.
-        if (cfg.scheme == RegScheme::Monolithic) {
-            bool gap = false;
-            for (unsigned k = 0; k < inst.numSrcs; ++k) {
-                const PhysReg p = inst.srcPreg[k];
-                if (p < 0)
-                    continue;
-                const Cycle dp = pregs[p].doneAt;
-                if (dp >= cycleInf)
-                    continue; // will be caught by readiness
-                if (exec_start > dp + cfg.bypassStages) {
-                    // The operand must come from the file, and the
-                    // read cannot begin until the producer's write
-                    // has finished (at the end of dp + rfLatency):
-                    // the issue-restriction gap of a multi-cycle
-                    // register file with a short bypass network.
-                    if (now < dp + cfg.rfLatency) {
-                        inst.readyCycle = std::max(
-                            inst.readyCycle, dp + cfg.rfLatency);
-                        gap = true;
-                    }
-                }
-            }
-            if (gap)
+        // Storage read gating: the monolithic file's issue
+        // restriction makes an operand that has fallen out of the
+        // bypass window unreadable until its file write completes.
+        bool gap = false;
+        for (unsigned k = 0; k < inst.numSrcs; ++k) {
+            const PhysReg p = inst.srcPreg[k];
+            if (p < 0)
                 continue;
+            const Cycle dp = pregs[p].doneAt;
+            if (dp >= cycleInf)
+                continue; // will be caught by readiness
+            const Cycle gate = supplier->issueReadGate(exec_start, dp);
+            if (gate > now) {
+                inst.readyCycle = std::max(inst.readyCycle, gate);
+                gap = true;
+            }
         }
+        if (gap)
+            continue;
 
         // Issue.
         --fu_left[cls];
@@ -873,49 +715,25 @@ Processor::acquireOperands(DynInst &inst, Cycle exec_start,
             inst.srcFrom[k] = OperandSource::Bypass;
             inst.srcHeld[k] = true;
             ++*st.opBypass;
-            // First-stage bypass readers are visible to the producer's
-            // cache-write (insertion) decision, which happens later in
-            // this same cycle (Section 3.1).
-            if (exec_start == dp + 1)
-                ++ps.stage1Bypasses;
-            if (cfg.scheme == RegScheme::Cached) {
-                // Keep the remaining-use counts in step for values
-                // consumed off the bypass network (Section 3.3).
-                if (ps.insertedNow && rcache)
-                    rcache->noteBypassUse(p, ps.rcSet);
-                else if (!ps.pinned && ps.remUses > 0)
-                    --ps.remUses;
-                if (shadow)
-                    shadow->noteBypassUse(p);
-            }
+            supplier->onBypassRead(p, exec_start == dp + 1);
             continue;
         }
 
-        switch (cfg.scheme) {
-          case RegScheme::Monolithic:
+        switch (supplier->readOperand(p, now)) {
+          case storage::ReadResult::File:
             inst.srcFrom[k] = OperandSource::File;
             inst.srcHeld[k] = true;
             ++*st.opFile;
             break;
-          case RegScheme::TwoLevel:
-            // The L1 file always holds live-mapped values.
-            inst.srcFrom[k] = OperandSource::File;
+          case storage::ReadResult::CacheHit:
+            inst.srcFrom[k] = OperandSource::Cache;
             inst.srcHeld[k] = true;
-            ++*st.opFile;
+            ++*st.opCache;
             break;
-          case RegScheme::Cached: {
-            if (rcache->read(p, ps.rcSet, now)) {
-                inst.srcFrom[k] = OperandSource::Cache;
-                inst.srcHeld[k] = true;
-                ++*st.opCache;
-                if (shadow && !shadow->read(p))
-                    shadow->fill(p, now); // resync
-            } else {
-                misses.push_back(p);
-                inst.srcFileFill[k] = true;
-            }
+          case storage::ReadResult::CacheMiss:
+            misses.push_back(p);
+            inst.srcFileFill[k] = true;
             break;
-          }
         }
     }
 }
@@ -927,32 +745,11 @@ Processor::handleCacheMisses(DynInst &inst, Cycle exec_start,
     Cycle latest_ready = 0;
     for (PhysReg p : misses) {
         PregState &ps = pregs[p];
-        ++*st.rcMisses;
-
-        // Classify (Figure 8): a miss on a value whose initial write
-        // was filtered is a "no-write" miss; otherwise conflict if a
-        // same-size fully-associative cache would have hit.
-        if (!ps.everCached) {
-            ++*st.missNoWrite;
-        } else if (shadow && shadow->contains(p)) {
-            ++*st.missConflict;
-        } else {
-            ++*st.missCapacity;
-        }
-        if (shadow) {
-            shadow->read(p); // keep shadow LRU/uses in step
-        }
-
-        // Schedule the backing-file read through the shared port. The
-        // miss was detected in the register-read stage (one cycle
-        // before exec_start), so the read can begin at exec_start:
-        // for a 2-cycle backing file the value re-bypasses to the
-        // missing instruction 2 cycles after its nominal execute,
-        // matching Figure 3 (I4b: issue 4, miss 5, read 6-7, exec 8).
-        const Cycle data_ready =
-            backing->scheduleRead(exec_start, ps.storageReadyAt);
+        // The supplier classifies the miss, arbitrates the
+        // backing-file read port, and marks the fill in flight; the
+        // core re-times the value and schedules the fill event.
+        const Cycle data_ready = supplier->onOperandMiss(p, exec_start);
         ps.doneAt = data_ready;
-        ps.fillInFlight = true;
         schedule(data_ready,
                  {ps.producerSeq, 0, EvKind::Fill, p});
         latest_ready = std::max(latest_ready, data_ready);
@@ -1001,37 +798,15 @@ Processor::onInsertDecision(PhysReg preg, InstSeqNum producer_seq)
     PregState &ps = pregs[preg];
     if (!ps.allocated || ps.producerSeq != producer_seq)
         return; // producer squashed; the value no longer exists
-    const bool insert = regcache::shouldInsert(
-        cfg.rc.insertion, ps.pinned, ps.predUses, ps.stage1Bypasses);
-    if (!insert) {
-        ++*st.writesFiltered;
-        return;
-    }
-    const unsigned count =
-        ps.pinned ? cfg.rc.maxUse
-                  : static_cast<unsigned>(
-                        std::max<int32_t>(ps.remUses, 0));
-    rcache->insert(preg, ps.rcSet, count, ps.pinned, now);
-    if (shadow)
-        shadow->insert(preg, count, ps.pinned, now);
-    ps.everCached = true;
-    ps.insertedNow = true;
+    supplier->onInsertDecision(preg, now);
 }
 
 void
 Processor::onFill(PhysReg preg)
 {
-    PregState &ps = pregs[preg];
-    if (!ps.allocated || !ps.fillInFlight)
+    if (!pregs[preg].allocated)
         return;
-    ps.fillInFlight = false;
-    if (rcache && !rcache->contains(preg, ps.rcSet)) {
-        rcache->fill(preg, ps.rcSet, now);
-        ps.everCached = true;
-        ps.insertedNow = true;
-        if (shadow)
-            shadow->fill(preg, now);
-    }
+    supplier->onFill(preg, now);
 }
 
 void
@@ -1054,15 +829,11 @@ Processor::onExecStart(DynInst &inst)
     }
 
     inst.executing = true;
-    if (twoLevel) {
-        for (unsigned k = 0; k < inst.numSrcs; ++k) {
-            if (inst.srcPreg[k] >= 0 && !inst.srcConsumed[k]) {
-                inst.srcConsumed[k] = true;
-                twoLevel->onConsumerDone(inst.srcPreg[k]);
-            }
+    for (unsigned k = 0; k < inst.numSrcs; ++k) {
+        if (inst.srcPreg[k] >= 0 && !inst.srcConsumed[k]) {
+            inst.srcConsumed[k] = true;
+            supplier->onConsumerDone(inst.srcPreg[k]);
         }
-    } else {
-        inst.srcConsumed[0] = inst.srcConsumed[1] = true;
     }
 
     executeBody(inst, exec_start);
@@ -1251,23 +1022,11 @@ Processor::onComplete(DynInst &inst)
         if (ps.writeAt < 0)
             ps.writeAt = now;
 
-        switch (cfg.scheme) {
-          case RegScheme::Cached:
-            ps.storageReadyAt = backing->noteWrite(now);
-            // The cache write (and the insertion decision, which must
-            // observe the first-stage bypass readers of the write
-            // cycle) happens next cycle, after that cycle's executes.
+        const storage::WriteOutcome wo =
+            supplier->onValueProduced(inst.dest, now);
+        if (wo.insertDecisionNextCycle)
             schedule(now + 1, {ps.producerSeq, 0, EvKind::Insert,
                                inst.dest});
-            break;
-          case RegScheme::Monolithic:
-            ps.storageReadyAt = now + cfg.rfLatency;
-            break;
-          case RegScheme::TwoLevel:
-            twoLevel->onWrite(inst.dest);
-            ps.storageReadyAt = now;
-            break;
-        }
     }
 
     if (inst.isBranch())
@@ -1279,70 +1038,6 @@ Processor::onComplete(DynInst &inst)
 // ---------------------------------------------------------------------
 
 void
-Processor::checkRetired(const DynInst &inst)
-{
-    if (!golden)
-        return;
-    // The timing core never renames nops (fetch skips them), so the
-    // golden interpreter steps over them silently.
-    while (!golden->halted() && prog.contains(golden->pc()) &&
-           prog.at(golden->pc()).isNop())
-        golden->step();
-    const isa::ExecResult g = golden->step();
-    if (g.pc != inst.pc)
-        raise(sim::CheckerError(detail::formatString(
-            "checker: retired pc 0x%llx but golden pc 0x%llx "
-            "(seq %llu, %s)",
-            static_cast<unsigned long long>(inst.pc),
-            static_cast<unsigned long long>(g.pc),
-            static_cast<unsigned long long>(inst.seq),
-            isa::disassemble(inst.si).c_str())));
-    if (inst.hasDest && g.wroteReg && g.destValue != inst.result)
-        raise(sim::CheckerError(detail::formatString(
-            "checker: %s @0x%llx produced %llx, golden %llx",
-            isa::disassemble(inst.si).c_str(),
-            static_cast<unsigned long long>(inst.pc),
-            static_cast<unsigned long long>(inst.result),
-            static_cast<unsigned long long>(g.destValue))));
-    if (inst.si.isMem() && g.effAddr != inst.effAddr)
-        raise(sim::CheckerError(detail::formatString(
-            "checker: %s @0x%llx addr %llx, golden %llx",
-            isa::disassemble(inst.si).c_str(),
-            static_cast<unsigned long long>(inst.pc),
-            static_cast<unsigned long long>(inst.effAddr),
-            static_cast<unsigned long long>(g.effAddr))));
-    if (inst.isBranch() && g.nextPc != inst.actualNextPc)
-        raise(sim::CheckerError(detail::formatString(
-            "checker: branch @0x%llx next %llx, golden %llx",
-            static_cast<unsigned long long>(inst.pc),
-            static_cast<unsigned long long>(inst.actualNextPc),
-            static_cast<unsigned long long>(g.nextPc))));
-}
-
-void
-Processor::recordLifetimeOnFree(const PregState &p)
-{
-    if (p.writeAt < 0)
-        return; // never written (initial mapping)
-    const Cycle empty = p.writeAt - p.allocAt;
-    const Cycle live =
-        p.lastReadAt > p.writeAt ? p.lastReadAt - p.writeAt : 0;
-    const Cycle last_activity = std::max(p.writeAt, p.lastReadAt);
-    const Cycle dead = now - last_activity;
-    st.emptyTime->sample(static_cast<uint64_t>(std::max<Cycle>(empty, 0)));
-    st.liveTime->sample(static_cast<uint64_t>(live));
-    st.deadTime->sample(static_cast<uint64_t>(std::max<Cycle>(dead, 0)));
-
-    if (cfg.trackLifetimes && live > 0) {
-        const size_t need = static_cast<size_t>(p.lastReadAt) + 2;
-        if (liveDelta.size() < need)
-            liveDelta.resize(need + 1024, 0);
-        ++liveDelta[p.writeAt];
-        --liveDelta[p.lastReadAt + 1];
-    }
-}
-
-void
 Processor::freePhysReg(PhysReg preg)
 {
     PregState &ps = pregs[preg];
@@ -1350,30 +1045,16 @@ Processor::freePhysReg(PhysReg preg)
         raise(sim::InvariantError(detail::formatString(
             "double free of preg %d", int(preg))));
 
-    if (rcache)
-        rcache->invalidate(preg, ps.rcSet, now);
-    if (shadow)
-        shadow->invalidate(preg);
-    if (twoLevel)
-        twoLevel->onFree(preg);
-
-    // Train the degree-of-use predictor with the committed consumer
-    // count (wrong-path consumers were deducted at squash).
-    if (ps.producerPc != 0)
-        dou.train(ps.producerPc, ps.producerCtrl, ps.actualUses);
-
-    // Figure 10: committed values that never entered the cache. This
-    // is judged at free time, when any pending cache-write decision
-    // has long resolved.
-    if (cfg.scheme == RegScheme::Cached && ps.producerPc != 0 &&
-        !ps.everCached)
-        ++*st.valuesNeverCached;
+    // The supplier invalidates any cached copy and trains the
+    // degree-of-use predictor with the committed consumer count
+    // (wrong-path consumers were deducted at squash).
+    supplier->onValueFreed(preg, ps.producerPc, ps.producerCtrl,
+                           ps.actualUses, now);
 
     recordLifetimeOnFree(ps);
 
     ps.allocated = false;
     ps.doneAt = cycleInf;
-    ps.fillInFlight = false;
     freeList.push_back(preg);
     --allocatedPregs;
 }
@@ -1442,8 +1123,7 @@ Processor::doRetire()
 
         if (head.hasDest) {
             ++*st.valuesProduced;
-            if (idxAlloc)
-                idxAlloc->release(head.rcSet, head.predUses);
+            supplier->onProducerRetired(head.dest);
             if (head.prevDest > 0)
                 freePhysReg(head.prevDest);
         }
@@ -1495,21 +1175,12 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
 
         if (inst.hasDest) {
             mapTable[inst.archDest] = inst.prevDest;
-            if (idxAlloc)
-                idxAlloc->release(inst.rcSet, inst.predUses);
-            if (rcache)
-                rcache->invalidate(inst.dest, inst.rcSet, now);
-            if (shadow)
-                shadow->invalidate(inst.dest);
-            if (twoLevel) {
-                twoLevel->onSquash(inst.dest);
-                if (inst.prevDest > 0)
-                    twoLevel->onArchReassignCancelled(inst.prevDest);
-            }
+            supplier->onDestSquashed(inst.dest, now);
+            if (inst.prevDest > 0)
+                supplier->onArchReassignCancelled(inst.prevDest);
             PregState &ps = pregs[inst.dest];
             ps.allocated = false;
             ps.doneAt = cycleInf;
-            ps.fillInFlight = false;
             freeList.push_back(inst.dest);
             --allocatedPregs;
         }
@@ -1520,8 +1191,8 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
                 continue;
             if (pregs[p].actualUses > 0)
                 --pregs[p].actualUses;
-            if (twoLevel && !inst.srcConsumed[k])
-                twoLevel->onConsumerDone(p);
+            if (!inst.srcConsumed[k])
+                supplier->onConsumerDone(p);
         }
 
         if (inst.isLoad && !loadQueue.empty() &&
@@ -1568,207 +1239,21 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
             ++oracleCursor;
     }
 
-    // Two-level register file recovery: restored mappings whose
-    // values migrated to L2 must be copied back (Section 5.5).
-    if (twoLevel) {
+    // Storage recovery: suppliers that migrate values out of the fast
+    // level must copy restored mappings back (Section 5.5).
+    if (supplier->needsRecovery()) {
         std::vector<PhysReg> mapped;
-        std::vector<PhysReg> displaced;
-        for (unsigned a = 1; a < isa::numArchRegs; ++a) {
-            const PhysReg p = mapTable[a];
-            mapped.push_back(p);
-            if (pregs[p].allocated && !twoLevel->inL1(p))
-                displaced.push_back(p);
-        }
-        const Cycle done = twoLevel->recover(mapped, now);
-        if (!displaced.empty()) {
-            renameStallUntil = std::max(renameStallUntil, done);
-            for (PhysReg p : displaced)
-                pregs[p].doneAt = std::max(pregs[p].doneAt, done);
+        mapped.reserve(isa::numArchRegs - 1);
+        for (unsigned a = 1; a < isa::numArchRegs; ++a)
+            mapped.push_back(mapTable[a]);
+        const storage::RecoveryResult rec =
+            supplier->recoverMappings(mapped, now);
+        if (!rec.displaced.empty()) {
+            renameStallUntil = std::max(renameStallUntil, rec.doneAt);
+            for (PhysReg p : rec.displaced)
+                pregs[p].doneAt = std::max(pregs[p].doneAt, rec.doneAt);
         }
     }
-}
-
-// ---------------------------------------------------------------------
-// Results
-// ---------------------------------------------------------------------
-
-const stats::Distribution &
-Processor::allocatedDistribution() const
-{
-    return allocatedDist;
-}
-
-const stats::Distribution &
-Processor::liveDistribution() const
-{
-    if (!liveDistBuilt) {
-        // Fold in pregs still allocated at the end of simulation.
-        int64_t running = 0;
-        for (size_t c = 0; c < liveDelta.size(); ++c) {
-            running += liveDelta[c];
-            if (running < 0)
-                running = 0;
-            liveDist.sample(static_cast<uint64_t>(running));
-        }
-        liveDistBuilt = true;
-    }
-    return liveDist;
-}
-
-sim::PipelineSnapshot
-Processor::snapshot() const
-{
-    sim::PipelineSnapshot snap;
-    snap.cycle = now;
-    snap.fetchPc = fetchPc;
-    snap.instsRetired = numRetired;
-    snap.lastRetireCycle = lastRetireCycle;
-
-    snap.robSize = rob.size();
-    snap.robCapacity = cfg.robEntries;
-    snap.iqSize = issueQueue.size();
-    snap.iqCapacity = cfg.iqEntries;
-    snap.freeListSize = freeList.size();
-    snap.allocatedPregs = allocatedPregs;
-    snap.numPhysRegs = cfg.numPhysRegs;
-
-    const size_t n =
-        std::min(rob.size(), sim::PipelineSnapshot::robHeadWindow);
-    snap.robHead.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-        const DynInst &d = rob[i];
-        sim::SnapshotRobEntry e;
-        e.seq = d.seq;
-        e.pc = d.pc;
-        e.disasm = isa::disassemble(d.si);
-        e.state = static_cast<int>(d.state);
-        e.completed = d.completed;
-        e.executing = d.executing;
-        e.replays = d.replays;
-        e.readyCycle = d.readyCycle;
-        snap.robHead.push_back(std::move(e));
-    }
-
-    if (rcache) {
-        snap.cacheSets = rcache->numSets();
-        snap.cacheAssoc = cfg.rc.assoc;
-        for (const auto &v : rcache->validEntries())
-            snap.cacheEntries.push_back(
-                {v.set, v.way, v.preg, v.remUses, v.pinned});
-    }
-
-    snap.lastRetired.reserve(retiredRing.size());
-    for (const RetiredRecord &r : retiredRing)
-        snap.lastRetired.push_back(
-            {r.seq, r.pc, isa::disassemble(r.si), r.cycle});
-
-    if (injector)
-        for (const inject::FaultRecord &f : injector->log())
-            snap.injectedFaults.push_back(f.describe());
-
-    return snap;
-}
-
-const std::vector<inject::FaultRecord> &
-Processor::faultLog() const
-{
-    static const std::vector<inject::FaultRecord> empty;
-    return injector ? injector->log() : empty;
-}
-
-SimResult
-Processor::result() const
-{
-    SimResult r;
-    r.cycles = st.cyclesStat->value();
-    r.instsRetired = st.retired->value();
-    r.ipc = r.cycles ? static_cast<double>(r.instsRetired) /
-                           static_cast<double>(r.cycles)
-                     : 0.0;
-
-    r.opBypass = st.opBypass->value();
-    r.opCache = st.opCache->value();
-    r.opFile = st.opFile->value();
-    const uint64_t ops = r.operandReads();
-    r.bypassFraction =
-        ops ? static_cast<double>(r.opBypass) / static_cast<double>(ops)
-            : 0.0;
-
-    r.rcMisses = st.rcMisses->value();
-    r.rcMissNoWrite = st.missNoWrite->value();
-    r.rcMissConflict = st.missConflict->value();
-    r.rcMissCapacity = st.missCapacity->value();
-    r.missPerOperand =
-        ops ? static_cast<double>(r.rcMisses) / static_cast<double>(ops)
-            : 0.0;
-
-    r.valuesProduced = st.valuesProduced->value();
-    r.writesFiltered = st.writesFiltered->value();
-    r.valuesNeverCached = st.valuesNeverCached->value();
-    r.miniReplays = st.miniReplays->value();
-    r.issueGroupSquashes = st.groupSquashes->value();
-    r.branchMispredicts = st.branchMispredicts->value();
-    r.memOrderViolations = st.memViolations->value();
-
-    const uint64_t branches = st.branches->value();
-    r.branchMispredictRate =
-        branches ? static_cast<double>(r.branchMispredicts) /
-                       static_cast<double>(branches)
-                 : 0.0;
-    r.douAccuracy = dou.accuracy();
-
-    if (rcache) {
-        r.rcInserts = statGroup.scalar("rc_inserts").value();
-        r.rcFills = statGroup.scalar("rc_fills").value();
-        r.avgOccupancy = st.rcOccupancy->value();
-        r.avgEntryLifetime =
-            statGroup.mean("rc_entry_lifetime").value();
-        r.readsPerCachedValue =
-            statGroup.mean("rc_reads_per_entry").value();
-        r.cachedTotal = r.rcInserts + r.rcFills;
-        const uint64_t never =
-            statGroup.scalar("rc_entries_never_read").value();
-        r.cachedNeverRead = never;
-        r.cacheCountPerValue =
-            r.valuesProduced
-                ? static_cast<double>(r.cachedTotal) /
-                      static_cast<double>(r.valuesProduced)
-                : 0.0;
-        r.zeroUseVictimFraction = rcache->zeroUseVictimFraction();
-
-        r.cacheReadBw = r.cycles ? static_cast<double>(ops) /
-                                       static_cast<double>(r.cycles)
-                                 : 0.0;
-        r.cacheWriteBw =
-            r.cycles ? static_cast<double>(r.cachedTotal) /
-                           static_cast<double>(r.cycles)
-                     : 0.0;
-        r.fileReadBw =
-            r.cycles
-                ? static_cast<double>(
-                      statGroup.scalar("backing_reads").value()) /
-                      static_cast<double>(r.cycles)
-                : 0.0;
-        r.fileWriteBw =
-            r.cycles
-                ? static_cast<double>(
-                      statGroup.scalar("backing_writes").value()) /
-                      static_cast<double>(r.cycles)
-                : 0.0;
-    }
-
-    r.medianEmptyTime = st.emptyTime->median();
-    r.medianLiveTime = st.liveTime->median();
-    r.medianDeadTime = st.deadTime->median();
-
-    if (cfg.trackLifetimes) {
-        r.allocatedP50 = allocatedDist.percentile(0.5);
-        r.allocatedP90 = allocatedDist.percentile(0.9);
-        const auto &live = liveDistribution();
-        r.liveP50 = live.percentile(0.5);
-        r.liveP90 = live.percentile(0.9);
-    }
-    return r;
 }
 
 } // namespace ubrc::core

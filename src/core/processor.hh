@@ -6,9 +6,10 @@
  * 8-wide fetch/issue/retire, 128-entry issue queue, 512-entry ROB and
  * physical register file, full wrong-path execution with walk-back
  * rename recovery, speculative scheduling with replay, a load/store
- * queue with forwarding and violation detection, and one of three
- * register storage organizations (monolithic multi-cycle file,
- * register cache + backing file, or a two-level register file).
+ * queue with forwarding and violation detection. Register storage is
+ * delegated to an OperandSupplier (src/storage): the monolithic
+ * multi-cycle file, the register cache + backing file, or the
+ * two-level register file, selected by SimConfig::scheme.
  *
  * Every retired instruction is optionally checked against a golden
  * architectural interpreter running in lockstep.
@@ -31,14 +32,10 @@
 #include "inject/fault_injector.hh"
 #include "isa/functional_core.hh"
 #include "mem/hierarchy.hh"
-#include "regcache/dou_predictor.hh"
-#include "regcache/index_allocator.hh"
-#include "regcache/register_cache.hh"
-#include "regfile/backing_file.hh"
-#include "regfile/two_level.hh"
 #include "sim/config.hh"
 #include "sim/diagnostics.hh"
 #include "sim/sim_error.hh"
+#include "storage/operand_supplier.hh"
 #include "workload/workload.hh"
 
 namespace ubrc::core
@@ -158,25 +155,19 @@ class Processor
         PhysReg fillPreg; ///< for Fill events
     };
 
-    /** Per-physical-register bookkeeping. */
+    /**
+     * Per-physical-register pipeline bookkeeping. Storage-side state
+     * (remaining uses, cache residency, file-write timing) lives in
+     * the OperandSupplier.
+     */
     struct PregState
     {
         Cycle doneAt = 0;          ///< cycle execution finishes
-        Cycle storageReadyAt = 0;  ///< backing/monolithic write done
         uint64_t value = 0;
         /** Renamed, not-yet-finished consumers (retimed on changes). */
         std::vector<InstSeqNum> consumers;
 
-        // Use-based management (Section 3).
-        uint8_t predUses = 0;
-        bool pinned = false;
-        int32_t remUses = 0;       ///< pre-insertion remaining uses
         uint32_t actualUses = 0;   ///< committed-consumer count
-        uint32_t stage1Bypasses = 0;
-        bool everCached = false;
-        bool insertedNow = false;  ///< currently believed in cache
-        uint16_t rcSet = 0;
-        bool fillInFlight = false;
 
         // Producer identity for predictor training.
         Addr producerPc = 0;
@@ -240,6 +231,7 @@ class Processor
     void checkRetired(const DynInst &inst);
     void insertIntoIQ(DynInst &inst);
     void recordLifetimeOnFree(const PregState &p);
+    std::string describeStuckHead() const;
 
     /** Attach a pipeline snapshot to a SimError and throw it. */
     template <typename ErrorT>
@@ -269,12 +261,7 @@ class Processor
     frontend::YagsPredictor yags;
     frontend::ReturnAddressStack ras;
     frontend::CascadingIndirectPredictor ipred;
-    regcache::DegreeOfUsePredictor dou;
-    std::unique_ptr<regcache::RegisterCache> rcache;
-    std::unique_ptr<regcache::ShadowFullyAssocCache> shadow;
-    std::unique_ptr<regcache::IndexAllocator> idxAlloc;
-    std::unique_ptr<regfile::BackingFile> backing;
-    std::unique_ptr<regfile::TwoLevelFile> twoLevel;
+    std::unique_ptr<storage::OperandSupplier> supplier;
 
     // --- machine state ---
     Cycle now = 0;
@@ -338,15 +325,11 @@ class Processor
     {
         stats::Scalar *retired, *cyclesStat;
         stats::Scalar *opBypass, *opCache, *opFile;
-        stats::Scalar *rcMisses, *missNoWrite, *missConflict,
-            *missCapacity;
-        stats::Scalar *writesFiltered, *valuesProduced,
-            *valuesNeverCached;
+        stats::Scalar *valuesProduced;
         stats::Scalar *miniReplays, *groupSquashes;
         stats::Scalar *branches, *branchMispredicts, *memViolations;
         stats::Scalar *fetchBlocks, *renameStallsRegs,
             *renameStallsRob, *renameStallsIq;
-        stats::Mean *rcOccupancy;
         stats::Distribution *emptyTime, *liveTime, *deadTime;
     } st;
 };

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Processor diagnostics: fault injection, the golden-model checker,
+ * lifetime instrumentation, crash-dump snapshots, and result
+ * derivation. Split from processor.cc so the pipeline file holds only
+ * the timing model.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "core/processor.hh"
+#include "isa/disasm.hh"
+
+namespace ubrc::core
+{
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+void
+Processor::applyInjection()
+{
+    if (!injector)
+        return;
+    const auto draw = injector->sample();
+    if (!draw)
+        return;
+
+    switch (draw->target) {
+      case inject::TargetRegCacheValue: {
+        const auto entries = supplier->cachedEntries();
+        if (entries.empty())
+            return;
+        const auto &e = entries[draw->site % entries.size()];
+        pregs[e.preg].value ^= 1ULL << draw->bit;
+        injector->record({now, draw->target, e.preg,
+                          static_cast<int32_t>(e.set), draw->bit});
+        break;
+      }
+      case inject::TargetRegCacheUse: {
+        const auto entries = supplier->cachedEntries();
+        if (entries.empty())
+            return;
+        const auto &e = entries[draw->site % entries.size()];
+        // Remaining-use counters are just wide enough for maxUse.
+        const unsigned width =
+            std::max(1u, ceilLog2(uint64_t(cfg.rc.maxUse) + 1));
+        const unsigned bit = draw->bit % width;
+        if (supplier->corruptUseCounter(e.preg, e.set, bit))
+            injector->record({now, draw->target, e.preg,
+                              static_cast<int32_t>(e.set), bit});
+        break;
+      }
+      case inject::TargetDouCounter: {
+        if (const auto hit =
+                supplier->corruptDouCounter(draw->site, draw->bit))
+            injector->record({now, draw->target,
+                              static_cast<int32_t>(hit->first), 0,
+                              hit->second});
+        break;
+      }
+      case inject::TargetBackingValue: {
+        // Any allocated physical register other than the constant
+        // zero register is a fault site.
+        std::vector<PhysReg> live;
+        live.reserve(allocatedPregs);
+        for (unsigned p = 1; p < cfg.numPhysRegs; ++p)
+            if (pregs[p].allocated)
+                live.push_back(static_cast<PhysReg>(p));
+        if (live.empty())
+            return;
+        const PhysReg p = live[draw->site % live.size()];
+        pregs[p].value ^= 1ULL << draw->bit;
+        injector->record({now, draw->target, p, 0, draw->bit});
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog forensics
+// ---------------------------------------------------------------------
+
+std::string
+Processor::describeStuckHead() const
+{
+    if (rob.empty())
+        return "(empty ROB)";
+    const DynInst &h = rob.front();
+    unsigned pending = 0;
+    for (const auto &slot_events : eventRing)
+        for (const auto &e : slot_events)
+            if (e.seq == h.seq)
+                ++pending;
+    bool in_iq = false;
+    for (const DynInst *i : issueQueue)
+        if (i->seq == h.seq)
+            in_iq = true;
+    return detail::formatString(
+        "stuck head seq=%llu pc=0x%llx '%s' state=%d "
+        "exec=%d ready=%" PRId64 " wait=%u done=%d "
+        "waitStore=%llu iq=%zu issueCyc=%" PRId64
+        " gen=%u replays=%u pendingEvents=%u inIQ=%d",
+        static_cast<unsigned long long>(h.seq),
+        static_cast<unsigned long long>(h.pc),
+        isa::disassemble(h.si).c_str(),
+        static_cast<int>(h.state), int(h.executing),
+        h.readyCycle, unsigned(h.waitCount),
+        int(h.completed),
+        static_cast<unsigned long long>(h.waitingOnStore),
+        issueQueue.size(), h.issueCycle,
+        unsigned(h.issueGen), unsigned(h.replays),
+        pending, int(in_iq));
+}
+
+// ---------------------------------------------------------------------
+// Golden-model checker
+// ---------------------------------------------------------------------
+
+void
+Processor::checkRetired(const DynInst &inst)
+{
+    if (!golden)
+        return;
+    // The timing core never renames nops (fetch skips them), so the
+    // golden interpreter steps over them silently.
+    while (!golden->halted() && prog.contains(golden->pc()) &&
+           prog.at(golden->pc()).isNop())
+        golden->step();
+    const isa::ExecResult g = golden->step();
+    if (g.pc != inst.pc)
+        raise(sim::CheckerError(detail::formatString(
+            "checker: retired pc 0x%llx but golden pc 0x%llx "
+            "(seq %llu, %s)",
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(g.pc),
+            static_cast<unsigned long long>(inst.seq),
+            isa::disassemble(inst.si).c_str())));
+    if (inst.hasDest && g.wroteReg && g.destValue != inst.result)
+        raise(sim::CheckerError(detail::formatString(
+            "checker: %s @0x%llx produced %llx, golden %llx",
+            isa::disassemble(inst.si).c_str(),
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.result),
+            static_cast<unsigned long long>(g.destValue))));
+    if (inst.si.isMem() && g.effAddr != inst.effAddr)
+        raise(sim::CheckerError(detail::formatString(
+            "checker: %s @0x%llx addr %llx, golden %llx",
+            isa::disassemble(inst.si).c_str(),
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.effAddr),
+            static_cast<unsigned long long>(g.effAddr))));
+    if (inst.isBranch() && g.nextPc != inst.actualNextPc)
+        raise(sim::CheckerError(detail::formatString(
+            "checker: branch @0x%llx next %llx, golden %llx",
+            static_cast<unsigned long long>(inst.pc),
+            static_cast<unsigned long long>(inst.actualNextPc),
+            static_cast<unsigned long long>(g.nextPc))));
+}
+
+// ---------------------------------------------------------------------
+// Lifetime instrumentation
+// ---------------------------------------------------------------------
+
+void
+Processor::recordLifetimeOnFree(const PregState &p)
+{
+    if (p.writeAt < 0)
+        return; // never written (initial mapping)
+    const Cycle empty = p.writeAt - p.allocAt;
+    const Cycle live =
+        p.lastReadAt > p.writeAt ? p.lastReadAt - p.writeAt : 0;
+    const Cycle last_activity = std::max(p.writeAt, p.lastReadAt);
+    const Cycle dead = now - last_activity;
+    st.emptyTime->sample(static_cast<uint64_t>(std::max<Cycle>(empty, 0)));
+    st.liveTime->sample(static_cast<uint64_t>(live));
+    st.deadTime->sample(static_cast<uint64_t>(std::max<Cycle>(dead, 0)));
+
+    if (cfg.trackLifetimes && live > 0) {
+        const size_t need = static_cast<size_t>(p.lastReadAt) + 2;
+        if (liveDelta.size() < need)
+            liveDelta.resize(need + 1024, 0);
+        ++liveDelta[p.writeAt];
+        --liveDelta[p.lastReadAt + 1];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+const stats::Distribution &
+Processor::allocatedDistribution() const
+{
+    return allocatedDist;
+}
+
+const stats::Distribution &
+Processor::liveDistribution() const
+{
+    if (!liveDistBuilt) {
+        // Fold in pregs still allocated at the end of simulation.
+        int64_t running = 0;
+        for (size_t c = 0; c < liveDelta.size(); ++c) {
+            running += liveDelta[c];
+            if (running < 0)
+                running = 0;
+            liveDist.sample(static_cast<uint64_t>(running));
+        }
+        liveDistBuilt = true;
+    }
+    return liveDist;
+}
+
+sim::PipelineSnapshot
+Processor::snapshot() const
+{
+    sim::PipelineSnapshot snap;
+    snap.cycle = now;
+    snap.fetchPc = fetchPc;
+    snap.instsRetired = numRetired;
+    snap.lastRetireCycle = lastRetireCycle;
+
+    snap.robSize = rob.size();
+    snap.robCapacity = cfg.robEntries;
+    snap.iqSize = issueQueue.size();
+    snap.iqCapacity = cfg.iqEntries;
+    snap.freeListSize = freeList.size();
+    snap.allocatedPregs = allocatedPregs;
+    snap.numPhysRegs = cfg.numPhysRegs;
+
+    const size_t n =
+        std::min(rob.size(), sim::PipelineSnapshot::robHeadWindow);
+    snap.robHead.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const DynInst &d = rob[i];
+        sim::SnapshotRobEntry e;
+        e.seq = d.seq;
+        e.pc = d.pc;
+        e.disasm = isa::disassemble(d.si);
+        e.state = static_cast<int>(d.state);
+        e.completed = d.completed;
+        e.executing = d.executing;
+        e.replays = d.replays;
+        e.readyCycle = d.readyCycle;
+        snap.robHead.push_back(std::move(e));
+    }
+
+    snap.cacheSets = supplier->cacheSets();
+    snap.cacheAssoc = supplier->cacheAssoc();
+    for (const auto &v : supplier->cachedEntries())
+        snap.cacheEntries.push_back(
+            {v.set, v.way, v.preg, v.remUses, v.pinned});
+
+    snap.lastRetired.reserve(retiredRing.size());
+    for (const RetiredRecord &r : retiredRing)
+        snap.lastRetired.push_back(
+            {r.seq, r.pc, isa::disassemble(r.si), r.cycle});
+
+    if (injector)
+        for (const inject::FaultRecord &f : injector->log())
+            snap.injectedFaults.push_back(f.describe());
+
+    return snap;
+}
+
+const std::vector<inject::FaultRecord> &
+Processor::faultLog() const
+{
+    static const std::vector<inject::FaultRecord> empty;
+    return injector ? injector->log() : empty;
+}
+
+SimResult
+Processor::result() const
+{
+    SimResult r;
+    r.cycles = st.cyclesStat->value();
+    r.instsRetired = st.retired->value();
+    r.ipc = r.cycles ? static_cast<double>(r.instsRetired) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+
+    r.opBypass = st.opBypass->value();
+    r.opCache = st.opCache->value();
+    r.opFile = st.opFile->value();
+    const uint64_t ops = r.operandReads();
+    r.bypassFraction =
+        ops ? static_cast<double>(r.opBypass) / static_cast<double>(ops)
+            : 0.0;
+
+    const storage::SupplierStats ss = supplier->stats();
+    r.rcMisses = ss.misses;
+    r.rcMissNoWrite = ss.missNoWrite;
+    r.rcMissConflict = ss.missConflict;
+    r.rcMissCapacity = ss.missCapacity;
+    r.missPerOperand =
+        ops ? static_cast<double>(r.rcMisses) / static_cast<double>(ops)
+            : 0.0;
+
+    r.valuesProduced = st.valuesProduced->value();
+    r.writesFiltered = ss.writesFiltered;
+    r.valuesNeverCached = ss.valuesNeverCached;
+    r.miniReplays = st.miniReplays->value();
+    r.issueGroupSquashes = st.groupSquashes->value();
+    r.branchMispredicts = st.branchMispredicts->value();
+    r.memOrderViolations = st.memViolations->value();
+
+    const uint64_t branches = st.branches->value();
+    r.branchMispredictRate =
+        branches ? static_cast<double>(r.branchMispredicts) /
+                       static_cast<double>(branches)
+                 : 0.0;
+    r.douAccuracy = ss.douAccuracy;
+
+    if (ss.hasCache) {
+        r.rcInserts = ss.inserts;
+        r.rcFills = ss.fills;
+        r.avgOccupancy = ss.avgOccupancy;
+        r.avgEntryLifetime = ss.avgEntryLifetime;
+        r.readsPerCachedValue = ss.readsPerCachedValue;
+        r.cachedTotal = r.rcInserts + r.rcFills;
+        r.cachedNeverRead = ss.entriesNeverRead;
+        r.cacheCountPerValue =
+            r.valuesProduced
+                ? static_cast<double>(r.cachedTotal) /
+                      static_cast<double>(r.valuesProduced)
+                : 0.0;
+        r.zeroUseVictimFraction = ss.zeroUseVictimFraction;
+
+        r.cacheReadBw = r.cycles ? static_cast<double>(ops) /
+                                       static_cast<double>(r.cycles)
+                                 : 0.0;
+        r.cacheWriteBw =
+            r.cycles ? static_cast<double>(r.cachedTotal) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+        r.fileReadBw = r.cycles
+                           ? static_cast<double>(ss.fileReads) /
+                                 static_cast<double>(r.cycles)
+                           : 0.0;
+        r.fileWriteBw = r.cycles
+                            ? static_cast<double>(ss.fileWrites) /
+                                  static_cast<double>(r.cycles)
+                            : 0.0;
+    }
+
+    r.medianEmptyTime = st.emptyTime->median();
+    r.medianLiveTime = st.liveTime->median();
+    r.medianDeadTime = st.deadTime->median();
+
+    if (cfg.trackLifetimes) {
+        r.allocatedP50 = allocatedDist.percentile(0.5);
+        r.allocatedP90 = allocatedDist.percentile(0.9);
+        const auto &live = liveDistribution();
+        r.liveP50 = live.percentile(0.5);
+        r.liveP90 = live.percentile(0.9);
+    }
+    return r;
+}
+
+} // namespace ubrc::core

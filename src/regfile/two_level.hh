@@ -87,6 +87,9 @@ class TwoLevelFile
     /** Is the value currently in the L1 file? */
     bool inL1(PhysReg preg) const { return regs[preg].inL1; }
 
+    /** Is the physical register live in either level? */
+    bool isAllocated(PhysReg preg) const { return regs[preg].allocated; }
+
     unsigned l1Occupancy() const { return l1Used; }
 
   private:

@@ -1,62 +1,33 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 
 namespace ubrc::sim
 {
 
-namespace
-{
-
-/** Successful runs only; failed runs carry partial stats. */
-template <typename Fn>
-void
-forEachOk(const std::vector<WorkloadRun> &runs, Fn &&fn)
-{
-    for (const auto &r : runs)
-        if (!r.failed)
-            fn(r);
-}
-
-} // namespace
-
 double
 SuiteResult::geomeanIpc() const
 {
     double log_sum = 0.0;
     size_t n = 0;
-    forEachOk(runs, [&](const WorkloadRun &r) {
+    for (const auto &r : runs) {
+        if (r.failed)
+            continue;
         log_sum += std::log(r.result.ipc > 0 ? r.result.ipc : 1e-9);
         ++n;
-    });
+    }
     return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
-}
-
-double
-SuiteResult::mean(double (*metric)(const core::SimResult &)) const
-{
-    double sum = 0.0;
-    size_t n = 0;
-    forEachOk(runs, [&](const WorkloadRun &r) {
-        sum += metric(r.result);
-        ++n;
-    });
-    return n ? sum / static_cast<double>(n) : 0.0;
-}
-
-uint64_t
-SuiteResult::total(uint64_t (*metric)(const core::SimResult &)) const
-{
-    uint64_t sum = 0;
-    forEachOk(runs, [&](const WorkloadRun &r) { sum += metric(r.result); });
-    return sum;
 }
 
 size_t
@@ -125,27 +96,101 @@ runOneChecked(const SimConfig &config, const workload::Workload &workload,
     return out;
 }
 
+namespace
+{
+
+/** One (name, workload) → WorkloadRun simulation; never throws
+ *  SimError (runOneChecked contains it). */
+WorkloadRun
+runSuiteEntry(const SimConfig &config, const std::string &name,
+              const workload::Workload &w, uint64_t max_insts)
+{
+    RunOutcome run = runOneChecked(config, w, max_insts);
+    WorkloadRun wr;
+    wr.workload = name;
+    wr.result = run.result;
+    if (!run.ok) {
+        wr.failed = true;
+        wr.errorKind = run.kind;
+        wr.error = run.message;
+    }
+    return wr;
+}
+
+} // namespace
+
 SuiteResult
 runSuite(const SimConfig &config,
          const std::vector<std::string> &workload_names,
-         const workload::WorkloadParams &params, uint64_t max_insts)
+         const workload::WorkloadParams &params, uint64_t max_insts,
+         unsigned jobs)
 {
+    const size_t n = workload_names.size();
+
+    // Workload construction touches shared generator state; build the
+    // whole suite up front on this thread. Each simulation then only
+    // reads its own workload.
+    std::vector<workload::Workload> workloads;
+    workloads.reserve(n);
+    for (const auto &name : workload_names)
+        workloads.push_back(workload::buildWorkload(name, params));
+
     SuiteResult out;
-    for (const auto &name : workload_names) {
-        const workload::Workload w = workload::buildWorkload(name, params);
-        RunOutcome run = runOneChecked(config, w, max_insts);
-        WorkloadRun wr;
-        wr.workload = name;
-        wr.result = run.result;
-        if (!run.ok) {
-            wr.failed = true;
-            wr.errorKind = run.kind;
-            wr.error = run.message;
-            warn("workload '%s' failed (%s): %s — continuing suite",
-                 name.c_str(), toString(run.kind), run.message.c_str());
-        }
-        out.runs.push_back(std::move(wr));
+    out.runs.resize(n);
+
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            out.runs[i] = runSuiteEntry(config, workload_names[i],
+                                        workloads[i], max_insts);
+    } else {
+        // Every simulation is self-contained, so workloads can be
+        // claimed in any order: results are written back by index,
+        // which makes the merged suite identical to a serial run.
+        const unsigned workers =
+            static_cast<unsigned>(std::min<size_t>(jobs, n));
+        std::atomic<size_t> next{0};
+        std::atomic<bool> poisoned{false};
+        std::exception_ptr first_error;
+        std::mutex error_mu;
+
+        auto body = [&]() {
+            while (!poisoned.load(std::memory_order_relaxed)) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    out.runs[i] =
+                        runSuiteEntry(config, workload_names[i],
+                                      workloads[i], max_insts);
+                } catch (...) {
+                    // ConfigError or an internal bug: remember the
+                    // first one and stop handing out work.
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    poisoned.store(true, std::memory_order_relaxed);
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(body);
+        for (auto &t : pool)
+            t.join();
+        if (first_error)
+            std::rethrow_exception(first_error);
     }
+
+    // Warn after the merge so the output order does not depend on
+    // worker scheduling.
+    for (const auto &wr : out.runs)
+        if (wr.failed)
+            warn("workload '%s' failed (%s): %s — continuing suite",
+                 wr.workload.c_str(), toString(wr.errorKind),
+                 wr.error.c_str());
     return out;
 }
 
@@ -194,6 +239,26 @@ benchMaxInsts(uint64_t default_max)
         fatal("UBRC_MAX_INSTS: cannot parse '%s' as an instruction "
               "count", env);
     return v;
+}
+
+unsigned
+benchJobs(unsigned default_jobs)
+{
+    const char *env = std::getenv("UBRC_JOBS");
+    if (!env || !*env)
+        return default_jobs;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') != nullptr)
+        fatal("UBRC_JOBS: cannot parse '%s' as a worker count", env);
+    if (v == 0)
+        fatal("UBRC_JOBS: worker count must be at least 1, got '%s'",
+              env);
+    if (v > 1024)
+        fatal("UBRC_JOBS: worker count '%s' is out of range", env);
+    return static_cast<unsigned>(v);
 }
 
 } // namespace ubrc::sim

@@ -54,11 +54,36 @@ struct SuiteResult
     /** Geometric-mean IPC over the successful runs. */
     double geomeanIpc() const;
 
-    /** Arithmetic mean of a per-run metric over successful runs. */
-    double mean(double (*metric)(const core::SimResult &)) const;
+    /**
+     * Arithmetic mean of a per-run metric over successful runs.
+     * Accepts any callable of SimResult, capturing lambdas included.
+     */
+    template <typename MetricFn>
+    double
+    mean(MetricFn &&metric) const
+    {
+        double sum = 0.0;
+        size_t n = 0;
+        for (const auto &r : runs) {
+            if (r.failed)
+                continue;
+            sum += metric(r.result);
+            ++n;
+        }
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
 
     /** Sum of a per-run counter over successful runs. */
-    uint64_t total(uint64_t (*metric)(const core::SimResult &)) const;
+    template <typename MetricFn>
+    uint64_t
+    total(MetricFn &&metric) const
+    {
+        uint64_t sum = 0;
+        for (const auto &r : runs)
+            if (!r.failed)
+                sum += metric(r.result);
+        return sum;
+    }
 
     /** Number of runs that ended in a contained SimError. */
     size_t numFailed() const;
@@ -89,23 +114,34 @@ RunOutcome runOneChecked(const SimConfig &config,
  * Run a configuration over a set of workloads (by name). A run that
  * fails with a SimError is recorded (WorkloadRun::failed) and the
  * remaining workloads still run.
+ *
+ * @param jobs Worker threads. 1 (the default) runs the suite inline;
+ *             N > 1 distributes the workloads over min(N, suite size)
+ *             threads. Each simulation is fully independent (its own
+ *             Processor, memory image, and statistics), so the merged
+ *             SuiteResult is bit-identical to a serial run: results
+ *             land at their workload's position in `workload_names`
+ *             order and failure warnings are emitted in that same
+ *             order after the suite finishes.
  */
 SuiteResult runSuite(const SimConfig &config,
                      const std::vector<std::string> &workload_names,
                      const workload::WorkloadParams &params = {},
-                     uint64_t max_insts = 0);
+                     uint64_t max_insts = 0, unsigned jobs = 1);
 
 /**
  * Workload subset and run-length controls for benchmark binaries,
- * honouring the UBRC_WORKLOADS (comma-separated names or "all") and
- * UBRC_MAX_INSTS environment variables. Malformed values are fatal:
- * an unparseable UBRC_MAX_INSTS or an unknown workload name aborts
- * with a message naming the offending string rather than being
- * silently ignored.
+ * honouring the UBRC_WORKLOADS (comma-separated names or "all"),
+ * UBRC_MAX_INSTS, and UBRC_JOBS environment variables. Malformed
+ * values are fatal: an unparseable UBRC_MAX_INSTS, a zero or
+ * unparseable UBRC_JOBS, or an unknown workload name aborts with a
+ * message naming the offending string rather than being silently
+ * ignored.
  */
 std::vector<std::string> benchWorkloads(
     const std::vector<std::string> &defaults);
 uint64_t benchMaxInsts(uint64_t default_max);
+unsigned benchJobs(unsigned default_jobs = 1);
 
 } // namespace ubrc::sim
 

@@ -1,0 +1,257 @@
+#include "storage/cached_supplier.hh"
+
+#include <algorithm>
+
+#include "sim/config.hh"
+
+namespace ubrc::storage
+{
+
+CachedSupplier::CachedSupplier(const sim::SimConfig &config,
+                               stats::StatGroup &stat_group)
+    : OperandSupplier(config, stat_group),
+      rcache(cfg.rc, stat_group),
+      idxAlloc(cfg.rc.indexing, cfg.rc.numSets(), cfg.rc.assoc,
+               cfg.rc.highUseThreshold),
+      backing(cfg.backingLatency, stat_group)
+{
+    if (cfg.classifyMisses)
+        shadow = std::make_unique<regcache::ShadowFullyAssocCache>(
+            cfg.rc.entries, cfg.rc.replacement, cfg.rc.maxUse);
+
+    st.misses = &stat_group.scalar("rc_operand_misses");
+    st.missNoWrite = &stat_group.scalar("rc_miss_no_write");
+    st.missConflict = &stat_group.scalar("rc_miss_conflict");
+    st.missCapacity = &stat_group.scalar("rc_miss_capacity");
+    st.writesFiltered = &stat_group.scalar("rc_writes_filtered");
+    st.valuesNeverCached = &stat_group.scalar("values_never_cached");
+    st.occupancy = &stat_group.mean("rc_occupancy");
+    st.inserts = &stat_group.scalar("rc_inserts");
+    st.fills = &stat_group.scalar("rc_fills");
+    st.entriesNeverRead = &stat_group.scalar("rc_entries_never_read");
+    st.backingReads = &stat_group.scalar("backing_reads");
+    st.backingWrites = &stat_group.scalar("backing_writes");
+    st.entryLifetime = &stat_group.mean("rc_entry_lifetime");
+    st.readsPerEntry = &stat_group.mean("rc_reads_per_entry");
+}
+
+DestAlloc
+CachedSupplier::allocateDest(PhysReg preg, Addr pc, uint64_t ctrl)
+{
+    DestAlloc out = OperandSupplier::allocateDest(preg, pc, ctrl);
+    // Decoupled index assignment (Section 4.1).
+    ValueState &vs = value(preg);
+    vs.set = static_cast<uint16_t>(idxAlloc.assign(preg, vs.predUses));
+    out.set = vs.set;
+    return out;
+}
+
+void
+CachedSupplier::onInitialValue(PhysReg preg)
+{
+    OperandSupplier::onInitialValue(preg);
+    value(preg).set =
+        static_cast<uint16_t>(idxAlloc.assign(preg, 0));
+}
+
+void
+CachedSupplier::onBypassRead(PhysReg src, bool first_stage)
+{
+    OperandSupplier::onBypassRead(src, first_stage);
+    // Keep the remaining-use counts in step for values consumed off
+    // the bypass network (Section 3.3).
+    ValueState &vs = value(src);
+    if (vs.insertedNow)
+        rcache.noteBypassUse(src, vs.set);
+    else if (!vs.pinned && vs.remUses > 0)
+        --vs.remUses;
+    if (shadow)
+        shadow->noteBypassUse(src);
+}
+
+ReadResult
+CachedSupplier::readOperand(PhysReg src, Cycle now)
+{
+    ValueState &vs = value(src);
+    if (rcache.read(src, vs.set, now)) {
+        if (shadow && !shadow->read(src))
+            shadow->fill(src, now); // resync
+        return ReadResult::CacheHit;
+    }
+    return ReadResult::CacheMiss;
+}
+
+Cycle
+CachedSupplier::onOperandMiss(PhysReg src, Cycle exec_start)
+{
+    ValueState &vs = value(src);
+    ++*st.misses;
+
+    // Classify (Figure 8): a miss on a value whose initial write was
+    // filtered is a "no-write" miss; otherwise conflict if a
+    // same-size fully-associative cache would have hit.
+    if (!vs.everCached)
+        ++*st.missNoWrite;
+    else if (shadow && shadow->contains(src))
+        ++*st.missConflict;
+    else
+        ++*st.missCapacity;
+    if (shadow)
+        shadow->read(src); // keep shadow LRU/uses in step
+
+    // Schedule the backing-file read through the shared port. The
+    // miss was detected in the register-read stage (one cycle before
+    // exec_start), so the read can begin at exec_start: for a 2-cycle
+    // backing file the value re-bypasses to the missing instruction 2
+    // cycles after its nominal execute, matching Figure 3 (I4b: issue
+    // 4, miss 5, read 6-7, exec 8).
+    const Cycle data_ready =
+        backing.scheduleRead(exec_start, vs.storageReadyAt);
+    vs.fillInFlight = true;
+    return data_ready;
+}
+
+bool
+CachedSupplier::onFill(PhysReg preg, Cycle now)
+{
+    ValueState &vs = value(preg);
+    if (!vs.fillInFlight)
+        return false;
+    vs.fillInFlight = false;
+    if (!rcache.contains(preg, vs.set)) {
+        rcache.fill(preg, vs.set, now);
+        vs.everCached = true;
+        vs.insertedNow = true;
+        if (shadow)
+            shadow->fill(preg, now);
+    }
+    return true;
+}
+
+WriteOutcome
+CachedSupplier::onValueProduced(PhysReg preg, Cycle now)
+{
+    value(preg).storageReadyAt = backing.noteWrite(now);
+    // The cache write (and the insertion decision, which must observe
+    // the first-stage bypass readers of the write cycle) happens next
+    // cycle, after that cycle's executes.
+    WriteOutcome out;
+    out.insertDecisionNextCycle = true;
+    return out;
+}
+
+void
+CachedSupplier::onInsertDecision(PhysReg preg, Cycle now)
+{
+    ValueState &vs = value(preg);
+    const bool insert = regcache::shouldInsert(
+        cfg.rc.insertion, vs.pinned, vs.predUses, vs.stage1Bypasses);
+    if (!insert) {
+        ++*st.writesFiltered;
+        return;
+    }
+    const unsigned count =
+        vs.pinned ? cfg.rc.maxUse
+                  : static_cast<unsigned>(
+                        std::max<int32_t>(vs.remUses, 0));
+    rcache.insert(preg, vs.set, count, vs.pinned, now);
+    if (shadow)
+        shadow->insert(preg, count, vs.pinned, now);
+    vs.everCached = true;
+    vs.insertedNow = true;
+}
+
+void
+CachedSupplier::onProducerRetired(PhysReg dest)
+{
+    const ValueState &vs = value(dest);
+    idxAlloc.release(vs.set, vs.predUses);
+}
+
+void
+CachedSupplier::onValueFreed(PhysReg preg, Addr producer_pc,
+                             uint64_t producer_ctrl,
+                             uint32_t actual_uses, Cycle now)
+{
+    ValueState &vs = value(preg);
+    rcache.invalidate(preg, vs.set, now);
+    if (shadow)
+        shadow->invalidate(preg);
+    OperandSupplier::onValueFreed(preg, producer_pc, producer_ctrl,
+                                  actual_uses, now);
+    // Figure 10: committed values that never entered the cache. This
+    // is judged at free time, when any pending cache-write decision
+    // has long resolved.
+    if (producer_pc != 0 && !vs.everCached)
+        ++*st.valuesNeverCached;
+}
+
+void
+CachedSupplier::onDestSquashed(PhysReg dest, Cycle now)
+{
+    ValueState &vs = value(dest);
+    idxAlloc.release(vs.set, vs.predUses);
+    rcache.invalidate(dest, vs.set, now);
+    if (shadow)
+        shadow->invalidate(dest);
+    vs.fillInFlight = false;
+}
+
+void
+CachedSupplier::sampleCycleStats()
+{
+    st.occupancy->sample(rcache.validCount());
+}
+
+std::vector<CacheEntryView>
+CachedSupplier::cachedEntries() const
+{
+    std::vector<CacheEntryView> out;
+    for (const auto &v : rcache.validEntries())
+        out.push_back({v.set, v.way, v.preg, v.remUses, v.pinned});
+    return out;
+}
+
+unsigned
+CachedSupplier::cacheSets() const
+{
+    return rcache.numSets();
+}
+
+unsigned
+CachedSupplier::cacheAssoc() const
+{
+    return cfg.rc.assoc;
+}
+
+bool
+CachedSupplier::corruptUseCounter(PhysReg preg, unsigned set,
+                                  unsigned bit)
+{
+    return rcache.corruptUseCounter(preg, set, bit);
+}
+
+SupplierStats
+CachedSupplier::stats() const
+{
+    SupplierStats s = OperandSupplier::stats();
+    s.hasCache = true;
+    s.misses = st.misses->value();
+    s.missNoWrite = st.missNoWrite->value();
+    s.missConflict = st.missConflict->value();
+    s.missCapacity = st.missCapacity->value();
+    s.inserts = st.inserts->value();
+    s.fills = st.fills->value();
+    s.writesFiltered = st.writesFiltered->value();
+    s.valuesNeverCached = st.valuesNeverCached->value();
+    s.entriesNeverRead = st.entriesNeverRead->value();
+    s.fileReads = st.backingReads->value();
+    s.fileWrites = st.backingWrites->value();
+    s.avgOccupancy = st.occupancy->value();
+    s.avgEntryLifetime = st.entryLifetime->value();
+    s.readsPerCachedValue = st.readsPerEntry->value();
+    s.zeroUseVictimFraction = rcache.zeroUseVictimFraction();
+    return s;
+}
+
+} // namespace ubrc::storage

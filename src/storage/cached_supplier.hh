@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Register cache + backing file (the paper's framework, Sections 2-4):
+ * a small set-associative register cache with use-based management and
+ * decoupled indexing in front of a full-size backing file, plus the
+ * optional shadow fully-associative cache that classifies misses for
+ * Figure 8.
+ */
+
+#ifndef UBRC_STORAGE_CACHED_SUPPLIER_HH
+#define UBRC_STORAGE_CACHED_SUPPLIER_HH
+
+#include <memory>
+
+#include "regcache/index_allocator.hh"
+#include "regcache/register_cache.hh"
+#include "regfile/backing_file.hh"
+#include "storage/operand_supplier.hh"
+
+namespace ubrc::storage
+{
+
+/** Register cache backed by a full-size file. */
+class CachedSupplier : public OperandSupplier
+{
+  public:
+    CachedSupplier(const sim::SimConfig &config,
+                   stats::StatGroup &stat_group);
+
+    const char *name() const override { return "cached"; }
+
+    DestAlloc allocateDest(PhysReg preg, Addr pc,
+                           uint64_t ctrl) override;
+    void onInitialValue(PhysReg preg) override;
+
+    void onBypassRead(PhysReg src, bool first_stage) override;
+    ReadResult readOperand(PhysReg src, Cycle now) override;
+    Cycle onOperandMiss(PhysReg src, Cycle exec_start) override;
+    bool onFill(PhysReg preg, Cycle now) override;
+
+    WriteOutcome onValueProduced(PhysReg preg, Cycle now) override;
+    void onInsertDecision(PhysReg preg, Cycle now) override;
+
+    void onProducerRetired(PhysReg dest) override;
+    void onValueFreed(PhysReg preg, Addr producer_pc,
+                      uint64_t producer_ctrl, uint32_t actual_uses,
+                      Cycle now) override;
+    void onDestSquashed(PhysReg dest, Cycle now) override;
+
+    void sampleCycleStats() override;
+
+    std::vector<CacheEntryView> cachedEntries() const override;
+    unsigned cacheSets() const override;
+    unsigned cacheAssoc() const override;
+    bool corruptUseCounter(PhysReg preg, unsigned set,
+                           unsigned bit) override;
+
+    SupplierStats stats() const override;
+
+  private:
+    regcache::RegisterCache rcache;
+    std::unique_ptr<regcache::ShadowFullyAssocCache> shadow;
+    regcache::IndexAllocator idxAlloc;
+    regfile::BackingFile backing;
+
+    struct
+    {
+        stats::Scalar *misses, *missNoWrite, *missConflict,
+            *missCapacity;
+        stats::Scalar *writesFiltered, *valuesNeverCached;
+        stats::Mean *occupancy;
+        // Registered by the cache/file components; cached here so
+        // stats() needs no by-name lookups.
+        stats::Scalar *inserts, *fills, *entriesNeverRead;
+        stats::Scalar *backingReads, *backingWrites;
+        stats::Mean *entryLifetime, *readsPerEntry;
+    } st;
+};
+
+} // namespace ubrc::storage
+
+#endif // UBRC_STORAGE_CACHED_SUPPLIER_HH

@@ -1,0 +1,34 @@
+#include "storage/monolithic_supplier.hh"
+
+#include "sim/config.hh"
+
+namespace ubrc::storage
+{
+
+MonolithicSupplier::MonolithicSupplier(const sim::SimConfig &config,
+                                       stats::StatGroup &stat_group)
+    : OperandSupplier(config, stat_group)
+{
+}
+
+Cycle
+MonolithicSupplier::issueReadGate(Cycle exec_start,
+                                  Cycle producer_done) const
+{
+    // The operand must come from the file, and the read cannot begin
+    // until the producer's write has finished (at the end of
+    // producer_done + rfLatency): the issue-restriction gap of a
+    // multi-cycle register file with a short bypass network.
+    if (exec_start > producer_done + static_cast<Cycle>(cfg.bypassStages))
+        return producer_done + cfg.rfLatency;
+    return 0;
+}
+
+WriteOutcome
+MonolithicSupplier::onValueProduced(PhysReg preg, Cycle now)
+{
+    value(preg).storageReadyAt = now + cfg.rfLatency;
+    return {};
+}
+
+} // namespace ubrc::storage

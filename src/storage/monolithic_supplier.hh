@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Monolithic multi-cycle register file (the paper's baseline).
+ *
+ * All operands come from the bypass network or the file itself; the
+ * only timing behaviour is the issue-restriction gap: an operand that
+ * has fallen out of the bypass window is readable only once its write
+ * into the file completes, rfLatency cycles after production.
+ */
+
+#ifndef UBRC_STORAGE_MONOLITHIC_SUPPLIER_HH
+#define UBRC_STORAGE_MONOLITHIC_SUPPLIER_HH
+
+#include "storage/operand_supplier.hh"
+
+namespace ubrc::storage
+{
+
+/** Single multi-cycle register file, no cache. */
+class MonolithicSupplier : public OperandSupplier
+{
+  public:
+    MonolithicSupplier(const sim::SimConfig &config,
+                       stats::StatGroup &stat_group);
+
+    const char *name() const override { return "monolithic"; }
+
+    Cycle issueReadGate(Cycle exec_start,
+                        Cycle producer_done) const override;
+    WriteOutcome onValueProduced(PhysReg preg, Cycle now) override;
+};
+
+} // namespace ubrc::storage
+
+#endif // UBRC_STORAGE_MONOLITHIC_SUPPLIER_HH

@@ -1,0 +1,118 @@
+#include "storage/operand_supplier.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/config.hh"
+
+namespace ubrc::storage
+{
+
+OperandSupplier::OperandSupplier(const sim::SimConfig &config,
+                                 stats::StatGroup &stat_group)
+    : cfg(config),
+      group(stat_group),
+      dou(cfg.dou, stat_group),
+      values(cfg.numPhysRegs)
+{
+}
+
+OperandSupplier::~OperandSupplier() = default;
+
+void
+OperandSupplier::onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                                   Addr producer_pc,
+                                   uint64_t producer_ctrl)
+{
+    (void)src;
+    // Early training: once the observed use count saturates the
+    // predictor's range, the eventual (free-time) training value is
+    // already known -- deliver it now so long-lived, heavily read
+    // values get predicted (and pinned) without waiting for the
+    // register to die.
+    if (actual_uses == cfg.dou.maxPrediction() && producer_pc != 0)
+        dou.train(producer_pc, producer_ctrl, actual_uses);
+}
+
+DestAlloc
+OperandSupplier::allocateDest(PhysReg preg, Addr pc, uint64_t ctrl)
+{
+    // Degree-of-use prediction (Section 3.3).
+    unsigned pred = cfg.rc.unknownDefault;
+    if (auto d = dou.predict(pc, ctrl))
+        pred = *d;
+
+    ValueState &vs = value(preg);
+    vs = ValueState{};
+    vs.storageReadyAt = neverReady;
+    vs.predUses = static_cast<uint8_t>(pred);
+    vs.pinned = pred >= cfg.rc.maxUse;
+    vs.remUses =
+        static_cast<int32_t>(std::min<unsigned>(pred, cfg.rc.maxUse));
+
+    DestAlloc out;
+    out.predUses = vs.predUses;
+    out.pinned = vs.pinned;
+    out.set = vs.set;
+    return out;
+}
+
+void
+OperandSupplier::onInitialValue(PhysReg preg)
+{
+    ValueState &vs = value(preg);
+    vs = ValueState{};
+    // Initial architectural values have been "in the file" forever.
+    vs.storageReadyAt = -1000000;
+}
+
+void
+OperandSupplier::onBypassRead(PhysReg src, bool first_stage)
+{
+    // First-stage bypass readers are visible to the producer's
+    // cache-write (insertion) decision, which happens later in the
+    // same cycle (Section 3.1).
+    if (first_stage)
+        ++value(src).stage1Bypasses;
+}
+
+Cycle
+OperandSupplier::onOperandMiss(PhysReg src, Cycle exec_start)
+{
+    (void)exec_start;
+    panic("operand miss on cache-less supplier '%s' (preg %d)", name(),
+          int(src));
+}
+
+void
+OperandSupplier::onValueFreed(PhysReg preg, Addr producer_pc,
+                              uint64_t producer_ctrl,
+                              uint32_t actual_uses, Cycle now)
+{
+    (void)now;
+    // Train the degree-of-use predictor with the committed consumer
+    // count (wrong-path consumers were deducted at squash).
+    if (producer_pc != 0)
+        dou.train(producer_pc, producer_ctrl, actual_uses);
+    value(preg).fillInFlight = false;
+}
+
+std::optional<std::pair<size_t, unsigned>>
+OperandSupplier::corruptDouCounter(uint64_t raw_site, unsigned raw_bit)
+{
+    const size_t index = raw_site % dou.entryCount();
+    const unsigned bit = raw_bit % cfg.dou.predBits;
+    if (!dou.corruptPrediction(index, bit))
+        return std::nullopt;
+    return std::make_pair(index, bit);
+}
+
+SupplierStats
+OperandSupplier::stats() const
+{
+    SupplierStats s;
+    s.douAccuracy = dou.accuracy();
+    return s;
+}
+
+} // namespace ubrc::storage

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * The operand-supplier abstraction: everything the out-of-order core
+ * needs to know about where register values live.
+ *
+ * The paper's evaluation is a comparison between register-storage
+ * organizations (monolithic multi-cycle file, register cache plus
+ * backing file, two-level file). The core used to hard-wire all three;
+ * OperandSupplier factors the storage contract out so the pipeline
+ * only orchestrates and each organization lives in its own class:
+ *
+ *  - rename:    canAllocateDest / allocateDest / onConsumerRenamed /
+ *               onArchReassigned (and the squash-time inverses)
+ *  - issue:     issueReadGate (the monolithic issue-restriction gap)
+ *  - execute:   onBypassRead / readOperand, then the miss + fill +
+ *               replay contract (onOperandMiss / onFill)
+ *  - complete:  onValueProduced, optionally followed one cycle later
+ *               by onInsertDecision (cache-write filtering must see
+ *               that cycle's first-stage bypass readers)
+ *  - retire:    onProducerRetired / onValueFreed (+ DoU training)
+ *  - recovery:  onDestSquashed / recoverMappings
+ *  - forensics: cachedEntries / corruptUseCounter / corruptDouCounter
+ *               for fault injection and pipeline-snapshot crash dumps
+ *
+ * The base class owns the degree-of-use predictor and the per-value
+ * use-tracking state shared by every organization, so predictor
+ * statistics are reported uniformly across schemes.
+ */
+
+#ifndef UBRC_STORAGE_OPERAND_SUPPLIER_HH
+#define UBRC_STORAGE_OPERAND_SUPPLIER_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "regcache/dou_predictor.hh"
+
+namespace ubrc::sim
+{
+struct SimConfig;
+}
+
+namespace ubrc::storage
+{
+
+/** Where a non-bypassed operand read was satisfied. */
+enum class ReadResult : uint8_t
+{
+    File,      ///< read from the (backing/monolithic/L1) file
+    CacheHit,  ///< register cache hit
+    CacheMiss, ///< register cache miss; onOperandMiss() must follow
+};
+
+/** Rename-time outcome for a newly allocated destination register. */
+struct DestAlloc
+{
+    uint8_t predUses = 0;  ///< degree-of-use prediction (clamped)
+    bool pinned = false;   ///< prediction saturated the counter range
+    uint16_t set = 0;      ///< assigned cache set (decoupled indexing)
+};
+
+/** What the core must do after a produced value's storage write. */
+struct WriteOutcome
+{
+    /**
+     * True: schedule an insertion decision (onInsertDecision) for the
+     * next cycle. Cache-write filtering must observe the first-stage
+     * bypass readers of the write cycle, so the decision cannot be
+     * taken inline.
+     */
+    bool insertDecisionNextCycle = false;
+};
+
+/** One valid cache entry, for snapshots and fault-site selection. */
+struct CacheEntryView
+{
+    unsigned set = 0;
+    unsigned way = 0;
+    PhysReg preg = invalidPhysReg;
+    uint32_t remUses = 0;
+    bool pinned = false;
+};
+
+/** Squash-recovery outcome (two-level copy-back). */
+struct RecoveryResult
+{
+    /** Cycle at whose end every restored mapping is readable again. */
+    Cycle doneAt = 0;
+    /** Restored mappings that were displaced and must be re-timed. */
+    std::vector<PhysReg> displaced;
+};
+
+/**
+ * Aggregate statistics a supplier contributes to the run result.
+ * Cache-less suppliers leave the cache fields at zero.
+ */
+struct SupplierStats
+{
+    bool hasCache = false; ///< cache-derived metrics below are valid
+
+    uint64_t misses = 0;
+    uint64_t missNoWrite = 0, missConflict = 0, missCapacity = 0;
+    uint64_t inserts = 0, fills = 0;
+    uint64_t writesFiltered = 0, valuesNeverCached = 0;
+    uint64_t entriesNeverRead = 0;
+    uint64_t fileReads = 0, fileWrites = 0;
+    double avgOccupancy = 0;
+    double avgEntryLifetime = 0;
+    double readsPerCachedValue = 0;
+    double zeroUseVictimFraction = 0;
+    double douAccuracy = 0;
+};
+
+/** A register-storage organization behind the execution core. */
+class OperandSupplier
+{
+  public:
+    OperandSupplier(const sim::SimConfig &config,
+                    stats::StatGroup &stat_group);
+    virtual ~OperandSupplier();
+
+    OperandSupplier(const OperandSupplier &) = delete;
+    OperandSupplier &operator=(const OperandSupplier &) = delete;
+
+    /** Scheme name for logs and diagnostics. */
+    virtual const char *name() const = 0;
+
+    // --- rename -------------------------------------------------------
+
+    /** May rename allocate a destination this cycle (beyond the free
+     *  list, which the core owns)? */
+    virtual bool canAllocateDest() const { return true; }
+
+    /**
+     * A consumer of `src` was renamed. `actual_uses` is the running
+     * committed-consumer count including this one. The base class
+     * trains the use predictor early once the count saturates its
+     * range (the free-time training value is then already known).
+     */
+    virtual void onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                                   Addr producer_pc,
+                                   uint64_t producer_ctrl);
+
+    /**
+     * Allocate storage-side state for a newly renamed destination:
+     * predict its degree of use, assign a cache set, reserve file
+     * space. The returned DestAlloc travels with the instruction for
+     * diagnostics.
+     */
+    virtual DestAlloc allocateDest(PhysReg preg, Addr pc, uint64_t ctrl);
+
+    /** Initialize an architectural register's preg at construction. */
+    virtual void onInitialValue(PhysReg preg);
+
+    /** The arch register mapping to `prev` was overwritten. */
+    virtual void onArchReassigned(PhysReg prev) { (void)prev; }
+
+    /** The overwrite of `prev`'s arch register was squashed. */
+    virtual void onArchReassignCancelled(PhysReg prev) { (void)prev; }
+
+    // --- issue --------------------------------------------------------
+
+    /**
+     * Earliest cycle an operand of `producer_done` may be read when
+     * the instruction would start executing at `exec_start`. Zero
+     * means no restriction. Non-zero models the monolithic file's
+     * issue-restriction gap: an operand that fell out of the bypass
+     * window is only readable once its file write completes.
+     */
+    virtual Cycle
+    issueReadGate(Cycle exec_start, Cycle producer_done) const
+    {
+        (void)exec_start;
+        (void)producer_done;
+        return 0;
+    }
+
+    // --- execute ------------------------------------------------------
+
+    /**
+     * An operand was satisfied by the bypass network. First-stage
+     * readers are visible to the producer's pending cache-write
+     * decision; cached suppliers also keep remaining-use counters in
+     * step for bypassed consumers.
+     */
+    virtual void onBypassRead(PhysReg src, bool first_stage);
+
+    /** Non-bypassed operand read at cycle `now`. */
+    virtual ReadResult
+    readOperand(PhysReg src, Cycle now)
+    {
+        (void)src;
+        (void)now;
+        return ReadResult::File;
+    }
+
+    /**
+     * A readOperand() miss: classify it, arbitrate the backing-file
+     * read port, and mark a fill in flight.
+     * @return cycle at whose end the data is available to bypass.
+     */
+    virtual Cycle onOperandMiss(PhysReg src, Cycle exec_start);
+
+    /**
+     * The miss-fill for `preg` arrived. @return true if the value was
+     * (re)established in the cache. Ignores stale fills (value freed
+     * or already re-cached).
+     */
+    virtual bool
+    onFill(PhysReg preg, Cycle now)
+    {
+        (void)preg;
+        (void)now;
+        return false;
+    }
+
+    /** A renamed consumer of `src` has executed (first time only). */
+    virtual void onConsumerDone(PhysReg src) { (void)src; }
+
+    // --- completion ---------------------------------------------------
+
+    /**
+     * The producing instruction completed; start the storage write.
+     * Sets the value's storage-ready time for later miss reads.
+     */
+    virtual WriteOutcome onValueProduced(PhysReg preg, Cycle now) = 0;
+
+    /**
+     * Deferred cache-write (insertion) decision, one cycle after
+     * onValueProduced asked for it.
+     */
+    virtual void onInsertDecision(PhysReg preg, Cycle now)
+    {
+        (void)preg;
+        (void)now;
+    }
+
+    // --- retire / free / squash ---------------------------------------
+
+    /** The producing instruction of `dest` retired. */
+    virtual void onProducerRetired(PhysReg dest) { (void)dest; }
+
+    /**
+     * The physical register was freed (its overwriter retired).
+     * Invalidates any cached copy and trains the use predictor with
+     * the committed consumer count. `producer_pc` is zero for values
+     * never written by an instruction (initial mappings).
+     */
+    virtual void onValueFreed(PhysReg preg, Addr producer_pc,
+                              uint64_t producer_ctrl,
+                              uint32_t actual_uses, Cycle now);
+
+    /** The producing instruction of `dest` was squashed. */
+    virtual void
+    onDestSquashed(PhysReg dest, Cycle now)
+    {
+        (void)dest;
+        (void)now;
+    }
+
+    // --- recovery -----------------------------------------------------
+
+    /** Does this supplier need recoverMappings() after a squash? */
+    virtual bool needsRecovery() const { return false; }
+
+    /**
+     * A squash restored the map table; `mapped` holds the live
+     * mapping of every architectural register. Suppliers that migrate
+     * values out of the fast level copy them back here.
+     */
+    virtual RecoveryResult
+    recoverMappings(const std::vector<PhysReg> &mapped, Cycle now)
+    {
+        (void)mapped;
+        (void)now;
+        return {};
+    }
+
+    // --- per-cycle ----------------------------------------------------
+
+    /** Background engines (transfer queues); called once per cycle. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** End-of-cycle statistics sampling (cache occupancy). */
+    virtual void sampleCycleStats() {}
+
+    // --- forensics and fault injection --------------------------------
+
+    /** Valid cache entries in set/way order; empty when cache-less. */
+    virtual std::vector<CacheEntryView> cachedEntries() const
+    {
+        return {};
+    }
+
+    virtual unsigned cacheSets() const { return 0; }
+    virtual unsigned cacheAssoc() const { return 0; }
+
+    /**
+     * Fault injection: flip one bit of a resident entry's
+     * remaining-use counter. @return false if not resident.
+     */
+    virtual bool
+    corruptUseCounter(PhysReg preg, unsigned set, unsigned bit)
+    {
+        (void)preg;
+        (void)set;
+        (void)bit;
+        return false;
+    }
+
+    /**
+     * Fault injection: flip one bit of a use-predictor entry. Returns
+     * the (table index, bit) actually corrupted, or nullopt if the
+     * chosen entry was invalid.
+     */
+    std::optional<std::pair<size_t, unsigned>>
+    corruptDouCounter(uint64_t raw_site, unsigned raw_bit);
+
+    // --- results ------------------------------------------------------
+
+    /** Aggregate contribution to the run result. */
+    virtual SupplierStats stats() const;
+
+  protected:
+    /**
+     * Per-physical-register storage-side state. The core keeps the
+     * pipeline bookkeeping (completion times, consumer lists); the
+     * supplier keeps everything the storage organization needs.
+     */
+    struct ValueState
+    {
+        Cycle storageReadyAt = 0; ///< file write completes
+        uint8_t predUses = 0;     ///< degree-of-use prediction
+        bool pinned = false;      ///< prediction saturated maxUse
+        int32_t remUses = 0;      ///< pre-insertion remaining uses
+        uint32_t stage1Bypasses = 0;
+        bool everCached = false;
+        bool insertedNow = false; ///< currently believed in cache
+        uint16_t set = 0;         ///< assigned cache set
+        bool fillInFlight = false;
+    };
+
+    ValueState &value(PhysReg preg) { return values[size_t(preg)]; }
+    const ValueState &
+    value(PhysReg preg) const
+    {
+        return values[size_t(preg)];
+    }
+
+    /** Sentinel for "write not yet scheduled". */
+    static constexpr Cycle neverReady = INT64_MAX / 4;
+
+    const sim::SimConfig &cfg;
+    stats::StatGroup &group;
+    regcache::DegreeOfUsePredictor dou;
+    std::vector<ValueState> values;
+};
+
+} // namespace ubrc::storage
+
+#endif // UBRC_STORAGE_OPERAND_SUPPLIER_HH

@@ -1,0 +1,59 @@
+#include "storage/supplier_registry.hh"
+
+#include <array>
+
+#include "common/log.hh"
+#include "storage/cached_supplier.hh"
+#include "storage/monolithic_supplier.hh"
+#include "storage/two_level_supplier.hh"
+
+namespace ubrc::storage
+{
+
+namespace
+{
+
+template <typename SupplierT>
+std::unique_ptr<OperandSupplier>
+build(const sim::SimConfig &config, stats::StatGroup &stat_group)
+{
+    return std::make_unique<SupplierT>(config, stat_group);
+}
+
+constexpr size_t numSchemes = 3;
+
+std::array<SupplierFactory, numSchemes> &
+factories()
+{
+    static std::array<SupplierFactory, numSchemes> table = {
+        build<MonolithicSupplier>, // RegScheme::Monolithic
+        build<CachedSupplier>,     // RegScheme::Cached
+        build<TwoLevelSupplier>,   // RegScheme::TwoLevel
+    };
+    return table;
+}
+
+} // namespace
+
+void
+registerSupplier(sim::RegScheme scheme, SupplierFactory factory)
+{
+    const size_t idx = static_cast<size_t>(scheme);
+    if (idx >= numSchemes)
+        panic("registerSupplier: unknown scheme %zu", idx);
+    if (!factory)
+        panic("registerSupplier: null factory for scheme '%s'",
+              sim::toString(scheme));
+    factories()[idx] = factory;
+}
+
+std::unique_ptr<OperandSupplier>
+makeSupplier(const sim::SimConfig &config, stats::StatGroup &stat_group)
+{
+    const size_t idx = static_cast<size_t>(config.scheme);
+    if (idx >= numSchemes)
+        panic("makeSupplier: unknown scheme %zu", idx);
+    return factories()[idx](config, stat_group);
+}
+
+} // namespace ubrc::storage

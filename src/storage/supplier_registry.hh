@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Scheme-to-supplier registry. The core asks for "the supplier this
+ * configuration selects" and never names a concrete storage class;
+ * new organizations plug in by registering a factory for a scheme.
+ */
+
+#ifndef UBRC_STORAGE_SUPPLIER_REGISTRY_HH
+#define UBRC_STORAGE_SUPPLIER_REGISTRY_HH
+
+#include <memory>
+
+#include "sim/config.hh"
+#include "storage/operand_supplier.hh"
+
+namespace ubrc::storage
+{
+
+/** Builds a supplier for a validated configuration. */
+using SupplierFactory = std::unique_ptr<OperandSupplier> (*)(
+    const sim::SimConfig &, stats::StatGroup &);
+
+/**
+ * Bind (or rebind) the factory for a scheme. Intended for experiments
+ * that prototype a new storage organization without touching the
+ * core; the three built-in schemes are pre-registered.
+ */
+void registerSupplier(sim::RegScheme scheme, SupplierFactory factory);
+
+/**
+ * Build the supplier selected by config.scheme. The returned supplier
+ * holds a reference to `config`, which must outlive it (the Processor
+ * owns both).
+ */
+std::unique_ptr<OperandSupplier>
+makeSupplier(const sim::SimConfig &config, stats::StatGroup &stat_group);
+
+} // namespace ubrc::storage
+
+#endif // UBRC_STORAGE_SUPPLIER_REGISTRY_HH

@@ -1,0 +1,105 @@
+#include "storage/two_level_supplier.hh"
+
+#include "sim/config.hh"
+
+namespace ubrc::storage
+{
+
+TwoLevelSupplier::TwoLevelSupplier(const sim::SimConfig &config,
+                                   stats::StatGroup &stat_group)
+    : OperandSupplier(config, stat_group),
+      file(cfg.twoLevel, cfg.numPhysRegs, stat_group)
+{
+}
+
+void
+TwoLevelSupplier::onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                                    Addr producer_pc,
+                                    uint64_t producer_ctrl)
+{
+    OperandSupplier::onConsumerRenamed(src, actual_uses, producer_pc,
+                                       producer_ctrl);
+    file.onConsumerRenamed(src);
+}
+
+DestAlloc
+TwoLevelSupplier::allocateDest(PhysReg preg, Addr pc, uint64_t ctrl)
+{
+    DestAlloc out = OperandSupplier::allocateDest(preg, pc, ctrl);
+    file.allocate(preg);
+    return out;
+}
+
+void
+TwoLevelSupplier::onInitialValue(PhysReg preg)
+{
+    OperandSupplier::onInitialValue(preg);
+    file.allocate(preg);
+    file.onWrite(preg);
+}
+
+void
+TwoLevelSupplier::onArchReassigned(PhysReg prev)
+{
+    file.onArchReassigned(prev);
+}
+
+void
+TwoLevelSupplier::onArchReassignCancelled(PhysReg prev)
+{
+    file.onArchReassignCancelled(prev);
+}
+
+void
+TwoLevelSupplier::onConsumerDone(PhysReg src)
+{
+    file.onConsumerDone(src);
+}
+
+WriteOutcome
+TwoLevelSupplier::onValueProduced(PhysReg preg, Cycle now)
+{
+    file.onWrite(preg);
+    value(preg).storageReadyAt = now;
+    return {};
+}
+
+void
+TwoLevelSupplier::onValueFreed(PhysReg preg, Addr producer_pc,
+                               uint64_t producer_ctrl,
+                               uint32_t actual_uses, Cycle now)
+{
+    file.onFree(preg);
+    OperandSupplier::onValueFreed(preg, producer_pc, producer_ctrl,
+                                  actual_uses, now);
+}
+
+void
+TwoLevelSupplier::onDestSquashed(PhysReg dest, Cycle now)
+{
+    (void)now;
+    file.onSquash(dest);
+}
+
+RecoveryResult
+TwoLevelSupplier::recoverMappings(const std::vector<PhysReg> &mapped,
+                                  Cycle now)
+{
+    // Restored mappings whose values migrated to L2 must be copied
+    // back before they are readable again (Section 5.5). Collect the
+    // displaced set before recover() re-establishes L1 residency.
+    RecoveryResult out;
+    for (PhysReg p : mapped)
+        if (file.isAllocated(p) && !file.inL1(p))
+            out.displaced.push_back(p);
+    out.doneAt = file.recover(mapped, now);
+    return out;
+}
+
+void
+TwoLevelSupplier::tick(Cycle now)
+{
+    file.tick(now);
+}
+
+} // namespace ubrc::storage

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two-level (L1/L2) register file after Balasubramonian et al.,
+ * wrapped behind the OperandSupplier contract: rename stalls when the
+ * L1 is full, values migrate to L2 once dead-looking, and squash
+ * recovery copies displaced mappings back before they are readable.
+ */
+
+#ifndef UBRC_STORAGE_TWO_LEVEL_SUPPLIER_HH
+#define UBRC_STORAGE_TWO_LEVEL_SUPPLIER_HH
+
+#include "regfile/two_level.hh"
+#include "storage/operand_supplier.hh"
+
+namespace ubrc::storage
+{
+
+/** Two-level register file (no register cache). */
+class TwoLevelSupplier : public OperandSupplier
+{
+  public:
+    TwoLevelSupplier(const sim::SimConfig &config,
+                     stats::StatGroup &stat_group);
+
+    const char *name() const override { return "two-level"; }
+
+    bool canAllocateDest() const override { return file.canAllocate(); }
+    void onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                           Addr producer_pc,
+                           uint64_t producer_ctrl) override;
+    DestAlloc allocateDest(PhysReg preg, Addr pc,
+                           uint64_t ctrl) override;
+    void onInitialValue(PhysReg preg) override;
+    void onArchReassigned(PhysReg prev) override;
+    void onArchReassignCancelled(PhysReg prev) override;
+
+    void onConsumerDone(PhysReg src) override;
+
+    WriteOutcome onValueProduced(PhysReg preg, Cycle now) override;
+
+    void onValueFreed(PhysReg preg, Addr producer_pc,
+                      uint64_t producer_ctrl, uint32_t actual_uses,
+                      Cycle now) override;
+    void onDestSquashed(PhysReg dest, Cycle now) override;
+
+    bool needsRecovery() const override { return true; }
+    RecoveryResult recoverMappings(const std::vector<PhysReg> &mapped,
+                                   Cycle now) override;
+
+    void tick(Cycle now) override;
+
+  private:
+    regfile::TwoLevelFile file;
+};
+
+} // namespace ubrc::storage
+
+#endif // UBRC_STORAGE_TWO_LEVEL_SUPPLIER_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Determinism regression tests.
+ *
+ * The simulator is a pure function of (configuration, workload seed):
+ * two runs of the same pair must produce byte-identical statistics,
+ * and the parallel suite runner must merge into exactly the result a
+ * serial sweep produces — including contained failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::sim;
+
+namespace
+{
+
+std::string
+dumpFor(const SimConfig &base, const std::string &workload,
+        uint64_t insts)
+{
+    SimConfig cfg = base;
+    cfg.maxInsts = insts;
+    cfg.validate();
+    const workload::Workload w = workload::buildWorkload(workload);
+    core::Processor proc(cfg, w);
+    proc.run();
+    return proc.statsDump();
+}
+
+void
+expectSuitesEqual(const SuiteResult &a, const SuiteResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        SCOPED_TRACE(a.runs[i].workload);
+        EXPECT_EQ(a.runs[i].workload, b.runs[i].workload);
+        EXPECT_EQ(a.runs[i].failed, b.runs[i].failed);
+        EXPECT_EQ(static_cast<int>(a.runs[i].errorKind),
+                  static_cast<int>(b.runs[i].errorKind));
+        EXPECT_EQ(a.runs[i].error, b.runs[i].error);
+
+        const core::SimResult &ra = a.runs[i].result;
+        const core::SimResult &rb = b.runs[i].result;
+        EXPECT_EQ(ra.cycles, rb.cycles);
+        EXPECT_EQ(ra.instsRetired, rb.instsRetired);
+        EXPECT_EQ(ra.ipc, rb.ipc); // bit-exact, not approximate
+        EXPECT_EQ(ra.opBypass, rb.opBypass);
+        EXPECT_EQ(ra.opCache, rb.opCache);
+        EXPECT_EQ(ra.opFile, rb.opFile);
+        EXPECT_EQ(ra.rcMisses, rb.rcMisses);
+        EXPECT_EQ(ra.rcInserts, rb.rcInserts);
+        EXPECT_EQ(ra.rcFills, rb.rcFills);
+        EXPECT_EQ(ra.writesFiltered, rb.writesFiltered);
+        EXPECT_EQ(ra.miniReplays, rb.miniReplays);
+        EXPECT_EQ(ra.branchMispredicts, rb.branchMispredicts);
+        EXPECT_EQ(ra.douAccuracy, rb.douAccuracy);
+    }
+    EXPECT_EQ(a.geomeanIpc(), b.geomeanIpc());
+    EXPECT_EQ(a.failureSummary(), b.failureSummary());
+}
+
+} // namespace
+
+TEST(Determinism, CachedSchemeRepeatsExactly)
+{
+    const std::string a = dumpFor(SimConfig::useBasedCache(), "gzip",
+                                  20000);
+    const std::string b = dumpFor(SimConfig::useBasedCache(), "gzip",
+                                  20000);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(Determinism, MonolithicSchemeRepeatsExactly)
+{
+    const std::string a = dumpFor(SimConfig::monolithic(3), "crafty",
+                                  20000);
+    const std::string b = dumpFor(SimConfig::monolithic(3), "crafty",
+                                  20000);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, TwoLevelSchemeRepeatsExactly)
+{
+    const std::string a = dumpFor(SimConfig::twoLevelFile(64), "vpr",
+                                  20000);
+    const std::string b = dumpFor(SimConfig::twoLevelFile(64), "vpr",
+                                  20000);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, ParallelSuiteMatchesSerial)
+{
+    const std::vector<std::string> names = {"gzip", "crafty", "vpr",
+                                            "eon"};
+    const SimConfig cfg = SimConfig::useBasedCache();
+    const SuiteResult serial = runSuite(cfg, names, {}, 15000, 1);
+    const SuiteResult par = runSuite(cfg, names, {}, 15000, 4);
+    ASSERT_EQ(serial.numFailed(), 0u);
+    expectSuitesEqual(serial, par);
+}
+
+TEST(Determinism, ParallelSuiteWithMoreJobsThanWork)
+{
+    const std::vector<std::string> names = {"gzip", "bzip2"};
+    const SimConfig cfg = SimConfig::useBasedCache();
+    const SuiteResult serial = runSuite(cfg, names, {}, 10000, 1);
+    const SuiteResult par = runSuite(cfg, names, {}, 10000, 16);
+    expectSuitesEqual(serial, par);
+}
+
+TEST(Determinism, ParallelSuiteContainsFailuresIdentically)
+{
+    // A watchdog shorter than a DRAM round trip trips on the first
+    // memory miss that blocks the ROB head, so these runs fail
+    // deterministically; containment must merge identically.
+    SimConfig cfg = SimConfig::useBasedCache();
+    cfg.watchdogCycles = 100;
+    const std::vector<std::string> names = {"gzip", "mcf", "twolf"};
+    const SuiteResult serial = runSuite(cfg, names, {}, 50000, 1);
+    const SuiteResult par = runSuite(cfg, names, {}, 50000, 3);
+    EXPECT_GT(serial.numFailed(), 0u);
+    expectSuitesEqual(serial, par);
+}

@@ -103,6 +103,92 @@ TEST(IndexAllocator, HighUseThresholdIsExclusive)
     EXPECT_EQ(ia.setHighUse(1), 1u);
 }
 
+// --- non-power-of-two set counts and wrap-around -------------------
+//
+// Decoupled indexing frees the set count from the physical register
+// width, so odd table sizes are legal configurations; the modulus and
+// scan logic must handle them.
+
+TEST(IndexAllocator, PhysRegModuloNonPowerOfTwo)
+{
+    IndexAllocator ia(IndexPolicy::PhysReg, 6, 2);
+    EXPECT_EQ(ia.assign(6, 1), 0u);
+    EXPECT_EQ(ia.assign(13, 1), 1u);
+    EXPECT_EQ(ia.assign(35, 1), 5u);
+}
+
+TEST(IndexAllocator, RoundRobinWrapsAtNonPowerOfTwo)
+{
+    IndexAllocator ia(IndexPolicy::RoundRobin, 7, 2);
+    // Three full laps: the wrap must happen at 7, not at 8.
+    for (unsigned i = 0; i < 3 * 7; ++i)
+        EXPECT_EQ(ia.assign(static_cast<PhysReg>(i), 1), i % 7);
+}
+
+TEST(IndexAllocator, MinimumScansAllSetsOfOddTable)
+{
+    IndexAllocator ia(IndexPolicy::Minimum, 5, 2);
+    // Load sets 0..3, leaving only the final set empty.
+    EXPECT_EQ(ia.assign(1, 4), 0u);
+    EXPECT_EQ(ia.assign(2, 4), 1u);
+    EXPECT_EQ(ia.assign(3, 4), 2u);
+    EXPECT_EQ(ia.assign(4, 4), 3u);
+    // The scan must reach the last set of an odd-sized table.
+    EXPECT_EQ(ia.assign(5, 1), 4u); // loads: 4 4 4 4 1
+    EXPECT_EQ(ia.assign(6, 1), 4u); // loads: 4 4 4 4 2
+    // Releasing a middle set makes it the minimum again.
+    ia.release(2, 4);               // loads: 4 4 0 4 2
+    EXPECT_EQ(ia.assign(7, 1), 2u);
+}
+
+TEST(IndexAllocator, MinimumTieBreaksToLowestSet)
+{
+    IndexAllocator ia(IndexPolicy::Minimum, 3, 2);
+    EXPECT_EQ(ia.assign(1, 2), 0u); // loads: 2 0 0
+    // Sets 1 and 2 tie at zero: the lower index wins.
+    EXPECT_EQ(ia.assign(2, 1), 1u);
+}
+
+TEST(IndexAllocator, FilteredRoundRobinWrapsPastCrowdedTail)
+{
+    // 3 sets, 2-way: skip limit is one high-use value per set.
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 3, 2, 5);
+    // Two laps of high-use values crowd every set...
+    for (PhysReg p = 1; p <= 6; ++p)
+        ia.assign(p, 6);
+    // ...then uncrowd sets 0 and 1, leaving only the tail set 2
+    // over the limit. The round-robin cursor is back at set 0.
+    ia.release(0, 6);
+    ia.release(0, 6);
+    ia.release(1, 6);
+    ia.release(1, 6);
+    ASSERT_EQ(ia.setHighUse(0), 0u);
+    ASSERT_EQ(ia.setHighUse(1), 0u);
+    ASSERT_EQ(ia.setHighUse(2), 2u);
+
+    EXPECT_EQ(ia.assign(7, 1), 0u);
+    EXPECT_EQ(ia.assign(8, 1), 1u);
+    // Cursor now points at the crowded tail: the scan must wrap
+    // through the modulus back to set 0 rather than running off the
+    // table or sticking at the cursor.
+    EXPECT_EQ(ia.assign(9, 1), 0u);
+    EXPECT_EQ(ia.assign(10, 1), 1u);
+    EXPECT_EQ(ia.assign(11, 1), 0u);
+}
+
+TEST(IndexAllocator, FilteredDirectMappedUsesUnitSkipLimit)
+{
+    // assoc/2 would be zero for a direct-mapped cache; the limit
+    // clamps to one so a single high-use value does not poison a set.
+    IndexAllocator ia(IndexPolicy::FilteredRoundRobin, 2, 1, 5);
+    EXPECT_EQ(ia.assign(1, 9), 0u); // one high-use value: still ok
+    EXPECT_EQ(ia.assign(2, 9), 1u);
+    EXPECT_EQ(ia.assign(3, 9), 0u); // now both sets go over...
+    EXPECT_EQ(ia.assign(4, 9), 1u);
+    // ...and the fallback is plain round-robin.
+    EXPECT_EQ(ia.assign(5, 1), 0u);
+}
+
 TEST(IndexAllocatorDeathTest, BadReleasePanics)
 {
     IndexAllocator ia(IndexPolicy::RoundRobin, 4, 2);

@@ -70,6 +70,32 @@ TEST(Runner, BenchMaxInstsEnv)
     unsetenv("UBRC_MAX_INSTS");
 }
 
+TEST(Runner, BenchJobsEnv)
+{
+    unsetenv("UBRC_JOBS");
+    EXPECT_EQ(benchJobs(1), 1u);
+    EXPECT_EQ(benchJobs(4), 4u);
+    setenv("UBRC_JOBS", "8", 1);
+    EXPECT_EQ(benchJobs(1), 8u);
+    unsetenv("UBRC_JOBS");
+}
+
+TEST(RunnerDeathTest, BenchJobsRejectsGarbage)
+{
+    setenv("UBRC_JOBS", "2fast", 1);
+    EXPECT_EXIT(benchJobs(1), testing::ExitedWithCode(1),
+                "UBRC_JOBS.*2fast");
+    setenv("UBRC_JOBS", "-3", 1);
+    EXPECT_EXIT(benchJobs(1), testing::ExitedWithCode(1), "UBRC_JOBS");
+    setenv("UBRC_JOBS", "0", 1);
+    EXPECT_EXIT(benchJobs(1), testing::ExitedWithCode(1),
+                "UBRC_JOBS.*at least 1");
+    setenv("UBRC_JOBS", "99999", 1);
+    EXPECT_EXIT(benchJobs(1), testing::ExitedWithCode(1),
+                "UBRC_JOBS.*out of range");
+    unsetenv("UBRC_JOBS");
+}
+
 TEST(Runner, RunOneHonoursMaxInsts)
 {
     const auto w = workload::buildWorkload("gzip");

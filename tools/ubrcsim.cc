@@ -12,12 +12,14 @@
  *   ubrcsim --list
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "isa/assembler.hh"
@@ -40,7 +42,9 @@ usage()
         "ubrcsim — use-based register caching simulator\n"
         "\n"
         "workload selection:\n"
-        "  --workload NAME     kernel from the built-in suite\n"
+        "  --workload NAME     kernel from the built-in suite; a\n"
+        "                      comma list or 'all' runs a suite and\n"
+        "                      prints one summary row per kernel\n"
         "  --asm FILE          assemble FILE and run it instead\n"
         "  --list              list built-in kernels and exit\n"
         "  --disasm            print the program listing and exit\n"
@@ -62,6 +66,10 @@ usage()
         "\n"
         "run control:\n"
         "  --insts N           stop after N retired instructions\n"
+        "  --jobs N            suite mode: run kernels on N worker\n"
+        "                      threads (default: UBRC_JOBS, else 1;\n"
+        "                      0 or garbage is an error). Results are\n"
+        "                      bit-identical to a serial run.\n"
         "  --no-checker        disable the golden architectural checker\n"
         "  --stats             dump every statistic after the run\n"
         "  --watchdog N        abort if no instruction retires for N\n"
@@ -181,6 +189,7 @@ main(int argc, char **argv)
     bool validate_only = false;
     workload::WorkloadParams wparams;
     uint64_t max_insts = 500000;
+    unsigned jobs = sim::benchJobs(1);
 
     sim::SimConfig cfg = sim::SimConfig::useBasedCache();
     unsigned entries = cfg.rc.entries;
@@ -246,6 +255,13 @@ main(int argc, char **argv)
         } else if (arg == "--insts") {
             max_insts = std::strtoull(nextArg(argc, argv, i),
                                       nullptr, 0);
+        } else if (arg == "--jobs") {
+            const char *v = nextArg(argc, argv, i);
+            const uint64_t n = parseU64("--jobs", v);
+            if (n == 0 || n > 1024)
+                fatal("--jobs: worker count must be in 1..1024, "
+                      "got '%s'", v);
+            jobs = static_cast<unsigned>(n);
         } else if (arg == "--no-checker") {
             cfg.checker = false;
         } else if (arg == "--stats") {
@@ -295,6 +311,56 @@ main(int argc, char **argv)
     if (validate_only) {
         std::printf("configuration ok: %s\n", cfg.describe().c_str());
         return 0;
+    }
+
+    // A comma list (or "all") runs a whole suite, optionally on
+    // several worker threads.
+    std::vector<std::string> suite;
+    if (asm_path.empty()) {
+        if (workload_name == "all") {
+            suite = workload::workloadNames();
+        } else if (workload_name.find(',') != std::string::npos) {
+            const auto &known = workload::workloadNames();
+            std::stringstream ss(workload_name);
+            std::string n;
+            while (std::getline(ss, n, ',')) {
+                if (n.empty())
+                    continue;
+                if (std::find(known.begin(), known.end(), n) ==
+                    known.end())
+                    fatal("unknown workload '%s'", n.c_str());
+                suite.push_back(n);
+            }
+        }
+    }
+    if (!suite.empty()) {
+        if (do_disasm || dump_stats)
+            fatal("--disasm and --stats need a single workload");
+        std::printf("design   : %s\n", cfg.describe().c_str());
+        std::printf("suite    : %zu kernels, %u job(s)\n\n",
+                    suite.size(), jobs);
+        const sim::SuiteResult sr =
+            sim::runSuite(cfg, suite, wparams, max_insts, jobs);
+        for (const auto &run : sr.runs) {
+            if (run.failed)
+                std::printf("%-9s FAILED [%s] %s\n",
+                            run.workload.c_str(),
+                            sim::toString(run.errorKind),
+                            run.error.c_str());
+            else
+                std::printf("%-9s %9llu insts  %9llu cycles  "
+                            "IPC %.3f\n",
+                            run.workload.c_str(),
+                            static_cast<unsigned long long>(
+                                run.result.instsRetired),
+                            static_cast<unsigned long long>(
+                                run.result.cycles),
+                            run.result.ipc);
+        }
+        std::printf("\ngeomean IPC %.3f over %zu run(s)%s\n",
+                    sr.geomeanIpc(), sr.runs.size() - sr.numFailed(),
+                    sr.numFailed() ? " (failures above)" : "");
+        return sr.numFailed() ? 1 : 0;
     }
 
     const workload::Workload w =
