@@ -9,8 +9,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -18,22 +17,27 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Bypass network depth sensitivity", "Section 2.2");
+    Reporter rep("ablation_bypass");
+    rep.banner("Bypass network depth sensitivity", "Section 2.2");
 
-    TextTable t({"bypass stages", "geomean IPC", "bypass frac",
-                 "miss/operand"});
+    auto &t = rep.table("bypass_depth",
+                        {"bypass stages", "geomean IPC", "bypass frac",
+                         "miss/operand"});
     for (unsigned stages : {1u, 2u, 3u, 4u}) {
         sim::SimConfig cfg = sim::SimConfig::useBasedCache();
         cfg.bypassStages = stages;
-        const auto r = run(cfg);
+        const auto r =
+            rep.run("use-based-b" + std::to_string(stages), cfg);
         const double byp = r.mean(
             [](const core::SimResult &s) { return s.bypassFraction; });
-        t.addRow({TextTable::num(uint64_t(stages)),
-                  TextTable::num(r.geomeanIpc()),
-                  TextTable::num(byp, 3),
-                  TextTable::num(meanMissPerOperand(r), 4)});
+        t.row({stages, Cell::real(r.geomeanIpc()),
+               Cell::real(byp, 3),
+               Cell::real(r.mean([](const core::SimResult &s) {
+                              return s.missPerOperand;
+                          }),
+                          4)});
     }
-    std::printf("%s\n", t.render().c_str());
+    t.print();
     std::printf("Expected: the bypass fraction grows with depth "
                 "(~57%% at the paper's two stages) and the\n"
                 "cache miss rate falls; beyond two stages the "

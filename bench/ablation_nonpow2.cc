@@ -10,8 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -19,21 +18,24 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Non-power-of-two cache sizes via decoupled indexing",
-           "Section 4.1");
+    Reporter rep("ablation_nonpow2");
+    rep.banner("Non-power-of-two cache sizes via decoupled indexing",
+               "Section 4.1");
 
-    TextTable t({"entries", "sets(2-way)", "geomean IPC",
-                 "miss/operand"});
+    auto &t = rep.table("sizes", {"entries", "sets(2-way)",
+                                  "geomean IPC", "miss/operand"});
     for (unsigned entries : {32u, 40u, 48u, 56u, 64u, 72u, 80u}) {
         sim::SimConfig cfg = sim::SimConfig::useBasedCache();
         cfg.rc.entries = entries;
-        const auto r = run(cfg);
-        t.addRow({TextTable::num(uint64_t(entries)),
-                  TextTable::num(uint64_t(entries / 2)),
-                  TextTable::num(r.geomeanIpc()),
-                  TextTable::num(meanMissPerOperand(r), 4)});
+        const auto r =
+            rep.run("use-based-e" + std::to_string(entries), cfg);
+        t.row({entries, entries / 2, Cell::real(r.geomeanIpc()),
+               Cell::real(r.mean([](const core::SimResult &s) {
+                              return s.missPerOperand;
+                          }),
+                          4)});
     }
-    std::printf("%s\n", t.render().c_str());
+    t.print();
     std::printf("Expected: monotone improvement with size and no "
                 "discontinuities at non-power-of-two points —\n"
                 "set counts like 28 are first-class citizens under "

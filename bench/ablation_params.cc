@@ -9,61 +9,78 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
 
+namespace
+{
+
+double
+missPerOperand(const sim::SuiteResult &r)
+{
+    return r.mean(
+        [](const core::SimResult &s) { return s.missPerOperand; });
+}
+
+} // namespace
+
 int
 main()
 {
-    banner("Use-count parameter ablations", "Section 5.3");
+    Reporter rep("ablation_params");
+    rep.banner("Use-count parameter ablations", "Section 5.3");
 
     {
-        TextTable t({"max use count", "geomean IPC", "miss/operand"});
+        auto &t = rep.table("max_use",
+                            {"max use count", "geomean IPC",
+                             "miss/operand"});
         for (unsigned max_use : {3u, 5u, 7u, 12u}) {
             auto cfg = sim::SimConfig::useBasedCache();
             cfg.rc.maxUse = max_use;
-            const auto r = run(cfg);
-            t.addRow({TextTable::num(uint64_t(max_use)),
-                      TextTable::num(r.geomeanIpc()),
-                      TextTable::num(meanMissPerOperand(r), 4)});
+            const auto r =
+                rep.run("max-use-" + std::to_string(max_use), cfg);
+            t.row({max_use, Cell::real(r.geomeanIpc()),
+                   Cell::real(missPerOperand(r), 4)});
         }
-        std::printf("%s\n", t.render().c_str());
+        t.print();
         std::printf("Expected: performance falls off for limits "
                     "below ~6 (too many pinned values); the knee\n"
                     "is near 7 (3 bits), the paper's choice.\n\n");
     }
 
     {
-        TextTable t({"unknown default", "geomean IPC",
-                     "miss/operand"});
+        auto &t = rep.table("unknown_default",
+                            {"unknown default", "geomean IPC",
+                             "miss/operand"});
         for (unsigned dflt : {0u, 1u, 2u, 4u}) {
             auto cfg = sim::SimConfig::useBasedCache();
             cfg.rc.unknownDefault = dflt;
-            const auto r = run(cfg);
-            t.addRow({TextTable::num(uint64_t(dflt)),
-                      TextTable::num(r.geomeanIpc()),
-                      TextTable::num(meanMissPerOperand(r), 4)});
+            const auto r = rep.run(
+                "unknown-default-" + std::to_string(dflt), cfg);
+            t.row({dflt, Cell::real(r.geomeanIpc()),
+                   Cell::real(missPerOperand(r), 4)});
         }
-        std::printf("%s\n", t.render().c_str());
+        t.print();
         std::printf("Expected: best near 1 (most values are used "
                     "once); 0 causes premature evictions, large\n"
                     "values leave stale entries.\n\n");
     }
 
     {
-        TextTable t({"fill default", "geomean IPC", "miss/operand"});
+        auto &t = rep.table("fill_default",
+                            {"fill default", "geomean IPC",
+                             "miss/operand"});
         for (unsigned dflt : {0u, 1u, 2u}) {
             auto cfg = sim::SimConfig::useBasedCache();
             cfg.rc.fillDefault = dflt;
-            const auto r = run(cfg);
-            t.addRow({TextTable::num(uint64_t(dflt)),
-                      TextTable::num(r.geomeanIpc()),
-                      TextTable::num(meanMissPerOperand(r), 4)});
+            const auto r =
+                rep.run("fill-default-" + std::to_string(dflt), cfg);
+            t.row({dflt, Cell::real(r.geomeanIpc()),
+                   Cell::real(missPerOperand(r), 4)});
         }
-        std::printf("%s\n", t.render().c_str());
+        t.print();
         std::printf("Expected: 0 maximizes performance (the use that "
                     "caused the fill is most likely the last;\n"
                     "zero-count values still serve hits until "

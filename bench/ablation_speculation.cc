@@ -10,8 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -19,39 +18,47 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Speculation and wrong-path use pollution",
-           "Section 3.4");
+    Reporter rep("ablation_speculation");
+    rep.banner("Speculation and wrong-path use pollution",
+               "Section 3.4");
 
     struct Variant
     {
         const char *name;
+        std::string label;
         sim::SimConfig cfg;
     };
     std::vector<Variant> variants;
     for (const bool oracle : {false, true}) {
         auto ub = sim::SimConfig::useBasedCache();
         ub.perfectBranchPrediction = oracle;
-        variants.push_back(
-            {oracle ? "use-based + oracle BP" : "use-based", ub});
+        variants.push_back({oracle ? "use-based + oracle BP"
+                                   : "use-based",
+                            oracle ? "use-based-oracle" : "use-based",
+                            ub});
         auto lru = sim::SimConfig::lruCache();
         lru.perfectBranchPrediction = oracle;
-        variants.push_back(
-            {oracle ? "lru + oracle BP" : "lru", lru});
+        variants.push_back({oracle ? "lru + oracle BP" : "lru",
+                            oracle ? "lru-oracle" : "lru", lru});
     }
 
-    TextTable t({"design", "geomean IPC", "miss/operand",
-                 "mispredicts", "dou acc"});
+    auto &t = rep.table("speculation",
+                        {"design", "geomean IPC", "miss/operand",
+                         "mispredicts", "dou acc"});
     for (const auto &v : variants) {
-        const sim::SuiteResult r = run(v.cfg);
+        const sim::SuiteResult r = rep.run(v.label, v.cfg);
         const uint64_t mispred = r.total(
             [](const core::SimResult &s) { return s.branchMispredicts; });
         const double dou = r.mean(
             [](const core::SimResult &s) { return s.douAccuracy; });
-        t.addRow({v.name, TextTable::num(r.geomeanIpc()),
-                  TextTable::num(meanMissPerOperand(r), 4),
-                  TextTable::num(mispred), TextTable::num(dou, 3)});
+        t.row({v.name, Cell::real(r.geomeanIpc()),
+               Cell::real(r.mean([](const core::SimResult &s) {
+                              return s.missPerOperand;
+                          }),
+                          4),
+               mispred, Cell::real(dou, 3)});
     }
-    std::printf("%s\n", t.render().c_str());
+    t.print();
     std::printf("Expected: oracle fetch removes (nearly) all "
                 "mispredicts and lifts IPC for both caches.\n"
                 "Absolute miss rates RISE under the oracle (the "

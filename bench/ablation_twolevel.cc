@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -17,22 +16,28 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Two-level register file bandwidth ablation",
-           "Section 5.5 (footnote)");
+    Reporter rep("ablation_twolevel");
+    rep.banner("Two-level register file bandwidth ablation",
+               "Section 5.5 (footnote)");
 
-    const double lru_ipc = run(sim::SimConfig::lruCache()).geomeanIpc();
+    const double lru_ipc =
+        rep.run("lru", sim::SimConfig::lruCache()).geomeanIpc();
     const double ub_ipc =
-        run(sim::SimConfig::useBasedCache()).geomeanIpc();
+        rep.run("use-based", sim::SimConfig::useBasedCache())
+            .geomeanIpc();
     std::printf("reference: use-based=%.3f  lru=%.3f geomean IPC\n\n",
                 ub_ipc, lru_ipc);
 
-    TextTable t({"L1-L2 bw (regs/cyc)", "geomean IPC", "vs use-based",
-                 "vs lru"});
+    auto &t = rep.table("bandwidth",
+                        {"L1-L2 bw (regs/cyc)", "geomean IPC",
+                         "vs use-based", "vs lru"});
     double bw4 = 0, bw2 = 0;
     for (unsigned bw : {1u, 2u, 4u, 8u}) {
         auto cfg = sim::SimConfig::twoLevelFile(64);
         cfg.twoLevel.bandwidth = bw;
-        const double ipc = run(cfg).geomeanIpc();
+        const double ipc =
+            rep.run("two-level-bw" + std::to_string(bw), cfg)
+                .geomeanIpc();
         if (bw == 4)
             bw4 = ipc;
         if (bw == 2)
@@ -42,24 +47,27 @@ main()
                       100 * (ipc / ub_ipc - 1));
         std::snprintf(vs_lru, sizeof(vs_lru), "%+.1f%%",
                       100 * (ipc / lru_ipc - 1));
-        t.addRow({TextTable::num(uint64_t(bw)), TextTable::num(ipc),
-                  vs_ub, vs_lru});
+        t.row({bw, Cell::real(ipc),
+               Cell::typed(vs_ub, ipc / ub_ipc - 1),
+               Cell::typed(vs_lru, ipc / lru_ipc - 1)});
     }
-    std::printf("%s\n", t.render().c_str());
+    t.print();
     if (bw4 > 0)
         std::printf("bandwidth 4 -> 2 costs %.1f%% (paper: >2%%)\n",
                     100 * (1 - bw2 / bw4));
 
     std::printf("\nTransfer threshold sweep (free L1 registers below "
                 "which values migrate):\n");
-    TextTable t2({"threshold", "geomean IPC"});
+    auto &t2 = rep.table("threshold", {"threshold", "geomean IPC"});
     for (unsigned th : {2u, 8u, 24u, 96u}) {
         auto cfg = sim::SimConfig::twoLevelFile(64);
         cfg.twoLevel.freeThreshold = th;
-        t2.addRow({TextTable::num(uint64_t(th)),
-                   TextTable::num(run(cfg).geomeanIpc())});
+        t2.row({th,
+                Cell::real(
+                    rep.run("two-level-th" + std::to_string(th), cfg)
+                        .geomeanIpc())});
     }
-    std::printf("%s\n", t2.render().c_str());
+    t2.print();
     std::printf("Expected: too lazy a threshold stalls rename; "
                 "eager transfer costs little here because the\n"
                 "optimistic recovery overlaps the refill (the "

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 
 #include "sim/sim_error.hh"
 #include "workload/workload.hh"
@@ -39,42 +38,6 @@ run(const sim::SimConfig &cfg)
         std::fprintf(stderr, "bench: %zu workload(s) failed:\n%s",
                      r.numFailed(), r.failureSummary().c_str());
     return r;
-}
-
-void
-banner(const std::string &what, const std::string &paper_ref)
-{
-    std::printf("== %s ==\n", what.c_str());
-    std::printf("Reproduces %s of Butts & Sohi, \"Use-Based Register "
-                "Caching with Decoupled Indexing\", ISCA 2004.\n",
-                paper_ref.c_str());
-    std::printf("workloads:");
-    for (const auto &w : workloads())
-        std::printf(" %s", w.c_str());
-    std::printf("  |  %llu insts each\n\n",
-                static_cast<unsigned long long>(instBudget()));
-}
-
-double
-monolithicIpc(Cycle latency)
-{
-    static std::map<Cycle, double> cache;
-    auto it = cache.find(latency);
-    if (it != cache.end())
-        return it->second;
-    const double ipc = run(sim::SimConfig::monolithic(latency))
-                           .geomeanIpc();
-    cache[latency] = ipc;
-    return ipc;
-}
-
-double
-meanMissPerOperand(const sim::SuiteResult &r)
-{
-    double sum = 0;
-    for (const auto &run : r.runs)
-        sum += run.result.missPerOperand;
-    return r.runs.empty() ? 0.0 : sum / r.runs.size();
 }
 
 } // namespace ubrc::bench

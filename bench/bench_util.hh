@@ -30,17 +30,12 @@ constexpr uint64_t defaultInsts = 150000;
 std::vector<std::string> workloads();
 uint64_t instBudget();
 
-/** Run a config over the selected workloads. */
+/**
+ * Run a config over the selected workloads. Harnesses should go
+ * through Reporter::run (bench/reporter.hh) instead, which wraps
+ * this and records the suite in the harness's JSON document.
+ */
 sim::SuiteResult run(const sim::SimConfig &cfg);
-
-/** Print the standard harness banner. */
-void banner(const std::string &what, const std::string &paper_ref);
-
-/** Geomean IPC of a monolithic file, cached per latency. */
-double monolithicIpc(Cycle latency);
-
-/** Convenience metric extractors. */
-double meanMissPerOperand(const sim::SuiteResult &r);
 
 } // namespace ubrc::bench
 

@@ -7,43 +7,44 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 #include "core/processor.hh"
 #include "workload/workload.hh"
 
 using namespace ubrc;
+using bench::Cell;
 
 int
 main()
 {
-    bench::banner("Register lifetime phases", "Figure 1");
+    bench::Reporter r("fig01_lifetimes");
+    r.banner("Register lifetime phases", "Figure 1");
 
     sim::SimConfig cfg = sim::SimConfig::monolithic(1);
     cfg.trackLifetimes = true;
     cfg.maxInsts = bench::instBudget();
+    r.config(cfg.describe());
 
-    TextTable table({"workload", "empty(med)", "live(med)",
-                     "dead(med)"});
+    auto &table = r.table("lifetimes", {"workload", "empty(med)",
+                                        "live(med)", "dead(med)"});
     double empty_sum = 0, live_sum = 0, dead_sum = 0;
     unsigned n = 0;
     for (const auto &name : bench::workloads()) {
         const auto w = workload::buildWorkload(name);
         core::Processor p(cfg, w);
         p.run();
-        const core::SimResult r = p.result();
-        table.addRow({name, TextTable::num(r.medianEmptyTime),
-                      TextTable::num(r.medianLiveTime),
-                      TextTable::num(r.medianDeadTime)});
-        empty_sum += static_cast<double>(r.medianEmptyTime);
-        live_sum += static_cast<double>(r.medianLiveTime);
-        dead_sum += static_cast<double>(r.medianDeadTime);
+        const core::SimResult res = p.result();
+        table.row({name, res.medianEmptyTime, res.medianLiveTime,
+                   res.medianDeadTime});
+        empty_sum += static_cast<double>(res.medianEmptyTime);
+        live_sum += static_cast<double>(res.medianLiveTime);
+        dead_sum += static_cast<double>(res.medianDeadTime);
         ++n;
     }
-    table.addRow({"MEAN-OF-MEDIANS", TextTable::num(empty_sum / n, 1),
-                  TextTable::num(live_sum / n, 1),
-                  TextTable::num(dead_sum / n, 1)});
-    std::printf("%s\n", table.render().c_str());
+    table.row({"MEAN-OF-MEDIANS", Cell::real(empty_sum / n, 1),
+               Cell::real(live_sum / n, 1),
+               Cell::real(dead_sum / n, 1)});
+    table.print();
     std::printf("Paper (Alpha/SPECint 2000): empty ~31, live ~10, "
                 "dead ~66 cycles. The expected shape is\n"
                 "live << empty < dead: values are readable for a "

@@ -6,47 +6,47 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 #include "core/processor.hh"
 #include "workload/workload.hh"
 
 using namespace ubrc;
+using bench::Cell;
 
 int
 main()
 {
-    bench::banner("Allocated vs. live register occupancy", "Figure 2");
+    bench::Reporter r("fig02_occupancy");
+    r.banner("Allocated vs. live register occupancy", "Figure 2");
 
     sim::SimConfig cfg = sim::SimConfig::monolithic(1);
     cfg.trackLifetimes = true;
     cfg.maxInsts = bench::instBudget();
+    r.config(cfg.describe());
 
-    TextTable table({"workload", "alloc p50", "alloc p90", "live p50",
-                     "live p90", "live/alloc p50"});
+    auto &table = r.table("occupancy",
+                          {"workload", "alloc p50", "alloc p90",
+                           "live p50", "live p90", "live/alloc p50"});
     double a90 = 0, l90 = 0;
     unsigned n = 0;
     for (const auto &name : bench::workloads()) {
         const auto w = workload::buildWorkload(name);
         core::Processor p(cfg, w);
         p.run();
-        const core::SimResult r = p.result();
+        const core::SimResult res = p.result();
         const double ratio =
-            r.allocatedP50
-                ? static_cast<double>(r.liveP50) / r.allocatedP50
+            res.allocatedP50
+                ? static_cast<double>(res.liveP50) / res.allocatedP50
                 : 0.0;
-        table.addRow({name, TextTable::num(r.allocatedP50),
-                      TextTable::num(r.allocatedP90),
-                      TextTable::num(r.liveP50),
-                      TextTable::num(r.liveP90),
-                      TextTable::num(ratio, 2)});
-        a90 += static_cast<double>(r.allocatedP90);
-        l90 += static_cast<double>(r.liveP90);
+        table.row({name, res.allocatedP50, res.allocatedP90,
+                   res.liveP50, res.liveP90, Cell::real(ratio, 2)});
+        a90 += static_cast<double>(res.allocatedP90);
+        l90 += static_cast<double>(res.liveP90);
         ++n;
     }
-    table.addRow({"MEAN", "", TextTable::num(a90 / n, 1), "",
-                  TextTable::num(l90 / n, 1), ""});
-    std::printf("%s\n", table.render().c_str());
+    table.row({"MEAN", "", Cell::real(a90 / n, 1), "",
+               Cell::real(l90 / n, 1), ""});
+    table.print();
     std::printf("Paper: median live values < 20%% of allocated "
                 "registers; 90%% of the time ~56 locations hold\n"
                 "all live values (motivating a ~64-entry cache). "

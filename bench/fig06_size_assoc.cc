@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -17,21 +16,24 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Register cache size and organization sweep", "Figure 6");
+    Reporter rep("fig06_size_assoc");
+    rep.banner("Register cache size and organization sweep",
+               "Figure 6");
 
-    const double mono1 = monolithicIpc(1);
-    const double mono2 = monolithicIpc(2);
-    const double mono3 = monolithicIpc(3);
-    const double mono4 = monolithicIpc(4);
+    const double mono1 = rep.monolithicIpc(1);
+    const double mono2 = rep.monolithicIpc(2);
+    const double mono3 = rep.monolithicIpc(3);
+    const double mono4 = rep.monolithicIpc(4);
     std::printf("no-cache register file (dotted lines): "
                 "1c=%.3f  2c=%.3f  3c=%.3f  4c=%.3f geomean IPC\n\n",
                 mono1, mono2, mono3, mono4);
 
     const unsigned sizes[] = {16, 32, 48, 64, 80, 128};
-    TextTable table({"entries", "direct", "2-way", "4-way",
-                     "full", "best/mono3"});
+    auto &table = rep.table("size_assoc",
+                            {"entries", "direct", "2-way", "4-way",
+                             "full", "best/mono3"});
     for (unsigned entries : sizes) {
-        std::vector<std::string> row = {TextTable::num(uint64_t(entries))};
+        std::vector<Cell> row = {entries};
         double best = 0;
         for (unsigned assoc : {1u, 2u, 4u, entries}) {
             sim::SimConfig cfg = sim::SimConfig::useBasedCache();
@@ -39,14 +41,17 @@ main()
             cfg.rc.assoc = assoc;
             // Standard indexing for this figure.
             cfg.rc.indexing = regcache::IndexPolicy::PhysReg;
-            const double ipc = run(cfg).geomeanIpc();
+            char label[48];
+            std::snprintf(label, sizeof(label), "e%u-a%u", entries,
+                          assoc);
+            const double ipc = rep.run(label, cfg).geomeanIpc();
             best = std::max(best, ipc);
-            row.push_back(TextTable::num(ipc));
+            row.push_back(Cell::real(ipc));
         }
-        row.push_back(TextTable::num(best / mono3, 3));
-        table.addRow(row);
+        row.push_back(Cell::real(best / mono3, 3));
+        table.row(std::move(row));
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): associativity matters "
                 "strongly; direct-mapped caches fail to reach\n"
                 "the 3-cycle register file even at 80+ entries; "

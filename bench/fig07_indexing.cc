@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -16,7 +15,8 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Decoupled indexing algorithms", "Figure 7");
+    Reporter rep("fig07_indexing");
+    rep.banner("Decoupled indexing algorithms", "Figure 7");
 
     using regcache::IndexPolicy;
     const std::pair<const char *, IndexPolicy> policies[] = {
@@ -26,30 +26,33 @@ main()
         {"filtered-rr", IndexPolicy::FilteredRoundRobin},
     };
 
-    TextTable table({"policy", "direct", "2-way", "4-way",
-                     "2-way vs preg"});
+    auto &table = rep.table("indexing",
+                            {"policy", "direct", "2-way", "4-way",
+                             "2-way vs preg"});
     double preg_2way = 0;
     for (const auto &[name, pol] : policies) {
-        std::vector<std::string> row = {name};
+        std::vector<Cell> row = {name};
         double two_way = 0;
         for (unsigned assoc : {1u, 2u, 4u}) {
             sim::SimConfig cfg = sim::SimConfig::useBasedCache();
             cfg.rc.assoc = assoc;
             cfg.rc.indexing = pol;
-            const double ipc = run(cfg).geomeanIpc();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s-a%u", name, assoc);
+            const double ipc = rep.run(label, cfg).geomeanIpc();
             if (assoc == 2)
                 two_way = ipc;
-            row.push_back(TextTable::num(ipc));
+            row.push_back(Cell::real(ipc));
         }
         if (pol == IndexPolicy::PhysReg)
             preg_2way = two_way;
         char rel[32];
         std::snprintf(rel, sizeof(rel), "%+.2f%%",
                       100.0 * (two_way / preg_2way - 1.0));
-        row.push_back(rel);
-        table.addRow(row);
+        row.push_back(Cell::typed(rel, two_way / preg_2way - 1.0));
+        table.row(std::move(row));
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): the use-based assignments "
                 "(filtered round-robin, minimum) perform best\n"
                 "(~+1.9%% on 2-way); even plain round-robin "

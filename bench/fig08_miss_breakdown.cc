@@ -9,8 +9,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -26,9 +25,9 @@ struct Breakdown
 };
 
 Breakdown
-measure(sim::SimConfig cfg)
+measure(Reporter &rep, const std::string &label, sim::SimConfig cfg)
 {
-    const sim::SuiteResult r = run(cfg);
+    const sim::SuiteResult r = rep.run(label, cfg);
     Breakdown b;
     uint64_t ops = 0, nw = 0, cap = 0, conf = 0;
     for (const auto &run : r.runs) {
@@ -50,7 +49,8 @@ measure(sim::SimConfig cfg)
 int
 main()
 {
-    banner("Miss-rate breakdown by cause and indexing", "Figure 8");
+    Reporter rep("fig08_miss_breakdown");
+    rep.banner("Miss-rate breakdown by cause and indexing", "Figure 8");
 
     struct Design
     {
@@ -63,8 +63,9 @@ main()
         {"use-based", sim::SimConfig::useBasedCache()},
     };
 
-    TextTable table({"cache", "indexing", "no-write", "capacity",
-                     "conflict", "total/operand"});
+    auto &table = rep.table("miss_breakdown",
+                            {"cache", "indexing", "no-write",
+                             "capacity", "conflict", "total/operand"});
     double conflict_std_ub = 0, conflict_frr_ub = 0;
     for (const auto &d : designs) {
         for (const bool decoupled : {false, true}) {
@@ -72,20 +73,23 @@ main()
             cfg.rc.indexing =
                 decoupled ? regcache::IndexPolicy::FilteredRoundRobin
                           : regcache::IndexPolicy::PhysReg;
-            const Breakdown b = measure(cfg);
-            table.addRow({d.name,
-                          decoupled ? "filtered-rr" : "standard",
-                          TextTable::num(b.noWrite, 4),
-                          TextTable::num(b.capacity, 4),
-                          TextTable::num(b.conflict, 4),
-                          TextTable::num(b.total(), 4)});
+            const std::string label =
+                std::string(d.name) +
+                (decoupled ? "-filtered-rr" : "-standard");
+            const Breakdown b = measure(rep, label, cfg);
+            table.row({d.name,
+                       decoupled ? "filtered-rr" : "standard",
+                       Cell::real(b.noWrite, 4),
+                       Cell::real(b.capacity, 4),
+                       Cell::real(b.conflict, 4),
+                       Cell::real(b.total(), 4)});
             if (std::string(d.name) == "use-based") {
                 (decoupled ? conflict_frr_ub : conflict_std_ub) =
                     b.conflict;
             }
         }
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     if (conflict_std_ub > 0)
         std::printf("use-based conflict-miss reduction from decoupled "
                     "indexing: %.0f%% (paper: 30-40%%)\n",

@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -16,7 +15,8 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Average access bandwidth", "Figure 9");
+    Reporter rep("fig09_bandwidth");
+    rep.banner("Average access bandwidth", "Figure 9");
 
     struct Design
     {
@@ -29,10 +29,11 @@ main()
         {"use-based", sim::SimConfig::useBasedCache()},
     };
 
-    TextTable table({"cache", "rc read/cyc", "rc write/cyc",
-                     "file read/cyc", "file write/cyc"});
+    auto &table = rep.table("bandwidth",
+                            {"cache", "rc read/cyc", "rc write/cyc",
+                             "file read/cyc", "file write/cyc"});
     for (const auto &d : designs) {
-        const sim::SuiteResult r = run(d.cfg);
+        const sim::SuiteResult r = rep.run(d.name, d.cfg);
         const double rr = r.mean(
             [](const core::SimResult &s) { return s.cacheReadBw; });
         const double rw = r.mean(
@@ -41,10 +42,10 @@ main()
             [](const core::SimResult &s) { return s.fileReadBw; });
         const double fw = r.mean(
             [](const core::SimResult &s) { return s.fileWriteBw; });
-        table.addRow({d.name, TextTable::num(rr), TextTable::num(rw),
-                      TextTable::num(fr), TextTable::num(fw)});
+        table.row({d.name, Cell::real(rr), Cell::real(rw),
+                   Cell::real(fr), Cell::real(fw)});
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): write filtering lowers "
                 "cache write bandwidth for non-bypass and\n"
                 "use-based versus LRU; file read bandwidth tracks "

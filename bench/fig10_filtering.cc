@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -17,7 +16,8 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Write-filtering effects", "Figure 10");
+    Reporter rep("fig10_filtering");
+    rep.banner("Write-filtering effects", "Figure 10");
 
     struct Design
     {
@@ -30,10 +30,12 @@ main()
         {"use-based", sim::SimConfig::useBasedCache()},
     };
 
-    TextTable table({"cache", "%cached never read",
-                     "%writes filtered", "%values never cached"});
+    auto &table = rep.table("filtering",
+                            {"cache", "%cached never read",
+                             "%writes filtered",
+                             "%values never cached"});
     for (const auto &d : designs) {
-        const sim::SuiteResult r = run(d.cfg);
+        const sim::SuiteResult r = rep.run(d.name, d.cfg);
         uint64_t cached = 0, never_read = 0, produced = 0;
         uint64_t filtered = 0, never_cached = 0;
         for (const auto &run : r.runs) {
@@ -44,13 +46,13 @@ main()
             never_cached += run.result.valuesNeverCached;
         }
         auto pct = [](uint64_t num, uint64_t den) {
-            return TextTable::num(den ? 100.0 * num / den : 0.0, 1);
+            return Cell::real(den ? 100.0 * num / den : 0.0, 1);
         };
-        table.addRow({d.name, pct(never_read, cached),
-                      pct(filtered, produced),
-                      pct(never_cached, produced)});
+        table.row({d.name, pct(never_read, cached),
+                   pct(filtered, produced),
+                   pct(never_cached, produced)});
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): filtering slashes "
                 "cached-but-never-read values versus LRU;\n"
                 "use-based shows the lowest never-read fraction, "

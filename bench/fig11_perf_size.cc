@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -17,42 +16,51 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Performance versus cache/L1 size", "Figure 11");
+    Reporter rep("fig11_perf_size");
+    rep.banner("Performance versus cache/L1 size", "Figure 11");
 
     std::printf("no-cache register file: 1c=%.3f  2c=%.3f  3c=%.3f  "
                 "4c=%.3f geomean IPC\n\n",
-                monolithicIpc(1), monolithicIpc(2), monolithicIpc(3),
-                monolithicIpc(4));
+                rep.monolithicIpc(1), rep.monolithicIpc(2),
+                rep.monolithicIpc(3), rep.monolithicIpc(4));
 
     const unsigned sizes[] = {16, 32, 48, 64, 96, 128};
-    TextTable table({"entries", "lru", "non-bypass", "use-based 2w",
-                     "use-based 4w", "two-level(+32)"});
+    auto &table = rep.table("perf_size",
+                            {"entries", "lru", "non-bypass",
+                             "use-based 2w", "use-based 4w",
+                             "two-level(+32)"});
     for (unsigned entries : sizes) {
-        std::vector<std::string> row = {TextTable::num(uint64_t(entries))};
+        std::vector<Cell> row = {entries};
+        const std::string suffix = "-e" + std::to_string(entries);
 
         auto lru = sim::SimConfig::lruCache();
         lru.rc.entries = entries;
-        row.push_back(TextTable::num(run(lru).geomeanIpc()));
+        row.push_back(
+            Cell::real(rep.run("lru" + suffix, lru).geomeanIpc()));
 
         auto nb = sim::SimConfig::nonBypassCache();
         nb.rc.entries = entries;
-        row.push_back(TextTable::num(run(nb).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("non-bypass" + suffix, nb).geomeanIpc()));
 
         auto ub2 = sim::SimConfig::useBasedCache();
         ub2.rc.entries = entries;
-        row.push_back(TextTable::num(run(ub2).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("use-based-2w" + suffix, ub2).geomeanIpc()));
 
         auto ub4 = sim::SimConfig::useBasedCache();
         ub4.rc.entries = entries;
         ub4.rc.assoc = 4;
-        row.push_back(TextTable::num(run(ub4).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("use-based-4w" + suffix, ub4).geomeanIpc()));
 
         auto tl = sim::SimConfig::twoLevelFile(entries);
-        row.push_back(TextTable::num(run(tl).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("two-level" + suffix, tl).geomeanIpc()));
 
-        table.addRow(row);
+        table.row(std::move(row));
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): use-based wins across "
                 "sizes and its advantage grows as caches shrink;\n"
                 "LRU and non-bypass cross near ~20 entries "

@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -16,43 +15,52 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Performance versus backing/L2 file latency", "Figure 12");
+    Reporter rep("fig12_backing_latency");
+    rep.banner("Performance versus backing/L2 file latency",
+               "Figure 12");
 
-    const double mono3 = monolithicIpc(3);
+    const double mono3 = rep.monolithicIpc(3);
     std::printf("no-cache register file: 1c=%.3f  2c=%.3f  3c=%.3f  "
                 "4c=%.3f geomean IPC\n\n",
-                monolithicIpc(1), monolithicIpc(2), mono3,
-                monolithicIpc(4));
+                rep.monolithicIpc(1), rep.monolithicIpc(2), mono3,
+                rep.monolithicIpc(4));
 
-    TextTable table({"backing lat", "lru", "non-bypass", "use-based",
-                     "two-level", "use-based/mono3"});
+    auto &table = rep.table("backing_latency",
+                            {"backing lat", "lru", "non-bypass",
+                             "use-based", "two-level",
+                             "use-based/mono3"});
     for (Cycle lat = 1; lat <= 5; ++lat) {
-        std::vector<std::string> row = {TextTable::num(uint64_t(lat))};
+        std::vector<Cell> row = {uint64_t(lat)};
+        const std::string suffix = "-l" + std::to_string(lat);
 
         auto lru = sim::SimConfig::lruCache();
         lru.backingLatency = lat;
-        row.push_back(TextTable::num(run(lru).geomeanIpc()));
+        row.push_back(
+            Cell::real(rep.run("lru" + suffix, lru).geomeanIpc()));
 
         auto nb = sim::SimConfig::nonBypassCache();
         nb.backingLatency = lat;
-        row.push_back(TextTable::num(run(nb).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("non-bypass" + suffix, nb).geomeanIpc()));
 
         auto ub = sim::SimConfig::useBasedCache();
         ub.backingLatency = lat;
-        const double ub_ipc = run(ub).geomeanIpc();
-        row.push_back(TextTable::num(ub_ipc));
+        const double ub_ipc =
+            rep.run("use-based" + suffix, ub).geomeanIpc();
+        row.push_back(Cell::real(ub_ipc));
 
         auto tl = sim::SimConfig::twoLevelFile(64);
         tl.twoLevel.l2Latency = lat;
-        row.push_back(TextTable::num(run(tl).geomeanIpc()));
+        row.push_back(Cell::real(
+            rep.run("two-level" + suffix, tl).geomeanIpc()));
 
         char rel[32];
         std::snprintf(rel, sizeof(rel), "%+.1f%%",
                       100.0 * (ub_ipc / mono3 - 1.0));
-        row.push_back(rel);
-        table.addRow(row);
+        row.push_back(Cell::typed(rel, ub_ipc / mono3 - 1.0));
+        table.row(std::move(row));
     }
-    std::printf("%s\n", table.render().c_str());
+    table.print();
     std::printf("Expected shape (paper): use-based degrades most "
                 "gracefully with backing latency among the\n"
                 "caches; the two-level file is least sensitive to "

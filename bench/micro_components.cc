@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "frontend/branch_predictor.hh"
@@ -106,4 +107,54 @@ BM_YagsPredictUpdate(benchmark::State &state)
 }
 BENCHMARK(BM_YagsPredictUpdate);
 
-BENCHMARK_MAIN();
+namespace
+{
+
+/**
+ * Display reporter that mirrors the default console output while
+ * copying each measurement into the harness Reporter's "micro" table
+ * so the run lands in results/BENCH_micro_components.json.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CollectingReporter(ubrc::bench::Reporter::Table &t)
+        : table(t)
+    {}
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &r : reports) {
+            if (r.error_occurred || r.run_type != Run::RT_Iteration)
+                continue;
+            table.row({r.benchmark_name(),
+                       ubrc::bench::Cell::real(r.GetAdjustedRealTime(),
+                                               1),
+                       ubrc::bench::Cell::real(r.GetAdjustedCPUTime(),
+                                               1),
+                       static_cast<uint64_t>(r.iterations)});
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+  private:
+    ubrc::bench::Reporter::Table &table;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ubrc::bench::Reporter rep("micro_components");
+    auto &table = rep.table("micro", {"benchmark", "time (ns)",
+                                      "cpu (ns)", "iterations"});
+    CollectingReporter display(table);
+    benchmark::RunSpecifiedBenchmarks(&display);
+    benchmark::Shutdown();
+    return 0;
+}

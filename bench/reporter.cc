@@ -1,0 +1,269 @@
+#include "bench/reporter.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "common/table.hh"
+#include "sim/results_json.hh"
+
+namespace ubrc::bench
+{
+
+namespace
+{
+
+int64_t
+steadyMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+writeCell(json::Writer &w, const Cell &c)
+{
+    switch (c.kind) {
+      case Cell::Kind::Text: w.value(c.text); break;
+      case Cell::Kind::UInt: w.value(c.uintValue); break;
+      case Cell::Kind::Real: w.value(c.realValue); break;
+      case Cell::Kind::Null: w.null(); break;
+    }
+}
+
+} // namespace
+
+Cell::Cell(uint64_t v)
+    : kind(Kind::UInt), text(TextTable::num(v)), uintValue(v)
+{}
+
+Cell
+Cell::real(double v, int precision)
+{
+    Cell c(TextTable::num(v, precision));
+    c.kind = Kind::Real;
+    c.realValue = v;
+    return c;
+}
+
+Cell
+Cell::typed(std::string text, double v)
+{
+    Cell c(std::move(text));
+    c.kind = Kind::Real;
+    c.realValue = v;
+    return c;
+}
+
+Cell
+Cell::null()
+{
+    Cell c{std::string()};
+    c.kind = Kind::Null;
+    return c;
+}
+
+Reporter::Table &
+Reporter::Table::row(std::vector<Cell> cells)
+{
+    rows.push_back(std::move(cells));
+    return *this;
+}
+
+void
+Reporter::Table::print() const
+{
+    TextTable t(headers);
+    for (const auto &r : rows) {
+        std::vector<std::string> texts;
+        texts.reserve(r.size());
+        for (const auto &c : r)
+            texts.push_back(c.text);
+        t.addRow(std::move(texts));
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+Reporter::Reporter(std::string harness_id)
+    : id(std::move(harness_id)), startedAt(steadyMs())
+{}
+
+Reporter::~Reporter()
+{
+    if (!written)
+        write();
+}
+
+void
+Reporter::banner(const std::string &what, const std::string &paper_ref)
+{
+    title = what;
+    paperRef = paper_ref;
+    bannerShown = true;
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("Reproduces %s of Butts & Sohi, \"Use-Based Register "
+                "Caching with Decoupled Indexing\", ISCA 2004.\n",
+                paper_ref.c_str());
+    std::printf("workloads:");
+    for (const auto &w : workloads())
+        std::printf(" %s", w.c_str());
+    std::printf("  |  %llu insts each\n\n",
+                static_cast<unsigned long long>(instBudget()));
+}
+
+Reporter::Table &
+Reporter::table(std::string table_id, std::vector<std::string> headers)
+{
+    tables.push_back(std::make_unique<Table>(std::move(table_id),
+                                             std::move(headers)));
+    return *tables.back();
+}
+
+void
+Reporter::config(std::string describe_string)
+{
+    metaConfig = std::move(describe_string);
+}
+
+sim::SuiteResult
+Reporter::run(const std::string &label, const sim::SimConfig &cfg)
+{
+    const int64_t t0 = steadyMs();
+    sim::SuiteResult r = bench::run(cfg);
+    RecordedSuite rec;
+    rec.label = label;
+    rec.config = cfg.describe();
+    rec.scheme = sim::toString(cfg.scheme);
+    rec.wallSeconds = static_cast<double>(steadyMs() - t0) / 1000.0;
+    rec.result = r;
+    suites.push_back(std::move(rec));
+    return r;
+}
+
+double
+Reporter::monolithicIpc(Cycle latency)
+{
+    auto it = monoCache.find(latency);
+    if (it != monoCache.end())
+        return it->second;
+    const std::string label =
+        "monolithic-" + std::to_string(latency) + "c";
+    const double ipc =
+        run(label, sim::SimConfig::monolithic(latency)).geomeanIpc();
+    monoCache[latency] = ipc;
+    return ipc;
+}
+
+std::string
+Reporter::json() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "bench");
+
+    w.key("meta").beginObject();
+    w.field("harness", id);
+    if (bannerShown) {
+        w.field("title", title);
+        w.field("paper_ref", paperRef);
+    } else {
+        w.nullField("title");
+        w.nullField("paper_ref");
+    }
+    // The primary config: set explicitly, else the first suite's;
+    // harnesses that sweep configs still get per-suite
+    // describe-strings below.
+    if (!metaConfig.empty())
+        w.field("config", metaConfig);
+    else if (!suites.empty())
+        w.field("config", suites.front().config);
+    else
+        w.nullField("config");
+    w.key("workloads").beginArray();
+    for (const auto &name : workloads())
+        w.value(name);
+    w.endArray();
+    w.field("max_insts", instBudget());
+    w.field("jobs", uint64_t(sim::benchJobs(1)));
+    w.field("git", sim::metaGitDescribe());
+    w.field("generated_unix", sim::metaReportEpoch());
+    w.field("wall_seconds_total",
+            static_cast<double>(steadyMs() - startedAt) / 1000.0);
+    w.endObject();
+
+    w.key("tables").beginArray();
+    for (const auto &t : tables) {
+        w.beginObject();
+        w.field("id", t->id);
+        w.key("headers").beginArray();
+        for (const auto &h : t->headers)
+            w.value(h);
+        w.endArray();
+        w.key("rows").beginArray();
+        for (const auto &row : t->rows) {
+            w.beginArray();
+            for (const auto &c : row)
+                writeCell(w, c);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("suites").beginArray();
+    for (const auto &s : suites) {
+        w.beginObject();
+        w.field("label", s.label);
+        w.field("config", s.config);
+        w.field("scheme", s.scheme);
+        w.field("wall_seconds", s.wallSeconds);
+        w.key("suite");
+        sim::writeSuiteResult(w, s.result);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.str();
+}
+
+std::string
+Reporter::write()
+{
+    written = true;
+    const char *env = std::getenv("UBRC_RESULTS_DIR");
+    const std::string dir = env && *env ? env : "results";
+    const std::string path = dir + "/BENCH_" + id + ".json";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "bench: cannot create results dir '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return "";
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench: cannot write '%s'\n",
+                     path.c_str());
+        return "";
+    }
+    out << json() << '\n';
+    out.close();
+    if (!out) {
+        std::fprintf(stderr, "bench: short write to '%s'\n",
+                     path.c_str());
+        return "";
+    }
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    return path;
+}
+
+} // namespace ubrc::bench

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The unified reporting API for the benchmark harnesses.
+ *
+ * A harness declares its banner, tables, and suite runs once against
+ * a Reporter; the Reporter renders the exact same console text the
+ * harnesses have always printed AND writes a schema-versioned JSON
+ * document to results/BENCH_<harness>.json (directory overridable via
+ * UBRC_RESULTS_DIR) when it is destroyed. The JSON carries a meta
+ * block (config describe-string, workload list, instruction budget,
+ * jobs, git describe, wall-clock per suite) plus every table cell as
+ * a typed value and every suite as full per-workload rows, so bench
+ * trajectories become diffable run-over-run and across commits.
+ *
+ * Typical harness shape:
+ *
+ *   bench::Reporter r("fig09_bandwidth");
+ *   r.banner("Average access bandwidth", "Figure 9");
+ *   auto &t = r.table("bandwidth", {"cache", "rc read/cyc", ...});
+ *   const sim::SuiteResult res = r.run("lru", sim::SimConfig::lruCache());
+ *   t.row({"lru", Cell::real(res.mean(...))});
+ *   t.print();
+ *   // JSON is written when r goes out of scope.
+ */
+
+#ifndef UBRC_BENCH_REPORTER_HH
+#define UBRC_BENCH_REPORTER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "sim/runner.hh"
+
+namespace ubrc::bench
+{
+
+/**
+ * One table cell: the exact console text plus the raw typed value
+ * recorded in JSON. Implicit constructors cover the common cases so
+ * row initializer lists stay terse.
+ */
+struct Cell
+{
+    enum class Kind { Text, UInt, Real, Null };
+
+    /** A plain text cell ("gzip", "use-based"). */
+    Cell(std::string s) : kind(Kind::Text), text(std::move(s)) {}
+    Cell(const char *s) : kind(Kind::Text), text(s) {}
+
+    /** An integer cell, rendered like TextTable::num(v). */
+    Cell(uint64_t v);
+    Cell(unsigned v) : Cell(uint64_t(v)) {}
+
+    /** A real cell, rendered like TextTable::num(v, precision). */
+    static Cell real(double v, int precision = 3);
+
+    /**
+     * A cell with custom text but a typed numeric JSON value, e.g.
+     * a "+1.9%" delta whose raw value is 0.019.
+     */
+    static Cell typed(std::string text, double v);
+
+    /** An empty text cell that serializes as JSON null. */
+    static Cell null();
+
+    Kind kind;
+    std::string text;
+    double realValue = 0.0;
+    uint64_t uintValue = 0;
+};
+
+class Reporter
+{
+  public:
+    /** A declared table: headers once, then typed rows. */
+    class Table
+    {
+      public:
+        Table(std::string table_id,
+              std::vector<std::string> column_headers)
+            : id(std::move(table_id)), headers(std::move(column_headers))
+        {}
+
+        Table &row(std::vector<Cell> cells);
+
+        /** Render to stdout exactly as the legacy TextTable did. */
+        void print() const;
+
+        size_t rowCount() const { return rows.size(); }
+
+      private:
+        friend class Reporter;
+        std::string id;
+        std::vector<std::string> headers;
+        std::vector<std::vector<Cell>> rows;
+    };
+
+    /**
+     * @param harness_id Name used for the output file
+     *        (results/BENCH_<harness_id>.json) and the meta block.
+     */
+    explicit Reporter(std::string harness_id);
+
+    /** Writes the JSON document (unless write() already ran). */
+    ~Reporter();
+
+    Reporter(const Reporter &) = delete;
+    Reporter &operator=(const Reporter &) = delete;
+
+    /**
+     * Print the standard harness banner (byte-identical to the
+     * historical bench::banner) and record title/ref in the meta
+     * block.
+     */
+    void banner(const std::string &title, const std::string &paper_ref);
+
+    /** Declare a table. The reference stays valid for the
+     *  Reporter's lifetime. */
+    Table &table(std::string id, std::vector<std::string> headers);
+
+    /**
+     * Set the meta config describe-string explicitly. Harnesses that
+     * run Processors directly (no suites) use this; otherwise the
+     * first suite's config is used automatically.
+     */
+    void config(std::string describe_string);
+
+    /**
+     * Run a configuration over the selected workloads (the same
+     * contract as bench::run) and record the full suite — config
+     * describe-string, wall-clock, per-workload rows, failures —
+     * under `label` in the JSON document.
+     */
+    sim::SuiteResult run(const std::string &label,
+                         const sim::SimConfig &cfg);
+
+    /**
+     * Geomean IPC of a monolithic file, cached per latency. The
+     * first run of each latency is recorded as suite
+     * "monolithic-<latency>c".
+     */
+    double monolithicIpc(Cycle latency);
+
+    /** The complete JSON document as it would be written. */
+    std::string json() const;
+
+    /**
+     * Write results/BENCH_<id>.json now (creating the directory if
+     * needed) and disarm the destructor write. Returns the path, or
+     * an empty string if writing failed (a warning is printed).
+     */
+    std::string write();
+
+  private:
+    struct RecordedSuite
+    {
+        std::string label;
+        std::string config;   ///< SimConfig::describe()
+        std::string scheme;
+        double wallSeconds = 0;
+        sim::SuiteResult result;
+    };
+
+    std::string id;
+    std::string title;
+    std::string paperRef;
+    std::string metaConfig;
+    bool bannerShown = false;
+    std::vector<std::unique_ptr<Table>> tables;
+    std::vector<RecordedSuite> suites;
+    std::map<Cycle, double> monoCache;
+    int64_t startedAt; ///< steady-clock ms, for total wall time
+    bool written = false;
+};
+
+} // namespace ubrc::bench
+
+#endif // UBRC_BENCH_REPORTER_HH

@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "bench/reporter.hh"
 
 using namespace ubrc;
 using namespace ubrc::bench;
@@ -16,7 +15,8 @@ using namespace ubrc::bench;
 int
 main()
 {
-    banner("Register cache metric comparison", "Table 2");
+    Reporter rep("tab02_metrics");
+    rep.banner("Register cache metric comparison", "Table 2");
 
     struct Design
     {
@@ -29,40 +29,48 @@ main()
         {"use-based", sim::SimConfig::useBasedCache()},
     };
 
-    TextTable table({"metric", "lru", "non-bypass", "use-based"});
-    std::vector<std::string> reads = {"reads per cached value"};
-    std::vector<std::string> count = {"times each value is cached"};
-    std::vector<std::string> occ = {"cache occupancy (entries)"};
-    std::vector<std::string> life = {"entry lifetime (cycles)"};
-    std::vector<std::string> zerov = {"zero-use victims (%)"};
+    auto &table = rep.table("metrics",
+                            {"metric", "lru", "non-bypass",
+                             "use-based"});
+    std::vector<Cell> reads = {"reads per cached value"};
+    std::vector<Cell> count = {"times each value is cached"};
+    std::vector<Cell> occ = {"cache occupancy (entries)"};
+    std::vector<Cell> life = {"entry lifetime (cycles)"};
+    std::vector<Cell> zerov = {"zero-use victims (%)"};
     for (const auto &d : designs) {
-        const sim::SuiteResult r = run(d.cfg);
-        reads.push_back(TextTable::num(r.mean(
-            [](const core::SimResult &s) {
+        const sim::SuiteResult r = rep.run(d.name, d.cfg);
+        reads.push_back(Cell::real(
+            r.mean([](const core::SimResult &s) {
                 return s.readsPerCachedValue;
-            }), 2));
-        count.push_back(TextTable::num(r.mean(
-            [](const core::SimResult &s) {
-                return s.cacheCountPerValue;
-            }), 2));
-        occ.push_back(TextTable::num(r.mean(
-            [](const core::SimResult &s) { return s.avgOccupancy; }),
+            }),
             2));
-        life.push_back(TextTable::num(r.mean(
-            [](const core::SimResult &s) {
+        count.push_back(Cell::real(
+            r.mean([](const core::SimResult &s) {
+                return s.cacheCountPerValue;
+            }),
+            2));
+        occ.push_back(Cell::real(
+            r.mean([](const core::SimResult &s) {
+                return s.avgOccupancy;
+            }),
+            2));
+        life.push_back(Cell::real(
+            r.mean([](const core::SimResult &s) {
                 return s.avgEntryLifetime;
-            }), 2));
-        zerov.push_back(TextTable::num(100 * r.mean(
-            [](const core::SimResult &s) {
+            }),
+            2));
+        zerov.push_back(Cell::real(
+            100 * r.mean([](const core::SimResult &s) {
                 return s.zeroUseVictimFraction;
-            }), 1));
+            }),
+            1));
     }
-    table.addRow(reads);
-    table.addRow(count);
-    table.addRow(occ);
-    table.addRow(life);
-    table.addRow(zerov);
-    std::printf("%s\n", table.render().c_str());
+    table.row(std::move(reads));
+    table.row(std::move(count));
+    table.row(std::move(occ));
+    table.row(std::move(life));
+    table.row(std::move(zerov));
+    table.print();
     std::printf("Paper's values (LRU / non-bypass / use-based):\n"
                 "  reads per cached value   0.67 / 1.18 / 1.67\n"
                 "  times each value cached  1.09 / 0.61 / 0.44\n"

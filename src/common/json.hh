@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Minimal header-only JSON support for the structured results layer.
+ *
+ * Writer: an append-only emitter with automatic comma/indent
+ * management, used by StatGroup::toJson(), the sim result serializers
+ * (sim/results_json.hh), the bench Reporter, and ubrcsim
+ * --stats-format=json. Output is deterministic: keys are emitted in
+ * call order, doubles use a fixed shortest-ish "%.12g" rendering, and
+ * non-finite doubles become null, so two runs of the same simulation
+ * produce byte-identical documents that can be diffed.
+ *
+ * Value/parse: a small recursive-descent reader for the same dialect,
+ * used by the round-trip tests and tooling. Objects preserve insertion
+ * order. This is not a general-purpose JSON library: numbers are
+ * doubles, no \uXXXX surrogate pairs are decoded (kept verbatim), and
+ * inputs larger than ~100 MB or nested deeper than 200 levels are
+ * rejected.
+ */
+
+#ifndef UBRC_COMMON_JSON_HH
+#define UBRC_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ubrc::json
+{
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+inline std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Deterministic double rendering; non-finite values become null. */
+inline std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+/**
+ * Structured JSON emitter. begin/end calls must nest correctly;
+ * key() is required before each value inside an object. str() returns
+ * the finished document.
+ */
+class Writer
+{
+  public:
+    /** @param pretty Indent with two spaces and newlines. */
+    explicit Writer(bool pretty = true) : prettyPrint(pretty) {}
+
+    Writer &
+    beginObject()
+    {
+        open('{');
+        return *this;
+    }
+
+    Writer &
+    endObject()
+    {
+        close('}');
+        return *this;
+    }
+
+    Writer &
+    beginArray()
+    {
+        open('[');
+        return *this;
+    }
+
+    Writer &
+    endArray()
+    {
+        close(']');
+        return *this;
+    }
+
+    Writer &
+    key(std::string_view k)
+    {
+        separate();
+        out += '"';
+        out += escape(k);
+        out += prettyPrint ? "\": " : "\":";
+        pendingKey = true;
+        return *this;
+    }
+
+    Writer &
+    value(std::string_view v)
+    {
+        separate();
+        out += '"';
+        out += escape(v);
+        out += '"';
+        return *this;
+    }
+
+    Writer &value(const char *v) { return value(std::string_view(v)); }
+    Writer &value(const std::string &v)
+    {
+        return value(std::string_view(v));
+    }
+
+    Writer &
+    value(double v)
+    {
+        separate();
+        out += formatNumber(v);
+        return *this;
+    }
+
+    Writer &
+    value(uint64_t v)
+    {
+        separate();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+        return *this;
+    }
+
+    Writer &
+    value(int64_t v)
+    {
+        separate();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return *this;
+    }
+
+    Writer &value(unsigned v) { return value(uint64_t(v)); }
+    Writer &value(int v) { return value(int64_t(v)); }
+
+    Writer &
+    value(bool v)
+    {
+        separate();
+        out += v ? "true" : "false";
+        return *this;
+    }
+
+    Writer &
+    null()
+    {
+        separate();
+        out += "null";
+        return *this;
+    }
+
+    /** Splice a pre-rendered JSON value verbatim. */
+    Writer &
+    raw(std::string_view json_text)
+    {
+        separate();
+        out += json_text;
+        return *this;
+    }
+
+    // key+value shorthands
+    template <typename T>
+    Writer &
+    field(std::string_view k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    Writer &
+    nullField(std::string_view k)
+    {
+        key(k);
+        return null();
+    }
+
+    const std::string &str() const { return out; }
+
+  private:
+    void
+    separate()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return;
+        }
+        if (!depth.empty()) {
+            if (depth.back().count++)
+                out += ',';
+            newlineIndent();
+        }
+    }
+
+    void
+    open(char c)
+    {
+        separate();
+        out += c;
+        depth.push_back({});
+    }
+
+    void
+    close(char c)
+    {
+        const bool empty = depth.back().count == 0;
+        depth.pop_back();
+        if (!empty)
+            newlineIndent();
+        out += c;
+    }
+
+    void
+    newlineIndent()
+    {
+        if (!prettyPrint)
+            return;
+        out += '\n';
+        out.append(2 * depth.size(), ' ');
+    }
+
+    struct Level
+    {
+        unsigned count = 0;
+    };
+
+    std::string out;
+    std::vector<Level> depth;
+    bool prettyPrint;
+    bool pendingKey = false;
+};
+
+/** Thrown by parse() on malformed input, with a byte offset. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &what, size_t at)
+        : std::runtime_error(what + " at offset " +
+                             std::to_string(at)),
+          offset(at)
+    {}
+
+    size_t offset;
+};
+
+/** A parsed JSON value (tree). Object member order is preserved. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(std::string_view k) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        for (const auto &[name, v] : object)
+            if (name == k)
+                return &v;
+        return nullptr;
+    }
+
+    /** find() that throws on a missing member. */
+    const Value &
+    at(std::string_view k) const
+    {
+        const Value *v = find(k);
+        if (!v)
+            throw std::out_of_range("json: no member '" +
+                                    std::string(k) + "'");
+        return *v;
+    }
+};
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : in(text) {}
+
+    Value
+    run()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos != in.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *msg) const
+    {
+        throw ParseError(msg, pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= in.size())
+            fail("unexpected end of input");
+        return in[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= in.size() || in[pos] != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (in.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        if (++nesting > 200)
+            fail("nesting too deep");
+        skipWs();
+        Value v;
+        switch (peek()) {
+          case '{': v = parseObject(); break;
+          case '[': v = parseArray(); break;
+          case '"':
+            v.type = Value::Type::String;
+            v.string = parseString();
+            break;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            v.type = Value::Type::Bool;
+            v.boolean = true;
+            break;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            v.type = Value::Type::Bool;
+            v.boolean = false;
+            break;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            v.type = Value::Type::Null;
+            break;
+          default: v = parseNumber(); break;
+        }
+        --nesting;
+        return v;
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.type = Value::Type::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string k = parseString();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(k), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.type = Value::Type::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char e = peek();
+            ++pos;
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > in.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = in[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                pos += 4;
+                // ASCII range only; anything else is re-encoded as
+                // UTF-8 without surrogate-pair handling.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < in.size() &&
+               ((in[pos] >= '0' && in[pos] <= '9') || in[pos] == '.' ||
+                in[pos] == 'e' || in[pos] == 'E' || in[pos] == '+' ||
+                in[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            fail("expected a value");
+        const std::string text(in.substr(start, pos - start));
+        char *end = nullptr;
+        const double d = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size())
+            fail("bad number");
+        Value v;
+        v.type = Value::Type::Number;
+        v.number = d;
+        return v;
+    }
+
+    std::string_view in;
+    size_t pos = 0;
+    unsigned nesting = 0;
+};
+
+} // namespace detail
+
+/** Parse a complete JSON document. Throws ParseError on bad input. */
+inline Value
+parse(std::string_view text)
+{
+    if (text.size() > 100u * 1024 * 1024)
+        throw ParseError("document too large", 0);
+    return detail::Parser(text).run();
+}
+
+} // namespace ubrc::json
+
+#endif // UBRC_COMMON_JSON_HH

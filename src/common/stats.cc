@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace ubrc::stats
@@ -85,32 +86,160 @@ StatGroup::distribution(const std::string &stat_name, size_t max_value)
     return it->second;
 }
 
-std::string
-StatGroup::dump() const
+void
+StatGroup::visit(StatVisitor &v) const
 {
-    std::string out;
-    char line[256];
-    for (const auto &[stat_name, s] : scalars) {
-        std::snprintf(line, sizeof(line), "%s.%s %lu\n", name.c_str(),
+    for (const auto &[stat_name, s] : scalars)
+        v.visitScalar(stat_name, s);
+    for (const auto &[stat_name, m] : means)
+        v.visitMean(stat_name, m);
+    for (const auto &[stat_name, d] : distributions)
+        v.visitDistribution(stat_name, d);
+}
+
+namespace
+{
+
+/** Renders the historical "group.stat value" line format. */
+class TextDumpVisitor : public StatVisitor
+{
+  public:
+    explicit TextDumpVisitor(const std::string &group_name)
+        : group(group_name)
+    {}
+
+    void
+    visitScalar(const std::string &stat_name, const Scalar &s) override
+    {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s.%s %lu\n", group.c_str(),
                       stat_name.c_str(),
                       static_cast<unsigned long>(s.value()));
         out += line;
     }
-    for (const auto &[stat_name, m] : means) {
-        std::snprintf(line, sizeof(line), "%s.%s %.6f\n", name.c_str(),
+
+    void
+    visitMean(const std::string &stat_name, const Mean &m) override
+    {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s.%s %.6f\n", group.c_str(),
                       stat_name.c_str(), m.value());
         out += line;
     }
-    for (const auto &[stat_name, d] : distributions) {
+
+    void
+    visitDistribution(const std::string &stat_name,
+                      const Distribution &d) override
+    {
+        char line[256];
         std::snprintf(line, sizeof(line),
                       "%s.%s mean=%.3f median=%lu p90=%lu n=%lu\n",
-                      name.c_str(), stat_name.c_str(), d.mean(),
+                      group.c_str(), stat_name.c_str(), d.mean(),
                       static_cast<unsigned long>(d.median()),
                       static_cast<unsigned long>(d.percentile(0.9)),
                       static_cast<unsigned long>(d.count()));
         out += line;
     }
-    return out;
+
+    std::string out;
+
+  private:
+    const std::string &group;
+};
+
+/** Serializes the group into an open json::Writer object. */
+class JsonVisitor : public StatVisitor
+{
+  public:
+    explicit JsonVisitor(json::Writer &writer) : w(writer) {}
+
+    void
+    visitScalar(const std::string &stat_name, const Scalar &s) override
+    {
+        section("scalars");
+        w.field(stat_name, s.value());
+    }
+
+    void
+    visitMean(const std::string &stat_name, const Mean &m) override
+    {
+        section("means");
+        w.key(stat_name).beginObject();
+        w.field("value", m.value());
+        w.field("sum", m.sum());
+        w.field("count", m.count());
+        w.endObject();
+    }
+
+    void
+    visitDistribution(const std::string &stat_name,
+                      const Distribution &d) override
+    {
+        section("distributions");
+        w.key(stat_name).beginObject();
+        w.field("count", d.count());
+        w.field("mean", d.mean());
+        w.field("p50", d.median());
+        w.field("p90", d.percentile(0.9));
+        // Sparse [value, weight] pairs keep documents small.
+        w.key("buckets").beginArray();
+        const auto &raw = d.raw();
+        for (size_t v = 0; v < raw.size(); ++v) {
+            if (!raw[v])
+                continue;
+            w.beginArray();
+            w.value(uint64_t(v)).value(raw[v]);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    /** Close any section still open. */
+    void
+    finish()
+    {
+        if (!current.empty())
+            w.endObject();
+        current.clear();
+    }
+
+  private:
+    void
+    section(const char *which)
+    {
+        if (current == which)
+            return;
+        finish();
+        current = which;
+        w.key(which).beginObject();
+    }
+
+    json::Writer &w;
+    std::string current;
+};
+
+} // namespace
+
+std::string
+StatGroup::dump() const
+{
+    TextDumpVisitor v(name);
+    visit(v);
+    return std::move(v.out);
+}
+
+std::string
+StatGroup::toJson() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.field("group", name);
+    JsonVisitor v(w);
+    visit(v);
+    v.finish();
+    w.endObject();
+    return w.str();
 }
 
 void

@@ -100,8 +100,28 @@ class Distribution
 };
 
 /**
- * A named collection of statistics with text dumping. Statistics
- * register themselves by name; names must be unique within a group.
+ * Typed visitation over the statistics of a group. Visitors see every
+ * statistic in the group's canonical order: all scalars, then all
+ * means, then all distributions, each set in name order — the same
+ * order dump() has always used, so text renderers built on a visitor
+ * are byte-compatible with the legacy dump format.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void visitScalar(const std::string &name,
+                             const Scalar &s) = 0;
+    virtual void visitMean(const std::string &name, const Mean &m) = 0;
+    virtual void visitDistribution(const std::string &name,
+                                   const Distribution &d) = 0;
+};
+
+/**
+ * A named collection of statistics with typed visitation and text /
+ * JSON rendering. Statistics register themselves by name; names must
+ * be unique within a group.
  */
 class StatGroup
 {
@@ -115,11 +135,29 @@ class StatGroup
     Distribution &distribution(const std::string &stat_name,
                                size_t max_value = 1024);
 
-    /** Read a scalar's value without creating it (0 if absent). */
+    /**
+     * Read a scalar's value without creating it (0 if absent).
+     * @deprecated Free-form string queries have no single source of
+     * truth for stat names; read typed fields off core::SimResult /
+     * storage::SupplierStats, or use visit() for generic consumers.
+     */
+    [[deprecated("read typed SimResult/SupplierStats fields or use "
+                 "visit()")]]
     uint64_t scalarValue(const std::string &stat_name) const;
+
+    /** Visit every statistic in canonical order (see StatVisitor). */
+    void visit(StatVisitor &v) const;
 
     /** Render all statistics as "group.stat  value" lines. */
     std::string dump() const;
+
+    /**
+     * Serialize the group as a JSON object: {"group": name,
+     * "scalars": {...}, "means": {...}, "distributions": {...}} with
+     * each distribution carrying count/mean/p50/p90 and its non-empty
+     * buckets as [value, weight] pairs.
+     */
+    std::string toJson() const;
 
     void resetAll();
 

@@ -85,6 +85,20 @@ struct SimResult
     // Replay machinery.
     uint64_t miniReplays = 0, issueGroupSquashes = 0;
     uint64_t branchMispredicts = 0, memOrderViolations = 0;
+
+    // Front-end / rename pressure.
+    uint64_t fetchBlocks = 0;
+    uint64_t renameStallsRegs = 0, renameStallsRob = 0,
+             renameStallsIq = 0;
+
+    /**
+     * Raw storage-layer aggregates the derived metrics above were
+     * computed from. The typed fields here and in SupplierStats are
+     * the single source of truth for consumers (benches, JSON
+     * serialization); prefer them over string-keyed StatGroup
+     * queries.
+     */
+    storage::SupplierStats supplier;
 };
 
 /** The processor. One instance simulates one workload to completion. */

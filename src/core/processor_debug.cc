@@ -296,6 +296,7 @@ Processor::result() const
             : 0.0;
 
     const storage::SupplierStats ss = supplier->stats();
+    r.supplier = ss;
     r.rcMisses = ss.misses;
     r.rcMissNoWrite = ss.missNoWrite;
     r.rcMissConflict = ss.missConflict;
@@ -350,6 +351,11 @@ Processor::result() const
                                   static_cast<double>(r.cycles)
                             : 0.0;
     }
+
+    r.fetchBlocks = st.fetchBlocks->value();
+    r.renameStallsRegs = st.renameStallsRegs->value();
+    r.renameStallsRob = st.renameStallsRob->value();
+    r.renameStallsIq = st.renameStallsIq->value();
 
     r.medianEmptyTime = st.emptyTime->median();
     r.medianLiveTime = st.liveTime->median();

@@ -1,0 +1,245 @@
+#include "sim/results_json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "sim/sim_error.hh"
+
+namespace ubrc::sim
+{
+
+std::string
+metaGitDescribe()
+{
+    if (const char *env = std::getenv("UBRC_GIT_DESCRIBE"); env && *env)
+        return env;
+    std::string out;
+    if (FILE *p = popen("git describe --always --dirty 2>/dev/null",
+                        "r")) {
+        char buf[128];
+        while (std::fgets(buf, sizeof(buf), p))
+            out += buf;
+        pclose(p);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+uint64_t
+metaReportEpoch()
+{
+    if (const char *env = std::getenv("UBRC_REPORT_EPOCH");
+        env && *env) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 0);
+        if (end != env && *end == '\0')
+            return v;
+    }
+    return static_cast<uint64_t>(std::time(nullptr));
+}
+
+void
+writeSimResult(json::Writer &w, const core::SimResult &r)
+{
+    w.beginObject();
+    w.field("cycles", r.cycles);
+    w.field("insts_retired", r.instsRetired);
+    w.field("ipc", r.ipc);
+
+    w.key("operands").beginObject();
+    w.field("bypass", r.opBypass);
+    w.field("cache", r.opCache);
+    w.field("file", r.opFile);
+    w.field("bypass_fraction", r.bypassFraction);
+    w.endObject();
+
+    w.key("cache").beginObject();
+    w.field("misses", r.rcMisses);
+    w.field("miss_no_write", r.rcMissNoWrite);
+    w.field("miss_conflict", r.rcMissConflict);
+    w.field("miss_capacity", r.rcMissCapacity);
+    w.field("miss_per_operand", r.missPerOperand);
+    w.field("inserts", r.rcInserts);
+    w.field("fills", r.rcFills);
+    w.field("values_produced", r.valuesProduced);
+    w.field("writes_filtered", r.writesFiltered);
+    w.field("values_never_cached", r.valuesNeverCached);
+    w.field("cached_never_read", r.cachedNeverRead);
+    w.field("cached_total", r.cachedTotal);
+    w.field("avg_occupancy", r.avgOccupancy);
+    w.field("avg_entry_lifetime", r.avgEntryLifetime);
+    w.field("reads_per_cached_value", r.readsPerCachedValue);
+    w.field("cache_count_per_value", r.cacheCountPerValue);
+    w.field("zero_use_victim_fraction", r.zeroUseVictimFraction);
+    w.endObject();
+
+    w.key("bandwidth").beginObject();
+    w.field("cache_read", r.cacheReadBw);
+    w.field("cache_write", r.cacheWriteBw);
+    w.field("file_read", r.fileReadBw);
+    w.field("file_write", r.fileWriteBw);
+    w.endObject();
+
+    w.key("predictors").beginObject();
+    w.field("dou_accuracy", r.douAccuracy);
+    w.field("branch_mispredict_rate", r.branchMispredictRate);
+    w.endObject();
+
+    w.key("lifetimes").beginObject();
+    w.field("median_empty", r.medianEmptyTime);
+    w.field("median_live", r.medianLiveTime);
+    w.field("median_dead", r.medianDeadTime);
+    w.field("allocated_p50", r.allocatedP50);
+    w.field("allocated_p90", r.allocatedP90);
+    w.field("live_p50", r.liveP50);
+    w.field("live_p90", r.liveP90);
+    w.endObject();
+
+    w.key("replay").beginObject();
+    w.field("mini_replays", r.miniReplays);
+    w.field("issue_group_squashes", r.issueGroupSquashes);
+    w.field("branch_mispredicts", r.branchMispredicts);
+    w.field("mem_order_violations", r.memOrderViolations);
+    w.endObject();
+
+    w.key("frontend").beginObject();
+    w.field("fetch_blocks", r.fetchBlocks);
+    w.field("rename_stalls_regs", r.renameStallsRegs);
+    w.field("rename_stalls_rob", r.renameStallsRob);
+    w.field("rename_stalls_iq", r.renameStallsIq);
+    w.endObject();
+
+    w.key("supplier");
+    writeSupplierStats(w, r.supplier);
+
+    w.endObject();
+}
+
+void
+writeSupplierStats(json::Writer &w, const storage::SupplierStats &s)
+{
+    w.beginObject();
+    w.field("has_cache", s.hasCache);
+    w.field("misses", s.misses);
+    w.field("miss_no_write", s.missNoWrite);
+    w.field("miss_conflict", s.missConflict);
+    w.field("miss_capacity", s.missCapacity);
+    w.field("inserts", s.inserts);
+    w.field("fills", s.fills);
+    w.field("writes_filtered", s.writesFiltered);
+    w.field("values_never_cached", s.valuesNeverCached);
+    w.field("entries_never_read", s.entriesNeverRead);
+    w.field("file_reads", s.fileReads);
+    w.field("file_writes", s.fileWrites);
+    w.field("avg_occupancy", s.avgOccupancy);
+    w.field("avg_entry_lifetime", s.avgEntryLifetime);
+    w.field("reads_per_cached_value", s.readsPerCachedValue);
+    w.field("zero_use_victim_fraction", s.zeroUseVictimFraction);
+    w.field("dou_accuracy", s.douAccuracy);
+    w.endObject();
+}
+
+void
+writeFaultRecord(json::Writer &w, const inject::FaultRecord &f)
+{
+    w.beginObject();
+    w.field("cycle", uint64_t(f.cycle));
+    w.field("target", inject::toString(f.target));
+    w.field("site", int64_t(f.site));
+    w.field("detail", f.detail);
+    w.field("bit", f.bit);
+    w.field("text", f.describe());
+    w.endObject();
+}
+
+void
+writeRunOutcome(json::Writer &w, const RunOutcome &o)
+{
+    w.beginObject();
+    w.field("ok", o.ok);
+    if (o.ok) {
+        w.nullField("error");
+    } else {
+        w.key("error").beginObject();
+        w.field("kind", toString(o.kind));
+        w.field("message", o.message);
+        w.field("has_snapshot", !o.snapshotText.empty());
+        w.endObject();
+    }
+    w.key("faults").beginArray();
+    for (const auto &f : o.faults)
+        writeFaultRecord(w, f);
+    w.endArray();
+    w.key("result");
+    writeSimResult(w, o.result);
+    w.endObject();
+}
+
+void
+writeWorkloadRun(json::Writer &w, const WorkloadRun &r)
+{
+    w.beginObject();
+    w.field("workload", r.workload);
+    w.field("failed", r.failed);
+    if (r.failed) {
+        w.key("error").beginObject();
+        w.field("kind", toString(r.errorKind));
+        w.field("message", r.error);
+        w.endObject();
+        // A failed run carries stats up to the failure point; its
+        // headline metrics are not comparable datapoints.
+        w.nullField("ipc");
+    } else {
+        w.nullField("error");
+        w.field("ipc", r.result.ipc);
+    }
+    w.key("result");
+    writeSimResult(w, r.result);
+    w.endObject();
+}
+
+void
+writeSuiteResult(json::Writer &w, const SuiteResult &s)
+{
+    w.beginObject();
+    w.field("num_runs", uint64_t(s.runs.size()));
+    w.field("num_failed", uint64_t(s.numFailed()));
+
+    // Aggregates over zero successful runs are null, never 0.0: a
+    // fully failed sweep must not look like a measured IPC of 0.
+    if (s.numOk()) {
+        w.field("geomean_ipc", s.geomeanIpc());
+        w.field("mean_ipc",
+                s.mean([](const core::SimResult &r) { return r.ipc; }));
+        w.field("mean_miss_per_operand",
+                s.mean([](const core::SimResult &r) {
+                    return r.missPerOperand;
+                }));
+    } else {
+        w.nullField("geomean_ipc");
+        w.nullField("mean_ipc");
+        w.nullField("mean_miss_per_operand");
+    }
+
+    w.key("failures").beginArray();
+    for (const auto &r : s.runs) {
+        if (!r.failed)
+            continue;
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("kind", toString(r.errorKind));
+        w.field("message", r.error);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("runs").beginArray();
+    for (const auto &r : s.runs)
+        writeWorkloadRun(w, r);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace ubrc::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Versioned JSON serialization of simulation results.
+ *
+ * One stable schema covers every layer of the results hierarchy:
+ * core::SimResult (per-run derived metrics), storage::SupplierStats
+ * (raw storage-layer aggregates), sim::RunOutcome (a contained run
+ * with its failure record and fault log), sim::WorkloadRun and
+ * sim::SuiteResult (per-workload rows of a sweep). The bench Reporter
+ * and ubrcsim --stats-format=json both emit documents built from
+ * these writers, so BENCH_*.json files are diffable run-over-run and
+ * across commits.
+ *
+ * Schema stability rules: resultsSchemaVersion is bumped whenever a
+ * key is renamed or removed or its meaning changes; adding new keys
+ * is backward compatible and does not bump the version. Aggregates
+ * over zero successful runs are serialized as null, never as 0.0
+ * (see SuiteResult::numOk()). tools/check_results_json.py validates
+ * emitted documents against this schema in CI.
+ */
+
+#ifndef UBRC_SIM_RESULTS_JSON_HH
+#define UBRC_SIM_RESULTS_JSON_HH
+
+#include "common/json.hh"
+#include "core/processor.hh"
+#include "sim/runner.hh"
+
+namespace ubrc::sim
+{
+
+/** Version of the JSON results schema (see file comment). */
+inline constexpr unsigned resultsSchemaVersion = 1;
+
+/**
+ * Revision string for a document's meta block: UBRC_GIT_DESCRIBE when
+ * set (tests pin it for golden files), else `git describe --always
+ * --dirty`, else "unknown".
+ */
+std::string metaGitDescribe();
+
+/**
+ * Document timestamp (seconds since the epoch); UBRC_REPORT_EPOCH
+ * pins it for golden tests.
+ */
+uint64_t metaReportEpoch();
+
+/** Serialize one run's derived metrics as a JSON object. */
+void writeSimResult(json::Writer &w, const core::SimResult &r);
+
+/** Serialize the raw storage-layer aggregates as a JSON object. */
+void writeSupplierStats(json::Writer &w,
+                        const storage::SupplierStats &s);
+
+/** Serialize one injected fault as a JSON object. */
+void writeFaultRecord(json::Writer &w, const inject::FaultRecord &f);
+
+/**
+ * Serialize a contained single-run outcome: the (possibly partial)
+ * result, the failure record when !ok, and the injected-fault log.
+ */
+void writeRunOutcome(json::Writer &w, const RunOutcome &o);
+
+/** Serialize one per-workload row of a suite. */
+void writeWorkloadRun(json::Writer &w, const WorkloadRun &r);
+
+/**
+ * Serialize a whole suite: per-workload rows, failure records, and
+ * the aggregates (null when every run failed).
+ */
+void writeSuiteResult(json::Writer &w, const SuiteResult &s);
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_RESULTS_JSON_HH

@@ -88,6 +88,14 @@ struct SuiteResult
     /** Number of runs that ended in a contained SimError. */
     size_t numFailed() const;
 
+    /**
+     * Number of successful runs. When this is zero, geomeanIpc(),
+     * mean(), and total() all return 0 — a sentinel, not a datapoint.
+     * JSON serialization (sim/results_json.hh) emits null for every
+     * aggregate of an all-failed suite instead of recording the 0.
+     */
+    size_t numOk() const { return runs.size() - numFailed(); }
+
     /** One line per failed run ("name: message"), empty if none. */
     std::string failureSummary() const;
 };

@@ -1,0 +1,29 @@
+# Byte-identity check for the default ubrcsim text report.
+#
+# Runs `ubrcsim --workload gzip --insts 20000 --stats-format text` and
+# compares its stdout byte-for-byte against the committed golden
+# capture (tests/golden/ubrcsim_gzip_text.txt, recorded before the
+# structured-results refactor). Invoked by ctest as:
+#
+#   cmake -DUBRCSIM=<binary> -DGOLDEN=<golden file> -P this_script
+
+if(NOT UBRCSIM OR NOT GOLDEN)
+    message(FATAL_ERROR "need -DUBRCSIM=<binary> -DGOLDEN=<file>")
+endif()
+
+execute_process(
+    COMMAND ${UBRCSIM} --workload gzip --insts 20000 --stats-format text
+    OUTPUT_VARIABLE actual
+    ERROR_VARIABLE errout
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ubrcsim exited with ${rc}: ${errout}")
+endif()
+
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    file(WRITE ${GOLDEN}.actual "${actual}")
+    message(FATAL_ERROR
+        "ubrcsim text output is no longer byte-identical to "
+        "${GOLDEN}; actual output written to ${GOLDEN}.actual")
+endif()

@@ -45,7 +45,7 @@ loop:   addi r1, r1, -1
     auto cfg = sim::SimConfig::useBasedCache();
     Processor p(cfg, w);
     p.run();
-    EXPECT_GE(p.statsGroup().scalarValue("fetch_blocks"), 500u);
+    EXPECT_GE(p.result().fetchBlocks, 500u);
 }
 
 TEST(Fetch, StraightLineCodeFetchesWide)
@@ -60,7 +60,7 @@ TEST(Fetch, StraightLineCodeFetchesWide)
     auto w = wl(src);
     Processor p(cfg, w);
     p.run();
-    EXPECT_LE(p.statsGroup().scalarValue("fetch_blocks"), 16u);
+    EXPECT_LE(p.result().fetchBlocks, 16u);
 }
 
 TEST(Fetch, NopsAreSkippedForFree)
@@ -86,7 +86,7 @@ TEST(Fetch, NotTakenBranchesDoNotEndBlocks)
     p.run();
     // 32 instructions at 8 wide: ~4-10 blocks once warm (plus a few
     // for predictor warmup squashes).
-    EXPECT_LE(p.statsGroup().scalarValue("fetch_blocks"), 24u);
+    EXPECT_LE(p.result().fetchBlocks, 24u);
 }
 
 TEST(Fetch, IndirectTargetsLearned)

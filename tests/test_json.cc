@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the header-only JSON writer and parser
+ * (common/json.hh): escaping, deterministic number rendering, comma
+ * and indent management, and writer -> parser round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+using namespace ubrc::json;
+
+TEST(JsonEscape, ControlAndSpecialCharacters)
+{
+    EXPECT_EQ(escape("plain"), "plain");
+    EXPECT_EQ(escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(escape("tab\tnl\ncr\r"), "tab\\tnl\\ncr\\r");
+    EXPECT_EQ(escape(std::string("nul\x01z")), "nul\\u0001z");
+    // UTF-8 passes through untouched.
+    EXPECT_EQ(escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, DeterministicRendering)
+{
+    EXPECT_EQ(formatNumber(0.0), "0");
+    EXPECT_EQ(formatNumber(1.5), "1.5");
+    EXPECT_EQ(formatNumber(-2.25), "-2.25");
+    // Non-finite doubles must never leak NaN/Inf tokens into a doc.
+    EXPECT_EQ(formatNumber(std::nan("")), "null");
+    EXPECT_EQ(formatNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonWriter, CompactObjectAndArray)
+{
+    Writer w(false);
+    w.beginObject();
+    w.field("name", "ubrc");
+    w.field("count", uint64_t(3));
+    w.field("neg", int64_t(-4));
+    w.field("ok", true);
+    w.nullField("missing");
+    w.key("list").beginArray();
+    w.value(1.5);
+    w.value("x");
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"ubrc\",\"count\":3,\"neg\":-4,\"ok\":true,"
+              "\"missing\":null,\"list\":[1.5,\"x\"]}");
+}
+
+TEST(JsonWriter, PrettyIndentation)
+{
+    Writer w;
+    w.beginObject();
+    w.field("a", uint64_t(1));
+    w.key("b").beginArray().value(uint64_t(2)).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine)
+{
+    Writer w;
+    w.beginObject();
+    w.key("obj").beginObject().endObject();
+    w.key("arr").beginArray().endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"obj\": {},\n  \"arr\": []\n}");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim)
+{
+    Writer w(false);
+    w.beginObject();
+    w.key("stats").raw("{\"x\":1}");
+    w.field("after", uint64_t(2));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"stats\":{\"x\":1},\"after\":2}");
+}
+
+TEST(JsonParse, ScalarsAndStructure)
+{
+    const Value v = parse(
+        R"({"s": "hi", "n": -1.5, "t": true, "f": false, "z": null,
+            "a": [1, 2, 3]})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("s").string, "hi");
+    EXPECT_DOUBLE_EQ(v.at("n").number, -1.5);
+    EXPECT_TRUE(v.at("t").boolean);
+    EXPECT_FALSE(v.at("f").boolean);
+    EXPECT_TRUE(v.at("z").isNull());
+    ASSERT_TRUE(v.at("a").isArray());
+    ASSERT_EQ(v.at("a").array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("a").array[2].number, 3.0);
+    EXPECT_EQ(v.find("nope"), nullptr);
+    EXPECT_THROW(v.at("nope"), std::out_of_range);
+}
+
+TEST(JsonParse, ObjectOrderIsPreserved)
+{
+    const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(v.object.size(), 3u);
+    EXPECT_EQ(v.object[0].first, "z");
+    EXPECT_EQ(v.object[1].first, "a");
+    EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const Value v = parse(R"("a\"b\\c\/d\n\tAé")");
+    EXPECT_EQ(v.string, "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(parse(""), ParseError);
+    EXPECT_THROW(parse("{"), ParseError);
+    EXPECT_THROW(parse("{\"a\":}"), ParseError);
+    EXPECT_THROW(parse("[1,]"), ParseError);
+    EXPECT_THROW(parse("tru"), ParseError);
+    EXPECT_THROW(parse("1 2"), ParseError);
+    EXPECT_THROW(parse("\"unterminated"), ParseError);
+    EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+    // 201 nested arrays exceeds the depth limit.
+    std::string deep(201, '[');
+    deep += std::string(201, ']');
+    EXPECT_THROW(parse(deep), ParseError);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack)
+{
+    Writer w;
+    w.beginObject();
+    w.field("name", "fig\"09\"\n");
+    w.field("pi", 3.14159265358979);
+    w.field("big", uint64_t(1) << 53);
+    w.key("rows").beginArray();
+    for (int i = 0; i < 3; ++i) {
+        w.beginArray();
+        w.value(i);
+        w.value(double(i) / 3.0);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+
+    const Value v = parse(w.str());
+    EXPECT_EQ(v.at("name").string, "fig\"09\"\n");
+    // Doubles are serialized with %.12g: 12 significant digits, not
+    // bit-exact. Integers up to 2^53 round-trip exactly.
+    EXPECT_NEAR(v.at("pi").number, 3.14159265358979, 1e-11);
+    EXPECT_DOUBLE_EQ(v.at("big").number,
+                     static_cast<double>(uint64_t(1) << 53));
+    ASSERT_EQ(v.at("rows").array.size(), 3u);
+    EXPECT_NEAR(v.at("rows").array[1].array[1].number, 1.0 / 3.0,
+                1e-12);
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the bench Reporter: the JSON document layout against a
+ * committed golden file (volatile wall-clock fields masked, git and
+ * timestamp pinned through UBRC_GIT_DESCRIBE / UBRC_REPORT_EPOCH),
+ * suite recording against a live simulation, and UBRC_RESULTS_DIR
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "bench/reporter.hh"
+#include "common/json.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+namespace
+{
+
+void renderValue(json::Writer &w, const json::Value &v);
+
+void
+renderMember(json::Writer &w, const std::string &k,
+             const json::Value &v)
+{
+    w.key(k);
+    // Wall-clock fields are the only nondeterministic part of a
+    // pinned-environment document; mask them for comparison.
+    if (k == "wall_seconds" || k == "wall_seconds_total") {
+        w.value(0.0);
+        return;
+    }
+    renderValue(w, v);
+}
+
+void
+renderValue(json::Writer &w, const json::Value &v)
+{
+    switch (v.type) {
+      case json::Value::Type::Null: w.null(); break;
+      case json::Value::Type::Bool: w.value(v.boolean); break;
+      case json::Value::Type::Number: w.value(v.number); break;
+      case json::Value::Type::String: w.value(v.string); break;
+      case json::Value::Type::Array:
+        w.beginArray();
+        for (const auto &e : v.array)
+            renderValue(w, e);
+        w.endArray();
+        break;
+      case json::Value::Type::Object:
+        w.beginObject();
+        for (const auto &[k, m] : v.object)
+            renderMember(w, k, m);
+        w.endObject();
+        break;
+    }
+}
+
+/** Re-render a document deterministically with volatile fields
+ *  masked, so two equal trees compare as equal strings. */
+std::string
+normalize(const std::string &doc)
+{
+    json::Writer w;
+    renderValue(w, json::parse(doc));
+    return w.str();
+}
+
+std::string
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+class ReporterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("ubrc_reporter_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+        setenv("UBRC_RESULTS_DIR", dir.c_str(), 1);
+        setenv("UBRC_WORKLOADS", "gzip", 1);
+        setenv("UBRC_MAX_INSTS", "2000", 1);
+        setenv("UBRC_JOBS", "1", 1);
+        setenv("UBRC_GIT_DESCRIBE", "vtest-0-g0000000", 1);
+        setenv("UBRC_REPORT_EPOCH", "1700000000", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        for (const char *var :
+             {"UBRC_RESULTS_DIR", "UBRC_WORKLOADS", "UBRC_MAX_INSTS",
+              "UBRC_JOBS", "UBRC_GIT_DESCRIBE", "UBRC_REPORT_EPOCH"})
+            unsetenv(var);
+        std::filesystem::remove_all(dir);
+    }
+
+    std::filesystem::path dir;
+};
+
+/**
+ * The document for a harness with fixed literal cells is fully
+ * deterministic under a pinned environment; any layout or meta-block
+ * change must show up as a diff against the committed golden file.
+ */
+TEST_F(ReporterTest, GoldenDocument)
+{
+    std::string produced;
+    {
+        Reporter r("golden");
+        r.banner("Golden harness", "Figure 0");
+        r.config("16-entry test config");
+        auto &t = r.table("cells", {"kind", "value"});
+        t.row({"text", "hello \"world\""});
+        t.row({"uint", uint64_t(42)});
+        t.row({"real", Cell::real(2.0 / 3.0, 4)});
+        t.row({"typed", Cell::typed("+1.9%", 0.019)});
+        t.row({"null", Cell::null()});
+        t.print();
+        produced = r.write();
+        ASSERT_FALSE(produced.empty());
+    }
+    const std::filesystem::path golden =
+        std::filesystem::path(UBRC_TEST_GOLDEN_DIR) /
+        "reporter_golden.json";
+    const std::string got = normalize(slurp(produced));
+    if (!std::filesystem::exists(golden)) {
+        // First run (or intentional regeneration): write the
+        // candidate next to where the golden belongs and fail.
+        std::ofstream(golden.string() + ".actual") << got << "\n";
+        FAIL() << "golden file missing: " << golden
+               << " (candidate written to " << golden << ".actual)";
+    }
+    const std::string want = normalize(slurp(golden));
+    if (got != want)
+        std::ofstream(golden.string() + ".actual") << got << "\n";
+    EXPECT_EQ(got, want) << "reporter document layout changed; "
+                         << "compare " << golden << ".actual";
+}
+
+TEST_F(ReporterTest, RecordsSuiteRuns)
+{
+    Reporter r("suite_test");
+    const sim::SimConfig cfg = sim::SimConfig::lruCache();
+    const sim::SuiteResult res = r.run("lru", cfg);
+    ASSERT_EQ(res.runs.size(), 1u);
+    EXPECT_EQ(res.runs[0].workload, "gzip");
+
+    const json::Value v = json::parse(r.json());
+    EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+    EXPECT_EQ(v.at("kind").string, "bench");
+    const json::Value &meta = v.at("meta");
+    EXPECT_EQ(meta.at("harness").string, "suite_test");
+    // No banner: title/paper_ref are null, config falls back to the
+    // first suite's describe-string.
+    EXPECT_TRUE(meta.at("title").isNull());
+    EXPECT_EQ(meta.at("config").string, cfg.describe());
+    EXPECT_EQ(meta.at("git").string, "vtest-0-g0000000");
+    EXPECT_DOUBLE_EQ(meta.at("generated_unix").number, 1700000000.0);
+    EXPECT_DOUBLE_EQ(meta.at("max_insts").number, 2000.0);
+    ASSERT_EQ(meta.at("workloads").array.size(), 1u);
+    EXPECT_EQ(meta.at("workloads").array[0].string, "gzip");
+
+    ASSERT_EQ(v.at("suites").array.size(), 1u);
+    const json::Value &s = v.at("suites").array[0];
+    EXPECT_EQ(s.at("label").string, "lru");
+    EXPECT_EQ(s.at("config").string, cfg.describe());
+    EXPECT_DOUBLE_EQ(s.at("suite").at("num_runs").number, 1.0);
+    // Serialized at 12 significant digits (%.12g), not bit-exact.
+    EXPECT_NEAR(s.at("suite").at("geomean_ipc").number,
+                res.geomeanIpc(), 1e-9);
+    EXPECT_EQ(s.at("suite")
+                  .at("runs")
+                  .array[0]
+                  .at("workload")
+                  .string,
+              "gzip");
+}
+
+TEST_F(ReporterTest, MonolithicIpcIsCachedPerLatency)
+{
+    Reporter r("mono_test");
+    const double a = r.monolithicIpc(3);
+    const double b = r.monolithicIpc(3);
+    EXPECT_DOUBLE_EQ(a, b);
+    const json::Value v = json::parse(r.json());
+    // The second call hits the cache: exactly one recorded suite.
+    ASSERT_EQ(v.at("suites").array.size(), 1u);
+    EXPECT_EQ(v.at("suites").array[0].at("label").string,
+              "monolithic-3c");
+}
+
+TEST_F(ReporterTest, WriteHonorsResultsDirAndDisarmsDestructor)
+{
+    std::string path;
+    {
+        Reporter r("dir_test");
+        r.table("t", {"a"}).row({uint64_t(1)});
+        path = r.write();
+    }
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(std::filesystem::path(path).parent_path(), dir);
+    EXPECT_EQ(std::filesystem::path(path).filename(),
+              "BENCH_dir_test.json");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    // The document on disk parses and carries the schema version.
+    const json::Value v = json::parse(slurp(path));
+    EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the versioned results JSON schema (sim/results_json.hh)
+ * and for StatGroup's typed visitation/serialization: schema-stable
+ * keys, escaping of workload and error strings, distribution buckets,
+ * and the all-failed-suite null-aggregate guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "sim/results_json.hh"
+#include "sim/sim_error.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+core::SimResult
+sampleResult(double ipc)
+{
+    core::SimResult r;
+    r.cycles = 1000;
+    r.instsRetired = static_cast<uint64_t>(ipc * 1000);
+    r.ipc = ipc;
+    r.missPerOperand = 0.05;
+    r.opBypass = 10;
+    r.opCache = 20;
+    r.opFile = 5;
+    return r;
+}
+
+} // namespace
+
+TEST(StatGroupJson, SectionsAndValues)
+{
+    stats::StatGroup g("core");
+    g.scalar("insts") += 42;
+    g.mean("occupancy").sample(3.0);
+    g.mean("occupancy").sample(5.0);
+    auto &d = g.distribution("lifetime", 16);
+    d.sample(2);
+    d.sample(2);
+    d.sample(9);
+
+    const json::Value v = json::parse(g.toJson());
+    EXPECT_EQ(v.at("group").string, "core");
+    EXPECT_DOUBLE_EQ(v.at("scalars").at("insts").number, 42.0);
+    const json::Value &occ = v.at("means").at("occupancy");
+    EXPECT_DOUBLE_EQ(occ.at("value").number, 4.0);
+    EXPECT_DOUBLE_EQ(occ.at("count").number, 2.0);
+    const json::Value &life = v.at("distributions").at("lifetime");
+    EXPECT_DOUBLE_EQ(life.at("count").number, 3.0);
+    EXPECT_DOUBLE_EQ(life.at("p50").number, 2.0);
+    // Buckets are sparse [value, weight] pairs: only 2 and 9 sampled.
+    const auto &buckets = life.at("buckets").array;
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_DOUBLE_EQ(buckets[0].array[0].number, 2.0);
+    EXPECT_DOUBLE_EQ(buckets[0].array[1].number, 2.0);
+    EXPECT_DOUBLE_EQ(buckets[1].array[0].number, 9.0);
+    EXPECT_DOUBLE_EQ(buckets[1].array[1].number, 1.0);
+}
+
+TEST(StatGroupVisit, CanonicalOrder)
+{
+    stats::StatGroup g("g");
+    g.scalar("b_scalar");
+    g.scalar("a_scalar");
+    g.mean("m");
+    g.distribution("d", 4);
+
+    struct Recorder : stats::StatVisitor
+    {
+        std::vector<std::string> names;
+        void
+        visitScalar(const std::string &n, const stats::Scalar &) override
+        {
+            names.push_back("s:" + n);
+        }
+        void
+        visitMean(const std::string &n, const stats::Mean &) override
+        {
+            names.push_back("m:" + n);
+        }
+        void
+        visitDistribution(const std::string &n,
+                          const stats::Distribution &) override
+        {
+            names.push_back("d:" + n);
+        }
+    } rec;
+    g.visit(rec);
+    // Scalars (name-sorted), then means, then distributions — the
+    // same canonical order as the legacy text dump.
+    const std::vector<std::string> expected = {"s:a_scalar",
+                                               "s:b_scalar", "m:m",
+                                               "d:d"};
+    EXPECT_EQ(rec.names, expected);
+}
+
+TEST(ResultsJson, SimResultSchemaStableKeys)
+{
+    json::Writer w;
+    sim::writeSimResult(w, sampleResult(1.5));
+    const json::Value v = json::parse(w.str());
+
+    EXPECT_DOUBLE_EQ(v.at("cycles").number, 1000.0);
+    EXPECT_DOUBLE_EQ(v.at("ipc").number, 1.5);
+    // Renaming or removing any of these keys is a schema break and
+    // must bump resultsSchemaVersion.
+    for (const char *section :
+         {"operands", "cache", "bandwidth", "predictors", "lifetimes",
+          "replay", "frontend", "supplier"})
+        EXPECT_TRUE(v.at(section).isObject()) << section;
+    EXPECT_DOUBLE_EQ(v.at("operands").at("bypass").number, 10.0);
+    EXPECT_DOUBLE_EQ(v.at("cache").at("miss_per_operand").number,
+                     0.05);
+    EXPECT_TRUE(v.at("supplier").find("file_reads") != nullptr);
+    EXPECT_TRUE(v.at("frontend").find("rename_stalls_regs") !=
+                nullptr);
+}
+
+TEST(ResultsJson, WorkloadRunEscapesStrings)
+{
+    sim::WorkloadRun run;
+    run.workload = "evil\"name\nwith\tescapes";
+    run.failed = true;
+    run.errorKind = sim::ErrorKind::Deadlock;
+    run.error = "stuck at cycle 7: \"IQ\" full\\drained";
+
+    json::Writer w;
+    sim::writeWorkloadRun(w, run);
+    const json::Value v = json::parse(w.str());
+    EXPECT_EQ(v.at("workload").string, run.workload);
+    EXPECT_EQ(v.at("error").at("message").string, run.error);
+    EXPECT_EQ(v.at("error").at("kind").string,
+              sim::toString(sim::ErrorKind::Deadlock));
+    EXPECT_TRUE(v.at("ipc").isNull());
+}
+
+TEST(ResultsJson, SuiteAggregates)
+{
+    sim::SuiteResult s;
+    sim::WorkloadRun ok;
+    ok.workload = "gzip";
+    ok.result = sampleResult(2.0);
+    sim::WorkloadRun bad;
+    bad.workload = "mcf";
+    bad.failed = true;
+    bad.errorKind = sim::ErrorKind::CheckerDivergence;
+    bad.error = "checker mismatch";
+    s.runs = {ok, bad};
+
+    json::Writer w;
+    sim::writeSuiteResult(w, s);
+    const json::Value v = json::parse(w.str());
+    EXPECT_DOUBLE_EQ(v.at("num_runs").number, 2.0);
+    EXPECT_DOUBLE_EQ(v.at("num_failed").number, 1.0);
+    EXPECT_DOUBLE_EQ(v.at("geomean_ipc").number, 2.0);
+    EXPECT_DOUBLE_EQ(v.at("mean_ipc").number, 2.0);
+    ASSERT_EQ(v.at("failures").array.size(), 1u);
+    EXPECT_EQ(v.at("failures").array[0].at("workload").string, "mcf");
+    ASSERT_EQ(v.at("runs").array.size(), 2u);
+    EXPECT_FALSE(v.at("runs").array[0].at("failed").boolean);
+    EXPECT_TRUE(v.at("runs").array[1].at("failed").boolean);
+}
+
+/**
+ * Guard for the all-failed bugfix: a sweep where every run failed
+ * must serialize its aggregates as null, never as a measured 0.0.
+ */
+TEST(ResultsJson, AllFailedSuiteSerializesNullAggregates)
+{
+    sim::SuiteResult s;
+    for (const char *name : {"gzip", "mcf"}) {
+        sim::WorkloadRun run;
+        run.workload = name;
+        run.failed = true;
+        run.errorKind = sim::ErrorKind::Deadlock;
+        run.error = "no retirement";
+        s.runs.push_back(run);
+    }
+    ASSERT_EQ(s.numOk(), 0u);
+    // The in-memory accessors still return the 0 sentinel...
+    EXPECT_EQ(s.geomeanIpc(), 0.0);
+
+    // ...but the document must say null.
+    json::Writer w;
+    sim::writeSuiteResult(w, s);
+    const json::Value v = json::parse(w.str());
+    EXPECT_TRUE(v.at("geomean_ipc").isNull());
+    EXPECT_TRUE(v.at("mean_ipc").isNull());
+    EXPECT_TRUE(v.at("mean_miss_per_operand").isNull());
+    EXPECT_DOUBLE_EQ(v.at("num_failed").number, 2.0);
+}
+
+TEST(ResultsJson, RunOutcomeWithFaults)
+{
+    sim::RunOutcome o;
+    o.ok = false;
+    o.kind = sim::ErrorKind::CheckerDivergence;
+    o.message = "r7 mismatch";
+    o.snapshotText = "snapshot";
+    o.result = sampleResult(0.9);
+    inject::FaultRecord f;
+    f.cycle = 812;
+    f.site = 87;
+    f.detail = 12;
+    f.bit = 5;
+    o.faults.push_back(f);
+
+    json::Writer w;
+    sim::writeRunOutcome(w, o);
+    const json::Value v = json::parse(w.str());
+    EXPECT_FALSE(v.at("ok").boolean);
+    EXPECT_EQ(v.at("error").at("kind").string,
+              sim::toString(sim::ErrorKind::CheckerDivergence));
+    EXPECT_TRUE(v.at("error").at("has_snapshot").boolean);
+    ASSERT_EQ(v.at("faults").array.size(), 1u);
+    const json::Value &jf = v.at("faults").array[0];
+    EXPECT_DOUBLE_EQ(jf.at("cycle").number, 812.0);
+    EXPECT_DOUBLE_EQ(jf.at("bit").number, 5.0);
+    EXPECT_EQ(jf.at("text").string, f.describe());
+    EXPECT_DOUBLE_EQ(v.at("result").at("ipc").number, 0.9);
+}

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Validate UBRC results JSON documents.
+
+Checks documents emitted by the bench Reporter (BENCH_*.json) and by
+ubrcsim --stats-format=json (UBRCSIM_*.json) against schema version 1
+as specified in src/sim/results_json.hh. Stdlib only; used by the CI
+bench-smoke job and usable locally:
+
+    python3 tools/check_results_json.py results/*.json
+
+Exit status is 0 when every document validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+NUMBER = (int, float)
+
+SIM_RESULT_SECTIONS = {
+    "operands": ("bypass", "cache", "file", "bypass_fraction"),
+    "cache": ("misses", "miss_no_write", "miss_conflict",
+              "miss_capacity", "miss_per_operand", "inserts", "fills",
+              "values_produced", "writes_filtered",
+              "values_never_cached", "cached_never_read",
+              "cached_total", "avg_occupancy", "avg_entry_lifetime",
+              "reads_per_cached_value", "cache_count_per_value",
+              "zero_use_victim_fraction"),
+    "bandwidth": ("cache_read", "cache_write", "file_read",
+                  "file_write"),
+    "predictors": ("dou_accuracy", "branch_mispredict_rate"),
+    "lifetimes": ("median_empty", "median_live", "median_dead",
+                  "allocated_p50", "allocated_p90", "live_p50",
+                  "live_p90"),
+    "replay": ("mini_replays", "issue_group_squashes",
+               "branch_mispredicts", "mem_order_violations"),
+    "frontend": ("fetch_blocks", "rename_stalls_regs",
+                 "rename_stalls_rob", "rename_stalls_iq"),
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise ValidationError(msg)
+
+
+def expect_keys(obj, keys, where):
+    expect(isinstance(obj, dict), f"{where}: expected an object")
+    missing = [k for k in keys if k not in obj]
+    expect(not missing, f"{where}: missing keys {missing}")
+
+
+def check_sim_result(r, where):
+    expect_keys(r, ("cycles", "insts_retired", "ipc", "supplier"),
+                where)
+    for key in ("cycles", "insts_retired"):
+        expect(isinstance(r[key], int) and r[key] >= 0,
+               f"{where}.{key}: expected a non-negative integer")
+    expect(isinstance(r["ipc"], NUMBER), f"{where}.ipc: not a number")
+    for section, fields in SIM_RESULT_SECTIONS.items():
+        expect_keys(r.get(section), fields, f"{where}.{section}")
+        for f in fields:
+            # Non-finite doubles serialize as null by design.
+            v = r[section][f]
+            expect(v is None or isinstance(v, NUMBER),
+                   f"{where}.{section}.{f}: not a number or null")
+    expect_keys(r["supplier"], ("has_cache", "misses", "file_reads",
+                                "file_writes", "dou_accuracy"),
+                f"{where}.supplier")
+
+
+def check_suite(s, where):
+    expect_keys(s, ("num_runs", "num_failed", "geomean_ipc",
+                    "mean_ipc", "mean_miss_per_operand", "failures",
+                    "runs"), where)
+    num_runs, num_failed = s["num_runs"], s["num_failed"]
+    expect(isinstance(num_runs, int) and isinstance(num_failed, int),
+           f"{where}: num_runs/num_failed must be integers")
+    expect(len(s["runs"]) == num_runs,
+           f"{where}: runs[] length {len(s['runs'])} != num_runs "
+           f"{num_runs}")
+    expect(len(s["failures"]) == num_failed,
+           f"{where}: failures[] length != num_failed")
+    all_failed = num_runs == num_failed
+    for agg in ("geomean_ipc", "mean_ipc", "mean_miss_per_operand"):
+        v = s[agg]
+        if all_failed:
+            expect(v is None,
+                   f"{where}.{agg}: must be null when every run "
+                   f"failed, got {v!r}")
+        else:
+            expect(isinstance(v, NUMBER),
+                   f"{where}.{agg}: expected a number, got {v!r}")
+    for i, f in enumerate(s["failures"]):
+        expect_keys(f, ("workload", "kind", "message"),
+                    f"{where}.failures[{i}]")
+    for i, run in enumerate(s["runs"]):
+        rw = f"{where}.runs[{i}]"
+        expect_keys(run, ("workload", "failed", "error", "ipc",
+                          "result"), rw)
+        expect(isinstance(run["failed"], bool),
+               f"{rw}.failed: not a bool")
+        if run["failed"]:
+            expect_keys(run["error"], ("kind", "message"),
+                        f"{rw}.error")
+            expect(run["ipc"] is None,
+                   f"{rw}.ipc: must be null for a failed run")
+        else:
+            expect(run["error"] is None,
+                   f"{rw}.error: must be null for a successful run")
+            expect(isinstance(run["ipc"], NUMBER),
+                   f"{rw}.ipc: not a number")
+        check_sim_result(run["result"], f"{rw}.result")
+
+
+def check_outcome(o, where):
+    expect_keys(o, ("ok", "error", "faults", "result"), where)
+    expect(isinstance(o["ok"], bool), f"{where}.ok: not a bool")
+    if o["ok"]:
+        expect(o["error"] is None,
+               f"{where}.error: must be null when ok")
+    else:
+        expect_keys(o["error"], ("kind", "message", "has_snapshot"),
+                    f"{where}.error")
+    expect(isinstance(o["faults"], list),
+           f"{where}.faults: not an array")
+    for i, f in enumerate(o["faults"]):
+        expect_keys(f, ("cycle", "target", "site", "detail", "bit",
+                        "text"), f"{where}.faults[{i}]")
+    check_sim_result(o["result"], f"{where}.result")
+
+
+def check_meta(meta, keys, where):
+    expect_keys(meta, keys, where)
+    expect(isinstance(meta["workloads"], list) and
+           all(isinstance(x, str) for x in meta["workloads"]),
+           f"{where}.workloads: not an array of strings")
+    for key in ("max_insts", "jobs", "generated_unix"):
+        expect(isinstance(meta[key], int),
+               f"{where}.{key}: not an integer")
+    expect(isinstance(meta["git"], str) and meta["git"],
+           f"{where}.git: not a non-empty string")
+
+
+def check_bench(doc):
+    check_meta(doc["meta"],
+               ("harness", "title", "paper_ref", "config",
+                "workloads", "max_insts", "jobs", "git",
+                "generated_unix", "wall_seconds_total"), "meta")
+    expect(isinstance(doc.get("tables"), list), "tables: not an array")
+    for t in doc["tables"]:
+        tw = f"tables[{t.get('id', '?')!r}]"
+        expect_keys(t, ("id", "headers", "rows"), tw)
+        width = len(t["headers"])
+        for i, row in enumerate(t["rows"]):
+            expect(isinstance(row, list) and len(row) == width,
+                   f"{tw}.rows[{i}]: expected {width} cells, got "
+                   f"{len(row) if isinstance(row, list) else row!r}")
+            for j, cell in enumerate(row):
+                expect(cell is None or isinstance(cell, (str,) + NUMBER),
+                       f"{tw}.rows[{i}][{j}]: bad cell type")
+    expect(isinstance(doc.get("suites"), list), "suites: not an array")
+    for s in doc["suites"]:
+        sw = f"suites[{s.get('label', '?')!r}]"
+        expect_keys(s, ("label", "config", "scheme", "wall_seconds",
+                        "suite"), sw)
+        check_suite(s["suite"], f"{sw}.suite")
+
+
+def check_ubrcsim_run(doc):
+    check_meta(doc["meta"],
+               ("tool", "config", "scheme", "workloads", "max_insts",
+                "jobs", "git", "generated_unix"), "meta")
+    expect(isinstance(doc.get("wall_seconds"), NUMBER),
+           "wall_seconds: not a number")
+    check_outcome(doc["outcome"], "outcome")
+    if "stats" in doc:
+        # Sections are present only when the group has stats of that
+        # type; a full Processor group has all three.
+        expect_keys(doc["stats"], ("group",), "stats")
+        for section in ("scalars", "means", "distributions"):
+            if section in doc["stats"]:
+                expect(isinstance(doc["stats"][section], dict),
+                       f"stats.{section}: not an object")
+
+
+def check_ubrcsim_suite(doc):
+    check_meta(doc["meta"],
+               ("tool", "config", "scheme", "workloads", "max_insts",
+                "jobs", "git", "generated_unix"), "meta")
+    expect(isinstance(doc.get("wall_seconds"), NUMBER),
+           "wall_seconds: not a number")
+    check_suite(doc["suite"], "suite")
+
+
+KINDS = {
+    "bench": check_bench,
+    "ubrcsim-run": check_ubrcsim_run,
+    "ubrcsim-suite": check_ubrcsim_suite,
+}
+
+
+def check_document(doc):
+    expect(isinstance(doc, dict), "document root is not an object")
+    expect(doc.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version: expected {SCHEMA_VERSION}, got "
+           f"{doc.get('schema_version')!r}")
+    kind = doc.get("kind")
+    expect(kind in KINDS,
+           f"kind: expected one of {sorted(KINDS)}, got {kind!r}")
+    KINDS[kind](doc)
+    return kind
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            kind = check_document(doc)
+            print(f"{path}: ok ({kind})")
+        except (OSError, json.JSONDecodeError, ValidationError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,9 +13,11 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include "isa/disasm.hh"
 #include "isa/functional_core.hh"
 #include "sim/diagnostics.hh"
+#include "sim/results_json.hh"
 #include "sim/runner.hh"
 #include "sim/sim_error.hh"
 #include "workload/workload.hh"
@@ -72,6 +75,15 @@ usage()
         "                      bit-identical to a serial run.\n"
         "  --no-checker        disable the golden architectural checker\n"
         "  --stats             dump every statistic after the run\n"
+        "  --stats-format F    text (default) prints the usual report;\n"
+        "                      json additionally writes a versioned\n"
+        "                      JSON document (schema: results_json.hh)\n"
+        "  --out FILE          report destination. text: write the\n"
+        "                      report to FILE instead of stdout.\n"
+        "                      json: write the JSON document to FILE\n"
+        "                      (default results/UBRCSIM_<name>.json;\n"
+        "                      directory overridable via\n"
+        "                      UBRC_RESULTS_DIR)\n"
         "  --watchdog N        abort if no instruction retires for N\n"
         "                      cycles (default 500000; 0 disables)\n"
         "  --validate-only     check the configuration and exit\n"
@@ -155,6 +167,94 @@ parseIndexing(const std::string &s)
     fatal("unknown indexing policy '%s'", s.c_str());
 }
 
+enum class StatsFormat { Text, Json };
+
+StatsFormat
+parseStatsFormat(const std::string &s)
+{
+    if (s == "text")
+        return StatsFormat::Text;
+    if (s == "json")
+        return StatsFormat::Json;
+    fatal("--stats-format: unknown format '%s' (text or json)",
+          s.c_str());
+}
+
+/**
+ * Destination for the JSON document: --out when given, else
+ * results/UBRCSIM_<name>.json with the name sanitized to a safe
+ * filename and the directory overridable via UBRC_RESULTS_DIR.
+ */
+std::string
+jsonOutPath(const std::string &out_path, const std::string &name)
+{
+    if (!out_path.empty())
+        return out_path;
+    const char *env = std::getenv("UBRC_RESULTS_DIR");
+    const std::string dir = env && *env ? env : "results";
+    std::string base = name.empty() ? "run" : name;
+    for (char &c : base) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '_' || c == '.';
+        if (!safe)
+            c = '-';
+    }
+    return dir + "/UBRCSIM_" + base + ".json";
+}
+
+void
+writeMeta(json::Writer &w, const sim::SimConfig &cfg,
+          const std::vector<std::string> &workload_names,
+          uint64_t max_insts, unsigned jobs)
+{
+    w.key("meta").beginObject();
+    w.field("tool", "ubrcsim");
+    w.field("config", cfg.describe());
+    w.field("scheme", sim::toString(cfg.scheme));
+    w.key("workloads").beginArray();
+    for (const auto &n : workload_names)
+        w.value(n);
+    w.endArray();
+    w.field("max_insts", max_insts);
+    w.field("jobs", uint64_t(jobs));
+    w.field("git", sim::metaGitDescribe());
+    w.field("generated_unix", sim::metaReportEpoch());
+    w.endObject();
+}
+
+/** Write `doc` to `path`, creating parent directories as needed. */
+bool
+writeJsonDoc(const std::string &path, const std::string &doc)
+{
+    std::error_code ec;
+    const auto dir = std::filesystem::path(path).parent_path();
+    if (!dir.empty())
+        std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "ubrcsim: cannot create directory '%s': %s\n",
+                     dir.string().c_str(), ec.message().c_str());
+        return false;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "ubrcsim: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    out << doc << '\n';
+    out.close();
+    if (!out) {
+        std::fprintf(stderr, "ubrcsim: short write to '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "ubrcsim: wrote %s\n", path.c_str());
+    return true;
+}
+
 workload::Workload
 loadAsmWorkload(const std::string &path)
 {
@@ -185,6 +285,8 @@ main(int argc, char **argv)
     std::string workload_name = "gzip";
     std::string asm_path;
     std::string dump_path;
+    std::string out_path;
+    StatsFormat format = StatsFormat::Text;
     bool do_list = false, do_disasm = false, dump_stats = false;
     bool validate_only = false;
     workload::WorkloadParams wparams;
@@ -266,6 +368,15 @@ main(int argc, char **argv)
             cfg.checker = false;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-format") {
+            format = parseStatsFormat(nextArg(argc, argv, i));
+        } else if (arg.rfind("--stats-format=", 0) == 0) {
+            format = parseStatsFormat(
+                arg.substr(std::strlen("--stats-format=")));
+        } else if (arg == "--out") {
+            out_path = nextArg(argc, argv, i);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(std::strlen("--out="));
         } else if (arg == "--watchdog") {
             cfg.watchdogCycles =
                 parseU64("--watchdog", nextArg(argc, argv, i));
@@ -313,6 +424,18 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // In text mode --out redirects the report; without it the report
+    // goes to stdout, byte-identical to the historical output. In
+    // json mode the report stays on stdout and --out names the JSON
+    // document instead.
+    FILE *rpt = stdout;
+    if (format == StatsFormat::Text && !out_path.empty()) {
+        rpt = std::fopen(out_path.c_str(), "w");
+        if (!rpt)
+            fatal("--out: cannot open '%s' for writing",
+                  out_path.c_str());
+    }
+
     // A comma list (or "all") runs a whole suite, optionally on
     // several worker threads.
     std::vector<std::string> suite;
@@ -336,30 +459,52 @@ main(int argc, char **argv)
     if (!suite.empty()) {
         if (do_disasm || dump_stats)
             fatal("--disasm and --stats need a single workload");
-        std::printf("design   : %s\n", cfg.describe().c_str());
-        std::printf("suite    : %zu kernels, %u job(s)\n\n",
-                    suite.size(), jobs);
+        std::fprintf(rpt, "design   : %s\n", cfg.describe().c_str());
+        std::fprintf(rpt, "suite    : %zu kernels, %u job(s)\n\n",
+                     suite.size(), jobs);
+        const auto t0 = std::chrono::steady_clock::now();
         const sim::SuiteResult sr =
             sim::runSuite(cfg, suite, wparams, max_insts, jobs);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         for (const auto &run : sr.runs) {
             if (run.failed)
-                std::printf("%-9s FAILED [%s] %s\n",
-                            run.workload.c_str(),
-                            sim::toString(run.errorKind),
-                            run.error.c_str());
+                std::fprintf(rpt, "%-9s FAILED [%s] %s\n",
+                             run.workload.c_str(),
+                             sim::toString(run.errorKind),
+                             run.error.c_str());
             else
-                std::printf("%-9s %9llu insts  %9llu cycles  "
-                            "IPC %.3f\n",
-                            run.workload.c_str(),
-                            static_cast<unsigned long long>(
-                                run.result.instsRetired),
-                            static_cast<unsigned long long>(
-                                run.result.cycles),
-                            run.result.ipc);
+                std::fprintf(rpt,
+                             "%-9s %9llu insts  %9llu cycles  "
+                             "IPC %.3f\n",
+                             run.workload.c_str(),
+                             static_cast<unsigned long long>(
+                                 run.result.instsRetired),
+                             static_cast<unsigned long long>(
+                                 run.result.cycles),
+                             run.result.ipc);
         }
-        std::printf("\ngeomean IPC %.3f over %zu run(s)%s\n",
-                    sr.geomeanIpc(), sr.runs.size() - sr.numFailed(),
-                    sr.numFailed() ? " (failures above)" : "");
+        std::fprintf(rpt, "\ngeomean IPC %.3f over %zu run(s)%s\n",
+                     sr.geomeanIpc(), sr.runs.size() - sr.numFailed(),
+                     sr.numFailed() ? " (failures above)" : "");
+        if (rpt != stdout)
+            std::fclose(rpt);
+        if (format == StatsFormat::Json) {
+            json::Writer jw;
+            jw.beginObject();
+            jw.field("schema_version", sim::resultsSchemaVersion);
+            jw.field("kind", "ubrcsim-suite");
+            writeMeta(jw, cfg, suite, max_insts, jobs);
+            jw.field("wall_seconds", wall);
+            jw.key("suite");
+            sim::writeSuiteResult(jw, sr);
+            jw.endObject();
+            if (!writeJsonDoc(jsonOutPath(out_path, workload_name),
+                              jw.str()))
+                return 1;
+        }
         return sr.numFailed() ? 1 : 0;
     }
 
@@ -373,11 +518,14 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf("workload : %s (%s)\n", w.name.c_str(),
-                w.description.c_str());
-    std::printf("design   : %s\n", cfg.describe().c_str());
+    std::fprintf(rpt, "workload : %s (%s)\n", w.name.c_str(),
+                 w.description.c_str());
+    std::fprintf(rpt, "design   : %s\n", cfg.describe().c_str());
     cfg.maxInsts = max_insts;
     core::Processor proc(cfg, w);
+    sim::RunOutcome outcome;
+    int exit_code = 0;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
         proc.run();
     } catch (const sim::SimError &e) {
@@ -387,32 +535,69 @@ main(int argc, char **argv)
             sim::dumpSnapshot(e.snapshot(), stderr);
             if (!dump_path.empty())
                 sim::writeSnapshotFile(e.snapshot(), dump_path);
+            outcome.snapshotText = e.snapshot().format();
         }
-        return e.exitCode();
+        outcome.ok = false;
+        outcome.kind = e.kind();
+        outcome.message = e.what();
+        exit_code = e.exitCode();
     }
-    const core::SimResult r = proc.result();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    outcome.result = proc.result(); // on failure: up to that point
+    outcome.faults = proc.faultLog();
 
-    std::printf("\n%12llu instructions, %llu cycles  ->  IPC %.3f\n",
-                static_cast<unsigned long long>(r.instsRetired),
-                static_cast<unsigned long long>(r.cycles), r.ipc);
-    if (r.operandReads()) {
-        std::printf("operands : bypass %.1f%%, cache %.1f%%, file "
-                    "%.1f%%  (miss rate %.2f%%/operand)\n",
-                    100.0 * r.opBypass / r.operandReads(),
-                    100.0 * r.opCache / r.operandReads(),
-                    100.0 * r.opFile / r.operandReads(),
-                    100.0 * r.missPerOperand);
+    if (exit_code == 0) {
+        const core::SimResult &r = outcome.result;
+        std::fprintf(rpt,
+                     "\n%12llu instructions, %llu cycles  ->  "
+                     "IPC %.3f\n",
+                     static_cast<unsigned long long>(r.instsRetired),
+                     static_cast<unsigned long long>(r.cycles), r.ipc);
+        if (r.operandReads()) {
+            std::fprintf(rpt,
+                         "operands : bypass %.1f%%, cache %.1f%%, "
+                         "file %.1f%%  (miss rate %.2f%%/operand)\n",
+                         100.0 * r.opBypass / r.operandReads(),
+                         100.0 * r.opCache / r.operandReads(),
+                         100.0 * r.opFile / r.operandReads(),
+                         100.0 * r.missPerOperand);
+        }
+        std::fprintf(rpt,
+                     "branches : %.2f%% mispredicted;  use predictor "
+                     "%.1f%% accurate\n",
+                     100.0 * r.branchMispredictRate,
+                     100.0 * r.douAccuracy);
+        if (cfg.scheme == sim::RegScheme::Cached) {
+            std::fprintf(rpt,
+                         "cache    : occupancy %.1f/%u, %.2f "
+                         "reads/cached value, cached %.2fx per "
+                         "value\n",
+                         r.avgOccupancy, cfg.rc.entries,
+                         r.readsPerCachedValue, r.cacheCountPerValue);
+        }
+        if (dump_stats)
+            std::fprintf(rpt, "\n%s", proc.statsDump().c_str());
     }
-    std::printf("branches : %.2f%% mispredicted;  use predictor "
-                "%.1f%% accurate\n",
-                100.0 * r.branchMispredictRate, 100.0 * r.douAccuracy);
-    if (cfg.scheme == sim::RegScheme::Cached) {
-        std::printf("cache    : occupancy %.1f/%u, %.2f reads/cached "
-                    "value, cached %.2fx per value\n",
-                    r.avgOccupancy, cfg.rc.entries,
-                    r.readsPerCachedValue, r.cacheCountPerValue);
+    if (rpt != stdout)
+        std::fclose(rpt);
+
+    if (format == StatsFormat::Json) {
+        json::Writer jw;
+        jw.beginObject();
+        jw.field("schema_version", sim::resultsSchemaVersion);
+        jw.field("kind", "ubrcsim-run");
+        writeMeta(jw, cfg, {w.name}, max_insts, 1);
+        jw.field("wall_seconds", wall);
+        jw.key("outcome");
+        sim::writeRunOutcome(jw, outcome);
+        if (dump_stats)
+            jw.key("stats").raw(proc.statsGroup().toJson());
+        jw.endObject();
+        if (!writeJsonDoc(jsonOutPath(out_path, w.name), jw.str()) &&
+            exit_code == 0)
+            exit_code = 1;
     }
-    if (dump_stats)
-        std::printf("\n%s", proc.statsDump().c_str());
-    return 0;
+    return exit_code;
 }
