@@ -95,16 +95,24 @@ Reporter::Reporter(std::string harness_id)
 
 Reporter::~Reporter()
 {
-    if (!written)
+    bool need_write;
+    {
+        LockGuard lock(mu);
+        need_write = !written;
+    }
+    if (need_write)
         write();
 }
 
 void
 Reporter::banner(const std::string &what, const std::string &paper_ref)
 {
-    title = what;
-    paperRef = paper_ref;
-    bannerShown = true;
+    {
+        LockGuard lock(mu);
+        title = what;
+        paperRef = paper_ref;
+        bannerShown = true;
+    }
     std::printf("== %s ==\n", what.c_str());
     std::printf("Reproduces %s of Butts & Sohi, \"Use-Based Register "
                 "Caching with Decoupled Indexing\", ISCA 2004.\n",
@@ -119,6 +127,7 @@ Reporter::banner(const std::string &what, const std::string &paper_ref)
 Reporter::Table &
 Reporter::table(std::string table_id, std::vector<std::string> headers)
 {
+    LockGuard lock(mu);
     tables.push_back(std::make_unique<Table>(std::move(table_id),
                                              std::move(headers)));
     return *tables.back();
@@ -127,6 +136,7 @@ Reporter::table(std::string table_id, std::vector<std::string> headers)
 void
 Reporter::config(std::string describe_string)
 {
+    LockGuard lock(mu);
     metaConfig = std::move(describe_string);
 }
 
@@ -141,6 +151,7 @@ Reporter::run(const std::string &label, const sim::SimConfig &cfg)
     rec.scheme = sim::toString(cfg.scheme);
     rec.wallSeconds = static_cast<double>(steadyMs() - t0) / 1000.0;
     rec.result = r;
+    LockGuard lock(mu);
     suites.push_back(std::move(rec));
     return r;
 }
@@ -148,19 +159,30 @@ Reporter::run(const std::string &label, const sim::SimConfig &cfg)
 double
 Reporter::monolithicIpc(Cycle latency)
 {
-    auto it = monoCache.find(latency);
-    if (it != monoCache.end())
-        return it->second;
+    {
+        LockGuard lock(mu);
+        auto it = monoCache.find(latency);
+        if (it != monoCache.end())
+            return it->second;
+    }
     const std::string label =
         "monolithic-" + std::to_string(latency) + "c";
     const double ipc =
         run(label, sim::SimConfig::monolithic(latency)).geomeanIpc();
+    LockGuard lock(mu);
     monoCache[latency] = ipc;
     return ipc;
 }
 
 std::string
 Reporter::json() const
+{
+    LockGuard lock(mu);
+    return jsonLocked();
+}
+
+std::string
+Reporter::jsonLocked() const
 {
     json::Writer w;
     w.beginObject();
@@ -237,6 +259,7 @@ Reporter::json() const
 std::string
 Reporter::write()
 {
+    LockGuard lock(mu);
     written = true;
     const char *env = std::getenv("UBRC_RESULTS_DIR");
     const std::string dir = env && *env ? env : "results";
@@ -255,7 +278,7 @@ Reporter::write()
                      path.c_str());
         return "";
     }
-    out << json() << '\n';
+    out << jsonLocked() << '\n';
     out.close();
     if (!out) {
         std::fprintf(stderr, "bench: short write to '%s'\n",

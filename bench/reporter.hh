@@ -34,6 +34,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/json.hh"
+#include "common/thread_annotations.hh"
 #include "sim/runner.hh"
 
 namespace ubrc::bench
@@ -157,6 +158,9 @@ class Reporter
     std::string write();
 
   private:
+    /** json() body; the caller holds the document lock. */
+    std::string jsonLocked() const UBRC_REQUIRES(mu);
+
     struct RecordedSuite
     {
         std::string label;
@@ -167,15 +171,27 @@ class Reporter
     };
 
     std::string id;
-    std::string title;
-    std::string paperRef;
-    std::string metaConfig;
-    bool bannerShown = false;
-    std::vector<std::unique_ptr<Table>> tables;
-    std::vector<RecordedSuite> suites;
-    std::map<Cycle, double> monoCache;
+
+    /**
+     * Guards the recorded document and the write-once flag. Harnesses
+     * are single-threaded today, but the suite runner already spins up
+     * worker pools in the same process; the lock (compiler-checked
+     * under clang -Wthread-safety) makes Reporter safe to share and,
+     * above all, makes the file-writing path's discipline explicit.
+     * Table objects returned by table() are NOT covered: each table
+     * must stay owned by one thread.
+     */
+    mutable Mutex mu;
+
+    std::string title UBRC_GUARDED_BY(mu);
+    std::string paperRef UBRC_GUARDED_BY(mu);
+    std::string metaConfig UBRC_GUARDED_BY(mu);
+    bool bannerShown UBRC_GUARDED_BY(mu) = false;
+    std::vector<std::unique_ptr<Table>> tables UBRC_GUARDED_BY(mu);
+    std::vector<RecordedSuite> suites UBRC_GUARDED_BY(mu);
+    std::map<Cycle, double> monoCache UBRC_GUARDED_BY(mu);
     int64_t startedAt; ///< steady-clock ms, for total wall time
-    bool written = false;
+    bool written UBRC_GUARDED_BY(mu) = false;
 };
 
 } // namespace ubrc::bench

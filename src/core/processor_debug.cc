@@ -37,8 +37,8 @@ Processor::applyInjection()
             return;
         const auto &e = entries[draw->site % entries.size()];
         pregs[e.preg].value ^= 1ULL << draw->bit;
-        injector->record({now, draw->target, e.preg,
-                          static_cast<int32_t>(e.set), draw->bit});
+        injector->record({now, draw->target, e.preg, e.set,
+                          draw->bit});
         break;
       }
       case inject::TargetRegCacheUse: {
@@ -51,8 +51,8 @@ Processor::applyInjection()
             std::max(1u, ceilLog2(uint64_t(cfg.rc.maxUse) + 1));
         const unsigned bit = draw->bit % width;
         if (supplier->corruptUseCounter(e.preg, e.set, bit))
-            injector->record({now, draw->target, e.preg,
-                              static_cast<int32_t>(e.set), bit});
+            injector->record({now, draw->target, e.preg, e.set,
+                              bit});
         break;
       }
       case inject::TargetDouCounter: {

@@ -37,7 +37,10 @@ metaReportEpoch()
         if (end != env && *end == '\0')
             return v;
     }
-    return static_cast<uint64_t>(std::time(nullptr));
+    // Wall clock is allowed here by design: the timestamp only labels
+    // the report's meta block and UBRC_REPORT_EPOCH pins it in tests.
+    return static_cast<uint64_t>(
+        std::time(nullptr)); // ubrc-lint: allow(nondeterminism)
 }
 
 void

@@ -7,11 +7,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "common/log.hh"
+#include "common/thread_annotations.hh"
 
 namespace ubrc::sim
 {
@@ -117,6 +117,37 @@ runSuiteEntry(const SimConfig &config, const std::string &name,
     return wr;
 }
 
+/**
+ * The one piece of cross-worker mutable state in the suite pool:
+ * the first uncontained exception (ConfigError or an internal bug).
+ * Workers write results by disjoint index, so everything else is
+ * race-free by construction; this slot is lock-disciplined and the
+ * discipline is compiler-checked under clang -Wthread-safety.
+ */
+class FirstErrorSlot
+{
+  public:
+    /** Keep the first exception; later ones are dropped. */
+    void
+    record(std::exception_ptr err) UBRC_EXCLUDES(mu)
+    {
+        LockGuard lock(mu);
+        if (!first)
+            first = std::move(err);
+    }
+
+    std::exception_ptr
+    take() UBRC_EXCLUDES(mu)
+    {
+        LockGuard lock(mu);
+        return first;
+    }
+
+  private:
+    Mutex mu;
+    std::exception_ptr first UBRC_GUARDED_BY(mu);
+};
+
 } // namespace
 
 SuiteResult
@@ -150,8 +181,7 @@ runSuite(const SimConfig &config,
             static_cast<unsigned>(std::min<size_t>(jobs, n));
         std::atomic<size_t> next{0};
         std::atomic<bool> poisoned{false};
-        std::exception_ptr first_error;
-        std::mutex error_mu;
+        FirstErrorSlot first_error;
 
         auto body = [&]() {
             while (!poisoned.load(std::memory_order_relaxed)) {
@@ -166,9 +196,7 @@ runSuite(const SimConfig &config,
                 } catch (...) {
                     // ConfigError or an internal bug: remember the
                     // first one and stop handing out work.
-                    std::lock_guard<std::mutex> lock(error_mu);
-                    if (!first_error)
-                        first_error = std::current_exception();
+                    first_error.record(std::current_exception());
                     poisoned.store(true, std::memory_order_relaxed);
                 }
             }
@@ -180,8 +208,8 @@ runSuite(const SimConfig &config,
             pool.emplace_back(body);
         for (auto &t : pool)
             t.join();
-        if (first_error)
-            std::rethrow_exception(first_error);
+        if (auto err = first_error.take())
+            std::rethrow_exception(err);
     }
 
     // Warn after the merge so the output order does not depend on

@@ -1,0 +1,11 @@
+#ifndef WRONG_GUARD_HH                  // LINT-EXPECT: header-hygiene
+#define WRONG_GUARD_HH
+
+using namespace std;                    // LINT-EXPECT: header-hygiene
+
+struct Widget
+{
+    int x = 0;
+};
+
+#endif // WRONG_GUARD_HH

@@ -1,0 +1,3 @@
+// Fixture: a pragma naming an unknown rule is itself a finding — a
+// typo in a waiver must never silently waive nothing.
+void f(); // ubrc-lint: allow(not-a-rule)  LINT-EXPECT: pragma

@@ -1,0 +1,18 @@
+// Fixture: naked new/delete expressions the rule must flag, plus the
+// deleted-function syntax it must NOT confuse with delete-expressions.
+struct Widget
+{
+    Widget() = default;
+    Widget(const Widget &) = delete;
+    Widget &operator=(const Widget &) = delete;
+};
+
+int *
+make()
+{
+    int *p = new int[8];                // LINT-EXPECT: naked-new
+    delete[] p;                         // LINT-EXPECT: naked-new
+    auto *w = new Widget;               // LINT-EXPECT: naked-new
+    delete w;                           // LINT-EXPECT: naked-new
+    return new int(7);                  // LINT-EXPECT: naked-new
+}

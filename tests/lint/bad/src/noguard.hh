@@ -1,0 +1,5 @@
+// A header with no include guard at all. LINT-EXPECT: header-hygiene
+struct Unguarded
+{
+    int y = 0;
+};

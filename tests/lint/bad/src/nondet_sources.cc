@@ -1,0 +1,41 @@
+// Fixture: every classic nondeterminism source the rule must catch.
+// Never compiled; consumed by `ubrc-lint --self-test`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+entropy()
+{
+    unsigned a = rand();                // LINT-EXPECT: nondeterminism
+    srand(42);                          // LINT-EXPECT: nondeterminism
+    std::random_device rd;              // LINT-EXPECT: nondeterminism
+    return a + rd();
+}
+
+long
+wallclock()
+{
+    long t = time(nullptr);             // LINT-EXPECT: nondeterminism
+    t += std::time(nullptr);            // LINT-EXPECT: nondeterminism
+    auto now =
+        std::chrono::system_clock::now(); // LINT-EXPECT: nondeterminism
+    (void)now;
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);         // LINT-EXPECT: nondeterminism
+    struct timespec ts;
+    clock_gettime(0, &ts);              // LINT-EXPECT: nondeterminism
+    return t;
+}
+
+void
+fine()
+{
+    // Deterministic time sources and prose mentions must NOT trip:
+    // "the time() of day" in a comment, entry_lifetime( as a suffix.
+    auto ok = std::chrono::steady_clock::now();
+    (void)ok;
+    const char *text = "call time() and rand() all you like in here";
+    (void)text;
+}

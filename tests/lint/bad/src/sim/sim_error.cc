@@ -1,0 +1,20 @@
+// Fixture mirror of the real sim_error.cc: a duplicated exit code
+// and a claim on the reserved code 1.
+#include "sim/sim_error.hh"
+
+namespace ubrc::sim
+{
+
+int
+exitCodeFor(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return 2;
+      case ErrorKind::CheckerDivergence: return 3;
+      case ErrorKind::Deadlock: return 3; // LINT-EXPECT: exit-codes
+      case ErrorKind::Invariant: return 1; // LINT-EXPECT: exit-codes
+    }
+    return 1;
+}
+
+} // namespace ubrc::sim

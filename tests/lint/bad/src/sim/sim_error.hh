@@ -1,0 +1,22 @@
+// Fixture mirror of the real sim_error.hh: one ErrorKind never gets
+// an exit code, which the exit-codes tree rule must catch.
+#ifndef UBRC_SIM_SIM_ERROR_HH
+#define UBRC_SIM_SIM_ERROR_HH
+
+namespace ubrc::sim
+{
+
+enum class ErrorKind
+{
+    Config,
+    CheckerDivergence,
+    Deadlock,
+    Invariant,
+    Orphan,                             // LINT-EXPECT: exit-codes
+};
+
+int exitCodeFor(ErrorKind kind);
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_SIM_ERROR_HH

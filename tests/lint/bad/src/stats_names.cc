@@ -1,0 +1,19 @@
+// Fixture: stat names that break the lower_snake_case JSON schema
+// convention. The StatGroup here is a stand-in; never compiled.
+struct StatGroup
+{
+    int &scalar(const char *);
+    int &mean(const char *);
+    int &distribution(const char *);
+};
+
+void
+registerStats(StatGroup &g)
+{
+    g.scalar("CamelCase");              // LINT-EXPECT: stat-names
+    g.mean("rc occupancy");             // LINT-EXPECT: stat-names
+    g.distribution("9_lives");          // LINT-EXPECT: stat-names
+    g.scalar("trailing-dash");          // LINT-EXPECT: stat-names
+    g.scalar("rc_occupancy");
+    g.mean("entry_lifetime");
+}

@@ -1,0 +1,34 @@
+// Fixture: iterating an unordered container leaks host hash order
+// into anything it feeds (stats, reports, merges).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct OpStats
+{
+    std::unordered_map<int, uint64_t> counts;
+    std::unordered_set<int> seen;
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (const auto &kv : counts)   // LINT-EXPECT: nondeterminism
+            sum += kv.second;
+        return sum;
+    }
+
+    int
+    first() const
+    {
+        return *seen.begin();           // LINT-EXPECT: nondeterminism
+    }
+
+    uint64_t
+    lookup(int key) const
+    {
+        // Point queries are order-free and must pass.
+        auto it = counts.find(key);
+        return it == counts.end() ? 0 : it->second;
+    }
+};

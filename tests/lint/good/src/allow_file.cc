@@ -1,0 +1,6 @@
+// Fixture: a whole-file waiver for one rule.
+// ubrc-lint: allow-file(nondeterminism)
+#include <ctime>
+
+uint64_t epochA() { return time(nullptr); }
+uint64_t epochB() { return std::time(nullptr); }

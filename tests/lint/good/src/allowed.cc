@@ -1,0 +1,20 @@
+// Fixture: real violations waived by allow pragmas — same line,
+// preceding line, and the renamed-identifier edge around them.
+#include <ctime>
+
+uint64_t
+reportStamp()
+{
+    return static_cast<uint64_t>(
+        std::time(nullptr)); // ubrc-lint: allow(nondeterminism)
+}
+
+// ubrc-lint: allow(nondeterminism)
+uint64_t stampToo() { return time(nullptr); }
+
+int *
+arena()
+{
+    // ubrc-lint: allow(naked-new)
+    return new int[64];
+}

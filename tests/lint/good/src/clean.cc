@@ -1,0 +1,53 @@
+// Fixture: idiomatic code that no rule may flag — deterministic
+// timing, ordered containers, conforming stat names, RAII ownership,
+// and prose/strings that merely mention forbidden constructs.
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct StatGroup
+{
+    int &scalar(const char *);
+    int &mean(const char *);
+    int &distribution(const char *);
+};
+
+void
+registerStats(StatGroup &g)
+{
+    g.scalar("rc_misses");
+    g.mean("rc_entry_lifetime");
+    g.distribution("preg_live_time");
+}
+
+// Asm listings live in raw strings; "; new front" and "time(" inside
+// one must never look like C++ to the linter.
+const char *kKernel = R"(
+    addi t0, t0, 1        ; new front
+    jal  ra, time_loop    ; calls time() per iteration
+)";
+
+int64_t
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now() - t0)
+        .count();
+}
+
+uint64_t
+sum(const std::map<int, uint64_t> &counts)
+{
+    uint64_t total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+
+std::unique_ptr<std::vector<int>>
+makeBuffer()
+{
+    return std::make_unique<std::vector<int>>(128);
+}

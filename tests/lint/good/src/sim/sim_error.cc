@@ -1,0 +1,19 @@
+// Fixture mirror of the real sim_error.cc, fully conforming.
+#include "sim/sim_error.hh"
+
+namespace ubrc::sim
+{
+
+int
+exitCodeFor(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return 2;
+      case ErrorKind::CheckerDivergence: return 3;
+      case ErrorKind::Deadlock: return 4;
+      case ErrorKind::Invariant: return 5;
+    }
+    return 1;
+}
+
+} // namespace ubrc::sim

@@ -1,0 +1,24 @@
+// Fixture mirror of the real sim_error.hh, fully conforming.
+#ifndef UBRC_SIM_SIM_ERROR_HH
+#define UBRC_SIM_SIM_ERROR_HH
+
+namespace ubrc::sim
+{
+
+enum class ErrorKind
+{
+    /** Invalid configuration. */
+    Config,
+    /** Golden-model divergence. */
+    CheckerDivergence,
+    /** Forward-progress watchdog fired. */
+    Deadlock,
+    /** Containable invariant violation. */
+    Invariant,
+};
+
+int exitCodeFor(ErrorKind kind);
+
+} // namespace ubrc::sim
+
+#endif // UBRC_SIM_SIM_ERROR_HH

@@ -1,0 +1,15 @@
+// Fixture: a conforming header — canonical guard, no namespace leaks.
+#ifndef UBRC_TIDY_HH
+#define UBRC_TIDY_HH
+
+namespace ubrc
+{
+
+struct Tidy
+{
+    int x = 0;
+};
+
+} // namespace ubrc
+
+#endif // UBRC_TIDY_HH

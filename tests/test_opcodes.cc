@@ -80,8 +80,8 @@ TEST_P(OpcodeTable, PropertiesAreCoherent)
 
 INSTANTIATE_TEST_SUITE_P(
     AllOpcodes, OpcodeTable, ::testing::ValuesIn(allOpcodes()),
-    [](const auto &info) {
-        std::string name = opInfo(info.param).mnemonic;
+    [](const auto &param_info) {
+        std::string name = opInfo(param_info.param).mnemonic;
         for (auto &c : name)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -77,7 +77,9 @@ TEST_P(SchemeSweep, AllSchemesCompleteAndAreSane)
 INSTANTIATE_TEST_SUITE_P(Workloads, SchemeSweep,
                          ::testing::Values("gzip", "crafty", "parser",
                                            "vpr"),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) {
+                             return param_info.param;
+                         });
 
 TEST(SchemeProperties, UseBasedMissesBelowLru)
 {

@@ -54,7 +54,9 @@ TEST_P(WorkloadTest, DeterministicAcrossBuilds)
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadTest,
                          ::testing::ValuesIn(workloadNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) {
+                             return param_info.param;
+                         });
 
 TEST(WorkloadRegistry, TwelveKernels)
 {

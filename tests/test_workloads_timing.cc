@@ -49,7 +49,9 @@ TEST_P(TimingWorkload, RunsCheckedOnTwoLevelFile)
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, TimingWorkload,
                          ::testing::ValuesIn(workload::workloadNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &param_info) {
+                             return param_info.param;
+                         });
 
 TEST(TimingWorkload, FullKernelRunToHalt)
 {

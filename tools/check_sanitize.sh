@@ -1,14 +1,42 @@
 #!/bin/sh
-# Build the whole tree with ASan+UBSan (-DUBRC_SANITIZE=ON) and run
-# the test suite under it. A separate build directory keeps sanitized
-# objects out of the normal build.
+# Build the tree with a sanitizer preset (-DUBRC_SANITIZE=...) and run
+# the test suite under it. A separate build directory per sanitizer
+# keeps sanitized objects out of the normal build.
 #
-# Usage: tools/check_sanitize.sh [build-dir]
+# Usage: tools/check_sanitize.sh [sanitizer] [build-dir] [ctest-regex]
+#
+#   sanitizer    address | undefined | thread | address,undefined
+#                (default: address,undefined)
+#   build-dir    defaults to <repo>/build-sanitize-<sanitizer>
+#   ctest-regex  optional -R filter, e.g. 'Determinism|Suite' to run
+#                only the parallel-runner determinism tests under TSan
 set -e
 
-repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build=${1:-"$repo/build-sanitize"}
+usage() {
+    echo "usage: $0 [address|undefined|thread|address,undefined]" \
+         "[build-dir] [ctest-regex]" >&2
+    exit 2
+}
 
-cmake -B "$build" -S "$repo" -DUBRC_SANITIZE=ON
+san=${1:-"address,undefined"}
+case "$san" in
+    address|undefined|thread|address,undefined|undefined,address) ;;
+    -h|--help) usage ;;
+    *)
+        echo "check_sanitize.sh: unknown sanitizer '$san'" >&2
+        usage
+        ;;
+esac
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${2:-"$repo/build-sanitize-$(echo "$san" | tr ',' '-')"}
+regex=${3:-}
+
+cmake -B "$build" -S "$repo" -DUBRC_SANITIZE="$san"
 cmake --build "$build" -j "$(nproc)"
-ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+if [ -n "$regex" ]; then
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+        -R "$regex"
+else
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+fi
