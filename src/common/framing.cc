@@ -1,0 +1,141 @@
+#include "common/framing.hh"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace ubrc::framing
+{
+
+const char *
+toString(ReadStatus s)
+{
+    switch (s) {
+      case ReadStatus::Ok: return "ok";
+      case ReadStatus::Eof: return "eof";
+      case ReadStatus::FrameTooLong: return "frame too long";
+      case ReadStatus::Interrupted: return "interrupted";
+      case ReadStatus::IoError: return "io error";
+    }
+    return "?";
+}
+
+LineReader::LineReader(int fd, size_t max_frame_bytes)
+    : fd(fd), maxBytes(max_frame_bytes)
+{}
+
+ReadStatus
+LineReader::fill()
+{
+    // Compact the consumed prefix before growing the buffer so a
+    // long-lived connection does not accumulate dead bytes.
+    if (pos > 0) {
+        buf.erase(0, pos);
+        pos = 0;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+        buf.append(chunk, static_cast<size_t>(n));
+        return ReadStatus::Ok;
+    }
+    if (n == 0) {
+        sawEof = true;
+        return ReadStatus::Eof;
+    }
+    if (errno == EINTR)
+        return ReadStatus::Interrupted;
+    return ReadStatus::IoError;
+}
+
+ReadStatus
+LineReader::readLine(std::string &out)
+{
+    out.clear();
+    while (true) {
+        if (discarding) {
+            // Consuming the tail of an over-limit frame. The state
+            // is sticky across Interrupted returns so a signal
+            // cannot make the remainder look like a fresh frame.
+            const size_t nl = buf.find('\n', pos);
+            if (nl != std::string::npos || sawEof) {
+                pos = nl != std::string::npos ? nl + 1 : buf.size();
+                discarding = false;
+                out = overflowPrefix;
+                overflowPrefix.clear();
+                return ReadStatus::FrameTooLong;
+            }
+            buf.clear();
+            pos = 0;
+            const ReadStatus st = fill();
+            if (st == ReadStatus::Interrupted ||
+                st == ReadStatus::IoError)
+                return st;
+            continue;
+        }
+
+        const size_t nl = buf.find('\n', pos);
+        if (nl != std::string::npos) {
+            const size_t len = nl - pos;
+            if (len > maxBytes) {
+                out.assign(buf, pos, maxBytes);
+                pos = nl + 1; // resync past the oversized frame
+                return ReadStatus::FrameTooLong;
+            }
+            out.assign(buf, pos, len);
+            pos = nl + 1;
+            return ReadStatus::Ok;
+        }
+
+        // No terminator in the pending bytes. An over-limit partial
+        // frame is discarded as it streams in: keeping only the
+        // diagnostic prefix bounds memory no matter how large the
+        // frame grows.
+        if (buf.size() - pos > maxBytes) {
+            overflowPrefix.assign(buf, pos, maxBytes);
+            buf.clear();
+            pos = 0;
+            discarding = true;
+            continue;
+        }
+
+        if (sawEof) {
+            if (pos < buf.size()) {
+                // Trailing unterminated line: deliver it.
+                out.assign(buf, pos, buf.size() - pos);
+                pos = buf.size();
+                return ReadStatus::Ok;
+            }
+            return ReadStatus::Eof;
+        }
+
+        const ReadStatus st = fill();
+        if (st == ReadStatus::Interrupted || st == ReadStatus::IoError)
+            return st;
+        // Ok grew the buffer; Eof set sawEof — loop to re-examine.
+    }
+}
+
+bool
+LineWriter::writeLine(std::string_view frame)
+{
+    std::string line;
+    line.reserve(frame.size() + 1);
+    line.append(frame);
+    line.push_back('\n');
+
+    LockGuard lock(mu);
+    size_t done = 0;
+    while (done < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + done, line.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace ubrc::framing

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Line-delimited framing for the sweep-service wire protocol.
+ *
+ * One frame is one '\n'-terminated line holding one JSON document
+ * (NDJSON). The reader is defensive by design — it is the first
+ * thing untrusted input hits in ubrcsim-server:
+ *
+ *  - frames longer than the configured limit are consumed and
+ *    reported as FrameTooLong instead of growing memory without
+ *    bound; the stream stays usable at the next line,
+ *  - EINTR surfaces as Interrupted so a serving loop can observe a
+ *    shutdown flag raised by a signal handler and resume (or drain)
+ *    deliberately,
+ *  - a trailing unterminated line at EOF is still delivered.
+ *
+ * The writer serializes whole lines under a mutex so responses from
+ * concurrent worker threads never interleave mid-frame. Documents
+ * must be compact (json::Writer(false)): embedded newlines in string
+ * values are escaped by the JSON layer, so '\n' only ever appears as
+ * a frame terminator.
+ */
+
+#ifndef UBRC_COMMON_FRAMING_HH
+#define UBRC_COMMON_FRAMING_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/thread_annotations.hh"
+
+namespace ubrc::framing
+{
+
+/** Default per-frame size limit (1 MiB). */
+inline constexpr size_t defaultMaxFrameBytes = 1u << 20;
+
+/** Result of LineReader::readLine(). */
+enum class ReadStatus
+{
+    Ok,           ///< a complete frame was delivered
+    Eof,          ///< end of stream, no more frames
+    FrameTooLong, ///< frame over the limit; consumed, stream resynced
+    Interrupted,  ///< read() hit EINTR; caller should check its stop
+                  ///< flag and call again
+    IoError,      ///< unrecoverable read error (errno-style failure)
+};
+
+const char *toString(ReadStatus s);
+
+/**
+ * Buffered line reader over a file descriptor. Not thread-safe: one
+ * reader thread owns the input side of a connection.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd,
+                        size_t max_frame_bytes = defaultMaxFrameBytes);
+
+    /**
+     * Deliver the next frame (without its terminator) into `out`.
+     * On FrameTooLong the oversized frame has been discarded up to
+     * and including its terminator; `out` holds a truncated prefix
+     * for diagnostics.
+     */
+    ReadStatus readLine(std::string &out);
+
+    size_t maxFrameBytes() const { return maxBytes; }
+
+  private:
+    /** Pull more bytes into buf; Ok, Eof, Interrupted, or IoError. */
+    ReadStatus fill();
+
+    int fd;
+    size_t maxBytes;
+    std::string buf; ///< read-ahead; [pos, buf.size()) is pending
+    size_t pos = 0;
+    bool sawEof = false;
+    /** Mid-discard of an over-limit frame (sticky across EINTR). */
+    bool discarding = false;
+    std::string overflowPrefix; ///< diagnostic head of that frame
+};
+
+/**
+ * Mutex-serialized line writer over a file descriptor: each
+ * writeLine() emits frame + '\n' as one atomic unit with respect to
+ * other writers, handling partial writes and EINTR.
+ */
+class LineWriter
+{
+  public:
+    explicit LineWriter(int fd) : fd(fd) {}
+
+    /** Append '\n' and write the whole frame; false on I/O error. */
+    bool writeLine(std::string_view frame) UBRC_EXCLUDES(mu);
+
+  private:
+    Mutex mu;
+    int fd;
+};
+
+} // namespace ubrc::framing
+
+#endif // UBRC_COMMON_FRAMING_HH

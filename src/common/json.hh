@@ -573,6 +573,45 @@ parse(std::string_view text)
     return detail::Parser(text).run();
 }
 
+/**
+ * Exact structural equality of two parsed documents: same types,
+ * bit-equal numbers, and — because every Writer in this project
+ * emits keys in deterministic call order — object members must match
+ * in order as well as by name. Used by the bit-identity checks
+ * (serial reference run vs. server response) where any drift is a
+ * bug, so nothing is normalized.
+ */
+inline bool
+equal(const Value &a, const Value &b)
+{
+    if (a.type != b.type)
+        return false;
+    switch (a.type) {
+      case Value::Type::Null: return true;
+      case Value::Type::Bool: return a.boolean == b.boolean;
+      case Value::Type::Number: return a.number == b.number;
+      case Value::Type::String: return a.string == b.string;
+      case Value::Type::Array:
+        if (a.array.size() != b.array.size())
+            return false;
+        for (size_t i = 0; i < a.array.size(); ++i)
+            if (!equal(a.array[i], b.array[i]))
+                return false;
+        return true;
+      case Value::Type::Object:
+        if (a.object.size() != b.object.size())
+            return false;
+        for (size_t i = 0; i < a.object.size(); ++i) {
+            if (a.object[i].first != b.object[i].first)
+                return false;
+            if (!equal(a.object[i].second, b.object[i].second))
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
 } // namespace ubrc::json
 
 #endif // UBRC_COMMON_JSON_HH

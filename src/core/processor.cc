@@ -282,6 +282,14 @@ Processor::operandTimely(const DynInst &inst, Cycle exec_start) const
 void
 Processor::run()
 {
+    run(RunPoll(), 0);
+}
+
+void
+Processor::run(const RunPoll &poll, uint64_t poll_interval_cycles)
+{
+    const uint64_t interval =
+        poll_interval_cycles ? poll_interval_cycles : 4096;
     while (!simDone) {
         tick();
         if (cfg.maxCycles && static_cast<uint64_t>(now) >= cfg.maxCycles)
@@ -296,6 +304,8 @@ Processor::run()
                 now, static_cast<unsigned long long>(fetchPc),
                 rob.size(), describeStuckHead().c_str())));
         }
+        if (poll && static_cast<uint64_t>(now) % interval == 0)
+            poll(*this);
     }
 }
 

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -111,6 +112,23 @@ class Processor
 
     /** Run to HALT (or the configured limits). */
     void run();
+
+    /**
+     * Callback invoked periodically during run(). It may inspect the
+     * processor (snapshot(), cycle(), retiredCount()) and may throw a
+     * SimError to abort the run; the runner layer uses this to layer
+     * wall-clock deadlines and cooperative cancellation on top of the
+     * forward-progress watchdog.
+     */
+    using RunPoll = std::function<void(const Processor &)>;
+
+    /**
+     * Like run(), but invokes `poll` every `poll_interval_cycles`
+     * cycles (0 falls back to every 4096 cycles). The poll adds one
+     * modulo per cycle to the simulation loop; callers without a
+     * deadline or cancel flag should use run().
+     */
+    void run(const RunPoll &poll, uint64_t poll_interval_cycles);
 
     /** Advance one cycle (exposed for tests). */
     void tick();

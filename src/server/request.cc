@@ -1,0 +1,299 @@
+#include "server/request.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/sim_error.hh"
+
+namespace ubrc::server
+{
+
+namespace
+{
+
+[[noreturn]] void
+reject(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw sim::BadRequestError(buf);
+}
+
+std::string
+requireString(const json::Value &v, const char *key)
+{
+    if (!v.isString())
+        reject("'%s' must be a string", key);
+    return v.string;
+}
+
+/**
+ * Extract an exact unsigned integer. JSON numbers are doubles, so
+ * anything beyond 2^53 has already lost bits — reject it rather than
+ * simulate a budget the client did not ask for.
+ */
+uint64_t
+requireU64(const json::Value &v, const char *key)
+{
+    if (!v.isNumber())
+        reject("'%s' must be a number", key);
+    const double d = v.number;
+    if (d < 0 || d != std::floor(d) || d > 9007199254740992.0)
+        reject("'%s' must be a non-negative integer "
+               "(got %g)", key, d);
+    return static_cast<uint64_t>(d);
+}
+
+unsigned
+requireUnsigned(const json::Value &v, const char *key)
+{
+    const uint64_t u = requireU64(v, key);
+    if (u > 0xffffffffull)
+        reject("'%s' must fit in 32 bits (got %llu)", key,
+               static_cast<unsigned long long>(u));
+    return static_cast<unsigned>(u);
+}
+
+double
+requireF64(const json::Value &v, const char *key)
+{
+    if (!v.isNumber())
+        reject("'%s' must be a number", key);
+    return v.number;
+}
+
+bool
+requireBool(const json::Value &v, const char *key)
+{
+    if (v.type != json::Value::Type::Bool)
+        reject("'%s' must be a boolean", key);
+    return v.boolean;
+}
+
+sim::RegScheme
+parseScheme(const std::string &s)
+{
+    if (s == "cached")
+        return sim::RegScheme::Cached;
+    if (s == "monolithic")
+        return sim::RegScheme::Monolithic;
+    if (s == "two-level")
+        return sim::RegScheme::TwoLevel;
+    reject("unknown scheme '%s' (expected cached, monolithic, or "
+           "two-level)", s.c_str());
+}
+
+regcache::InsertionPolicy
+parseInsertion(const std::string &s)
+{
+    if (s == "always")
+        return regcache::InsertionPolicy::Always;
+    if (s == "non-bypass")
+        return regcache::InsertionPolicy::NonBypass;
+    if (s == "use-based")
+        return regcache::InsertionPolicy::UseBased;
+    reject("unknown insertion policy '%s' (expected always, "
+           "non-bypass, or use-based)", s.c_str());
+}
+
+regcache::ReplacementPolicy
+parseReplacement(const std::string &s)
+{
+    if (s == "lru")
+        return regcache::ReplacementPolicy::LRU;
+    if (s == "use-based")
+        return regcache::ReplacementPolicy::UseBased;
+    reject("unknown replacement policy '%s' (expected lru or "
+           "use-based)", s.c_str());
+}
+
+regcache::IndexPolicy
+parseIndexing(const std::string &s)
+{
+    if (s == "preg")
+        return regcache::IndexPolicy::PhysReg;
+    if (s == "round-robin")
+        return regcache::IndexPolicy::RoundRobin;
+    if (s == "minimum")
+        return regcache::IndexPolicy::Minimum;
+    if (s == "filtered-rr")
+        return regcache::IndexPolicy::FilteredRoundRobin;
+    reject("unknown indexing policy '%s' (expected preg, "
+           "round-robin, minimum, or filtered-rr)", s.c_str());
+}
+
+/**
+ * Apply the "config" object onto cfg. Strict: every key must be
+ * recognized. The geometry convention matches the ubrcsim CLI
+ * (assoc 0 = fully associative, two-level L1 = entries + 32).
+ */
+void
+applyConfig(const json::Value &obj, sim::SimConfig &cfg)
+{
+    if (!obj.isObject())
+        reject("'config' must be an object");
+
+    unsigned entries = cfg.rc.entries;
+    unsigned assoc = cfg.rc.assoc;
+
+    for (const auto &[key, v] : obj.object) {
+        if (key == "scheme") {
+            cfg.scheme = parseScheme(requireString(v, "scheme"));
+        } else if (key == "entries") {
+            entries = requireUnsigned(v, "entries");
+        } else if (key == "assoc") {
+            assoc = requireUnsigned(v, "assoc");
+        } else if (key == "insertion") {
+            cfg.rc.insertion =
+                parseInsertion(requireString(v, "insertion"));
+        } else if (key == "replacement") {
+            cfg.rc.replacement =
+                parseReplacement(requireString(v, "replacement"));
+        } else if (key == "indexing") {
+            cfg.rc.indexing =
+                parseIndexing(requireString(v, "indexing"));
+        } else if (key == "rf_latency") {
+            cfg.rfLatency = requireUnsigned(v, "rf_latency");
+        } else if (key == "backing_latency") {
+            cfg.backingLatency =
+                requireUnsigned(v, "backing_latency");
+        } else if (key == "max_use") {
+            cfg.rc.maxUse = requireUnsigned(v, "max_use");
+        } else if (key == "unknown_default") {
+            cfg.rc.unknownDefault =
+                requireUnsigned(v, "unknown_default");
+        } else if (key == "fill_default") {
+            cfg.rc.fillDefault =
+                requireUnsigned(v, "fill_default");
+        } else if (key == "high_use_threshold") {
+            cfg.rc.highUseThreshold =
+                requireUnsigned(v, "high_use_threshold");
+        } else if (key == "dou_entries") {
+            cfg.dou.entries = requireUnsigned(v, "dou_entries");
+        } else if (key == "dou_assoc") {
+            cfg.dou.assoc = requireUnsigned(v, "dou_assoc");
+        } else if (key == "dou_conf_threshold") {
+            cfg.dou.confThreshold =
+                requireUnsigned(v, "dou_conf_threshold");
+        } else if (key == "watchdog") {
+            cfg.watchdogCycles = requireU64(v, "watchdog");
+        } else if (key == "inject_rate") {
+            const double r = requireF64(v, "inject_rate");
+            if (r < 0.0 || r > 1.0)
+                reject("'inject_rate' must be in [0, 1] (got %g)",
+                       r);
+            cfg.inject.rate = r;
+        } else if (key == "inject_seed") {
+            cfg.inject.seed = requireU64(v, "inject_seed");
+        } else if (key == "checker") {
+            cfg.checker = requireBool(v, "checker");
+        } else if (key == "perfect_branch_prediction") {
+            cfg.perfectBranchPrediction =
+                requireBool(v, "perfect_branch_prediction");
+        } else {
+            reject("unknown config key '%s'", key.c_str());
+        }
+    }
+
+    if (entries == 0)
+        reject("'entries' must be positive");
+    if (assoc == 0)
+        assoc = entries; // fully associative, like the CLI
+    cfg.rc.entries = entries;
+    cfg.rc.assoc = assoc;
+    cfg.twoLevel.l1Entries = entries + 32;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &n : workload::workloadNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+RequestKind
+classifyRequest(const json::Value &doc)
+{
+    if (!doc.isObject())
+        reject("request frame must be a JSON object");
+    const json::Value *kind = doc.find("kind");
+    if (!kind)
+        reject("request frame has no 'kind'");
+    const std::string k = requireString(*kind, "kind");
+    if (k == "sweep-request")
+        return RequestKind::Sweep;
+    if (k == "shutdown")
+        return RequestKind::Shutdown;
+    reject("unknown request kind '%s'", k.c_str());
+}
+
+SweepRequest
+parseSweepRequest(const json::Value &doc, const AdmissionLimits &limits)
+{
+    SweepRequest req;
+    req.config = sim::SimConfig::useBasedCache();
+    bool sawMaxInsts = false;
+
+    for (const auto &[key, v] : doc.object) {
+        if (key == "schema_version") {
+            if (requireU64(v, "schema_version") != 1)
+                reject("unsupported schema_version %g (expected 1)",
+                       v.number);
+        } else if (key == "kind") {
+            // Already classified by the caller.
+        } else if (key == "id") {
+            req.id = requireString(v, "id");
+        } else if (key == "workload") {
+            req.workloadName = requireString(v, "workload");
+        } else if (key == "seed") {
+            req.params.seed = requireU64(v, "seed");
+        } else if (key == "scale") {
+            req.params.scale = requireU64(v, "scale");
+        } else if (key == "max_insts") {
+            req.maxInsts = requireU64(v, "max_insts");
+            sawMaxInsts = true;
+        } else if (key == "deadline_ms") {
+            req.deadlineMs = requireU64(v, "deadline_ms");
+        } else if (key == "config") {
+            applyConfig(v, req.config);
+        } else {
+            reject("unknown request key '%s'", key.c_str());
+        }
+    }
+
+    if (req.workloadName.empty())
+        reject("request names no 'workload'");
+    if (!knownWorkload(req.workloadName))
+        reject("unknown workload '%s' (try ubrcsim --list)",
+               req.workloadName.c_str());
+    if (req.params.scale == 0 || req.params.scale > limits.maxScale)
+        reject("'scale' must be in 1..%llu (got %llu)",
+               static_cast<unsigned long long>(limits.maxScale),
+               static_cast<unsigned long long>(req.params.scale));
+    if (sawMaxInsts && req.maxInsts == 0)
+        reject("'max_insts' 0 (run to completion) is not admitted "
+               "by the server; state a budget");
+    if (req.maxInsts > limits.maxInsts)
+        reject("'max_insts' %llu exceeds the admission cap %llu",
+               static_cast<unsigned long long>(req.maxInsts),
+               static_cast<unsigned long long>(limits.maxInsts));
+
+    return req;
+}
+
+std::string
+requestIdOf(const json::Value &doc)
+{
+    const json::Value *id = doc.find("id");
+    return id && id->isString() ? id->string : std::string();
+}
+
+} // namespace ubrc::server

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Wire-level sweep requests for ubrcsim-server.
+ *
+ * One request frame is one line-delimited JSON document (see
+ * common/framing.hh) asking for one (config, workload, budget)
+ * simulation:
+ *
+ *   {"schema_version": 1, "kind": "sweep-request", "id": "r-17",
+ *    "workload": "gzip", "seed": 1, "scale": 1,
+ *    "max_insts": 20000, "deadline_ms": 2000,
+ *    "config": {"scheme": "cached", "entries": 64, "assoc": 2,
+ *               "insertion": "use-based", "replacement": "use-based",
+ *               "indexing": "filtered-rr", "rf_latency": 3,
+ *               "backing_latency": 2, "max_use": 7,
+ *               "inject_rate": 0.0, "inject_seed": 1}}
+ *
+ * Every field except "kind" is optional and defaults to the paper's
+ * design point, mirroring the ubrcsim CLI. Parsing is strict: an
+ * unknown key, a wrong type, or an unknown policy name raises
+ * BadRequestError naming the offending key — a typo must never
+ * silently simulate the wrong machine. Admission limits (budget and
+ * scale caps) are enforced here too, so everything that can reject a
+ * request happens before a worker is occupied.
+ */
+
+#ifndef UBRC_SERVER_REQUEST_HH
+#define UBRC_SERVER_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+namespace ubrc::server
+{
+
+/** Version of the request/response wire protocol. */
+inline constexpr unsigned protocolVersion = 1;
+
+/** Admission limits applied while parsing (see ServerOptions). */
+struct AdmissionLimits
+{
+    /** Largest admissible per-request instruction budget. */
+    uint64_t maxInsts = 50000000;
+    /** Largest admissible workload scale factor. */
+    uint64_t maxScale = 256;
+};
+
+/** A parsed, admitted sweep request, ready to hand to a worker. */
+struct SweepRequest
+{
+    /** Client-chosen request id, echoed verbatim in the response. */
+    std::string id;
+    std::string workloadName;
+    workload::WorkloadParams params;
+    uint64_t maxInsts = 500000;
+    /** Per-request execution deadline; 0 defers to the server. */
+    uint64_t deadlineMs = 0;
+    sim::SimConfig config;
+};
+
+/** Document kinds a client may send. */
+enum class RequestKind
+{
+    Sweep,    ///< "sweep-request": run one simulation
+    Shutdown, ///< "shutdown": drain the queue and exit
+};
+
+/**
+ * Classify a client frame by its "kind" member. Throws
+ * BadRequestError for a missing or unknown kind.
+ */
+RequestKind classifyRequest(const json::Value &doc);
+
+/**
+ * Parse and admit a sweep-request document. Throws BadRequestError
+ * (malformed, unknown key/workload/policy, over-limit budget) — the
+ * caller still gets the config checked by SimConfig::validate(),
+ * which throws ConfigError for semantically inconsistent knobs.
+ */
+SweepRequest parseSweepRequest(const json::Value &doc,
+                               const AdmissionLimits &limits = {});
+
+/**
+ * Best-effort extraction of the request id from an arbitrary frame,
+ * for error documents about requests that failed to parse. Returns
+ * "" when absent or not a string.
+ */
+std::string requestIdOf(const json::Value &doc);
+
+} // namespace ubrc::server
+
+#endif // UBRC_SERVER_REQUEST_HH

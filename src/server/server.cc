@@ -1,0 +1,347 @@
+#include "server/server.hh"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "sim/results_json.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+namespace ubrc::server
+{
+
+namespace
+{
+
+/** {"kind": "...", "exit_code": N, "retryable": b, "message": ...} */
+void
+writeErrorObject(json::Writer &w, sim::ErrorKind kind,
+                 const std::string &message)
+{
+    w.beginObject();
+    w.field("kind", sim::toString(kind));
+    w.field("exit_code", sim::exitCodeFor(kind));
+    w.field("retryable", sim::isRetryable(kind));
+    w.field("message", message);
+    w.endObject();
+}
+
+std::string
+helloDoc(const ServerOptions &opts)
+{
+    json::Writer w(false);
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "server-hello");
+    w.field("protocol", protocolVersion);
+    w.field("workers", opts.workers);
+    w.field("queue_capacity", uint64_t(opts.queueCapacity));
+    w.field("max_frame_bytes", uint64_t(opts.maxFrameBytes));
+    w.field("default_deadline_ms", opts.defaultDeadlineMs);
+    w.field("max_insts_cap", opts.limits.maxInsts);
+    w.key("workloads").beginArray();
+    for (const auto &name : workload::workloadNames())
+        w.value(name);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+rejectDoc(const std::string &id, sim::ErrorKind kind,
+          const std::string &message)
+{
+    json::Writer w(false);
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "sweep-reject");
+    w.field("id", id);
+    w.key("error");
+    writeErrorObject(w, kind, message);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+responseDoc(const std::string &id, const sim::RunOutcome &outcome,
+            double wall_ms)
+{
+    json::Writer w(false);
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "sweep-response");
+    w.field("id", id);
+    w.field("ok", outcome.ok);
+    if (outcome.ok) {
+        w.nullField("error");
+    } else {
+        w.key("error");
+        writeErrorObject(w, outcome.kind, outcome.message);
+    }
+    w.field("wall_ms", wall_ms);
+    w.key("outcome");
+    sim::writeRunOutcome(w, outcome);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+drainDoc(DrainReason reason, const ServerCounters &c)
+{
+    json::Writer w(false);
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "server-drain");
+    w.field("reason", toString(reason));
+    w.key("counters").beginObject();
+    w.field("received", c.received);
+    w.field("admitted", c.admitted);
+    w.field("ok", c.ok);
+    w.field("failed", c.failed);
+    w.field("rejected", c.rejected);
+    w.field("shed", c.shed);
+    w.field("canceled", c.canceled);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+const char *
+toString(DrainReason r)
+{
+    switch (r) {
+      case DrainReason::Eof: return "eof";
+      case DrainReason::Signal: return "signal";
+      case DrainReason::ShutdownRequest: return "shutdown-request";
+      case DrainReason::IoError: return "io-error";
+    }
+    return "?";
+}
+
+SweepServer::SweepServer(int in_fd, int out_fd,
+                         const ServerOptions &opts)
+    : opts(opts), reader(in_fd, opts.maxFrameBytes), writer(out_fd)
+{}
+
+SweepServer::~SweepServer()
+{
+    // serve() joins the pool; this only matters if serve() was never
+    // called or threw, in which case the workers must not outlive us.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+    }
+    cv.notify_all();
+    for (auto &t : pool)
+        if (t.joinable())
+            t.join();
+}
+
+void
+SweepServer::requestStop()
+{
+    // First call: drain. Second call: abort in-flight runs too.
+    if (stopFlag.exchange(true))
+        hardCancel.store(true);
+}
+
+ServerCounters
+SweepServer::counters() const
+{
+    ServerCounters c;
+    c.received = nReceived.load();
+    c.admitted = nAdmitted.load();
+    c.ok = nOk.load();
+    c.failed = nFailed.load();
+    c.rejected = nRejected.load();
+    c.shed = nShed.load();
+    c.canceled = nCanceled.load();
+    return c;
+}
+
+void
+SweepServer::sendReject(const std::string &id, sim::ErrorKind kind,
+                        const std::string &message)
+{
+    writer.writeLine(rejectDoc(id, kind, message));
+}
+
+bool
+SweepServer::handleFrame(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::ParseError &e) {
+        ++nRejected;
+        sendReject("", sim::ErrorKind::BadRequest,
+                   std::string("bad json: ") + e.what());
+        return true;
+    }
+
+    const std::string id = requestIdOf(doc);
+    try {
+        if (classifyRequest(doc) == RequestKind::Shutdown)
+            return false;
+
+        SweepRequest req = parseSweepRequest(doc, opts.limits);
+        req.config.validate(); // ConfigError on inconsistent knobs
+        if (req.deadlineMs == 0)
+            req.deadlineMs = opts.defaultDeadlineMs;
+
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (queue.size() >= opts.queueCapacity)
+                throw sim::QueueFullError(
+                    "queue full (capacity " +
+                    std::to_string(opts.queueCapacity) +
+                    "); retry after backoff");
+            queue.push_back(std::move(req));
+        }
+        cv.notify_one();
+        ++nAdmitted;
+    } catch (const sim::SimError &e) {
+        if (e.kind() == sim::ErrorKind::QueueFull)
+            ++nShed;
+        else
+            ++nRejected;
+        sendReject(id, e.kind(), e.what());
+    }
+    return true;
+}
+
+void
+SweepServer::runJob(const SweepRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        const workload::Workload w =
+            workload::buildWorkload(req.workloadName, req.params);
+
+        sim::RunControl ctl;
+        if (req.deadlineMs)
+            ctl = sim::RunControl::deadlineAfterMs(req.deadlineMs);
+        ctl.cancel = &hardCancel;
+
+        const sim::RunOutcome outcome =
+            sim::runOneChecked(req.config, w, req.maxInsts, ctl);
+
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (outcome.ok)
+            ++nOk;
+        else
+            ++nFailed;
+        writer.writeLine(responseDoc(req.id, outcome, wall_ms));
+    } catch (const std::exception &e) {
+        // Nothing above is expected to throw — the config was
+        // validated at admission and runOneChecked() contains every
+        // SimError — but an exception escaping a worker thread would
+        // terminate the process, so this boundary is absolute.
+        ++nFailed;
+        sendReject(req.id, sim::ErrorKind::Invariant, e.what());
+    }
+}
+
+void
+SweepServer::workerMain()
+{
+    while (true) {
+        SweepRequest req;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [this] { return closed || !queue.empty(); });
+            if (queue.empty())
+                return; // closed and drained
+            req = std::move(queue.front());
+            queue.pop_front();
+        }
+        runJob(req);
+    }
+}
+
+int
+SweepServer::serve()
+{
+    if (opts.emitHello)
+        writer.writeLine(helloDoc(opts));
+
+    pool.reserve(opts.workers);
+    for (unsigned i = 0; i < opts.workers; ++i)
+        pool.emplace_back(&SweepServer::workerMain, this);
+
+    DrainReason reason = DrainReason::Eof;
+    std::string line;
+    bool reading = true;
+    while (reading) {
+        if (stopFlag.load()) {
+            reason = DrainReason::Signal;
+            break;
+        }
+        switch (reader.readLine(line)) {
+          case framing::ReadStatus::Ok:
+            ++nReceived;
+            if (!handleFrame(line)) {
+                reason = DrainReason::ShutdownRequest;
+                reading = false;
+            }
+            break;
+          case framing::ReadStatus::FrameTooLong:
+            ++nReceived;
+            ++nRejected;
+            sendReject("", sim::ErrorKind::BadRequest,
+                       "frame exceeds " +
+                           std::to_string(opts.maxFrameBytes) +
+                           " bytes");
+            break;
+          case framing::ReadStatus::Interrupted:
+            break; // loop re-checks stopFlag
+          case framing::ReadStatus::Eof:
+            // A stop raised while we were blocked in read() still
+            // drains as a signal stop (queued work is canceled).
+            reason = stopFlag.load() ? DrainReason::Signal
+                                     : DrainReason::Eof;
+            reading = false;
+            break;
+          case framing::ReadStatus::IoError:
+            reason = DrainReason::IoError;
+            reading = false;
+            break;
+        }
+    }
+
+    // Drain. EOF and shutdown-request finish everything queued; a
+    // signal stop (and a dead input stream) cancels queued requests
+    // but lets in-flight runs finish — their deadlines still bound
+    // them, and a second requestStop() aborts them at the next poll.
+    const bool cancelQueued = reason == DrainReason::Signal ||
+                              reason == DrainReason::IoError;
+    std::deque<SweepRequest> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+        if (cancelQueued)
+            dropped.swap(queue);
+    }
+    cv.notify_all();
+    for (const auto &req : dropped) {
+        ++nCanceled;
+        sendReject(req.id, sim::ErrorKind::Canceled,
+                   "canceled: server draining before execution; "
+                   "safe to resubmit");
+    }
+    for (auto &t : pool)
+        t.join();
+    pool.clear();
+
+    writer.writeLine(drainDoc(reason, counters()));
+    return reason == DrainReason::IoError ? 1 : 0;
+}
+
+} // namespace ubrc::server

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SweepServer: a persistent, fault-tolerant sweep service.
+ *
+ * The server reads sweep-request frames (server/request.hh) from a
+ * file descriptor, runs each admitted request on a worker pool via
+ * sim::runOneChecked(), and writes one response frame per request —
+ * every request is answered exactly once, in completion order.
+ *
+ * Robustness model:
+ *  - Per-request isolation. Any SimError — checker divergence,
+ *    deadlock, injected-fault fallout, invariant violation — is
+ *    contained by runOneChecked() and reported as a structured error
+ *    document. A poisoned request can never take the server down.
+ *  - Per-request deadlines. deadline_ms (or the server default)
+ *    bounds execution wall time through sim::RunControl, layered on
+ *    the forward-progress watchdog: the watchdog catches hung
+ *    pipelines, the deadline bounds well-formed but oversized work.
+ *    The deadline clock starts when a worker dequeues the request.
+ *  - Bounded admission. The queue holds at most queueCapacity
+ *    requests; beyond that, requests are shed with a retryable
+ *    queue-full rejection (clients back off and resubmit).
+ *  - Graceful drain. EOF or a "shutdown" frame finishes everything
+ *    queued. requestStop() — async-signal-safe, called from SIGINT/
+ *    SIGTERM handlers — finishes in-flight runs but answers queued
+ *    requests with retryable canceled rejections; a second
+ *    requestStop() also aborts in-flight runs at their next poll.
+ *    Either way the server ends with a server-drain summary document.
+ */
+
+#ifndef UBRC_SERVER_SERVER_HH
+#define UBRC_SERVER_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/framing.hh"
+#include "server/request.hh"
+#include "sim/sim_error.hh"
+
+namespace ubrc::server
+{
+
+/** Service-level tunables. */
+struct ServerOptions
+{
+    /** Worker threads executing simulations. */
+    unsigned workers = 2;
+    /** Admitted requests waiting for a worker before shedding. */
+    size_t queueCapacity = 16;
+    /** Per-frame size limit for the reader. */
+    size_t maxFrameBytes = framing::defaultMaxFrameBytes;
+    /** Deadline applied when a request states none; 0 = unbounded. */
+    uint64_t defaultDeadlineMs = 0;
+    /** Budget/scale admission caps (request.hh). */
+    AdmissionLimits limits;
+    /** Emit the server-hello document on startup. */
+    bool emitHello = true;
+};
+
+/** Monotonic service counters, reported in the drain document. */
+struct ServerCounters
+{
+    uint64_t received = 0;  ///< complete frames read
+    uint64_t admitted = 0;  ///< requests enqueued for execution
+    uint64_t ok = 0;        ///< responses with ok == true
+    uint64_t failed = 0;    ///< executed, contained failure
+    uint64_t rejected = 0;  ///< bad request / config rejections
+    uint64_t shed = 0;      ///< queue-full rejections
+    uint64_t canceled = 0;  ///< queued requests canceled at drain
+};
+
+/** Why the serve loop ended (reported in the drain document). */
+enum class DrainReason
+{
+    Eof,             ///< input stream ended
+    Signal,          ///< requestStop() (typically SIGINT/SIGTERM)
+    ShutdownRequest, ///< client sent a "shutdown" frame
+    IoError,         ///< unrecoverable read error on the input fd
+};
+
+const char *toString(DrainReason r);
+
+/** One server instance over an (input fd, output fd) pair. */
+class SweepServer
+{
+  public:
+    SweepServer(int in_fd, int out_fd, const ServerOptions &opts = {});
+    ~SweepServer();
+
+    /**
+     * Serve until EOF, a shutdown frame, or requestStop(); drain;
+     * write the server-drain summary. Returns the process exit code
+     * (0 for every clean drain, including signal drains).
+     */
+    int serve();
+
+    /**
+     * Begin a graceful drain: only touches atomics, safe to call from
+     * a signal handler. The first call stops admission and cancels
+     * queued requests; a second call additionally aborts in-flight
+     * runs at their next RunControl poll.
+     */
+    void requestStop();
+
+    /** Counter snapshot (stable once serve() has returned). */
+    ServerCounters counters() const;
+
+  private:
+    /** Returns false when the frame asks the server to shut down. */
+    bool handleFrame(const std::string &line);
+    void workerMain();
+    void runJob(const SweepRequest &req);
+    void sendReject(const std::string &id, sim::ErrorKind kind,
+                    const std::string &message);
+
+    ServerOptions opts;
+    framing::LineReader reader;
+    framing::LineWriter writer;
+
+    // Admission queue. Plain std::mutex: the condition variable's
+    // wait() releases the lock in a way the clang thread-safety
+    // analysis cannot follow, so this one stays unannotated.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<SweepRequest> queue;
+    bool closed = false; ///< no more pushes; workers drain then exit
+
+    std::atomic<bool> stopFlag{false};
+    std::atomic<bool> hardCancel{false};
+    std::vector<std::thread> pool;
+
+    std::atomic<uint64_t> nReceived{0}, nAdmitted{0}, nOk{0},
+        nFailed{0}, nRejected{0}, nShed{0}, nCanceled{0};
+};
+
+} // namespace ubrc::server
+
+#endif // UBRC_SERVER_SERVER_HH

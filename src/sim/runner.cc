@@ -68,9 +68,47 @@ runOne(const SimConfig &config, const workload::Workload &workload,
     return proc.result();
 }
 
+namespace
+{
+
+/**
+ * Build the periodic poll for a RunControl: checks the cancel flag
+ * first (a draining caller wins over the deadline), then the
+ * wall-clock deadline, and throws the matching SimError with a
+ * snapshot from the abort point.
+ */
+core::Processor::RunPoll
+makeRunPoll(const RunControl &ctl)
+{
+    return [&ctl](const core::Processor &p) {
+        if (ctl.cancel &&
+            ctl.cancel->load(std::memory_order_relaxed)) {
+            CanceledError err(detail::formatString(
+                "run canceled at cycle %lld after %llu retired "
+                "instructions",
+                static_cast<long long>(p.cycle()),
+                static_cast<unsigned long long>(p.retiredCount())));
+            err.attachSnapshot(p.snapshot());
+            throw err;
+        }
+        if (ctl.hasDeadline &&
+            std::chrono::steady_clock::now() >= ctl.deadline) {
+            DeadlineExceededError err(detail::formatString(
+                "deadline exceeded at cycle %lld after %llu retired "
+                "instructions",
+                static_cast<long long>(p.cycle()),
+                static_cast<unsigned long long>(p.retiredCount())));
+            err.attachSnapshot(p.snapshot());
+            throw err;
+        }
+    };
+}
+
+} // namespace
+
 RunOutcome
 runOneChecked(const SimConfig &config, const workload::Workload &workload,
-              uint64_t max_insts)
+              uint64_t max_insts, const RunControl &ctl)
 {
     SimConfig cfg = config;
     if (max_insts)
@@ -80,7 +118,10 @@ runOneChecked(const SimConfig &config, const workload::Workload &workload,
     RunOutcome out;
     core::Processor proc(cfg, workload);
     try {
-        proc.run();
+        if (ctl.engaged())
+            proc.run(makeRunPoll(ctl), ctl.pollIntervalCycles);
+        else
+            proc.run();
         out.result = proc.result();
     } catch (const ConfigError &) {
         throw; // a bad config is a caller bug, not a run hazard
@@ -103,9 +144,10 @@ namespace
  *  SimError (runOneChecked contains it). */
 WorkloadRun
 runSuiteEntry(const SimConfig &config, const std::string &name,
-              const workload::Workload &w, uint64_t max_insts)
+              const workload::Workload &w, uint64_t max_insts,
+              const RunControl &ctl)
 {
-    RunOutcome run = runOneChecked(config, w, max_insts);
+    RunOutcome run = runOneChecked(config, w, max_insts, ctl);
     WorkloadRun wr;
     wr.workload = name;
     wr.result = run.result;
@@ -115,6 +157,24 @@ runSuiteEntry(const SimConfig &config, const std::string &name,
         wr.error = run.message;
     }
     return wr;
+}
+
+/** Row for a workload the cancel flag kept from ever starting. */
+WorkloadRun
+canceledRun(const std::string &name)
+{
+    WorkloadRun wr;
+    wr.workload = name;
+    wr.failed = true;
+    wr.errorKind = ErrorKind::Canceled;
+    wr.error = "canceled before start";
+    return wr;
+}
+
+bool
+cancelRaised(const RunControl &ctl)
+{
+    return ctl.cancel && ctl.cancel->load(std::memory_order_relaxed);
 }
 
 /**
@@ -154,7 +214,7 @@ SuiteResult
 runSuite(const SimConfig &config,
          const std::vector<std::string> &workload_names,
          const workload::WorkloadParams &params, uint64_t max_insts,
-         unsigned jobs)
+         unsigned jobs, const RunControl &ctl)
 {
     const size_t n = workload_names.size();
 
@@ -171,8 +231,11 @@ runSuite(const SimConfig &config,
 
     if (jobs <= 1 || n <= 1) {
         for (size_t i = 0; i < n; ++i)
-            out.runs[i] = runSuiteEntry(config, workload_names[i],
-                                        workloads[i], max_insts);
+            out.runs[i] =
+                cancelRaised(ctl)
+                    ? canceledRun(workload_names[i])
+                    : runSuiteEntry(config, workload_names[i],
+                                    workloads[i], max_insts, ctl);
     } else {
         // Every simulation is self-contained, so workloads can be
         // claimed in any order: results are written back by index,
@@ -189,10 +252,17 @@ runSuite(const SimConfig &config,
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n)
                     return;
+                if (cancelRaised(ctl)) {
+                    // Keep claiming so every remaining slot is
+                    // marked: the merged result stays one row per
+                    // requested workload even when interrupted.
+                    out.runs[i] = canceledRun(workload_names[i]);
+                    continue;
+                }
                 try {
                     out.runs[i] =
                         runSuiteEntry(config, workload_names[i],
-                                      workloads[i], max_insts);
+                                      workloads[i], max_insts, ctl);
                 } catch (...) {
                     // ConfigError or an internal bug: remember the
                     // first one and stop handing out work.
@@ -213,12 +283,22 @@ runSuite(const SimConfig &config,
     }
 
     // Warn after the merge so the output order does not depend on
-    // worker scheduling.
-    for (const auto &wr : out.runs)
-        if (wr.failed)
+    // worker scheduling. Cancellations are summarized in one line:
+    // per-run warnings would just repeat the interrupt.
+    size_t canceled = 0;
+    for (const auto &wr : out.runs) {
+        if (!wr.failed)
+            continue;
+        if (wr.errorKind == ErrorKind::Canceled)
+            ++canceled;
+        else
             warn("workload '%s' failed (%s): %s — continuing suite",
                  wr.workload.c_str(), toString(wr.errorKind),
                  wr.error.c_str());
+    }
+    if (canceled)
+        warn("suite canceled: %zu of %zu run(s) did not complete",
+             canceled, out.runs.size());
     return out;
 }
 

@@ -14,6 +14,8 @@
 #ifndef UBRC_SIM_RUNNER_HH
 #define UBRC_SIM_RUNNER_HH
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,44 @@
 
 namespace ubrc::sim
 {
+
+/**
+ * Optional wall-clock deadline and cooperative cancellation for a
+ * run, layered on top of the forward-progress watchdog: the watchdog
+ * catches hung pipelines, RunControl bounds well-formed but oversized
+ * work and lets a service drain. Both trigger through a periodic poll
+ * in Processor::run(); the defaulted instance polls nothing and adds
+ * no per-cycle cost.
+ */
+struct RunControl
+{
+    /** Absolute deadline; meaningful only when hasDeadline. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+
+    /**
+     * When set and it becomes true, the run aborts with a contained
+     * CanceledError at the next poll. The flag is owned by the caller
+     * (typically a signal handler or a draining server).
+     */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Cycles between deadline/cancel polls (0: the 4096 default). */
+    uint64_t pollIntervalCycles = 0;
+
+    bool engaged() const { return hasDeadline || cancel != nullptr; }
+
+    /** Deadline `ms` milliseconds from now. */
+    static RunControl
+    deadlineAfterMs(uint64_t ms)
+    {
+        RunControl ctl;
+        ctl.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+        ctl.hasDeadline = true;
+        return ctl;
+    }
+};
 
 /** Outcome of one contained simulation: a result or a failure. */
 struct RunOutcome
@@ -113,10 +153,17 @@ core::SimResult runOne(const SimConfig &config,
  * Run one workload, containing any SimError in the returned outcome
  * instead of throwing. ConfigError still propagates: a bad config is
  * a caller bug, not a per-run hazard.
+ *
+ * @param ctl Optional deadline/cancellation (see RunControl). An
+ *            expired deadline or raised cancel flag is contained like
+ *            any other SimError: the outcome reports the kind
+ *            (DeadlineExceeded / Canceled) with stats and a snapshot
+ *            from the abort point.
  */
 RunOutcome runOneChecked(const SimConfig &config,
                          const workload::Workload &workload,
-                         uint64_t max_insts = 0);
+                         uint64_t max_insts = 0,
+                         const RunControl &ctl = {});
 
 /**
  * Run a configuration over a set of workloads (by name). A run that
@@ -131,11 +178,18 @@ RunOutcome runOneChecked(const SimConfig &config,
  *             land at their workload's position in `workload_names`
  *             order and failure warnings are emitted in that same
  *             order after the suite finishes.
+ * @param ctl  Optional deadline/cancellation applied to every run.
+ *             When the cancel flag rises, in-flight runs abort at
+ *             their next poll and not-yet-started workloads are
+ *             recorded as failed with ErrorKind::Canceled, so an
+ *             interrupted sweep still yields a complete, flushable
+ *             SuiteResult with one row per requested workload.
  */
 SuiteResult runSuite(const SimConfig &config,
                      const std::vector<std::string> &workload_names,
                      const workload::WorkloadParams &params = {},
-                     uint64_t max_insts = 0, unsigned jobs = 1);
+                     uint64_t max_insts = 0, unsigned jobs = 1,
+                     const RunControl &ctl = {});
 
 /**
  * Workload subset and run-length controls for benchmark binaries,

@@ -11,6 +11,10 @@ toString(ErrorKind kind)
       case ErrorKind::CheckerDivergence: return "checker divergence";
       case ErrorKind::Deadlock: return "deadlock";
       case ErrorKind::Invariant: return "invariant violation";
+      case ErrorKind::BadRequest: return "bad request";
+      case ErrorKind::DeadlineExceeded: return "deadline exceeded";
+      case ErrorKind::QueueFull: return "queue full";
+      case ErrorKind::Canceled: return "canceled";
     }
     return "?";
 }
@@ -23,8 +27,18 @@ exitCodeFor(ErrorKind kind)
       case ErrorKind::CheckerDivergence: return 3;
       case ErrorKind::Deadlock: return 4;
       case ErrorKind::Invariant: return 5;
+      case ErrorKind::BadRequest: return 6;
+      case ErrorKind::DeadlineExceeded: return 7;
+      case ErrorKind::QueueFull: return 8;
+      case ErrorKind::Canceled: return 9;
     }
     return 1;
+}
+
+bool
+isRetryable(ErrorKind kind)
+{
+    return kind == ErrorKind::QueueFull || kind == ErrorKind::Canceled;
 }
 
 } // namespace ubrc::sim

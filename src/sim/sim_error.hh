@@ -43,15 +43,34 @@ enum class ErrorKind
     Deadlock,
     /** Internal invariant violated at a containable boundary. */
     Invariant,
+    /** Malformed or inadmissible service request (ubrcsim-server). */
+    BadRequest,
+    /** Per-request wall-clock deadline expired mid-run. */
+    DeadlineExceeded,
+    /** Admission queue full; the request was shed (retryable). */
+    QueueFull,
+    /** Run canceled before completion (drain or interrupt). */
+    Canceled,
 };
 
 const char *toString(ErrorKind kind);
 
 /**
  * Process exit code for an error kind: 2 = config error, 3 = checker
- * divergence, 4 = deadlock, 5 = internal invariant.
+ * divergence, 4 = deadlock, 5 = internal invariant, 6 = bad request,
+ * 7 = deadline exceeded, 8 = queue full, 9 = canceled. The
+ * authoritative registry lives in DESIGN.md and is cross-checked by
+ * ubrc-lint (rule exit-codes).
  */
 int exitCodeFor(ErrorKind kind);
+
+/**
+ * True when retrying the identical request later can succeed without
+ * changing it: the failure was a transient service condition
+ * (backpressure shed, drain-time cancellation), not a property of the
+ * request or of the simulated machine.
+ */
+bool isRetryable(ErrorKind kind);
 
 /** Base class of all contained per-run simulation failures. */
 class SimError : public std::runtime_error
@@ -116,6 +135,51 @@ class InvariantError : public SimError
   public:
     explicit InvariantError(const std::string &message)
         : SimError(ErrorKind::Invariant, message)
+    {}
+};
+
+/**
+ * A service request failed admission: malformed frame, unparseable
+ * JSON, unknown document kind, unknown workload, or a knob of the
+ * wrong type. Raised before any cycle is simulated; never carries a
+ * snapshot.
+ */
+class BadRequestError : public SimError
+{
+  public:
+    explicit BadRequestError(const std::string &message)
+        : SimError(ErrorKind::BadRequest, message)
+    {}
+};
+
+/** A request's wall-clock deadline expired while it was running. */
+class DeadlineExceededError : public SimError
+{
+  public:
+    explicit DeadlineExceededError(const std::string &message)
+        : SimError(ErrorKind::DeadlineExceeded, message)
+    {}
+};
+
+/**
+ * The admission queue was full and the request was shed. The client
+ * contract is retry-with-backoff: the identical request is valid and
+ * can be resubmitted verbatim.
+ */
+class QueueFullError : public SimError
+{
+  public:
+    explicit QueueFullError(const std::string &message)
+        : SimError(ErrorKind::QueueFull, message)
+    {}
+};
+
+/** A run was canceled before completion (drain or interrupt). */
+class CanceledError : public SimError
+{
+  public:
+    explicit CanceledError(const std::string &message)
+        : SimError(ErrorKind::Canceled, message)
     {}
 };
 

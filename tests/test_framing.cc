@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the NDJSON framing layer (common/framing.hh): frame
+ * delivery, EOF handling, oversized-frame resync, and writer
+ * atomicity under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/framing.hh"
+
+using namespace ubrc;
+using framing::LineReader;
+using framing::LineWriter;
+using framing::ReadStatus;
+
+namespace
+{
+
+/** Materialize `content` in a temp file and open it for reading. */
+class FileFixture
+{
+  public:
+    explicit FileFixture(const std::string &content)
+    {
+        char tmpl[] = "/tmp/ubrc_framing_XXXXXX";
+        fd_ = ::mkstemp(tmpl);
+        EXPECT_GE(fd_, 0);
+        path_ = tmpl;
+        EXPECT_EQ(::write(fd_, content.data(), content.size()),
+                  static_cast<ssize_t>(content.size()));
+        EXPECT_EQ(::lseek(fd_, 0, SEEK_SET), 0);
+    }
+
+    ~FileFixture()
+    {
+        ::close(fd_);
+        ::unlink(path_.c_str());
+    }
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace
+
+TEST(Framing, DeliversFramesInOrder)
+{
+    FileFixture f("alpha\nbeta\n\ngamma\n");
+    LineReader r(f.fd());
+    std::string line;
+
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "alpha");
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "beta");
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, ""); // empty frames are frames
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "gamma");
+    EXPECT_EQ(r.readLine(line), ReadStatus::Eof);
+    // Eof is sticky.
+    EXPECT_EQ(r.readLine(line), ReadStatus::Eof);
+}
+
+TEST(Framing, TrailingUnterminatedLineIsDelivered)
+{
+    FileFixture f("complete\npartial");
+    LineReader r(f.fd());
+    std::string line;
+
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "complete");
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "partial");
+    EXPECT_EQ(r.readLine(line), ReadStatus::Eof);
+}
+
+TEST(Framing, OversizedFrameIsConsumedAndStreamResyncs)
+{
+    const std::string big(100, 'x');
+    FileFixture f("ok1\n" + big + "\nok2\n");
+    LineReader r(f.fd(), 16);
+    std::string line;
+
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "ok1");
+    ASSERT_EQ(r.readLine(line), ReadStatus::FrameTooLong);
+    EXPECT_EQ(line, std::string(16, 'x')); // diagnostic prefix
+    // The stream is usable again at the very next frame.
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "ok2");
+    EXPECT_EQ(r.readLine(line), ReadStatus::Eof);
+}
+
+TEST(Framing, OversizedFrameSpanningManyReadsIsBounded)
+{
+    // Larger than the reader's internal 4 KiB chunk so the discard
+    // path streams across several fill() calls.
+    const std::string big(64 * 1024, 'y');
+    FileFixture f(big + "\nafter\n");
+    LineReader r(f.fd(), 32);
+    std::string line;
+
+    ASSERT_EQ(r.readLine(line), ReadStatus::FrameTooLong);
+    EXPECT_EQ(line, std::string(32, 'y'));
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "after");
+}
+
+TEST(Framing, OversizedFinalFrameWithoutTerminator)
+{
+    const std::string big(50 * 1024, 'z');
+    FileFixture f("first\n" + big); // no trailing newline
+    LineReader r(f.fd(), 16);
+    std::string line;
+
+    ASSERT_EQ(r.readLine(line), ReadStatus::Ok);
+    EXPECT_EQ(line, "first");
+    ASSERT_EQ(r.readLine(line), ReadStatus::FrameTooLong);
+    EXPECT_EQ(line, std::string(16, 'z'));
+    EXPECT_EQ(r.readLine(line), ReadStatus::Eof);
+}
+
+TEST(Framing, WriterFramesNeverInterleave)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    constexpr int kThreads = 4;
+    constexpr int kLines = 64;
+    LineWriter w(fds[1]);
+
+    // A reader drains concurrently so the pipe cannot fill up.
+    std::vector<std::string> got;
+    std::thread reader([&] {
+        LineReader r(fds[0]);
+        std::string line;
+        while (r.readLine(line) == ReadStatus::Ok)
+            got.push_back(line);
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&w, t] {
+            for (int i = 0; i < kLines; ++i) {
+                // Long enough to tempt a partial write.
+                const std::string frame =
+                    "t" + std::to_string(t) + ":" +
+                    std::to_string(i) + ":" + std::string(512, 'a' + t);
+                EXPECT_TRUE(w.writeLine(frame));
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    ::close(fds[1]);
+    reader.join();
+    ::close(fds[0]);
+
+    // Every frame arrives exactly once and intact.
+    ASSERT_EQ(got.size(), size_t(kThreads * kLines));
+    std::set<std::string> unique(got.begin(), got.end());
+    EXPECT_EQ(unique.size(), got.size());
+    for (const auto &line : got) {
+        const size_t c1 = line.find(':');
+        const size_t c2 = line.find(':', c1 + 1);
+        ASSERT_NE(c2, std::string::npos) << line.substr(0, 40);
+        const int t = std::atoi(line.c_str() + 1);
+        EXPECT_EQ(line.substr(c2 + 1),
+                  std::string(512, 'a' + t));
+    }
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for sim::RunControl: per-run deadlines and cooperative
+ * cancellation layered on runOneChecked()/runSuite().
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/json.hh"
+#include "sim/results_json.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+sim::SimConfig
+smallConfig()
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    return cfg;
+}
+
+workload::Workload
+kernel()
+{
+    return workload::buildWorkload("gzip");
+}
+
+std::string
+renderOutcome(const sim::RunOutcome &o)
+{
+    json::Writer w(false);
+    sim::writeRunOutcome(w, o);
+    return w.str();
+}
+
+} // namespace
+
+TEST(RunControl, ExpiredDeadlineIsContainedAsDeadlineExceeded)
+{
+    // A deadline already in the past: the run must abort at its first
+    // poll with a contained outcome, not an exception.
+    sim::RunControl ctl;
+    ctl.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1);
+    ctl.hasDeadline = true;
+    ctl.pollIntervalCycles = 16;
+
+    const sim::RunOutcome o =
+        sim::runOneChecked(smallConfig(), kernel(), 5000000, ctl);
+    EXPECT_FALSE(o.ok);
+    EXPECT_EQ(o.kind, sim::ErrorKind::DeadlineExceeded);
+    EXPECT_NE(o.message.find("deadline"), std::string::npos);
+    EXPECT_FALSE(o.snapshotText.empty());
+}
+
+TEST(RunControl, RaisedCancelFlagIsContainedAsCanceled)
+{
+    std::atomic<bool> cancel{true};
+    sim::RunControl ctl;
+    ctl.cancel = &cancel;
+    ctl.pollIntervalCycles = 16;
+
+    const sim::RunOutcome o =
+        sim::runOneChecked(smallConfig(), kernel(), 5000000, ctl);
+    EXPECT_FALSE(o.ok);
+    EXPECT_EQ(o.kind, sim::ErrorKind::Canceled);
+}
+
+TEST(RunControl, CancelWinsOverExpiredDeadline)
+{
+    std::atomic<bool> cancel{true};
+    sim::RunControl ctl = sim::RunControl::deadlineAfterMs(0);
+    ctl.cancel = &cancel;
+    ctl.pollIntervalCycles = 16;
+
+    const sim::RunOutcome o =
+        sim::runOneChecked(smallConfig(), kernel(), 5000000, ctl);
+    EXPECT_FALSE(o.ok);
+    EXPECT_EQ(o.kind, sim::ErrorKind::Canceled);
+}
+
+TEST(RunControl, EngagedButUntriggeredControlIsBitIdentical)
+{
+    // Polling must only observe: a run under a generous deadline is
+    // bit-identical to one with no control at all.
+    const sim::RunOutcome plain =
+        sim::runOneChecked(smallConfig(), kernel(), 20000);
+    sim::RunControl ctl = sim::RunControl::deadlineAfterMs(3600000);
+    const sim::RunOutcome ruled =
+        sim::runOneChecked(smallConfig(), kernel(), 20000, ctl);
+    EXPECT_TRUE(plain.ok);
+    EXPECT_EQ(renderOutcome(plain), renderOutcome(ruled));
+}
+
+TEST(RunControl, CanceledSuiteYieldsOneRowPerWorkload)
+{
+    std::atomic<bool> cancel{true};
+    sim::RunControl ctl;
+    ctl.cancel = &cancel;
+    ctl.pollIntervalCycles = 16;
+
+    const std::vector<std::string> names = {"gzip", "mcf", "twolf"};
+    const sim::SuiteResult sr = sim::runSuite(
+        smallConfig(), names, {}, 100000, 1, ctl);
+    ASSERT_EQ(sr.runs.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(sr.runs[i].workload, names[i]);
+        EXPECT_TRUE(sr.runs[i].failed);
+        EXPECT_EQ(sr.runs[i].errorKind, sim::ErrorKind::Canceled);
+    }
+    EXPECT_EQ(sr.numOk(), 0u);
+}
+
+TEST(RunControl, CanceledSuiteParallelStillCoversEveryRow)
+{
+    std::atomic<bool> cancel{true};
+    sim::RunControl ctl;
+    ctl.cancel = &cancel;
+    ctl.pollIntervalCycles = 16;
+
+    const std::vector<std::string> names = {"gzip", "mcf", "twolf",
+                                            "gcc", "vpr"};
+    const sim::SuiteResult sr = sim::runSuite(
+        smallConfig(), names, {}, 100000, 4, ctl);
+    ASSERT_EQ(sr.runs.size(), names.size());
+    for (const auto &run : sr.runs) {
+        EXPECT_TRUE(run.failed);
+        EXPECT_EQ(run.errorKind, sim::ErrorKind::Canceled);
+    }
+}

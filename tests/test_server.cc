@@ -1,0 +1,495 @@
+/**
+ * @file
+ * End-to-end tests for the sweep service (server/server.hh), run
+ * in-process over pipes: request isolation, malformed-frame
+ * rejection, deadlines, backpressure shed, drain semantics, and
+ * bit-identity of server results against serial reference runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/framing.hh"
+#include "common/json.hh"
+#include "server/server.hh"
+#include "sim/results_json.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+/** An in-process server over pipes plus a response collector. */
+class ServerHarness
+{
+  public:
+    explicit ServerHarness(const server::ServerOptions &opts)
+    {
+        EXPECT_EQ(pipe(in), 0);
+        EXPECT_EQ(pipe(out), 0);
+        srv = std::make_unique<server::SweepServer>(in[0], out[1],
+                                                    opts);
+        serveThread = std::thread([this] { rc = srv->serve(); });
+        collector = std::thread([this] {
+            framing::LineReader r(out[0], 4u << 20);
+            std::string line;
+            while (r.readLine(line) == framing::ReadStatus::Ok) {
+                std::lock_guard<std::mutex> lock(mu);
+                lines.push_back(line);
+            }
+        });
+        writer = std::make_unique<framing::LineWriter>(in[1]);
+    }
+
+    ~ServerHarness()
+    {
+        if (serveThread.joinable())
+            finish();
+    }
+
+    void send(const std::string &frame)
+    {
+        ASSERT_TRUE(writer->writeLine(frame));
+    }
+
+    void
+    closeInput()
+    {
+        if (in[1] >= 0) {
+            close(in[1]);
+            in[1] = -1;
+        }
+    }
+
+    server::SweepServer &serverRef() { return *srv; }
+
+    /** Close input, wait for drain, collect every response line. */
+    int
+    finish()
+    {
+        closeInput();
+        serveThread.join();
+        close(out[1]);
+        out[1] = -1;
+        collector.join();
+        close(in[0]);
+        close(out[0]);
+        return rc;
+    }
+
+    /** All received documents, parsed. Call after finish(). */
+    std::vector<json::Value>
+    docs() const
+    {
+        std::vector<json::Value> parsed;
+        for (const auto &line : lines)
+            parsed.push_back(json::parse(line));
+        return parsed;
+    }
+
+  private:
+    int in[2] = {-1, -1};
+    int out[2] = {-1, -1};
+    std::unique_ptr<server::SweepServer> srv;
+    std::unique_ptr<framing::LineWriter> writer;
+    std::thread serveThread;
+    std::thread collector;
+    std::mutex mu;
+    std::vector<std::string> lines;
+    int rc = -1;
+};
+
+const json::Value *
+findDoc(const std::vector<json::Value> &docs, const std::string &kind,
+        const std::string &id = "")
+{
+    for (const auto &d : docs) {
+        const json::Value *k = d.find("kind");
+        if (!k || !k->isString() || k->string != kind)
+            continue;
+        if (!id.empty()) {
+            const json::Value *i = d.find("id");
+            if (!i || !i->isString() || i->string != id)
+                continue;
+        }
+        return &d;
+    }
+    return nullptr;
+}
+
+size_t
+countKind(const std::vector<json::Value> &docs,
+          const std::string &kind)
+{
+    size_t n = 0;
+    for (const auto &d : docs) {
+        const json::Value *k = d.find("kind");
+        if (k && k->isString() && k->string == kind)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+errorKindOf(const json::Value &doc)
+{
+    const json::Value *err = doc.find("error");
+    if (!err || !err->isObject())
+        return "";
+    const json::Value *k = err->find("kind");
+    return k && k->isString() ? k->string : "";
+}
+
+bool
+errorRetryable(const json::Value &doc)
+{
+    const json::Value *err = doc.find("error");
+    const json::Value *r = err ? err->find("retryable") : nullptr;
+    return r && r->type == json::Value::Type::Bool && r->boolean;
+}
+
+std::string
+sweepRequest(const std::string &id, const std::string &workload,
+             uint64_t max_insts, const std::string &extras = "")
+{
+    return "{\"kind\":\"sweep-request\",\"id\":\"" + id +
+           "\",\"workload\":\"" + workload +
+           "\",\"max_insts\":" + std::to_string(max_insts) + extras +
+           "}";
+}
+
+/** Serial reference rendering of a request's outcome. */
+std::string
+referenceOutcome(const std::string &requestText)
+{
+    const server::SweepRequest req = server::parseSweepRequest(
+        json::parse(requestText), server::AdmissionLimits{});
+    const workload::Workload w =
+        workload::buildWorkload(req.workloadName, req.params);
+    const sim::RunOutcome ref =
+        sim::runOneChecked(req.config, w, req.maxInsts);
+    json::Writer jw(false);
+    sim::writeRunOutcome(jw, ref);
+    return jw.str();
+}
+
+} // namespace
+
+TEST(SweepServer, AnswersGoodRequestBitIdenticalToSerialRun)
+{
+    const std::string request = sweepRequest("r-0", "gzip", 20000);
+
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+    h.send(request);
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    EXPECT_NE(findDoc(docs, "server-hello"), nullptr);
+    const json::Value *resp = findDoc(docs, "sweep-response", "r-0");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_TRUE(resp->at("ok").boolean);
+
+    // The whole point of decoupling execution into a service: the
+    // outcome subtree must be bit-identical to a serial run.
+    const json::Value ref =
+        json::parse(referenceOutcome(request));
+    EXPECT_TRUE(json::equal(ref, resp->at("outcome")));
+
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("reason").string, "eof");
+    EXPECT_EQ(drain->at("counters").at("ok").number, 1.0);
+}
+
+TEST(SweepServer, MalformedFramesAreRejectedAndServerSurvives)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+    h.send("this is not json");
+    h.send("{\"kind\":\"sweep-request\",\"id\":\"bad-key\","
+           "\"workload\":\"gzip\",\"workloadd\":1}");
+    h.send("{\"kind\":\"sweep-request\",\"id\":\"bad-type\","
+           "\"workload\":\"gzip\",\"seed\":\"one\"}");
+    h.send("{\"kind\":\"sweep-request\",\"id\":\"bad-wl\","
+           "\"workload\":\"quake3\"}");
+    h.send("{\"kind\":\"sweep-request\",\"id\":\"bad-policy\","
+           "\"workload\":\"gzip\",\"config\":{\"insertion\":"
+           "\"mru\"}}");
+    // After all that abuse, a good request must still run.
+    h.send(sweepRequest("good", "gzip", 5000));
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    EXPECT_EQ(countKind(docs, "sweep-reject"), 5u);
+    for (const auto *id :
+         {"bad-key", "bad-type", "bad-wl", "bad-policy"}) {
+        const json::Value *r = findDoc(docs, "sweep-reject", id);
+        ASSERT_NE(r, nullptr) << id;
+        EXPECT_EQ(errorKindOf(*r), "bad request");
+        EXPECT_FALSE(errorRetryable(*r));
+    }
+    const json::Value *resp = findDoc(docs, "sweep-response", "good");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_TRUE(resp->at("ok").boolean);
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("counters").at("rejected").number, 5.0);
+}
+
+TEST(SweepServer, OversizedFrameIsSheddedNotFatal)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    opts.maxFrameBytes = 256;
+    ServerHarness h(opts);
+    h.send("{\"kind\":\"sweep-request\",\"id\":\"huge\","
+           "\"workload\":\"" +
+           std::string(600, 'x') + "\"}");
+    h.send(sweepRequest("after", "gzip", 5000));
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    // The id is inside the discarded frame, so the rejection is
+    // anonymous.
+    const json::Value *rej = findDoc(docs, "sweep-reject", "");
+    ASSERT_NE(rej, nullptr);
+    EXPECT_EQ(rej->at("id").string, "");
+    EXPECT_NE(
+        rej->at("error").at("message").string.find("frame exceeds"),
+        std::string::npos);
+    const json::Value *resp =
+        findDoc(docs, "sweep-response", "after");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_TRUE(resp->at("ok").boolean);
+}
+
+TEST(SweepServer, DeadlineExpiryMidRunIsContained)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+    // A huge budget with a 1 ms deadline: must abort mid-run.
+    h.send(sweepRequest("slow", "gzip", 50000000,
+                        ",\"deadline_ms\":1"));
+    h.send(sweepRequest("next", "gzip", 5000));
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    const json::Value *resp = findDoc(docs, "sweep-response", "slow");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_FALSE(resp->at("ok").boolean);
+    EXPECT_EQ(errorKindOf(*resp), "deadline exceeded");
+    EXPECT_FALSE(errorRetryable(*resp));
+    // The partial outcome still carries stats and a snapshot flag.
+    EXPECT_TRUE(
+        resp->at("outcome").at("error").at("has_snapshot").boolean);
+
+    // The worker survived to run the next request.
+    const json::Value *next = findDoc(docs, "sweep-response", "next");
+    ASSERT_NE(next, nullptr);
+    EXPECT_TRUE(next->at("ok").boolean);
+}
+
+TEST(SweepServer, QueueFullIsShedAsRetryable)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 1;
+    opts.defaultDeadlineMs = 60000;
+    ServerHarness h(opts);
+
+    // Occupy the single worker, give it time to dequeue, then
+    // overfill the queue.
+    h.send(sweepRequest("busy", "gzip", 800000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    for (int i = 0; i < 6; ++i)
+        h.send(sweepRequest("q-" + std::to_string(i), "gzip", 2000));
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    size_t shed = 0, answered = 0;
+    for (int i = 0; i < 6; ++i) {
+        const std::string id = "q-" + std::to_string(i);
+        const json::Value *rej = findDoc(docs, "sweep-reject", id);
+        const json::Value *resp =
+            findDoc(docs, "sweep-response", id);
+        ASSERT_TRUE(rej || resp) << id << " went unanswered";
+        if (rej) {
+            EXPECT_EQ(errorKindOf(*rej), "queue full");
+            EXPECT_TRUE(errorRetryable(*rej));
+            ++shed;
+        } else {
+            ++answered;
+        }
+    }
+    // One slot in the queue, one in the worker: at least four of the
+    // six burst requests must have been shed.
+    EXPECT_GE(shed, 4u);
+    EXPECT_EQ(shed + answered, 6u);
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("counters").at("shed").number,
+              static_cast<double>(shed));
+}
+
+TEST(SweepServer, StopDrainCancelsQueuedButFinishesInFlight)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 8;
+    ServerHarness h(opts);
+
+    h.send(sweepRequest("inflight", "gzip", 400000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    for (int i = 0; i < 3; ++i)
+        h.send(sweepRequest("queued-" + std::to_string(i), "gzip",
+                            2000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h.serverRef().requestStop();
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    // The in-flight run finished normally...
+    const json::Value *resp =
+        findDoc(docs, "sweep-response", "inflight");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_TRUE(resp->at("ok").boolean);
+    // ...and every queued request was answered with a retryable
+    // cancellation.
+    for (int i = 0; i < 3; ++i) {
+        const json::Value *rej = findDoc(
+            docs, "sweep-reject", "queued-" + std::to_string(i));
+        ASSERT_NE(rej, nullptr);
+        EXPECT_EQ(errorKindOf(*rej), "canceled");
+        EXPECT_TRUE(errorRetryable(*rej));
+    }
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("reason").string, "signal");
+    EXPECT_EQ(drain->at("counters").at("canceled").number, 3.0);
+}
+
+TEST(SweepServer, SecondStopAbortsInFlightRuns)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+
+    h.send(sweepRequest("doomed", "gzip", 50000000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    h.serverRef().requestStop(); // drain
+    h.serverRef().requestStop(); // abort in-flight
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    const json::Value *resp =
+        findDoc(docs, "sweep-response", "doomed");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_FALSE(resp->at("ok").boolean);
+    EXPECT_EQ(errorKindOf(*resp), "canceled");
+}
+
+TEST(SweepServer, ShutdownFrameDrainsAndExits)
+{
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+    h.send(sweepRequest("last", "gzip", 5000));
+    h.send("{\"kind\":\"shutdown\"}");
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    const json::Value *resp = findDoc(docs, "sweep-response", "last");
+    ASSERT_NE(resp, nullptr);
+    EXPECT_TRUE(resp->at("ok").boolean);
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("reason").string, "shutdown-request");
+}
+
+TEST(SweepServer, InjectedFaultsUnderConcurrencyStayDeterministic)
+{
+    server::ServerOptions opts;
+    opts.workers = 4;
+    opts.queueCapacity = 16;
+    ServerHarness h(opts);
+
+    // Aggressive fault injection on every request: some will fail
+    // with contained checker divergences, and every outcome —
+    // success or failure — must match a serial rerun bit for bit.
+    std::vector<std::string> requests;
+    for (int i = 0; i < 8; ++i) {
+        requests.push_back(sweepRequest(
+            "f-" + std::to_string(i), "gzip", 20000,
+            ",\"config\":{\"inject_rate\":0.0005,\"inject_seed\":" +
+                std::to_string(100 + i) + "}"));
+        h.send(requests.back());
+    }
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    size_t failed = 0;
+    for (int i = 0; i < 8; ++i) {
+        const std::string id = "f-" + std::to_string(i);
+        const json::Value *resp = findDoc(docs, "sweep-response", id);
+        ASSERT_NE(resp, nullptr) << id;
+        if (!resp->at("ok").boolean)
+            ++failed;
+        const json::Value ref =
+            json::parse(referenceOutcome(requests[i]));
+        EXPECT_TRUE(json::equal(ref, resp->at("outcome"))) << id;
+    }
+    const json::Value *drain = findDoc(docs, "server-drain");
+    ASSERT_NE(drain, nullptr);
+    EXPECT_EQ(drain->at("counters").at("ok").number +
+                  drain->at("counters").at("failed").number,
+              8.0);
+    EXPECT_EQ(drain->at("counters").at("failed").number,
+              static_cast<double>(failed));
+}
+
+TEST(SweepServer, RequestParserRejectsPrecisely)
+{
+    using server::parseSweepRequest;
+    const auto parse = [](const std::string &text) {
+        return parseSweepRequest(json::parse(text),
+                                 server::AdmissionLimits{});
+    };
+
+    // Budget cap and scale cap are admission-time errors.
+    EXPECT_THROW(parse("{\"kind\":\"sweep-request\",\"workload\":"
+                       "\"gzip\",\"max_insts\":999999999999}"),
+                 sim::BadRequestError);
+    EXPECT_THROW(parse("{\"kind\":\"sweep-request\",\"workload\":"
+                       "\"gzip\",\"scale\":100000}"),
+                 sim::BadRequestError);
+    // An explicit unbounded budget is not admissible.
+    EXPECT_THROW(parse("{\"kind\":\"sweep-request\",\"workload\":"
+                       "\"gzip\",\"max_insts\":0}"),
+                 sim::BadRequestError);
+    // Non-integral numbers where integers are required.
+    EXPECT_THROW(parse("{\"kind\":\"sweep-request\",\"workload\":"
+                       "\"gzip\",\"seed\":1.5}"),
+                 sim::BadRequestError);
+
+    // The good path maps the CLI geometry conventions.
+    const server::SweepRequest req =
+        parse("{\"kind\":\"sweep-request\",\"workload\":\"gzip\","
+              "\"config\":{\"entries\":32,\"assoc\":0}}");
+    EXPECT_EQ(req.config.rc.entries, 32u);
+    EXPECT_EQ(req.config.rc.assoc, 32u); // 0 = fully associative
+    EXPECT_EQ(req.config.twoLevel.l1Entries, 64u);
+}

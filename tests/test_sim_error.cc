@@ -26,6 +26,30 @@ TEST(SimError, KindAndExitCodeMapping)
     EXPECT_EQ(DeadlockError("x").exitCode(), 4);
     EXPECT_EQ(InvariantError("x").kind(), ErrorKind::Invariant);
     EXPECT_EQ(InvariantError("x").exitCode(), 5);
+    EXPECT_EQ(BadRequestError("x").kind(), ErrorKind::BadRequest);
+    EXPECT_EQ(BadRequestError("x").exitCode(), 6);
+    EXPECT_EQ(DeadlineExceededError("x").kind(),
+              ErrorKind::DeadlineExceeded);
+    EXPECT_EQ(DeadlineExceededError("x").exitCode(), 7);
+    EXPECT_EQ(QueueFullError("x").kind(), ErrorKind::QueueFull);
+    EXPECT_EQ(QueueFullError("x").exitCode(), 8);
+    EXPECT_EQ(CanceledError("x").kind(), ErrorKind::Canceled);
+    EXPECT_EQ(CanceledError("x").exitCode(), 9);
+}
+
+TEST(SimError, RetryableKinds)
+{
+    // Only transient service conditions are retryable: resubmitting
+    // an identical request can succeed. A bad request or a deadline
+    // blow-out will fail identically on retry.
+    EXPECT_TRUE(isRetryable(ErrorKind::QueueFull));
+    EXPECT_TRUE(isRetryable(ErrorKind::Canceled));
+    EXPECT_FALSE(isRetryable(ErrorKind::Config));
+    EXPECT_FALSE(isRetryable(ErrorKind::CheckerDivergence));
+    EXPECT_FALSE(isRetryable(ErrorKind::Deadlock));
+    EXPECT_FALSE(isRetryable(ErrorKind::Invariant));
+    EXPECT_FALSE(isRetryable(ErrorKind::BadRequest));
+    EXPECT_FALSE(isRetryable(ErrorKind::DeadlineExceeded));
 }
 
 TEST(SimError, KindNames)
@@ -36,6 +60,11 @@ TEST(SimError, KindNames)
     EXPECT_STREQ(toString(ErrorKind::Deadlock), "deadlock");
     EXPECT_STREQ(toString(ErrorKind::Invariant),
                  "invariant violation");
+    EXPECT_STREQ(toString(ErrorKind::BadRequest), "bad request");
+    EXPECT_STREQ(toString(ErrorKind::DeadlineExceeded),
+                 "deadline exceeded");
+    EXPECT_STREQ(toString(ErrorKind::QueueFull), "queue full");
+    EXPECT_STREQ(toString(ErrorKind::Canceled), "canceled");
 }
 
 TEST(SimError, CatchableAsBaseClass)

@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Validate UBRC results JSON documents.
 
-Checks documents emitted by the bench Reporter (BENCH_*.json) and by
-ubrcsim --stats-format=json (UBRCSIM_*.json) against schema version 1
-as specified in src/sim/results_json.hh. Stdlib only; used by the CI
-bench-smoke job and usable locally:
+Checks documents emitted by the bench Reporter (BENCH_*.json), by
+ubrcsim --stats-format=json (UBRCSIM_*.json), and by the sweep
+service (ubrcsim-server responses, ubrc-loadgen summaries) against
+schema version 1 as specified in src/sim/results_json.hh and
+DESIGN.md. Stdlib only; used by the CI bench-smoke and server-smoke
+jobs and usable locally:
 
     python3 tools/check_results_json.py results/*.json
+    python3 tools/check_results_json.py responses.ndjson
 
-Exit status is 0 when every document validates, 1 otherwise.
+Files ending in .ndjson (or passed via --ndjson) are treated as
+line-delimited JSON: every non-empty line must hold one valid
+document. Exit status is 0 when every document validates, 1
+otherwise.
 """
 
 import json
@@ -195,13 +201,113 @@ def check_ubrcsim_suite(doc):
                 "jobs", "git", "generated_unix"), "meta")
     expect(isinstance(doc.get("wall_seconds"), NUMBER),
            "wall_seconds: not a number")
+    if "interrupted" in doc:
+        expect(isinstance(doc["interrupted"], bool),
+               "interrupted: not a bool")
     check_suite(doc["suite"], "suite")
+
+
+# Error kinds and their registered exit codes (DESIGN.md); the
+# server-side kinds (6..9) were added for the sweep service.
+ERROR_KINDS = {
+    "config error": 2,
+    "checker divergence": 3,
+    "deadlock": 4,
+    "invariant violation": 5,
+    "bad request": 6,
+    "deadline exceeded": 7,
+    "queue full": 8,
+    "canceled": 9,
+}
+
+RETRYABLE_KINDS = {"queue full", "canceled"}
+
+
+def check_server_error(e, where):
+    expect_keys(e, ("kind", "exit_code", "retryable", "message"),
+                where)
+    kind = e["kind"]
+    expect(kind in ERROR_KINDS,
+           f"{where}.kind: unknown error kind {kind!r}")
+    expect(e["exit_code"] == ERROR_KINDS[kind],
+           f"{where}.exit_code: {e['exit_code']!r} does not match "
+           f"the registered code {ERROR_KINDS[kind]} for {kind!r}")
+    expect(isinstance(e["retryable"], bool),
+           f"{where}.retryable: not a bool")
+    expect(e["retryable"] == (kind in RETRYABLE_KINDS),
+           f"{where}.retryable: inconsistent with kind {kind!r}")
+    expect(isinstance(e["message"], str),
+           f"{where}.message: not a string")
+
+
+def check_server_hello(doc):
+    expect_keys(doc, ("protocol", "workers", "queue_capacity",
+                      "max_frame_bytes", "default_deadline_ms",
+                      "max_insts_cap", "workloads"), "server-hello")
+    expect(doc["protocol"] == 1,
+           f"protocol: expected 1, got {doc['protocol']!r}")
+    expect(isinstance(doc["workloads"], list) and doc["workloads"],
+           "workloads: not a non-empty array")
+
+
+def check_sweep_response(doc):
+    expect_keys(doc, ("id", "ok", "error", "wall_ms", "outcome"),
+                "sweep-response")
+    expect(isinstance(doc["ok"], bool), "ok: not a bool")
+    if doc["ok"]:
+        expect(doc["error"] is None, "error: must be null when ok")
+    else:
+        check_server_error(doc["error"], "error")
+    expect(isinstance(doc["wall_ms"], NUMBER),
+           "wall_ms: not a number")
+    check_outcome(doc["outcome"], "outcome")
+
+
+def check_sweep_reject(doc):
+    expect_keys(doc, ("id", "error"), "sweep-reject")
+    expect(isinstance(doc["id"], str), "id: not a string")
+    check_server_error(doc["error"], "error")
+
+
+def check_server_drain(doc):
+    expect_keys(doc, ("reason", "counters"), "server-drain")
+    expect(doc["reason"] in ("eof", "signal", "shutdown-request",
+                             "io-error"),
+           f"reason: unknown drain reason {doc['reason']!r}")
+    counters = doc["counters"]
+    expect_keys(counters, ("received", "admitted", "ok", "failed",
+                           "rejected", "shed", "canceled"),
+                "counters")
+    for key, v in counters.items():
+        expect(isinstance(v, int) and v >= 0,
+               f"counters.{key}: expected a non-negative integer")
+
+
+def check_loadgen_summary(doc):
+    expect_keys(doc, ("requests", "seed", "sheds", "retries",
+                      "anon_rejects", "expected_anon", "unanswered",
+                      "protocol_errors", "verified", "verify_skipped",
+                      "mismatches", "bad_accepts", "bad_rejects",
+                      "drive_clean", "pass"), "loadgen-summary")
+    for key in ("requests", "seed", "sheds", "retries",
+                "anon_rejects", "expected_anon", "unanswered",
+                "protocol_errors", "verified", "verify_skipped",
+                "mismatches", "bad_accepts", "bad_rejects"):
+        expect(isinstance(doc[key], int) and doc[key] >= 0,
+               f"{key}: expected a non-negative integer")
+    for key in ("drive_clean", "pass"):
+        expect(isinstance(doc[key], bool), f"{key}: not a bool")
 
 
 KINDS = {
     "bench": check_bench,
     "ubrcsim-run": check_ubrcsim_run,
     "ubrcsim-suite": check_ubrcsim_suite,
+    "server-hello": check_server_hello,
+    "sweep-response": check_sweep_response,
+    "sweep-reject": check_sweep_reject,
+    "server-drain": check_server_drain,
+    "loadgen-summary": check_loadgen_summary,
 }
 
 
@@ -217,16 +323,36 @@ def check_document(doc):
     return kind
 
 
+def check_ndjson_file(path):
+    """Validate every non-empty line of an NDJSON stream."""
+    kinds = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                kinds.append(check_document(json.loads(line)))
+            except (json.JSONDecodeError, ValidationError) as e:
+                raise ValidationError(f"line {lineno}: {e}") from e
+    return f"{len(kinds)} documents" if kinds else "empty"
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = [a for a in argv[1:] if a != "--ndjson"]
+    force_ndjson = "--ndjson" in argv[1:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     status = 0
-    for path in argv[1:]:
+    for path in args:
         try:
-            with open(path, encoding="utf-8") as f:
-                doc = json.load(f)
-            kind = check_document(doc)
+            if force_ndjson or path.endswith(".ndjson"):
+                kind = check_ndjson_file(path)
+            else:
+                with open(path, encoding="utf-8") as f:
+                    doc = json.load(f)
+                kind = check_document(doc)
             print(f"{path}: ok ({kind})")
         except (OSError, json.JSONDecodeError, ValidationError) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)

@@ -1,0 +1,756 @@
+/**
+ * @file
+ * ubrc-loadgen: seeded chaos client for ubrcsim-server.
+ *
+ * Spawns a server child over stdio pipes and hammers it with a
+ * randomized request mix — sweeps across scheme, geometry, policy,
+ * and workload dimensions, a configurable fraction deliberately
+ * malformed, a configurable fraction with fault injection enabled —
+ * and then holds the service to its contract:
+ *
+ *  - every frame sent is answered exactly once (id-less rejections
+ *    for unparseable/oversized frames are counted against the number
+ *    of such frames sent),
+ *  - malformed requests are rejected, never executed,
+ *  - well-formed requests are never rejected (shed responses are
+ *    retried with exponential backoff and seeded jitter until they
+ *    land, per the queue-full contract),
+ *  - executed results are bit-identical to a serial reference run of
+ *    the same request in this process (--verify, on by default;
+ *    deadline/cancel outcomes are exempt, they race wall time).
+ *
+ * Exit status 0 only when every check passes and the server drains
+ * cleanly. The run is reproducible from --seed.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/framing.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "server/request.hh"
+#include "sim/results_json.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+struct Options
+{
+    std::string serverPath; ///< derived from argv[0] when empty
+    uint64_t requests = 200;
+    uint64_t seed = 1;
+    double malformed = 0.1; ///< fraction of deliberately bad frames
+    double faulty = 0.05;   ///< fraction with fault injection on
+    unsigned workers = 2;
+    size_t queue = 8;
+    size_t maxFrame = 8192; ///< server frame limit (kept small so
+                            ///< the oversized-frame mode can hit it)
+    uint64_t deadlineMs = 30000; ///< server default deadline
+    size_t window = 0;           ///< max outstanding; 0 = auto
+    uint64_t instsLo = 1000, instsHi = 8000;
+    bool verify = true;
+    std::string outPath; ///< NDJSON log of every received frame
+};
+
+/** Lifecycle of one generated request frame. */
+struct Pending
+{
+    std::string text;         ///< exact frame (resent verbatim)
+    bool expectReject = false; ///< malformed with a recoverable id
+    bool anonymous = false;    ///< unparseable/oversized: id is lost
+    bool faulty = false;
+    unsigned attempts = 0;
+    bool done = false;
+    std::string finalKind; ///< "sweep-response" or "sweep-reject"
+    json::Value response;
+};
+
+using Clock = std::chrono::steady_clock;
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+// ---------------------------------------------------------------
+// Request generation
+// ---------------------------------------------------------------
+
+const char *const kSchemes[] = {"cached", "cached", "cached",
+                                "cached", "monolithic", "two-level"};
+const unsigned kEntries[] = {16, 32, 64, 128};
+const unsigned kAssocs[] = {0, 1, 2, 4};
+const char *const kInsertions[] = {"always", "non-bypass",
+                                   "use-based"};
+const char *const kReplacements[] = {"lru", "use-based"};
+const char *const kIndexings[] = {"preg", "round-robin", "minimum",
+                                  "filtered-rr"};
+
+template <typename T, size_t N>
+const T &
+pick(Rng &rng, const T (&arr)[N])
+{
+    return arr[rng.below(N)];
+}
+
+/** A well-formed request; pre-validated so any rejection is a bug. */
+std::string
+makeValidRequest(const std::string &id, Rng &rng, const Options &opt,
+                 bool &faulty)
+{
+    const auto &names = workload::workloadNames();
+    for (int tries = 0; tries < 100; ++tries) {
+        json::Writer w(false);
+        w.beginObject();
+        w.field("schema_version", 1u);
+        w.field("kind", "sweep-request");
+        w.field("id", id);
+        w.field("workload", names[rng.below(names.size())]);
+        w.field("seed", rng.next() % 100000);
+        w.field("max_insts",
+                static_cast<uint64_t>(rng.range(
+                    static_cast<int64_t>(opt.instsLo),
+                    static_cast<int64_t>(opt.instsHi))));
+        w.key("config").beginObject();
+        w.field("scheme", pick(rng, kSchemes));
+        w.field("entries", pick(rng, kEntries));
+        w.field("assoc", pick(rng, kAssocs));
+        w.field("insertion", pick(rng, kInsertions));
+        w.field("replacement", pick(rng, kReplacements));
+        w.field("indexing", pick(rng, kIndexings));
+        faulty = rng.chance(opt.faulty);
+        if (faulty) {
+            w.field("inject_rate",
+                    1e-5 * static_cast<double>(1 + rng.below(20)));
+            w.field("inject_seed", rng.next() % 100000);
+        }
+        w.endObject();
+        w.endObject();
+
+        // Pre-validate with the same code the server runs, so a
+        // random-but-inconsistent combination is regenerated here
+        // rather than counted as an unexpected rejection.
+        try {
+            server::SweepRequest req = server::parseSweepRequest(
+                json::parse(w.str()), server::AdmissionLimits{});
+            req.config.validate();
+            return w.str();
+        } catch (const sim::SimError &) {
+            continue;
+        }
+    }
+    fatal("could not generate a valid request in 100 tries");
+}
+
+/** One of several malformation modes; anon when the id is lost. */
+std::string
+makeMalformedRequest(const std::string &id, Rng &rng,
+                     const Options &opt, bool &anon)
+{
+    anon = false;
+    const std::string head = "{\"schema_version\":1,"
+                             "\"kind\":\"sweep-request\",\"id\":\"" +
+                             id + "\",";
+    switch (rng.below(7)) {
+      case 0: // truncated JSON: the id cannot be recovered
+        anon = true;
+        return head + "\"workload\":\"gzi";
+      case 1: // unknown top-level key
+        return head + "\"workloadd\":\"gzip\"}";
+      case 2: // wrong type
+        return head + "\"workload\":\"gzip\",\"seed\":\"one\"}";
+      case 3: // unknown workload
+        return head + "\"workload\":\"quake3\"}";
+      case 4: // unknown policy name
+        return head + "\"workload\":\"gzip\",\"config\":"
+                      "{\"insertion\":\"mru\"}}";
+      case 5: // budget over the admission cap
+        return head + "\"workload\":\"gzip\","
+                      "\"max_insts\":999999999999}";
+      default: { // frame over the server's size limit
+        anon = true;
+        std::string pad(opt.maxFrame + 1024, 'x');
+        return head + "\"workload\":\"" + pad + "\"}";
+      }
+    }
+}
+
+// ---------------------------------------------------------------
+// Child process plumbing
+// ---------------------------------------------------------------
+
+struct Child
+{
+    pid_t pid = -1;
+    int toChild = -1;   ///< write end of the child's stdin
+    int fromChild = -1; ///< read end of the child's stdout
+};
+
+Child
+spawnServer(const Options &opt)
+{
+    int inPipe[2], outPipe[2];
+    if (pipe(inPipe) != 0 || pipe(outPipe) != 0)
+        fatal("pipe: %s", std::strerror(errno));
+
+    const std::string workers = std::to_string(opt.workers);
+    const std::string queue = std::to_string(opt.queue);
+    const std::string maxFrame = std::to_string(opt.maxFrame);
+    const std::string deadline = std::to_string(opt.deadlineMs);
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        fatal("fork: %s", std::strerror(errno));
+    if (pid == 0) {
+        dup2(inPipe[0], STDIN_FILENO);
+        dup2(outPipe[1], STDOUT_FILENO);
+        close(inPipe[0]);
+        close(inPipe[1]);
+        close(outPipe[0]);
+        close(outPipe[1]);
+        const char *args[] = {opt.serverPath.c_str(),
+                              "--workers", workers.c_str(),
+                              "--queue", queue.c_str(),
+                              "--max-frame", maxFrame.c_str(),
+                              "--deadline-ms", deadline.c_str(),
+                              nullptr};
+        execv(opt.serverPath.c_str(),
+              const_cast<char *const *>(args));
+        std::fprintf(stderr, "exec %s: %s\n", opt.serverPath.c_str(),
+                     std::strerror(errno));
+        _exit(127);
+    }
+
+    Child c;
+    c.pid = pid;
+    c.toChild = inPipe[1];
+    c.fromChild = outPipe[0];
+    close(inPipe[0]);
+    close(outPipe[1]);
+    return c;
+}
+
+// ---------------------------------------------------------------
+// The load driver
+// ---------------------------------------------------------------
+
+class LoadDriver
+{
+  public:
+    LoadDriver(const Options &opt, Child child)
+        : opt(opt), child(child), writer(child.toChild),
+          reader(child.fromChild)
+    {}
+
+    /** Run the whole exchange; returns true when the drive is clean
+     * (verification is a separate pass). */
+    bool drive();
+
+    std::vector<Pending> pending;
+    uint64_t sheds = 0, retries = 0, anonRejects = 0;
+    uint64_t expectedAnon = 0;
+    uint64_t protocolErrors = 0; ///< frames from the server that
+                                 ///< violate the protocol
+    uint64_t unanswered = 0;
+    bool sawDrain = false;
+    bool sawHello = false;
+
+  private:
+    void readerMain();
+    void handleServerDoc(const std::string &line);
+    bool sendFrame(size_t idx);
+
+    Options opt;
+    Child child;
+    framing::LineWriter writer;
+    framing::LineReader reader;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t outstanding = 0;
+    uint64_t finalized = 0;
+    bool readerDone = false;
+    int64_t lastProgressMs = 0;
+    /** (due time ms, pending index), soonest first. */
+    std::priority_queue<std::pair<int64_t, size_t>,
+                        std::vector<std::pair<int64_t, size_t>>,
+                        std::greater<>>
+        retryAt;
+
+    FILE *logFile = nullptr;
+    std::mutex logMu;
+};
+
+bool
+LoadDriver::sendFrame(size_t idx)
+{
+    ++pending[idx].attempts;
+    return writer.writeLine(pending[idx].text);
+}
+
+void
+LoadDriver::handleServerDoc(const std::string &line)
+{
+    if (logFile) {
+        std::lock_guard<std::mutex> lock(logMu);
+        std::fprintf(logFile, "%s\n", line.c_str());
+    }
+
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::ParseError &) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++protocolErrors;
+        return;
+    }
+
+    const json::Value *kindV = doc.find("kind");
+    const std::string kind = kindV && kindV->isString()
+                                 ? kindV->string
+                                 : std::string();
+
+    std::lock_guard<std::mutex> lock(mu);
+    lastProgressMs = nowMs();
+
+    if (kind == "server-hello") {
+        sawHello = true;
+        return;
+    }
+    if (kind == "server-drain") {
+        sawDrain = true;
+        cv.notify_all();
+        return;
+    }
+    if (kind != "sweep-response" && kind != "sweep-reject") {
+        ++protocolErrors;
+        return;
+    }
+
+    const std::string id = server::requestIdOf(doc);
+    if (id.empty()) {
+        // Rejection of an unparseable/oversized frame: matchable
+        // only by count.
+        if (kind == "sweep-reject") {
+            ++anonRejects;
+            --outstanding;
+            ++finalized;
+        } else {
+            ++protocolErrors;
+        }
+        cv.notify_all();
+        return;
+    }
+
+    size_t idx = pending.size();
+    if (id.rfind("r-", 0) == 0)
+        idx = std::strtoull(id.c_str() + 2, nullptr, 10);
+    if (idx >= pending.size() || pending[idx].done) {
+        ++protocolErrors; // unknown id or a duplicate answer
+        cv.notify_all();
+        return;
+    }
+
+    bool retryable = false;
+    if (kind == "sweep-reject") {
+        const json::Value *err = doc.find("error");
+        const json::Value *r = err ? err->find("retryable") : nullptr;
+        retryable = r && r->type == json::Value::Type::Bool &&
+                    r->boolean;
+    }
+
+    if (retryable) {
+        // Queue-full shed (or drain-time cancel): back off and
+        // resubmit the identical frame. Exponential with seeded
+        // jitter; the Rng lives in this thread only.
+        ++sheds;
+        --outstanding;
+        static thread_local Rng jitterRng(0xb0ffu);
+        const unsigned a = std::min(pending[idx].attempts, 6u);
+        const int64_t base = std::min<int64_t>(200, 5ll << a);
+        const int64_t due =
+            nowMs() + base / 2 +
+            static_cast<int64_t>(
+                jitterRng.below(static_cast<uint64_t>(base)));
+        retryAt.emplace(due, idx);
+        cv.notify_all();
+        return;
+    }
+
+    pending[idx].done = true;
+    pending[idx].finalKind = kind;
+    pending[idx].response = std::move(doc);
+    --outstanding;
+    ++finalized;
+    cv.notify_all();
+}
+
+void
+LoadDriver::readerMain()
+{
+    std::string line;
+    while (true) {
+        const framing::ReadStatus st = reader.readLine(line);
+        if (st == framing::ReadStatus::Ok) {
+            handleServerDoc(line);
+            continue;
+        }
+        if (st == framing::ReadStatus::Interrupted)
+            continue;
+        break; // Eof, IoError, FrameTooLong (server misbehaving)
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    readerDone = true;
+    cv.notify_all();
+}
+
+bool
+LoadDriver::drive()
+{
+    if (!opt.outPath.empty()) {
+        logFile = std::fopen(opt.outPath.c_str(), "w");
+        if (!logFile)
+            fatal("cannot open '%s' for writing",
+                  opt.outPath.c_str());
+    }
+
+    // Generate the whole request schedule up front (reproducible
+    // from the seed alone, independent of response timing).
+    Rng rng(opt.seed);
+    pending.resize(opt.requests);
+    for (size_t i = 0; i < pending.size(); ++i) {
+        Pending &p = pending[i];
+        const std::string id = "r-" + std::to_string(i);
+        if (rng.chance(opt.malformed)) {
+            p.expectReject = true;
+            p.text = makeMalformedRequest(id, rng, opt, p.anonymous);
+            if (p.anonymous)
+                ++expectedAnon;
+        } else {
+            p.text = makeValidRequest(id, rng, opt, p.faulty);
+        }
+    }
+
+    const size_t window = opt.window
+                              ? opt.window
+                              : opt.workers + opt.queue + 6;
+    std::thread readerThread(&LoadDriver::readerMain, this);
+
+    size_t nextToSend = 0;
+    bool writeFailed = false;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        lastProgressMs = nowMs();
+        while (finalized < pending.size()) {
+            if (readerDone)
+                break; // server went away with work unanswered
+            if (nowMs() - lastProgressMs > 120000)
+                break; // stuck: fail rather than hang forever
+
+            // Send whatever is due: retries first, then fresh load.
+            size_t toSend = pending.size(); // sentinel
+            if (!retryAt.empty() &&
+                retryAt.top().first <= nowMs() &&
+                outstanding < window) {
+                toSend = retryAt.top().second;
+                retryAt.pop();
+                ++retries;
+            } else if (nextToSend < pending.size() &&
+                       outstanding < window) {
+                toSend = nextToSend++;
+            }
+
+            if (toSend < pending.size()) {
+                ++outstanding;
+                lock.unlock();
+                const bool sent = sendFrame(toSend);
+                lock.lock();
+                if (!sent) {
+                    writeFailed = true;
+                    break;
+                }
+                continue;
+            }
+            cv.wait_for(lock, std::chrono::milliseconds(5));
+        }
+        unanswered = pending.size() - finalized;
+    }
+
+    // Ask for a graceful shutdown and close our side; the server
+    // answers with the drain summary and exits.
+    if (!writeFailed)
+        writer.writeLine("{\"kind\":\"shutdown\"}");
+    close(child.toChild);
+    readerThread.join();
+    close(child.fromChild);
+
+    int status = 0;
+    waitpid(child.pid, &status, 0);
+    const bool serverClean =
+        WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+    if (logFile) {
+        std::fclose(logFile);
+        logFile = nullptr;
+    }
+
+    return !writeFailed && serverClean && unanswered == 0 &&
+           sawDrain && protocolErrors == 0;
+}
+
+// ---------------------------------------------------------------
+// Serial reference verification
+// ---------------------------------------------------------------
+
+struct VerifyStats
+{
+    uint64_t verified = 0;
+    uint64_t mismatches = 0;
+    uint64_t skipped = 0;    ///< deadline/cancel outcomes
+    uint64_t badAccepts = 0; ///< malformed request got executed
+    uint64_t badRejects = 0; ///< well-formed request got rejected
+};
+
+VerifyStats
+verifyResponses(const std::vector<Pending> &pending, bool verify)
+{
+    VerifyStats v;
+    for (const auto &p : pending) {
+        if (!p.done)
+            continue;
+        if (p.expectReject) {
+            if (p.finalKind != "sweep-reject")
+                ++v.badAccepts;
+            continue;
+        }
+        if (p.finalKind != "sweep-response") {
+            ++v.badRejects;
+            continue;
+        }
+        if (!verify)
+            continue;
+
+        // Deadline and cancel outcomes race wall time; everything
+        // else — including contained checker divergences from fault
+        // injection — must be bit-identical to a serial rerun.
+        const json::Value *err = p.response.find("error");
+        if (err && err->isObject()) {
+            const json::Value *k = err->find("kind");
+            const std::string kind =
+                k && k->isString() ? k->string : std::string();
+            if (kind == "deadline exceeded" || kind == "canceled") {
+                ++v.skipped;
+                continue;
+            }
+        }
+
+        const server::SweepRequest req = server::parseSweepRequest(
+            json::parse(p.text), server::AdmissionLimits{});
+        const workload::Workload w =
+            workload::buildWorkload(req.workloadName, req.params);
+        const sim::RunOutcome ref =
+            sim::runOneChecked(req.config, w, req.maxInsts);
+
+        json::Writer refw(false);
+        sim::writeRunOutcome(refw, ref);
+        const json::Value refDoc = json::parse(refw.str());
+        const json::Value *got = p.response.find("outcome");
+        if (got && json::equal(refDoc, *got))
+            ++v.verified;
+        else
+            ++v.mismatches;
+    }
+    return v;
+}
+
+// ---------------------------------------------------------------
+
+void
+usage()
+{
+    std::fputs(
+        "usage: ubrc-loadgen [options]\n"
+        "\n"
+        "options:\n"
+        "  --server PATH    ubrcsim-server binary (default: next to "
+        "this binary)\n"
+        "  --requests N     frames to send (default 200)\n"
+        "  --seed S         generator seed (default 1)\n"
+        "  --malformed F    fraction of bad frames (default 0.1)\n"
+        "  --faulty F       fraction with fault injection "
+        "(default 0.05)\n"
+        "  --workers N      server worker threads (default 2)\n"
+        "  --queue N        server queue capacity (default 8)\n"
+        "  --window N       max outstanding frames "
+        "(default workers+queue+6)\n"
+        "  --deadline-ms N  server default deadline "
+        "(default 30000)\n"
+        "  --insts LO HI    per-request budget range "
+        "(default 1000 8000)\n"
+        "  --no-verify      skip the serial bit-identity pass\n"
+        "  --out FILE       NDJSON log of every server frame\n"
+        "  --help           this message\n",
+        stderr);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal("option '%s' needs a value", argv[i]);
+    return argv[++i];
+}
+
+uint64_t
+parseU64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("%s: cannot parse '%s' as an integer", flag, s);
+    return v;
+}
+
+double
+parseF64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        fatal("%s: cannot parse '%s' as a number", flag, s);
+    return v;
+}
+
+std::string
+defaultServerPath(const char *argv0)
+{
+    const std::string self(argv0);
+    const size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "./ubrcsim-server";
+    return self.substr(0, slash + 1) + "ubrcsim-server";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A dying server must surface as a failed write, not a SIGPIPE.
+    signal(SIGPIPE, SIG_IGN);
+
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--server") {
+            opt.serverPath = nextArg(argc, argv, i);
+        } else if (arg == "--requests") {
+            opt.requests =
+                parseU64("--requests", nextArg(argc, argv, i));
+        } else if (arg == "--seed") {
+            opt.seed = parseU64("--seed", nextArg(argc, argv, i));
+        } else if (arg == "--malformed") {
+            opt.malformed =
+                parseF64("--malformed", nextArg(argc, argv, i));
+        } else if (arg == "--faulty") {
+            opt.faulty = parseF64("--faulty", nextArg(argc, argv, i));
+        } else if (arg == "--workers") {
+            opt.workers = static_cast<unsigned>(
+                parseU64("--workers", nextArg(argc, argv, i)));
+        } else if (arg == "--queue") {
+            opt.queue = static_cast<size_t>(
+                parseU64("--queue", nextArg(argc, argv, i)));
+        } else if (arg == "--window") {
+            opt.window = static_cast<size_t>(
+                parseU64("--window", nextArg(argc, argv, i)));
+        } else if (arg == "--deadline-ms") {
+            opt.deadlineMs =
+                parseU64("--deadline-ms", nextArg(argc, argv, i));
+        } else if (arg == "--insts") {
+            opt.instsLo = parseU64("--insts", nextArg(argc, argv, i));
+            opt.instsHi = parseU64("--insts", nextArg(argc, argv, i));
+            if (opt.instsLo == 0 || opt.instsHi < opt.instsLo)
+                fatal("--insts: need 0 < LO <= HI");
+        } else if (arg == "--no-verify") {
+            opt.verify = false;
+        } else if (arg == "--out") {
+            opt.outPath = nextArg(argc, argv, i);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.serverPath.empty())
+        opt.serverPath = defaultServerPath(argv[0]);
+
+    LoadDriver driver(opt, spawnServer(opt));
+    const bool driveClean = driver.drive();
+    const VerifyStats v =
+        verifyResponses(driver.pending, opt.verify);
+
+    const bool anonMatched =
+        driver.anonRejects == driver.expectedAnon;
+    const bool pass = driveClean && anonMatched &&
+                      driver.unanswered == 0 && v.mismatches == 0 &&
+                      v.badAccepts == 0 && v.badRejects == 0;
+
+    json::Writer w(false);
+    w.beginObject();
+    w.field("schema_version", sim::resultsSchemaVersion);
+    w.field("kind", "loadgen-summary");
+    w.field("requests", opt.requests);
+    w.field("seed", opt.seed);
+    w.field("sheds", driver.sheds);
+    w.field("retries", driver.retries);
+    w.field("anon_rejects", driver.anonRejects);
+    w.field("expected_anon", driver.expectedAnon);
+    w.field("unanswered", driver.unanswered);
+    w.field("protocol_errors", driver.protocolErrors);
+    w.field("verified", v.verified);
+    w.field("verify_skipped", v.skipped);
+    w.field("mismatches", v.mismatches);
+    w.field("bad_accepts", v.badAccepts);
+    w.field("bad_rejects", v.badRejects);
+    w.field("drive_clean", driveClean);
+    w.field("pass", pass);
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
+
+    std::fprintf(stderr,
+                 "loadgen: %llu requests, %llu sheds, %llu retries, "
+                 "%llu verified, %llu mismatches -> %s\n",
+                 static_cast<unsigned long long>(opt.requests),
+                 static_cast<unsigned long long>(driver.sheds),
+                 static_cast<unsigned long long>(driver.retries),
+                 static_cast<unsigned long long>(v.verified),
+                 static_cast<unsigned long long>(v.mismatches),
+                 pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ubrcsim-server: persistent sweep service over stdin/stdout.
+ *
+ * Reads line-delimited JSON sweep-request frames from stdin, runs
+ * them on a worker pool, and writes one response frame per request to
+ * stdout (see src/server/server.hh for the robustness model and
+ * DESIGN.md for the wire protocol). To serve a TCP port, bridge the
+ * stdio with an inetd-style supervisor (e.g. socat).
+ *
+ *   ubrcsim-server --workers 4 --queue 32 --deadline-ms 10000 \
+ *       < requests.ndjson > responses.ndjson
+ *
+ * SIGINT/SIGTERM begin a graceful drain: in-flight runs finish,
+ * queued requests are answered with retryable cancellations, and the
+ * server exits 0 after the server-drain summary. A second signal
+ * aborts in-flight runs at their next deadline poll.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "server/server.hh"
+
+using namespace ubrc;
+
+namespace
+{
+
+server::SweepServer *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    // Only touches atomics; LineReader surfaces the EINTR as
+    // Interrupted because the handler installs without SA_RESTART.
+    if (g_server)
+        g_server->requestStop();
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocking reads must wake
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+usage()
+{
+    std::fputs(
+        "usage: ubrcsim-server [options]\n"
+        "\n"
+        "options:\n"
+        "  --workers N        worker threads (default 2)\n"
+        "  --queue N          admission queue capacity (default 16)\n"
+        "  --max-frame N      per-frame byte limit (default 1 MiB)\n"
+        "  --deadline-ms N    default per-request deadline "
+        "(default 0 = none)\n"
+        "  --max-insts-cap N  largest admissible instruction budget\n"
+        "  --max-scale N      largest admissible workload scale\n"
+        "  --no-hello         suppress the server-hello document\n"
+        "  --help             this message\n",
+        stderr);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal("option '%s' needs a value", argv[i]);
+    return argv[++i];
+}
+
+uint64_t
+parseU64(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        fatal("%s: cannot parse '%s' as an integer", flag, s);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    server::ServerOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers") {
+            const uint64_t n =
+                parseU64("--workers", nextArg(argc, argv, i));
+            if (n == 0 || n > 256)
+                fatal("--workers: must be in 1..256");
+            opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--queue") {
+            const uint64_t n =
+                parseU64("--queue", nextArg(argc, argv, i));
+            if (n == 0)
+                fatal("--queue: capacity must be positive");
+            opts.queueCapacity = static_cast<size_t>(n);
+        } else if (arg == "--max-frame") {
+            const uint64_t n =
+                parseU64("--max-frame", nextArg(argc, argv, i));
+            if (n < 64)
+                fatal("--max-frame: limit must be at least 64");
+            opts.maxFrameBytes = static_cast<size_t>(n);
+        } else if (arg == "--deadline-ms") {
+            opts.defaultDeadlineMs =
+                parseU64("--deadline-ms", nextArg(argc, argv, i));
+        } else if (arg == "--max-insts-cap") {
+            opts.limits.maxInsts =
+                parseU64("--max-insts-cap", nextArg(argc, argv, i));
+        } else if (arg == "--max-scale") {
+            opts.limits.maxScale =
+                parseU64("--max-scale", nextArg(argc, argv, i));
+        } else if (arg == "--no-hello") {
+            opts.emitHello = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    server::SweepServer srv(STDIN_FILENO, STDOUT_FILENO, opts);
+    g_server = &srv;
+    installSignalHandlers();
+
+    const int rc = srv.serve();
+    g_server = nullptr;
+    return rc;
+}

@@ -13,7 +13,9 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +39,32 @@ using namespace ubrc;
 
 namespace
 {
+
+/**
+ * Raised by SIGINT/SIGTERM during a suite run. The suite observes it
+ * through sim::RunControl, aborts in-flight runs at their next poll,
+ * marks unstarted workloads canceled, and still flushes a complete
+ * report (and JSON document) covering what did finish.
+ */
+std::atomic<bool> g_interrupted{false};
+
+void
+onSuiteSignal(int)
+{
+    g_interrupted.store(true);
+}
+
+void
+installSuiteSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSuiteSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART; // runs poll the flag; I/O may restart
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 void
 usage()
@@ -462,9 +490,12 @@ main(int argc, char **argv)
         std::fprintf(rpt, "design   : %s\n", cfg.describe().c_str());
         std::fprintf(rpt, "suite    : %zu kernels, %u job(s)\n\n",
                      suite.size(), jobs);
+        installSuiteSignalHandlers();
+        sim::RunControl ctl;
+        ctl.cancel = &g_interrupted;
         const auto t0 = std::chrono::steady_clock::now();
         const sim::SuiteResult sr =
-            sim::runSuite(cfg, suite, wparams, max_insts, jobs);
+            sim::runSuite(cfg, suite, wparams, max_insts, jobs, ctl);
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
@@ -486,9 +517,13 @@ main(int argc, char **argv)
                                  run.result.cycles),
                              run.result.ipc);
         }
+        const bool interrupted = g_interrupted.load();
         std::fprintf(rpt, "\ngeomean IPC %.3f over %zu run(s)%s\n",
                      sr.geomeanIpc(), sr.runs.size() - sr.numFailed(),
                      sr.numFailed() ? " (failures above)" : "");
+        if (interrupted)
+            std::fprintf(rpt, "interrupted: partial results "
+                              "flushed\n");
         if (rpt != stdout)
             std::fclose(rpt);
         if (format == StatsFormat::Json) {
@@ -498,6 +533,7 @@ main(int argc, char **argv)
             jw.field("kind", "ubrcsim-suite");
             writeMeta(jw, cfg, suite, max_insts, jobs);
             jw.field("wall_seconds", wall);
+            jw.field("interrupted", interrupted);
             jw.key("suite");
             sim::writeSuiteResult(jw, sr);
             jw.endObject();
@@ -505,6 +541,10 @@ main(int argc, char **argv)
                               jw.str()))
                 return 1;
         }
+        // 130 (128 + SIGINT) tells callers the sweep was cut short
+        // even though the partial document was written.
+        if (interrupted)
+            return 130;
         return sr.numFailed() ? 1 : 0;
     }
 
