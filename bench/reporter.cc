@@ -156,6 +156,20 @@ Reporter::run(const std::string &label, const sim::SimConfig &cfg)
     return r;
 }
 
+void
+Reporter::suite(const std::string &label, const sim::SimConfig &cfg,
+                double wall_seconds, const sim::SuiteResult &result)
+{
+    RecordedSuite rec;
+    rec.label = label;
+    rec.config = cfg.describe();
+    rec.scheme = sim::toString(cfg.scheme);
+    rec.wallSeconds = wall_seconds;
+    rec.result = result;
+    LockGuard lock(mu);
+    suites.push_back(std::move(rec));
+}
+
 double
 Reporter::monolithicIpc(Cycle latency)
 {
@@ -217,6 +231,21 @@ Reporter::jsonLocked() const
     w.field("generated_unix", sim::metaReportEpoch());
     w.field("wall_seconds_total",
             static_cast<double>(steadyMs() - startedAt) / 1000.0);
+    // Simulator throughput over everything this harness ran, the
+    // denominator for record-vs-replay speedup comparisons.
+    uint64_t insts_total = 0;
+    double suite_wall_total = 0;
+    for (const auto &s : suites) {
+        insts_total += s.result.total(
+            [](const core::SimResult &r) { return r.instsRetired; });
+        suite_wall_total += s.wallSeconds;
+    }
+    w.field("insts_retired_total", insts_total);
+    if (insts_total && suite_wall_total > 0)
+        w.field("sim_instructions_per_second",
+                static_cast<double>(insts_total) / suite_wall_total);
+    else
+        w.nullField("sim_instructions_per_second");
     w.endObject();
 
     w.key("tables").beginArray();
@@ -246,6 +275,13 @@ Reporter::jsonLocked() const
         w.field("config", s.config);
         w.field("scheme", s.scheme);
         w.field("wall_seconds", s.wallSeconds);
+        const uint64_t suite_insts = s.result.total(
+            [](const core::SimResult &r) { return r.instsRetired; });
+        if (suite_insts && s.wallSeconds > 0)
+            w.field("sim_instructions_per_second",
+                    static_cast<double>(suite_insts) / s.wallSeconds);
+        else
+            w.nullField("sim_instructions_per_second");
         w.key("suite");
         sim::writeSuiteResult(w, s.result);
         w.endObject();

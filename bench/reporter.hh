@@ -141,6 +141,15 @@ class Reporter
                          const sim::SimConfig &cfg);
 
     /**
+     * Record a suite the harness ran itself (e.g. direct
+     * trace::replayTrace calls against a preloaded trace, where
+     * bench::run's per-config file reload would dominate). The
+     * harness supplies the wall clock it measured.
+     */
+    void suite(const std::string &label, const sim::SimConfig &cfg,
+               double wall_seconds, const sim::SuiteResult &result);
+
+    /**
      * Geomean IPC of a monolithic file, cached per latency. The
      * first run of each latency is recorded as suite
      * "monolithic-<latency>c".

@@ -1,0 +1,275 @@
+#include "common/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace ubrc::traceio
+{
+
+namespace
+{
+
+// Slice-by-8 tables: table[0] is the classic bytewise IEEE table,
+// tables 1..7 extend it so eight input bytes fold per iteration.
+// Identical polynomial and output to the bytewise algorithm.
+const std::array<std::array<uint32_t, 256>, 8> &
+crcTables()
+{
+    static const std::array<std::array<uint32_t, 256>, 8> tables =
+        [] {
+            std::array<std::array<uint32_t, 256>, 8> t{};
+            for (uint32_t i = 0; i < 256; ++i) {
+                uint32_t c = i;
+                for (int k = 0; k < 8; ++k)
+                    c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+                t[0][i] = c;
+            }
+            for (uint32_t i = 0; i < 256; ++i)
+                for (unsigned s = 1; s < 8; ++s)
+                    t[s][i] =
+                        t[0][t[s - 1][i] & 0xff] ^ (t[s - 1][i] >> 8);
+            return t;
+        }();
+    return tables;
+}
+
+void
+put32(std::string &out, uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t
+get32(std::string_view in, size_t pos)
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(in[pos])) |
+           static_cast<uint32_t>(static_cast<uint8_t>(in[pos + 1]))
+               << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(in[pos + 2]))
+               << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(in[pos + 3]))
+               << 24;
+}
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw FormatError("trace container: " + what);
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    const auto &t = crcTables();
+    uint32_t c = 0xffffffffu;
+    while (len >= 8) {
+        uint32_t lo;
+        uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        c ^= lo;
+        c = t[7][c & 0xff] ^ t[6][(c >> 8) & 0xff] ^
+            t[5][(c >> 16) & 0xff] ^ t[4][c >> 24] ^
+            t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+            t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+    while (len--)
+        c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putZigzag(std::string &out, int64_t v)
+{
+    putVarint(out, (static_cast<uint64_t>(v) << 1) ^
+                       static_cast<uint64_t>(v >> 63));
+}
+
+uint8_t
+ByteReader::byte()
+{
+    if (pos >= in.size())
+        bad("unexpected end of payload at offset " +
+            std::to_string(pos));
+    return static_cast<uint8_t>(in[pos++]);
+}
+
+uint64_t
+ByteReader::varint()
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (shift >= 64)
+            bad("varint wider than 64 bits at offset " +
+                std::to_string(pos));
+        const uint8_t b = byte();
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+int64_t
+ByteReader::zigzag()
+{
+    const uint64_t u = varint();
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+std::string_view
+ByteReader::bytes(size_t len)
+{
+    if (len > in.size() - pos)
+        bad("unexpected end of payload at offset " +
+            std::to_string(pos));
+    const std::string_view v = in.substr(pos, len);
+    pos += len;
+    return v;
+}
+
+TraceWriter::TraceWriter(uint32_t version)
+{
+    out.append(traceMagic, sizeof(traceMagic));
+    put32(out, version);
+}
+
+void
+TraceWriter::section(uint8_t id, std::string_view payload)
+{
+    out.push_back(static_cast<char>(id));
+    putVarint(out, payload.size());
+    out.append(payload.data(), payload.size());
+    put32(out, crc32(payload.data(), payload.size()));
+}
+
+std::string
+TraceWriter::bytes() const
+{
+    std::string file = out;
+    file.push_back(static_cast<char>(sectionEnd));
+    putVarint(file, 0);
+    put32(file, crc32(nullptr, 0));
+    return file;
+}
+
+bool
+TraceWriter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string file = bytes();
+    f.write(file.data(), static_cast<std::streamsize>(file.size()));
+    f.close();
+    return static_cast<bool>(f);
+}
+
+std::string
+TraceContainer::payload(uint8_t id) const
+{
+    std::string out;
+    for (const auto &s : sections)
+        if (s.id == id)
+            out += s.payload;
+    return out;
+}
+
+bool
+TraceContainer::has(uint8_t id) const
+{
+    for (const auto &s : sections)
+        if (s.id == id)
+            return true;
+    return false;
+}
+
+TraceContainer
+parseTrace(std::string_view data)
+{
+    if (data.size() < sizeof(traceMagic) + 4)
+        bad("file shorter than the magic + version header (" +
+            std::to_string(data.size()) + " bytes)");
+    if (std::memcmp(data.data(), traceMagic, sizeof(traceMagic)) != 0)
+        bad("bad magic (not a UBRC trace file)");
+
+    TraceContainer c;
+    c.version = get32(data, sizeof(traceMagic));
+
+    ByteReader r(data.substr(sizeof(traceMagic) + 4));
+    bool terminated = false;
+    while (!r.atEnd()) {
+        const uint8_t id = r.byte();
+        const uint64_t len = r.varint();
+        if (len > r.remaining())
+            bad("section id " + std::to_string(id) + " truncated: " +
+                std::to_string(len) + " payload bytes declared, " +
+                std::to_string(r.remaining()) + " available");
+        std::string payload(r.bytes(len));
+        if (r.remaining() < 4)
+            bad("section id " + std::to_string(id) +
+                " truncated before its CRC");
+        uint32_t stored = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            stored |= static_cast<uint32_t>(r.byte()) << (8 * i);
+        const uint32_t computed =
+            crc32(payload.data(), payload.size());
+        if (stored != computed)
+            bad("section id " + std::to_string(id) +
+                " CRC mismatch (stored " + std::to_string(stored) +
+                ", computed " + std::to_string(computed) + ")");
+        if (id == sectionEnd) {
+            if (!payload.empty())
+                bad("END section must be empty");
+            terminated = true;
+            break;
+        }
+        c.sections.push_back({id, std::move(payload)});
+    }
+    if (!terminated)
+        bad("missing END section (file truncated)");
+    if (!r.atEnd())
+        bad(std::to_string(r.remaining()) +
+            " trailing byte(s) after the END section");
+    return c;
+}
+
+TraceContainer
+readTraceFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        bad("cannot open '" + path + "' for reading");
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    if (size < 0)
+        bad("cannot determine size of '" + path + "'");
+    f.seekg(0, std::ios::beg);
+    std::string data(static_cast<size_t>(size), '\0');
+    f.read(data.data(), size);
+    if (f.gcount() != size || f.bad())
+        bad("read error on '" + path + "'");
+    return parseTrace(data);
+}
+
+} // namespace ubrc::traceio

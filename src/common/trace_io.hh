@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Low-level binary trace container: a versioned, sectioned, CRC32-
+ * protected byte format shared by the trace recorder and the replay
+ * driver (src/trace).
+ *
+ * File layout (all multi-byte integers little-endian):
+ *
+ *   bytes 0..7   magic "UBRCTRC\0"
+ *   bytes 8..11  u32 container version (trace_version)
+ *   sections     [u8 id][varint payload_len][payload][u32 crc32]
+ *   terminator   the END section (id 0x7F, empty payload)
+ *
+ * Payload encoding is the producer's business (src/trace encodes the
+ * event stream with delta/zigzag varints); this layer only frames,
+ * checksums, and detects truncation. Errors raise
+ * traceio::FormatError — this library sits below src/sim and cannot
+ * depend on the SimError hierarchy; src/trace converts.
+ */
+
+#ifndef UBRC_COMMON_TRACE_IO_HH
+#define UBRC_COMMON_TRACE_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ubrc::traceio
+{
+
+/** A structurally invalid trace: bad magic, CRC mismatch, truncated
+ *  section, malformed varint, or an unreadable file. */
+class FormatError : public std::runtime_error
+{
+  public:
+    explicit FormatError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** 8-byte file magic ("UBRCTRC" + NUL). */
+inline constexpr char traceMagic[8] = {'U', 'B', 'R', 'C',
+                                       'T', 'R', 'C', '\0'};
+
+// Section identifiers.
+inline constexpr uint8_t sectionMeta = 0x01;   ///< JSON metadata text
+inline constexpr uint8_t sectionEvents = 0x02; ///< event-stream chunk
+inline constexpr uint8_t sectionEnd = 0x7F;    ///< empty terminator
+
+/** CRC32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range. */
+uint32_t crc32(const void *data, size_t len);
+
+/** Append an LEB128-style varint (7 bits per byte, LSB first). */
+void putVarint(std::string &out, uint64_t v);
+
+/** Append a zigzag-coded signed varint. */
+void putZigzag(std::string &out, int64_t v);
+
+/**
+ * Bounds-checked cursor over an in-memory payload. Every read throws
+ * FormatError on overrun or on a varint wider than 64 bits, so a
+ * corrupt payload can never walk off the buffer.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : in(data) {}
+
+    uint8_t byte();
+    uint64_t varint();
+    int64_t zigzag();
+
+    /** Consume `len` bytes in one bounds check (no per-byte loop). */
+    std::string_view bytes(size_t len);
+
+    size_t remaining() const { return in.size() - pos; }
+    bool atEnd() const { return pos == in.size(); }
+    size_t offset() const { return pos; }
+
+  private:
+    std::string_view in;
+    size_t pos = 0;
+};
+
+/**
+ * Streaming writer: append sections, then write the complete file
+ * (magic + version + sections + END terminator) in one pass.
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(uint32_t version);
+
+    /** Append one section (payload is framed and CRC-protected). */
+    void section(uint8_t id, std::string_view payload);
+
+    /** The complete file image, END terminator included. */
+    std::string bytes() const;
+
+    /** Write bytes() to `path`. Returns false on any I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::string out;
+};
+
+/** One decoded section. */
+struct TraceSection
+{
+    uint8_t id = 0;
+    std::string payload;
+};
+
+/** A fully parsed and CRC-verified trace container. */
+struct TraceContainer
+{
+    uint32_t version = 0;
+    std::vector<TraceSection> sections;
+
+    /** Concatenated payloads of every section with `id`, in file
+     *  order (large event streams are chunked). */
+    std::string payload(uint8_t id) const;
+
+    /** True if at least one section with `id` is present. */
+    bool has(uint8_t id) const;
+};
+
+/**
+ * Parse a trace container from memory. Verifies the magic, every
+ * section CRC, and the END terminator (a missing terminator or bytes
+ * after it mean truncation or corruption). Throws FormatError.
+ */
+TraceContainer parseTrace(std::string_view data);
+
+/** Read and parseTrace() a file. Throws FormatError (unreadable file
+ *  included). */
+TraceContainer readTraceFile(const std::string &path);
+
+} // namespace ubrc::traceio
+
+#endif // UBRC_COMMON_TRACE_IO_HH

@@ -30,7 +30,8 @@ enum FuClass : unsigned
 } // namespace
 
 Processor::Processor(const sim::SimConfig &config,
-                     const workload::Workload &workload)
+                     const workload::Workload &workload,
+                     const SupplierWrap &supplier_wrap)
     : cfg(config),
       work(workload),
       prog(work.program),
@@ -54,6 +55,8 @@ Processor::Processor(const sim::SimConfig &config,
     }
 
     supplier = storage::makeSupplier(cfg, statGroup);
+    if (supplier_wrap)
+        supplier = supplier_wrap(std::move(supplier), cfg, statGroup);
 
     // Physical register setup: preg 0 is the constant zero; pregs
     // 1..31 hold the initial architectural values (all zero).

@@ -42,6 +42,15 @@
 namespace ubrc::core
 {
 
+/** Provenance of a trace-replayed result (src/trace). */
+struct TraceReplayInfo
+{
+    bool replayed = false;    ///< result came from trace replay
+    bool exact = false;       ///< replay config matched the recording
+    unsigned traceVersion = 0;
+    std::string sourceHash;   ///< recorded storage-identity hash
+};
+
 /** Derived metrics of a finished simulation (see bench/). */
 struct SimResult
 {
@@ -100,14 +109,31 @@ struct SimResult
      * queries.
      */
     storage::SupplierStats supplier;
+
+    /** Replay provenance; default (replayed=false) for
+     *  execution-driven runs. */
+    TraceReplayInfo trace;
 };
 
 /** The processor. One instance simulates one workload to completion. */
 class Processor
 {
   public:
+    /**
+     * Optional decoration of the operand supplier at construction
+     * time: receives the supplier the registry built, plus the
+     * Processor's config copy and stat group, and returns the
+     * supplier the core will use. The trace recorder (src/trace)
+     * wraps here so the core stays tracing-agnostic.
+     */
+    using SupplierWrap =
+        std::function<std::unique_ptr<storage::OperandSupplier>(
+            std::unique_ptr<storage::OperandSupplier>,
+            const sim::SimConfig &, stats::StatGroup &)>;
+
     Processor(const sim::SimConfig &config,
-              const workload::Workload &workload);
+              const workload::Workload &workload,
+              const SupplierWrap &supplier_wrap = {});
     ~Processor();
 
     /** Run to HALT (or the configured limits). */

@@ -264,6 +264,12 @@ parseSweepRequest(const json::Value &doc, const AdmissionLimits &limits)
             req.deadlineMs = requireU64(v, "deadline_ms");
         } else if (key == "config") {
             applyConfig(v, req.config);
+        } else if (key == "trace_replay") {
+            req.config.traceMode = sim::TraceMode::Replay;
+            req.config.traceDir = requireString(v, "trace_replay");
+            if (req.config.traceDir.empty())
+                reject("'trace_replay' must name a non-empty trace "
+                       "directory");
         } else {
             reject("unknown request key '%s'", key.c_str());
         }

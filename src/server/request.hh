@@ -16,12 +16,16 @@
  *               "inject_rate": 0.0, "inject_seed": 1}}
  *
  * Every field except "kind" is optional and defaults to the paper's
- * design point, mirroring the ubrcsim CLI. Parsing is strict: an
- * unknown key, a wrong type, or an unknown policy name raises
- * BadRequestError naming the offending key — a typo must never
- * silently simulate the wrong machine. Admission limits (budget and
- * scale caps) are enforced here too, so everything that can reject a
- * request happens before a worker is occupied.
+ * design point, mirroring the ubrcsim CLI. An optional
+ * "trace_replay": "<dir>" switches the run to trace replay against
+ * <dir>/<workload>.ubrct on the server's filesystem (see src/trace);
+ * admission probes the trace file so a missing or corrupt trace is
+ * rejected with kind "trace format" before a worker is occupied.
+ * Parsing is strict: an unknown key, a wrong type, or an unknown
+ * policy name raises BadRequestError naming the offending key — a
+ * typo must never silently simulate the wrong machine. Admission
+ * limits (budget and scale caps) are enforced here too, so everything
+ * that can reject a request happens before a worker is occupied.
  */
 
 #ifndef UBRC_SERVER_REQUEST_HH

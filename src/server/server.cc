@@ -6,6 +6,7 @@
 
 #include "sim/results_json.hh"
 #include "sim/runner.hh"
+#include "trace/trace_replay.hh"
 #include "workload/workload.hh"
 
 namespace ubrc::server
@@ -189,6 +190,12 @@ SweepServer::handleFrame(const std::string &line)
 
         SweepRequest req = parseSweepRequest(doc, opts.limits);
         req.config.validate(); // ConfigError on inconsistent knobs
+        // Replay admission: a missing or corrupt trace file is the
+        // client's problem, rejected (kind "trace format") before a
+        // worker is occupied.
+        if (req.config.traceMode == sim::TraceMode::Replay)
+            trace::probeTraceFile(trace::traceFilePath(
+                req.config.traceDir, req.workloadName));
         if (req.deadlineMs == 0)
             req.deadlineMs = opts.defaultDeadlineMs;
 

@@ -41,6 +41,17 @@ toString(RegScheme s)
     return "?";
 }
 
+const char *
+toString(TraceMode m)
+{
+    switch (m) {
+      case TraceMode::Off: return "off";
+      case TraceMode::Record: return "record";
+      case TraceMode::Replay: return "replay";
+    }
+    return "?";
+}
+
 SimConfig
 SimConfig::useBasedCache()
 {
@@ -212,6 +223,15 @@ SimConfig::validate() const
     if (inject.enabled() && !(inject.targets & inject::TargetAll))
         bad("fault injection enabled (rate=%g) but no valid target "
             "class is selected in inject.targets", inject.rate);
+
+    // --- operand tracing ---
+    if (traceMode != TraceMode::Off && traceDir.empty())
+        bad("traceMode=%s requires a trace directory",
+            toString(traceMode));
+    if (traceMode != TraceMode::Off && inject.enabled())
+        bad("fault injection cannot be combined with trace %s: "
+            "injected faults mutate supplier state outside the "
+            "recorded operand stream", toString(traceMode));
 }
 
 std::string

@@ -37,6 +37,21 @@ enum class RegScheme
 
 const char *toString(RegScheme s);
 
+/** Operand-trace handling for a run (src/trace). */
+enum class TraceMode
+{
+    /** Plain execution-driven simulation. */
+    Off,
+    /** Execution-driven, recording the operand-event stream to
+     *  `traceDir` for later replay. */
+    Record,
+    /** Trace-driven: replay a recorded stream from `traceDir`
+     *  against this storage configuration; no core is simulated. */
+    Replay,
+};
+
+const char *toString(TraceMode m);
+
 /** Complete machine configuration. */
 struct SimConfig
 {
@@ -118,6 +133,12 @@ struct SimConfig
      * use-count pollution.
      */
     bool perfectBranchPrediction = false;
+
+    // --- operand tracing (src/trace) ---
+    TraceMode traceMode = TraceMode::Off;
+    /** Trace directory (one `<workload>.ubrct` file per workload);
+     *  required when traceMode != Off. */
+    std::string traceDir;
 
     /** Issue-to-execute distance for this storage scheme. */
     Cycle

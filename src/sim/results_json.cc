@@ -114,6 +114,18 @@ writeSimResult(json::Writer &w, const core::SimResult &r)
     w.field("rename_stalls_iq", r.renameStallsIq);
     w.endObject();
 
+    // Replay provenance is appended only for trace-driven results so
+    // execution-driven documents stay byte-identical to schema
+    // version 1 output from before the trace subsystem existed.
+    if (r.trace.replayed) {
+        w.key("trace").beginObject();
+        w.field("replayed", r.trace.replayed);
+        w.field("exact", r.trace.exact);
+        w.field("trace_version", r.trace.traceVersion);
+        w.field("source_hash", r.trace.sourceHash);
+        w.endObject();
+    }
+
     w.key("supplier");
     writeSupplierStats(w, r.supplier);
 
@@ -198,6 +210,13 @@ writeWorkloadRun(json::Writer &w, const WorkloadRun &r)
         w.nullField("error");
         w.field("ipc", r.result.ipc);
     }
+    w.field("wall_seconds", r.wallSeconds);
+    if (!r.failed && r.wallSeconds > 0)
+        w.field("sim_insts_per_second",
+                static_cast<double>(r.result.instsRetired) /
+                    r.wallSeconds);
+    else
+        w.nullField("sim_insts_per_second");
     w.key("result");
     writeSimResult(w, r.result);
     w.endObject();
@@ -225,6 +244,21 @@ writeSuiteResult(json::Writer &w, const SuiteResult &s)
         w.nullField("mean_ipc");
         w.nullField("mean_miss_per_operand");
     }
+
+    // Simulator throughput across the suite, for the replay-speedup
+    // acceptance check and for tracking throughput regressions.
+    const uint64_t insts_total = s.total(
+        [](const core::SimResult &r) { return r.instsRetired; });
+    double wall_total = 0;
+    for (const auto &r : s.runs)
+        if (!r.failed)
+            wall_total += r.wallSeconds;
+    w.field("insts_retired_total", insts_total);
+    if (s.numOk() && wall_total > 0)
+        w.field("sim_instructions_per_second",
+                static_cast<double>(insts_total) / wall_total);
+    else
+        w.nullField("sim_instructions_per_second");
 
     w.key("failures").beginArray();
     for (const auto &r : s.runs) {

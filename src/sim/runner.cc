@@ -12,6 +12,8 @@
 
 #include "common/log.hh"
 #include "common/thread_annotations.hh"
+#include "trace/trace_recorder.hh"
+#include "trace/trace_replay.hh"
 
 namespace ubrc::sim
 {
@@ -63,6 +65,20 @@ runOne(const SimConfig &config, const workload::Workload &workload,
     if (max_insts)
         cfg.maxInsts = max_insts;
     cfg.validate();
+
+    if (cfg.traceMode == TraceMode::Replay)
+        return trace::replayRun(cfg, workload.name);
+
+    if (cfg.traceMode == TraceMode::Record) {
+        trace::TraceRecorder rec;
+        core::Processor proc(cfg, workload,
+                             trace::recordingWrap(rec));
+        proc.run();
+        trace::writeRecordedTrace(cfg, workload.name, proc, rec,
+                                  cfg.traceDir);
+        return proc.result();
+    }
+
     core::Processor proc(cfg, workload);
     proc.run();
     return proc.result();
@@ -104,6 +120,23 @@ makeRunPoll(const RunControl &ctl)
     };
 }
 
+/** The replay-loop equivalent of makeRunPoll: no core, no snapshot. */
+trace::ReplayPoll
+makeReplayPoll(const RunControl &ctl)
+{
+    return [&ctl](Cycle c) {
+        if (ctl.cancel && ctl.cancel->load(std::memory_order_relaxed))
+            throw CanceledError(detail::formatString(
+                "replay canceled at cycle %lld",
+                static_cast<long long>(c)));
+        if (ctl.hasDeadline &&
+            std::chrono::steady_clock::now() >= ctl.deadline)
+            throw DeadlineExceededError(detail::formatString(
+                "deadline exceeded at replay cycle %lld",
+                static_cast<long long>(c)));
+    };
+}
+
 } // namespace
 
 RunOutcome
@@ -116,13 +149,39 @@ runOneChecked(const SimConfig &config, const workload::Workload &workload,
     cfg.validate();
 
     RunOutcome out;
-    core::Processor proc(cfg, workload);
+
+    if (cfg.traceMode == TraceMode::Replay) {
+        try {
+            out.result = trace::replayRun(cfg, workload.name,
+                                          ctl.engaged()
+                                              ? makeReplayPoll(ctl)
+                                              : trace::ReplayPoll{});
+        } catch (const ConfigError &) {
+            throw; // a bad config is a caller bug, not a run hazard
+        } catch (const SimError &err) {
+            out.ok = false;
+            out.kind = err.kind();
+            out.message = err.what();
+        }
+        return out;
+    }
+
+    const bool recording = cfg.traceMode == TraceMode::Record;
+    trace::TraceRecorder rec;
+    core::Processor proc(cfg, workload,
+                         recording ? trace::recordingWrap(rec)
+                                   : core::Processor::SupplierWrap{});
     try {
         if (ctl.engaged())
             proc.run(makeRunPoll(ctl), ctl.pollIntervalCycles);
         else
             proc.run();
         out.result = proc.result();
+        // Only completed runs leave a trace behind: a partial stream
+        // would replay into silently truncated statistics.
+        if (recording)
+            trace::writeRecordedTrace(cfg, workload.name, proc, rec,
+                                      cfg.traceDir);
     } catch (const ConfigError &) {
         throw; // a bad config is a caller bug, not a run hazard
     } catch (const SimError &err) {
@@ -147,8 +206,13 @@ runSuiteEntry(const SimConfig &config, const std::string &name,
               const workload::Workload &w, uint64_t max_insts,
               const RunControl &ctl)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     RunOutcome run = runOneChecked(config, w, max_insts, ctl);
     WorkloadRun wr;
+    wr.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     wr.workload = name;
     wr.result = run.result;
     if (!run.ok) {

@@ -84,6 +84,8 @@ struct WorkloadRun
     bool failed = false;
     ErrorKind errorKind = ErrorKind::Invariant; ///< valid when failed
     std::string error;           ///< error text, empty unless failed
+    /** Wall-clock duration of this run (0 outside runSuite). */
+    double wallSeconds = 0;
 };
 
 /** Results of one configuration across a workload suite. */
@@ -143,6 +145,12 @@ struct SuiteResult
 /**
  * Run one workload under one configuration. Validates the config and
  * propagates SimError (divergence, deadlock, ...) to the caller.
+ *
+ * config.traceMode selects the engine: Record runs execution-driven
+ * and writes `<traceDir>/<workload>.ubrct` on success; Replay skips
+ * the core entirely and re-evaluates the storage configuration
+ * against the recorded trace (TraceFormatError on a bad trace file).
+ *
  * @param max_insts If nonzero, retire at most this many instructions.
  */
 core::SimResult runOne(const SimConfig &config,

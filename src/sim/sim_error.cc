@@ -15,6 +15,7 @@ toString(ErrorKind kind)
       case ErrorKind::DeadlineExceeded: return "deadline exceeded";
       case ErrorKind::QueueFull: return "queue full";
       case ErrorKind::Canceled: return "canceled";
+      case ErrorKind::TraceFormat: return "trace format";
     }
     return "?";
 }
@@ -31,6 +32,7 @@ exitCodeFor(ErrorKind kind)
       case ErrorKind::DeadlineExceeded: return 7;
       case ErrorKind::QueueFull: return 8;
       case ErrorKind::Canceled: return 9;
+      case ErrorKind::TraceFormat: return 10;
     }
     return 1;
 }

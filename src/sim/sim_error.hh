@@ -51,6 +51,8 @@ enum class ErrorKind
     QueueFull,
     /** Run canceled before completion (drain or interrupt). */
     Canceled,
+    /** Structurally invalid or unreadable operand trace file. */
+    TraceFormat,
 };
 
 const char *toString(ErrorKind kind);
@@ -58,9 +60,9 @@ const char *toString(ErrorKind kind);
 /**
  * Process exit code for an error kind: 2 = config error, 3 = checker
  * divergence, 4 = deadlock, 5 = internal invariant, 6 = bad request,
- * 7 = deadline exceeded, 8 = queue full, 9 = canceled. The
- * authoritative registry lives in DESIGN.md and is cross-checked by
- * ubrc-lint (rule exit-codes).
+ * 7 = deadline exceeded, 8 = queue full, 9 = canceled, 10 = trace
+ * format. The authoritative registry lives in DESIGN.md and is
+ * cross-checked by ubrc-lint (rule exit-codes).
  */
 int exitCodeFor(ErrorKind kind);
 
@@ -180,6 +182,20 @@ class CanceledError : public SimError
   public:
     explicit CanceledError(const std::string &message)
         : SimError(ErrorKind::Canceled, message)
+    {}
+};
+
+/**
+ * An operand trace file was missing, unreadable, or structurally
+ * invalid: bad magic, CRC mismatch, truncation, version skew, or
+ * malformed metadata/events. Raised before any cycle is replayed;
+ * never carries a snapshot.
+ */
+class TraceFormatError : public SimError
+{
+  public:
+    explicit TraceFormatError(const std::string &message)
+        : SimError(ErrorKind::TraceFormat, message)
     {}
 };
 

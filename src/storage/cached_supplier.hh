@@ -29,6 +29,12 @@ class CachedSupplier : public OperandSupplier
 
     const char *name() const override { return "cached"; }
 
+    /** Retirement releases the decoupled index reservation. */
+    OptionalNotifications optionalNotifications() const override
+    {
+        return {.producerRetired = true};
+    }
+
     DestAlloc allocateDest(PhysReg preg, Addr pc,
                            uint64_t ctrl) override;
     void onInitialValue(PhysReg preg) override;

@@ -115,6 +115,27 @@ struct SupplierStats
     double douAccuracy = 0;
 };
 
+/**
+ * Which purely-informational notifications a supplier actually reacts
+ * to. The four flagged callbacks are no-ops on the base class; trace
+ * replay (src/trace/trace_replay.cc) skips the corresponding event
+ * kinds for suppliers that leave a flag false, which is a large share
+ * of a trace's event volume.
+ *
+ * CONTRACT: any supplier that overrides onConsumerDone,
+ * onArchReassigned / onArchReassignCancelled, or onProducerRetired
+ * MUST set the matching flag in its optionalNotifications() override,
+ * or replay will silently starve that handler. The exact-replay
+ * fidelity tests catch an untruthful declaration (replayed stats stop
+ * matching execution).
+ */
+struct OptionalNotifications
+{
+    bool consumerDone = false;    ///< reacts to onConsumerDone
+    bool archReassign = false;    ///< onArchReassigned / Cancelled
+    bool producerRetired = false; ///< reacts to onProducerRetired
+};
+
 /** A register-storage organization behind the execution core. */
 class OperandSupplier
 {
@@ -128,6 +149,16 @@ class OperandSupplier
 
     /** Scheme name for logs and diagnostics. */
     virtual const char *name() const = 0;
+
+    /**
+     * Which optional notifications this supplier reacts to (see
+     * OptionalNotifications for the replay-skipping contract). The
+     * base leaves every flag false, matching its no-op handlers.
+     */
+    virtual OptionalNotifications optionalNotifications() const
+    {
+        return {};
+    }
 
     // --- rename -------------------------------------------------------
 

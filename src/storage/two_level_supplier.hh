@@ -24,6 +24,12 @@ class TwoLevelSupplier : public OperandSupplier
 
     const char *name() const override { return "two-level"; }
 
+    /** Overwrite tracking and last-use eviction both need these. */
+    OptionalNotifications optionalNotifications() const override
+    {
+        return {.consumerDone = true, .archReassign = true};
+    }
+
     bool canAllocateDest() const override { return file.canAllocate(); }
     void onConsumerRenamed(PhysReg src, uint32_t actual_uses,
                            Addr producer_pc,

@@ -1,0 +1,240 @@
+#include "trace/trace_format.hh"
+
+#include <string>
+
+#include "common/trace_io.hh"
+
+namespace ubrc::trace
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw traceio::FormatError("trace events: " + what);
+}
+
+/** Fast-path slack: the longest fixed-arg event is 61 bytes (a
+ *  10-byte delta varint, the kind byte, a 10-byte zigzag, four
+ *  10-byte args), and every varint self-limits to 10 bytes. */
+constexpr ptrdiff_t fastSlackBytes = 64;
+
+[[noreturn]] void
+overrun(const uint8_t *p, const uint8_t *base)
+{
+    bad("unexpected end of payload at offset " +
+        std::to_string(p - base));
+}
+
+template <bool Checked>
+inline uint64_t
+readVarint(const uint8_t *&p, const uint8_t *end,
+           const uint8_t *base)
+{
+    if (Checked && p == end)
+        overrun(p, base);
+    uint64_t v = *p++;
+    if (!(v & 0x80))
+        return v;
+    v &= 0x7f;
+    unsigned shift = 7;
+    while (true) {
+        if (Checked && p == end)
+            overrun(p, base);
+        const uint64_t b = *p++;
+        v |= (b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            bad("varint wider than 64 bits at offset " +
+                std::to_string(p - base));
+    }
+}
+
+template <bool Checked>
+inline int64_t
+readZigzag(const uint8_t *&p, const uint8_t *end,
+           const uint8_t *base)
+{
+    const uint64_t u = readVarint<Checked>(p, end, base);
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+} // namespace
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::InitialValue:
+        return "initial_value";
+      case EventKind::ConsumerRenamed:
+        return "consumer_renamed";
+      case EventKind::AllocDest:
+        return "alloc_dest";
+      case EventKind::ArchReassigned:
+        return "arch_reassigned";
+      case EventKind::ArchReassignCancelled:
+        return "arch_reassign_cancelled";
+      case EventKind::BypassRead:
+        return "bypass_read";
+      case EventKind::ReadOperand:
+        return "read_operand";
+      case EventKind::OperandMiss:
+        return "operand_miss";
+      case EventKind::Fill:
+        return "fill";
+      case EventKind::ConsumerDone:
+        return "consumer_done";
+      case EventKind::ValueProduced:
+        return "value_produced";
+      case EventKind::InsertDecision:
+        return "insert_decision";
+      case EventKind::ProducerRetired:
+        return "producer_retired";
+      case EventKind::ValueFreed:
+        return "value_freed";
+      case EventKind::DestSquashed:
+        return "dest_squashed";
+      case EventKind::RecoverMappings:
+        return "recover_mappings";
+    }
+    return "unknown";
+}
+
+unsigned
+argCountOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::ConsumerRenamed:
+      case EventKind::ValueFreed:
+        return 4;
+      case EventKind::AllocDest:
+        return 3;
+      case EventKind::BypassRead:
+        return 2;
+      case EventKind::RecoverMappings:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &e, Cycle &prev_tick)
+{
+    traceio::putVarint(out,
+                       static_cast<uint64_t>(e.tick - prev_tick));
+    out.push_back(static_cast<char>(e.kind));
+    traceio::putZigzag(out, e.arg - e.tick);
+    const uint64_t args[4] = {e.a, e.b, e.c, e.d};
+    for (unsigned i = 0; i < argCountOf(e.kind); ++i)
+        traceio::putVarint(out, args[i]);
+    if (e.kind == EventKind::RecoverMappings) {
+        traceio::putVarint(out, e.regs.size());
+        for (PhysReg p : e.regs)
+            traceio::putVarint(out, static_cast<uint64_t>(p));
+    }
+    prev_tick = e.tick;
+}
+
+template <bool Checked>
+bool
+EventDecoder::decodeOne(TraceEvent &e)
+{
+    const Cycle tick =
+        prev + static_cast<Cycle>(readVarint<Checked>(p, end, base));
+    if (tick < prev)
+        bad("tick overflow at offset " + std::to_string(p - base));
+    prev = tick;
+    if (Checked && p == end)
+        overrun(p, base);
+    const uint8_t kind = *p++;
+    if (kind >= numEventKinds)
+        bad("unknown event kind " + std::to_string(kind) +
+            " at offset " + std::to_string(p - base));
+
+    // The register list (RecoverMappings) is unbounded, so it is
+    // always decoded with per-byte checks; the count varint alone can
+    // also exceed the fixed-arg slack.
+    auto readRegs = [&](std::vector<PhysReg> *out) {
+        const uint64_t n = readVarint<true>(p, end, base);
+        if (n > static_cast<uint64_t>(end - p))
+            bad("recover_mappings register count " +
+                std::to_string(n) + " exceeds payload size");
+        if (out) {
+            out->reserve(n);
+            for (uint64_t i = 0; i < n; ++i)
+                out->push_back(static_cast<PhysReg>(
+                    readVarint<true>(p, end, base)));
+        } else {
+            for (uint64_t i = 0; i < n; ++i)
+                readVarint<true>(p, end, base);
+        }
+    };
+
+    if (skipMask & (1u << kind)) {
+        readVarint<Checked>(p, end, base); // zigzag arg
+        const unsigned n = argCountOf(static_cast<EventKind>(kind));
+        for (unsigned i = 0; i < n; ++i)
+            readVarint<Checked>(p, end, base);
+        if (kind == static_cast<uint8_t>(EventKind::RecoverMappings))
+            readRegs(nullptr);
+        return false;
+    }
+
+    e.tick = tick;
+    e.kind = static_cast<EventKind>(kind);
+    e.arg = tick + readZigzag<Checked>(p, end, base);
+    uint64_t args[4] = {0, 0, 0, 0};
+    const unsigned n = argCountOf(e.kind);
+    for (unsigned i = 0; i < n; ++i)
+        args[i] = readVarint<Checked>(p, end, base);
+    e.a = args[0];
+    e.b = args[1];
+    e.c = args[2];
+    e.d = args[3];
+    e.regs.clear();
+    if (e.kind == EventKind::RecoverMappings)
+        readRegs(&e.regs);
+    return true;
+}
+
+bool
+EventDecoder::next(TraceEvent &e)
+{
+    while (p != end) {
+        const bool surfaced = end - p >= fastSlackBytes
+                                  ? decodeOne<false>(e)
+                                  : decodeOne<true>(e);
+        if (surfaced)
+            return true;
+    }
+    return false;
+}
+
+std::string
+encodeEvents(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    Cycle prev = 0;
+    for (const auto &e : events)
+        appendEvent(out, e, prev);
+    return out;
+}
+
+std::vector<TraceEvent>
+decodeEvents(const std::string &payload)
+{
+    std::vector<TraceEvent> events;
+    EventDecoder dec(payload);
+    TraceEvent e;
+    while (dec.next(e))
+        events.push_back(e);
+    return events;
+}
+
+} // namespace ubrc::trace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The versioned operand-event trace format.
+ *
+ * A trace is the exact sequence of state-mutating OperandSupplier
+ * calls one execution-driven run made — producer PCs, destination
+ * registers, consumer events, degree-of-use counts, inter-use timing,
+ * and squash markers — plus a JSON metadata block with the core-side
+ * counters replay cannot re-derive. Replaying the stream against a
+ * fresh supplier (src/trace/trace_replay.hh) reproduces the
+ * cache-affecting statistics of the recorded run bit-for-bit without
+ * re-simulating fetch, branch prediction, memory, or scheduling.
+ *
+ * Wire encoding of one event (inside a traceio EVENTS section):
+ *
+ *   varint  delta_tick   (tick - previous event's tick; >= 0)
+ *   u8      kind         (EventKind)
+ *   zigzag  arg - tick   (cycle argument of cycle-bearing calls;
+ *                         equals tick for the rest, encoding to one
+ *                         zero byte)
+ *   varint* args         (kind-specific, see the table in DESIGN.md)
+ *
+ * `traceVersion` MUST be bumped whenever the serialized event struct
+ * or the per-kind argument list changes; ubrc-lint (rule
+ * trace-version) cross-checks this header against the DESIGN.md
+ * format table the same way the exit-code registry is checked.
+ */
+
+#ifndef UBRC_TRACE_TRACE_FORMAT_HH
+#define UBRC_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/trace_io.hh"
+#include "common/types.hh"
+
+namespace ubrc::trace
+{
+
+/** Serialized trace format version (see DESIGN.md for the registry). */
+inline constexpr uint32_t traceVersion = 1;
+
+/** File extension for trace files (<dir>/<workload>.ubrct). */
+inline constexpr const char *traceFileExtension = ".ubrct";
+
+/**
+ * One recorded supplier interaction. Codes are wire format: never
+ * renumber, only append (and bump traceVersion).
+ */
+enum class EventKind : uint8_t
+{
+    InitialValue = 0,         ///< onInitialValue(a)
+    ConsumerRenamed = 1,      ///< onConsumerRenamed(a, b, c, d)
+    AllocDest = 2,            ///< allocateDest(a, b, c)
+    ArchReassigned = 3,       ///< onArchReassigned(a)
+    ArchReassignCancelled = 4, ///< onArchReassignCancelled(a)
+    BypassRead = 5,           ///< onBypassRead(a, b != 0)
+    ReadOperand = 6,          ///< readOperand(a, arg)
+    OperandMiss = 7,          ///< onOperandMiss(a, arg)
+    Fill = 8,                 ///< onFill(a, arg)
+    ConsumerDone = 9,         ///< onConsumerDone(a)
+    ValueProduced = 10,       ///< onValueProduced(a, arg)
+    InsertDecision = 11,      ///< onInsertDecision(a, arg)
+    ProducerRetired = 12,     ///< onProducerRetired(a)
+    ValueFreed = 13,          ///< onValueFreed(a, b, c, d, arg)
+    DestSquashed = 14,        ///< onDestSquashed(a, arg)
+    RecoverMappings = 15,     ///< recoverMappings(regs, arg)
+};
+
+/** Number of defined event kinds (decode validation bound). */
+inline constexpr unsigned numEventKinds = 16;
+
+const char *toString(EventKind kind);
+
+/**
+ * One decoded trace event. `tick` is the simulation cycle the event
+ * must be delivered in (the supplier's last tick() cycle at record
+ * time; non-decreasing across the stream). `arg` is the cycle
+ * argument of cycle-bearing calls — usually equal to tick, but e.g.
+ * onOperandMiss receives the instruction's exec-start cycle.
+ */
+struct TraceEvent
+{
+    Cycle tick = 0;
+    Cycle arg = 0;
+    EventKind kind = EventKind::InitialValue;
+    uint64_t a = 0, b = 0, c = 0, d = 0;
+    /** RecoverMappings only: the live architectural mappings. */
+    std::vector<PhysReg> regs;
+
+    bool operator==(const TraceEvent &o) const = default;
+};
+
+/** Number of generic varint arguments (a..d) carried by a kind. */
+unsigned argCountOf(EventKind kind);
+
+/**
+ * Append one event's wire bytes to `out`. `prev_tick` carries the
+ * tick delta-encoding state between calls — initialize it to 0 at
+ * stream start and never reset mid-stream. The recorder encodes with
+ * this directly, so a multi-million-event run never materializes a
+ * TraceEvent vector.
+ */
+void appendEvent(std::string &out, const TraceEvent &e,
+                 Cycle &prev_tick);
+
+/**
+ * Streaming decoder over EVENTS-section payload bytes. next() refills
+ * the caller's event in place, so decoding a whole trace reuses one
+ * TraceEvent (and its regs buffer) instead of allocating millions.
+ * Decoding is pointer-based: events with at least 64 payload bytes of
+ * slack take an unchecked fast path (a varint self-limits to 10
+ * bytes, and the longest fixed-arg event is 61), the tail falls back
+ * to per-byte bounds checks. Throws traceio::FormatError on a
+ * malformed stream (unknown kind, tick overflow, truncation). The
+ * payload must outlive the decoder.
+ */
+class EventDecoder
+{
+  public:
+    explicit EventDecoder(std::string_view payload)
+        : p(reinterpret_cast<const uint8_t *>(payload.data())),
+          end(p + payload.size()), base(p)
+    {}
+
+    /**
+     * Skip events whose kind bit (1 << kind) is set in `mask`: they
+     * are parsed past (the tick delta chain stays in sync) but never
+     * surfaced through next(). Replay uses this to drop notification
+     * kinds the replayed supplier declared it ignores
+     * (storage::OptionalNotifications).
+     */
+    void setSkipMask(uint32_t mask) { skipMask = mask; }
+
+    /** Decode the next surfaced event into `e`; false at stream end. */
+    bool next(TraceEvent &e);
+
+  private:
+    template <bool Checked> bool decodeOne(TraceEvent &e);
+
+    const uint8_t *p;
+    const uint8_t *end;
+    const uint8_t *base;
+    Cycle prev = 0;
+    uint32_t skipMask = 0;
+};
+
+/** Encode an event stream into EVENTS-section payload bytes. */
+std::string encodeEvents(const std::vector<TraceEvent> &events);
+
+/**
+ * Decode an EVENTS-section payload. Throws traceio::FormatError on a
+ * malformed stream (unknown kind, decreasing ticks, truncation).
+ * Convenience wrapper over EventDecoder for tests and small traces;
+ * replay streams instead of calling this.
+ */
+std::vector<TraceEvent> decodeEvents(const std::string &payload);
+
+} // namespace ubrc::trace
+
+#endif // UBRC_TRACE_TRACE_FORMAT_HH

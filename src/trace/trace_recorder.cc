@@ -1,0 +1,509 @@
+#include "trace/trace_recorder.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/trace_io.hh"
+#include "regcache/policies.hh"
+#include "sim/config.hh"
+#include "sim/sim_error.hh"
+
+namespace ubrc::trace
+{
+
+namespace
+{
+
+/** Extract one named scalar from a stat group (0 when absent). */
+struct ScalarFinder : stats::StatVisitor
+{
+    explicit ScalarFinder(std::string stat_name)
+        : want(std::move(stat_name))
+    {}
+
+    void
+    visitScalar(const std::string &name, const stats::Scalar &s) override
+    {
+        if (name == want)
+            found = s.value();
+    }
+
+    void visitMean(const std::string &, const stats::Mean &) override {}
+    void visitDistribution(const std::string &,
+                           const stats::Distribution &) override
+    {}
+
+    std::string want;
+    uint64_t found = 0;
+};
+
+uint64_t
+metaU64(const json::Value &doc, const char *key)
+{
+    const json::Value *v = doc.find(key);
+    if (!v || !v->isNumber() || v->number < 0)
+        throw traceio::FormatError(
+            std::string("trace meta: missing or invalid field '") +
+            key + "'");
+    return static_cast<uint64_t>(v->number);
+}
+
+std::string
+metaStr(const json::Value &doc, const char *key)
+{
+    const json::Value *v = doc.find(key);
+    if (!v || !v->isString())
+        throw traceio::FormatError(
+            std::string("trace meta: missing or invalid field '") +
+            key + "'");
+    return v->string;
+}
+
+} // namespace
+
+std::string
+storageIdentity(const sim::SimConfig &cfg)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "scheme=%s rf_latency=%lld backing_latency=%lld "
+        "num_phys_regs=%u "
+        "rc={entries=%u assoc=%u insertion=%s replacement=%s "
+        "indexing=%s max_use=%u unknown_default=%u fill_default=%u "
+        "high_use_threshold=%u} "
+        "dou={entries=%u assoc=%u tag_bits=%u pred_bits=%u conf_max=%u "
+        "conf_threshold=%u ctrl_bits=%u} "
+        "two_level={l1_entries=%u free_threshold=%u bandwidth=%u "
+        "l2_latency=%lld} "
+        "classify_misses=%d",
+        sim::toString(cfg.scheme),
+        static_cast<long long>(cfg.rfLatency),
+        static_cast<long long>(cfg.backingLatency), cfg.numPhysRegs,
+        cfg.rc.entries, cfg.rc.assoc,
+        regcache::toString(cfg.rc.insertion),
+        regcache::toString(cfg.rc.replacement),
+        regcache::toString(cfg.rc.indexing), cfg.rc.maxUse,
+        cfg.rc.unknownDefault, cfg.rc.fillDefault,
+        cfg.rc.highUseThreshold, cfg.dou.entries, cfg.dou.assoc,
+        cfg.dou.tagBits, cfg.dou.predBits, cfg.dou.confMax,
+        cfg.dou.confThreshold, cfg.dou.ctrlBits,
+        cfg.twoLevel.l1Entries, cfg.twoLevel.freeThreshold,
+        cfg.twoLevel.bandwidth,
+        static_cast<long long>(cfg.twoLevel.l2Latency),
+        cfg.classifyMisses ? 1 : 0);
+    return buf;
+}
+
+std::string
+fnv1aHex(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+traceFilePath(const std::string &dir, const std::string &workload)
+{
+    return dir + "/" + workload + traceFileExtension;
+}
+
+std::string
+encodeMeta(const TraceMeta &m)
+{
+    json::Writer w(false);
+    w.beginObject();
+    w.field("workload", m.workload);
+    w.field("max_insts", m.maxInsts);
+    w.field("scheme", m.scheme);
+    w.field("config", m.configDescribe);
+    w.field("identity", m.identity);
+    w.field("identity_hash", m.identityHash);
+    w.field("num_phys_regs", m.numPhysRegs);
+    w.field("cycles", m.cycles);
+    w.field("insts_retired", m.instsRetired);
+    w.field("op_file_fill_reads", m.opFileFillReads);
+    w.field("values_produced", m.valuesProduced);
+    w.field("branches_retired", m.branchesRetired);
+    w.field("branch_mispredicts", m.branchMispredicts);
+    w.field("mini_replays", m.miniReplays);
+    w.field("issue_group_squashes", m.issueGroupSquashes);
+    w.field("mem_order_violations", m.memOrderViolations);
+    w.field("fetch_blocks", m.fetchBlocks);
+    w.field("rename_stalls_regs", m.renameStallsRegs);
+    w.field("rename_stalls_rob", m.renameStallsRob);
+    w.field("rename_stalls_iq", m.renameStallsIq);
+    w.field("median_empty_time", m.medianEmptyTime);
+    w.field("median_live_time", m.medianLiveTime);
+    w.field("median_dead_time", m.medianDeadTime);
+    w.field("allocated_p50", m.allocatedP50);
+    w.field("allocated_p90", m.allocatedP90);
+    w.field("live_p50", m.liveP50);
+    w.field("live_p90", m.liveP90);
+    w.endObject();
+    return w.str();
+}
+
+TraceMeta
+parseMeta(const std::string &json_text)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(json_text);
+    } catch (const json::ParseError &e) {
+        throw traceio::FormatError(
+            std::string("trace meta: invalid JSON: ") + e.what());
+    }
+    if (!doc.isObject())
+        throw traceio::FormatError(
+            "trace meta: top level is not an object");
+
+    TraceMeta m;
+    m.workload = metaStr(doc, "workload");
+    m.maxInsts = metaU64(doc, "max_insts");
+    m.scheme = metaStr(doc, "scheme");
+    m.configDescribe = metaStr(doc, "config");
+    m.identity = metaStr(doc, "identity");
+    m.identityHash = metaStr(doc, "identity_hash");
+    m.numPhysRegs = metaU64(doc, "num_phys_regs");
+    m.cycles = metaU64(doc, "cycles");
+    m.instsRetired = metaU64(doc, "insts_retired");
+    m.opFileFillReads = metaU64(doc, "op_file_fill_reads");
+    m.valuesProduced = metaU64(doc, "values_produced");
+    m.branchesRetired = metaU64(doc, "branches_retired");
+    m.branchMispredicts = metaU64(doc, "branch_mispredicts");
+    m.miniReplays = metaU64(doc, "mini_replays");
+    m.issueGroupSquashes = metaU64(doc, "issue_group_squashes");
+    m.memOrderViolations = metaU64(doc, "mem_order_violations");
+    m.fetchBlocks = metaU64(doc, "fetch_blocks");
+    m.renameStallsRegs = metaU64(doc, "rename_stalls_regs");
+    m.renameStallsRob = metaU64(doc, "rename_stalls_rob");
+    m.renameStallsIq = metaU64(doc, "rename_stalls_iq");
+    m.medianEmptyTime = metaU64(doc, "median_empty_time");
+    m.medianLiveTime = metaU64(doc, "median_live_time");
+    m.medianDeadTime = metaU64(doc, "median_dead_time");
+    m.allocatedP50 = metaU64(doc, "allocated_p50");
+    m.allocatedP90 = metaU64(doc, "allocated_p90");
+    m.liveP50 = metaU64(doc, "live_p50");
+    m.liveP90 = metaU64(doc, "live_p90");
+    return m;
+}
+
+RecordingSupplier::RecordingSupplier(
+    std::unique_ptr<storage::OperandSupplier> wrapped,
+    TraceRecorder &recorder, const sim::SimConfig &config,
+    stats::StatGroup &stat_group)
+    : OperandSupplier(config, stat_group), inner(std::move(wrapped)),
+      rec(recorder)
+{}
+
+const char *
+RecordingSupplier::name() const
+{
+    return inner->name();
+}
+
+bool
+RecordingSupplier::canAllocateDest() const
+{
+    return inner->canAllocateDest();
+}
+
+void
+RecordingSupplier::onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                                     Addr producer_pc,
+                                     uint64_t producer_ctrl)
+{
+    rec.push(EventKind::ConsumerRenamed, rec.lastTick,
+             static_cast<uint64_t>(src), actual_uses, producer_pc,
+             producer_ctrl);
+    inner->onConsumerRenamed(src, actual_uses, producer_pc,
+                             producer_ctrl);
+}
+
+storage::DestAlloc
+RecordingSupplier::allocateDest(PhysReg preg, Addr pc, uint64_t ctrl)
+{
+    rec.push(EventKind::AllocDest, rec.lastTick,
+             static_cast<uint64_t>(preg), pc, ctrl);
+    return inner->allocateDest(preg, pc, ctrl);
+}
+
+void
+RecordingSupplier::onInitialValue(PhysReg preg)
+{
+    rec.push(EventKind::InitialValue, rec.lastTick,
+             static_cast<uint64_t>(preg));
+    inner->onInitialValue(preg);
+}
+
+void
+RecordingSupplier::onArchReassigned(PhysReg prev)
+{
+    rec.push(EventKind::ArchReassigned, rec.lastTick,
+             static_cast<uint64_t>(prev));
+    inner->onArchReassigned(prev);
+}
+
+void
+RecordingSupplier::onArchReassignCancelled(PhysReg prev)
+{
+    rec.push(EventKind::ArchReassignCancelled, rec.lastTick,
+             static_cast<uint64_t>(prev));
+    inner->onArchReassignCancelled(prev);
+}
+
+Cycle
+RecordingSupplier::issueReadGate(Cycle exec_start,
+                                 Cycle producer_done) const
+{
+    return inner->issueReadGate(exec_start, producer_done);
+}
+
+void
+RecordingSupplier::onBypassRead(PhysReg src, bool first_stage)
+{
+    rec.push(EventKind::BypassRead, rec.lastTick,
+             static_cast<uint64_t>(src), first_stage ? 1 : 0);
+    inner->onBypassRead(src, first_stage);
+}
+
+storage::ReadResult
+RecordingSupplier::readOperand(PhysReg src, Cycle now)
+{
+    rec.push(EventKind::ReadOperand, now, static_cast<uint64_t>(src));
+    const storage::ReadResult r = inner->readOperand(src, now);
+    if (r == storage::ReadResult::File)
+        ++rec.fileReadResults;
+    return r;
+}
+
+Cycle
+RecordingSupplier::onOperandMiss(PhysReg src, Cycle exec_start)
+{
+    rec.push(EventKind::OperandMiss, exec_start,
+             static_cast<uint64_t>(src));
+    return inner->onOperandMiss(src, exec_start);
+}
+
+bool
+RecordingSupplier::onFill(PhysReg preg, Cycle now)
+{
+    rec.push(EventKind::Fill, now, static_cast<uint64_t>(preg));
+    return inner->onFill(preg, now);
+}
+
+void
+RecordingSupplier::onConsumerDone(PhysReg src)
+{
+    rec.push(EventKind::ConsumerDone, rec.lastTick,
+             static_cast<uint64_t>(src));
+    inner->onConsumerDone(src);
+}
+
+storage::WriteOutcome
+RecordingSupplier::onValueProduced(PhysReg preg, Cycle now)
+{
+    rec.push(EventKind::ValueProduced, now,
+             static_cast<uint64_t>(preg));
+    return inner->onValueProduced(preg, now);
+}
+
+void
+RecordingSupplier::onInsertDecision(PhysReg preg, Cycle now)
+{
+    rec.push(EventKind::InsertDecision, now,
+             static_cast<uint64_t>(preg));
+    inner->onInsertDecision(preg, now);
+}
+
+void
+RecordingSupplier::onProducerRetired(PhysReg dest)
+{
+    rec.push(EventKind::ProducerRetired, rec.lastTick,
+             static_cast<uint64_t>(dest));
+    inner->onProducerRetired(dest);
+}
+
+void
+RecordingSupplier::onValueFreed(PhysReg preg, Addr producer_pc,
+                                uint64_t producer_ctrl,
+                                uint32_t actual_uses, Cycle now)
+{
+    rec.push(EventKind::ValueFreed, now, static_cast<uint64_t>(preg),
+             producer_pc, producer_ctrl, actual_uses);
+    inner->onValueFreed(preg, producer_pc, producer_ctrl, actual_uses,
+                        now);
+}
+
+void
+RecordingSupplier::onDestSquashed(PhysReg dest, Cycle now)
+{
+    rec.push(EventKind::DestSquashed, now,
+             static_cast<uint64_t>(dest));
+    inner->onDestSquashed(dest, now);
+}
+
+bool
+RecordingSupplier::needsRecovery() const
+{
+    // Always capture post-squash mappings: schemes with a no-op
+    // recoverMappings() return an empty displaced list, which the core
+    // ignores, so recording them is execution-neutral.
+    return true;
+}
+
+storage::RecoveryResult
+RecordingSupplier::recoverMappings(const std::vector<PhysReg> &mapped,
+                                   Cycle now)
+{
+    rec.pushRegs(EventKind::RecoverMappings, now, mapped);
+    return inner->recoverMappings(mapped, now);
+}
+
+void
+RecordingSupplier::tick(Cycle now)
+{
+    rec.lastTick = now;
+    inner->tick(now);
+}
+
+void
+RecordingSupplier::sampleCycleStats()
+{
+    inner->sampleCycleStats();
+}
+
+std::vector<storage::CacheEntryView>
+RecordingSupplier::cachedEntries() const
+{
+    return inner->cachedEntries();
+}
+
+unsigned
+RecordingSupplier::cacheSets() const
+{
+    return inner->cacheSets();
+}
+
+unsigned
+RecordingSupplier::cacheAssoc() const
+{
+    return inner->cacheAssoc();
+}
+
+bool
+RecordingSupplier::corruptUseCounter(PhysReg preg, unsigned set,
+                                     unsigned bit)
+{
+    return inner->corruptUseCounter(preg, set, bit);
+}
+
+storage::SupplierStats
+RecordingSupplier::stats() const
+{
+    return inner->stats();
+}
+
+core::Processor::SupplierWrap
+recordingWrap(TraceRecorder &recorder)
+{
+    return [&recorder](std::unique_ptr<storage::OperandSupplier> inner,
+                       const sim::SimConfig &config,
+                       stats::StatGroup &stat_group) {
+        return std::make_unique<RecordingSupplier>(
+            std::move(inner), recorder, config, stat_group);
+    };
+}
+
+TraceMeta
+buildTraceMeta(const sim::SimConfig &cfg,
+               const std::string &workload_name,
+               const core::Processor &proc,
+               const TraceRecorder &recorder)
+{
+    const core::SimResult r = proc.result();
+
+    TraceMeta m;
+    m.workload = workload_name;
+    m.maxInsts = cfg.maxInsts;
+    m.scheme = sim::toString(cfg.scheme);
+    m.configDescribe = cfg.describe();
+    m.identity = storageIdentity(cfg);
+    m.identityHash = fnv1aHex(m.identity);
+    m.numPhysRegs = cfg.numPhysRegs;
+
+    m.cycles = r.cycles;
+    m.instsRetired = r.instsRetired;
+    m.opFileFillReads = r.opFile >= recorder.fileReadResults
+                            ? r.opFile - recorder.fileReadResults
+                            : 0;
+    m.valuesProduced = r.valuesProduced;
+    m.branchMispredicts = r.branchMispredicts;
+    m.miniReplays = r.miniReplays;
+    m.issueGroupSquashes = r.issueGroupSquashes;
+    m.memOrderViolations = r.memOrderViolations;
+    m.fetchBlocks = r.fetchBlocks;
+    m.renameStallsRegs = r.renameStallsRegs;
+    m.renameStallsRob = r.renameStallsRob;
+    m.renameStallsIq = r.renameStallsIq;
+    m.medianEmptyTime = r.medianEmptyTime;
+    m.medianLiveTime = r.medianLiveTime;
+    m.medianDeadTime = r.medianDeadTime;
+    m.allocatedP50 = r.allocatedP50;
+    m.allocatedP90 = r.allocatedP90;
+    m.liveP50 = r.liveP50;
+    m.liveP90 = r.liveP90;
+
+    ScalarFinder branches("branches_retired");
+    proc.statsGroup().visit(branches);
+    m.branchesRetired = branches.found;
+    return m;
+}
+
+std::string
+writeRecordedTrace(const sim::SimConfig &cfg,
+                   const std::string &workload_name,
+                   const core::Processor &proc,
+                   const TraceRecorder &recorder,
+                   const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    traceio::TraceWriter w(traceVersion);
+    w.section(traceio::sectionMeta,
+              encodeMeta(buildTraceMeta(cfg, workload_name, proc,
+                                        recorder)));
+
+    // Chunk the event stream so no single section balloons; the
+    // reader concatenates EVENTS payloads back together. The recorder
+    // already holds wire bytes, so this is pure framing.
+    static constexpr size_t chunkBytes = 1u << 20;
+    const std::string &events = recorder.wire;
+    if (events.empty()) {
+        w.section(traceio::sectionEvents, events);
+    } else {
+        for (size_t off = 0; off < events.size(); off += chunkBytes)
+            w.section(traceio::sectionEvents,
+                      std::string_view(events).substr(off, chunkBytes));
+    }
+
+    const std::string path = traceFilePath(dir, workload_name);
+    if (!w.writeFile(path))
+        throw sim::TraceFormatError("cannot write trace file '" +
+                                    path + "'");
+    return path;
+}
+
+} // namespace ubrc::trace

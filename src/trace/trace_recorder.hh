@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Trace capture: a recording decorator around any OperandSupplier.
+ *
+ * RecordingSupplier wraps the supplier the Processor would have used
+ * and appends one TraceEvent per state-mutating call — a verbatim
+ * capture of the rename/issue/execute/retire operand stream, so a
+ * replay (src/trace/trace_replay.hh) can re-drive a fresh supplier
+ * through the identical call sequence. Const queries
+ * (canAllocateDest, issueReadGate) are forwarded but not recorded:
+ * they carry no state and replay never needs them.
+ *
+ * The decorator is installed through the Processor's SupplierWrap
+ * constructor hook so the core keeps zero knowledge of tracing.
+ * needsRecovery() is forced on while recording so traces carry the
+ * post-squash architectural mappings every scheme might want — for
+ * suppliers whose recoverMappings() is a no-op this is free (the core
+ * only acts on a non-empty displaced list).
+ *
+ * writeRecordedTrace() packages the event stream plus a JSON metadata
+ * section (workload identity, storage-config identity hash, and the
+ * core-side counters replay cannot re-derive) into the CRC-protected
+ * container of common/trace_io.hh.
+ */
+
+#ifndef UBRC_TRACE_TRACE_RECORDER_HH
+#define UBRC_TRACE_TRACE_RECORDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/processor.hh"
+#include "storage/operand_supplier.hh"
+#include "trace/trace_format.hh"
+
+namespace ubrc::trace
+{
+
+/**
+ * The per-run trace metadata (META section, JSON). Carries the trace
+ * identity plus every core-side SimResult input that a replay cannot
+ * re-derive from the supplier alone.
+ */
+struct TraceMeta
+{
+    std::string workload;
+    uint64_t maxInsts = 0;
+    std::string scheme;         ///< recorded supplier scheme
+    std::string configDescribe; ///< recorded SimConfig::describe()
+    std::string identity;       ///< canonical storage identity string
+    std::string identityHash;   ///< FNV-1a-64 of identity, hex
+    uint64_t numPhysRegs = 0;
+
+    uint64_t cycles = 0;
+    uint64_t instsRetired = 0;
+    /** Backing-file reads on the miss-fill path (not supplier calls):
+     *  execution opFile minus recorded File read results. */
+    uint64_t opFileFillReads = 0;
+    uint64_t valuesProduced = 0;
+    uint64_t branchesRetired = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t miniReplays = 0;
+    uint64_t issueGroupSquashes = 0;
+    uint64_t memOrderViolations = 0;
+    uint64_t fetchBlocks = 0;
+    uint64_t renameStallsRegs = 0;
+    uint64_t renameStallsRob = 0;
+    uint64_t renameStallsIq = 0;
+    uint64_t medianEmptyTime = 0, medianLiveTime = 0,
+             medianDeadTime = 0;
+    uint64_t allocatedP50 = 0, allocatedP90 = 0;
+    uint64_t liveP50 = 0, liveP90 = 0;
+};
+
+/**
+ * Canonical description of everything about a SimConfig the storage
+ * layer can observe. Two configs with equal storage identities drive
+ * a supplier identically, so replaying a trace against an
+ * identical-identity config is exact (bit-identical stats).
+ */
+std::string storageIdentity(const sim::SimConfig &cfg);
+
+/** FNV-1a 64-bit hash of `s`, as 16 lowercase hex digits. */
+std::string fnv1aHex(const std::string &s);
+
+/** Trace file path for one workload: `<dir>/<workload>.ubrct`. */
+std::string traceFilePath(const std::string &dir,
+                          const std::string &workload);
+
+/** Serialize / parse the META section (compact JSON). parseMeta
+ *  throws traceio::FormatError on malformed metadata. */
+std::string encodeMeta(const TraceMeta &meta);
+TraceMeta parseMeta(const std::string &json_text);
+
+/**
+ * Capture sink shared by the decorator and the trace writer. Events
+ * are wire-encoded as they arrive — a multi-million-event run costs
+ * one growing byte string, never a TraceEvent vector.
+ */
+class TraceRecorder
+{
+  public:
+    /** The EVENTS-section payload encoded so far. */
+    std::string wire;
+    /** Number of events encoded into `wire`. */
+    uint64_t eventCount = 0;
+    /** readOperand() calls that were satisfied by the file. */
+    uint64_t fileReadResults = 0;
+    /** The supplier's most recent tick() cycle. */
+    Cycle lastTick = 0;
+
+    void
+    push(EventKind kind, Cycle arg, uint64_t a = 0, uint64_t b = 0,
+         uint64_t c = 0, uint64_t d = 0)
+    {
+        scratch.tick = lastTick;
+        scratch.arg = arg;
+        scratch.kind = kind;
+        scratch.a = a;
+        scratch.b = b;
+        scratch.c = c;
+        scratch.d = d;
+        appendEvent(wire, scratch, prevTick);
+        ++eventCount;
+    }
+
+    /** RecoverMappings: the only kind carrying a register list. */
+    void
+    pushRegs(EventKind kind, Cycle arg,
+             const std::vector<PhysReg> &regs)
+    {
+        scratch.regs = regs;
+        push(kind, arg);
+        scratch.regs.clear();
+    }
+
+  private:
+    TraceEvent scratch;
+    Cycle prevTick = 0;
+};
+
+/** The recording decorator (see file comment). */
+class RecordingSupplier : public storage::OperandSupplier
+{
+  public:
+    RecordingSupplier(std::unique_ptr<storage::OperandSupplier> wrapped,
+                      TraceRecorder &recorder,
+                      const sim::SimConfig &config,
+                      stats::StatGroup &stat_group);
+
+    const char *name() const override;
+
+    /** Recording forwards everything; report the wrapped interest. */
+    storage::OptionalNotifications optionalNotifications() const override
+    {
+        return inner->optionalNotifications();
+    }
+
+    bool canAllocateDest() const override;
+    void onConsumerRenamed(PhysReg src, uint32_t actual_uses,
+                           Addr producer_pc,
+                           uint64_t producer_ctrl) override;
+    storage::DestAlloc allocateDest(PhysReg preg, Addr pc,
+                                    uint64_t ctrl) override;
+    void onInitialValue(PhysReg preg) override;
+    void onArchReassigned(PhysReg prev) override;
+    void onArchReassignCancelled(PhysReg prev) override;
+    Cycle issueReadGate(Cycle exec_start,
+                        Cycle producer_done) const override;
+    void onBypassRead(PhysReg src, bool first_stage) override;
+    storage::ReadResult readOperand(PhysReg src, Cycle now) override;
+    Cycle onOperandMiss(PhysReg src, Cycle exec_start) override;
+    bool onFill(PhysReg preg, Cycle now) override;
+    void onConsumerDone(PhysReg src) override;
+    storage::WriteOutcome onValueProduced(PhysReg preg,
+                                          Cycle now) override;
+    void onInsertDecision(PhysReg preg, Cycle now) override;
+    void onProducerRetired(PhysReg dest) override;
+    void onValueFreed(PhysReg preg, Addr producer_pc,
+                      uint64_t producer_ctrl, uint32_t actual_uses,
+                      Cycle now) override;
+    void onDestSquashed(PhysReg dest, Cycle now) override;
+    bool needsRecovery() const override;
+    storage::RecoveryResult
+    recoverMappings(const std::vector<PhysReg> &mapped,
+                    Cycle now) override;
+    void tick(Cycle now) override;
+    void sampleCycleStats() override;
+    std::vector<storage::CacheEntryView> cachedEntries() const override;
+    unsigned cacheSets() const override;
+    unsigned cacheAssoc() const override;
+    bool corruptUseCounter(PhysReg preg, unsigned set,
+                           unsigned bit) override;
+    storage::SupplierStats stats() const override;
+
+  private:
+    std::unique_ptr<storage::OperandSupplier> inner;
+    TraceRecorder &rec;
+};
+
+/**
+ * A Processor::SupplierWrap that decorates the constructed supplier
+ * with a RecordingSupplier feeding `recorder`. The recorder must
+ * outlive the Processor.
+ */
+core::Processor::SupplierWrap recordingWrap(TraceRecorder &recorder);
+
+/**
+ * Assemble the META block for a finished recorded run (proc must have
+ * simulated `workload_name` under `cfg` with a recording supplier).
+ */
+TraceMeta buildTraceMeta(const sim::SimConfig &cfg,
+                         const std::string &workload_name,
+                         const core::Processor &proc,
+                         const TraceRecorder &recorder);
+
+/**
+ * Write the trace file for one recorded run into `dir` (created if
+ * missing). Throws sim::TraceFormatError if the file cannot be
+ * written. Returns the trace file path.
+ */
+std::string writeRecordedTrace(const sim::SimConfig &cfg,
+                               const std::string &workload_name,
+                               const core::Processor &proc,
+                               const TraceRecorder &recorder,
+                               const std::string &dir);
+
+} // namespace ubrc::trace
+
+#endif // UBRC_TRACE_TRACE_RECORDER_HH

@@ -1,0 +1,516 @@
+#include "trace/trace_replay.hh"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "common/trace_io.hh"
+#include "sim/config.hh"
+#include "sim/sim_error.hh"
+#include "storage/supplier_registry.hh"
+
+namespace ubrc::trace
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw sim::TraceFormatError(what);
+}
+
+/** Container + version + META checks shared by load and probe. */
+traceio::TraceContainer
+openTrace(const std::string &path)
+{
+    traceio::TraceContainer c;
+    try {
+        c = traceio::readTraceFile(path);
+    } catch (const traceio::FormatError &e) {
+        std::string msg = e.what();
+        if (msg.find(path) == std::string::npos)
+            msg += " (file '" + path + "')";
+        bad(msg);
+    }
+    if (c.version != traceVersion)
+        bad("trace version skew: file '" + path + "' has version " +
+            std::to_string(c.version) + ", this build reads version " +
+            std::to_string(traceVersion));
+    if (!c.has(traceio::sectionMeta))
+        bad("trace file '" + path + "' has no META section");
+    if (!c.has(traceio::sectionEvents))
+        bad("trace file '" + path + "' has no EVENTS section");
+    return c;
+}
+
+TraceMeta
+metaOf(const traceio::TraceContainer &c)
+{
+    try {
+        return parseMeta(c.payload(traceio::sectionMeta));
+    } catch (const traceio::FormatError &e) {
+        bad(e.what());
+    }
+}
+
+/** An adaptive-mode deferred supplier callback (fill or insert). */
+struct PendingDelivery
+{
+    Cycle due;
+    uint64_t seq; ///< schedule order; ties resolve deterministically
+    enum class Type : uint8_t { Fill, Insert } type;
+    PhysReg preg;
+    uint64_t gen; ///< value generation the callback belongs to
+};
+
+struct PendingLater
+{
+    bool
+    operator()(const PendingDelivery &a, const PendingDelivery &b) const
+    {
+        return std::tie(a.due, a.seq) > std::tie(b.due, b.seq);
+    }
+};
+
+} // namespace
+
+RecordedTrace
+loadTrace(const std::string &path)
+{
+    const traceio::TraceContainer c = openTrace(path);
+    RecordedTrace t;
+    t.version = c.version;
+    t.meta = metaOf(c);
+    t.events = c.payload(traceio::sectionEvents);
+    return t;
+}
+
+TraceMeta
+probeTraceFile(const std::string &path)
+{
+    return metaOf(openTrace(path));
+}
+
+namespace
+{
+
+/**
+ * Event kinds (1 << kind) the supplier declared it ignores
+ * (storage::OptionalNotifications). Replay skips them — parsed past
+ * without being surfaced — which removes a third or more of a typical
+ * trace's delivery volume. Only kinds whose base handlers are no-ops
+ * are eligible; the exact-fidelity tests would catch an untruthful
+ * declaration.
+ */
+uint32_t
+supplierSkipMask(const storage::OperandSupplier &s)
+{
+    const storage::OptionalNotifications ni = s.optionalNotifications();
+    uint32_t skip = 0;
+    if (!ni.consumerDone)
+        skip |= 1u << unsigned(EventKind::ConsumerDone);
+    if (!ni.archReassign)
+        skip |= (1u << unsigned(EventKind::ArchReassigned)) |
+                (1u << unsigned(EventKind::ArchReassignCancelled));
+    if (!ni.producerRetired)
+        skip |= 1u << unsigned(EventKind::ProducerRetired);
+    return skip;
+}
+
+/**
+ * The replay loop shared by the wire-streaming and pre-decoded entry
+ * points. `nextEvent()` yields the next (already skip-filtered) event
+ * or nullptr at stream end; the pointed-to event must stay valid
+ * until the following call. `cfg` must already be prepared (trace
+ * mode off, numPhysRegs forced to the recorded machine's).
+ */
+template <class NextEvent>
+core::SimResult
+replayCore(const sim::SimConfig &cfg, bool exact, uint32_t version,
+           const TraceMeta &meta, storage::OperandSupplier *supplier,
+           NextEvent &&nextEvent, const ReplayPoll &poll)
+{
+    uint64_t opBypass = 0, opCache = 0, opFileReads = 0;
+    uint64_t derivedMisses = 0;
+
+    // Adaptive mode: per-preg liveness generation so a deferred fill
+    // or insert never lands on a since-freed (or re-allocated) value.
+    struct ValueGen
+    {
+        bool alive = false;
+        uint64_t gen = 0;
+    };
+    std::vector<ValueGen> live(cfg.numPhysRegs);
+    std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                        PendingLater>
+        pending;
+    uint64_t pendingSeq = 0;
+
+    auto checkPreg = [&](uint64_t p) -> PhysReg {
+        if (p >= live.size())
+            bad("trace event references physical register " +
+                std::to_string(p) + " outside the recorded file of " +
+                std::to_string(live.size()));
+        return static_cast<PhysReg>(p);
+    };
+
+    auto deliver = [&](const TraceEvent &e, Cycle c) {
+        switch (e.kind) {
+          case EventKind::InitialValue: {
+            const PhysReg p = checkPreg(e.a);
+            live[size_t(p)] = {true, live[size_t(p)].gen + 1};
+            supplier->onInitialValue(p);
+            break;
+          }
+          case EventKind::ConsumerRenamed:
+            supplier->onConsumerRenamed(checkPreg(e.a),
+                                        static_cast<uint32_t>(e.b),
+                                        e.c, e.d);
+            break;
+          case EventKind::AllocDest: {
+            const PhysReg p = checkPreg(e.a);
+            live[size_t(p)] = {true, live[size_t(p)].gen + 1};
+            supplier->allocateDest(p, e.b, e.c);
+            break;
+          }
+          case EventKind::ArchReassigned:
+            supplier->onArchReassigned(checkPreg(e.a));
+            break;
+          case EventKind::ArchReassignCancelled:
+            supplier->onArchReassignCancelled(checkPreg(e.a));
+            break;
+          case EventKind::BypassRead:
+            ++opBypass;
+            supplier->onBypassRead(checkPreg(e.a), e.b != 0);
+            break;
+          case EventKind::ReadOperand: {
+            const PhysReg p = checkPreg(e.a);
+            switch (supplier->readOperand(p, e.arg)) {
+              case storage::ReadResult::File:
+                ++opFileReads;
+                break;
+              case storage::ReadResult::CacheHit:
+                ++opCache;
+                break;
+              case storage::ReadResult::CacheMiss:
+                if (!exact) {
+                    // Derive the miss the recorded stream cannot
+                    // know about: classify it now, fill it when the
+                    // backing read completes.
+                    ++derivedMisses;
+                    const Cycle done = supplier->onOperandMiss(p, e.arg);
+                    pending.push({std::max(done, c + 1), pendingSeq++,
+                                  PendingDelivery::Type::Fill, p,
+                                  live[size_t(p)].gen});
+                }
+                // Exact mode: the recorded OperandMiss/Fill events
+                // that followed this miss are re-issued verbatim.
+                break;
+            }
+            break;
+          }
+          case EventKind::OperandMiss:
+            if (exact)
+                supplier->onOperandMiss(checkPreg(e.a), e.arg);
+            break;
+          case EventKind::Fill:
+            if (exact)
+                supplier->onFill(checkPreg(e.a), e.arg);
+            break;
+          case EventKind::ConsumerDone:
+            supplier->onConsumerDone(checkPreg(e.a));
+            break;
+          case EventKind::ValueProduced: {
+            const PhysReg p = checkPreg(e.a);
+            const storage::WriteOutcome out =
+                supplier->onValueProduced(p, e.arg);
+            if (!exact && out.insertDecisionNextCycle)
+                pending.push({c + 1, pendingSeq++,
+                              PendingDelivery::Type::Insert, p,
+                              live[size_t(p)].gen});
+            break;
+          }
+          case EventKind::InsertDecision:
+            if (exact)
+                supplier->onInsertDecision(checkPreg(e.a), e.arg);
+            break;
+          case EventKind::ProducerRetired:
+            supplier->onProducerRetired(checkPreg(e.a));
+            break;
+          case EventKind::ValueFreed: {
+            const PhysReg p = checkPreg(e.a);
+            live[size_t(p)].alive = false;
+            supplier->onValueFreed(p, e.b, e.c,
+                                   static_cast<uint32_t>(e.d), e.arg);
+            break;
+          }
+          case EventKind::DestSquashed: {
+            const PhysReg p = checkPreg(e.a);
+            live[size_t(p)].alive = false;
+            supplier->onDestSquashed(p, e.arg);
+            break;
+          }
+          case EventKind::RecoverMappings:
+            // Execution only routes this to suppliers that ask.
+            if (supplier->needsRecovery()) {
+                for (const PhysReg p : e.regs)
+                    checkPreg(static_cast<uint64_t>(p));
+                supplier->recoverMappings(e.regs, e.arg);
+            }
+            break;
+        }
+    };
+
+    const TraceEvent *ev = nextEvent();
+
+    // Construction-time events precede the first tick.
+    while (ev && ev->tick == 0) {
+        deliver(*ev, 0);
+        ev = nextEvent();
+    }
+
+    const Cycle cycles = static_cast<Cycle>(meta.cycles);
+    for (Cycle c = 1; c <= cycles; ++c) {
+        supplier->tick(c);
+        while (!pending.empty() && pending.top().due <= c) {
+            const PendingDelivery p = pending.top();
+            pending.pop();
+            const ValueGen &vg = live[size_t(p.preg)];
+            if (!vg.alive || vg.gen != p.gen)
+                continue; // value freed/squashed before delivery
+            if (p.type == PendingDelivery::Type::Fill)
+                supplier->onFill(p.preg, c);
+            else
+                supplier->onInsertDecision(p.preg, c);
+        }
+        while (ev && ev->tick == c) {
+            deliver(*ev, c);
+            ev = nextEvent();
+        }
+        supplier->sampleCycleStats();
+        if (poll && (c & 0xffff) == 0)
+            poll(c);
+    }
+
+    if (ev)
+        bad("trace has event(s) beyond the recorded cycle count of " +
+            std::to_string(meta.cycles));
+
+    // Derive the result exactly as Processor::result() does, feeding
+    // the recorded core-side counters where replay has no core.
+    core::SimResult r;
+    r.cycles = meta.cycles;
+    r.instsRetired = meta.instsRetired;
+    r.ipc = r.cycles ? static_cast<double>(r.instsRetired) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+
+    r.opBypass = opBypass;
+    r.opCache = opCache;
+    r.opFile =
+        opFileReads + (exact ? meta.opFileFillReads : derivedMisses);
+    const uint64_t ops = r.operandReads();
+    r.bypassFraction =
+        ops ? static_cast<double>(r.opBypass) / static_cast<double>(ops)
+            : 0.0;
+
+    const storage::SupplierStats ss = supplier->stats();
+    r.supplier = ss;
+    r.rcMisses = ss.misses;
+    r.rcMissNoWrite = ss.missNoWrite;
+    r.rcMissConflict = ss.missConflict;
+    r.rcMissCapacity = ss.missCapacity;
+    r.missPerOperand =
+        ops ? static_cast<double>(r.rcMisses) / static_cast<double>(ops)
+            : 0.0;
+
+    r.valuesProduced = meta.valuesProduced;
+    r.writesFiltered = ss.writesFiltered;
+    r.valuesNeverCached = ss.valuesNeverCached;
+    r.miniReplays = meta.miniReplays;
+    r.issueGroupSquashes = meta.issueGroupSquashes;
+    r.branchMispredicts = meta.branchMispredicts;
+    r.memOrderViolations = meta.memOrderViolations;
+
+    r.branchMispredictRate =
+        meta.branchesRetired
+            ? static_cast<double>(r.branchMispredicts) /
+                  static_cast<double>(meta.branchesRetired)
+            : 0.0;
+    r.douAccuracy = ss.douAccuracy;
+
+    if (ss.hasCache) {
+        r.rcInserts = ss.inserts;
+        r.rcFills = ss.fills;
+        r.avgOccupancy = ss.avgOccupancy;
+        r.avgEntryLifetime = ss.avgEntryLifetime;
+        r.readsPerCachedValue = ss.readsPerCachedValue;
+        r.cachedTotal = r.rcInserts + r.rcFills;
+        r.cachedNeverRead = ss.entriesNeverRead;
+        r.cacheCountPerValue =
+            r.valuesProduced
+                ? static_cast<double>(r.cachedTotal) /
+                      static_cast<double>(r.valuesProduced)
+                : 0.0;
+        r.zeroUseVictimFraction = ss.zeroUseVictimFraction;
+
+        r.cacheReadBw = r.cycles ? static_cast<double>(ops) /
+                                       static_cast<double>(r.cycles)
+                                 : 0.0;
+        r.cacheWriteBw =
+            r.cycles ? static_cast<double>(r.cachedTotal) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+        r.fileReadBw = r.cycles
+                           ? static_cast<double>(ss.fileReads) /
+                                 static_cast<double>(r.cycles)
+                           : 0.0;
+        r.fileWriteBw = r.cycles
+                            ? static_cast<double>(ss.fileWrites) /
+                                  static_cast<double>(r.cycles)
+                            : 0.0;
+    }
+
+    r.fetchBlocks = meta.fetchBlocks;
+    r.renameStallsRegs = meta.renameStallsRegs;
+    r.renameStallsRob = meta.renameStallsRob;
+    r.renameStallsIq = meta.renameStallsIq;
+
+    r.medianEmptyTime = meta.medianEmptyTime;
+    r.medianLiveTime = meta.medianLiveTime;
+    r.medianDeadTime = meta.medianDeadTime;
+    r.allocatedP50 = meta.allocatedP50;
+    r.allocatedP90 = meta.allocatedP90;
+    r.liveP50 = meta.liveP50;
+    r.liveP90 = meta.liveP90;
+
+    r.trace.replayed = true;
+    r.trace.exact = exact;
+    r.trace.traceVersion = version;
+    r.trace.sourceHash = meta.identityHash;
+    return r;
+}
+
+/**
+ * Prepare the driver-owned config copy every replay entry point
+ * needs: trace mode off (the supplier holds a reference to this
+ * config), physical register count forced to the recorded machine's
+ * (trace events index its registers). Returns whether the replay is
+ * exact (same storage identity as the recording).
+ */
+bool
+prepareReplayConfig(sim::SimConfig &cfg, const TraceMeta &meta)
+{
+    cfg.traceMode = sim::TraceMode::Off;
+    cfg.traceDir.clear();
+    const bool exact = storageIdentity(cfg) == meta.identity;
+    cfg.numPhysRegs = static_cast<unsigned>(meta.numPhysRegs);
+    return exact;
+}
+
+} // namespace
+
+core::SimResult
+replayTrace(const sim::SimConfig &config, const RecordedTrace &trace,
+            const ReplayPoll &poll)
+{
+    sim::SimConfig cfg = config;
+    const bool exact = prepareReplayConfig(cfg, trace.meta);
+
+    stats::StatGroup group("sim");
+    auto supplier = storage::makeSupplier(cfg, group);
+
+    // Stream the wire-encoded events: one reused TraceEvent, one
+    // decoder pass, no materialized vector. Decoder errors are trace
+    // format errors; SimErrors thrown by `poll` propagate untouched.
+    EventDecoder dec(trace.events);
+    dec.setSkipMask(supplierSkipMask(*supplier));
+    TraceEvent ev;
+    auto next = [&]() -> const TraceEvent * {
+        try {
+            return dec.next(ev) ? &ev : nullptr;
+        } catch (const traceio::FormatError &e) {
+            bad(e.what());
+        }
+    };
+    return replayCore(cfg, exact, trace.version, trace.meta,
+                      supplier.get(), next, poll);
+}
+
+uint32_t
+replaySkipMask(const sim::SimConfig &config)
+{
+    sim::SimConfig cfg = config;
+    cfg.traceMode = sim::TraceMode::Off;
+    cfg.traceDir.clear();
+    stats::StatGroup group("sim");
+    return supplierSkipMask(*storage::makeSupplier(cfg, group));
+}
+
+DecodedTrace
+decodeTrace(const RecordedTrace &trace, uint32_t skip_mask)
+{
+    DecodedTrace d;
+    d.version = trace.version;
+    d.meta = trace.meta;
+    d.skipMask = skip_mask;
+    EventDecoder dec(trace.events);
+    dec.setSkipMask(skip_mask);
+    TraceEvent e;
+    try {
+        while (dec.next(e))
+            d.events.push_back(e);
+    } catch (const traceio::FormatError &ex) {
+        bad(ex.what());
+    }
+    return d;
+}
+
+core::SimResult
+replayDecoded(const sim::SimConfig &config, const DecodedTrace &trace,
+              const ReplayPoll &poll)
+{
+    sim::SimConfig cfg = config;
+    const bool exact = prepareReplayConfig(cfg, trace.meta);
+
+    stats::StatGroup group("sim");
+    auto supplier = storage::makeSupplier(cfg, group);
+
+    const uint32_t skip = supplierSkipMask(*supplier);
+    if (trace.skipMask & ~skip)
+        bad("decoded trace dropped event kind(s) the '" +
+            std::string(supplier->name()) +
+            "' supplier reacts to; re-decode with a skip mask from "
+            "replaySkipMask() for this config");
+
+    const TraceEvent *it = trace.events.data();
+    const TraceEvent *const end = it + trace.events.size();
+    auto next = [&]() -> const TraceEvent * {
+        while (it != end) {
+            const TraceEvent *e = it++;
+            if (!(skip & (1u << unsigned(e->kind))))
+                return e;
+        }
+        return nullptr;
+    };
+    return replayCore(cfg, exact, trace.version, trace.meta,
+                      supplier.get(), next, poll);
+}
+
+core::SimResult
+replayRun(const sim::SimConfig &config,
+          const std::string &workload_name, const ReplayPoll &poll)
+{
+    const std::string path =
+        traceFilePath(config.traceDir, workload_name);
+    const RecordedTrace trace = loadTrace(path);
+    if (trace.meta.workload != workload_name)
+        bad("trace file '" + path + "' records workload '" +
+            trace.meta.workload + "', not '" + workload_name + "'");
+    return replayTrace(config, trace, poll);
+}
+
+} // namespace ubrc::trace

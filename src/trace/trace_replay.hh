@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Trace replay: re-evaluate any registered OperandSupplier against a
+ * recorded operand-event trace, without re-simulating the core.
+ *
+ * Two replay regimes, chosen automatically:
+ *
+ *  - **Exact** (the replay config's storageIdentity() equals the
+ *    recorded one): every recorded event is re-issued verbatim, so a
+ *    deterministic supplier walks through the identical call sequence
+ *    and its statistics are bit-identical to the execution-driven
+ *    run's.
+ *
+ *  - **Adaptive** (any other storage config, e.g. a different cache
+ *    size or indexing policy): the reactive events that depended on
+ *    the recorded supplier's internal state (OperandMiss, Fill,
+ *    InsertDecision) are skipped and re-derived from the replayed
+ *    supplier's own miss/insert outcomes. Timing feedback into the
+ *    core (a different miss changing the schedule) is out of scope —
+ *    the event stream's cycle placement stays the recorded one — so
+ *    adaptive results are a storage-layer approximation, the standard
+ *    trace-driven trade-off.
+ *
+ * The returned SimResult carries the recorded core-side counters
+ * (cycles, instructions, branch counts, lifetime medians) from the
+ * trace META block, combined with the freshly replayed supplier's
+ * statistics, through the same derivation formulas as
+ * Processor::result(); SimResult::trace marks it as replayed.
+ */
+
+#ifndef UBRC_TRACE_TRACE_REPLAY_HH
+#define UBRC_TRACE_TRACE_REPLAY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/processor.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_recorder.hh"
+
+namespace ubrc::trace
+{
+
+/**
+ * A loaded trace file. The event stream stays wire-encoded; replay
+ * decodes it in a streaming pass (EventDecoder), so a trace of tens
+ * of millions of events costs its file size in memory, not a
+ * TraceEvent vector. Load once, replay against many configs.
+ */
+struct RecordedTrace
+{
+    uint32_t version = 0;
+    TraceMeta meta;
+    /** EVENTS-section payload (wire bytes, CRC-verified). */
+    std::string events;
+};
+
+/**
+ * Load and validate a trace file. Throws sim::TraceFormatError on a
+ * missing/unreadable file, bad magic, CRC mismatch, truncation,
+ * version skew, or malformed metadata. The event payload is CRC-
+ * verified here but decoded lazily — malformed event bytes surface
+ * as sim::TraceFormatError during replay.
+ */
+RecordedTrace loadTrace(const std::string &path);
+
+/**
+ * Cheap admission check: parse the container, version, and META block
+ * without decoding the event stream. Used by the sweep server to
+ * reject bad replay requests before queueing. Throws
+ * sim::TraceFormatError like loadTrace().
+ */
+TraceMeta probeTraceFile(const std::string &path);
+
+/**
+ * Periodic replay callback (every 65536 replayed cycles), for
+ * deadline/cancel checks; may throw a SimError to abort.
+ */
+using ReplayPoll = std::function<void(Cycle)>;
+
+/**
+ * Replay `trace` against the storage configuration of `config`,
+ * returning the derived SimResult. In adaptive mode the replayed
+ * supplier is sized to the recorded numPhysRegs (trace events index
+ * physical registers of the recorded machine).
+ */
+core::SimResult replayTrace(const sim::SimConfig &config,
+                            const RecordedTrace &trace,
+                            const ReplayPoll &poll = {});
+
+/**
+ * A trace decoded into an in-memory event vector, for sweeps that
+ * replay the same trace against many configurations: wire decoding is
+ * the dominant cost of a single replay, and decodeTrace() pays it
+ * once instead of once per configuration. Costs roughly 80 bytes per
+ * retained event, so decode one workload at a time when sweeping a
+ * whole suite.
+ */
+struct DecodedTrace
+{
+    uint32_t version = 0;
+    TraceMeta meta;
+    /** Event kinds (1 << kind) dropped at decode time. */
+    uint32_t skipMask = 0;
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * The event-kind skip mask replayTrace() would use for `config`:
+ * optional notification kinds (storage::OptionalNotifications) the
+ * configured supplier declares it ignores. Pass to decodeTrace() so
+ * the decoded vector drops them up front. Throws like
+ * storage::makeSupplier on an invalid config.
+ */
+uint32_t replaySkipMask(const sim::SimConfig &config);
+
+/**
+ * Decode `trace` once, dropping event kinds in `skip_mask`. Throws
+ * sim::TraceFormatError on malformed event bytes.
+ */
+DecodedTrace decodeTrace(const RecordedTrace &trace,
+                         uint32_t skip_mask = 0);
+
+/**
+ * Replay a pre-decoded trace; identical results to replayTrace() on
+ * the same source. Throws sim::TraceFormatError if `trace` was
+ * decoded with a skip mask dropping event kinds the configured
+ * supplier reacts to (use replaySkipMask(config), or a subset).
+ */
+core::SimResult replayDecoded(const sim::SimConfig &config,
+                              const DecodedTrace &trace,
+                              const ReplayPoll &poll = {});
+
+/**
+ * Convenience: load `<config.traceDir>/<workload_name>.ubrct` and
+ * replay it. The trace's recorded workload name must match.
+ */
+core::SimResult replayRun(const sim::SimConfig &config,
+                          const std::string &workload_name,
+                          const ReplayPoll &poll = {});
+
+} // namespace ubrc::trace
+
+#endif // UBRC_TRACE_TRACE_REPLAY_HH

@@ -1,0 +1,25 @@
+// Fixture mirror of trace_format.hh: a wire-code gap, a stale
+// numEventKinds, and DESIGN.md drift for the trace-version rule.
+#ifndef UBRC_TRACE_TRACE_FORMAT_HH
+#define UBRC_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+
+namespace ubrc::trace
+{
+
+inline constexpr uint32_t traceVersion = 1;
+
+enum class EventKind : uint8_t
+{
+    InitialValue = 0,
+    ConsumerRenamed = 1,
+    AllocDest = 3,                      // LINT-EXPECT: trace-version
+    ReadOperand = 4,
+};
+
+inline constexpr unsigned numEventKinds = 3; // LINT-EXPECT: trace-version
+
+} // namespace ubrc::trace
+
+#endif // UBRC_TRACE_TRACE_FORMAT_HH

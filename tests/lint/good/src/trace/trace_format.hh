@@ -1,0 +1,25 @@
+// Fixture mirror of trace_format.hh in sync with the fixture
+// DESIGN.md event-vocabulary table.
+#ifndef UBRC_TRACE_TRACE_FORMAT_HH
+#define UBRC_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+
+namespace ubrc::trace
+{
+
+inline constexpr uint32_t traceVersion = 1;
+
+enum class EventKind : uint8_t
+{
+    InitialValue = 0,
+    ConsumerRenamed = 1,
+    AllocDest = 2,
+    ReadOperand = 3,
+};
+
+inline constexpr unsigned numEventKinds = 4;
+
+} // namespace ubrc::trace
+
+#endif // UBRC_TRACE_TRACE_FORMAT_HH

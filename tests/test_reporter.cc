@@ -31,9 +31,12 @@ renderMember(json::Writer &w, const std::string &k,
              const json::Value &v)
 {
     w.key(k);
-    // Wall-clock fields are the only nondeterministic part of a
-    // pinned-environment document; mask them for comparison.
-    if (k == "wall_seconds" || k == "wall_seconds_total") {
+    // Wall-clock (and wall-clock-derived throughput) fields are the
+    // only nondeterministic part of a pinned-environment document;
+    // mask them for comparison.
+    if (k == "wall_seconds" || k == "wall_seconds_total" ||
+        k == "sim_insts_per_second" ||
+        k == "sim_instructions_per_second") {
         w.value(0.0);
         return;
     }

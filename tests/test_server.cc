@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "server/server.hh"
 #include "sim/results_json.hh"
 #include "sim/runner.hh"
+#include "trace/trace_recorder.hh"
 #include "workload/workload.hh"
 
 using namespace ubrc;
@@ -492,4 +496,69 @@ TEST(SweepServer, RequestParserRejectsPrecisely)
     EXPECT_EQ(req.config.rc.entries, 32u);
     EXPECT_EQ(req.config.rc.assoc, 32u); // 0 = fully associative
     EXPECT_EQ(req.config.twoLevel.l1Entries, 64u);
+}
+
+TEST(SweepServer, TraceReplayRequestsAreContainedOverTheWire)
+{
+    // Record a trace for the server to replay, and a corrupt copy.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("ubrc_srv_trace_" + std::to_string(::getpid()));
+    const auto bad_dir = dir / "corrupt";
+    std::filesystem::create_directories(bad_dir);
+    sim::SimConfig rec = sim::SimConfig::useBasedCache();
+    rec.traceMode = sim::TraceMode::Record;
+    rec.traceDir = dir.string();
+    const sim::RunOutcome exec = sim::runOneChecked(
+        rec, workload::buildWorkload("gzip"), 20000);
+    ASSERT_TRUE(exec.ok);
+    const std::string good =
+        trace::traceFilePath(dir.string(), "gzip");
+    {
+        std::ifstream in(good, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string bytes = ss.str();
+        ASSERT_GT(bytes.size(), 64u);
+        bytes[bytes.size() / 2] =
+            char(bytes[bytes.size() / 2] ^ 0x40);
+        std::ofstream out(
+            trace::traceFilePath(bad_dir.string(), "gzip"),
+            std::ios::binary);
+        out << bytes;
+    }
+
+    const std::string extras =
+        ",\"trace_replay\":\"" + dir.string() + "\"";
+    server::ServerOptions opts;
+    opts.workers = 1;
+    ServerHarness h(opts);
+    // No trace recorded for mcf: contained trace-format error.
+    h.send(sweepRequest("rep-missing", "mcf", 20000, extras));
+    // A CRC flip mid-file: contained, not a crash.
+    h.send(sweepRequest("rep-corrupt", "gzip", 20000,
+                        ",\"trace_replay\":\"" + bad_dir.string() +
+                            "\""));
+    // After the abuse, a clean replay must still answer — and be
+    // bit-identical to the serial replay of the same request.
+    const std::string good_req =
+        sweepRequest("rep-ok", "gzip", 20000, extras);
+    h.send(good_req);
+    EXPECT_EQ(h.finish(), 0);
+
+    const auto docs = h.docs();
+    // The admission probe reads and CRC-checks the trace up front,
+    // so both failure modes surface as precise rejects, not crashes.
+    for (const auto *id : {"rep-missing", "rep-corrupt"}) {
+        const json::Value *r = findDoc(docs, "sweep-reject", id);
+        ASSERT_NE(r, nullptr) << id;
+        EXPECT_EQ(errorKindOf(*r), "trace format") << id;
+        EXPECT_FALSE(errorRetryable(*r)) << id;
+    }
+    const json::Value *ok = findDoc(docs, "sweep-response", "rep-ok");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_TRUE(ok->at("ok").boolean);
+    const json::Value ref = json::parse(referenceOutcome(good_req));
+    EXPECT_TRUE(json::equal(ref, ok->at("outcome")));
+
+    std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the operand-event trace format: wire encode/decode
+ * round-trips, the skip-mask decoder, container robustness against
+ * corruption (truncation, CRC flips, version skew, bad magic), and a
+ * record→write→load round-trip property over every default-suite
+ * workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_io.hh"
+#include "sim/runner.hh"
+#include "sim/sim_error.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_replay.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::trace;
+
+namespace
+{
+
+/** An event stream exercising every kind and encoding edge. */
+std::vector<TraceEvent>
+sampleEvents()
+{
+    std::vector<TraceEvent> ev;
+    auto push = [&](Cycle tick, EventKind kind, Cycle arg, uint64_t a,
+                    uint64_t b = 0, uint64_t c = 0, uint64_t d = 0) {
+        TraceEvent e;
+        e.tick = tick;
+        e.kind = kind;
+        e.arg = arg;
+        e.a = a;
+        e.b = b;
+        e.c = c;
+        e.d = d;
+        ev.push_back(e);
+    };
+    // Construction-time events at tick 0.
+    push(0, EventKind::InitialValue, 0, 3);
+    push(0, EventKind::InitialValue, 0, 511);
+    // Same-tick run, multi-byte varint args (pc, ctrl).
+    push(5, EventKind::AllocDest, 5, 42, 0x400123456789ull,
+         0xfedcba9876543210ull);
+    push(5, EventKind::ConsumerRenamed, 5, 42, 3, 0x400123456789ull,
+         0xfedcba9876543210ull);
+    push(5, EventKind::BypassRead, 5, 42, 1);
+    // arg < tick encodes a negative zigzag delta.
+    push(9, EventKind::ReadOperand, 7, 42);
+    push(9, EventKind::OperandMiss, 7, 42);
+    // arg > tick (fill completes later than delivery).
+    push(12, EventKind::Fill, 15, 42);
+    push(12, EventKind::ConsumerDone, 12, 42);
+    push(13, EventKind::ValueProduced, 13, 42);
+    push(14, EventKind::InsertDecision, 14, 42);
+    push(20, EventKind::ArchReassigned, 20, 42);
+    push(20, EventKind::ArchReassignCancelled, 20, 42);
+    push(21, EventKind::ProducerRetired, 21, 42);
+    push(30, EventKind::ValueFreed, 30, 42, 0x400123456789ull,
+         0xfedcba9876543210ull, 4);
+    push(31, EventKind::DestSquashed, 31, 99);
+    // Register list payload.
+    TraceEvent rec;
+    rec.tick = 40;
+    rec.kind = EventKind::RecoverMappings;
+    rec.arg = 41;
+    rec.regs = {0, 7, 511, 42};
+    ev.push_back(rec);
+    push(1000000, EventKind::ReadOperand, 999999, 1);
+    return ev;
+}
+
+} // namespace
+
+TEST(TraceFormat, EncodeDecodeRoundTrip)
+{
+    const std::vector<TraceEvent> in = sampleEvents();
+    const std::string wire = encodeEvents(in);
+    const std::vector<TraceEvent> out = decodeEvents(wire);
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], in[i]) << "event " << i;
+    // Re-encoding the decoded stream is byte-identical.
+    EXPECT_EQ(encodeEvents(out), wire);
+}
+
+TEST(TraceFormat, AppendEventMatchesEncodeEvents)
+{
+    const std::vector<TraceEvent> in = sampleEvents();
+    std::string streamed;
+    Cycle prev = 0;
+    for (const auto &e : in)
+        appendEvent(streamed, e, prev);
+    EXPECT_EQ(streamed, encodeEvents(in));
+}
+
+TEST(TraceFormat, SkipMaskDropsKindsButKeepsTickChain)
+{
+    const std::vector<TraceEvent> in = sampleEvents();
+    const std::string wire = encodeEvents(in);
+    const uint32_t mask =
+        (1u << unsigned(EventKind::ConsumerDone)) |
+        (1u << unsigned(EventKind::ProducerRetired)) |
+        (1u << unsigned(EventKind::RecoverMappings));
+    EventDecoder dec(wire);
+    dec.setSkipMask(mask);
+    std::vector<TraceEvent> out;
+    TraceEvent e;
+    while (dec.next(e))
+        out.push_back(e);
+    std::vector<TraceEvent> want;
+    for (const auto &ev : in)
+        if (!(mask & (1u << unsigned(ev.kind))))
+            want.push_back(ev);
+    ASSERT_EQ(out.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(out[i], want[i]) << "event " << i;
+}
+
+TEST(TraceFormat, DecoderRejectsUnknownKind)
+{
+    std::string wire;
+    traceio::putVarint(wire, 1);  // delta tick
+    wire.push_back(char(0x7e)); // kind 126: undefined
+    traceio::putZigzag(wire, 0);
+    traceio::putVarint(wire, 0);
+    EXPECT_THROW(decodeEvents(wire), traceio::FormatError);
+}
+
+TEST(TraceFormat, DecoderRejectsTruncation)
+{
+    const std::string wire = encodeEvents(sampleEvents());
+    // Chopping anywhere inside the stream must throw, never crash or
+    // loop. (A cut exactly on an event boundary is a legal shorter
+    // stream — skip those.)
+    const std::vector<TraceEvent> all = decodeEvents(wire);
+    size_t boundaries = 0;
+    for (size_t cut = 1; cut < wire.size(); ++cut) {
+        try {
+            const auto partial =
+                decodeEvents(wire.substr(0, cut));
+            EXPECT_LT(partial.size(), all.size());
+            ++boundaries;
+        } catch (const traceio::FormatError &) {
+            // expected for mid-event cuts
+        }
+    }
+    EXPECT_LT(boundaries, wire.size() - 1);
+}
+
+TEST(TraceFormat, DecoderRejectsOverlongVarint)
+{
+    std::string wire(11, char(0x80)); // varint never terminates
+    EXPECT_THROW(decodeEvents(wire), traceio::FormatError);
+}
+
+TEST(TraceFormat, DecoderRejectsHugeRecoverCount)
+{
+    std::string wire;
+    traceio::putVarint(wire, 0);
+    wire.push_back(char(EventKind::RecoverMappings));
+    traceio::putZigzag(wire, 0);
+    traceio::putVarint(wire, 1u << 30); // count >> remaining bytes
+    EXPECT_THROW(decodeEvents(wire), traceio::FormatError);
+    // The skip path must apply the same bound.
+    EventDecoder dec(wire);
+    dec.setSkipMask(1u << unsigned(EventKind::RecoverMappings));
+    TraceEvent e;
+    EXPECT_THROW(dec.next(e), traceio::FormatError);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("ubrc_trace_fmt_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+        sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+        cfg.traceMode = sim::TraceMode::Record;
+        cfg.traceDir = dir.string();
+        sim::runOne(cfg, workload::buildWorkload("gzip"), 20000);
+        path = traceFilePath(dir.string(), "gzip");
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+        ASSERT_GT(bytes.size(), 64u);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir);
+    }
+
+    std::string
+    writeVariant(const std::string &name,
+                 const std::string &content) const
+    {
+        const std::string p = (dir / name).string();
+        std::ofstream out(p, std::ios::binary | std::ios::trunc);
+        out << content;
+        return p;
+    }
+
+    std::filesystem::path dir;
+    std::string path;
+    std::string bytes;
+};
+
+TEST_F(TraceFileTest, LoadsCleanFile)
+{
+    const RecordedTrace t = loadTrace(path);
+    EXPECT_EQ(t.version, traceVersion);
+    EXPECT_EQ(t.meta.workload, "gzip");
+    EXPECT_FALSE(t.events.empty());
+    EXPECT_FALSE(decodeEvents(t.events).empty());
+}
+
+TEST_F(TraceFileTest, MissingFile)
+{
+    EXPECT_THROW(loadTrace((dir / "nope.ubrct").string()),
+                 sim::TraceFormatError);
+}
+
+TEST_F(TraceFileTest, EmptyFile)
+{
+    EXPECT_THROW(loadTrace(writeVariant("empty.ubrct", "")),
+                 sim::TraceFormatError);
+}
+
+TEST_F(TraceFileTest, BadMagic)
+{
+    std::string b = bytes;
+    b[0] = 'X';
+    EXPECT_THROW(loadTrace(writeVariant("magic.ubrct", b)),
+                 sim::TraceFormatError);
+}
+
+TEST_F(TraceFileTest, VersionSkew)
+{
+    std::string b = bytes;
+    b[8] = char(traceVersion + 1); // u32 LE version field
+    try {
+        loadTrace(writeVariant("skew.ubrct", b));
+        FAIL() << "version skew not detected";
+    } catch (const sim::TraceFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceFileTest, TruncationDetected)
+{
+    // Cut the file at several depths; parsing must throw every time
+    // (the END terminator is required, so even a clean section
+    // boundary cut is detected).
+    for (const size_t cut :
+         {size_t(4), size_t(16), bytes.size() / 2, bytes.size() - 1}) {
+        const std::string p = writeVariant(
+            "trunc.ubrct", bytes.substr(0, cut));
+        EXPECT_THROW(loadTrace(p), sim::TraceFormatError)
+            << "cut at " << cut;
+    }
+}
+
+TEST_F(TraceFileTest, CrcFlipDetected)
+{
+    // Flip one payload bit in the middle of the file: some section's
+    // CRC must catch it.
+    std::string b = bytes;
+    b[b.size() / 2] = char(b[b.size() / 2] ^ 0x40);
+    EXPECT_THROW(loadTrace(writeVariant("crc.ubrct", b)),
+                 sim::TraceFormatError);
+}
+
+TEST_F(TraceFileTest, ProbeMatchesLoad)
+{
+    const TraceMeta probed = probeTraceFile(path);
+    const RecordedTrace loaded = loadTrace(path);
+    EXPECT_EQ(probed.workload, loaded.meta.workload);
+    EXPECT_EQ(probed.identityHash, loaded.meta.identityHash);
+    EXPECT_EQ(probed.cycles, loaded.meta.cycles);
+}
+
+/**
+ * Record→write→load→decode→re-encode round-trip over every default
+ * workload: the re-encoded event stream must be byte-identical to the
+ * stored payload, proving encode and decode are exact inverses on
+ * real traces (not just hand-built samples).
+ */
+TEST(TraceFormat, RoundTripEveryDefaultWorkload)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("ubrc_trace_rt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    for (const std::string &name : workload::workloadNames()) {
+        sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+        cfg.traceMode = sim::TraceMode::Record;
+        cfg.traceDir = dir.string();
+        sim::runOne(cfg, workload::buildWorkload(name), 8000);
+        const RecordedTrace t =
+            loadTrace(traceFilePath(dir.string(), name));
+        EXPECT_EQ(t.meta.workload, name);
+        const std::vector<TraceEvent> events = decodeEvents(t.events);
+        EXPECT_FALSE(events.empty()) << name;
+        EXPECT_EQ(encodeEvents(events), t.events) << name;
+    }
+    std::filesystem::remove_all(dir);
+}

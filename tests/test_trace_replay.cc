@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for trace replay: exact-mode bit-identity against
+ * execution-driven results for every registered scheme, the
+ * pre-decoded fast path, skip-mask safety, and adaptive-mode sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sim_error.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_replay.hh"
+#include "workload/workload.hh"
+
+using namespace ubrc;
+using namespace ubrc::trace;
+
+namespace
+{
+
+/**
+ * Every derived statistic of SimResult must match bit for bit. This
+ * is the replay fidelity contract: an exact replay is
+ * indistinguishable from the execution-driven run it was recorded
+ * from (minus the trace provenance block).
+ */
+void
+expectSameResult(const core::SimResult &a, const core::SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsRetired, b.instsRetired);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.opBypass, b.opBypass);
+    EXPECT_EQ(a.opCache, b.opCache);
+    EXPECT_EQ(a.opFile, b.opFile);
+    EXPECT_EQ(a.bypassFraction, b.bypassFraction);
+    EXPECT_EQ(a.rcMisses, b.rcMisses);
+    EXPECT_EQ(a.rcMissNoWrite, b.rcMissNoWrite);
+    EXPECT_EQ(a.rcMissConflict, b.rcMissConflict);
+    EXPECT_EQ(a.rcMissCapacity, b.rcMissCapacity);
+    EXPECT_EQ(a.missPerOperand, b.missPerOperand);
+    EXPECT_EQ(a.rcInserts, b.rcInserts);
+    EXPECT_EQ(a.rcFills, b.rcFills);
+    EXPECT_EQ(a.valuesProduced, b.valuesProduced);
+    EXPECT_EQ(a.writesFiltered, b.writesFiltered);
+    EXPECT_EQ(a.valuesNeverCached, b.valuesNeverCached);
+    EXPECT_EQ(a.cachedNeverRead, b.cachedNeverRead);
+    EXPECT_EQ(a.cachedTotal, b.cachedTotal);
+    EXPECT_EQ(a.avgOccupancy, b.avgOccupancy);
+    EXPECT_EQ(a.avgEntryLifetime, b.avgEntryLifetime);
+    EXPECT_EQ(a.readsPerCachedValue, b.readsPerCachedValue);
+    EXPECT_EQ(a.cacheCountPerValue, b.cacheCountPerValue);
+    EXPECT_EQ(a.zeroUseVictimFraction, b.zeroUseVictimFraction);
+    EXPECT_EQ(a.cacheReadBw, b.cacheReadBw);
+    EXPECT_EQ(a.cacheWriteBw, b.cacheWriteBw);
+    EXPECT_EQ(a.fileReadBw, b.fileReadBw);
+    EXPECT_EQ(a.fileWriteBw, b.fileWriteBw);
+    EXPECT_EQ(a.douAccuracy, b.douAccuracy);
+    EXPECT_EQ(a.branchMispredictRate, b.branchMispredictRate);
+    EXPECT_EQ(a.medianEmptyTime, b.medianEmptyTime);
+    EXPECT_EQ(a.medianLiveTime, b.medianLiveTime);
+    EXPECT_EQ(a.medianDeadTime, b.medianDeadTime);
+    EXPECT_EQ(a.allocatedP50, b.allocatedP50);
+    EXPECT_EQ(a.allocatedP90, b.allocatedP90);
+    EXPECT_EQ(a.liveP50, b.liveP50);
+    EXPECT_EQ(a.liveP90, b.liveP90);
+    EXPECT_EQ(a.miniReplays, b.miniReplays);
+    EXPECT_EQ(a.issueGroupSquashes, b.issueGroupSquashes);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.memOrderViolations, b.memOrderViolations);
+    EXPECT_EQ(a.fetchBlocks, b.fetchBlocks);
+    EXPECT_EQ(a.renameStallsRegs, b.renameStallsRegs);
+    EXPECT_EQ(a.renameStallsRob, b.renameStallsRob);
+    EXPECT_EQ(a.renameStallsIq, b.renameStallsIq);
+    EXPECT_EQ(a.supplier.hasCache, b.supplier.hasCache);
+    EXPECT_EQ(a.supplier.misses, b.supplier.misses);
+    EXPECT_EQ(a.supplier.fileReads, b.supplier.fileReads);
+    EXPECT_EQ(a.supplier.fileWrites, b.supplier.fileWrites);
+    EXPECT_EQ(a.supplier.inserts, b.supplier.inserts);
+    EXPECT_EQ(a.supplier.fills, b.supplier.fills);
+    EXPECT_EQ(a.supplier.douAccuracy, b.supplier.douAccuracy);
+}
+
+class TraceReplayTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("ubrc_trace_rep_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir);
+    }
+
+    /** Record `cfg` over gzip and return the execution result. */
+    core::SimResult
+    record(sim::SimConfig cfg, const char *workload = "gzip")
+    {
+        cfg.traceMode = sim::TraceMode::Record;
+        cfg.traceDir = dir.string();
+        return sim::runOne(cfg, workload::buildWorkload(workload),
+                           30000);
+    }
+
+    RecordedTrace
+    load(const char *workload = "gzip")
+    {
+        return loadTrace(traceFilePath(dir.string(), workload));
+    }
+
+    std::filesystem::path dir;
+};
+
+} // namespace
+
+TEST_F(TraceReplayTest, ExactBitIdentityUseBasedCache)
+{
+    const sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    const core::SimResult exec = record(cfg);
+    const core::SimResult rep = replayTrace(cfg, load());
+    EXPECT_TRUE(rep.trace.replayed);
+    EXPECT_TRUE(rep.trace.exact);
+    EXPECT_EQ(rep.trace.traceVersion, traceVersion);
+    expectSameResult(exec, rep);
+}
+
+TEST_F(TraceReplayTest, ExactBitIdentityMonolithic)
+{
+    const sim::SimConfig cfg = sim::SimConfig::monolithic(3);
+    const core::SimResult exec = record(cfg);
+    const core::SimResult rep = replayTrace(cfg, load());
+    EXPECT_TRUE(rep.trace.exact);
+    expectSameResult(exec, rep);
+}
+
+TEST_F(TraceReplayTest, ExactBitIdentityTwoLevel)
+{
+    // Two-level overrides onConsumerDone/onArchReassigned, so this
+    // also proves the OptionalNotifications interest declarations are
+    // truthful: were a needed kind skipped, stats would diverge.
+    const sim::SimConfig cfg = sim::SimConfig::twoLevelFile(64);
+    const core::SimResult exec = record(cfg);
+    const core::SimResult rep = replayTrace(cfg, load());
+    EXPECT_TRUE(rep.trace.exact);
+    expectSameResult(exec, rep);
+}
+
+TEST_F(TraceReplayTest, DecodedPathMatchesStreamingPath)
+{
+    const sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    record(cfg);
+    const RecordedTrace trace = load();
+    const core::SimResult streamed = replayTrace(cfg, trace);
+    const DecodedTrace decoded =
+        decodeTrace(trace, replaySkipMask(cfg));
+    const core::SimResult fast = replayDecoded(cfg, decoded);
+    EXPECT_TRUE(fast.trace.exact);
+    expectSameResult(streamed, fast);
+    // An unfiltered decode must agree too.
+    expectSameResult(streamed,
+                     replayDecoded(cfg, decodeTrace(trace)));
+}
+
+TEST_F(TraceReplayTest, DecodedSkipMaskMismatchRejected)
+{
+    const sim::SimConfig cached = sim::SimConfig::useBasedCache();
+    record(cached);
+    const RecordedTrace trace = load();
+    // Dropping a kind no supplier may ignore is always rejected.
+    const DecodedTrace broken = decodeTrace(
+        trace, 1u << unsigned(EventKind::ReadOperand));
+    EXPECT_THROW(replayDecoded(cached, broken),
+                 sim::TraceFormatError);
+    // A cached-scheme filter drops kinds the two-level scheme needs.
+    const DecodedTrace for_cached =
+        decodeTrace(trace, replaySkipMask(cached));
+    EXPECT_THROW(
+        replayDecoded(sim::SimConfig::twoLevelFile(64), for_cached),
+        sim::TraceFormatError);
+}
+
+TEST_F(TraceReplayTest, AdaptiveReplayDerivesMisses)
+{
+    sim::SimConfig recorded = sim::SimConfig::useBasedCache();
+    const core::SimResult exec = record(recorded);
+    const RecordedTrace trace = load();
+
+    sim::SimConfig smaller = recorded;
+    smaller.rc.entries = recorded.rc.entries / 4;
+    const core::SimResult rep = replayTrace(smaller, trace);
+    EXPECT_TRUE(rep.trace.replayed);
+    EXPECT_FALSE(rep.trace.exact);
+    // Core-side counters come from the trace metadata verbatim.
+    EXPECT_EQ(rep.cycles, exec.cycles);
+    EXPECT_EQ(rep.instsRetired, exec.instsRetired);
+    // A quarter-size cache cannot miss less.
+    EXPECT_GE(rep.rcMisses, exec.rcMisses);
+    // Bypass reads are recorded verbatim; every replay sees the same.
+    EXPECT_EQ(rep.opBypass, exec.opBypass);
+    // Each recorded ReadOperand resolves as exactly one cache or file
+    // read (derived misses land in opFile), so the non-bypass operand
+    // total is a trace property, identical across adaptive replays.
+    sim::SimConfig half = recorded;
+    half.rc.entries = recorded.rc.entries / 2;
+    const core::SimResult rep2 = replayTrace(half, trace);
+    EXPECT_FALSE(rep2.trace.exact);
+    EXPECT_EQ(rep.opCache + rep.opFile, rep2.opCache + rep2.opFile);
+}
+
+TEST_F(TraceReplayTest, ReplayRunChecksWorkloadName)
+{
+    sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    record(cfg, "gzip");
+    // Rename the trace so the recorded name and file name disagree.
+    std::filesystem::rename(traceFilePath(dir.string(), "gzip"),
+                            traceFilePath(dir.string(), "mcf"));
+    cfg.traceMode = sim::TraceMode::Replay;
+    cfg.traceDir = dir.string();
+    EXPECT_THROW(replayRun(cfg, "mcf"), sim::TraceFormatError);
+}
+
+TEST_F(TraceReplayTest, ReplayRejectsEventsBeyondCycleCount)
+{
+    const sim::SimConfig cfg = sim::SimConfig::useBasedCache();
+    record(cfg);
+    RecordedTrace trace = load();
+    // Append a valid, non-skippable event past the recorded cycle
+    // count (ConsumerDone would be filtered out for this scheme).
+    TraceEvent extra;
+    extra.tick = static_cast<Cycle>(trace.meta.cycles) + 10;
+    extra.kind = EventKind::ReadOperand;
+    extra.arg = extra.tick;
+    extra.a = 1;
+    Cycle prev = 0; // delta chain restarts; still strictly later
+    std::string tail;
+    appendEvent(tail, extra, prev);
+    trace.events += tail;
+    EXPECT_THROW(replayTrace(cfg, trace), sim::TraceFormatError);
+}

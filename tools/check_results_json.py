@@ -15,6 +15,17 @@ Files ending in .ndjson (or passed via --ndjson) are treated as
 line-delimited JSON: every non-empty line must hold one valid
 document. Exit status is 0 when every document validates, 1
 otherwise.
+
+With --cross-check, the given documents are additionally paired up:
+every successful EXACT trace-replay run (result.trace.exact == true)
+must have an execution-driven run of the same scheme and workload
+somewhere in the document set whose entire result block is identical
+(the replay fidelity contract of src/trace). --min-speedup X further
+requires mean execution wall clock per suite/run to be at least X
+times the mean replay wall clock:
+
+    python3 tools/check_results_json.py --cross-check \\
+        --min-speedup 10 results/BENCH_replay_surface.json
 """
 
 import json
@@ -78,6 +89,24 @@ def check_sim_result(r, where):
     expect_keys(r["supplier"], ("has_cache", "misses", "file_reads",
                                 "file_writes", "dou_accuracy"),
                 f"{where}.supplier")
+    # Replay provenance: present only on trace-replayed results.
+    if "trace" in r:
+        t = r["trace"]
+        expect_keys(t, ("replayed", "exact", "trace_version",
+                        "source_hash"), f"{where}.trace")
+        expect(t["replayed"] is True,
+               f"{where}.trace.replayed: must be true when present")
+        expect(isinstance(t["exact"], bool),
+               f"{where}.trace.exact: not a bool")
+        expect(isinstance(t["trace_version"], int) and
+               t["trace_version"] >= 1,
+               f"{where}.trace.trace_version: expected a positive "
+               f"integer, got {t['trace_version']!r}")
+        h = t["source_hash"]
+        expect(isinstance(h, str) and len(h) == 16 and
+               all(c in "0123456789abcdef" for c in h),
+               f"{where}.trace.source_hash: expected 16 lowercase hex "
+               f"digits, got {h!r}")
 
 
 def check_suite(s, where):
@@ -108,7 +137,13 @@ def check_suite(s, where):
     for i, run in enumerate(s["runs"]):
         rw = f"{where}.runs[{i}]"
         expect_keys(run, ("workload", "failed", "error", "ipc",
-                          "result"), rw)
+                          "result", "wall_seconds",
+                          "sim_insts_per_second"), rw)
+        expect(isinstance(run["wall_seconds"], NUMBER),
+               f"{rw}.wall_seconds: not a number")
+        expect(run["sim_insts_per_second"] is None or
+               isinstance(run["sim_insts_per_second"], NUMBER),
+               f"{rw}.sim_insts_per_second: not a number or null")
         expect(isinstance(run["failed"], bool),
                f"{rw}.failed: not a bool")
         if run["failed"]:
@@ -157,7 +192,16 @@ def check_bench(doc):
     check_meta(doc["meta"],
                ("harness", "title", "paper_ref", "config",
                 "workloads", "max_insts", "jobs", "git",
-                "generated_unix", "wall_seconds_total"), "meta")
+                "generated_unix", "wall_seconds_total",
+                "insts_retired_total",
+                "sim_instructions_per_second"), "meta")
+    meta = doc["meta"]
+    expect(isinstance(meta["insts_retired_total"], int) and
+           meta["insts_retired_total"] >= 0,
+           "meta.insts_retired_total: expected a non-negative integer")
+    expect(meta["sim_instructions_per_second"] is None or
+           isinstance(meta["sim_instructions_per_second"], NUMBER),
+           "meta.sim_instructions_per_second: not a number or null")
     expect(isinstance(doc.get("tables"), list), "tables: not an array")
     for t in doc["tables"]:
         tw = f"tables[{t.get('id', '?')!r}]"
@@ -174,7 +218,11 @@ def check_bench(doc):
     for s in doc["suites"]:
         sw = f"suites[{s.get('label', '?')!r}]"
         expect_keys(s, ("label", "config", "scheme", "wall_seconds",
-                        "suite"), sw)
+                        "sim_instructions_per_second", "suite"), sw)
+        expect(s["sim_instructions_per_second"] is None or
+               isinstance(s["sim_instructions_per_second"], NUMBER),
+               f"{sw}.sim_instructions_per_second: not a number or "
+               f"null")
         check_suite(s["suite"], f"{sw}.suite")
 
 
@@ -208,7 +256,8 @@ def check_ubrcsim_suite(doc):
 
 
 # Error kinds and their registered exit codes (DESIGN.md); the
-# server-side kinds (6..9) were added for the sweep service.
+# server-side kinds (6..9) were added for the sweep service, 10 for
+# the trace subsystem.
 ERROR_KINDS = {
     "config error": 2,
     "checker divergence": 3,
@@ -218,6 +267,7 @@ ERROR_KINDS = {
     "deadline exceeded": 7,
     "queue full": 8,
     "canceled": 9,
+    "trace format": 10,
 }
 
 RETRYABLE_KINDS = {"queue full", "canceled"}
@@ -338,13 +388,152 @@ def check_ndjson_file(path):
     return f"{len(kinds)} documents" if kinds else "empty"
 
 
+def diff_paths(a, b, path, out, limit=8):
+    """Collect dotted paths where two JSON values differ."""
+    if len(out) >= limit:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for k in sorted(set(a) | set(b)):
+            diff_paths(a.get(k), b.get(k), f"{path}.{k}", out, limit)
+    elif isinstance(a, list) and isinstance(b, list) and \
+            len(a) == len(b):
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff_paths(x, y, f"{path}[{i}]", out, limit)
+    elif a != b:
+        out.append(f"{path}: execution {a!r} != replay {b!r}")
+
+
+def extract_runs(doc, source):
+    """Flatten a document into per-run cross-check records.
+
+    Yields dicts with: source, entity (suite label or doc path),
+    scheme, workload, result, wall (per-suite/doc wall clock),
+    replay/exact flags.
+    """
+    def record(entity, scheme, workload, result, wall):
+        t = result.get("trace") or {}
+        return {"source": source, "entity": entity, "scheme": scheme,
+                "workload": workload, "result": result, "wall": wall,
+                "replay": bool(t.get("replayed")),
+                "exact": bool(t.get("exact"))}
+
+    kind = doc.get("kind")
+    if kind == "bench":
+        for s in doc.get("suites", []):
+            for run in s["suite"]["runs"]:
+                if run["failed"]:
+                    continue
+                yield record(s["label"], s["scheme"],
+                             run["workload"], run["result"],
+                             s["wall_seconds"])
+    elif kind == "ubrcsim-run":
+        o = doc["outcome"]
+        if o["ok"]:
+            wl = doc["meta"]["workloads"]
+            yield record(source, doc["meta"]["scheme"],
+                         wl[0] if wl else "?", o["result"],
+                         doc["wall_seconds"])
+    elif kind == "ubrcsim-suite":
+        for run in doc["suite"]["runs"]:
+            if run["failed"]:
+                continue
+            yield record(source, doc["meta"]["scheme"],
+                         run["workload"], run["result"],
+                         doc["wall_seconds"])
+
+
+def comparable(result):
+    """The result block minus replay provenance, for equality checks."""
+    return {k: v for k, v in result.items() if k != "trace"}
+
+
+def cross_check(runs, min_speedup):
+    """Verify exact-replay fidelity and (optionally) replay speedup.
+
+    Every exact replay run must equal some execution-driven run of the
+    same (scheme, workload) bit for bit (minus the trace provenance
+    block). Adaptive (non-exact) replays are approximations by design
+    and are only counted.
+    """
+    execs = [r for r in runs if not r["replay"]]
+    exact = [r for r in runs if r["replay"] and r["exact"]]
+    adaptive = [r for r in runs if r["replay"] and not r["exact"]]
+    expect(exact,
+           "cross-check: no successful exact replay runs found")
+    expect(execs,
+           "cross-check: no execution-driven runs to compare against")
+
+    failures = []
+    for rep in exact:
+        peers = [e for e in execs
+                 if e["scheme"] == rep["scheme"] and
+                 e["workload"] == rep["workload"]]
+        if not peers:
+            failures.append(
+                f"{rep['source']} {rep['entity']}/{rep['workload']}: "
+                f"no execution run for scheme {rep['scheme']!r}")
+            continue
+        want = comparable(rep["result"])
+        if any(comparable(p["result"]) == want for p in peers):
+            continue
+        diffs = []
+        diff_paths(comparable(peers[0]["result"]), want, "result",
+                   diffs)
+        failures.append(
+            f"{rep['source']} {rep['entity']}/{rep['workload']}: "
+            f"exact replay diverges from execution:\n    " +
+            "\n    ".join(diffs))
+    expect(not failures,
+           "cross-check failures:\n  " + "\n  ".join(failures))
+
+    # Speedup: mean execution wall per suite/doc vs mean replay wall.
+    speedup = None
+    exec_walls = {(r["source"], r["entity"]): r["wall"] for r in execs}
+    replay_walls = {(r["source"], r["entity"]): r["wall"]
+                    for r in exact + adaptive}
+    if exec_walls and replay_walls:
+        exec_mean = sum(exec_walls.values()) / len(exec_walls)
+        replay_mean = sum(replay_walls.values()) / len(replay_walls)
+        if replay_mean > 0:
+            speedup = exec_mean / replay_mean
+    if min_speedup is not None:
+        expect(speedup is not None,
+               "cross-check: --min-speedup given but wall clocks "
+               "are missing or zero")
+        expect(speedup >= min_speedup,
+               f"cross-check: replay speedup {speedup:.1f}x is below "
+               f"the required {min_speedup:g}x")
+    summary = (f"cross-check: {len(exact)} exact replay run(s) "
+               f"verified against execution, {len(adaptive)} "
+               f"adaptive run(s) present")
+    if speedup is not None:
+        summary += f", replay speedup {speedup:.1f}x"
+    return summary
+
+
 def main(argv):
-    args = [a for a in argv[1:] if a != "--ndjson"]
     force_ndjson = "--ndjson" in argv[1:]
+    do_cross = "--cross-check" in argv[1:]
+    min_speedup = None
+    args = []
+    it = iter(argv[1:])
+    for a in it:
+        if a in ("--ndjson", "--cross-check"):
+            continue
+        if a == "--min-speedup":
+            try:
+                min_speedup = float(next(it))
+            except (StopIteration, ValueError):
+                print("--min-speedup requires a number",
+                      file=sys.stderr)
+                return 2
+            continue
+        args.append(a)
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     status = 0
+    cross_runs = []
     for path in args:
         try:
             if force_ndjson or path.endswith(".ndjson"):
@@ -353,9 +542,17 @@ def main(argv):
                 with open(path, encoding="utf-8") as f:
                     doc = json.load(f)
                 kind = check_document(doc)
+                if do_cross:
+                    cross_runs.extend(extract_runs(doc, path))
             print(f"{path}: ok ({kind})")
         except (OSError, json.JSONDecodeError, ValidationError) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)
+            status = 1
+    if do_cross and status == 0:
+        try:
+            print(cross_check(cross_runs, min_speedup))
+        except ValidationError as e:
+            print(f"FAIL: {e}", file=sys.stderr)
             status = 1
     return status
 

@@ -33,6 +33,9 @@
 #include "sim/results_json.hh"
 #include "sim/runner.hh"
 #include "sim/sim_error.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_recorder.hh"
+#include "trace/trace_replay.hh"
 #include "workload/workload.hh"
 
 using namespace ubrc;
@@ -116,6 +119,16 @@ usage()
         "                      cycles (default 500000; 0 disables)\n"
         "  --validate-only     check the configuration and exit\n"
         "\n"
+        "operand tracing (record once, replay many):\n"
+        "  --record-trace DIR  run execution-driven and also record\n"
+        "                      the operand stream to\n"
+        "                      DIR/<workload>.ubrct\n"
+        "  --replay-trace DIR  skip the core: re-evaluate the storage\n"
+        "                      configuration against the recorded\n"
+        "                      trace in DIR (exact stats on the\n"
+        "                      recorded storage config, adaptive\n"
+        "                      approximation otherwise)\n"
+        "\n"
         "fault injection:\n"
         "  --inject-rate R     per-cycle bit-flip probability (0..1)\n"
         "  --inject-seed S     fault-site PRNG seed (default 1)\n"
@@ -126,7 +139,8 @@ usage()
         "exit codes:\n"
         "  0  run completed        2  configuration error\n"
         "  3  checker divergence   4  deadlock (watchdog)\n"
-        "  5  internal invariant violation\n");
+        "  5  internal invariant violation\n"
+        "  10 trace format (bad or missing trace file)\n");
 }
 
 const char *
@@ -247,6 +261,15 @@ writeMeta(json::Writer &w, const sim::SimConfig &cfg,
     w.endArray();
     w.field("max_insts", max_insts);
     w.field("jobs", uint64_t(jobs));
+    // Trace provenance only appears for trace-mode invocations so
+    // plain execution documents keep their historical shape.
+    if (cfg.traceMode != sim::TraceMode::Off) {
+        w.key("trace").beginObject();
+        w.field("mode", sim::toString(cfg.traceMode));
+        w.field("dir", cfg.traceDir);
+        w.field("trace_version", uint64_t(trace::traceVersion));
+        w.endObject();
+    }
     w.field("git", sim::metaGitDescribe());
     w.field("generated_unix", sim::metaReportEpoch());
     w.endObject();
@@ -281,6 +304,41 @@ writeJsonDoc(const std::string &path, const std::string &doc)
     }
     std::fprintf(stderr, "ubrcsim: wrote %s\n", path.c_str());
     return true;
+}
+
+/** Human-readable single-run summary, shared by execution-driven and
+ *  trace-replay runs. */
+void
+printRunSummary(FILE *rpt, const sim::SimConfig &cfg,
+                const core::SimResult &r)
+{
+    std::fprintf(rpt,
+                 "\n%12llu instructions, %llu cycles  ->  "
+                 "IPC %.3f\n",
+                 static_cast<unsigned long long>(r.instsRetired),
+                 static_cast<unsigned long long>(r.cycles), r.ipc);
+    if (r.operandReads()) {
+        std::fprintf(rpt,
+                     "operands : bypass %.1f%%, cache %.1f%%, "
+                     "file %.1f%%  (miss rate %.2f%%/operand)\n",
+                     100.0 * r.opBypass / r.operandReads(),
+                     100.0 * r.opCache / r.operandReads(),
+                     100.0 * r.opFile / r.operandReads(),
+                     100.0 * r.missPerOperand);
+    }
+    std::fprintf(rpt,
+                 "branches : %.2f%% mispredicted;  use predictor "
+                 "%.1f%% accurate\n",
+                 100.0 * r.branchMispredictRate,
+                 100.0 * r.douAccuracy);
+    if (cfg.scheme == sim::RegScheme::Cached) {
+        std::fprintf(rpt,
+                     "cache    : occupancy %.1f/%u, %.2f "
+                     "reads/cached value, cached %.2fx per "
+                     "value\n",
+                     r.avgOccupancy, cfg.rc.entries,
+                     r.readsPerCachedValue, r.cacheCountPerValue);
+    }
 }
 
 workload::Workload
@@ -410,6 +468,20 @@ main(int argc, char **argv)
                 parseU64("--watchdog", nextArg(argc, argv, i));
         } else if (arg == "--validate-only") {
             validate_only = true;
+        } else if (arg == "--record-trace") {
+            cfg.traceMode = sim::TraceMode::Record;
+            cfg.traceDir = nextArg(argc, argv, i);
+        } else if (arg.rfind("--record-trace=", 0) == 0) {
+            cfg.traceMode = sim::TraceMode::Record;
+            cfg.traceDir =
+                arg.substr(std::strlen("--record-trace="));
+        } else if (arg == "--replay-trace") {
+            cfg.traceMode = sim::TraceMode::Replay;
+            cfg.traceDir = nextArg(argc, argv, i);
+        } else if (arg.rfind("--replay-trace=", 0) == 0) {
+            cfg.traceMode = sim::TraceMode::Replay;
+            cfg.traceDir =
+                arg.substr(std::strlen("--replay-trace="));
         } else if (arg == "--inject-rate") {
             cfg.inject.rate =
                 parseF64("--inject-rate", nextArg(argc, argv, i));
@@ -439,6 +511,16 @@ main(int argc, char **argv)
     cfg.rc.entries = entries;
     cfg.rc.assoc = assoc;
     cfg.twoLevel.l1Entries = entries + 32;
+
+    // Traces are keyed by built-in workload name; an assembly file's
+    // path makes a poor (and unportable) trace identity.
+    if (!asm_path.empty() && cfg.traceMode != sim::TraceMode::Off)
+        fatal("--asm cannot be combined with "
+              "--record-trace/--replay-trace");
+    if (dump_stats && cfg.traceMode == sim::TraceMode::Replay)
+        fatal("--stats is not available with --replay-trace "
+              "(replay produces derived results, not a full "
+              "statistics dump)");
 
     try {
         cfg.validate();
@@ -562,12 +644,74 @@ main(int argc, char **argv)
                  w.description.c_str());
     std::fprintf(rpt, "design   : %s\n", cfg.describe().c_str());
     cfg.maxInsts = max_insts;
-    core::Processor proc(cfg, w);
+
+    // Replay never builds a Processor: the recorded operand stream
+    // stands in for the core.
+    if (cfg.traceMode == sim::TraceMode::Replay) {
+        sim::RunOutcome outcome;
+        int exit_code = 0;
+        const auto rt0 = std::chrono::steady_clock::now();
+        try {
+            outcome.result = trace::replayRun(cfg, w.name);
+        } catch (const sim::SimError &e) {
+            std::fprintf(stderr, "ubrcsim: %s: %s\n",
+                         sim::toString(e.kind()), e.what());
+            outcome.ok = false;
+            outcome.kind = e.kind();
+            outcome.message = e.what();
+            exit_code = e.exitCode();
+        }
+        const double rwall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - rt0)
+                .count();
+        if (exit_code == 0) {
+            const core::SimResult &r = outcome.result;
+            std::fprintf(rpt, "replay   : trace v%u (%s), source %s\n",
+                         r.trace.traceVersion,
+                         r.trace.exact ? "exact" : "adaptive",
+                         r.trace.sourceHash.c_str());
+            printRunSummary(rpt, cfg, r);
+        }
+        if (rpt != stdout)
+            std::fclose(rpt);
+        if (format == StatsFormat::Json) {
+            json::Writer jw;
+            jw.beginObject();
+            jw.field("schema_version", sim::resultsSchemaVersion);
+            jw.field("kind", "ubrcsim-run");
+            writeMeta(jw, cfg, {w.name}, max_insts, 1);
+            jw.field("wall_seconds", rwall);
+            jw.key("outcome");
+            sim::writeRunOutcome(jw, outcome);
+            jw.endObject();
+            if (!writeJsonDoc(jsonOutPath(out_path, w.name),
+                              jw.str()) &&
+                exit_code == 0)
+                exit_code = 1;
+        }
+        return exit_code;
+    }
+
+    trace::TraceRecorder trace_rec;
+    const bool recording = cfg.traceMode == sim::TraceMode::Record;
+    core::Processor proc(cfg, w,
+                         recording
+                             ? trace::recordingWrap(trace_rec)
+                             : core::Processor::SupplierWrap{});
     sim::RunOutcome outcome;
     int exit_code = 0;
     const auto t0 = std::chrono::steady_clock::now();
     try {
         proc.run();
+        // Only completed runs leave a trace behind; a write failure
+        // surfaces as a contained trace-format error (exit 10).
+        if (recording) {
+            const std::string path = trace::writeRecordedTrace(
+                cfg, w.name, proc, trace_rec, cfg.traceDir);
+            std::fprintf(stderr, "ubrcsim: recorded trace %s\n",
+                         path.c_str());
+        }
     } catch (const sim::SimError &e) {
         std::fprintf(stderr, "ubrcsim: %s: %s\n",
                      sim::toString(e.kind()), e.what());
@@ -589,34 +733,7 @@ main(int argc, char **argv)
     outcome.faults = proc.faultLog();
 
     if (exit_code == 0) {
-        const core::SimResult &r = outcome.result;
-        std::fprintf(rpt,
-                     "\n%12llu instructions, %llu cycles  ->  "
-                     "IPC %.3f\n",
-                     static_cast<unsigned long long>(r.instsRetired),
-                     static_cast<unsigned long long>(r.cycles), r.ipc);
-        if (r.operandReads()) {
-            std::fprintf(rpt,
-                         "operands : bypass %.1f%%, cache %.1f%%, "
-                         "file %.1f%%  (miss rate %.2f%%/operand)\n",
-                         100.0 * r.opBypass / r.operandReads(),
-                         100.0 * r.opCache / r.operandReads(),
-                         100.0 * r.opFile / r.operandReads(),
-                         100.0 * r.missPerOperand);
-        }
-        std::fprintf(rpt,
-                     "branches : %.2f%% mispredicted;  use predictor "
-                     "%.1f%% accurate\n",
-                     100.0 * r.branchMispredictRate,
-                     100.0 * r.douAccuracy);
-        if (cfg.scheme == sim::RegScheme::Cached) {
-            std::fprintf(rpt,
-                         "cache    : occupancy %.1f/%u, %.2f "
-                         "reads/cached value, cached %.2fx per "
-                         "value\n",
-                         r.avgOccupancy, cfg.rc.entries,
-                         r.readsPerCachedValue, r.cacheCountPerValue);
-        }
+        printRunSummary(rpt, cfg, outcome.result);
         if (dump_stats)
             std::fprintf(rpt, "\n%s", proc.statsDump().c_str());
     }
