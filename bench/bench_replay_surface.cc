@@ -15,12 +15,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/reporter.hh"
 #include "regcache/policies.hh"
+#include "sched/scheduler.hh"
 #include "sim/sim_error.hh"
 #include "trace/trace_recorder.hh"
 #include "trace/trace_replay.hh"
@@ -154,38 +156,85 @@ main()
     // time skip mask (notification kinds the supplier ignores).
     const uint32_t skip = trace::replaySkipMask(grid.front().cfg);
     std::vector<sim::SuiteResult> suites(grid.size());
-    std::vector<double> cfg_wall(grid.size(), 0.0);
-    double decode_wall = 0;
-    for (const auto &lt : traces) {
-        auto t0 = std::chrono::steady_clock::now();
+    for (auto &s : suites)
+        s.runs.resize(traces.size());
+
+    // Every (grid point, trace) pair is one scheduler task. Tasks go
+    // in trace-major order and each trace decodes lazily exactly once
+    // (call_once): the injector hands out contiguous chunks, so one
+    // trace's grid points land on the worker that decoded it unless
+    // a thief rebalances — decoded events stay hot in the owner's
+    // cache, and no worker waits on another's decode.
+    struct TraceState
+    {
+        std::once_flag once;
         trace::DecodedTrace decoded;
-        try {
-            decoded = trace::decodeTrace(lt.trace, skip);
-        } catch (const sim::SimError &e) {
-            std::fprintf(stderr,
-                         "replay_surface: cannot decode trace for "
-                         "%s: %s\n",
-                         lt.workload.c_str(), e.what());
-            return 1;
-        }
-        decode_wall += secondsSince(t0);
-        for (size_t i = 0; i < grid.size(); ++i) {
-            sim::WorkloadRun wr;
-            wr.workload = lt.workload;
-            t0 = std::chrono::steady_clock::now();
+        std::string error;
+        double decodeWall = 0;
+    };
+    std::vector<TraceState> state(traces.size());
+    const unsigned jobs = sim::benchJobs(1);
+    sched::Scheduler &sch = sched::Scheduler::global(jobs);
+    auto group = sch.createGroup([&](uint32_t payload) {
+        const size_t i = sched::pointConfig(payload);
+        const size_t t = sched::pointWorkload(payload);
+        TraceState &ts = state[t];
+        std::call_once(ts.once, [&] {
+            const auto d0 = std::chrono::steady_clock::now();
+            try {
+                ts.decoded =
+                    trace::decodeTrace(traces[t].trace, skip);
+            } catch (const sim::SimError &e) {
+                ts.error = e.what();
+            }
+            ts.decodeWall = secondsSince(d0);
+        });
+        sim::WorkloadRun wr;
+        wr.workload = traces[t].workload;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (ts.error.empty()) {
             try {
                 wr.result =
-                    trace::replayDecoded(grid[i].cfg, decoded);
+                    trace::replayDecoded(grid[i].cfg, ts.decoded);
             } catch (const sim::SimError &e) {
                 wr.failed = true;
                 wr.errorKind = e.kind();
                 wr.error = e.what();
             }
-            wr.wallSeconds = secondsSince(t0);
-            cfg_wall[i] += wr.wallSeconds;
-            suites[i].runs.push_back(std::move(wr));
+        } else {
+            wr.failed = true;
+            wr.errorKind = sim::ErrorKind::TraceFormat;
+            wr.error = ts.error;
         }
+        wr.wallSeconds = secondsSince(t0);
+        suites[i].runs[t] = std::move(wr);
+    });
+    std::vector<uint32_t> payloads;
+    payloads.reserve(traces.size() * grid.size());
+    for (size_t t = 0; t < traces.size(); ++t)
+        for (size_t i = 0; i < grid.size(); ++i)
+            payloads.push_back(
+                sched::packPoint(static_cast<uint16_t>(i),
+                                 static_cast<uint16_t>(t)));
+    sch.submitAll(group, payloads);
+    sch.wait(group);
+
+    double decode_wall = 0;
+    for (size_t t = 0; t < traces.size(); ++t) {
+        if (!state[t].error.empty()) {
+            std::fprintf(stderr,
+                         "replay_surface: cannot decode trace for "
+                         "%s: %s\n",
+                         traces[t].workload.c_str(),
+                         state[t].error.c_str());
+            return 1;
+        }
+        decode_wall += state[t].decodeWall;
     }
+    std::vector<double> cfg_wall(grid.size(), 0.0);
+    for (size_t i = 0; i < grid.size(); ++i)
+        for (const auto &wr : suites[i].runs)
+            cfg_wall[i] += wr.wallSeconds;
 
     // The shared decode pass is part of replay cost; attribute an
     // equal share to every configuration's wall clock.

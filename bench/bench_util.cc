@@ -40,4 +40,28 @@ run(const sim::SimConfig &cfg)
     return r;
 }
 
+std::vector<sim::SuiteResult>
+runMany(const std::vector<sim::SimConfig> &cfgs)
+{
+    for (const auto &cfg : cfgs) {
+        try {
+            cfg.validate();
+        } catch (const sim::ConfigError &e) {
+            std::fprintf(stderr, "bench: configuration error: %s\n",
+                         e.what());
+            std::exit(e.exitCode());
+        }
+    }
+    const std::vector<sim::SuiteResult> rs =
+        sim::runSuites(cfgs, workloads(), {}, instBudget(),
+                       sim::benchJobs(1));
+    for (const auto &r : rs) {
+        if (r.numFailed())
+            std::fprintf(stderr,
+                         "bench: %zu workload(s) failed:\n%s",
+                         r.numFailed(), r.failureSummary().c_str());
+    }
+    return rs;
+}
+
 } // namespace ubrc::bench

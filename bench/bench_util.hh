@@ -37,6 +37,17 @@ uint64_t instBudget();
  */
 sim::SuiteResult run(const sim::SimConfig &cfg);
 
+/**
+ * Run several configs over the selected workloads as ONE submission
+ * to the global work-stealing scheduler (sim::runSuites): every
+ * (config, workload) point becomes a task, so a straggler kernel in
+ * one suite no longer serializes the suites behind it. Results are
+ * bit-identical to running each config through run() in order.
+ * Harnesses should go through Reporter::runMany instead.
+ */
+std::vector<sim::SuiteResult>
+runMany(const std::vector<sim::SimConfig> &cfgs);
+
 } // namespace ubrc::bench
 
 #endif // UBRC_BENCH_BENCH_UTIL_HH

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/log.hh"
 #include "common/table.hh"
 #include "sim/results_json.hh"
 
@@ -154,6 +155,28 @@ Reporter::run(const std::string &label, const sim::SimConfig &cfg)
     LockGuard lock(mu);
     suites.push_back(std::move(rec));
     return r;
+}
+
+std::vector<sim::SuiteResult>
+Reporter::runMany(const std::vector<std::string> &labels,
+                  const std::vector<sim::SimConfig> &cfgs)
+{
+    if (labels.size() != cfgs.size())
+        fatal("Reporter::runMany: %zu label(s) for %zu config(s)",
+              labels.size(), cfgs.size());
+    std::vector<sim::SuiteResult> rs = bench::runMany(cfgs);
+    LockGuard lock(mu);
+    for (size_t i = 0; i < rs.size(); ++i) {
+        RecordedSuite rec;
+        rec.label = labels[i];
+        rec.config = cfgs[i].describe();
+        rec.scheme = sim::toString(cfgs[i].scheme);
+        for (const auto &run : rs[i].runs)
+            rec.wallSeconds += run.wallSeconds;
+        rec.result = rs[i];
+        suites.push_back(std::move(rec));
+    }
+    return rs;
 }
 
 void

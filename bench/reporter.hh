@@ -141,6 +141,20 @@ class Reporter
                          const sim::SimConfig &cfg);
 
     /**
+     * Run a batch of labeled configurations as ONE submission to the
+     * global work-stealing scheduler (bench::runMany): every
+     * (config, workload) point is a task, so suites overlap instead
+     * of running back-to-back. Suite values are bit-identical to
+     * sequential run() calls in the same order; each suite's recorded
+     * wall_seconds is the sum of its per-workload run times (busy
+     * time, since suites share the pool and have no wall clock of
+     * their own).
+     */
+    std::vector<sim::SuiteResult>
+    runMany(const std::vector<std::string> &labels,
+            const std::vector<sim::SimConfig> &cfgs);
+
+    /**
      * Record a suite the harness ran itself (e.g. direct
      * trace::replayTrace calls against a preloaded trace, where
      * bench::run's per-config file reload would dominate). The

@@ -230,9 +230,9 @@ StatGroup::dump() const
 }
 
 std::string
-StatGroup::toJson() const
+StatGroup::toJson(bool pretty) const
 {
-    json::Writer w;
+    json::Writer w(pretty);
     w.beginObject();
     w.field("group", name);
     JsonVisitor v(w);

@@ -156,8 +156,12 @@ class StatGroup
      * "scalars": {...}, "means": {...}, "distributions": {...}} with
      * each distribution carrying count/mean/p50/p90 and its non-empty
      * buckets as [value, weight] pairs.
+     *
+     * @param pretty Indented multi-line output (the default); pass
+     *               false for a single-line rendering suitable for
+     *               splicing into line-framed documents.
      */
-    std::string toJson() const;
+    std::string toJson(bool pretty = true) const;
 
     void resetAll();
 

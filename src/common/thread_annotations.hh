@@ -18,6 +18,8 @@
 #ifndef UBRC_COMMON_THREAD_ANNOTATIONS_HH
 #define UBRC_COMMON_THREAD_ANNOTATIONS_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -78,6 +80,44 @@ class UBRC_CAPABILITY("mutex") Mutex
 
   private:
     std::mutex mu;
+};
+
+/**
+ * Condition variable usable with ubrc::Mutex.
+ *
+ * std::condition_variable only accepts std::unique_lock<std::mutex>,
+ * which the analysis cannot see through; condition_variable_any works
+ * with any BasicLockable, so it composes with the annotated Mutex.
+ * The wait methods are annotated UBRC_REQUIRES(m): callers must hold
+ * the mutex, and the transient unlock/relock happens inside system
+ * headers where the analysis is suppressed. Keep predicates reading
+ * atomics (or state guarded by `m`) so lambda bodies stay clean under
+ * -Wthread-safety.
+ */
+class CondVar
+{
+  public:
+    template <typename Pred>
+    void
+    wait(Mutex &m, Pred pred) UBRC_REQUIRES(m)
+    {
+        cv.wait(m, std::move(pred));
+    }
+
+    /** Returns true if the predicate held on wakeup (not timeout). */
+    template <typename Rep, typename Period, typename Pred>
+    bool
+    waitFor(Mutex &m, const std::chrono::duration<Rep, Period> &dur,
+            Pred pred) UBRC_REQUIRES(m)
+    {
+        return cv.wait_for(m, dur, std::move(pred));
+    }
+
+    void notifyOne() { cv.notify_one(); }
+    void notifyAll() { cv.notify_all(); }
+
+  private:
+    std::condition_variable_any cv;
 };
 
 /** std::lock_guard over ubrc::Mutex, visible to the analysis. */

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Chase–Lev work-stealing deque over 64-bit task words.
+ *
+ * The owning worker pushes and pops at the bottom (LIFO, cache-warm);
+ * thieves steal from the top (FIFO, oldest first — which for the
+ * replay surface means a thief takes the span furthest from the
+ * owner's hot decoded trace). The memory-order discipline follows the
+ * C11 formalization of the algorithm (Lê, Pop, Cohen, Zappa Nardelli,
+ * "Correct and Efficient Work-Stealing for Weak Memory Models",
+ * PPoPP 2013): the owner's pop and the thieves' steal race on `top`
+ * with a seq_cst CAS, so a task word is delivered exactly once.
+ *
+ * Buffer cells are std::atomic<TaskWord>: a cell may be read by a
+ * thief while the owner overwrites it after a grow, and atomics make
+ * that race benign (the CAS on `top` decides whose value counts) and
+ * keep the structure clean under TSan. Retired buffers from grows are
+ * kept alive until the deque dies because a slow thief may still be
+ * reading through the old buffer pointer.
+ *
+ * Single-owner discipline: pushBottom/popBottom/grow are owner-only,
+ * steal is any-thread. The class itself carries no mutex — the only
+ * blocking in the scheduler lives in the injector, not the deques.
+ */
+
+#ifndef UBRC_SCHED_DEQUE_HH
+#define UBRC_SCHED_DEQUE_HH
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/task.hh"
+
+namespace ubrc::sched
+{
+
+class WorkDeque
+{
+  public:
+    explicit WorkDeque(size_t initial_capacity = 64)
+        : buffer(std::make_unique<Ring>(initial_capacity))
+    {
+        bufferPtr.store(buffer.get(), std::memory_order_release);
+    }
+
+    WorkDeque(const WorkDeque &) = delete;
+    WorkDeque &operator=(const WorkDeque &) = delete;
+
+    /** Owner only: append a task at the bottom. */
+    void
+    pushBottom(TaskWord w)
+    {
+        const int64_t b = bottom.load(std::memory_order_relaxed);
+        const int64_t t = top.load(std::memory_order_acquire);
+        Ring *ring = buffer.get();
+        if (b - t >= static_cast<int64_t>(ring->capacity()) - 1)
+            ring = grow(t, b);
+        ring->put(b, w);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /** Owner only: take the most recently pushed task. */
+    bool
+    popBottom(TaskWord &out)
+    {
+        const int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+        Ring *ring = buffer.get();
+        bottom.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t t = top.load(std::memory_order_relaxed);
+        if (t > b) {
+            // Deque was empty; restore the canonical state.
+            bottom.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = ring->get(b);
+        if (t < b)
+            return true; // more than one task left, no race possible
+        // Single task left: race the thieves for it via `top`.
+        const bool won = top.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst,
+            std::memory_order_relaxed);
+        bottom.store(b + 1, std::memory_order_relaxed);
+        return won;
+    }
+
+    /** Any thread: try to take the oldest task. False on empty or a
+     *  lost race — callers treat both as "try elsewhere". */
+    bool
+    steal(TaskWord &out)
+    {
+        int64_t t = top.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const int64_t b = bottom.load(std::memory_order_acquire);
+        if (t >= b)
+            return false;
+        // Read through the current buffer pointer: if the owner grows
+        // concurrently, the old ring stays alive (retired list) and
+        // holds the same word at this index.
+        Ring *ring = bufferPtr.load(std::memory_order_acquire);
+        const TaskWord w = ring->get(t);
+        if (!top.compare_exchange_strong(t, t + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed))
+            return false;
+        out = w;
+        return true;
+    }
+
+    /** Approximate size (racy; for stats and idle heuristics only). */
+    size_t
+    sizeApprox() const
+    {
+        const int64_t b = bottom.load(std::memory_order_relaxed);
+        const int64_t t = top.load(std::memory_order_relaxed);
+        return b > t ? static_cast<size_t>(b - t) : 0;
+    }
+
+  private:
+    /** Fixed-size power-of-two ring of atomic task words. */
+    class Ring
+    {
+      public:
+        explicit Ring(size_t capacity)
+            : mask(capacity - 1), cells(capacity)
+        {
+            assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+        }
+
+        size_t capacity() const { return mask + 1; }
+
+        void
+        put(int64_t index, TaskWord w)
+        {
+            cells[static_cast<size_t>(index) & mask].store(
+                w, std::memory_order_relaxed);
+        }
+
+        TaskWord
+        get(int64_t index) const
+        {
+            return cells[static_cast<size_t>(index) & mask].load(
+                std::memory_order_relaxed);
+        }
+
+      private:
+        size_t mask;
+        std::vector<std::atomic<TaskWord>> cells;
+    };
+
+    /** Owner only: double the ring, keeping the old one alive for
+     *  in-flight thieves. */
+    Ring *
+    grow(int64_t t, int64_t b)
+    {
+        Ring *old = buffer.get();
+        auto bigger = std::make_unique<Ring>(old->capacity() * 2);
+        for (int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        retired.push_back(std::move(buffer));
+        buffer = std::move(bigger);
+        bufferPtr.store(buffer.get(), std::memory_order_release);
+        return buffer.get();
+    }
+
+    // `buffer` is the owner's view; `bufferPtr` is the same pointer
+    // published for thieves. Keeping both lets the owner skip an
+    // atomic load on its hot path.
+    std::unique_ptr<Ring> buffer;
+    std::atomic<Ring *> bufferPtr{nullptr};
+    std::vector<std::unique_ptr<Ring>> retired; // owner only
+
+    std::atomic<int64_t> top{0};
+    std::atomic<int64_t> bottom{0};
+};
+
+} // namespace ubrc::sched
+
+#endif // UBRC_SCHED_DEQUE_HH

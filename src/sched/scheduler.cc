@@ -1,0 +1,384 @@
+#include "sched/scheduler.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace ubrc::sched
+{
+
+namespace
+{
+
+/** Set inside workerMain; guards against wait()-from-worker deadlock. */
+thread_local bool t_schedWorker = false;
+
+/** Explicit setGlobalWorkers() value; 0 means "use UBRC_JOBS / 1". */
+std::atomic<unsigned> g_configuredWorkers{0};
+
+/** Worker count the global scheduler was actually built with (0 =
+ *  not built yet). */
+std::atomic<unsigned> g_globalBuiltWorkers{0};
+
+} // namespace
+
+stats::StatGroup
+SchedStats::toStatGroup() const
+{
+    stats::StatGroup g("sched");
+    g.scalar("workers") += workers;
+    g.scalar("submitted") += submitted;
+    g.scalar("tasks_run") += tasksRun;
+    g.scalar("steals") += steals;
+    g.scalar("steal_failures") += stealFailures;
+    g.scalar("stale_drops") += staleDrops;
+    for (size_t i = 0; i < perWorker.size(); ++i) {
+        const std::string suffix = "_w" + std::to_string(i);
+        g.scalar("tasks_run" + suffix) += perWorker[i].tasksRun;
+        g.scalar("steals" + suffix) += perWorker[i].steals;
+        g.scalar("busy_us" + suffix) += perWorker[i].busyMicros;
+    }
+    return g;
+}
+
+Scheduler::Scheduler(const SchedConfig &config)
+    : numWorkers(config.workers ? config.workers : 1),
+      stealSeed(config.stealSeed)
+{
+    perWorker.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        perWorker.push_back(std::make_unique<WorkerState>());
+    threads.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        threads.emplace_back([this, i] { workerMain(i); });
+}
+
+Scheduler::~Scheduler()
+{
+    stopFlag.store(true, std::memory_order_relaxed);
+    workCv.notifyAll();
+    for (auto &t : threads)
+        t.join();
+}
+
+GroupHandle
+Scheduler::createGroup(TaskGroup::Fn fn)
+{
+    // make_shared cannot reach the private constructor; the pointer
+    // goes straight into the shared_ptr. ubrc-lint: allow(naked-new)
+    GroupHandle g(new TaskGroup(std::move(fn)));
+    LockGuard lock(injMu);
+    uint16_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        if (groupSlots.size() >= (1u << taskGroupBits))
+            fatal("scheduler: more than %u live task groups",
+                  1u << taskGroupBits);
+        slot = static_cast<uint16_t>(groupSlots.size());
+        groupSlots.emplace_back();
+    }
+    g->slot = slot;
+    g->generation = groupSlots[slot].generation;
+    groupSlots[slot].group = g;
+    return g;
+}
+
+void
+Scheduler::submit(const GroupHandle &g, uint32_t payload)
+{
+    const TaskWord w = packTask(g->generation, g->slot, payload);
+    g->pending.fetch_add(1, std::memory_order_relaxed);
+    {
+        LockGuard lock(injMu);
+        injector.push_back(w);
+    }
+    submittedCount.fetch_add(1, std::memory_order_relaxed);
+    available.fetch_add(1, std::memory_order_release);
+    workCv.notifyOne();
+}
+
+void
+Scheduler::submitAll(const GroupHandle &g,
+                     const std::vector<uint32_t> &payloads)
+{
+    if (payloads.empty())
+        return;
+    g->pending.fetch_add(payloads.size(), std::memory_order_relaxed);
+    {
+        LockGuard lock(injMu);
+        for (const uint32_t p : payloads)
+            injector.push_back(packTask(g->generation, g->slot, p));
+    }
+    submittedCount.fetch_add(payloads.size(),
+                             std::memory_order_relaxed);
+    available.fetch_add(payloads.size(), std::memory_order_release);
+    workCv.notifyAll();
+}
+
+void
+Scheduler::wait(const GroupHandle &g)
+{
+    if (t_schedWorker)
+        fatal("scheduler: wait() called from a worker thread "
+              "(nested waits would deadlock the pool)");
+    {
+        LockGuard lock(g->mu);
+        g->doneCv.wait(g->mu, [&] {
+            return g->pending.load(std::memory_order_acquire) == 0;
+        });
+    }
+    releaseSlot(g);
+    std::exception_ptr err;
+    {
+        LockGuard lock(g->mu);
+        err = g->firstError;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+Scheduler::releaseSlot(const GroupHandle &g)
+{
+    LockGuard lock(injMu);
+    GroupSlot &slot = groupSlots[g->slot];
+    if (slot.group.get() != g.get())
+        return; // already released (double wait)
+    ++slot.generation;
+    slot.group.reset();
+    freeSlots.push_back(g->slot);
+}
+
+GroupHandle
+Scheduler::resolve(TaskWord w)
+{
+    LockGuard lock(injMu);
+    const uint16_t slot = taskGroup(w);
+    if (slot >= groupSlots.size())
+        return nullptr;
+    if (groupSlots[slot].generation != taskGeneration(w))
+        return nullptr;
+    return groupSlots[slot].group;
+}
+
+bool
+Scheduler::refillFromInjector(unsigned id, TaskWord &out)
+{
+    // Grab a contiguous chunk: one to run now, the rest into our own
+    // deque. Chunking is what gives submission order its locality —
+    // consecutive payloads (one trace's grid points, one suite's
+    // workloads) land on one worker unless a thief rebalances.
+    std::vector<TaskWord> chunk;
+    {
+        LockGuard lock(injMu);
+        if (injector.empty())
+            return false;
+        size_t take =
+            (injector.size() + numWorkers - 1) / numWorkers;
+        if (take > injector.size())
+            take = injector.size();
+        chunk.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            chunk.push_back(injector.front());
+            injector.pop_front();
+        }
+    }
+    out = chunk.front();
+    available.fetch_sub(1, std::memory_order_relaxed);
+    // Push the remainder in reverse so the owner's LIFO pops walk the
+    // chunk in submission order.
+    WorkerState &me = *perWorker[id];
+    for (size_t i = chunk.size(); i > 1; --i)
+        me.deque.pushBottom(chunk[i - 1]);
+    return true;
+}
+
+void
+Scheduler::execute(unsigned id, TaskWord w)
+{
+    WorkerState &me = *perWorker[id];
+    GroupHandle g = resolve(w);
+    if (!g) {
+        // Generation mismatch: the group was released while this word
+        // was in flight. Cannot happen while wait() gates release on
+        // pending == 0; counted so the invariant is observable.
+        staleDropCount.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (g->poisoned.load(std::memory_order_relaxed)) {
+        staleDropCount.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            g->fn(taskPayload(w));
+        } catch (...) {
+            g->recordError(std::current_exception());
+        }
+        me.busyMicros.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+        me.tasksRun.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (g->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task: wake the waiter. Taking the group mutex orders
+        // this notify after the waiter's predicate check, so the
+        // wakeup cannot be lost.
+        LockGuard lock(g->mu);
+        g->doneCv.notifyAll();
+    }
+}
+
+void
+Scheduler::workerMain(unsigned id)
+{
+    t_schedWorker = true;
+    WorkerState &me = *perWorker[id];
+    StealPolicy policy(stealSeed, id, numWorkers);
+    unsigned idleRounds = 0;
+
+    while (true) {
+        TaskWord w = 0;
+        bool got = me.deque.popBottom(w);
+        if (got)
+            available.fetch_sub(1, std::memory_order_relaxed);
+        if (!got)
+            got = refillFromInjector(id, w);
+        if (!got && numWorkers > 1) {
+            for (unsigned attempt = 0;
+                 attempt + 1 < numWorkers && !got; ++attempt) {
+                const unsigned victim = policy.next();
+                if (perWorker[victim]->deque.steal(w)) {
+                    got = true;
+                    available.fetch_sub(1,
+                                        std::memory_order_relaxed);
+                    me.steals.fetch_add(1,
+                                        std::memory_order_relaxed);
+                }
+            }
+            if (!got)
+                stealFailRounds.fetch_add(1,
+                                          std::memory_order_relaxed);
+        }
+        if (got) {
+            idleRounds = 0;
+            execute(id, w);
+            continue;
+        }
+        if (stopFlag.load(std::memory_order_relaxed))
+            return;
+        // Bounded backoff: a few yield rounds catch work that is one
+        // race away; after that, a timed sleep caps both idle spin
+        // and the latency of a wakeup racing the wait.
+        if (++idleRounds < 4) {
+            std::this_thread::yield();
+            continue;
+        }
+        LockGuard lock(injMu);
+        workCv.waitFor(injMu, std::chrono::microseconds(500), [&] {
+            return stopFlag.load(std::memory_order_relaxed) ||
+                   available.load(std::memory_order_acquire) > 0;
+        });
+    }
+}
+
+SchedStats
+Scheduler::stats() const
+{
+    SchedStats s;
+    s.workers = numWorkers;
+    s.submitted = submittedCount.load(std::memory_order_relaxed);
+    s.stealFailures =
+        stealFailRounds.load(std::memory_order_relaxed);
+    s.staleDrops = staleDropCount.load(std::memory_order_relaxed);
+    s.perWorker.reserve(numWorkers);
+    for (const auto &w : perWorker) {
+        SchedStats::Worker ws;
+        ws.tasksRun = w->tasksRun.load(std::memory_order_relaxed);
+        ws.steals = w->steals.load(std::memory_order_relaxed);
+        ws.busyMicros = w->busyMicros.load(std::memory_order_relaxed);
+        s.tasksRun += ws.tasksRun;
+        s.steals += ws.steals;
+        s.perWorker.push_back(ws);
+    }
+    return s;
+}
+
+namespace
+{
+
+SchedConfig
+globalConfig(unsigned size_hint)
+{
+    SchedConfig cfg;
+    const unsigned configured =
+        g_configuredWorkers.load(std::memory_order_relaxed);
+    cfg.workers = configured
+                      ? configured
+                      : envJobs(size_hint ? size_hint : 1);
+    g_globalBuiltWorkers.store(cfg.workers,
+                               std::memory_order_relaxed);
+    return cfg;
+}
+
+} // namespace
+
+Scheduler &
+Scheduler::global(unsigned size_hint)
+{
+    static Scheduler instance{globalConfig(size_hint)};
+    return instance;
+}
+
+unsigned
+globalWorkers()
+{
+    const unsigned configured =
+        g_configuredWorkers.load(std::memory_order_relaxed);
+    if (configured)
+        return configured;
+    return envJobs(1);
+}
+
+void
+setGlobalWorkers(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    g_configuredWorkers.store(workers, std::memory_order_relaxed);
+    const unsigned built =
+        g_globalBuiltWorkers.load(std::memory_order_relaxed);
+    if (built && built != workers)
+        warn("scheduler: global pool already running with %u "
+             "worker(s); requested %u ignored",
+             built, workers);
+}
+
+unsigned
+envJobs(unsigned default_jobs)
+{
+    const char *env = std::getenv("UBRC_JOBS");
+    if (!env || !*env)
+        return default_jobs;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') != nullptr)
+        fatal("UBRC_JOBS: cannot parse '%s' as a worker count", env);
+    if (v == 0)
+        fatal("UBRC_JOBS: worker count must be at least 1, got '%s'",
+              env);
+    if (v > 1024)
+        fatal("UBRC_JOBS: worker count '%s' is out of range", env);
+    return static_cast<unsigned>(v);
+}
+
+} // namespace ubrc::sched

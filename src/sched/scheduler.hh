@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Global work-stealing task scheduler.
+ *
+ * One scheduler executes every parallel workload in the system: suite
+ * sweeps (sim::runSuite / runSuites), sweep-server requests, and
+ * bench replay surfaces all submit packed 64-bit task words
+ * (sched/task.hh) and wait. Execution layers above this one no longer
+ * construct threads (an ubrc-lint rule enforces it).
+ *
+ * Architecture:
+ *  - Submissions land in a mutex-guarded injector queue.
+ *  - Each worker owns a Chase–Lev deque (sched/deque.hh). An idle
+ *    worker first pops its own deque, then refills from the injector
+ *    in chunks of ceil(pending / workers) — pushing the remainder of
+ *    the chunk to its own deque, which is what keeps consecutive
+ *    grid points (and therefore a decoded trace) on one worker —
+ *    and finally steals from victims chosen by a seeded,
+ *    deterministic per-worker policy (StealPolicy).
+ *  - Backoff is bounded: failed steal rounds escalate spin → yield →
+ *    timed CondVar wait, so an idle scheduler burns no CPU and a
+ *    submission wakes workers within the wait quantum.
+ *
+ * Determinism: the scheduler makes no ordering promises, and no caller
+ * needs one — every task writes its result to a caller-owned slot
+ * indexed by the task payload, so the merged output of a group is
+ * identical whatever interleaving or stealing occurred. The regression
+ * tests assert bit-identity of stolen-path suites against serial runs
+ * while requiring steals > 0.
+ *
+ * Failure semantics mirror the old suite pool: a task that throws
+ * poisons its group (remaining tasks are skipped, not run), the first
+ * exception is kept, and wait() rethrows it. SimErrors never reach
+ * this layer — runOneChecked and the server contain them per run.
+ */
+
+#ifndef UBRC_SCHED_SCHEDULER_HH
+#define UBRC_SCHED_SCHEDULER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/thread_annotations.hh"
+#include "sched/deque.hh"
+#include "sched/task.hh"
+
+namespace ubrc::sched
+{
+
+/**
+ * Seeded-deterministic victim selection: worker `self` visits the
+ * other workers in an order derived only from (seed, self), so a
+ * given build walks the same victim sequence every run. The sequence
+ * never yields `self`.
+ */
+class StealPolicy
+{
+  public:
+    StealPolicy(uint64_t seed, unsigned self, unsigned workers)
+        : rng(seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
+          selfId(self), numWorkers(workers)
+    {}
+
+    /** Next victim id in [0, workers) \ {self}. @pre workers >= 2. */
+    unsigned
+    next()
+    {
+        const unsigned v = static_cast<unsigned>(
+            rng.below(numWorkers - 1));
+        return v < selfId ? v : v + 1;
+    }
+
+  private:
+    Rng rng;
+    unsigned selfId;
+    unsigned numWorkers;
+};
+
+struct SchedConfig
+{
+    /** Worker thread count; clamped to at least 1. */
+    unsigned workers = 1;
+    /** Seed for the deterministic steal policy. */
+    uint64_t stealSeed = 0x5eedc0ffeeULL;
+};
+
+/** Point-in-time snapshot of scheduler counters. */
+struct SchedStats
+{
+    struct Worker
+    {
+        uint64_t tasksRun = 0;
+        uint64_t steals = 0;
+        uint64_t busyMicros = 0;
+    };
+
+    unsigned workers = 0;
+    uint64_t submitted = 0;
+    uint64_t tasksRun = 0;
+    uint64_t steals = 0;        ///< successful steals
+    uint64_t stealFailures = 0; ///< failed whole-victim-scan rounds
+    uint64_t staleDrops = 0;    ///< generation-mismatched or poisoned
+    std::vector<Worker> perWorker;
+
+    /**
+     * Export through the common stats pipeline: a "sched" group with
+     * lower_snake_case scalars (tasks_run, steals, steal_failures,
+     * stale_drops, workers, submitted, busy_us_w<i>, tasks_run_w<i>)
+     * so StatGroup::toJson() / dump() render it like any simulator
+     * stat block.
+     */
+    stats::StatGroup toStatGroup() const;
+};
+
+class Scheduler;
+
+/**
+ * A batch of tasks sharing one execution function. Handles are
+ * shared_ptrs: the scheduler's group table holds one reference until
+ * the group is released in wait().
+ */
+class TaskGroup
+{
+  public:
+    using Fn = std::function<void(uint32_t payload)>;
+
+  private:
+    friend class Scheduler;
+
+    explicit TaskGroup(Fn f) : fn(std::move(f)) {}
+
+    void
+    recordError(std::exception_ptr err)
+    {
+        poisoned.store(true, std::memory_order_relaxed);
+        LockGuard lock(mu);
+        if (!firstError)
+            firstError = std::move(err);
+    }
+
+    Fn fn;
+    uint16_t slot = 0;
+    uint16_t generation = 0;
+    std::atomic<uint64_t> pending{0};
+    std::atomic<bool> poisoned{false};
+
+    Mutex mu;
+    std::exception_ptr firstError UBRC_GUARDED_BY(mu);
+    CondVar doneCv; // notified under mu when pending reaches 0
+};
+
+using GroupHandle = std::shared_ptr<TaskGroup>;
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SchedConfig &config = {});
+
+    /** Stops the workers; any still-queued tasks are discarded. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    unsigned workers() const { return numWorkers; }
+
+    /**
+     * Register a batch. `fn` runs once per submitted payload, on a
+     * worker thread; it must confine its writes to payload-indexed
+     * slots (or its own synchronized state).
+     */
+    GroupHandle createGroup(TaskGroup::Fn fn) UBRC_EXCLUDES(injMu);
+
+    /** Enqueue one task. */
+    void submit(const GroupHandle &g, uint32_t payload)
+        UBRC_EXCLUDES(injMu);
+
+    /** Enqueue a batch in order (order is where chunked refill gets
+     *  its locality from; execution order is unspecified). */
+    void submitAll(const GroupHandle &g,
+                   const std::vector<uint32_t> &payloads)
+        UBRC_EXCLUDES(injMu);
+
+    /**
+     * Block until every task submitted to `g` has finished, then
+     * release the group's slot. Rethrows the first uncontained
+     * exception if the group was poisoned. Terminal: submitting to a
+     * waited group is a caller bug. Must not be called from a worker
+     * thread (it would deadlock the pool).
+     */
+    void wait(const GroupHandle &g) UBRC_EXCLUDES(injMu);
+
+    /** Snapshot the counters (cheap; safe while workers run). */
+    SchedStats stats() const;
+
+    /**
+     * The process-wide scheduler, created on first use and alive
+     * until process exit. Pool size, in priority order: an explicit
+     * setGlobalWorkers() value, then strict-parsed UBRC_JOBS, then
+     * `size_hint` from the first caller (e.g. a runSuite jobs
+     * argument), then 1. Later hints do not resize the pool — one
+     * global value governs every execution layer.
+     */
+    static Scheduler &global(unsigned size_hint = 0);
+
+  private:
+    struct GroupSlot
+    {
+        uint16_t generation = 0;
+        GroupHandle group; // null when free
+    };
+
+    /** Per-worker state; cache-line padded so hot counters and the
+     *  deque head do not false-share across workers. */
+    struct alignas(64) WorkerState
+    {
+        WorkDeque deque;
+        std::atomic<uint64_t> tasksRun{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> busyMicros{0};
+    };
+
+    void workerMain(unsigned id);
+    bool refillFromInjector(unsigned id, TaskWord &out)
+        UBRC_EXCLUDES(injMu);
+    void execute(unsigned id, TaskWord w) UBRC_EXCLUDES(injMu);
+    GroupHandle resolve(TaskWord w) UBRC_EXCLUDES(injMu);
+    void releaseSlot(const GroupHandle &g) UBRC_EXCLUDES(injMu);
+
+    const unsigned numWorkers;
+    const uint64_t stealSeed;
+
+    // The injector holds externally submitted words; the group table
+    // maps word group-ids back to their TaskGroup. One mutex guards
+    // both: submissions and group bookkeeping are cold paths next to
+    // deque traffic.
+    mutable Mutex injMu;
+    std::deque<TaskWord> injector UBRC_GUARDED_BY(injMu);
+    std::vector<GroupSlot> groupSlots UBRC_GUARDED_BY(injMu);
+    std::vector<uint16_t> freeSlots UBRC_GUARDED_BY(injMu);
+    CondVar workCv; // workers sleep here when nothing is runnable
+
+    // Words available for pickup (injector + deques, excluding tasks
+    // being executed). Sleep predicate for idle workers; incremented
+    // by submit, decremented when a worker acquires a word.
+    std::atomic<uint64_t> available{0};
+    std::atomic<bool> stopFlag{false};
+
+    std::atomic<uint64_t> submittedCount{0};
+    std::atomic<uint64_t> stealFailRounds{0};
+    std::atomic<uint64_t> staleDropCount{0};
+
+    std::vector<std::unique_ptr<WorkerState>> perWorker;
+    std::vector<std::thread> threads;
+};
+
+/**
+ * Worker count for Scheduler::global(): an explicit
+ * setGlobalWorkers() value wins, else strict-parsed UBRC_JOBS, else 1.
+ */
+unsigned globalWorkers();
+
+/**
+ * Configure the global scheduler's worker count (e.g. from a --jobs
+ * or --workers flag). Must be called before the first Scheduler::
+ * global() use to take effect; afterwards the pool size is fixed and
+ * a differing value only logs a warning.
+ */
+void setGlobalWorkers(unsigned workers);
+
+/**
+ * Strict UBRC_JOBS parsing: returns `default_jobs` when unset, and
+ * fails fast (log fatal) on garbage, 0, or values above 1024 — a
+ * typo'd job count should never silently serialize a sweep.
+ */
+unsigned envJobs(unsigned default_jobs);
+
+} // namespace ubrc::sched
+
+#endif // UBRC_SCHED_SCHEDULER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Packed 64-bit task words for the work-stealing scheduler.
+ *
+ * Every unit of work that flows through the scheduler — a (config,
+ * workload) grid point of a sweep, a server request slot, a replay
+ * surface cell — is a single 64-bit word:
+ *
+ *     63..48  generation   guards group-slot reuse: a word whose
+ *                          generation does not match its slot is
+ *                          stale and is dropped, never executed
+ *     47..32  group id     index into the scheduler's group table
+ *                          (the "suite id" of a submitted batch)
+ *     31..16  config index high half of the payload
+ *     15..0   workload idx low half of the payload
+ *
+ * Words are plain integers, so deque cells can be lock-free atomics
+ * and a steal moves a task with one 64-bit CAS-guarded read. The
+ * payload halves are a convention, not a requirement: callers that
+ * index a flat array (the sweep server's request slots) treat bits
+ * 31..0 as one 32-bit payload via taskPayload()/packTask().
+ */
+
+#ifndef UBRC_SCHED_TASK_HH
+#define UBRC_SCHED_TASK_HH
+
+#include <cstdint>
+
+namespace ubrc::sched
+{
+
+using TaskWord = uint64_t;
+
+constexpr unsigned taskGenBits = 16;
+constexpr unsigned taskGroupBits = 16;
+constexpr unsigned taskPayloadBits = 32;
+
+/** Largest payload a task word can carry. */
+constexpr uint32_t taskPayloadMax = 0xffffffffu;
+
+constexpr TaskWord
+packTask(uint16_t generation, uint16_t group, uint32_t payload)
+{
+    return (static_cast<TaskWord>(generation) << 48) |
+           (static_cast<TaskWord>(group) << 32) |
+           static_cast<TaskWord>(payload);
+}
+
+constexpr uint16_t
+taskGeneration(TaskWord w)
+{
+    return static_cast<uint16_t>(w >> 48);
+}
+
+constexpr uint16_t
+taskGroup(TaskWord w)
+{
+    return static_cast<uint16_t>((w >> 32) & 0xffffu);
+}
+
+constexpr uint32_t
+taskPayload(TaskWord w)
+{
+    return static_cast<uint32_t>(w & 0xffffffffu);
+}
+
+/** Payload convention for sweep grids: (config index, workload index). */
+constexpr uint32_t
+packPoint(uint16_t config_index, uint16_t workload_index)
+{
+    return (static_cast<uint32_t>(config_index) << 16) |
+           static_cast<uint32_t>(workload_index);
+}
+
+constexpr uint16_t
+pointConfig(uint32_t payload)
+{
+    return static_cast<uint16_t>(payload >> 16);
+}
+
+constexpr uint16_t
+pointWorkload(uint32_t payload)
+{
+    return static_cast<uint16_t>(payload & 0xffffu);
+}
+
+} // namespace ubrc::sched
+
+#endif // UBRC_SCHED_TASK_HH

@@ -6,6 +6,7 @@
 
 #include "sim/results_json.hh"
 #include "sim/runner.hh"
+#include "trace/trace_recorder.hh"
 #include "trace/trace_replay.hh"
 #include "workload/workload.hh"
 
@@ -29,14 +30,14 @@ writeErrorObject(json::Writer &w, sim::ErrorKind kind,
 }
 
 std::string
-helloDoc(const ServerOptions &opts)
+helloDoc(const ServerOptions &opts, unsigned effective_workers)
 {
     json::Writer w(false);
     w.beginObject();
     w.field("schema_version", sim::resultsSchemaVersion);
     w.field("kind", "server-hello");
     w.field("protocol", protocolVersion);
-    w.field("workers", opts.workers);
+    w.field("workers", effective_workers);
     w.field("queue_capacity", uint64_t(opts.queueCapacity));
     w.field("max_frame_bytes", uint64_t(opts.maxFrameBytes));
     w.field("default_deadline_ms", opts.defaultDeadlineMs);
@@ -88,7 +89,8 @@ responseDoc(const std::string &id, const sim::RunOutcome &outcome,
 }
 
 std::string
-drainDoc(DrainReason reason, const ServerCounters &c)
+drainDoc(DrainReason reason, const ServerCounters &c,
+         const sched::SchedStats &sched_stats)
 {
     json::Writer w(false);
     w.beginObject();
@@ -103,7 +105,10 @@ drainDoc(DrainReason reason, const ServerCounters &c)
     w.field("rejected", c.rejected);
     w.field("shed", c.shed);
     w.field("canceled", c.canceled);
+    w.field("trace_cache_hits", c.traceCacheHits);
+    w.field("trace_cache_misses", c.traceCacheMisses);
     w.endObject();
+    w.key("sched").raw(sched_stats.toStatGroup().toJson(false));
     w.endObject();
     return w.str();
 }
@@ -124,21 +129,34 @@ toString(DrainReason r)
 
 SweepServer::SweepServer(int in_fd, int out_fd,
                          const ServerOptions &opts)
-    : opts(opts), reader(in_fd, opts.maxFrameBytes), writer(out_fd)
-{}
+    : opts(opts), reader(in_fd, opts.maxFrameBytes), writer(out_fd),
+      traceCache(opts.traceCacheCapacity)
+{
+    if (opts.workers > 0) {
+        sched::SchedConfig cfg;
+        cfg.workers = opts.workers;
+        ownedSched = std::make_unique<sched::Scheduler>(cfg);
+        sch = ownedSched.get();
+    } else {
+        sch = &sched::Scheduler::global();
+    }
+}
 
 SweepServer::~SweepServer()
 {
-    // serve() joins the pool; this only matters if serve() was never
-    // called or threw, in which case the workers must not outlive us.
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        closed = true;
+    // serve() waits out its group; this only matters if serve() was
+    // never called or threw, in which case no task referencing this
+    // server may outlive it.
+    if (group) {
+        cancelQueued.store(true);
+        hardCancel.store(true);
+        try {
+            sch->wait(group);
+        } catch (...) {
+            // Destruction outranks a poisoned group's first error.
+        }
+        group.reset();
     }
-    cv.notify_all();
-    for (auto &t : pool)
-        if (t.joinable())
-            t.join();
 }
 
 void
@@ -160,6 +178,8 @@ SweepServer::counters() const
     c.rejected = nRejected.load();
     c.shed = nShed.load();
     c.canceled = nCanceled.load();
+    c.traceCacheHits = traceCache.hits();
+    c.traceCacheMisses = traceCache.misses();
     return c;
 }
 
@@ -168,6 +188,34 @@ SweepServer::sendReject(const std::string &id, sim::ErrorKind kind,
                         const std::string &message)
 {
     writer.writeLine(rejectDoc(id, kind, message));
+}
+
+uint32_t
+SweepServer::storeRequest(SweepRequest req)
+{
+    LockGuard lock(slotMu);
+    uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+        slots[slot] =
+            std::make_unique<SweepRequest>(std::move(req));
+    } else {
+        slot = static_cast<uint32_t>(slots.size());
+        slots.push_back(
+            std::make_unique<SweepRequest>(std::move(req)));
+    }
+    return slot;
+}
+
+SweepRequest
+SweepServer::takeRequest(uint32_t slot)
+{
+    LockGuard lock(slotMu);
+    SweepRequest req = std::move(*slots[slot]);
+    slots[slot].reset();
+    freeSlots.push_back(slot);
+    return req;
 }
 
 bool
@@ -199,16 +247,17 @@ SweepServer::handleFrame(const std::string &line)
         if (req.deadlineMs == 0)
             req.deadlineMs = opts.defaultDeadlineMs;
 
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            if (queue.size() >= opts.queueCapacity)
-                throw sim::QueueFullError(
-                    "queue full (capacity " +
-                    std::to_string(opts.queueCapacity) +
-                    "); retry after backoff");
-            queue.push_back(std::move(req));
-        }
-        cv.notify_one();
+        // The reader is the only admitter, so the waiting count
+        // cannot race upward between check and increment.
+        if (queued.load(std::memory_order_acquire) >=
+            opts.queueCapacity)
+            throw sim::QueueFullError(
+                "queue full (capacity " +
+                std::to_string(opts.queueCapacity) +
+                "); retry after backoff");
+        const uint32_t slot = storeRequest(std::move(req));
+        queued.fetch_add(1, std::memory_order_release);
+        sch->submit(group, slot);
         ++nAdmitted;
     } catch (const sim::SimError &e) {
         if (e.kind() == sim::ErrorKind::QueueFull)
@@ -220,21 +269,56 @@ SweepServer::handleFrame(const std::string &line)
     return true;
 }
 
+sim::RunOutcome
+SweepServer::runReplay(const SweepRequest &req,
+                       const sim::RunControl &ctl)
+{
+    sim::RunOutcome out;
+    try {
+        const std::string path = trace::traceFilePath(
+            req.config.traceDir, req.workloadName);
+        const auto decoded = traceCache.acquire(path);
+        if (decoded->meta.workload != req.workloadName)
+            throw sim::TraceFormatError(
+                "trace file '" + path + "' records workload '" +
+                decoded->meta.workload + "', not '" +
+                req.workloadName + "'");
+        return sim::runDecodedReplayChecked(req.config, *decoded,
+                                            req.maxInsts, ctl);
+    } catch (const sim::ConfigError &) {
+        throw; // a bad config is a caller bug, not a run hazard
+    } catch (const sim::SimError &err) {
+        // Containment identical to runOneChecked()'s replay path:
+        // a trace gone bad between admission and execution is a
+        // per-run failure, not a server hazard.
+        out.ok = false;
+        out.kind = err.kind();
+        out.message = err.what();
+    }
+    return out;
+}
+
 void
 SweepServer::runJob(const SweepRequest &req)
 {
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        const workload::Workload w =
-            workload::buildWorkload(req.workloadName, req.params);
-
         sim::RunControl ctl;
         if (req.deadlineMs)
             ctl = sim::RunControl::deadlineAfterMs(req.deadlineMs);
         ctl.cancel = &hardCancel;
 
-        const sim::RunOutcome outcome =
-            sim::runOneChecked(req.config, w, req.maxInsts, ctl);
+        sim::RunOutcome outcome;
+        if (req.config.traceMode == sim::TraceMode::Replay) {
+            // The cached path: decode once per trace, replay per
+            // request. No workload build — replay never touches it.
+            outcome = runReplay(req, ctl);
+        } else {
+            const workload::Workload w = workload::buildWorkload(
+                req.workloadName, req.params);
+            outcome =
+                sim::runOneChecked(req.config, w, req.maxInsts, ctl);
+        }
 
         const double wall_ms =
             std::chrono::duration<double, std::milli>(
@@ -248,40 +332,44 @@ SweepServer::runJob(const SweepRequest &req)
     } catch (const std::exception &e) {
         // Nothing above is expected to throw — the config was
         // validated at admission and runOneChecked() contains every
-        // SimError — but an exception escaping a worker thread would
-        // terminate the process, so this boundary is absolute.
+        // SimError — but an exception escaping a scheduler task would
+        // poison the group and surface at drain, so this boundary is
+        // absolute.
         ++nFailed;
         sendReject(req.id, sim::ErrorKind::Invariant, e.what());
     }
 }
 
 void
-SweepServer::workerMain()
+SweepServer::executeRequest(uint32_t slot)
 {
-    while (true) {
-        SweepRequest req;
-        {
-            std::unique_lock<std::mutex> lock(mu);
-            cv.wait(lock,
-                    [this] { return closed || !queue.empty(); });
-            if (queue.empty())
-                return; // closed and drained
-            req = std::move(queue.front());
-            queue.pop_front();
+    SweepRequest req;
+    try {
+        req = takeRequest(slot);
+        queued.fetch_sub(1, std::memory_order_release);
+        if (cancelQueued.load(std::memory_order_acquire)) {
+            ++nCanceled;
+            sendReject(req.id, sim::ErrorKind::Canceled,
+                       "canceled: server draining before execution; "
+                       "safe to resubmit");
+            return;
         }
-        runJob(req);
+    } catch (const std::exception &e) {
+        ++nFailed;
+        sendReject(req.id, sim::ErrorKind::Invariant, e.what());
+        return;
     }
+    runJob(req);
 }
 
 int
 SweepServer::serve()
 {
     if (opts.emitHello)
-        writer.writeLine(helloDoc(opts));
+        writer.writeLine(helloDoc(opts, effectiveWorkers()));
 
-    pool.reserve(opts.workers);
-    for (unsigned i = 0; i < opts.workers; ++i)
-        pool.emplace_back(&SweepServer::workerMain, this);
+    group = sch->createGroup(
+        [this](uint32_t slot) { executeRequest(slot); });
 
     DrainReason reason = DrainReason::Eof;
     std::string line;
@@ -324,30 +412,18 @@ SweepServer::serve()
     }
 
     // Drain. EOF and shutdown-request finish everything queued; a
-    // signal stop (and a dead input stream) cancels queued requests
-    // but lets in-flight runs finish — their deadlines still bound
-    // them, and a second requestStop() aborts them at the next poll.
-    const bool cancelQueued = reason == DrainReason::Signal ||
-                              reason == DrainReason::IoError;
-    std::deque<SweepRequest> dropped;
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        closed = true;
-        if (cancelQueued)
-            dropped.swap(queue);
-    }
-    cv.notify_all();
-    for (const auto &req : dropped) {
-        ++nCanceled;
-        sendReject(req.id, sim::ErrorKind::Canceled,
-                   "canceled: server draining before execution; "
-                   "safe to resubmit");
-    }
-    for (auto &t : pool)
-        t.join();
-    pool.clear();
+    // signal stop (and a dead input stream) answers queued requests
+    // with retryable canceled rejections — the workers emit those as
+    // they claim the tasks — but lets in-flight runs finish: their
+    // deadlines still bound them, and a second requestStop() aborts
+    // them at the next poll.
+    if (reason == DrainReason::Signal ||
+        reason == DrainReason::IoError)
+        cancelQueued.store(true, std::memory_order_release);
+    sch->wait(group);
+    group.reset();
 
-    writer.writeLine(drainDoc(reason, counters()));
+    writer.writeLine(drainDoc(reason, counters(), sch->stats()));
     return reason == DrainReason::IoError ? 1 : 0;
 }
 

@@ -3,9 +3,10 @@
  * SweepServer: a persistent, fault-tolerant sweep service.
  *
  * The server reads sweep-request frames (server/request.hh) from a
- * file descriptor, runs each admitted request on a worker pool via
- * sim::runOneChecked(), and writes one response frame per request —
- * every request is answered exactly once, in completion order.
+ * file descriptor, runs each admitted request as a task on the
+ * work-stealing scheduler (sched/scheduler.hh), and writes one
+ * response frame per request — every request is answered exactly
+ * once, in completion order.
  *
  * Robustness model:
  *  - Per-request isolation. Any SimError — checker divergence,
@@ -16,32 +17,44 @@
  *    bounds execution wall time through sim::RunControl, layered on
  *    the forward-progress watchdog: the watchdog catches hung
  *    pipelines, the deadline bounds well-formed but oversized work.
- *    The deadline clock starts when a worker dequeues the request.
- *  - Bounded admission. The queue holds at most queueCapacity
- *    requests; beyond that, requests are shed with a retryable
- *    queue-full rejection (clients back off and resubmit).
+ *    The deadline clock starts when a worker picks the request up.
+ *  - Bounded admission. At most queueCapacity admitted requests may
+ *    be waiting for a worker; beyond that, requests are shed with a
+ *    retryable queue-full rejection (clients back off and resubmit).
  *  - Graceful drain. EOF or a "shutdown" frame finishes everything
  *    queued. requestStop() — async-signal-safe, called from SIGINT/
  *    SIGTERM handlers — finishes in-flight runs but answers queued
  *    requests with retryable canceled rejections; a second
  *    requestStop() also aborts in-flight runs at their next poll.
- *    Either way the server ends with a server-drain summary document.
+ *    Either way the server ends with a server-drain summary document
+ *    carrying the service counters, trace-cache hit/miss counts, and
+ *    the scheduler's stats block.
+ *
+ * Execution: requests ride the same scheduler as suite sweeps and
+ * bench surfaces. `ServerOptions::workers > 0` gives the server a
+ * private pool of that size (in-process tests pin shed/drain
+ * behaviour to exact worker counts); `workers == 0` submits to
+ * Scheduler::global(), whose size is the one global worker value
+ * (sched::setGlobalWorkers / UBRC_JOBS) — ubrcsim-server maps its
+ * --workers flag onto that. Replayed traces are decoded once and
+ * shared across requests via TraceCache.
  */
 
 #ifndef UBRC_SERVER_SERVER_HH
 #define UBRC_SERVER_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/framing.hh"
+#include "common/thread_annotations.hh"
+#include "sched/scheduler.hh"
 #include "server/request.hh"
+#include "server/trace_cache.hh"
+#include "sim/runner.hh"
 #include "sim/sim_error.hh"
 
 namespace ubrc::server
@@ -50,7 +63,8 @@ namespace ubrc::server
 /** Service-level tunables. */
 struct ServerOptions
 {
-    /** Worker threads executing simulations. */
+    /** Worker threads executing simulations: > 0 runs a private
+     *  scheduler of that size; 0 uses the global scheduler. */
     unsigned workers = 2;
     /** Admitted requests waiting for a worker before shedding. */
     size_t queueCapacity = 16;
@@ -62,6 +76,8 @@ struct ServerOptions
     AdmissionLimits limits;
     /** Emit the server-hello document on startup. */
     bool emitHello = true;
+    /** Decoded traces retained for trace_replay requests (0: off). */
+    size_t traceCacheCapacity = 8;
 };
 
 /** Monotonic service counters, reported in the drain document. */
@@ -74,6 +90,8 @@ struct ServerCounters
     uint64_t rejected = 0;  ///< bad request / config rejections
     uint64_t shed = 0;      ///< queue-full rejections
     uint64_t canceled = 0;  ///< queued requests canceled at drain
+    uint64_t traceCacheHits = 0;   ///< decoded-trace cache hits
+    uint64_t traceCacheMisses = 0; ///< decoded-trace cache misses
 };
 
 /** Why the serve loop ended (reported in the drain document). */
@@ -112,29 +130,51 @@ class SweepServer
     /** Counter snapshot (stable once serve() has returned). */
     ServerCounters counters() const;
 
+    /** Worker threads actually executing this server's requests. */
+    unsigned effectiveWorkers() const { return sch->workers(); }
+
   private:
     /** Returns false when the frame asks the server to shut down. */
     bool handleFrame(const std::string &line);
-    void workerMain();
+    /** Task body: claim the request slot, run or cancel-reject it. */
+    void executeRequest(uint32_t slot);
     void runJob(const SweepRequest &req);
+    sim::RunOutcome runReplay(const SweepRequest &req,
+                              const sim::RunControl &ctl);
     void sendReject(const std::string &id, sim::ErrorKind kind,
                     const std::string &message);
+
+    uint32_t storeRequest(SweepRequest req) UBRC_EXCLUDES(slotMu);
+    SweepRequest takeRequest(uint32_t slot) UBRC_EXCLUDES(slotMu);
 
     ServerOptions opts;
     framing::LineReader reader;
     framing::LineWriter writer;
 
-    // Admission queue. Plain std::mutex: the condition variable's
-    // wait() releases the lock in a way the clang thread-safety
-    // analysis cannot follow, so this one stays unannotated.
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<SweepRequest> queue;
-    bool closed = false; ///< no more pushes; workers drain then exit
+    // The execution engine: a private pool when opts.workers > 0,
+    // else the process-global scheduler.
+    std::unique_ptr<sched::Scheduler> ownedSched;
+    sched::Scheduler *sch;
+    sched::GroupHandle group;
+
+    // Admitted requests waiting for a worker live in payload-indexed
+    // slots; the task word carries the slot index. `queued` is the
+    // waiting count that backs the queue-capacity shed decision
+    // (incremented at admission, decremented when a worker claims
+    // the slot).
+    Mutex slotMu;
+    std::vector<std::unique_ptr<SweepRequest>> slots
+        UBRC_GUARDED_BY(slotMu);
+    std::vector<uint32_t> freeSlots UBRC_GUARDED_BY(slotMu);
+    std::atomic<size_t> queued{0};
 
     std::atomic<bool> stopFlag{false};
     std::atomic<bool> hardCancel{false};
-    std::vector<std::thread> pool;
+    /** Raised at drain time: claimed-but-unstarted requests answer
+     *  with a retryable canceled rejection instead of running. */
+    std::atomic<bool> cancelQueued{false};
+
+    TraceCache traceCache;
 
     std::atomic<uint64_t> nReceived{0}, nAdmitted{0}, nOk{0},
         nFailed{0}, nRejected{0}, nShed{0}, nCanceled{0};

@@ -1,0 +1,91 @@
+#include "server/trace_cache.hh"
+
+#include <utility>
+
+#include "trace/trace_recorder.hh"
+
+namespace ubrc::server
+{
+
+std::shared_ptr<const trace::DecodedTrace>
+TraceCache::acquire(const std::string &path)
+{
+    namespace fs = std::filesystem;
+
+    // A stat failure falls through to loadTrace(), which reports the
+    // missing/unreadable file as a proper TraceFormatError.
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+
+    if (cap != 0 && !ec) {
+        LockGuard lock(mu);
+        for (auto &e : entries) {
+            if (e.path != path)
+                continue;
+            if (e.mtime == mtime) {
+                e.lastUse = ++useClock;
+                nHits.fetch_add(1, std::memory_order_relaxed);
+                return e.decoded;
+            }
+            break; // mtime moved: revalidate by content below
+        }
+    }
+
+    // Load (cheap: read + CRC) outside the lock; hash the event
+    // payload to detect a touch-without-change before paying for the
+    // decode, which is the expensive part being cached.
+    trace::RecordedTrace loaded = trace::loadTrace(path);
+    std::string events_hash = trace::fnv1aHex(loaded.events);
+
+    if (cap != 0 && !ec) {
+        LockGuard lock(mu);
+        for (auto &e : entries) {
+            if (e.path != path)
+                continue;
+            if (e.eventsHash == events_hash) {
+                e.mtime = mtime;
+                e.lastUse = ++useClock;
+                nHits.fetch_add(1, std::memory_order_relaxed);
+                return e.decoded;
+            }
+            break;
+        }
+    }
+
+    auto decoded = std::make_shared<const trace::DecodedTrace>(
+        trace::decodeTrace(loaded, 0));
+    nMisses.fetch_add(1, std::memory_order_relaxed);
+    if (cap == 0 || ec)
+        return decoded;
+
+    LockGuard lock(mu);
+    for (auto &e : entries) {
+        if (e.path != path)
+            continue;
+        // Lost a decode race or replaced stale content; either way
+        // the freshest decode wins.
+        e.mtime = mtime;
+        e.eventsHash = events_hash;
+        e.lastUse = ++useClock;
+        e.decoded = decoded;
+        return decoded;
+    }
+    if (entries.size() >= cap) {
+        size_t victim = 0;
+        for (size_t i = 1; i < entries.size(); ++i)
+            if (entries[i].lastUse < entries[victim].lastUse)
+                victim = i;
+        entries.erase(entries.begin() +
+                      static_cast<ptrdiff_t>(victim));
+    }
+    Entry e;
+    e.path = path;
+    e.mtime = mtime;
+    e.eventsHash = std::move(events_hash);
+    e.lastUse = ++useClock;
+    e.decoded = decoded;
+    entries.push_back(std::move(e));
+    return decoded;
+}
+
+} // namespace ubrc::server

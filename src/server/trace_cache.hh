@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Decoded-trace cache for the sweep server.
+ *
+ * A trace_replay sweep replays one recorded trace against many
+ * configurations, and wire-decoding the event stream dominates the
+ * cost of a single replay — so re-reading and re-decoding the .ubrct
+ * file per request throws away exactly the work the replay subsystem
+ * was built to amortize. This cache keys decoded traces by (path,
+ * mtime, content hash): an unchanged mtime is a hit without touching
+ * the file; a changed mtime re-reads the (CRC-checked) container and
+ * compares the FNV-1a hash of the event payload, reusing the decode
+ * when only the timestamp moved. Capacity is bounded with LRU
+ * eviction; hit/miss counters surface in the server-drain document.
+ *
+ * Entries are decoded with skip mask 0 (every event retained), so one
+ * cached decode serves any requested configuration — a per-config
+ * skip mask would fragment the cache for a memory saving the server's
+ * capacity bound already provides.
+ */
+
+#ifndef UBRC_SERVER_TRACE_CACHE_HH
+#define UBRC_SERVER_TRACE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+#include "trace/trace_replay.hh"
+
+namespace ubrc::server
+{
+
+class TraceCache
+{
+  public:
+    /** @param capacity Decoded traces retained; 0 disables caching
+     *                  (every acquire loads and decodes afresh). */
+    explicit TraceCache(size_t capacity) : cap(capacity) {}
+
+    /**
+     * Return the decoded trace for `path`, from cache when valid.
+     * Throws sim::TraceFormatError exactly like trace::loadTrace /
+     * decodeTrace on a missing, corrupt, or truncated file. Thread-
+     * safe; the returned trace is immutable and shared, so callers
+     * can replay it concurrently.
+     */
+    std::shared_ptr<const trace::DecodedTrace>
+    acquire(const std::string &path) UBRC_EXCLUDES(mu);
+
+    uint64_t hits() const { return nHits.load(); }
+    uint64_t misses() const { return nMisses.load(); }
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        std::filesystem::file_time_type mtime;
+        std::string eventsHash; ///< FNV-1a-64 of the event payload
+        uint64_t lastUse = 0;
+        std::shared_ptr<const trace::DecodedTrace> decoded;
+    };
+
+    const size_t cap;
+
+    mutable Mutex mu;
+    std::vector<Entry> entries UBRC_GUARDED_BY(mu);
+    uint64_t useClock UBRC_GUARDED_BY(mu) = 0;
+
+    std::atomic<uint64_t> nHits{0};
+    std::atomic<uint64_t> nMisses{0};
+};
+
+} // namespace ubrc::server
+
+#endif // UBRC_SERVER_TRACE_CACHE_HH

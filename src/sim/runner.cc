@@ -1,17 +1,14 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
 #include <sstream>
-#include <thread>
 
 #include "common/log.hh"
-#include "common/thread_annotations.hh"
+#include "sched/scheduler.hh"
 #include "trace/trace_recorder.hh"
 #include "trace/trace_replay.hh"
 
@@ -196,6 +193,32 @@ runOneChecked(const SimConfig &config, const workload::Workload &workload,
     return out;
 }
 
+RunOutcome
+runDecodedReplayChecked(const SimConfig &config,
+                        const trace::DecodedTrace &decoded,
+                        uint64_t max_insts, const RunControl &ctl)
+{
+    SimConfig cfg = config;
+    if (max_insts)
+        cfg.maxInsts = max_insts;
+    cfg.validate();
+
+    RunOutcome out;
+    try {
+        out.result = trace::replayDecoded(cfg, decoded,
+                                          ctl.engaged()
+                                              ? makeReplayPoll(ctl)
+                                              : trace::ReplayPoll{});
+    } catch (const ConfigError &) {
+        throw; // a bad config is a caller bug, not a run hazard
+    } catch (const SimError &err) {
+        out.ok = false;
+        out.kind = err.kind();
+        out.message = err.what();
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -241,46 +264,20 @@ cancelRaised(const RunControl &ctl)
     return ctl.cancel && ctl.cancel->load(std::memory_order_relaxed);
 }
 
-/**
- * The one piece of cross-worker mutable state in the suite pool:
- * the first uncontained exception (ConfigError or an internal bug).
- * Workers write results by disjoint index, so everything else is
- * race-free by construction; this slot is lock-disciplined and the
- * discipline is compiler-checked under clang -Wthread-safety.
- */
-class FirstErrorSlot
-{
-  public:
-    /** Keep the first exception; later ones are dropped. */
-    void
-    record(std::exception_ptr err) UBRC_EXCLUDES(mu)
-    {
-        LockGuard lock(mu);
-        if (!first)
-            first = std::move(err);
-    }
-
-    std::exception_ptr
-    take() UBRC_EXCLUDES(mu)
-    {
-        LockGuard lock(mu);
-        return first;
-    }
-
-  private:
-    Mutex mu;
-    std::exception_ptr first UBRC_GUARDED_BY(mu);
-};
-
 } // namespace
 
-SuiteResult
-runSuite(const SimConfig &config,
-         const std::vector<std::string> &workload_names,
-         const workload::WorkloadParams &params, uint64_t max_insts,
-         unsigned jobs, const RunControl &ctl)
+std::vector<SuiteResult>
+runSuites(const std::vector<SimConfig> &configs,
+          const std::vector<std::string> &workload_names,
+          const workload::WorkloadParams &params, uint64_t max_insts,
+          unsigned jobs, const RunControl &ctl)
 {
+    const size_t ncfg = configs.size();
     const size_t n = workload_names.size();
+    if (ncfg > (1u << 16) || n > (1u << 16))
+        fatal("runSuites: grid of %zu config(s) x %zu workload(s) "
+              "exceeds the 16-bit task payload fields",
+              ncfg, n);
 
     // Workload construction touches shared generator state; build the
     // whole suite up front on this thread. Each simulation then only
@@ -290,80 +287,86 @@ runSuite(const SimConfig &config,
     for (const auto &name : workload_names)
         workloads.push_back(workload::buildWorkload(name, params));
 
-    SuiteResult out;
-    out.runs.resize(n);
+    std::vector<SuiteResult> out(ncfg);
+    for (auto &suite : out)
+        suite.runs.resize(n);
 
-    if (jobs <= 1 || n <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            out.runs[i] =
-                cancelRaised(ctl)
-                    ? canceledRun(workload_names[i])
-                    : runSuiteEntry(config, workload_names[i],
-                                    workloads[i], max_insts, ctl);
+    if (jobs <= 1 || ncfg * n <= 1) {
+        for (size_t c = 0; c < ncfg; ++c)
+            for (size_t i = 0; i < n; ++i)
+                out[c].runs[i] =
+                    cancelRaised(ctl)
+                        ? canceledRun(workload_names[i])
+                        : runSuiteEntry(configs[c],
+                                        workload_names[i],
+                                        workloads[i], max_insts,
+                                        ctl);
     } else {
-        // Every simulation is self-contained, so workloads can be
-        // claimed in any order: results are written back by index,
-        // which makes the merged suite identical to a serial run.
-        const unsigned workers =
-            static_cast<unsigned>(std::min<size_t>(jobs, n));
-        std::atomic<size_t> next{0};
-        std::atomic<bool> poisoned{false};
-        FirstErrorSlot first_error;
-
-        auto body = [&]() {
-            while (!poisoned.load(std::memory_order_relaxed)) {
-                const size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                if (cancelRaised(ctl)) {
-                    // Keep claiming so every remaining slot is
-                    // marked: the merged result stays one row per
-                    // requested workload even when interrupted.
-                    out.runs[i] = canceledRun(workload_names[i]);
-                    continue;
-                }
-                try {
-                    out.runs[i] =
-                        runSuiteEntry(config, workload_names[i],
-                                      workloads[i], max_insts, ctl);
-                } catch (...) {
-                    // ConfigError or an internal bug: remember the
-                    // first one and stop handing out work.
-                    first_error.record(std::current_exception());
-                    poisoned.store(true, std::memory_order_relaxed);
-                }
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(body);
-        for (auto &t : pool)
-            t.join();
-        if (auto err = first_error.take())
-            std::rethrow_exception(err);
+        // Every simulation is self-contained, so grid points can
+        // execute (and be stolen) in any order: results are written
+        // back by task index, which makes the merged suites identical
+        // to a serial run. A task observing a raised cancel flag
+        // still runs — it writes the canceled row — so an interrupted
+        // sweep yields one row per requested point. An uncontained
+        // exception (ConfigError, internal bug) poisons the group:
+        // remaining tasks are skipped and wait() rethrows the first.
+        sched::Scheduler &sch = sched::Scheduler::global(jobs);
+        sched::GroupHandle group =
+            sch.createGroup([&](uint32_t payload) {
+                const size_t c = sched::pointConfig(payload);
+                const size_t i = sched::pointWorkload(payload);
+                out[c].runs[i] =
+                    cancelRaised(ctl)
+                        ? canceledRun(workload_names[i])
+                        : runSuiteEntry(configs[c],
+                                        workload_names[i],
+                                        workloads[i], max_insts,
+                                        ctl);
+            });
+        std::vector<uint32_t> payloads;
+        payloads.reserve(ncfg * n);
+        for (size_t c = 0; c < ncfg; ++c)
+            for (size_t i = 0; i < n; ++i)
+                payloads.push_back(sched::packPoint(
+                    static_cast<uint16_t>(c),
+                    static_cast<uint16_t>(i)));
+        sch.submitAll(group, payloads);
+        sch.wait(group);
     }
 
     // Warn after the merge so the output order does not depend on
-    // worker scheduling. Cancellations are summarized in one line:
-    // per-run warnings would just repeat the interrupt.
-    size_t canceled = 0;
-    for (const auto &wr : out.runs) {
-        if (!wr.failed)
-            continue;
-        if (wr.errorKind == ErrorKind::Canceled)
-            ++canceled;
-        else
-            warn("workload '%s' failed (%s): %s — continuing suite",
-                 wr.workload.c_str(), toString(wr.errorKind),
-                 wr.error.c_str());
+    // worker scheduling. Cancellations are summarized in one line per
+    // suite: per-run warnings would just repeat the interrupt.
+    for (const auto &suite : out) {
+        size_t canceled = 0;
+        for (const auto &wr : suite.runs) {
+            if (!wr.failed)
+                continue;
+            if (wr.errorKind == ErrorKind::Canceled)
+                ++canceled;
+            else
+                warn("workload '%s' failed (%s): %s — continuing "
+                     "suite",
+                     wr.workload.c_str(), toString(wr.errorKind),
+                     wr.error.c_str());
+        }
+        if (canceled)
+            warn("suite canceled: %zu of %zu run(s) did not complete",
+                 canceled, suite.runs.size());
     }
-    if (canceled)
-        warn("suite canceled: %zu of %zu run(s) did not complete",
-             canceled, out.runs.size());
     return out;
+}
+
+SuiteResult
+runSuite(const SimConfig &config,
+         const std::vector<std::string> &workload_names,
+         const workload::WorkloadParams &params, uint64_t max_insts,
+         unsigned jobs, const RunControl &ctl)
+{
+    std::vector<SimConfig> one{config};
+    std::vector<SuiteResult> suites =
+        runSuites(one, workload_names, params, max_insts, jobs, ctl);
+    return std::move(suites.front());
 }
 
 std::vector<std::string>
@@ -416,21 +419,9 @@ benchMaxInsts(uint64_t default_max)
 unsigned
 benchJobs(unsigned default_jobs)
 {
-    const char *env = std::getenv("UBRC_JOBS");
-    if (!env || !*env)
-        return default_jobs;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 0);
-    if (end == env || *end != '\0' || errno == ERANGE ||
-        std::strchr(env, '-') != nullptr)
-        fatal("UBRC_JOBS: cannot parse '%s' as a worker count", env);
-    if (v == 0)
-        fatal("UBRC_JOBS: worker count must be at least 1, got '%s'",
-              env);
-    if (v > 1024)
-        fatal("UBRC_JOBS: worker count '%s' is out of range", env);
-    return static_cast<unsigned>(v);
+    // One global value governs worker counts everywhere: UBRC_JOBS
+    // parsing lives with the scheduler it sizes.
+    return sched::envJobs(default_jobs);
 }
 
 } // namespace ubrc::sim

@@ -24,6 +24,11 @@
 #include "sim/sim_error.hh"
 #include "workload/workload.hh"
 
+namespace ubrc::trace
+{
+struct DecodedTrace;
+} // namespace ubrc::trace
+
 namespace ubrc::sim
 {
 
@@ -174,18 +179,38 @@ RunOutcome runOneChecked(const SimConfig &config,
                          const RunControl &ctl = {});
 
 /**
+ * Replay a pre-decoded trace with the containment and RunControl
+ * semantics of runOneChecked()'s replay path: SimErrors (including
+ * DeadlineExceeded/Canceled and TraceFormatError from malformed event
+ * bytes) land in the outcome, ConfigError propagates. The caller is
+ * responsible for matching the trace to the intended workload; the
+ * sweep server uses this with its decoded-trace cache so a hot trace
+ * is decoded once, not once per request.
+ */
+RunOutcome runDecodedReplayChecked(const SimConfig &config,
+                                   const trace::DecodedTrace &decoded,
+                                   uint64_t max_insts = 0,
+                                   const RunControl &ctl = {});
+
+/**
  * Run a configuration over a set of workloads (by name). A run that
  * fails with a SimError is recorded (WorkloadRun::failed) and the
  * remaining workloads still run.
  *
- * @param jobs Worker threads. 1 (the default) runs the suite inline;
- *             N > 1 distributes the workloads over min(N, suite size)
- *             threads. Each simulation is fully independent (its own
- *             Processor, memory image, and statistics), so the merged
- *             SuiteResult is bit-identical to a serial run: results
- *             land at their workload's position in `workload_names`
- *             order and failure warnings are emitted in that same
- *             order after the suite finishes.
+ * @param jobs 1 (the default) runs the suite inline on the calling
+ *             thread; N > 1 submits every workload as a task to the
+ *             global work-stealing scheduler (sched::Scheduler) and
+ *             waits. The pool size is governed by the single global
+ *             worker count (setGlobalWorkers / UBRC_JOBS), with
+ *             `jobs` acting as the sizing hint for the first parallel
+ *             call in the process. Each simulation is fully
+ *             independent (its own Processor, memory image, and
+ *             statistics) and results are written back by task index,
+ *             so the merged SuiteResult is bit-identical to a serial
+ *             run whatever stealing occurred: results land at their
+ *             workload's position in `workload_names` order and
+ *             failure warnings are emitted in that same order after
+ *             the suite finishes.
  * @param ctl  Optional deadline/cancellation applied to every run.
  *             When the cancel flag rises, in-flight runs abort at
  *             their next poll and not-yet-started workloads are
@@ -200,13 +225,34 @@ SuiteResult runSuite(const SimConfig &config,
                      const RunControl &ctl = {});
 
 /**
+ * Run several configurations over the same workload suite as one
+ * scheduler submission: every (config, workload) grid point becomes
+ * an independent task, so a heavy-tailed point (a pointer-chasing
+ * workload under a slow scheme) no longer serializes the suites
+ * behind it — idle workers steal across suite boundaries. Semantics
+ * per suite match runSuite() (same containment, cancellation rows,
+ * post-merge warning order, bit-identical write-back-by-index merge);
+ * with jobs <= 1 the grid runs inline in config-major order. An
+ * uncontained ConfigError (or internal bug) from any point propagates
+ * after in-flight tasks finish, like runSuite.
+ */
+std::vector<SuiteResult> runSuites(
+    const std::vector<SimConfig> &configs,
+    const std::vector<std::string> &workload_names,
+    const workload::WorkloadParams &params = {},
+    uint64_t max_insts = 0, unsigned jobs = 1,
+    const RunControl &ctl = {});
+
+/**
  * Workload subset and run-length controls for benchmark binaries,
  * honouring the UBRC_WORKLOADS (comma-separated names or "all"),
  * UBRC_MAX_INSTS, and UBRC_JOBS environment variables. Malformed
  * values are fatal: an unparseable UBRC_MAX_INSTS, a zero or
  * unparseable UBRC_JOBS, or an unknown workload name aborts with a
  * message naming the offending string rather than being silently
- * ignored.
+ * ignored. benchJobs() delegates to sched::envJobs(): UBRC_JOBS is
+ * the same global value that sizes the work-stealing scheduler, so
+ * one knob governs worker counts everywhere.
  */
 std::vector<std::string> benchWorkloads(
     const std::vector<std::string> &defaults);

@@ -1,0 +1,19 @@
+// Fixture: raw thread construction sites the rule must flag —
+// temporaries, named objects, brace-init, and emplacement into a
+// declared thread container — outside src/sched/.
+#include <thread>
+#include <vector>
+
+void
+pool()
+{
+    std::thread worker([] {});          // LINT-EXPECT: raw-thread
+    std::thread{[] {}}.detach();        // LINT-EXPECT: raw-thread
+    auto t = std::thread([] {});        // LINT-EXPECT: raw-thread
+    std::vector<std::thread> threads;
+    threads.emplace_back([] {});        // LINT-EXPECT: raw-thread
+    t.join();
+    worker.join();
+    for (auto &th : threads)
+        th.join();
+}

@@ -1,6 +1,7 @@
 // Fixture: real violations waived by allow pragmas — same line,
 // preceding line, and the renamed-identifier edge around them.
 #include <ctime>
+#include <thread>
 
 uint64_t
 reportStamp()
@@ -17,4 +18,12 @@ arena()
 {
     // ubrc-lint: allow(naked-new)
     return new int[64];
+}
+
+void
+ioPump()
+{
+    // An I/O pump thread, not simulation work — a considered waiver.
+    std::thread reader([] {}); // ubrc-lint: allow(raw-thread)
+    reader.join();
 }

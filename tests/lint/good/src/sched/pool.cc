@@ -1,0 +1,18 @@
+// Fixture: src/sched/ is the one place allowed to construct threads
+// (it IS the execution engine), and declarations/type mentions are
+// legal everywhere — only construction starts a thread.
+#include <thread>
+#include <vector>
+
+struct Engine
+{
+    std::thread worker;                 // declaration, runs nothing
+    std::vector<std::thread> threads;   // type mention only
+
+    void
+    start()
+    {
+        worker = std::thread([] {});    // fine: we are src/sched/
+        threads.emplace_back([] {});    // fine: we are src/sched/
+    }
+};

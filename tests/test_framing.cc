@@ -145,6 +145,8 @@ TEST(Framing, WriterFramesNeverInterleave)
     LineWriter w(fds[1]);
 
     // A reader drains concurrently so the pipe cannot fill up.
+    // These threads ARE the subject under test (concurrent framing),
+    // not simulation work. ubrc-lint: allow-file(raw-thread)
     std::vector<std::string> got;
     std::thread reader([&] {
         LineReader r(fds[0]);

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Work-stealing scheduler tests: task-word packing, the Chase–Lev
+ * deque, deterministic victim selection, group execution semantics,
+ * and — the contract the whole engine rests on — bit-identity of
+ * stolen-path suite runs against serial references, with steals
+ * actually observed. The SchedStress tests run under TSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/deque.hh"
+#include "sched/scheduler.hh"
+#include "sched/task.hh"
+#include "sim/runner.hh"
+
+using namespace ubrc;
+using namespace ubrc::sched;
+
+namespace
+{
+
+/** Field-by-field suite comparison (mirrors test_determinism.cc). */
+void
+expectSuitesEqual(const sim::SuiteResult &a, const sim::SuiteResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        SCOPED_TRACE(a.runs[i].workload);
+        EXPECT_EQ(a.runs[i].workload, b.runs[i].workload);
+        EXPECT_EQ(a.runs[i].failed, b.runs[i].failed);
+        EXPECT_EQ(static_cast<int>(a.runs[i].errorKind),
+                  static_cast<int>(b.runs[i].errorKind));
+        EXPECT_EQ(a.runs[i].error, b.runs[i].error);
+
+        const core::SimResult &ra = a.runs[i].result;
+        const core::SimResult &rb = b.runs[i].result;
+        EXPECT_EQ(ra.cycles, rb.cycles);
+        EXPECT_EQ(ra.instsRetired, rb.instsRetired);
+        EXPECT_EQ(ra.ipc, rb.ipc); // bit-exact, not approximate
+        EXPECT_EQ(ra.opBypass, rb.opBypass);
+        EXPECT_EQ(ra.opCache, rb.opCache);
+        EXPECT_EQ(ra.opFile, rb.opFile);
+        EXPECT_EQ(ra.rcMisses, rb.rcMisses);
+        EXPECT_EQ(ra.branchMispredicts, rb.branchMispredicts);
+    }
+    EXPECT_EQ(a.geomeanIpc(), b.geomeanIpc());
+    EXPECT_EQ(a.failureSummary(), b.failureSummary());
+}
+
+} // namespace
+
+TEST(SchedTask, PackRoundTrip)
+{
+    const TaskWord w = packTask(0xBEEF, 0x1234, 0xDEADC0DE);
+    EXPECT_EQ(taskGeneration(w), 0xBEEF);
+    EXPECT_EQ(taskGroup(w), 0x1234);
+    EXPECT_EQ(taskPayload(w), 0xDEADC0DEu);
+}
+
+TEST(SchedTask, PointRoundTrip)
+{
+    const uint32_t p = packPoint(0xFFFF, 0x0001);
+    EXPECT_EQ(pointConfig(p), 0xFFFF);
+    EXPECT_EQ(pointWorkload(p), 0x0001);
+    EXPECT_EQ(pointConfig(packPoint(0, 0)), 0);
+    EXPECT_EQ(pointWorkload(packPoint(0, 0xFFFF)), 0xFFFF);
+}
+
+TEST(SchedDeque, OwnerPopsLifo)
+{
+    WorkDeque d;
+    d.pushBottom(1);
+    d.pushBottom(2);
+    d.pushBottom(3);
+    TaskWord w = 0;
+    ASSERT_TRUE(d.popBottom(w));
+    EXPECT_EQ(w, 3u);
+    ASSERT_TRUE(d.popBottom(w));
+    EXPECT_EQ(w, 2u);
+    ASSERT_TRUE(d.popBottom(w));
+    EXPECT_EQ(w, 1u);
+    EXPECT_FALSE(d.popBottom(w));
+}
+
+TEST(SchedDeque, ThiefStealsFifo)
+{
+    WorkDeque d;
+    d.pushBottom(1);
+    d.pushBottom(2);
+    TaskWord w = 0;
+    ASSERT_TRUE(d.steal(w));
+    EXPECT_EQ(w, 1u); // oldest first
+    ASSERT_TRUE(d.steal(w));
+    EXPECT_EQ(w, 2u);
+    EXPECT_FALSE(d.steal(w));
+}
+
+TEST(SchedDeque, GrowPreservesContentsAndOrder)
+{
+    WorkDeque d(4); // forces several grows
+    for (TaskWord i = 0; i < 1000; ++i)
+        d.pushBottom(i);
+    EXPECT_EQ(d.sizeApprox(), 1000u);
+    TaskWord w = 0;
+    for (TaskWord i = 0; i < 500; ++i) {
+        ASSERT_TRUE(d.steal(w));
+        EXPECT_EQ(w, i); // FIFO from the top
+    }
+    for (TaskWord i = 1000; i-- > 500;) {
+        ASSERT_TRUE(d.popBottom(w));
+        EXPECT_EQ(w, i); // LIFO from the bottom
+    }
+    EXPECT_FALSE(d.popBottom(w));
+}
+
+TEST(SchedStealPolicy, SameSeedSameSequenceNeverSelf)
+{
+    StealPolicy a(42, 2, 8);
+    StealPolicy b(42, 2, 8);
+    for (int i = 0; i < 1000; ++i) {
+        const unsigned va = a.next();
+        EXPECT_EQ(va, b.next()); // deterministic in (seed, self)
+        EXPECT_NE(va, 2u);       // never the thief itself
+        EXPECT_LT(va, 8u);
+    }
+}
+
+TEST(SchedStealPolicy, DistinctWorkersWalkDistinctOrders)
+{
+    StealPolicy a(42, 0, 8);
+    StealPolicy b(42, 5, 8);
+    bool differed = false;
+    for (int i = 0; i < 64 && !differed; ++i)
+        differed = a.next() != b.next();
+    EXPECT_TRUE(differed);
+}
+
+TEST(Sched, RunsEveryTaskExactlyOnce)
+{
+    SchedConfig cfg;
+    cfg.workers = 4;
+    Scheduler sch(cfg);
+    std::vector<std::atomic<uint32_t>> hits(256);
+    auto g = sch.createGroup([&](uint32_t payload) {
+        hits[payload].fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<uint32_t> payloads;
+    for (uint32_t i = 0; i < 256; ++i)
+        payloads.push_back(i);
+    sch.submitAll(g, payloads);
+    sch.wait(g);
+    for (uint32_t i = 0; i < 256; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "payload " << i;
+    const SchedStats s = sch.stats();
+    EXPECT_EQ(s.submitted, 256u);
+    EXPECT_EQ(s.tasksRun, 256u);
+    EXPECT_EQ(s.workers, 4u);
+}
+
+TEST(Sched, SequentialGroupsReuseSlots)
+{
+    SchedConfig cfg;
+    cfg.workers = 2;
+    Scheduler sch(cfg);
+    std::atomic<uint64_t> sum{0};
+    for (int round = 0; round < 50; ++round) {
+        auto g = sch.createGroup([&](uint32_t payload) {
+            sum.fetch_add(payload, std::memory_order_relaxed);
+        });
+        sch.submitAll(g, {1, 2, 3, 4});
+        sch.wait(g);
+    }
+    EXPECT_EQ(sum.load(), 50u * 10u);
+    EXPECT_EQ(sch.stats().staleDrops, 0u);
+}
+
+TEST(Sched, ThrowingTaskPoisonsGroupAndRethrows)
+{
+    SchedConfig cfg;
+    cfg.workers = 2;
+    Scheduler sch(cfg);
+    std::atomic<uint32_t> ran{0};
+    auto g = sch.createGroup([&](uint32_t payload) {
+        if (payload == 7)
+            throw std::runtime_error("task 7 exploded");
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<uint32_t> payloads;
+    for (uint32_t i = 0; i < 64; ++i)
+        payloads.push_back(i);
+    sch.submitAll(g, payloads);
+    try {
+        sch.wait(g);
+        FAIL() << "wait() should rethrow the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7 exploded");
+    }
+    // Poisoning skips *remaining* tasks; everything that ran did so
+    // at most once, and the exploding task never counts.
+    EXPECT_LE(ran.load(), 63u);
+    // The scheduler itself stays usable after a poisoned group.
+    std::atomic<uint32_t> after{0};
+    auto g2 = sch.createGroup(
+        [&](uint32_t) { after.fetch_add(1); });
+    sch.submitAll(g2, {0, 1, 2});
+    sch.wait(g2);
+    EXPECT_EQ(after.load(), 3u);
+}
+
+TEST(SchedStress, StealHeavyManyGroups)
+{
+    // Steal-heavy by construction: one worker gets each chunk, the
+    // others must steal to help. Runs under TSan in CI to exercise
+    // the deque's memory-order discipline.
+    SchedConfig cfg;
+    cfg.workers = 4;
+    Scheduler sch(cfg);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<std::atomic<uint32_t>> hits(512);
+        auto g = sch.createGroup([&](uint32_t payload) {
+            hits[payload].fetch_add(1, std::memory_order_relaxed);
+            if (payload % 64 == 0) // uneven task weights
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+        });
+        std::vector<uint32_t> payloads;
+        for (uint32_t i = 0; i < 512; ++i)
+            payloads.push_back(i);
+        sch.submitAll(g, payloads);
+        sch.wait(g);
+        for (uint32_t i = 0; i < 512; ++i)
+            ASSERT_EQ(hits[i].load(), 1u)
+                << "round " << round << " payload " << i;
+    }
+    EXPECT_EQ(sch.stats().tasksRun, 20u * 512u);
+}
+
+TEST(SchedSuite, StolenHeavyTailBitIdenticalToSerial)
+{
+    // A heavy-tailed multi-suite mix: the heavy config is submitted
+    // first, so the chunked injector refill hands it (plus part of
+    // the light tail) to one worker — the other workers finish their
+    // chunks and MUST steal the remainder while the heavy run is in
+    // flight. Values must still match the serial reference exactly.
+    std::vector<sim::SimConfig> cfgs;
+    sim::SimConfig heavy = sim::SimConfig::useBasedCache();
+    heavy.maxInsts = 100000;
+    cfgs.push_back(heavy);
+    for (int i = 0; i < 7; ++i) {
+        sim::SimConfig light = sim::SimConfig::monolithic(1 + i % 4);
+        light.maxInsts = 2000;
+        cfgs.push_back(light);
+    }
+    const std::vector<std::string> names = {"gzip", "bzip2"};
+
+    const std::vector<sim::SuiteResult> serial =
+        sim::runSuites(cfgs, names, {}, 0, 1);
+    const SchedStats before = Scheduler::global(3).stats();
+    const std::vector<sim::SuiteResult> stolen =
+        sim::runSuites(cfgs, names, {}, 0, 3);
+    const SchedStats after = Scheduler::global(3).stats();
+
+    ASSERT_EQ(serial.size(), stolen.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        EXPECT_EQ(serial[i].numFailed(), 0u);
+        expectSuitesEqual(serial[i], stolen[i]);
+    }
+    EXPECT_GT(after.tasksRun - before.tasksRun, 0u);
+    EXPECT_GT(after.steals - before.steals, 0u)
+        << "heavy-tailed mix on " << after.workers
+        << " workers ran without a single steal";
+}
+
+TEST(SchedSuite, ContainedFailuresIdenticalUnderStealing)
+{
+    // A watchdog shorter than a DRAM round trip fails runs
+    // deterministically; containment must merge identically whether
+    // the task ran on the submitting chunk's worker or a thief.
+    sim::SimConfig failing = sim::SimConfig::useBasedCache();
+    failing.watchdogCycles = 100;
+    failing.maxInsts = 50000;
+    sim::SimConfig fine = sim::SimConfig::monolithic(1);
+    fine.maxInsts = 5000;
+    const std::vector<sim::SimConfig> cfgs = {failing, fine, failing,
+                                              fine};
+    const std::vector<std::string> names = {"gzip", "mcf", "twolf"};
+
+    const std::vector<sim::SuiteResult> serial =
+        sim::runSuites(cfgs, names, {}, 0, 1);
+    const std::vector<sim::SuiteResult> par =
+        sim::runSuites(cfgs, names, {}, 0, 3);
+    size_t failures = 0;
+    ASSERT_EQ(serial.size(), par.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        failures += serial[i].numFailed();
+        expectSuitesEqual(serial[i], par[i]);
+    }
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(SchedSuite, PreRaisedCancelYieldsAllCanceledRows)
+{
+    // Drain semantics through the scheduler: a cancel raised before
+    // submission must answer every row as Canceled, identically to
+    // the serial path.
+    std::atomic<bool> cancel{true};
+    sim::RunControl ctl;
+    ctl.cancel = &cancel;
+    const std::vector<sim::SimConfig> cfgs = {
+        sim::SimConfig::useBasedCache(), sim::SimConfig::monolithic(3)};
+    const std::vector<std::string> names = {"gzip", "vpr", "mcf"};
+
+    const std::vector<sim::SuiteResult> serial =
+        sim::runSuites(cfgs, names, {}, 10000, 1, ctl);
+    const std::vector<sim::SuiteResult> par =
+        sim::runSuites(cfgs, names, {}, 10000, 3, ctl);
+    ASSERT_EQ(serial.size(), par.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        EXPECT_EQ(serial[i].numFailed(), names.size());
+        for (const auto &run : serial[i].runs)
+            EXPECT_EQ(static_cast<int>(run.errorKind),
+                      static_cast<int>(sim::ErrorKind::Canceled));
+        expectSuitesEqual(serial[i], par[i]);
+    }
+}
+
+TEST(SchedStats, StatGroupExportsEngineCounters)
+{
+    SchedConfig cfg;
+    cfg.workers = 2;
+    Scheduler sch(cfg);
+    auto g = sch.createGroup([](uint32_t) {});
+    sch.submitAll(g, {0, 1, 2, 3});
+    sch.wait(g);
+    const stats::StatGroup sg = sch.stats().toStatGroup();
+    EXPECT_EQ(sg.groupName(), "sched");
+    const std::string json = sg.toJson(false);
+    EXPECT_NE(json.find("\"group\":\"sched\""), std::string::npos);
+    EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"tasks_run\":4"), std::string::npos);
+    EXPECT_NE(json.find("tasks_run_w0"), std::string::npos);
+    EXPECT_NE(json.find("busy_us_w1"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos); // single line
+}

@@ -43,7 +43,10 @@ class ServerHarness
         EXPECT_EQ(pipe(out), 0);
         srv = std::make_unique<server::SweepServer>(in[0], out[1],
                                                     opts);
+        // Harness plumbing (serve loop + response collector), not
+        // simulation work. ubrc-lint: allow(raw-thread)
         serveThread = std::thread([this] { rc = srv->serve(); });
+        // ubrc-lint: allow(raw-thread)
         collector = std::thread([this] {
             framing::LineReader r(out[0], 4u << 20);
             std::string line;

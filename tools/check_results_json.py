@@ -243,6 +243,41 @@ def check_ubrcsim_run(doc):
                        f"stats.{section}: not an object")
 
 
+# Aggregate counters the execution engine always reports
+# (src/sched/scheduler.cc, SchedStats::toStatGroup).
+SCHED_SCALARS = ("workers", "submitted", "tasks_run", "steals",
+                 "steal_failures", "stale_drops")
+
+
+def check_sched_stats(s, where):
+    """Validate an execution-engine stats block (group "sched")."""
+    expect_keys(s, ("group", "scalars"), where)
+    expect(s["group"] == "sched",
+           f"{where}.group: expected 'sched', got {s['group']!r}")
+    scalars = s["scalars"]
+    expect_keys(scalars, SCHED_SCALARS, f"{where}.scalars")
+    for k, v in scalars.items():
+        expect(isinstance(v, int) and v >= 0,
+               f"{where}.scalars.{k}: expected a non-negative "
+               f"integer, got {v!r}")
+    workers = scalars["workers"]
+    expect(workers >= 1, f"{where}.scalars.workers: must be >= 1")
+    # One tasks_run_wN / steals_wN / busy_us_wN triple per worker,
+    # and the aggregate counters are the per-worker sums.
+    for stem in ("tasks_run", "steals", "busy_us"):
+        per = []
+        for i in range(workers):
+            key = f"{stem}_w{i}"
+            expect(key in scalars,
+                   f"{where}.scalars: missing per-worker counter "
+                   f"{key} (workers={workers})")
+            per.append(scalars[key])
+        if stem in scalars:
+            expect(scalars[stem] == sum(per),
+                   f"{where}.scalars.{stem}: aggregate "
+                   f"{scalars[stem]} != per-worker sum {sum(per)}")
+
+
 def check_ubrcsim_suite(doc):
     check_meta(doc["meta"],
                ("tool", "config", "scheme", "workloads", "max_insts",
@@ -252,6 +287,9 @@ def check_ubrcsim_suite(doc):
     if "interrupted" in doc:
         expect(isinstance(doc["interrupted"], bool),
                "interrupted: not a bool")
+    # Emitted when the suite ran on the shared scheduler (--jobs > 1).
+    if "sched" in doc:
+        check_sched_stats(doc["sched"], "sched")
     check_suite(doc["suite"], "suite")
 
 
@@ -320,17 +358,19 @@ def check_sweep_reject(doc):
 
 
 def check_server_drain(doc):
-    expect_keys(doc, ("reason", "counters"), "server-drain")
+    expect_keys(doc, ("reason", "counters", "sched"), "server-drain")
     expect(doc["reason"] in ("eof", "signal", "shutdown-request",
                              "io-error"),
            f"reason: unknown drain reason {doc['reason']!r}")
     counters = doc["counters"]
     expect_keys(counters, ("received", "admitted", "ok", "failed",
-                           "rejected", "shed", "canceled"),
+                           "rejected", "shed", "canceled",
+                           "trace_cache_hits", "trace_cache_misses"),
                 "counters")
     for key, v in counters.items():
         expect(isinstance(v, int) and v >= 0,
                f"counters.{key}: expected a non-negative integer")
+    check_sched_stats(doc["sched"], "sched")
 
 
 def check_loadgen_summary(doc):

@@ -458,6 +458,9 @@ LoadDriver::drive()
     const size_t window = opt.window
                               ? opt.window
                               : opt.workers + opt.queue + 6;
+    // An I/O pump draining server responses, not simulation work —
+    // the server side executes on the scheduler.
+    // ubrc-lint: allow(raw-thread)
     std::thread readerThread(&LoadDriver::readerMain, this);
 
     size_t nextToSend = 0;

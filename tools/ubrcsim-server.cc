@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "sched/scheduler.hh"
 #include "server/server.hh"
 
 using namespace ubrc;
@@ -62,8 +63,12 @@ usage()
         "usage: ubrcsim-server [options]\n"
         "\n"
         "options:\n"
-        "  --workers N        worker threads (default 2)\n"
+        "  --workers N        worker threads (default: UBRC_JOBS,\n"
+        "                     else 2). Sets the one global scheduler\n"
+        "                     worker count (sched/scheduler.hh)\n"
         "  --queue N          admission queue capacity (default 16)\n"
+        "  --trace-cache N    decoded traces kept for trace_replay\n"
+        "                     requests (default 8; 0 disables)\n"
         "  --max-frame N      per-frame byte limit (default 1 MiB)\n"
         "  --deadline-ms N    default per-request deadline "
         "(default 0 = none)\n"
@@ -98,6 +103,10 @@ int
 main(int argc, char **argv)
 {
     server::ServerOptions opts;
+    // The service rides the process-global scheduler; --workers is a
+    // command-line spelling of the one global worker value.
+    opts.workers = 0;
+    unsigned workers = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,7 +115,10 @@ main(int argc, char **argv)
                 parseU64("--workers", nextArg(argc, argv, i));
             if (n == 0 || n > 256)
                 fatal("--workers: must be in 1..256");
-            opts.workers = static_cast<unsigned>(n);
+            workers = static_cast<unsigned>(n);
+        } else if (arg == "--trace-cache") {
+            opts.traceCacheCapacity = static_cast<size_t>(
+                parseU64("--trace-cache", nextArg(argc, argv, i)));
         } else if (arg == "--queue") {
             const uint64_t n =
                 parseU64("--queue", nextArg(argc, argv, i));
@@ -138,6 +150,11 @@ main(int argc, char **argv)
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    // One global value governs the pool everywhere: explicit
+    // --workers wins, else UBRC_JOBS, else the service's historical
+    // default of 2.
+    sched::setGlobalWorkers(workers ? workers : sched::envJobs(2));
 
     server::SweepServer srv(STDIN_FILENO, STDOUT_FILENO, opts);
     g_server = &srv;

@@ -27,6 +27,7 @@
 
 #include "common/log.hh"
 #include "isa/assembler.hh"
+#include "sched/scheduler.hh"
 #include "isa/disasm.hh"
 #include "isa/functional_core.hh"
 #include "sim/diagnostics.hh"
@@ -102,8 +103,10 @@ usage()
         "  --insts N           stop after N retired instructions\n"
         "  --jobs N            suite mode: run kernels on N worker\n"
         "                      threads (default: UBRC_JOBS, else 1;\n"
-        "                      0 or garbage is an error). Results are\n"
-        "                      bit-identical to a serial run.\n"
+        "                      0 or garbage is an error). Sets the\n"
+        "                      one global scheduler worker count;\n"
+        "                      results are bit-identical to a serial\n"
+        "                      run.\n"
         "  --no-checker        disable the golden architectural checker\n"
         "  --stats             dump every statistic after the run\n"
         "  --stats-format F    text (default) prints the usual report;\n"
@@ -572,6 +575,9 @@ main(int argc, char **argv)
         std::fprintf(rpt, "design   : %s\n", cfg.describe().c_str());
         std::fprintf(rpt, "suite    : %zu kernels, %u job(s)\n\n",
                      suite.size(), jobs);
+        // --jobs is a command-line spelling of the one global
+        // scheduler worker count.
+        sched::setGlobalWorkers(jobs);
         installSuiteSignalHandlers();
         sim::RunControl ctl;
         ctl.cancel = &g_interrupted;
@@ -616,6 +622,14 @@ main(int argc, char **argv)
             writeMeta(jw, cfg, suite, max_insts, jobs);
             jw.field("wall_seconds", wall);
             jw.field("interrupted", interrupted);
+            // Parallel suites ride the global scheduler; its stats
+            // (tasks run, steals, per-worker balance) describe how
+            // this run actually executed.
+            if (jobs > 1)
+                jw.key("sched").raw(sched::Scheduler::global(jobs)
+                                        .stats()
+                                        .toStatGroup()
+                                        .toJson());
             jw.key("suite");
             sim::writeSuiteResult(jw, sr);
             jw.endObject();
