@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulator throughput: the paper design point run end-to-end under
+ * all three register-storage schemes, with wall clock and simulated
+ * instructions per second recorded as first-class, diffable numbers.
+ *
+ * Every other harness guards *output* bit-identity; this one makes
+ * *speed* a trajectory. The Reporter already records wall_seconds and
+ * sim_instructions_per_second per suite and in the meta block, so the
+ * JSON written to results/BENCH_throughput.json can be compared
+ * across commits with tools/perf_diff.py (--min-ratio gates CI).
+ *
+ * The run is serial on purpose (jobs is not forced): per-scheme wall
+ * clocks must measure the simulator's single-stream speed, not the
+ * scheduler's ability to overlap suites.
+ */
+
+#include <cstdio>
+
+#include "bench/reporter.hh"
+
+using namespace ubrc;
+using namespace ubrc::bench;
+
+int
+main()
+{
+    Reporter rep("throughput");
+    rep.banner("Simulator throughput by scheme",
+               "the Section 4 methodology");
+
+    struct Point
+    {
+        const char *label;
+        sim::SimConfig cfg;
+    };
+    const Point points[] = {
+        {"cached", sim::SimConfig::useBasedCache()},
+        {"monolithic", sim::SimConfig::monolithic(3)},
+        {"two-level", sim::SimConfig::twoLevelFile(64)},
+    };
+
+    auto &t = rep.table("throughput",
+                        {"scheme", "insts", "wall s", "sim insts/s"});
+    for (const Point &p : points) {
+        const sim::SuiteResult res = rep.run(p.label, p.cfg);
+        const uint64_t insts =
+            res.total([](const core::SimResult &r) {
+                return r.instsRetired;
+            });
+        double wall = 0;
+        for (const auto &r : res.runs)
+            wall += r.wallSeconds;
+        t.row({p.label, insts, Cell::real(wall, 3),
+               Cell::real(wall > 0 ? double(insts) / wall : 0, 0)});
+    }
+    t.print();
+    std::printf("\n(compare two captures with tools/perf_diff.py)\n");
+    return 0;
+}

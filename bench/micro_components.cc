@@ -32,8 +32,11 @@ BM_RegisterCacheReadHit(benchmark::State &state)
     Cycle now = 0;
     for (auto _ : state) {
         const PhysReg p = static_cast<PhysReg>(now % 32);
-        benchmark::DoNotOptimize(
-            rc.read(p, p % params.numSets(), ++now));
+        ++now;
+        auto e = rc.lookup(p, p % params.numSets());
+        if (e)
+            e.read();
+        benchmark::DoNotOptimize(e);
     }
 }
 BENCHMARK(BM_RegisterCacheReadHit);
@@ -49,8 +52,9 @@ BM_RegisterCacheInsertEvict(benchmark::State &state)
     for (auto _ : state) {
         ++now;
         p = static_cast<PhysReg>((p + 1) % 512);
-        rc.invalidate(p, static_cast<unsigned>(p) % params.numSets(),
-                      now);
+        if (auto e =
+                rc.lookup(p, static_cast<unsigned>(p) % params.numSets()))
+            e.invalidate(now);
         rc.insert(p, static_cast<unsigned>(p) % params.numSets(),
                   static_cast<unsigned>(now % 8), false, now);
     }

@@ -117,9 +117,11 @@ drive(InsertionPolicy ins, ReplacementPolicy repl, IndexPolicy idx,
                 continue;
             --u.usesLeft;
             ++out.uses;
-            if (rc.read(u.preg, u.set, now)) {
+            if (auto e = rc.lookup(u.preg, u.set)) {
+                e.read();
                 ++out.hits;
             } else {
+                rc.noteReadMiss();
                 ++out.misses;
                 rc.fill(u.preg, u.set, now);
             }
@@ -128,7 +130,8 @@ drive(InsertionPolicy ins, ReplacementPolicy repl, IndexPolicy idx,
         // Retire dead values: invalidate, release the set, and
         // return the register to the (now scrambled) free list.
         while (!live.empty() && live.front().dies <= now) {
-            rc.invalidate(live.front().preg, live.front().set, now);
+            if (auto e = rc.lookup(live.front().preg, live.front().set))
+                e.invalidate(now);
             ia.release(live.front().set, live.front().predicted);
             free_list.push_back(live.front().preg);
             live.pop_front();

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The one shared view of a valid register-cache entry.
+ *
+ * Crash-dump snapshots (sim/diagnostics), fault-site selection
+ * (core/processor_debug), and the supplier forensics surface
+ * (storage::OperandSupplier::cachedEntries) all consume the same
+ * five fields; this struct is their single definition. The regcache,
+ * storage, and sim layers re-export it under their historical names.
+ */
+
+#ifndef UBRC_COMMON_CACHE_ENTRY_VIEW_HH
+#define UBRC_COMMON_CACHE_ENTRY_VIEW_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ubrc
+{
+
+/** One valid cache entry, as exposed for diagnostics and injection. */
+struct CacheEntryView
+{
+    unsigned set = 0;
+    unsigned way = 0;
+    PhysReg preg = invalidPhysReg;
+    uint32_t remUses = 0;
+    bool pinned = false;
+};
+
+} // namespace ubrc
+
+#endif // UBRC_COMMON_CACHE_ENTRY_VIEW_HH

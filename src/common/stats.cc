@@ -67,13 +67,6 @@ StatGroup::mean(const std::string &stat_name)
     return means[stat_name];
 }
 
-uint64_t
-StatGroup::scalarValue(const std::string &stat_name) const
-{
-    auto it = scalars.find(stat_name);
-    return it == scalars.end() ? 0 : it->second.value();
-}
-
 Distribution &
 StatGroup::distribution(const std::string &stat_name, size_t max_value)
 {

@@ -135,16 +135,6 @@ class StatGroup
     Distribution &distribution(const std::string &stat_name,
                                size_t max_value = 1024);
 
-    /**
-     * Read a scalar's value without creating it (0 if absent).
-     * @deprecated Free-form string queries have no single source of
-     * truth for stat names; read typed fields off core::SimResult /
-     * storage::SupplierStats, or use visit() for generic consumers.
-     */
-    [[deprecated("read typed SimResult/SupplierStats fields or use "
-                 "visit()")]]
-    uint64_t scalarValue(const std::string &stat_name) const;
-
     /** Visit every statistic in canonical order (see StatVisitor). */
     void visit(StatVisitor &v) const;
 

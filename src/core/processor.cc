@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "common/bitutil.hh"
 #include "common/log.hh"
 #include "isa/disasm.hh"
 #include "storage/supplier_registry.hh"
@@ -57,6 +58,14 @@ Processor::Processor(const sim::SimConfig &config,
     supplier = storage::makeSupplier(cfg, statGroup);
     if (supplier_wrap)
         supplier = supplier_wrap(std::move(supplier), cfg, statGroup);
+    gateActive = supplier->hasIssueReadGate();
+
+    rob.reset(cfg.robEntries);
+
+    // seq -> ROB entry ring: 4x the ROB size keeps live-seq
+    // collisions rare even across squash-induced seq gaps.
+    seqMap.assign(size_t(1) << ceilLog2(4 * cfg.robEntries), nullptr);
+    seqMapMask = seqMap.size() - 1;
 
     // Physical register setup: preg 0 is the constant zero; pregs
     // 1..31 hold the initial architectural values (all zero).
@@ -121,8 +130,42 @@ Processor::~Processor() = default;
 DynInst *
 Processor::findInst(InstSeqNum seq)
 {
-    auto it = bySeq.find(seq);
-    return it == bySeq.end() ? nullptr : it->second;
+    // Deque element addresses are stable until the entry is popped,
+    // and its seqMap slot is nulled right before that, so a non-null
+    // slot with a matching seq is always a live entry.
+    DynInst *inst = seqMap[size_t(seq) & seqMapMask];
+    return (inst && inst->seq == seq) ? inst : nullptr;
+}
+
+void
+Processor::seqMapInsert(DynInst &inst)
+{
+    DynInst *&slot = seqMap[size_t(inst.seq) & seqMapMask];
+    if (slot)
+        seqMapGrow(); // two live seqs collide: widen the ring
+    seqMap[size_t(inst.seq) & seqMapMask] = &inst;
+}
+
+void
+Processor::seqMapGrow()
+{
+    // Live seqs are pairwise distinct, so some power of two separates
+    // them all; retry until the rebuild is collision-free.
+    for (;;) {
+        seqMap.assign(seqMap.size() * 2, nullptr);
+        seqMapMask = seqMap.size() - 1;
+        bool clean = true;
+        for (DynInst &d : rob) {
+            DynInst *&slot = seqMap[size_t(d.seq) & seqMapMask];
+            if (slot) {
+                clean = false;
+                break;
+            }
+            slot = &d;
+        }
+        if (clean)
+            return;
+    }
 }
 
 void
@@ -171,6 +214,12 @@ Processor::fuClassOf(const isa::Instruction &si) const
 void
 Processor::insertIntoIQ(DynInst &inst)
 {
+    // Rename inserts in program order, so the common case is a plain
+    // append; the ordered insert only runs for replay re-entries.
+    if (issueQueue.empty() || issueQueue.back()->seq < inst.seq) {
+        issueQueue.push_back(&inst);
+        return;
+    }
     auto it = std::lower_bound(issueQueue.begin(), issueQueue.end(),
                                inst.seq,
                                [](const DynInst *a, InstSeqNum s) {
@@ -201,6 +250,9 @@ Processor::recomputeReadiness(DynInst &inst, Cycle floor_cycle)
     }
     inst.state = InstState::Ready;
     inst.readyCycle = ready;
+    // Keep the issue-skip lower bound conservative: this instruction
+    // may now be the earliest ready work in the queue.
+    iqEarliestReady = std::min(iqEarliestReady, ready);
 }
 
 void
@@ -334,9 +386,12 @@ Processor::processEvents()
     auto &slot = eventRing[now % eventRingSize];
     if (slot.empty())
         return;
-    std::vector<Event> events = std::move(slot);
-    slot.clear();
-    for (const Event &ev : events) {
+    // Swap into the scratch buffer so both vectors keep their
+    // capacity across cycles (handlers only schedule into future
+    // slots, never back into this one).
+    eventScratch.clear();
+    std::swap(eventScratch, slot);
+    for (const Event &ev : eventScratch) {
         if (ev.kind == EvKind::Fill) {
             onFill(ev.fillPreg);
             continue;
@@ -446,7 +501,10 @@ Processor::doFetch()
             continue;
         }
 
-        FrontEndSlot slot;
+        // Built in place: the slot is sized in the dozens of bytes
+        // and fetch runs every cycle, so a build-then-copy costs.
+        frontQ.emplace_back();
+        FrontEndSlot &slot = frontQ.back();
         slot.pc = pc;
         slot.si = si;
         slot.renameReadyAt = now + cfg.fetchToRename;
@@ -478,7 +536,6 @@ Processor::doFetch()
             }
         }
         slot.predNextPc = next_pc;
-        frontQ.push_back(slot);
         ++fetched;
         pc = next_pc;
         if (end_block)
@@ -532,6 +589,7 @@ Processor::doRename()
         rob.emplace_back();
         DynInst &inst = rob.back();
         inst.seq = nextSeq++;
+        seqMapInsert(inst);
         inst.pc = slot.pc;
         inst.si = si;
         inst.ghrBefore = slot.ghrBefore;
@@ -543,7 +601,6 @@ Processor::doRename()
         inst.renameCycle = now;
         inst.isLoad = is_load;
         inst.isStore = is_store;
-        bySeq[inst.seq] = &inst;
 
         // Source operands.
         ArchReg raw_srcs[2];
@@ -578,7 +635,7 @@ Processor::doRename()
             mapTable[si.rd] = p;
 
             PregState &ps = pregs[p];
-            ps = PregState{};
+            ps.reset();
             ps.allocated = true;
             ps.doneAt = cycleInf;
             ps.allocAt = now;
@@ -626,6 +683,18 @@ Processor::doRename()
 void
 Processor::doIssue()
 {
+    // Stamp this cycle's (possibly empty) issue group before any
+    // early-out so squashIssueGroup can trust the ring.
+    std::vector<InstSeqNum> &group = issueGroups[now % issueGroupRingSize];
+    group.clear();
+    issueGroupCycle[now % issueGroupRingSize] = now;
+
+    // Nothing is ready this cycle: skip the scan. The scan has no
+    // side effects for instructions that are not ready now (the gate
+    // loop below only runs for ready ones), so skipping is invisible.
+    if (issueQueue.empty() || iqEarliestReady > now)
+        return;
+
     unsigned fu_left[FuNumClasses] = {
         cfg.intAluUnits, cfg.branchUnits, cfg.intMulUnits,
         cfg.fxAluUnits,  cfg.fxMulDivUnits, cfg.loadUnits,
@@ -634,37 +703,54 @@ Processor::doIssue()
 
     unsigned issued = 0;
     bool any_issued = false;
+    Cycle next_ready = cycleInf;
     for (DynInst *ip : issueQueue) {
-        if (issued >= cfg.issueWidth)
+        if (issued >= cfg.issueWidth) {
+            // Unscanned tail may hold ready work; retry next cycle.
+            next_ready = now + 1;
             break;
+        }
         DynInst &inst = *ip;
-        if (inst.state != InstState::Ready || inst.readyCycle > now)
+        if (inst.state != InstState::Ready)
             continue;
+        if (inst.readyCycle > now) {
+            next_ready = std::min(next_ready, inst.readyCycle);
+            continue;
+        }
         const unsigned cls = fuClassOf(inst.si);
-        if (fu_left[cls] == 0)
+        if (fu_left[cls] == 0) {
+            next_ready = std::min<Cycle>(next_ready, now + 1);
             continue;
+        }
 
         const Cycle exec_start = now + cfg.issueToExec();
 
         // Storage read gating: the monolithic file's issue
         // restriction makes an operand that has fallen out of the
         // bypass window unreadable until its file write completes.
-        bool gap = false;
-        for (unsigned k = 0; k < inst.numSrcs; ++k) {
-            const PhysReg p = inst.srcPreg[k];
-            if (p < 0)
+        // Skipped wholesale for suppliers that never gate (cached,
+        // two-level): hasIssueReadGate() is cached at construction.
+        if (gateActive) {
+            bool gap = false;
+            for (unsigned k = 0; k < inst.numSrcs; ++k) {
+                const PhysReg p = inst.srcPreg[k];
+                if (p < 0)
+                    continue;
+                const Cycle dp = pregs[p].doneAt;
+                if (dp >= cycleInf)
+                    continue; // will be caught by readiness
+                const Cycle gate =
+                    supplier->issueReadGate(exec_start, dp);
+                if (gate > now) {
+                    inst.readyCycle = std::max(inst.readyCycle, gate);
+                    gap = true;
+                }
+            }
+            if (gap) {
+                next_ready = std::min(next_ready, inst.readyCycle);
                 continue;
-            const Cycle dp = pregs[p].doneAt;
-            if (dp >= cycleInf)
-                continue; // will be caught by readiness
-            const Cycle gate = supplier->issueReadGate(exec_start, dp);
-            if (gate > now) {
-                inst.readyCycle = std::max(inst.readyCycle, gate);
-                gap = true;
             }
         }
-        if (gap)
-            continue;
 
         // Issue.
         --fu_left[cls];
@@ -685,7 +771,10 @@ Processor::doIssue()
 
         schedule(exec_start, {inst.seq, inst.issueGen,
                               EvKind::ExecStart, invalidPhysReg});
+        group.push_back(inst.seq);
     }
+
+    iqEarliestReady = next_ready;
 
     if (any_issued) {
         std::erase_if(issueQueue, [](const DynInst *i) {
@@ -791,14 +880,35 @@ void
 Processor::squashIssueGroup(Cycle issue_cycle, InstSeqNum except)
 {
     unsigned squashed = 0;
-    for (auto &entry : rob) {
-        if (entry.state == InstState::Issued && !entry.executing &&
-            entry.issueCycle == issue_cycle && entry.seq != except) {
-            // Independent instructions reissue the cycle after the
-            // squash (the miss was detected last cycle; issue for
-            // this cycle has not been performed yet).
-            returnToReady(entry, now);
-            ++squashed;
+    if (issueGroupCycle[issue_cycle % issueGroupRingSize] ==
+        issue_cycle) {
+        // Fast path: doIssue recorded exactly who issued that cycle
+        // (in seq order, matching the ROB walk below), so only those
+        // instructions need to be examined.
+        for (InstSeqNum seq :
+             issueGroups[issue_cycle % issueGroupRingSize]) {
+            DynInst *entry = findInst(seq);
+            if (entry && entry->state == InstState::Issued &&
+                !entry->executing &&
+                entry->issueCycle == issue_cycle &&
+                entry->seq != except) {
+                // Independent instructions reissue the cycle after
+                // the squash (the miss was detected last cycle; issue
+                // for this cycle has not been performed yet).
+                returnToReady(*entry, now);
+                ++squashed;
+            }
+        }
+    } else {
+        // The ring has wrapped past that cycle: fall back to the
+        // exhaustive ROB walk.
+        for (auto &entry : rob) {
+            if (entry.state == InstState::Issued && !entry.executing &&
+                entry.issueCycle == issue_cycle &&
+                entry.seq != except) {
+                returnToReady(entry, now);
+                ++squashed;
+            }
         }
     }
     if (squashed)
@@ -1127,9 +1237,10 @@ Processor::doRetire()
 
         // Record into the forensics ring before checking so that a
         // diverging instruction appears in its own crash dump.
-        retiredRing.push_back({head.seq, head.pc, head.si, now});
-        if (retiredRing.size() > sim::PipelineSnapshot::retiredWindow)
-            retiredRing.pop_front();
+        retiredRing[retiredRingHead] = {head.seq, head.pc, head.si, now};
+        retiredRingHead = (retiredRingHead + 1) % retiredRing.size();
+        if (retiredRingCount < retiredRing.size())
+            ++retiredRingCount;
 
         checkRetired(head);
         trainRetired(head);
@@ -1147,7 +1258,7 @@ Processor::doRetire()
         ++retired;
 
         const bool was_halt = head.isHalt();
-        bySeq.erase(head.seq);
+        seqMap[size_t(head.seq) & seqMapMask] = nullptr;
         rob.pop_front();
 
         if (was_halt || (cfg.maxInsts && numRetired >= cfg.maxInsts)) {
@@ -1215,7 +1326,7 @@ Processor::squashAfter(InstSeqNum keep_seq, Addr new_fetch_pc,
             storeQueue.back()->seq == inst.seq)
             storeQueue.pop_back();
 
-        bySeq.erase(inst.seq);
+        seqMap[size_t(inst.seq) & seqMapMask] = nullptr;
         rob.pop_back();
     }
 

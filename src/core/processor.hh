@@ -23,7 +23,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/sparse_memory.hh"
@@ -237,6 +236,28 @@ class Processor
         Cycle writeAt = -1;
         Cycle lastReadAt = -1;
         bool allocated = false;
+
+        /**
+         * Return to the freshly-constructed state while keeping the
+         * consumers vector's capacity. Rename recycles physical
+         * registers millions of times per run; `*this = PregState{}`
+         * would free and re-malloc the vector every time.
+         */
+        void
+        reset()
+        {
+            consumers.clear();
+            doneAt = 0;
+            value = 0;
+            actualUses = 0;
+            producerPc = 0;
+            producerCtrl = 0;
+            producerSeq = 0;
+            allocAt = 0;
+            writeAt = -1;
+            lastReadAt = -1;
+            allocated = false;
+        }
     };
 
     /** A retired instruction in the forensics history ring. */
@@ -265,6 +286,8 @@ class Processor
 
     // --- helpers ---
     DynInst *findInst(InstSeqNum seq);
+    void seqMapInsert(DynInst &inst);
+    void seqMapGrow();
     void schedule(Cycle when, Event ev);
     Cycle latencyOf(const DynInst &inst) const;
     unsigned fuClassOf(const isa::Instruction &si) const;
@@ -350,15 +373,132 @@ class Processor
     Cycle renameStallUntil = 0;
     unsigned allocatedPregs = 0;
 
-    // windows
-    std::deque<DynInst> rob;
-    std::unordered_map<InstSeqNum, DynInst *> bySeq;
+    /**
+     * The reorder buffer as a fixed-capacity power-of-two ring.
+     *
+     * The ROB only ever grows at the back (rename) and shrinks at
+     * the ends (retire pops the front, squash pops the back), and
+     * rename bounds its size by cfg.robEntries before every push, so
+     * a preallocated ring serves it with zero allocation on the
+     * per-instruction path — a std::deque<DynInst> allocates a new
+     * block every couple of pushes because only ~2 DynInsts fit a
+     * 512-byte deque node. Element addresses are stable for an
+     * entry's whole lifetime (a slot is only reused after its entry
+     * is popped), which the DynInst* side tables rely on.
+     */
+    class RobRing
+    {
+      public:
+        void
+        reset(size_t capacity)
+        {
+            size_t cap = 1;
+            while (cap < capacity)
+                cap <<= 1;
+            slots_.assign(cap, DynInst{});
+            mask_ = cap - 1;
+            head_ = 0;
+            count_ = 0;
+        }
+
+        bool empty() const { return count_ == 0; }
+        size_t size() const { return count_; }
+        DynInst &operator[](size_t i) { return slots_[(head_ + i) & mask_]; }
+        const DynInst &
+        operator[](size_t i) const
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+        DynInst &front() { return slots_[head_]; }
+        DynInst &back() { return (*this)[count_ - 1]; }
+        const DynInst &front() const { return slots_[head_]; }
+        const DynInst &back() const { return (*this)[count_ - 1]; }
+
+        /** @pre size() < capacity (rename checks robEntries first). */
+        DynInst &
+        emplace_back()
+        {
+            DynInst &d = slots_[(head_ + count_) & mask_];
+            d = DynInst{};
+            ++count_;
+            return d;
+        }
+
+        void
+        pop_front()
+        {
+            head_ = (head_ + 1) & mask_;
+            --count_;
+        }
+
+        void pop_back() { --count_; }
+
+        template <bool Const>
+        class Iter
+        {
+          public:
+            using Ring = std::conditional_t<Const, const RobRing,
+                                            RobRing>;
+            using Elem = std::conditional_t<Const, const DynInst,
+                                            DynInst>;
+            Iter(Ring &r, size_t i) : ring(&r), idx(i) {}
+            Elem &operator*() const { return (*ring)[idx]; }
+            Elem *operator->() const { return &(*ring)[idx]; }
+            Iter &operator++() { ++idx; return *this; }
+            bool operator!=(const Iter &o) const { return idx != o.idx; }
+            bool operator==(const Iter &o) const { return idx == o.idx; }
+
+          private:
+            Ring *ring;
+            size_t idx;
+        };
+
+        Iter<false> begin() { return {*this, 0}; }
+        Iter<false> end() { return {*this, count_}; }
+        Iter<true> begin() const { return {*this, 0}; }
+        Iter<true> end() const { return {*this, count_}; }
+
+      private:
+        std::vector<DynInst> slots_;
+        size_t mask_ = 0;
+        size_t head_ = 0;
+        size_t count_ = 0;
+    };
+
+    // windows: seqMap gives O(1) findInst() regardless of post-squash
+    // seq gaps (nextSeq is never rolled back). Slots are nulled when
+    // the entry leaves the ROB; a collision between live seqs grows
+    // the map (live seqs are distinct, so doubling always separates).
+    RobRing rob;
+    std::vector<DynInst *> seqMap;       // pow2 ring, seq -> ROB entry
+    size_t seqMapMask = 0;
     std::vector<DynInst *> issueQueue;   // seq-sorted
     std::deque<DynInst *> loadQueue;     // program order
     std::deque<DynInst *> storeQueue;    // program order
 
+    /**
+     * Conservative lower bound on the earliest readyCycle of any
+     * Ready instruction in the issue queue: doIssue() skips its scan
+     * entirely while this exceeds `now` (nothing could issue, and the
+     * scan has no side effects for not-yet-ready instructions).
+     * Lowered wherever readiness is recomputed; re-tightened to the
+     * exact minimum by each full scan.
+     */
+    Cycle iqEarliestReady = 0;
+
+    /**
+     * Recent issue groups, ring-indexed by issue cycle: the seqs
+     * issued each cycle, so the cache-miss group squash touches only
+     * the cycle's group instead of walking the whole ROB. The stamp
+     * disambiguates ring reuse; a stale stamp falls back to the walk.
+     */
+    static constexpr size_t issueGroupRingSize = 8;
+    std::array<std::vector<InstSeqNum>, issueGroupRingSize> issueGroups;
+    std::array<Cycle, issueGroupRingSize> issueGroupCycle{};
+
     // events
     std::vector<std::vector<Event>> eventRing;
+    std::vector<Event> eventScratch;     // drained-slot reuse buffer
 
     // physical registers
     std::vector<PregState> pregs;
@@ -366,8 +506,14 @@ class Processor
     // retirement watchdog
     Cycle lastRetireCycle = 0;
 
-    // forensics: ring of the last retired instructions
-    std::deque<RetiredRecord> retiredRing;
+    /** Gate queries skipped entirely when the supplier has none. */
+    bool gateActive = false;
+
+    // forensics: fixed ring of the last retired instructions
+    std::array<RetiredRecord, sim::PipelineSnapshot::retiredWindow>
+        retiredRing;
+    size_t retiredRingHead = 0;  ///< next write position
+    size_t retiredRingCount = 0; ///< valid records (saturates at capacity)
 
     // fault injection (null unless cfg.inject.rate > 0)
     std::unique_ptr<inject::FaultInjector> injector;

@@ -254,14 +254,19 @@ Processor::snapshot() const
 
     snap.cacheSets = supplier->cacheSets();
     snap.cacheAssoc = supplier->cacheAssoc();
-    for (const auto &v : supplier->cachedEntries())
-        snap.cacheEntries.push_back(
-            {v.set, v.way, v.preg, v.remUses, v.pinned});
+    snap.cacheEntries = supplier->cachedEntries();
 
-    snap.lastRetired.reserve(retiredRing.size());
-    for (const RetiredRecord &r : retiredRing)
+    snap.lastRetired.reserve(retiredRingCount);
+    for (size_t i = 0; i < retiredRingCount; ++i) {
+        // Oldest-first: the ring's next-write slot is also the oldest
+        // record once the ring has wrapped.
+        const size_t idx = (retiredRingHead + retiredRing.size() -
+                            retiredRingCount + i) %
+                           retiredRing.size();
+        const RetiredRecord &r = retiredRing[idx];
         snap.lastRetired.push_back(
             {r.seq, r.pc, isa::disassemble(r.si), r.cycle});
+    }
 
     if (injector)
         for (const inject::FaultRecord &f : injector->log())

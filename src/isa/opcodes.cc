@@ -2,109 +2,13 @@
 
 #include "common/log.hh"
 
-namespace ubrc::isa
+namespace ubrc::isa::detail
 {
 
-namespace
+void
+opInfoBadOpcode(size_t idx)
 {
-
-// Shorthand for table construction.
-constexpr OpInfo
-alu2(const char *m)
-{
-    return {m, OpClass::IntAlu, 2, true, false,
-            false, false, false, false, false, 0, false};
+    panic("opInfo: bad opcode %zu", idx);
 }
 
-constexpr OpInfo
-alui(const char *m)
-{
-    return {m, OpClass::IntAlu, 1, true, true,
-            false, false, false, false, false, 0, false};
-}
-
-constexpr OpInfo
-mul2(const char *m, OpClass c)
-{
-    return {m, c, 2, true, false,
-            false, false, false, false, false, 0, false};
-}
-
-constexpr OpInfo
-load(const char *m, uint8_t size, bool sign)
-{
-    return {m, OpClass::Load, 1, true, true,
-            false, false, false, true, false, size, sign};
-}
-
-constexpr OpInfo
-store(const char *m, uint8_t size)
-{
-    return {m, OpClass::Store, 2, false, true,
-            false, false, false, false, true, size, false};
-}
-
-constexpr OpInfo
-condbr(const char *m)
-{
-    return {m, OpClass::Branch, 2, false, true,
-            true, true, false, false, false, 0, false};
-}
-
-const OpInfo opTable[] = {
-    // Integer ALU register-register
-    alu2("add"), alu2("sub"), alu2("and"), alu2("or"), alu2("xor"),
-    alu2("sll"), alu2("srl"), alu2("sra"), alu2("slt"), alu2("sltu"),
-    alu2("seq"),
-    // Integer ALU register-immediate
-    alui("addi"), alui("andi"), alui("ori"), alui("xori"), alui("slli"),
-    alui("srli"), alui("srai"), alui("slti"),
-    // LI: dest + immediate, no sources
-    {"li", OpClass::IntAlu, 0, true, true,
-     false, false, false, false, false, 0, false},
-    // Multiplies / divides
-    mul2("mul", OpClass::IntMul), mul2("mulh", OpClass::IntMul),
-    mul2("div", OpClass::FxMulDiv), mul2("rem", OpClass::FxMulDiv),
-    // Fixed-point
-    mul2("fxadd", OpClass::FxAlu), mul2("fxsub", OpClass::FxAlu),
-    mul2("fxmul", OpClass::FxMulDiv), mul2("fxdiv", OpClass::FxMulDiv),
-    // Loads
-    load("ld", 8, false), load("lw", 4, true), load("lwu", 4, false),
-    load("lb", 1, true), load("lbu", 1, false),
-    // Stores
-    store("sd", 8), store("sw", 4), store("sb", 1),
-    // Conditional branches
-    condbr("beq"), condbr("bne"), condbr("blt"), condbr("bge"),
-    condbr("bltu"), condbr("bgeu"),
-    // Unconditional control
-    {"j", OpClass::Branch, 0, false, true,
-     true, false, false, false, false, 0, false},
-    {"jal", OpClass::Branch, 0, true, true,
-     true, false, false, false, false, 0, false},
-    {"jr", OpClass::Branch, 1, false, false,
-     true, false, true, false, false, 0, false},
-    {"jalr", OpClass::Branch, 1, true, false,
-     true, false, true, false, false, 0, false},
-    // Misc
-    {"nop", OpClass::Nop, 0, false, false,
-     false, false, false, false, false, 0, false},
-    {"halt", OpClass::Nop, 0, false, false,
-     false, false, false, false, false, 0, false},
-};
-
-static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
-                  static_cast<size_t>(Opcode::NUM_OPCODES),
-              "opcode table out of sync with Opcode enum");
-
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    const auto idx = static_cast<size_t>(op);
-    if (idx >= static_cast<size_t>(Opcode::NUM_OPCODES))
-        panic("opInfo: bad opcode %zu", idx);
-    return opTable[idx];
-}
-
-} // namespace ubrc::isa
+} // namespace ubrc::isa::detail

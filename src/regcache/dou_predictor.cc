@@ -15,7 +15,18 @@ DegreeOfUsePredictor::DegreeOfUsePredictor(const DouParams &params,
 {
     if (cfg.entries == 0 || cfg.entries % cfg.assoc != 0)
         fatal("degree-of-use predictor: bad geometry");
-    table.resize(cfg.entries);
+    if (cfg.tagBits > 8 || cfg.predBits > 8)
+        fatal("degree-of-use predictor: tag/prediction fields exceed "
+              "the packed 8-bit lanes");
+    words.assign(cfg.entries, 0);
+    lastUse.assign(cfg.entries, 0);
+    pow2Sets = isPowerOfTwo(cfg.numSets());
+    if (pow2Sets)
+        setMask = cfg.numSets() - 1;
+    const uint64_t tag_div = uint64_t(isa::instBytes) * cfg.numSets();
+    pow2TagDiv = isPowerOfTwo(tag_div);
+    if (pow2TagDiv)
+        tagShift = floorLog2(tag_div);
     st.supplied = &stat_group.scalar("dou_supplied");
     st.unavailable = &stat_group.scalar("dou_unavailable");
     st.trainCorrect = &stat_group.scalar("dou_train_correct");
@@ -26,16 +37,19 @@ unsigned
 DegreeOfUsePredictor::indexOf(Addr pc, uint64_t ctrl) const
 {
     const uint64_t ctrl_sig = ctrl & ((1ULL << cfg.ctrlBits) - 1);
-    return static_cast<unsigned>(
-        mixHash((pc / isa::instBytes) ^ (ctrl_sig << 17)) %
-        cfg.numSets());
+    const uint64_t h = mixHash((pc / isa::instBytes) ^ (ctrl_sig << 17));
+    if (pow2Sets)
+        return static_cast<unsigned>(h & setMask);
+    return static_cast<unsigned>(h % cfg.numSets());
 }
 
 uint8_t
 DegreeOfUsePredictor::tagOf(Addr pc) const
 {
-    return static_cast<uint8_t>((pc / (isa::instBytes * cfg.numSets())) &
-                                ((1u << cfg.tagBits) - 1));
+    const uint64_t quot =
+        pow2TagDiv ? (pc >> tagShift)
+                   : (pc / (isa::instBytes * cfg.numSets()));
+    return static_cast<uint8_t>(quot & ((1u << cfg.tagBits) - 1));
 }
 
 unsigned
@@ -47,16 +61,16 @@ DegreeOfUsePredictor::clamp(unsigned uses) const
 std::optional<unsigned>
 DegreeOfUsePredictor::predict(Addr pc, uint64_t ctrl) const
 {
-    const Entry *base = &table[indexOf(pc, ctrl) * cfg.assoc];
-    const uint8_t tag = tagOf(pc);
+    const size_t base = size_t(indexOf(pc, ctrl)) * cfg.assoc;
+    const uint32_t tag = tagOf(pc);
     for (unsigned w = 0; w < cfg.assoc; ++w) {
-        const Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
+        const uint32_t e = words[base + w];
+        if (validWord(e) && tagOfWord(e) == tag) {
             // LRU state is touched at train time only; prediction
             // lookups are side-effect free.
-            if (e.confidence >= cfg.confThreshold) {
+            if (confOfWord(e) >= cfg.confThreshold) {
                 ++*st.supplied;
-                return e.prediction;
+                return predOfWord(e);
             }
             break;
         }
@@ -68,48 +82,60 @@ DegreeOfUsePredictor::predict(Addr pc, uint64_t ctrl) const
 void
 DegreeOfUsePredictor::train(Addr pc, uint64_t ctrl, unsigned actual_uses)
 {
-    Entry *base = &table[indexOf(pc, ctrl) * cfg.assoc];
-    const uint8_t tag = tagOf(pc);
-    const uint8_t actual = static_cast<uint8_t>(clamp(actual_uses));
+    const size_t base = size_t(indexOf(pc, ctrl)) * cfg.assoc;
+    const uint32_t tag = tagOf(pc);
+    const uint32_t actual = clamp(actual_uses);
 
-    Entry *hit = nullptr;
+    size_t hit = base;
+    bool found = false;
     for (unsigned w = 0; w < cfg.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            hit = &base[w];
+        const uint32_t e = words[base + w];
+        if (validWord(e) && tagOfWord(e) == tag) {
+            hit = base + w;
+            found = true;
             break;
         }
     }
 
-    if (hit) {
-        const bool was_confident = hit->confidence >= cfg.confThreshold;
-        if (hit->prediction == actual) {
+    if (found) {
+        const uint32_t e = words[hit];
+        const uint32_t conf = confOfWord(e);
+        const bool was_confident = conf >= cfg.confThreshold;
+        if (predOfWord(e) == actual) {
             if (was_confident)
                 ++*st.trainCorrect;
-            hit->confidence = std::min<unsigned>(hit->confidence + 1,
-                                                 cfg.confMax);
+            const uint32_t next =
+                std::min<uint32_t>(conf + 1, cfg.confMax);
+            words[hit] = (e & ~(0xffu << confShift)) |
+                         (next << confShift);
         } else {
             if (was_confident)
                 ++*st.trainWrong;
-            if (hit->confidence == 0)
-                hit->prediction = actual;
+            if (conf == 0)
+                words[hit] = (e & ~(0xffu << predShift)) |
+                             (actual << predShift);
             else
-                --hit->confidence;
+                words[hit] = (e & ~(0xffu << confShift)) |
+                             ((conf - 1) << confShift);
         }
-        hit->lastUse = ++useClock;
+        lastUse[hit] = ++useClock;
         return;
     }
 
-    // Allocate, replacing the LRU way.
-    Entry *victim = &base[0];
-    for (unsigned w = 1; w < cfg.assoc; ++w)
-        if (!base[w].valid ||
-            (victim->valid && base[w].lastUse < victim->lastUse))
-            victim = &base[w];
-    victim->valid = true;
-    victim->tag = tag;
-    victim->prediction = actual;
-    victim->confidence = 1;
-    victim->lastUse = ++useClock;
+    // Allocate, replacing the LRU way (an invalid way wins outright,
+    // matching the old entry-object scan: the last invalid way, else
+    // the least recently trained valid one).
+    size_t victim = base;
+    for (unsigned w = 1; w < cfg.assoc; ++w) {
+        const size_t cand = base + w;
+        if (!validWord(words[cand]) ||
+            (validWord(words[victim]) &&
+             lastUse[cand] < lastUse[victim]))
+            victim = cand;
+    }
+    words[victim] = tag | (actual << predShift) | (1u << confShift) |
+                    validBit;
+    lastUse[victim] = ++useClock;
 }
 
 double
@@ -125,12 +151,13 @@ DegreeOfUsePredictor::accuracy() const
 bool
 DegreeOfUsePredictor::corruptPrediction(size_t index, unsigned bit)
 {
-    Entry &e = table[index % table.size()];
-    if (!e.valid)
+    const size_t slot = index % words.size();
+    const uint32_t e = words[slot];
+    if (!validWord(e))
         return false;
-    e.prediction = static_cast<uint8_t>(
-        (e.prediction ^ (1u << bit)) &
-        ((1u << cfg.predBits) - 1));
+    const uint32_t pred = (predOfWord(e) ^ (1u << bit)) &
+                          ((1u << cfg.predBits) - 1);
+    words[slot] = (e & ~(0xffu << predShift)) | (pred << predShift);
     return true;
 }
 

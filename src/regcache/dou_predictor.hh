@@ -11,6 +11,12 @@
  * consumer falls back to its "unknown default". Training happens when
  * the physical register is freed, at which point the true consumer
  * count (wrong-path readers excluded) is known.
+ *
+ * Storage is a packed structure-of-arrays: one 32-bit word per entry
+ * (tag [7:0], prediction [15:8], confidence [23:16], valid [24]) plus
+ * a separate recency lane, so the per-rename probe walks four words of
+ * one cache line. Power-of-two geometries (the Table-1 default) take
+ * mask/shift fast paths in the index and tag computations.
  */
 
 #ifndef UBRC_REGCACHE_DOU_PREDICTOR_HH
@@ -65,7 +71,7 @@ class DegreeOfUsePredictor
     uint64_t storageBits() const;
 
     /** Table capacity in entries (for fault-site selection). */
-    size_t entryCount() const { return table.size(); }
+    size_t entryCount() const { return words.size(); }
 
     /**
      * Fault injection: flip one bit of a valid entry's prediction
@@ -74,21 +80,28 @@ class DegreeOfUsePredictor
     bool corruptPrediction(size_t index, unsigned bit);
 
   private:
-    struct Entry
-    {
-        uint8_t tag = 0;
-        uint8_t prediction = 0;
-        uint8_t confidence = 0;
-        uint64_t lastUse = 0;
-        bool valid = false;
-    };
+    // Packed entry word (low to high): tag [7:0], prediction [15:8],
+    // confidence [23:16], valid [24]. Invalid entries are all-zero.
+    static constexpr unsigned predShift = 8;
+    static constexpr unsigned confShift = 16;
+    static constexpr uint32_t validBit = 1u << 24;
+
+    static uint32_t tagOfWord(uint32_t w) { return w & 0xffu; }
+    static uint32_t predOfWord(uint32_t w) { return (w >> predShift) & 0xffu; }
+    static uint32_t confOfWord(uint32_t w) { return (w >> confShift) & 0xffu; }
+    static bool validWord(uint32_t w) { return (w & validBit) != 0; }
 
     unsigned indexOf(Addr pc, uint64_t ctrl) const;
     uint8_t tagOf(Addr pc) const;
     unsigned clamp(unsigned uses) const;
 
     DouParams cfg;
-    std::vector<Entry> table;
+    std::vector<uint32_t> words;    ///< packed tag|pred|conf|valid
+    std::vector<uint64_t> lastUse;  ///< recency lane (train-time LRU)
+    unsigned setMask = 0;           ///< numSets - 1 when power of two
+    unsigned tagShift = 0;          ///< log2(instBytes * numSets)
+    bool pow2Sets = false;
+    bool pow2TagDiv = false;
     mutable uint64_t useClock = 0;
 
     struct

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Dense structure-of-arrays storage shared by the register cache and
+ * its shadow fully-associative classifier.
+ *
+ * Each entry is one bit-packed 64-bit word holding tag, remaining-use
+ * count, pin bit, and valid bit (layout below and in DESIGN.md);
+ * recency (LRU clocks) and lifetime instrumentation live in separate
+ * per-lane arrays so the replacement scan touches only the words it
+ * compares. A decoupled preg->slot probe index makes presence checks
+ * O(1) instead of a tag scan per call; the set-restricted probe keeps
+ * an exact way-scan fallback so even aliased placements (the same
+ * preg planted in two sets by a test) resolve exactly as the old
+ * per-entry-object scan did.
+ *
+ * Word layout (low to high):
+ *   [15:0]  preg tag (uint16 image of the PhysReg)
+ *   [23:16] remaining-use counter (saturates at the cache's maxUse)
+ *   [24]    pinned (counter never decremented)
+ *   [25]    valid
+ *   [63:26] zero
+ *
+ * Invariants:
+ *  - an invalid slot's word is all-zero;
+ *  - remUses <= maxUse <= 255 at all times (construction enforces);
+ *  - slotOf[preg] names the most recent placement of preg, and is
+ *    reset when that exact slot is cleared or overwritten.
+ */
+
+#ifndef UBRC_REGCACHE_PACKED_CACHE_HH
+#define UBRC_REGCACHE_PACKED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "regcache/policies.hh"
+
+namespace ubrc::regcache
+{
+
+namespace packed
+{
+
+constexpr unsigned pregBits = 16;
+constexpr unsigned useBits = 8;
+constexpr unsigned useShift = pregBits;              // 16
+constexpr unsigned pinnedShift = useShift + useBits; // 24
+constexpr unsigned validShift = pinnedShift + 1;     // 25
+
+constexpr uint64_t pregMask = (1ULL << pregBits) - 1;
+constexpr uint64_t useMask = (1ULL << useBits) - 1;
+constexpr uint64_t pinnedBit = 1ULL << pinnedShift;
+constexpr uint64_t validBit = 1ULL << validShift;
+
+/** Largest remaining-use count the packed field can hold. */
+constexpr unsigned maxRemUses = static_cast<unsigned>(useMask);
+
+inline uint64_t
+pack(PhysReg preg, uint32_t rem_uses, bool pinned, bool valid)
+{
+    return static_cast<uint64_t>(static_cast<uint16_t>(preg)) |
+           ((static_cast<uint64_t>(rem_uses) & useMask) << useShift) |
+           (pinned ? pinnedBit : 0) | (valid ? validBit : 0);
+}
+
+inline PhysReg
+preg(uint64_t word)
+{
+    return static_cast<PhysReg>(
+        static_cast<uint16_t>(word & pregMask));
+}
+
+inline uint32_t
+remUses(uint64_t word)
+{
+    return static_cast<uint32_t>((word >> useShift) & useMask);
+}
+
+inline bool pinned(uint64_t word) { return (word & pinnedBit) != 0; }
+inline bool valid(uint64_t word) { return (word & validBit) != 0; }
+
+} // namespace packed
+
+/**
+ * The packed SoA core. TrackLifetime adds the insertion-cycle and
+ * read-count lanes the real register cache samples at retirement;
+ * the shadow classifier instantiates without them.
+ *
+ * The core is purely structural: policy decisions (when to insert,
+ * what to count) stay with its owners.
+ */
+template <bool TrackLifetime>
+class PackedCacheCore
+{
+  public:
+    void
+    reset(unsigned num_sets, unsigned ways,
+          ReplacementPolicy replacement, unsigned max_use)
+    {
+        sets_ = num_sets;
+        assoc_ = ways;
+        repl_ = replacement;
+        maxUse_ = max_use;
+        words_.assign(size_t(num_sets) * ways, 0);
+        lastUse_.assign(words_.size(), 0);
+        if constexpr (TrackLifetime) {
+            insertedAt_.assign(words_.size(), 0);
+            reads_.assign(words_.size(), 0);
+        }
+        slotOf_.clear();
+        useClock_ = 0;
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned maxUse() const { return maxUse_; }
+    size_t numSlots() const { return words_.size(); }
+
+    unsigned setOf(int slot) const { return unsigned(slot) / assoc_; }
+    unsigned wayOf(int slot) const { return unsigned(slot) % assoc_; }
+
+    uint64_t word(int slot) const { return words_[size_t(slot)]; }
+    bool validAt(int slot) const { return packed::valid(word(slot)); }
+    PhysReg pregAt(int slot) const { return packed::preg(word(slot)); }
+    bool pinnedAt(int slot) const { return packed::pinned(word(slot)); }
+
+    uint32_t
+    remUsesAt(int slot) const
+    {
+        return packed::remUses(word(slot));
+    }
+
+    uint64_t lastUseAt(int slot) const { return lastUse_[size_t(slot)]; }
+
+    Cycle
+    insertedAtOf(int slot) const
+    {
+        static_assert(TrackLifetime, "no insertion-cycle lane");
+        return insertedAt_[size_t(slot)];
+    }
+
+    uint32_t
+    readsAt(int slot) const
+    {
+        static_assert(TrackLifetime, "no read-count lane");
+        return reads_[size_t(slot)];
+    }
+
+    /**
+     * O(1) probe through the decoupled index: the slot currently
+     * holding `preg`, or -1. Exact whenever each preg has at most one
+     * live placement (always true for the fully-associative shadow
+     * and for suppliers, which assign one set per allocation).
+     */
+    int
+    findIndexed(PhysReg preg) const
+    {
+        const size_t p = size_t(static_cast<uint16_t>(preg));
+        if (p >= slotOf_.size())
+            return -1;
+        const int slot = slotOf_[p];
+        if (slot < 0)
+            return -1;
+        const uint64_t w = words_[size_t(slot)];
+        return (packed::valid(w) && packed::preg(w) == preg) ? slot
+                                                             : -1;
+    }
+
+    /**
+     * Probe restricted to one set: the indexed fast path, then an
+     * exact way scan of the set (covers aliased placements).
+     */
+    int
+    findInSet(PhysReg preg, unsigned set) const
+    {
+        const int slot = findIndexed(preg);
+        if (slot >= 0 && setOf(slot) == set)
+            return slot;
+        const size_t base = size_t(set) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const uint64_t cand = words_[base + w];
+            if (packed::valid(cand) && packed::preg(cand) == preg)
+                return int(base + w);
+        }
+        return -1;
+    }
+
+    /**
+     * Replacement choice in `set`: the first invalid way, else the
+     * policy victim — LRU, or fewest remaining uses with pinned
+     * counting as infinite and LRU breaking ties.
+     */
+    int
+    victimIn(unsigned set) const
+    {
+        const size_t base = size_t(set) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (!packed::valid(words_[base + w]))
+                return int(base + w);
+
+        size_t victim = base;
+        if (repl_ == ReplacementPolicy::LRU) {
+            for (unsigned w = 1; w < assoc_; ++w)
+                if (lastUse_[base + w] < lastUse_[victim])
+                    victim = base + w;
+            return int(victim);
+        }
+        uint64_t v_uses = packed::pinned(words_[victim])
+                              ? ~0ULL
+                              : packed::remUses(words_[victim]);
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const size_t cand = base + w;
+            const uint64_t cw = words_[cand];
+            const uint64_t c_uses =
+                packed::pinned(cw) ? ~0ULL : packed::remUses(cw);
+            if (c_uses < v_uses ||
+                (c_uses == v_uses &&
+                 lastUse_[cand] < lastUse_[victim])) {
+                victim = cand;
+                v_uses = c_uses;
+            }
+        }
+        return int(victim);
+    }
+
+    /**
+     * Write a new entry into `slot` (cleared or victim-retired by the
+     * caller first) and index it. The use counter saturates at the
+     * configured maxUse.
+     */
+    void
+    place(int slot, PhysReg preg, uint32_t rem_uses, bool pinned,
+          Cycle now)
+    {
+        const uint32_t rem = rem_uses < maxUse_ ? rem_uses : maxUse_;
+        words_[size_t(slot)] = packed::pack(preg, rem, pinned, true);
+        lastUse_[size_t(slot)] = ++useClock_;
+        if constexpr (TrackLifetime) {
+            insertedAt_[size_t(slot)] = now;
+            reads_[size_t(slot)] = 0;
+        }
+        (void)now;
+        const size_t p = size_t(static_cast<uint16_t>(preg));
+        if (p >= slotOf_.size())
+            slotOf_.resize(p + 1, -1);
+        slotOf_[p] = slot;
+    }
+
+    /** Invalidate `slot` and drop its index mapping. */
+    void
+    clear(int slot)
+    {
+        const uint64_t w = words_[size_t(slot)];
+        words_[size_t(slot)] = 0;
+        if (!packed::valid(w))
+            return;
+        const size_t p =
+            size_t(static_cast<uint16_t>(packed::preg(w)));
+        if (p < slotOf_.size() && slotOf_[p] == slot)
+            slotOf_[p] = -1;
+    }
+
+    /** Read hit: refresh recency, bump the read lane, decrement. */
+    void
+    touchRead(int slot)
+    {
+        lastUse_[size_t(slot)] = ++useClock_;
+        if constexpr (TrackLifetime)
+            ++reads_[size_t(slot)];
+        decrementUses(slot);
+    }
+
+    /** Decrement the use counter unless pinned or already zero. */
+    void
+    decrementUses(int slot)
+    {
+        const uint64_t w = words_[size_t(slot)];
+        if (!packed::pinned(w) && packed::remUses(w) > 0)
+            words_[size_t(slot)] = w - (1ULL << packed::useShift);
+    }
+
+    /** Fault injection: XOR a bit of the packed use-counter field. */
+    void
+    corruptUses(int slot, unsigned bit)
+    {
+        words_[size_t(slot)] ^=
+            1ULL << (packed::useShift + (bit % packed::useBits));
+    }
+
+  private:
+    unsigned sets_ = 0;
+    unsigned assoc_ = 0;
+    ReplacementPolicy repl_ = ReplacementPolicy::UseBased;
+    unsigned maxUse_ = 0;
+
+    std::vector<uint64_t> words_;   ///< packed tag|uses|pinned|valid
+    std::vector<uint64_t> lastUse_; ///< recency clocks (LRU lane)
+    std::vector<Cycle> insertedAt_; ///< lifetime lane (TrackLifetime)
+    std::vector<uint32_t> reads_;   ///< lifetime lane (TrackLifetime)
+    std::vector<int32_t> slotOf_;   ///< decoupled preg->slot index
+    uint64_t useClock_ = 0;
+};
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_PACKED_CACHE_HH

@@ -1,7 +1,5 @@
 #include "regcache/register_cache.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
 
 namespace ubrc::regcache
@@ -65,7 +63,11 @@ RegisterCache::RegisterCache(const RegCacheParams &params,
         cfg.entries % cfg.assoc != 0)
         fatal("register cache: %u entries not divisible into %u ways",
               cfg.entries, cfg.assoc);
-    entries_.resize(cfg.entries);
+    if (cfg.maxUse > packed::maxRemUses)
+        fatal("register cache: maxUse %u exceeds the packed "
+              "use-counter field (max %u)",
+              cfg.maxUse, packed::maxRemUses);
+    core.reset(cfg.numSets(), cfg.assoc, cfg.replacement, cfg.maxUse);
     st.inserts = &stat_group.scalar("rc_inserts");
     st.fills = &stat_group.scalar("rc_fills");
     st.readHits = &stat_group.scalar("rc_read_hits");
@@ -79,183 +81,70 @@ RegisterCache::RegisterCache(const RegCacheParams &params,
     st.readsPerEntry = &stat_group.mean("rc_reads_per_entry");
 }
 
-RegisterCache::Entry *
-RegisterCache::find(PhysReg preg, unsigned set)
-{
-    Entry *base = &entries_[set * cfg.assoc];
-    for (unsigned w = 0; w < cfg.assoc; ++w)
-        if (base[w].valid && base[w].preg == preg)
-            return &base[w];
-    return nullptr;
-}
-
-const RegisterCache::Entry *
-RegisterCache::find(PhysReg preg, unsigned set) const
-{
-    const Entry *base = &entries_[set * cfg.assoc];
-    for (unsigned w = 0; w < cfg.assoc; ++w)
-        if (base[w].valid && base[w].preg == preg)
-            return &base[w];
-    return nullptr;
-}
-
-RegisterCache::Entry &
-RegisterCache::victimIn(unsigned set)
-{
-    Entry *base = &entries_[set * cfg.assoc];
-    for (unsigned w = 0; w < cfg.assoc; ++w)
-        if (!base[w].valid)
-            return base[w];
-
-    Entry *victim = &base[0];
-    for (unsigned w = 1; w < cfg.assoc; ++w) {
-        Entry &cand = base[w];
-        if (cfg.replacement == ReplacementPolicy::LRU) {
-            if (cand.lastUse < victim->lastUse)
-                victim = &cand;
-        } else {
-            // Use-based: fewest remaining uses wins; pinned entries
-            // count as infinite. Ties fall back to LRU.
-            const uint64_t v_uses =
-                victim->pinned ? ~0ULL : victim->remUses;
-            const uint64_t c_uses = cand.pinned ? ~0ULL : cand.remUses;
-            if (c_uses < v_uses ||
-                (c_uses == v_uses && cand.lastUse < victim->lastUse))
-                victim = &cand;
-        }
-    }
-    return *victim;
-}
-
 void
-RegisterCache::retireEntry(Entry &e, Cycle now, bool evicted)
+RegisterCache::retireSlot(int slot, Cycle now, bool evicted)
 {
-    if (!e.valid)
+    if (!core.validAt(slot))
         return;
     if (evicted) {
         ++*st.evictions;
-        if (!e.pinned && e.remUses == 0)
+        if (!core.pinnedAt(slot) && core.remUsesAt(slot) == 0)
             ++*st.evictionsZeroUse;
         else
             ++*st.evictionsLiveUse;
     } else {
         ++*st.invalidations;
     }
-    if (e.reads == 0)
+    if (core.readsAt(slot) == 0)
         ++*st.entriesNeverRead;
-    st.entryLifetime->sample(static_cast<double>(now - e.insertedAt));
-    st.readsPerEntry->sample(static_cast<double>(e.reads));
-    e.valid = false;
+    st.entryLifetime->sample(
+        static_cast<double>(now - core.insertedAtOf(slot)));
+    st.readsPerEntry->sample(static_cast<double>(core.readsAt(slot)));
+    core.clear(slot);
     --numValid;
 }
 
 void
-RegisterCache::place(Entry &slot, PhysReg preg, unsigned rem_uses,
-                     bool pinned, Cycle now)
+RegisterCache::insert(PhysReg preg, unsigned set,
+                      unsigned remaining_uses, bool pinned, Cycle now)
 {
-    slot.valid = true;
-    slot.preg = preg;
-    slot.remUses = std::min<uint32_t>(rem_uses, cfg.maxUse);
-    slot.pinned = pinned;
-    slot.lastUse = ++useClock;
-    slot.insertedAt = now;
-    slot.reads = 0;
-    ++numValid;
-}
-
-void
-RegisterCache::insert(PhysReg preg, unsigned set, unsigned remaining_uses,
-                      bool pinned, Cycle now)
-{
-    if (Entry *e = find(preg, set))
+    if (core.findInSet(preg, set) >= 0)
         panic("register cache: double insert of preg %d (set %u)",
-              int(e->preg), set);
-    Entry &slot = victimIn(set);
-    retireEntry(slot, now, true);
-    place(slot, preg, remaining_uses, pinned, now);
+              int(preg), set);
+    const int slot = core.victimIn(set);
+    retireSlot(slot, now, true);
+    core.place(slot, preg, remaining_uses, pinned, now);
+    ++numValid;
     ++*st.inserts;
 }
 
-void
+bool
 RegisterCache::fill(PhysReg preg, unsigned set, Cycle now)
 {
-    if (find(preg, set))
-        return; // a racing fill already brought it in
-    Entry &slot = victimIn(set);
-    retireEntry(slot, now, true);
-    place(slot, preg, cfg.fillDefault, false, now);
+    if (core.findInSet(preg, set) >= 0)
+        return false; // a racing fill already brought it in
+    const int slot = core.victimIn(set);
+    retireSlot(slot, now, true);
+    core.place(slot, preg, cfg.fillDefault, false, now);
+    ++numValid;
     ++*st.fills;
-}
-
-bool
-RegisterCache::read(PhysReg preg, unsigned set, Cycle now)
-{
-    (void)now;
-    Entry *e = find(preg, set);
-    if (!e) {
-        ++*st.readMisses;
-        return false;
-    }
-    ++*st.readHits;
-    ++e->reads;
-    e->lastUse = ++useClock;
-    if (!e->pinned && e->remUses > 0)
-        --e->remUses;
     return true;
 }
 
-void
-RegisterCache::noteBypassUse(PhysReg preg, unsigned set)
-{
-    Entry *e = find(preg, set);
-    if (e && !e->pinned && e->remUses > 0)
-        --e->remUses;
-}
-
-void
-RegisterCache::invalidate(PhysReg preg, unsigned set, Cycle now)
-{
-    if (Entry *e = find(preg, set))
-        retireEntry(*e, now, false);
-}
-
-bool
-RegisterCache::contains(PhysReg preg, unsigned set) const
-{
-    return find(preg, set) != nullptr;
-}
-
-int
-RegisterCache::remainingUses(PhysReg preg, unsigned set) const
-{
-    const Entry *e = find(preg, set);
-    return e ? static_cast<int>(e->remUses) : -1;
-}
-
-std::vector<RegisterCache::EntryView>
+std::vector<CacheEntryView>
 RegisterCache::validEntries() const
 {
-    std::vector<EntryView> out;
+    std::vector<CacheEntryView> out;
     out.reserve(numValid);
-    for (unsigned set = 0; set < cfg.numSets(); ++set) {
-        const Entry *base = &entries_[set * cfg.assoc];
-        for (unsigned w = 0; w < cfg.assoc; ++w)
-            if (base[w].valid)
-                out.push_back({set, w, base[w].preg, base[w].remUses,
-                               base[w].pinned});
+    for (size_t slot = 0; slot < core.numSlots(); ++slot) {
+        if (!core.validAt(int(slot)))
+            continue;
+        out.push_back({core.setOf(int(slot)), core.wayOf(int(slot)),
+                       core.pregAt(int(slot)),
+                       core.remUsesAt(int(slot)),
+                       core.pinnedAt(int(slot))});
     }
     return out;
-}
-
-bool
-RegisterCache::corruptUseCounter(PhysReg preg, unsigned set,
-                                 unsigned bit)
-{
-    Entry *e = find(preg, set);
-    if (!e)
-        return false;
-    e->remUses ^= 1u << bit;
-    return true;
 }
 
 double
@@ -270,56 +159,23 @@ RegisterCache::zeroUseVictimFraction() const
 ShadowFullyAssocCache::ShadowFullyAssocCache(unsigned num_entries,
                                              ReplacementPolicy replacement,
                                              unsigned max_use)
-    : capacity(num_entries), repl(replacement), maxUse(max_use)
 {
-    entries_.resize(capacity);
-}
-
-ShadowFullyAssocCache::Entry *
-ShadowFullyAssocCache::find(PhysReg preg)
-{
-    for (auto &e : entries_)
-        if (e.valid && e.preg == preg)
-            return &e;
-    return nullptr;
-}
-
-ShadowFullyAssocCache::Entry &
-ShadowFullyAssocCache::victim()
-{
-    for (auto &e : entries_)
-        if (!e.valid)
-            return e;
-    Entry *victim = &entries_[0];
-    for (auto &cand : entries_) {
-        if (repl == ReplacementPolicy::LRU) {
-            if (cand.lastUse < victim->lastUse)
-                victim = &cand;
-        } else {
-            const uint64_t v_uses =
-                victim->pinned ? ~0ULL : victim->remUses;
-            const uint64_t c_uses = cand.pinned ? ~0ULL : cand.remUses;
-            if (c_uses < v_uses ||
-                (c_uses == v_uses && cand.lastUse < victim->lastUse))
-                victim = &cand;
-        }
-    }
-    return *victim;
+    if (max_use > packed::maxRemUses)
+        fatal("shadow cache: maxUse %u exceeds the packed "
+              "use-counter field (max %u)",
+              max_use, packed::maxRemUses);
+    core.reset(1, num_entries, replacement, max_use);
 }
 
 void
 ShadowFullyAssocCache::insert(PhysReg preg, unsigned remaining_uses,
                               bool pinned, Cycle now)
 {
-    (void)now;
-    if (find(preg))
+    if (core.findIndexed(preg) >= 0)
         return;
-    Entry &slot = victim();
-    slot.valid = true;
-    slot.preg = preg;
-    slot.remUses = std::min<uint32_t>(remaining_uses, maxUse);
-    slot.pinned = pinned;
-    slot.lastUse = ++useClock;
+    const int slot = core.victimIn(0);
+    core.clear(slot);
+    core.place(slot, preg, remaining_uses, pinned, now);
 }
 
 void
@@ -331,37 +187,33 @@ ShadowFullyAssocCache::fill(PhysReg preg, Cycle now)
 bool
 ShadowFullyAssocCache::read(PhysReg preg)
 {
-    Entry *e = find(preg);
-    if (!e)
+    const int slot = core.findIndexed(preg);
+    if (slot < 0)
         return false;
-    e->lastUse = ++useClock;
-    if (!e->pinned && e->remUses > 0)
-        --e->remUses;
+    core.touchRead(slot);
     return true;
 }
 
 void
 ShadowFullyAssocCache::noteBypassUse(PhysReg preg)
 {
-    Entry *e = find(preg);
-    if (e && !e->pinned && e->remUses > 0)
-        --e->remUses;
+    const int slot = core.findIndexed(preg);
+    if (slot >= 0)
+        core.decrementUses(slot);
 }
 
 void
 ShadowFullyAssocCache::invalidate(PhysReg preg)
 {
-    if (Entry *e = find(preg))
-        e->valid = false;
+    const int slot = core.findIndexed(preg);
+    if (slot >= 0)
+        core.clear(slot);
 }
 
 bool
 ShadowFullyAssocCache::contains(PhysReg preg) const
 {
-    for (const auto &e : entries_)
-        if (e.valid && e.preg == preg)
-            return true;
-    return false;
+    return core.findIndexed(preg) >= 0;
 }
 
 } // namespace ubrc::regcache

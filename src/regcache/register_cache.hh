@@ -9,6 +9,15 @@
  * uses. Entries whose producing value saturated the use predictor are
  * pinned (their counter is never decremented) until invalidated.
  *
+ * Entries live in the packed structure-of-arrays core
+ * (regcache/packed_cache.hh): one 64-bit tag|uses|pinned|valid word
+ * per entry plus separate recency and lifetime lanes, with a
+ * decoupled preg->slot index for O(1) probes.
+ *
+ * The call surface is probe-once: lookup(preg, set) resolves the tag
+ * search a single time and returns an EntryRef handle; reads, bypass
+ * bookkeeping, and invalidation act on the handle without re-probing.
+ *
  * The class is purely structural: the insertion *decision* (filtering)
  * is made by the caller via shouldInsert(), because it depends on
  * bypass-network information only the core has.
@@ -20,8 +29,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cache_entry_view.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "regcache/packed_cache.hh"
 #include "regcache/policies.hh"
 
 namespace ubrc::regcache
@@ -74,6 +85,83 @@ class RegisterCache
     unsigned numSets() const { return cfg.numSets(); }
 
     /**
+     * A probe-once handle to a (possibly absent) entry. Obtained from
+     * lookup(); valid() says whether the probe hit. All mutating
+     * operations act on the already-resolved slot — no re-probe.
+     *
+     * A handle is transient: it is invalidated by any subsequent
+     * insert/fill/invalidate that touches its slot, so resolve,
+     * operate, and discard within one operand event.
+     */
+    class EntryRef
+    {
+      public:
+        EntryRef() = default;
+
+        bool valid() const { return slot >= 0; }
+        explicit operator bool() const { return valid(); }
+
+        unsigned
+        remainingUses() const
+        {
+            return rc->core.remUsesAt(slot);
+        }
+
+        bool pinned() const { return rc->core.pinnedAt(slot); }
+
+        /**
+         * Operand read hit: count it, refresh LRU, decrement the
+         * remaining-use counter (unless pinned).
+         */
+        void
+        read()
+        {
+            ++*rc->st.readHits;
+            rc->core.touchRead(slot);
+        }
+
+        /**
+         * A bypassed consumer was satisfied while the value is
+         * cached; keep the counter in step (Section 3.3).
+         */
+        void noteBypassUse() { rc->core.decrementUses(slot); }
+
+        /** Invalidate (physical register freed or squashed). */
+        void
+        invalidate(Cycle now)
+        {
+            rc->retireSlot(slot, now, false);
+        }
+
+        /** Fault injection: flip one bit of the use counter. */
+        void corruptUseCounter(unsigned bit)
+        {
+            rc->core.corruptUses(slot, bit);
+        }
+
+      private:
+        friend class RegisterCache;
+        EntryRef(RegisterCache *cache, int s) : rc(cache), slot(s) {}
+
+        RegisterCache *rc = nullptr;
+        int slot = -1;
+    };
+
+    /**
+     * The one tag probe: resolve `preg` in `set`. The returned handle
+     * is invalid on a miss (callers count a read miss explicitly via
+     * noteReadMiss() when the probe was an operand read).
+     */
+    EntryRef
+    lookup(PhysReg preg, unsigned set)
+    {
+        return EntryRef(this, core.findInSet(preg, set));
+    }
+
+    /** An operand read probed and missed (Figure 9 accounting). */
+    void noteReadMiss() { ++*st.readMisses; }
+
+    /**
      * Write a produced value into set `set`. A victim is chosen by
      * the replacement policy if the set is full.
      *
@@ -86,30 +174,9 @@ class RegisterCache
     /**
      * Fill after a miss: the use count was lost, so the counter is
      * set to fillDefault and the entry is not pinned (Section 3.3).
+     * @return false if a racing fill already brought the value in.
      */
-    void fill(PhysReg preg, unsigned set, Cycle now);
-
-    /**
-     * Operand read. On a hit, decrements the remaining-use counter
-     * (unless pinned) and refreshes LRU.
-     * @return true on hit.
-     */
-    bool read(PhysReg preg, unsigned set, Cycle now);
-
-    /**
-     * A bypassed consumer was satisfied while the value is cached;
-     * keep the counter in step (Section 3.3).
-     */
-    void noteBypassUse(PhysReg preg, unsigned set);
-
-    /** Invalidate on physical register free. */
-    void invalidate(PhysReg preg, unsigned set, Cycle now);
-
-    /** Presence check without side effects. */
-    bool contains(PhysReg preg, unsigned set) const;
-
-    /** Remaining uses recorded for a cached value; -1 if absent. */
-    int remainingUses(PhysReg preg, unsigned set) const;
+    bool fill(PhysReg preg, unsigned set, Cycle now);
 
     /** Currently valid entries (for occupancy stats). */
     unsigned validCount() const { return numValid; }
@@ -119,47 +186,16 @@ class RegisterCache
     /** Fraction of evictions whose victim had zero remaining uses. */
     double zeroUseVictimFraction() const;
 
-    /** One valid entry, as exposed for diagnostics and injection. */
-    struct EntryView
-    {
-        unsigned set;
-        unsigned way;
-        PhysReg preg;
-        uint32_t remUses;
-        bool pinned;
-    };
-
     /** All valid entries in set/way order (diagnostics, injection). */
-    std::vector<EntryView> validEntries() const;
-
-    /**
-     * Fault injection: flip one bit of an entry's remaining-use
-     * counter. @return false if the entry is not resident.
-     */
-    bool corruptUseCounter(PhysReg preg, unsigned set, unsigned bit);
+    std::vector<CacheEntryView> validEntries() const;
 
   private:
-    struct Entry
-    {
-        PhysReg preg = invalidPhysReg;
-        uint32_t remUses = 0;
-        uint64_t lastUse = 0;
-        Cycle insertedAt = 0;
-        uint32_t reads = 0;
-        bool pinned = false;
-        bool valid = false;
-    };
+    friend class EntryRef;
 
-    Entry *find(PhysReg preg, unsigned set);
-    const Entry *find(PhysReg preg, unsigned set) const;
-    Entry &victimIn(unsigned set);
-    void retireEntry(Entry &e, Cycle now, bool evicted);
-    void place(Entry &slot, PhysReg preg, unsigned rem_uses, bool pinned,
-               Cycle now);
+    void retireSlot(int slot, Cycle now, bool evicted);
 
     RegCacheParams cfg;
-    std::vector<Entry> entries_; // numSets x assoc
-    uint64_t useClock = 0;
+    PackedCacheCore<true> core;
     unsigned numValid = 0;
 
     struct
@@ -175,7 +211,9 @@ class RegisterCache
  * Shadow fully-associative reference cache used to classify misses as
  * conflict (hit here, missed in the set-associative cache) versus
  * capacity (missed in both), mirroring the real cache's insertion
- * decisions and replacement flavour (Figure 8).
+ * decisions and replacement flavour (Figure 8). Shares the packed
+ * SoA core (one set, `entries` ways, no lifetime lanes); the probe
+ * index turns its former full linear scans into O(1) lookups.
  */
 class ShadowFullyAssocCache
 {
@@ -192,23 +230,7 @@ class ShadowFullyAssocCache
     bool contains(PhysReg preg) const;
 
   private:
-    struct Entry
-    {
-        PhysReg preg = invalidPhysReg;
-        uint32_t remUses = 0;
-        uint64_t lastUse = 0;
-        bool pinned = false;
-        bool valid = false;
-    };
-
-    Entry *find(PhysReg preg);
-    Entry &victim();
-
-    unsigned capacity;
-    ReplacementPolicy repl;
-    unsigned maxUse;
-    std::vector<Entry> entries_;
-    uint64_t useClock = 0;
+    PackedCacheCore<false> core;
 };
 
 } // namespace ubrc::regcache

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cache_entry_view.hh"
 #include "common/types.hh"
 
 namespace ubrc::sim
@@ -34,14 +35,7 @@ struct SnapshotRobEntry
 };
 
 /** One valid register cache entry (set contents with use state). */
-struct SnapshotCacheEntry
-{
-    unsigned set = 0;
-    unsigned way = 0;
-    PhysReg preg = invalidPhysReg;
-    uint32_t remUses = 0;
-    bool pinned = false;
-};
+using SnapshotCacheEntry = CacheEntryView;
 
 /** One recently retired instruction. */
 struct SnapshotRetired

@@ -61,10 +61,12 @@ CachedSupplier::onBypassRead(PhysReg src, bool first_stage)
     // Keep the remaining-use counts in step for values consumed off
     // the bypass network (Section 3.3).
     ValueState &vs = value(src);
-    if (vs.insertedNow)
-        rcache.noteBypassUse(src, vs.set);
-    else if (!vs.pinned && vs.remUses > 0)
+    if (vs.insertedNow) {
+        if (auto e = rcache.lookup(src, vs.set))
+            e.noteBypassUse();
+    } else if (!vs.pinned && vs.remUses > 0) {
         --vs.remUses;
+    }
     if (shadow)
         shadow->noteBypassUse(src);
 }
@@ -73,12 +75,15 @@ ReadResult
 CachedSupplier::readOperand(PhysReg src, Cycle now)
 {
     ValueState &vs = value(src);
-    if (rcache.read(src, vs.set, now)) {
-        if (shadow && !shadow->read(src))
-            shadow->fill(src, now); // resync
-        return ReadResult::CacheHit;
+    auto e = rcache.lookup(src, vs.set);
+    if (!e) {
+        rcache.noteReadMiss();
+        return ReadResult::CacheMiss;
     }
-    return ReadResult::CacheMiss;
+    e.read();
+    if (shadow && !shadow->read(src))
+        shadow->fill(src, now); // resync
+    return ReadResult::CacheHit;
 }
 
 Cycle
@@ -118,8 +123,7 @@ CachedSupplier::onFill(PhysReg preg, Cycle now)
     if (!vs.fillInFlight)
         return false;
     vs.fillInFlight = false;
-    if (!rcache.contains(preg, vs.set)) {
-        rcache.fill(preg, vs.set, now);
+    if (rcache.fill(preg, vs.set, now)) {
         vs.everCached = true;
         vs.insertedNow = true;
         if (shadow)
@@ -174,7 +178,8 @@ CachedSupplier::onValueFreed(PhysReg preg, Addr producer_pc,
                              uint32_t actual_uses, Cycle now)
 {
     ValueState &vs = value(preg);
-    rcache.invalidate(preg, vs.set, now);
+    if (auto e = rcache.lookup(preg, vs.set))
+        e.invalidate(now);
     if (shadow)
         shadow->invalidate(preg);
     OperandSupplier::onValueFreed(preg, producer_pc, producer_ctrl,
@@ -191,7 +196,8 @@ CachedSupplier::onDestSquashed(PhysReg dest, Cycle now)
 {
     ValueState &vs = value(dest);
     idxAlloc.release(vs.set, vs.predUses);
-    rcache.invalidate(dest, vs.set, now);
+    if (auto e = rcache.lookup(dest, vs.set))
+        e.invalidate(now);
     if (shadow)
         shadow->invalidate(dest);
     vs.fillInFlight = false;
@@ -206,10 +212,7 @@ CachedSupplier::sampleCycleStats()
 std::vector<CacheEntryView>
 CachedSupplier::cachedEntries() const
 {
-    std::vector<CacheEntryView> out;
-    for (const auto &v : rcache.validEntries())
-        out.push_back({v.set, v.way, v.preg, v.remUses, v.pinned});
-    return out;
+    return rcache.validEntries();
 }
 
 unsigned
@@ -228,7 +231,11 @@ bool
 CachedSupplier::corruptUseCounter(PhysReg preg, unsigned set,
                                   unsigned bit)
 {
-    return rcache.corruptUseCounter(preg, set, bit);
+    auto e = rcache.lookup(preg, set);
+    if (!e)
+        return false;
+    e.corruptUseCounter(bit);
+    return true;
 }
 
 SupplierStats

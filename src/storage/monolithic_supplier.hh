@@ -27,6 +27,7 @@ class MonolithicSupplier : public OperandSupplier
 
     Cycle issueReadGate(Cycle exec_start,
                         Cycle producer_done) const override;
+    bool hasIssueReadGate() const override { return true; }
     WriteOutcome onValueProduced(PhysReg preg, Cycle now) override;
 };
 

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cache_entry_view.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "regcache/dou_predictor.hh"
@@ -76,14 +77,7 @@ struct WriteOutcome
 };
 
 /** One valid cache entry, for snapshots and fault-site selection. */
-struct CacheEntryView
-{
-    unsigned set = 0;
-    unsigned way = 0;
-    PhysReg preg = invalidPhysReg;
-    uint32_t remUses = 0;
-    bool pinned = false;
-};
+using CacheEntryView = ubrc::CacheEntryView;
 
 /** Squash-recovery outcome (two-level copy-back). */
 struct RecoveryResult
@@ -209,6 +203,13 @@ class OperandSupplier
         (void)producer_done;
         return 0;
     }
+
+    /**
+     * Can issueReadGate() ever return non-zero? Constant per supplier;
+     * the core caches it at construction and skips the per-source gate
+     * query entirely for ungated schemes. Decorators must forward it.
+     */
+    virtual bool hasIssueReadGate() const { return false; }
 
     // --- execute ------------------------------------------------------
 

@@ -270,6 +270,12 @@ RecordingSupplier::issueReadGate(Cycle exec_start,
     return inner->issueReadGate(exec_start, producer_done);
 }
 
+bool
+RecordingSupplier::hasIssueReadGate() const
+{
+    return inner->hasIssueReadGate();
+}
+
 void
 RecordingSupplier::onBypassRead(PhysReg src, bool first_stage)
 {

@@ -168,6 +168,7 @@ class RecordingSupplier : public storage::OperandSupplier
     void onArchReassignCancelled(PhysReg prev) override;
     Cycle issueReadGate(Cycle exec_start,
                         Cycle producer_done) const override;
+    bool hasIssueReadGate() const override;
     void onBypassRead(PhysReg src, bool first_stage) override;
     storage::ReadResult readOperand(PhysReg src, Cycle now) override;
     Cycle onOperandMiss(PhysReg src, Cycle exec_start) override;

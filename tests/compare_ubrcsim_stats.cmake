@@ -1,0 +1,36 @@
+# Byte-identity check for the full statsDump of one supplier scheme.
+#
+# Runs `ubrcsim --workload gzip --scheme <scheme> --insts 20000
+# --stats --stats-format text` and compares stdout byte-for-byte
+# against the committed golden capture
+# (tests/golden/ubrcsim_stats_<scheme>.txt, recorded before the
+# packed-SoA register cache rewrite). Any drift in a counter, a
+# sample, or even report formatting fails the build. Invoked by ctest
+# as:
+#
+#   cmake -DUBRCSIM=<binary> -DSCHEME=<scheme> -DGOLDEN=<golden file>
+#         -P this_script
+
+if(NOT UBRCSIM OR NOT SCHEME OR NOT GOLDEN)
+    message(FATAL_ERROR
+        "need -DUBRCSIM=<binary> -DSCHEME=<scheme> -DGOLDEN=<file>")
+endif()
+
+execute_process(
+    COMMAND ${UBRCSIM} --workload gzip --scheme ${SCHEME}
+        --insts 20000 --stats --stats-format text
+    OUTPUT_VARIABLE actual
+    ERROR_VARIABLE errout
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ubrcsim exited with ${rc}: ${errout}")
+endif()
+
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    file(WRITE ${GOLDEN}.actual "${actual}")
+    message(FATAL_ERROR
+        "ubrcsim --scheme ${SCHEME} statsDump is no longer "
+        "byte-identical to ${GOLDEN}; actual output written to "
+        "${GOLDEN}.actual")
+endif()

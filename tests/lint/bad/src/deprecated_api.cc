@@ -1,0 +1,14 @@
+// Fixture: resurrecting removed string-query stat reads must be
+// flagged wherever it appears.
+#include <cstdint>
+
+namespace fixture
+{
+
+uint64_t
+readRetired(const StatGroup &sg)
+{
+    return sg.scalarValue("retired"); // LINT-EXPECT: deprecated-api
+}
+
+} // namespace fixture

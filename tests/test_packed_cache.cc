@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Property tests for the packed SoA cache core: every field of the
+ * 64-bit entry word must round-trip at boundary values, the use
+ * counter must saturate at the configured maxUse, and the decoupled
+ * preg->slot index must stay exact across non-power-of-two
+ * geometries, overwrites, and clears.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+#include "regcache/packed_cache.hh"
+
+using namespace ubrc;
+using namespace ubrc::regcache;
+
+// ---------------------------------------------------------------- //
+// Word-level round trips
+// ---------------------------------------------------------------- //
+
+TEST(PackedWord, RoundTripsBoundaryValues)
+{
+    const PhysReg pregs[] = {
+        0, 1, 127, 128, 255, 256,
+        std::numeric_limits<PhysReg>::max(),
+    };
+    const uint32_t uses[] = {0, 1, 7, 8, 127, 128, 254,
+                             packed::maxRemUses};
+    for (PhysReg p : pregs) {
+        for (uint32_t u : uses) {
+            for (bool pin : {false, true}) {
+                for (bool valid : {false, true}) {
+                    const uint64_t w = packed::pack(p, u, pin, valid);
+                    EXPECT_EQ(packed::preg(w), p);
+                    EXPECT_EQ(packed::remUses(w), u);
+                    EXPECT_EQ(packed::pinned(w), pin);
+                    EXPECT_EQ(packed::valid(w), valid);
+                }
+            }
+        }
+    }
+}
+
+TEST(PackedWord, FieldsDoNotOverlap)
+{
+    // Each field at its maximum must leave the others untouched.
+    const uint64_t w = packed::pack(
+        std::numeric_limits<PhysReg>::max(), packed::maxRemUses, true,
+        true);
+    EXPECT_EQ(packed::preg(w), std::numeric_limits<PhysReg>::max());
+    EXPECT_EQ(packed::remUses(w), packed::maxRemUses);
+    EXPECT_TRUE(packed::pinned(w));
+    EXPECT_TRUE(packed::valid(w));
+    // Bits above the valid flag stay zero (spare space is reserved).
+    EXPECT_EQ(w >> (packed::validShift + 1), 0u);
+}
+
+TEST(PackedWord, UseCountTruncatesToFieldWidth)
+{
+    // pack() masks the counter to its 8-bit field; callers clamp
+    // before packing (place() does), so the mask is a last resort.
+    const uint64_t w = packed::pack(3, 0x1ff, false, true);
+    EXPECT_EQ(packed::remUses(w), 0xffu);
+    EXPECT_EQ(packed::preg(w), 3);
+}
+
+TEST(PackedWord, InvalidWordIsAllZero)
+{
+    EXPECT_EQ(packed::pack(0, 0, false, false), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Core behavior at boundaries
+// ---------------------------------------------------------------- //
+
+TEST(PackedCore, PlaceSaturatesAtConfiguredMaxUse)
+{
+    PackedCacheCore<false> core;
+    core.reset(4, 2, ReplacementPolicy::UseBased, 7);
+    core.place(core.victimIn(0), 10, 1000, false, 0);
+    const int slot = core.findInSet(10, 0);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(core.remUsesAt(slot), 7u);
+}
+
+TEST(PackedCore, PlaceSaturatesAtFieldLimit)
+{
+    // A maxUse of 255 is the widest the packed field allows; the
+    // counter must hold it exactly and decrement from there.
+    PackedCacheCore<false> core;
+    core.reset(2, 2, ReplacementPolicy::UseBased, packed::maxRemUses);
+    core.place(core.victimIn(0), 5, 0xffffffffu, false, 0);
+    const int slot = core.findInSet(5, 0);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(core.remUsesAt(slot), packed::maxRemUses);
+    core.decrementUses(slot);
+    EXPECT_EQ(core.remUsesAt(slot), packed::maxRemUses - 1);
+}
+
+TEST(PackedCore, DecrementStopsAtZeroAndSkipsPinned)
+{
+    PackedCacheCore<false> core;
+    core.reset(2, 2, ReplacementPolicy::UseBased, 7);
+    core.place(0, 1, 1, false, 0);
+    core.place(1, 2, 3, true, 0);
+    core.decrementUses(0);
+    core.decrementUses(0); // already zero: stays zero
+    EXPECT_EQ(core.remUsesAt(0), 0u);
+    core.decrementUses(1);
+    EXPECT_EQ(core.remUsesAt(1), 3u); // pinned: untouched
+}
+
+TEST(PackedCore, CorruptUsesStaysInsideCounterField)
+{
+    PackedCacheCore<false> core;
+    core.reset(2, 2, ReplacementPolicy::UseBased, packed::maxRemUses);
+    core.place(0, 9, 0, false, 0);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        const uint64_t before = core.word(0);
+        core.corruptUses(0, bit);
+        const uint64_t after = core.word(0);
+        // Only one bit flipped, and only inside [23:16].
+        const uint64_t diff = before ^ after;
+        EXPECT_EQ(__builtin_popcountll(diff), 1);
+        EXPECT_EQ(diff & ~(packed::useMask << packed::useShift), 0u);
+        EXPECT_EQ(core.pregAt(0), 9);
+        EXPECT_TRUE(core.validAt(0));
+        core.corruptUses(0, bit); // flip back
+        EXPECT_EQ(core.word(0), before);
+    }
+}
+
+TEST(PackedCore, NonPowerOfTwoGeometryIndexesExactly)
+{
+    // 24 sets x 3 ways: nothing in the core may assume pow2 set
+    // counts or associativity. Fill every slot with a distinct preg
+    // and check both probes find each exactly once.
+    PackedCacheCore<false> core;
+    core.reset(24, 3, ReplacementPolicy::UseBased, 7);
+    ASSERT_EQ(core.numSlots(), 72u);
+    PhysReg next = 100;
+    for (unsigned set = 0; set < 24; ++set) {
+        for (unsigned way = 0; way < 3; ++way) {
+            const int victim = core.victimIn(set);
+            EXPECT_EQ(core.setOf(victim), set);
+            core.place(victim, next++, way + 1, false, 0);
+        }
+    }
+    next = 100;
+    for (unsigned set = 0; set < 24; ++set) {
+        for (unsigned way = 0; way < 3; ++way, ++next) {
+            const int slot = core.findInSet(next, set);
+            ASSERT_GE(slot, 0);
+            EXPECT_EQ(core.pregAt(slot), next);
+            EXPECT_EQ(core.setOf(slot), set);
+            EXPECT_EQ(core.findIndexed(next), slot);
+            // A probe against the wrong set misses: the index is
+            // decoupled from the preg number.
+            EXPECT_EQ(core.findInSet(next, (set + 1) % 24), -1);
+        }
+    }
+}
+
+TEST(PackedCore, IndexSurvivesClearAndReplacement)
+{
+    PackedCacheCore<false> core;
+    core.reset(1, 2, ReplacementPolicy::UseBased, 7);
+    core.place(0, 10, 1, false, 0);
+    core.place(1, 11, 5, false, 0);
+    EXPECT_EQ(core.findIndexed(10), 0);
+    core.clear(0);
+    EXPECT_EQ(core.findIndexed(10), -1);
+    EXPECT_EQ(core.findIndexed(11), 1);
+    // Reuse the cleared slot for a different preg: old mapping must
+    // not resurrect.
+    core.place(0, 12, 2, false, 0);
+    EXPECT_EQ(core.findIndexed(10), -1);
+    EXPECT_EQ(core.findIndexed(12), 0);
+}
+
+TEST(PackedCore, AliasedPlacementFallsBackToWayScan)
+{
+    // The same preg planted in two sets (legal for unit tests and
+    // torture harnesses): the indexed probe names the most recent
+    // placement, but set-restricted probes must still find both.
+    PackedCacheCore<false> core;
+    core.reset(4, 2, ReplacementPolicy::UseBased, 7);
+    core.place(core.victimIn(0), 42, 3, false, 0);
+    core.place(core.victimIn(2), 42, 5, false, 0);
+    const int s0 = core.findInSet(42, 0);
+    const int s2 = core.findInSet(42, 2);
+    ASSERT_GE(s0, 0);
+    ASSERT_GE(s2, 0);
+    EXPECT_EQ(core.setOf(s0), 0u);
+    EXPECT_EQ(core.setOf(s2), 2u);
+    EXPECT_EQ(core.remUsesAt(s0), 3u);
+    EXPECT_EQ(core.remUsesAt(s2), 5u);
+}
+
+TEST(PackedCore, RandomizedWordLaneAgreement)
+{
+    // Drive a single-set core with random places/clears/decrements
+    // and check the packed lanes always agree with a straight-line
+    // shadow model of the word fields.
+    PackedCacheCore<false> core;
+    const unsigned assoc = 5; // non-pow2 on purpose
+    core.reset(1, assoc, ReplacementPolicy::UseBased, 200);
+    struct Ref
+    {
+        PhysReg preg = 0;
+        uint32_t uses = 0;
+        bool pinned = false;
+        bool valid = false;
+    };
+    std::vector<Ref> ref(assoc);
+    Rng rng(20260809);
+    for (int step = 0; step < 5000; ++step) {
+        const int slot = int(rng.below(assoc));
+        const unsigned op = unsigned(rng.below(3));
+        if (op == 0) {
+            const PhysReg p = PhysReg(rng.below(1000));
+            const uint32_t u = uint32_t(rng.below(400));
+            const bool pin = rng.chance(0.2);
+            core.clear(slot);
+            core.place(slot, p, u, pin, Cycle(step));
+            ref[size_t(slot)] = {p, u < 200 ? u : 200, pin, true};
+        } else if (op == 1) {
+            core.clear(slot);
+            ref[size_t(slot)] = {};
+        } else if (ref[size_t(slot)].valid) {
+            core.decrementUses(slot);
+            auto &r = ref[size_t(slot)];
+            if (!r.pinned && r.uses > 0)
+                --r.uses;
+        }
+        for (unsigned w = 0; w < assoc; ++w) {
+            const auto &r = ref[w];
+            ASSERT_EQ(core.validAt(int(w)), r.valid) << step;
+            if (r.valid) {
+                ASSERT_EQ(core.pregAt(int(w)), r.preg) << step;
+                ASSERT_EQ(core.remUsesAt(int(w)), r.uses) << step;
+                ASSERT_EQ(core.pinnedAt(int(w)), r.pinned) << step;
+            }
+        }
+    }
+}

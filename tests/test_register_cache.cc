@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the register cache: use-based insertion filtering,
- * remaining-use counting, pinning, and victim selection (Section 3).
+ * remaining-use counting, pinning, and victim selection (Section 3),
+ * exercised through the probe-once lookup()/EntryRef surface.
  */
 
 #include <gtest/gtest.h>
@@ -27,6 +28,31 @@ struct RcFixture : ::testing::Test
         p.assoc = assoc;
         p.replacement = repl;
         return RegisterCache(p, stats);
+    }
+
+    // Probe-once equivalents of the old per-call helpers.
+    static bool
+    contains(RegisterCache &rc, PhysReg preg, unsigned set)
+    {
+        return bool(rc.lookup(preg, set));
+    }
+
+    static bool
+    read(RegisterCache &rc, PhysReg preg, unsigned set)
+    {
+        auto e = rc.lookup(preg, set);
+        if (!e) {
+            rc.noteReadMiss();
+            return false;
+        }
+        e.read();
+        return true;
+    }
+
+    static unsigned
+    remaining(RegisterCache &rc, PhysReg preg, unsigned set)
+    {
+        return rc.lookup(preg, set).remainingUses();
     }
 
     stats::StatGroup stats;
@@ -85,21 +111,32 @@ TEST_F(RcFixture, ReadHitDecrementsRemainingUses)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(10, 0, 3, false, 0);
-    EXPECT_EQ(rc.remainingUses(10, 0), 3);
-    EXPECT_TRUE(rc.read(10, 0, 1));
-    EXPECT_EQ(rc.remainingUses(10, 0), 2);
-    rc.read(10, 0, 2);
-    rc.read(10, 0, 3);
-    rc.read(10, 0, 4); // does not underflow
-    EXPECT_EQ(rc.remainingUses(10, 0), 0);
+    EXPECT_EQ(remaining(rc, 10, 0), 3);
+    EXPECT_TRUE(read(rc, 10, 0));
+    EXPECT_EQ(remaining(rc, 10, 0), 2);
+    read(rc, 10, 0);
+    read(rc, 10, 0);
+    read(rc, 10, 0); // does not underflow
+    EXPECT_EQ(remaining(rc, 10, 0), 0);
 }
 
 TEST_F(RcFixture, ReadMissReturnsFalse)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
-    EXPECT_FALSE(rc.read(10, 0, 0));
+    EXPECT_FALSE(read(rc, 10, 0));
     rc.insert(10, 0, 1, false, 0);
-    EXPECT_FALSE(rc.read(10, 1, 0)); // wrong set: decoupled index
+    EXPECT_FALSE(read(rc, 10, 1)); // wrong set: decoupled index
+}
+
+TEST_F(RcFixture, LookupHandleReflectsEntryState)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    EXPECT_FALSE(rc.lookup(10, 0).valid());
+    rc.insert(10, 0, 3, true, 0);
+    auto e = rc.lookup(10, 0);
+    ASSERT_TRUE(e.valid());
+    EXPECT_TRUE(e.pinned());
+    EXPECT_EQ(e.remainingUses(), 3u);
 }
 
 TEST_F(RcFixture, PinnedEntriesNeverDecrement)
@@ -107,25 +144,25 @@ TEST_F(RcFixture, PinnedEntriesNeverDecrement)
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(5, 1, 7, true, 0);
     for (int i = 0; i < 20; ++i)
-        rc.read(5, 1, i);
-    EXPECT_EQ(rc.remainingUses(5, 1), 7);
+        read(rc, 5, 1);
+    EXPECT_EQ(remaining(rc, 5, 1), 7);
 }
 
 TEST_F(RcFixture, BypassUseDecrements)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(6, 0, 4, false, 0);
-    rc.noteBypassUse(6, 0);
-    EXPECT_EQ(rc.remainingUses(6, 0), 3);
-    rc.noteBypassUse(7, 0); // absent: no effect, no crash
+    rc.lookup(6, 0).noteBypassUse();
+    EXPECT_EQ(remaining(rc, 6, 0), 3);
+    EXPECT_FALSE(rc.lookup(7, 0)); // absent: invalid handle, no crash
 }
 
 TEST_F(RcFixture, InvalidateRemoves)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(8, 0, 2, false, 0);
-    rc.invalidate(8, 0, 5);
-    EXPECT_FALSE(rc.contains(8, 0));
+    rc.lookup(8, 0).invalidate(5);
+    EXPECT_FALSE(contains(rc, 8, 0));
     EXPECT_EQ(rc.validCount(), 0u);
 }
 
@@ -133,22 +170,22 @@ TEST_F(RcFixture, RemainingUsesClampToMax)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(9, 0, 100, false, 0); // clamped to maxUse (7)
-    EXPECT_EQ(rc.remainingUses(9, 0), 7);
+    EXPECT_EQ(remaining(rc, 9, 0), 7);
 }
 
 TEST_F(RcFixture, FillUsesFillDefault)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
-    rc.fill(11, 0, 0);
-    EXPECT_TRUE(rc.contains(11, 0));
-    EXPECT_EQ(rc.remainingUses(11, 0), 0); // fill default
+    EXPECT_TRUE(rc.fill(11, 0, 0));
+    EXPECT_TRUE(contains(rc, 11, 0));
+    EXPECT_EQ(remaining(rc, 11, 0), 0); // fill default
 }
 
 TEST_F(RcFixture, DoubleFillIsIdempotent)
 {
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
-    rc.fill(11, 0, 0);
-    rc.fill(11, 0, 1);
+    EXPECT_TRUE(rc.fill(11, 0, 0));
+    EXPECT_FALSE(rc.fill(11, 0, 1)); // already resident
     EXPECT_EQ(rc.validCount(), 1u);
 }
 
@@ -169,9 +206,9 @@ TEST_F(RcFixture, UseBasedVictimHasFewestUses)
     rc.insert(1, 0, 5, false, 0);
     rc.insert(2, 0, 1, false, 1);
     rc.insert(3, 0, 3, false, 2); // set full: evict preg 2 (1 use)
-    EXPECT_TRUE(rc.contains(1, 0));
-    EXPECT_FALSE(rc.contains(2, 0));
-    EXPECT_TRUE(rc.contains(3, 0));
+    EXPECT_TRUE(contains(rc, 1, 0));
+    EXPECT_FALSE(contains(rc, 2, 0));
+    EXPECT_TRUE(contains(rc, 3, 0));
 }
 
 TEST_F(RcFixture, FewestUsesBeatsRecency)
@@ -179,10 +216,10 @@ TEST_F(RcFixture, FewestUsesBeatsRecency)
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(1, 0, 2, false, 0);
     rc.insert(2, 0, 2, false, 1);
-    rc.read(1, 0, 2); // preg 1: recently used BUT now fewer uses
+    read(rc, 1, 0); // preg 1: recently used BUT now fewer uses
     rc.insert(3, 0, 2, false, 3);
-    EXPECT_FALSE(rc.contains(1, 0)); // fewest remaining uses loses
-    EXPECT_TRUE(rc.contains(2, 0));
+    EXPECT_FALSE(contains(rc, 1, 0)); // fewest remaining uses loses
+    EXPECT_TRUE(contains(rc, 2, 0));
 }
 
 TEST_F(RcFixture, UseBasedTieBrokenByLru)
@@ -191,15 +228,15 @@ TEST_F(RcFixture, UseBasedTieBrokenByLru)
     rc.insert(1, 0, 2, false, 0);
     rc.insert(2, 0, 2, false, 1);
     // Deplete both counters to zero.
-    rc.read(1, 0, 2);
-    rc.read(1, 0, 3);
-    rc.read(2, 0, 4);
-    rc.read(2, 0, 5);
+    read(rc, 1, 0);
+    read(rc, 1, 0);
+    read(rc, 2, 0);
+    read(rc, 2, 0);
     // Tie at zero uses: touch preg 1 so preg 2 becomes the LRU.
-    rc.read(1, 0, 6);
+    read(rc, 1, 0);
     rc.insert(3, 0, 1, false, 7);
-    EXPECT_TRUE(rc.contains(1, 0));
-    EXPECT_FALSE(rc.contains(2, 0));
+    EXPECT_TRUE(contains(rc, 1, 0));
+    EXPECT_FALSE(contains(rc, 2, 0));
 }
 
 TEST_F(RcFixture, PinnedEntriesAreLastChoiceVictims)
@@ -208,8 +245,8 @@ TEST_F(RcFixture, PinnedEntriesAreLastChoiceVictims)
     rc.insert(1, 0, 7, true, 0);  // pinned
     rc.insert(2, 0, 6, false, 1); // high uses but unpinned
     rc.insert(3, 0, 0, false, 2); // evicts preg 2, not the pinned 1
-    EXPECT_TRUE(rc.contains(1, 0));
-    EXPECT_FALSE(rc.contains(2, 0));
+    EXPECT_TRUE(contains(rc, 1, 0));
+    EXPECT_FALSE(contains(rc, 2, 0));
 }
 
 TEST_F(RcFixture, LruReplacementIgnoresUses)
@@ -217,10 +254,10 @@ TEST_F(RcFixture, LruReplacementIgnoresUses)
     auto rc = make(4, 2, ReplacementPolicy::LRU);
     rc.insert(1, 0, 0, false, 0); // zero uses, but MRU later
     rc.insert(2, 0, 7, false, 1);
-    rc.read(1, 0, 2); // preg 1 is MRU
+    read(rc, 1, 0); // preg 1 is MRU
     rc.insert(3, 0, 3, false, 3);
-    EXPECT_TRUE(rc.contains(1, 0));  // LRU evicted preg 2
-    EXPECT_FALSE(rc.contains(2, 0));
+    EXPECT_TRUE(contains(rc, 1, 0));  // LRU evicted preg 2
+    EXPECT_FALSE(contains(rc, 2, 0));
 }
 
 TEST_F(RcFixture, InvalidWaysPreferredOverEviction)
@@ -252,13 +289,45 @@ TEST_F(RcFixture, NeverReadAndLifetimeTracked)
     auto rc = make(4, 2, ReplacementPolicy::UseBased);
     rc.insert(1, 0, 2, false, 10);
     rc.insert(2, 1, 2, false, 10);
-    rc.read(1, 0, 15);
-    rc.invalidate(1, 0, 20);
-    rc.invalidate(2, 1, 30);
+    read(rc, 1, 0);
+    rc.lookup(1, 0).invalidate(20);
+    rc.lookup(2, 1).invalidate(30);
     EXPECT_EQ(stats.scalar("rc_entries_never_read").value(), 1u);
     EXPECT_DOUBLE_EQ(stats.mean("rc_entry_lifetime").value(),
                      (10.0 + 20.0) / 2);
     EXPECT_DOUBLE_EQ(stats.mean("rc_reads_per_entry").value(), 0.5);
+}
+
+TEST_F(RcFixture, ReadStatsCountHitsAndMisses)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(1, 0, 2, false, 0);
+    read(rc, 1, 0);
+    read(rc, 2, 0); // miss
+    read(rc, 1, 1); // wrong set: miss
+    EXPECT_EQ(stats.scalar("rc_read_hits").value(), 1u);
+    EXPECT_EQ(stats.scalar("rc_read_misses").value(), 2u);
+}
+
+// ---------------------------------------------------------------- //
+// Diagnostics surface
+// ---------------------------------------------------------------- //
+
+TEST_F(RcFixture, ValidEntriesReportSetWayOrder)
+{
+    auto rc = make(4, 2, ReplacementPolicy::UseBased);
+    rc.insert(20, 1, 3, true, 0);
+    rc.insert(21, 0, 1, false, 0);
+    const auto entries = rc.validEntries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].set, 0u);
+    EXPECT_EQ(entries[0].preg, 21);
+    EXPECT_EQ(entries[0].remUses, 1u);
+    EXPECT_FALSE(entries[0].pinned);
+    EXPECT_EQ(entries[1].set, 1u);
+    EXPECT_EQ(entries[1].preg, 20);
+    EXPECT_EQ(entries[1].remUses, 3u);
+    EXPECT_TRUE(entries[1].pinned);
 }
 
 // ---------------------------------------------------------------- //

@@ -188,6 +188,52 @@ def check_meta(meta, keys, where):
            f"{where}.git: not a non-empty string")
 
 
+def check_throughput_bench(doc):
+    """Extra requirements for the throughput trajectory document.
+
+    BENCH_throughput.json is diffed across commits by perf_diff.py,
+    so beyond the generic bench shape it must carry a positive wall
+    clock and a throughput figure for the aggregate, for every suite,
+    and for every row of the "throughput" table.
+    """
+    meta = doc["meta"]
+    expect(isinstance(meta["wall_seconds_total"], NUMBER) and
+           meta["wall_seconds_total"] > 0,
+           "meta.wall_seconds_total: must be a positive number")
+    expect(isinstance(meta["sim_instructions_per_second"], NUMBER) and
+           meta["sim_instructions_per_second"] > 0,
+           "meta.sim_instructions_per_second: must be a positive "
+           "number")
+    expect(meta["insts_retired_total"] > 0,
+           "meta.insts_retired_total: must be positive")
+    tables = {t["id"]: t for t in doc["tables"]}
+    expect("throughput" in tables,
+           "tables: throughput document is missing its 'throughput' "
+           "table")
+    rows = tables["throughput"]["rows"]
+    expect(rows, "tables[throughput].rows: empty")
+    for i, row in enumerate(rows):
+        scheme, insts, wall, ips = row
+        where = f"tables[throughput].rows[{i}]"
+        expect(isinstance(scheme, str) and scheme,
+               f"{where}: scheme must be a non-empty string")
+        expect(isinstance(insts, int) and insts > 0,
+               f"{where}: insts must be a positive integer")
+        expect(isinstance(wall, NUMBER) and wall > 0,
+               f"{where}: wall clock must be positive")
+        expect(isinstance(ips, NUMBER) and ips > 0,
+               f"{where}: sim insts/s must be positive")
+    expect(doc["suites"], "suites: throughput document has no suites")
+    for s in doc["suites"]:
+        sw = f"suites[{s.get('label', '?')!r}]"
+        expect(isinstance(s["wall_seconds"], NUMBER) and
+               s["wall_seconds"] > 0,
+               f"{sw}.wall_seconds: must be positive")
+        expect(isinstance(s["sim_instructions_per_second"], NUMBER) and
+               s["sim_instructions_per_second"] > 0,
+               f"{sw}.sim_instructions_per_second: must be positive")
+
+
 def check_bench(doc):
     check_meta(doc["meta"],
                ("harness", "title", "paper_ref", "config",
@@ -224,6 +270,8 @@ def check_bench(doc):
                f"{sw}.sim_instructions_per_second: not a number or "
                f"null")
         check_suite(s["suite"], f"{sw}.suite")
+    if doc["meta"].get("harness") == "throughput":
+        check_throughput_bench(doc)
 
 
 def check_ubrcsim_run(doc):

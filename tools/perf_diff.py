@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two BENCH throughput JSON captures and print speedups.
+
+Takes a baseline and a candidate BENCH_throughput.json (both emitted
+by bench_throughput via the Reporter) and prints, per scheme, the
+simulated-instructions-per-second ratio candidate/baseline, plus the
+aggregate ratio over total retired instructions and total wall clock.
+Stdlib only. Usage:
+
+    python3 tools/perf_diff.py results/BENCH_throughput_baseline.json \\
+        results/BENCH_throughput.json
+
+    # CI floor: fail (exit 1) unless every scheme and the aggregate
+    # reach at least the given ratio.
+    python3 tools/perf_diff.py --min-ratio 0.95 baseline.json new.json
+
+A ratio above 1.0 means the candidate simulates faster. --min-ratio
+is the regression floor: use 0.95 in CI to allow noise, or 2.0 to
+enforce a claimed speedup.
+"""
+
+import json
+import sys
+
+
+def die(msg):
+    print(f"perf_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_throughput(path):
+    """Load a bench doc and return {scheme: (insts, wall, ips)}."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{path}: {e}")
+    if doc.get("kind") != "bench":
+        die(f"{path}: not a bench document "
+            f"(kind={doc.get('kind')!r})")
+    tables = {t.get("id"): t for t in doc.get("tables", [])}
+    if "throughput" not in tables:
+        die(f"{path}: no 'throughput' table (is this "
+            f"BENCH_throughput.json?)")
+    schemes = {}
+    for row in tables["throughput"]["rows"]:
+        scheme, insts, wall, ips = row
+        if not isinstance(ips, (int, float)) or ips <= 0:
+            die(f"{path}: scheme {scheme!r} has no positive "
+                f"throughput figure")
+        schemes[scheme] = (insts, wall, ips)
+    if not schemes:
+        die(f"{path}: throughput table is empty")
+    return schemes
+
+
+def aggregate(schemes):
+    """Total-insts / total-wall throughput across all schemes."""
+    insts = sum(i for i, _, _ in schemes.values())
+    wall = sum(w for _, w, _ in schemes.values())
+    return insts / wall if wall > 0 else 0.0
+
+
+def main(argv):
+    min_ratio = None
+    args = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--min-ratio":
+            try:
+                min_ratio = float(next(it))
+            except (StopIteration, ValueError):
+                die("--min-ratio requires a number")
+            continue
+        args.append(a)
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_path, new_path = args
+    base = load_throughput(base_path)
+    new = load_throughput(new_path)
+
+    missing = sorted(set(base) - set(new))
+    if missing:
+        die(f"{new_path}: schemes {missing} present in the baseline "
+            f"but absent from the candidate")
+
+    print(f"baseline : {base_path}")
+    print(f"candidate: {new_path}")
+    print(f"{'scheme':<12}{'base insts/s':>14}{'new insts/s':>14}"
+          f"{'speedup':>9}")
+    print("-" * 49)
+    worst = None
+    for scheme in sorted(base):
+        _, _, base_ips = base[scheme]
+        _, _, new_ips = new[scheme]
+        ratio = new_ips / base_ips
+        worst = ratio if worst is None else min(worst, ratio)
+        print(f"{scheme:<12}{base_ips:>14.0f}{new_ips:>14.0f}"
+              f"{ratio:>8.2f}x")
+    extra = sorted(set(new) - set(base))
+    for scheme in extra:
+        _, _, new_ips = new[scheme]
+        print(f"{scheme:<12}{'--':>14}{new_ips:>14.0f}"
+              f"{'new':>9}")
+
+    base_agg = aggregate(base)
+    new_agg = aggregate(new)
+    agg_ratio = new_agg / base_agg if base_agg > 0 else 0.0
+    worst = agg_ratio if worst is None else min(worst, agg_ratio)
+    print("-" * 49)
+    print(f"{'aggregate':<12}{base_agg:>14.0f}{new_agg:>14.0f}"
+          f"{agg_ratio:>8.2f}x")
+
+    if min_ratio is not None and worst < min_ratio:
+        print(f"FAIL: minimum speedup {worst:.2f}x is below the "
+              f"--min-ratio floor {min_ratio:g}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
