@@ -680,6 +680,9 @@ Processor::doRename()
 // Issue
 // ---------------------------------------------------------------------
 
+// The per-cycle issue scan is the simulator's hottest loop after the
+// register-cache probe itself; it must not allocate.
+// ubrc-lint: hot
 void
 Processor::doIssue()
 {
@@ -771,6 +774,10 @@ Processor::doIssue()
 
         schedule(exec_start, {inst.seq, inst.issueGen,
                               EvKind::ExecStart, invalidPhysReg});
+        // Amortised: the ring slot's vector keeps its capacity across
+        // cycles, so this only allocates until the group high-water
+        // mark (bounded by issue width) is reached.
+        // ubrc-lint: allow(hot-path-alloc)
         group.push_back(inst.seq);
     }
 
@@ -783,6 +790,7 @@ Processor::doIssue()
         });
     }
 }
+// ubrc-lint: hot-end
 
 // ---------------------------------------------------------------------
 // Execute
@@ -1198,6 +1206,9 @@ Processor::trainRetired(const DynInst &inst)
     }
 }
 
+// Retire runs every cycle and walks the ROB head; like issue, it is
+// on the per-instruction critical path and must not allocate.
+// ubrc-lint: hot
 void
 Processor::doRetire()
 {
@@ -1215,6 +1226,10 @@ Processor::doRetire()
                 break;
             memImage.write(head.effAddr, head.si.info().memSize,
                            head.storeData);
+            // StoreBuffer::push inserts into a capacity-bounded
+            // buffer (canAccept gated above); its deque storage
+            // reaches steady state within a few thousand cycles.
+            // ubrc-lint: allow(hot-path-alloc)
             storeBuf.push(head.effAddr, now);
             ++stores;
             if (!storeQueue.empty() &&
@@ -1267,6 +1282,7 @@ Processor::doRetire()
         }
     }
 }
+// ubrc-lint: hot-end
 
 // ---------------------------------------------------------------------
 // Squash / recovery

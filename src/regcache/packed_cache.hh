@@ -98,6 +98,9 @@ class PackedCacheCore
     reset(unsigned num_sets, unsigned ways,
           ReplacementPolicy replacement, unsigned max_use)
     {
+        // Reconfiguration happens once per simulated scheme, outside
+        // the per-operand path; these allocations never run per-op.
+        // ubrc-lint: allow-fn(hot-path-alloc)
         sets_ = num_sets;
         assoc_ = ways;
         repl_ = replacement;
@@ -243,6 +246,9 @@ class PackedCacheCore
         (void)now;
         const size_t p = size_t(static_cast<uint16_t>(preg));
         if (p >= slotOf_.size())
+            // Amortised: grows monotonically to the physical register
+            // count, then never again for the rest of the run.
+            // ubrc-lint: allow(hot-path-alloc)
             slotOf_.resize(p + 1, -1);
         slotOf_[p] = slot;
     }

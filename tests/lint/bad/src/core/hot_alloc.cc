@@ -1,0 +1,31 @@
+// Fixture: heap allocation inside a declared hot region. The same
+// calls before the region opens are legal — only the marked span is
+// constrained.
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Issuer
+{
+    std::vector<int> group;
+
+    void
+    setup()
+    {
+        group.reserve(64); // fine: not hot yet
+    }
+
+    // ubrc-lint: hot
+    void
+    tick(int seq)
+    {
+        group.push_back(seq);                    // LINT-EXPECT: hot-path-alloc
+        auto tag = std::make_unique<int>(seq);   // LINT-EXPECT: hot-path-alloc
+        std::string label = std::to_string(seq); // LINT-EXPECT: hot-path-alloc
+        int *raw = new int(seq);                 // LINT-EXPECT: hot-path-alloc, naked-new
+        delete raw;                              // LINT-EXPECT: naked-new
+        (void)tag;
+        (void)label;
+    }
+    // ubrc-lint: hot-end
+};

@@ -1,0 +1,19 @@
+// Fixture: isa may only include common; pulling in mem/ is a
+// forbidden edge, and with mem/port.hh including us back it is also
+// an unsanctioned module cycle and a file-level include cycle.
+#ifndef UBRC_ISA_DECODE_HH
+#define UBRC_ISA_DECODE_HH
+
+#include "mem/port.hh" // LINT-EXPECT: include-layering
+
+namespace ubrc::isa
+{
+
+struct Decoded
+{
+    int opcode = 0;
+};
+
+} // namespace ubrc::isa
+
+#endif // UBRC_ISA_DECODE_HH

@@ -1,0 +1,18 @@
+// Fixture: mem may only include common; the back edge into isa/
+// closes the isa <-> mem cycle seeded by isa/decode.hh.
+#ifndef UBRC_MEM_PORT_HH
+#define UBRC_MEM_PORT_HH
+
+#include "isa/decode.hh" // LINT-EXPECT: include-layering
+
+namespace ubrc::mem
+{
+
+struct Port
+{
+    int width = 0;
+};
+
+} // namespace ubrc::mem
+
+#endif // UBRC_MEM_PORT_HH

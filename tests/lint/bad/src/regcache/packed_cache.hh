@@ -1,0 +1,25 @@
+// Fixture: this path is a designated hot FILE (HOT_FILES) — the
+// rule applies everywhere in it without any region markers.
+#ifndef UBRC_REGCACHE_PACKED_CACHE_HH
+#define UBRC_REGCACHE_PACKED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ubrc::regcache
+{
+
+struct PackedCache
+{
+    std::vector<uint64_t> words;
+
+    void
+    place(int slot)
+    {
+        words.push_back(uint64_t(slot)); // LINT-EXPECT: hot-path-alloc
+    }
+};
+
+} // namespace ubrc::regcache
+
+#endif // UBRC_REGCACHE_PACKED_CACHE_HH

@@ -1,0 +1,38 @@
+// Fixture: the serializer emits a key the fixture validator never
+// checks (gamma) and a whole document kind it has no checker for
+// (rogue). The validator side of this pair lives in
+// tools/check_results_json.py.
+#include <cstdint>
+
+namespace json
+{
+
+struct Writer
+{
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &field(const char *, const char *);
+    Writer &field(const char *, uint64_t);
+};
+
+} // namespace json
+
+void
+writeMini(json::Writer &w)
+{
+    w.beginObject();
+    w.field("schema_version", uint64_t(1));
+    w.field("kind", "mini");
+    w.field("alpha", uint64_t(7));
+    w.field("gamma", uint64_t(9)); // LINT-EXPECT: schema-drift
+    w.endObject();
+}
+
+void
+writeRogue(json::Writer &w)
+{
+    w.beginObject();
+    w.field("schema_version", uint64_t(1));
+    w.field("kind", "rogue"); // LINT-EXPECT: schema-drift
+    w.endObject();
+}

@@ -13,7 +13,7 @@ struct OpStats
     total() const
     {
         uint64_t sum = 0;
-        for (const auto &kv : counts)   // LINT-EXPECT: nondeterminism
+        for (const auto &kv : counts)   // LINT-EXPECT: unordered-iter
             sum += kv.second;
         return sum;
     }
@@ -21,7 +21,7 @@ struct OpStats
     int
     first() const
     {
-        return *seen.begin();           // LINT-EXPECT: nondeterminism
+        return *seen.begin();           // LINT-EXPECT: unordered-iter
     }
 
     uint64_t

@@ -1,0 +1,23 @@
+# Fixture validator drifted from the serializer. LINT-EXPECT: schema-drift
+# (The line-1 marker is the `phantom` kind below: validated but no
+# C++ serializer ever emits it, reported against this file's head.)
+
+
+def expect_keys(obj, keys, where):
+    missing = [k for k in keys if k not in obj]
+    assert not missing, f"{where}: missing {missing}"
+
+
+def check_mini(doc):
+    expect_keys(doc, ("alpha",), "mini")
+    expect_keys(doc, ("ghost",), "mini")  # LINT-EXPECT: schema-drift
+
+
+def check_phantom(doc):
+    expect_keys(doc, ("beta",), "phantom")
+
+
+KINDS = {
+    "mini": check_mini,
+    "phantom": check_phantom,
+}

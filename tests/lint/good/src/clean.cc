@@ -1,6 +1,7 @@
 // Fixture: idiomatic code that no rule may flag — deterministic
 // timing, ordered containers, conforming stat names, RAII ownership,
 // and prose/strings that merely mention forbidden constructs.
+// LINT-NEGATIVE: nondeterminism, unordered-iter, stat-names, naked-new
 #include <chrono>
 #include <map>
 #include <memory>

@@ -1,0 +1,13 @@
+// Fixture: a common/ header other modules may include (the layering
+// table's one universally allowed target).
+#ifndef UBRC_COMMON_UTIL_HH
+#define UBRC_COMMON_UTIL_HH
+
+namespace ubrc::common
+{
+
+constexpr int kAnswer = 42;
+
+} // namespace ubrc::common
+
+#endif // UBRC_COMMON_UTIL_HH

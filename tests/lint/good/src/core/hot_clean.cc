@@ -1,0 +1,24 @@
+// Fixture: a hot region that touches only preallocated storage must
+// pass, and ordinary allocation outside any hot region is always
+// fine in a file that is not a designated hot file.
+// LINT-NEGATIVE: hot-path-alloc
+#include <vector>
+
+struct IssueRing
+{
+    std::vector<int> slots;
+
+    void
+    prepare(unsigned n)
+    {
+        slots.resize(n); // fine: cold setup path
+    }
+
+    // ubrc-lint: hot
+    void
+    tick(unsigned i, int seq)
+    {
+        slots[i % slots.size()] = seq;
+    }
+    // ubrc-lint: hot-end
+};

@@ -1,0 +1,24 @@
+// Fixture: text that v1's line regexes misread — a spliced line
+// comment, a block comment, and a raw string. The tokenizer must see
+// none of it as code; the self-test's misparse probe replays the old
+// patterns over these raw lines to prove they would have fired.
+// LINT-NEGATIVE: nondeterminism, deprecated-api, stat-names
+#include <cstdint>
+
+// A backslash splices the next physical line into this comment \
+   srand(42); std::random_device entropy; system_clock::now();
+
+/* The removed scalarValue() accessor used to pair with CamelCase
+   registrations like g.scalar("Misses") and g.mean("EntryLife"). */
+
+const char *kListing = R"(
+    call srand(0)            ; reseed host prng
+    mov  system_clock, r1    ; not actually C++
+    stat st.distribution("Occupancy") ; listing prose, not a call
+)";
+
+uint64_t
+answer()
+{
+    return 42;
+}

@@ -1,6 +1,7 @@
 // Fixture: src/sched/ is the one place allowed to construct threads
 // (it IS the execution engine), and declarations/type mentions are
 // legal everywhere — only construction starts a thread.
+// LINT-NEGATIVE: raw-thread
 #include <thread>
 #include <vector>
 

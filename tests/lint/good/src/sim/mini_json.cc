@@ -1,0 +1,29 @@
+// Fixture: serializer and validator agree key for key — the
+// schema-drift rule must stay silent. The validator side lives in
+// tools/check_results_json.py.
+// LINT-NEGATIVE: schema-drift
+#include <cstdint>
+
+namespace json
+{
+
+struct Writer
+{
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &field(const char *, const char *);
+    Writer &field(const char *, uint64_t);
+};
+
+} // namespace json
+
+void
+writeMini(json::Writer &w)
+{
+    w.beginObject();
+    w.field("schema_version", uint64_t(1));
+    w.field("kind", "mini");
+    w.field("alpha", uint64_t(7));
+    w.field("beta", uint64_t(9));
+    w.endObject();
+}

@@ -1,5 +1,9 @@
-// Fixture mirror of the real sim_error.cc, fully conforming.
+// Fixture mirror of the real sim_error.cc, fully conforming. The
+// common/ include exercises an allowed layering edge (sim -> common).
+// LINT-NEGATIVE: exit-codes, include-layering
 #include "sim/sim_error.hh"
+
+#include "common/util.hh"
 
 namespace ubrc::sim
 {

@@ -1,4 +1,5 @@
 // Fixture: a conforming header — canonical guard, no namespace leaks.
+// LINT-NEGATIVE: header-hygiene
 #ifndef UBRC_TIDY_HH
 #define UBRC_TIDY_HH
 

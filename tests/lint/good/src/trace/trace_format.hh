@@ -1,5 +1,6 @@
 // Fixture mirror of trace_format.hh in sync with the fixture
 // DESIGN.md event-vocabulary table.
+// LINT-NEGATIVE: trace-version
 #ifndef UBRC_TRACE_TRACE_FORMAT_HH
 #define UBRC_TRACE_TRACE_FORMAT_HH
 

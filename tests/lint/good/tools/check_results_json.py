@@ -1,0 +1,16 @@
+# Fixture validator exactly in sync with the fixture serializer
+# (src/sim/mini_json.cc). LINT-NEGATIVE: schema-drift
+
+
+def expect_keys(obj, keys, where):
+    missing = [k for k in keys if k not in obj]
+    assert not missing, f"{where}: missing {missing}"
+
+
+def check_mini(doc):
+    expect_keys(doc, ("alpha", "beta"), "mini")
+
+
+KINDS = {
+    "mini": check_mini,
+}

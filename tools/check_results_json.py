@@ -56,6 +56,16 @@ SIM_RESULT_SECTIONS = {
                  "rename_stalls_rob", "rename_stalls_iq"),
 }
 
+# Every key writeSupplierStats (src/sim/results_json.cc) emits, in
+# serializer order so drift is obvious in a diff.
+SUPPLIER_KEYS = (
+    "has_cache", "misses", "miss_no_write", "miss_conflict",
+    "miss_capacity", "inserts", "fills", "writes_filtered",
+    "values_never_cached", "entries_never_read", "file_reads",
+    "file_writes", "avg_occupancy", "avg_entry_lifetime",
+    "reads_per_cached_value", "zero_use_victim_fraction",
+    "dou_accuracy")
+
 
 class ValidationError(Exception):
     pass
@@ -86,9 +96,13 @@ def check_sim_result(r, where):
             v = r[section][f]
             expect(v is None or isinstance(v, NUMBER),
                    f"{where}.{section}.{f}: not a number or null")
-    expect_keys(r["supplier"], ("has_cache", "misses", "file_reads",
-                                "file_writes", "dou_accuracy"),
-                f"{where}.supplier")
+    expect_keys(r["supplier"], SUPPLIER_KEYS, f"{where}.supplier")
+    expect(isinstance(r["supplier"]["has_cache"], bool),
+           f"{where}.supplier.has_cache: not a bool")
+    for f in SUPPLIER_KEYS[1:]:
+        v = r["supplier"][f]
+        expect(v is None or isinstance(v, NUMBER),
+               f"{where}.supplier.{f}: not a number or null")
     # Replay provenance: present only on trace-replayed results.
     if "trace" in r:
         t = r["trace"]
@@ -111,8 +125,18 @@ def check_sim_result(r, where):
 
 def check_suite(s, where):
     expect_keys(s, ("num_runs", "num_failed", "geomean_ipc",
-                    "mean_ipc", "mean_miss_per_operand", "failures",
+                    "mean_ipc", "mean_miss_per_operand",
+                    "insts_retired_total",
+                    "sim_instructions_per_second", "failures",
                     "runs"), where)
+    expect(isinstance(s["insts_retired_total"], int) and
+           s["insts_retired_total"] >= 0,
+           f"{where}.insts_retired_total: expected a non-negative "
+           f"integer")
+    expect(s["sim_instructions_per_second"] is None or
+           isinstance(s["sim_instructions_per_second"], NUMBER),
+           f"{where}.sim_instructions_per_second: not a number or "
+           f"null")
     num_runs, num_failed = s["num_runs"], s["num_failed"]
     expect(isinstance(num_runs, int) and isinstance(num_failed, int),
            f"{where}: num_runs/num_failed must be integers")
@@ -186,6 +210,45 @@ def check_meta(meta, keys, where):
                f"{where}.{key}: not an integer")
     expect(isinstance(meta["git"], str) and meta["git"],
            f"{where}.git: not a non-empty string")
+
+
+def check_trace_meta(meta, where):
+    """meta.trace: provenance block ubrcsim writes for trace-mode
+    invocations (absent for plain execution)."""
+    if "trace" not in meta:
+        return
+    t = meta["trace"]
+    expect_keys(t, ("mode", "dir", "trace_version"), f"{where}.trace")
+    expect(isinstance(t["mode"], str) and t["mode"],
+           f"{where}.trace.mode: not a non-empty string")
+    expect(isinstance(t["dir"], str),
+           f"{where}.trace.dir: not a string")
+    expect(isinstance(t["trace_version"], int) and
+           t["trace_version"] >= 1,
+           f"{where}.trace.trace_version: expected a positive "
+           f"integer")
+
+
+def check_stat_sections(stats, where):
+    """Shape of a serialized StatGroup (src/common/stats.cc,
+    JsonVisitor): scalar/mean/distribution sections are optional but
+    each entry has a fixed shape."""
+    for section in ("scalars", "means", "distributions"):
+        if section in stats:
+            expect(isinstance(stats[section], dict),
+                   f"{where}.{section}: not an object")
+    for name, m in stats.get("means", {}).items():
+        mw = f"{where}.means.{name}"
+        expect_keys(m, ("value", "sum", "count"), mw)
+        expect(isinstance(m["count"], int) and m["count"] >= 0,
+               f"{mw}.count: expected a non-negative integer")
+    for name, d in stats.get("distributions", {}).items():
+        dw = f"{where}.distributions.{name}"
+        expect_keys(d, ("count", "mean", "p50", "p90", "buckets"), dw)
+        expect(isinstance(d["count"], int) and d["count"] >= 0,
+               f"{dw}.count: expected a non-negative integer")
+        expect(isinstance(d["buckets"], list),
+               f"{dw}.buckets: not an array")
 
 
 def check_throughput_bench(doc):
@@ -278,6 +341,7 @@ def check_ubrcsim_run(doc):
     check_meta(doc["meta"],
                ("tool", "config", "scheme", "workloads", "max_insts",
                 "jobs", "git", "generated_unix"), "meta")
+    check_trace_meta(doc["meta"], "meta")
     expect(isinstance(doc.get("wall_seconds"), NUMBER),
            "wall_seconds: not a number")
     check_outcome(doc["outcome"], "outcome")
@@ -285,10 +349,7 @@ def check_ubrcsim_run(doc):
         # Sections are present only when the group has stats of that
         # type; a full Processor group has all three.
         expect_keys(doc["stats"], ("group",), "stats")
-        for section in ("scalars", "means", "distributions"):
-            if section in doc["stats"]:
-                expect(isinstance(doc["stats"][section], dict),
-                       f"stats.{section}: not an object")
+        check_stat_sections(doc["stats"], "stats")
 
 
 # Aggregate counters the execution engine always reports
@@ -302,6 +363,7 @@ def check_sched_stats(s, where):
     expect_keys(s, ("group", "scalars"), where)
     expect(s["group"] == "sched",
            f"{where}.group: expected 'sched', got {s['group']!r}")
+    check_stat_sections(s, where)
     scalars = s["scalars"]
     expect_keys(scalars, SCHED_SCALARS, f"{where}.scalars")
     for k, v in scalars.items():
@@ -332,6 +394,7 @@ def check_ubrcsim_suite(doc):
                 "jobs", "git", "generated_unix"), "meta")
     expect(isinstance(doc.get("wall_seconds"), NUMBER),
            "wall_seconds: not a number")
+    check_trace_meta(doc["meta"], "meta")
     if "interrupted" in doc:
         expect(isinstance(doc["interrupted"], bool),
                "interrupted: not a bool")

@@ -1,0 +1,30 @@
+"""ubrclint: the token-aware implementation behind tools/lint/ubrc-lint.
+
+Layout:
+
+    lexer.py        real C++ lexer (tokens + comments)
+    source.py       SourceFile: pragmas, hot regions, Finding
+    cppmodel.py     includes / function spans / enum members
+    rules_file.py   per-file rules on the token stream
+    rules_tree.py   cross-file rules: exit-codes, trace-version,
+                    include-layering
+    schema_drift.py schema-drift: C++ serializers vs the Python
+                    results validator
+    engine.py       discovery, content-hash cache, parallel analysis
+    output.py       text / json / sarif renderers
+    selftest.py     LINT-EXPECT fixture suite + misparse probe
+"""
+
+from .rules_file import FILE_RULES
+from .rules_tree import (ExitCodesRule, IncludeLayeringRule,
+                         TraceVersionRule, TreeRule)
+from .schema_drift import SchemaDriftRule
+
+TREE_RULES = [ExitCodesRule(), TraceVersionRule(),
+              IncludeLayeringRule(), SchemaDriftRule()]
+
+RULES = FILE_RULES + TREE_RULES
+RULE_NAMES = frozenset(r.name for r in RULES)
+
+TOOL_NAME = "ubrc-lint"
+TOOL_VERSION = "2.0"

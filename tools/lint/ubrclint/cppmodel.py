@@ -1,0 +1,198 @@
+"""Cross-file project model for the tree rules.
+
+Built from token streams, never from line regexes:
+
+  - includes(sf): every #include directive with its line and target,
+  - functions(sf): every function definition with its body token
+    span, so the schema-drift rule can close over the serializer
+    call graph and allow-fn pragmas know their block extent,
+  - enum_members(sf, name): the members of one `enum class`, with
+    explicit values and lines, for the exit-codes / trace-version
+    registries.
+"""
+
+import re
+
+INCLUDE_RE = re.compile(
+    r'#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+
+
+class Include:
+    __slots__ = ("line", "target", "quoted")
+
+    def __init__(self, line, target, quoted):
+        self.line = line
+        self.target = target
+        self.quoted = quoted
+
+
+def includes(sf):
+    """All #include directives in a parsed SourceFile."""
+    out = []
+    for t in sf.tokens:
+        if t.kind != "pp":
+            continue
+        m = INCLUDE_RE.match(t.value)
+        if m:
+            quoted = m.group(1) is not None
+            out.append(Include(t.line, m.group(1) or m.group(2),
+                               quoted))
+    return out
+
+
+class Function:
+    """A function definition: bare name, qualified name, the token
+    index span of its body (open brace .. close brace inclusive), and
+    line extent."""
+
+    __slots__ = ("name", "qualname", "body_start", "body_end",
+                 "line", "end_line")
+
+    def __init__(self, name, qualname, body_start, body_end, line,
+                 end_line):
+        self.name = name
+        self.qualname = qualname
+        self.body_start = body_start
+        self.body_end = body_end
+        self.line = line
+        self.end_line = end_line
+
+
+def functions(sf):
+    """Extract function definitions from a token stream.
+
+    Heuristic that matches this codebase's (clang-format enforced)
+    style: an identifier followed by a parenthesised parameter list,
+    then optional qualifiers, then '{' opens a function body. The
+    name may be qualified (`Type::name`); control-flow keywords and
+    initialiser lists are rejected.
+    """
+    toks = sf.tokens
+    n = len(toks)
+    out = []
+    not_names = {"if", "for", "while", "switch", "catch", "return",
+                 "sizeof", "alignof", "decltype", "new", "delete",
+                 "static_assert", "noexcept", "throw", "do", "else",
+                 "case", "operator", "alignas", "requires"}
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != "ident" or t.value in not_names or \
+                i + 1 >= n or toks[i + 1].value != "(":
+            i += 1
+            continue
+        # Find the matching close paren.
+        depth = 0
+        j = i + 1
+        while j < n:
+            v = toks[j].value
+            if toks[j].kind == "punct":
+                if v == "(":
+                    depth += 1
+                elif v == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            j += 1
+        if j >= n:
+            break
+        # Skip trailing qualifiers up to '{', ';', or something that
+        # proves this was an expression.
+        k = j + 1
+        quals = {"const", "noexcept", "override", "final", "mutable",
+                 "volatile", "&", "&&", "->", "::"}
+        while k < n and (toks[k].value in quals
+                         or toks[k].kind == "ident"
+                         or (toks[k].kind == "punct"
+                             and toks[k].value in ("<", ">", "*"))):
+            if toks[k].value == "noexcept" and k + 1 < n and \
+                    toks[k + 1].value == "(":
+                d2 = 0
+                while k < n:
+                    if toks[k].value == "(":
+                        d2 += 1
+                    elif toks[k].value == ")":
+                        d2 -= 1
+                        if d2 == 0:
+                            break
+                    k += 1
+            k += 1
+        if k >= n or toks[k].value != "{":
+            i += 1
+            continue
+        # Qualified name: walk back over `A::B::` prefixes.
+        qual = [t.value]
+        b = i - 1
+        while b - 1 >= 0 and toks[b].value == "::" and \
+                toks[b - 1].kind == "ident":
+            qual.insert(0, toks[b - 1].value)
+            b -= 2
+        # Reject obvious non-definitions: `name(...)` directly after
+        # '=', 'return', '.', '->', ',', '(' is a call/initialiser.
+        if b >= 0 and (toks[b].value in
+                       ("=", "return", ".", "->", ",", "(", "!",
+                        "&&", "||", "?", ":")):
+            i += 1
+            continue
+        # Find the matching close brace of the body.
+        depth = 0
+        m = k
+        while m < n:
+            if toks[m].kind == "punct":
+                if toks[m].value == "{":
+                    depth += 1
+                elif toks[m].value == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            m += 1
+        end = min(m, n - 1)
+        out.append(Function(t.value, "::".join(qual), k, end, t.line,
+                            toks[end].line))
+        i = k + 1  # bodies may contain lambdas; keep scanning inside
+    return out
+
+
+def enum_members(sf, enum_name):
+    """Members of `enum class <enum_name>` -> list of
+    (name, explicit_value_or_None, line)."""
+    toks = sf.tokens
+    n = len(toks)
+    for i in range(n - 2):
+        if toks[i].value == "enum" and toks[i + 1].value == "class" \
+                and toks[i + 2].kind == "ident" \
+                and toks[i + 2].value == enum_name:
+            j = i + 3
+            while j < n and toks[j].value != "{":
+                j += 1
+            members = []
+            j += 1
+            while j < n and toks[j].value != "}":
+                if toks[j].kind == "ident":
+                    name = toks[j].value
+                    line = toks[j].line
+                    value = None
+                    if j + 2 < n and toks[j + 1].value == "=" and \
+                            toks[j + 2].kind == "num":
+                        value = int(toks[j + 2].value, 0)
+                        j += 2
+                    members.append((name, value, line))
+                # Skip to the next comma at depth 0 (enum values may
+                # hold expressions; ours are plain).
+                while j < n and toks[j].value not in (",", "}"):
+                    j += 1
+                if j < n and toks[j].value == ",":
+                    j += 1
+            return members
+    return []
+
+
+def find_constant(sf, name):
+    """Value and line of `<name> = <integer>` at namespace scope, or
+    (None, None)."""
+    toks = sf.tokens
+    for i in range(len(toks) - 2):
+        if toks[i].kind == "ident" and toks[i].value == name and \
+                toks[i + 1].value == "=" and toks[i + 2].kind == "num":
+            return int(toks[i + 2].value, 0), toks[i].line
+    return None, None

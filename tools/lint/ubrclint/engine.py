@@ -1,0 +1,205 @@
+"""Discovery, caching, and (optionally parallel) analysis.
+
+The content-hash cache keys each file's per-file findings on
+(sha256 of file contents, tool fingerprint). The fingerprint hashes
+every source file of this package, so editing any rule invalidates
+the whole cache — a lint cache that survives rule changes reports
+stale verdicts. Tree rules always run: their input is the whole
+project model, not one file.
+"""
+
+import concurrent.futures
+import hashlib
+import json
+import os
+
+from . import RULE_NAMES, RULES, TREE_RULES
+from .rules_tree import TreeRule
+from .source import CXX_EXTENSIONS, Finding, SourceFile
+
+EXCLUDED_DIRS = {".git", "results", "__pycache__"}
+
+# Non-C++ files the project model includes: the human-facing
+# registries in DESIGN.md and the Python results validator that
+# schema-drift cross-checks.
+EXTRA_FILES = ("DESIGN.md", "tools/check_results_json.py")
+
+
+def discover(root, exclude_fixture_dir=True):
+    """All lintable relpaths under root, sorted."""
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        dirnames[:] = [
+            d for d in sorted(dirnames)
+            if d not in EXCLUDED_DIRS and not d.startswith("build")
+            and not (exclude_fixture_dir
+                     and os.path.join(rel, d).replace("\\", "/")
+                     .lstrip("./") == "tests/lint")]
+        for fn in sorted(filenames):
+            p = os.path.normpath(os.path.join(rel, fn))
+            p = p.replace(os.sep, "/")
+            if p.startswith("./"):
+                p = p[2:]
+            if fn.endswith(CXX_EXTENSIONS) or p in EXTRA_FILES:
+                out.append(p)
+    return out
+
+
+# -- content-hash cache ------------------------------------------------
+
+def tool_fingerprint():
+    """sha256 over this package's source files."""
+    h = hashlib.sha256()
+    pkg = os.path.dirname(os.path.abspath(__file__))
+    for fn in sorted(os.listdir(pkg)):
+        if not fn.endswith(".py"):
+            continue
+        with open(os.path.join(pkg, fn), "rb") as f:
+            h.update(fn.encode())
+            h.update(f.read())
+    driver = os.path.join(os.path.dirname(pkg), "ubrc-lint")
+    if os.path.isfile(driver):
+        with open(driver, "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Per-file finding cache, persisted as one JSON file."""
+
+    def __init__(self, path):
+        self.path = path
+        self.fingerprint = tool_fingerprint()
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path and os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8") as f:
+                    data = json.load(f)
+                if data.get("fingerprint") == self.fingerprint:
+                    self.entries = data.get("entries", {})
+            except (OSError, ValueError):
+                pass
+
+    def get(self, content_hash):
+        got = self.entries.get(content_hash)
+        if got is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding(*item) for item in got]
+
+    def put(self, content_hash, findings):
+        self.entries[content_hash] = [
+            [f.rule, f.relpath, f.line, f.message] for f in findings]
+        self._dirty = True
+        self.misses += 0
+
+    def save(self):
+        if not self.path or not self._dirty:
+            return
+        tmp = self.path + ".tmp"
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)),
+                    exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump({"fingerprint": self.fingerprint,
+                       "entries": self.entries}, f)
+        os.replace(tmp, self.path)
+
+
+def content_hash(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        h.update(f.read())
+    return h.hexdigest()
+
+
+# -- analysis ----------------------------------------------------------
+
+def check_file(sf):
+    """Per-file rules + pragma errors for one parsed file, with
+    waivers applied."""
+    findings = list(sf.pragma_errors)
+    for rule in RULES:
+        if isinstance(rule, TreeRule) or not rule.applies(sf.relpath):
+            continue
+        for f in rule.check_file(sf):
+            if not sf.allowed(f.rule, f.line):
+                findings.append(f)
+    return findings
+
+
+def _parse_and_check(args):
+    """Worker: parse one file and run the per-file rules. Lives at
+    module scope so ProcessPoolExecutor can import it."""
+    path, relpath = args
+    sf = SourceFile(path, relpath, RULE_NAMES)
+    return relpath, sf, check_file(sf)
+
+
+def lint_tree(root, jobs=1, cache=None, exclude_fixture_dir=True):
+    """Lint the whole tree under root. Returns sorted findings.
+
+    Per-file findings come from the cache when the content hash
+    matches; files still get parsed because the tree rules need
+    every token stream.
+    """
+    relpaths = discover(root, exclude_fixture_dir)
+    work = [(os.path.join(root, rp), rp) for rp in relpaths]
+
+    files = {}
+    findings = []
+
+    if jobs > 1 and len(work) > 4:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs) as pool:
+            parsed = list(pool.map(_parse_and_check, work,
+                                   chunksize=8))
+    else:
+        parsed = [_parse_and_check(w) for w in work]
+
+    for relpath, sf, file_findings in parsed:
+        files[relpath] = sf
+        if cache is not None:
+            chash = content_hash(os.path.join(root, relpath))
+            cached = cache.get(chash)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            cache.put(chash, file_findings)
+        findings.extend(file_findings)
+
+    for rule in TREE_RULES:
+        for f in rule.check_tree(root, files):
+            sf = files.get(f.relpath)
+            if sf is None or not sf.allowed(f.rule, f.line):
+                findings.append(f)
+
+    if cache is not None:
+        cache.save()
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_files(root, paths, cache=None):
+    """Per-file rules over explicit paths (tree rules skipped)."""
+    findings = []
+    for path in paths:
+        relpath = os.path.relpath(os.path.abspath(path),
+                                  root).replace(os.sep, "/")
+        if cache is not None:
+            chash = content_hash(path)
+            cached = cache.get(chash)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        sf = SourceFile(path, relpath, RULE_NAMES)
+        file_findings = check_file(sf)
+        if cache is not None:
+            cache.put(chash, file_findings)
+        findings.extend(file_findings)
+    if cache is not None:
+        cache.save()
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,297 @@
+"""A real C++ lexer for ubrc-lint.
+
+Produces a token stream plus a separate comment list from a
+translation unit, handling the constructs that defeat line-regex
+checkers:
+
+  - raw strings (``R"delim(...)delim"`` with encoding prefixes),
+  - ordinary string/char literals with escapes,
+  - line comments continued by a backslash splice (phase-2 line
+    splicing happens before comments end, so the next physical line
+    is still comment),
+  - block comments spanning lines,
+  - preprocessor directives (lexed as one token, splice-aware, so
+    ``#include`` arguments are never mistaken for expressions),
+  - C++14 digit separators (``1'000'000`` is one number, not a char
+    literal).
+
+Tokens carry the physical line of their first character, so findings
+anchor exactly. The lexer never throws on malformed input: an
+unterminated literal is closed at end of file, which is the right
+behaviour for a linter that must keep going.
+"""
+
+
+class Token:
+    """One lexical token. kind is one of:
+
+    ident  identifier or keyword
+    num    numeric literal (including digit separators, suffixes)
+    str    string literal (value includes quotes; raw strings whole)
+    char   character literal
+    punct  operator/punctuator ('::' and '->' are single tokens)
+    pp     a whole preprocessor directive (splices folded in)
+    """
+
+    __slots__ = ("kind", "value", "line", "raw")
+
+    def __init__(self, kind, value, line, raw=False):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.raw = raw  # True for raw string literals
+
+    def __repr__(self):
+        return "Token(%r, %r, line=%d)" % (self.kind, self.value,
+                                           self.line)
+
+
+class Comment:
+    """A comment with the line of each physical text row it covers:
+    rows holds (lineno, text) pairs so pragmas inside multi-line
+    comments anchor to their own line."""
+
+    __slots__ = ("line", "text", "rows")
+
+    def __init__(self, line, text, rows):
+        self.line = line
+        self.text = text
+        self.rows = rows
+
+
+STRING_PREFIXES = ("", "u8", "u", "U", "L")
+RAW_PREFIXES = tuple(p + "R" for p in STRING_PREFIXES)
+
+# Multi-character punctuators we keep whole; everything else is lexed
+# one character at a time. Only the ones rules inspect matter.
+MULTI_PUNCT = ("::", "->", "+=", "-=", "==", "!=", "<=", ">=", "&&",
+               "||", "<<", ">>", "++", "--")
+
+
+def lex(text):
+    """Lex C++ source `text` -> (tokens, comments)."""
+    tokens = []
+    comments = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since last newline
+
+    def splice_len(j):
+        """Length of a line splice at text[j], or 0. Accepts the
+        common backslash-newline and backslash-CR-LF forms."""
+        if j < n and text[j] == "\\":
+            if j + 1 < n and text[j + 1] == "\n":
+                return 2
+            if j + 2 < n and text[j + 1] == "\r" and \
+                    text[j + 2] == "\n":
+                return 3
+        return 0
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            at_line_start = True
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        sl = splice_len(i)
+        if sl:
+            line += 1
+            i += sl
+            continue
+
+        # Preprocessor directive: '#' first on its line. Consume to
+        # the end of line, folding splices and block comments.
+        if ch == "#" and at_line_start:
+            start_line = line
+            buf = []
+            i += 1
+            while i < n:
+                sl = splice_len(i)
+                if sl:
+                    buf.append(" ")
+                    line += 1
+                    i += sl
+                    continue
+                c = text[i]
+                if c == "\n":
+                    break
+                if c == "/" and i + 1 < n and text[i + 1] == "*":
+                    i += 2
+                    while i < n and not text.startswith("*/", i):
+                        if text[i] == "\n":
+                            line += 1
+                        i += 1
+                    i = min(i + 2, n)
+                    buf.append(" ")
+                    continue
+                if c == "/" and i + 1 < n and text[i + 1] == "/":
+                    # Comment to end of line ends the directive too.
+                    while i < n and text[i] != "\n":
+                        i += 1
+                    break
+                buf.append(c)
+                i += 1
+            tokens.append(Token("pp", "#" + "".join(buf), start_line))
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            start_line = line
+            rows = []
+            row_start = i + 2
+            i += 2
+            while i < n:
+                sl = splice_len(i)
+                if sl:
+                    # Spliced: the next physical line is still comment.
+                    rows.append((line, text[row_start:i]))
+                    line += 1
+                    i += sl
+                    row_start = i
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            rows.append((line, text[row_start:i]))
+            comments.append(Comment(start_line,
+                                    " ".join(t for _, t in rows),
+                                    rows))
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            start_line = line
+            rows = []
+            row_start = i + 2
+            i += 2
+            while i < n and not text.startswith("*/", i):
+                if text[i] == "\n":
+                    rows.append((line, text[row_start:i]))
+                    line += 1
+                    i += 1
+                    row_start = i
+                else:
+                    i += 1
+            rows.append((line, text[row_start:i]))
+            i = min(i + 2, n)
+            comments.append(Comment(start_line,
+                                    " ".join(t for _, t in rows),
+                                    rows))
+            continue
+
+        # Identifiers (and string-literal prefixes).
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line = line
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            nxt = text[i] if i < n else ""
+            if nxt == '"' and word in RAW_PREFIXES:
+                i, line, value = _lex_raw_string(text, i, line)
+                tokens.append(Token("str", word + value, start_line,
+                                    raw=True))
+                continue
+            if nxt == '"' and word in STRING_PREFIXES:
+                i, line, value = _lex_quoted(text, i, line, '"')
+                tokens.append(Token("str", word + value, start_line))
+                continue
+            if nxt == "'" and word in STRING_PREFIXES:
+                i, line, value = _lex_quoted(text, i, line, "'")
+                tokens.append(Token("char", word + value, start_line))
+                continue
+            tokens.append(Token("ident", word, start_line))
+            continue
+
+        # Numbers (digit separators keep ' inside the literal).
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and text[i + 1].isdigit()):
+            start = i
+            start_line = line
+            i += 1
+            while i < n:
+                c = text[i]
+                if c.isalnum() or c == "_" or c == ".":
+                    i += 1
+                elif c == "'" and i + 1 < n and text[i + 1].isalnum():
+                    i += 2
+                elif c in "+-" and text[i - 1] in "eEpP":
+                    i += 1
+                else:
+                    break
+            tokens.append(Token("num", text[start:i], start_line))
+            continue
+
+        if ch == '"':
+            start_line = line
+            i, line, value = _lex_quoted(text, i, line, '"')
+            tokens.append(Token("str", value, start_line))
+            continue
+        if ch == "'":
+            start_line = line
+            i, line, value = _lex_quoted(text, i, line, "'")
+            tokens.append(Token("char", value, start_line))
+            continue
+
+        # Punctuation.
+        two = text[i:i + 2]
+        if two in MULTI_PUNCT:
+            tokens.append(Token("punct", two, line))
+            i += 2
+        else:
+            tokens.append(Token("punct", ch, line))
+            i += 1
+
+    return tokens, comments
+
+
+def _lex_quoted(text, i, line, quote):
+    """Lex a quoted literal starting at text[i] == quote. Returns
+    (next_index, line, value-including-quotes)."""
+    n = len(text)
+    start = i
+    i += 1
+    while i < n:
+        c = text[i]
+        if c == "\\":
+            i += 2
+            continue
+        if c == quote:
+            i += 1
+            break
+        if c == "\n":
+            # Unterminated literal: stop at the line break rather
+            # than swallowing the rest of the file.
+            break
+        i += 1
+    return i, line, text[start:i]
+
+
+def _lex_raw_string(text, i, line, max_delim=16):
+    """Lex a raw string starting at text[i] == '"' (prefix already
+    consumed). Returns (next_index, line, value-including-quotes)."""
+    n = len(text)
+    start = i
+    j = i + 1
+    delim = []
+    while j < n and len(delim) <= max_delim and \
+            text[j] not in '()\\\n\t ':
+        delim.append(text[j])
+        j += 1
+    if j >= n or text[j] != "(":
+        # Malformed raw string; treat as an ordinary literal.
+        return _lex_quoted(text, i, line, '"')
+    terminator = ")" + "".join(delim) + '"'
+    k = text.find(terminator, j + 1)
+    if k < 0:
+        k = n - len(terminator)
+    end = k + len(terminator)
+    value = text[start:end]
+    return end, line + value.count("\n"), value

@@ -1,0 +1,61 @@
+"""Finding renderers: text (default), json, and SARIF 2.1.0.
+
+SARIF is the exchange format CI understands (GitHub code scanning,
+IDE ingestion); json is the stable machine format for scripts that
+do not want SARIF's envelope."""
+
+import json
+
+from . import RULES, TOOL_NAME, TOOL_VERSION
+
+
+def render_text(findings):
+    return "\n".join(str(f) for f in findings)
+
+
+def render_json(findings):
+    return json.dumps({
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "count": len(findings),
+        "findings": [
+            {"rule": f.rule, "file": f.relpath, "line": f.line,
+             "message": f.message}
+            for f in findings],
+    }, indent=2) + "\n"
+
+
+def render_sarif(findings):
+    rules_meta = [
+        {"id": r.name,
+         "shortDescription": {"text": r.description}}
+        for r in RULES]
+    results = [
+        {"ruleId": f.rule,
+         "level": "error",
+         "message": {"text": f.message},
+         "locations": [
+             {"physicalLocation": {
+                 "artifactLocation": {"uri": f.relpath},
+                 "region": {"startLine": max(f.line, 1)}}}]}
+        for f in findings]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {"tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri":
+                    "https://example.invalid/ubrc-lint",
+                "rules": rules_meta}},
+             "results": results}],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

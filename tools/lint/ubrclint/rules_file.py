@@ -1,0 +1,490 @@
+"""Per-file rules, all operating on the token stream.
+
+Because rules see tokens — never raw or half-stripped lines — an
+identifier inside a string literal, a raw string, or a spliced
+comment can no longer trip a rule. That was the latent misparse
+class of the v1 line-regex checker (see tests/lint/good/src/
+trap_*.{cc,hh} and the self-test's misparse probe).
+"""
+
+import re
+
+from .source import CXX_EXTENSIONS, Finding
+
+
+class Rule:
+    """A per-file rule. Subclasses set name/description and implement
+    check_file(sf) -> [Finding]."""
+
+    name = ""
+    description = ""
+
+    def applies(self, relpath):
+        return relpath.endswith(CXX_EXTENSIONS)
+
+    def check_file(self, sf):
+        return []
+
+
+def _idents(sf):
+    for t in sf.tokens:
+        if t.kind == "ident":
+            yield t
+
+
+class NondeterminismRule(Rule):
+    name = "nondeterminism"
+    description = ("forbid nondeterminism sources in src/: rand(), "
+                   "random_device, wall-clock reads")
+
+    CALLS = {
+        "rand": "rand() breaks seeded reproducibility; use "
+                "common/rng.hh",
+        "srand": "srand() breaks seeded reproducibility; use "
+                 "common/rng.hh",
+        "rand_r": "rand_r() breaks seeded reproducibility; use "
+                  "common/rng.hh",
+        "drand48": "drand48() breaks seeded reproducibility; use "
+                   "common/rng.hh",
+        "lrand48": "lrand48() breaks seeded reproducibility; use "
+                   "common/rng.hh",
+        "time": "time() reads the wall clock; simulated time must "
+                "come from the cycle counter",
+        "gettimeofday": "gettimeofday() reads the wall clock",
+        "clock_gettime": "clock_gettime() reads the wall clock",
+        "localtime": "calendar-time conversion implies a wall-clock "
+                     "read",
+        "gmtime": "calendar-time conversion implies a wall-clock "
+                  "read",
+    }
+    MENTIONS = {
+        "random_device": "std::random_device is a nondeterministic "
+                         "seed source; use common/rng.hh with an "
+                         "explicit seed",
+        "system_clock": "std::chrono::system_clock is the wall "
+                        "clock; use steady_clock for durations, "
+                        "never for simulated state",
+    }
+
+    def applies(self, relpath):
+        return (relpath.startswith("src/")
+                and relpath.endswith(CXX_EXTENSIONS))
+
+    def check_file(self, sf):
+        out = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            if t.value in self.MENTIONS:
+                out.append(Finding(self.name, sf.relpath, t.line,
+                                   self.MENTIONS[t.value]))
+                continue
+            if t.value not in self.CALLS:
+                continue
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            prev = toks[i - 1] if i > 0 else None
+            if nxt is None or nxt.value != "(":
+                continue
+            # Member calls (x.time(), obj->rand()) are different
+            # functions; `std::time(` is still the banned one.
+            if prev is not None and prev.value in (".", "->"):
+                continue
+            out.append(Finding(self.name, sf.relpath, t.line,
+                               self.CALLS[t.value]))
+        return out
+
+
+class UnorderedIterRule(Rule):
+    name = "unordered-iter"
+    description = ("iteration over unordered containers declared in "
+                   "the same file has host-dependent order; sort or "
+                   "use an ordered container before feeding stats or "
+                   "output")
+
+    UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+                 "unordered_multiset"}
+
+    def applies(self, relpath):
+        return (relpath.startswith("src/")
+                and relpath.endswith(CXX_EXTENSIONS))
+
+    def _declared_names(self, toks):
+        """Names declared as `unordered_xxx<...> name`."""
+        names = set()
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.value not in self.UNORDERED:
+                continue
+            j = i + 1
+            if j >= n or toks[j].value != "<":
+                continue
+            depth = 0
+            while j < n:
+                if toks[j].value == "<":
+                    depth += 1
+                elif toks[j].value == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif toks[j].value == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                j += 1
+            j += 1
+            if j < n and toks[j].kind == "ident":
+                # Declaration, not a template argument elsewhere:
+                # next token ends the declarator.
+                k = j + 1
+                if k < n and toks[k].value in (";", "=", "{", ","):
+                    names.add(toks[j].value)
+        return names
+
+    def check_file(self, sf):
+        toks = sf.tokens
+        names = self._declared_names(toks)
+        if not names:
+            return []
+        out = []
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.value not in names:
+                continue
+            nxt = toks[i + 1] if i + 1 < n else None
+            prev = toks[i - 1] if i > 0 else None
+            hit = False
+            # name.begin() / name.cbegin()
+            if nxt is not None and nxt.value in (".",) and \
+                    i + 3 < n and toks[i + 2].value in ("begin",
+                                                        "cbegin") \
+                    and toks[i + 3].value == "(":
+                hit = True
+            # range-for: `for (... : [expr.]name)`
+            if nxt is not None and nxt.value == ")" and \
+                    prev is not None:
+                j = i - 1
+                while j > 0 and toks[j].value in (".", "->") or \
+                        (j > 0 and toks[j].kind == "ident"
+                         and toks[j + 1].value in (".", "->")):
+                    j -= 1
+                if toks[j].value == ":":
+                    hit = True
+            if hit:
+                out.append(Finding(
+                    self.name, sf.relpath, t.line,
+                    "iterating unordered container '%s' has "
+                    "host-dependent order; sort first or use an "
+                    "ordered container before feeding stats or "
+                    "output" % t.value))
+        return out
+
+
+class StatNamesRule(Rule):
+    name = "stat-names"
+    description = ("stat names registered on a StatGroup must be "
+                   "lower_snake_case, matching the JSON schema "
+                   "convention")
+
+    NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+    REGISTRARS = {"scalar", "mean", "distribution"}
+
+    def applies(self, relpath):
+        return (relpath.startswith("src/")
+                and relpath.endswith(CXX_EXTENSIONS))
+
+    def check_file(self, sf):
+        out = []
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.value not in self.REGISTRARS:
+                continue
+            if i == 0 or toks[i - 1].value not in (".", "->"):
+                continue
+            if i + 2 >= n or toks[i + 1].value != "(" or \
+                    toks[i + 2].kind != "str":
+                continue
+            name = string_value(toks[i + 2])
+            if name is None:
+                continue
+            if not self.NAME_RE.match(name) or len(name) > 48:
+                out.append(Finding(
+                    self.name, sf.relpath, toks[i + 2].line,
+                    "stat name '%s' is not lower_snake_case "
+                    "([a-z][a-z0-9_]*, <= 48 chars)" % name))
+        return out
+
+
+class HeaderHygieneRule(Rule):
+    name = "header-hygiene"
+    description = ("headers carry the canonical UBRC_<PATH>_HH "
+                   "include guard (or #pragma once) and contain no "
+                   "`using namespace`")
+
+    def applies(self, relpath):
+        return relpath.endswith((".hh", ".hpp"))
+
+    @staticmethod
+    def expected_guard(relpath):
+        trimmed = relpath
+        if trimmed.startswith("src/"):
+            trimmed = trimmed[len("src/"):]
+        return "UBRC_" + re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper()
+
+    def check_file(self, sf):
+        out = []
+        expected = self.expected_guard(sf.relpath)
+        guard = None
+        guard_line = 1
+        has_pragma_once = False
+        pps = [t for t in sf.tokens if t.kind == "pp"]
+        for t in pps:
+            if re.match(r"#\s*pragma\s+once\b", t.value):
+                has_pragma_once = True
+                break
+            m = re.match(r"#\s*ifndef\s+(\w+)", t.value)
+            if m:
+                guard = m.group(1)
+                guard_line = t.line
+                break
+        if not has_pragma_once:
+            if guard is None:
+                out.append(Finding(
+                    self.name, sf.relpath, 1,
+                    "missing include guard (expected #ifndef %s or "
+                    "#pragma once)" % expected))
+            elif guard != expected:
+                out.append(Finding(
+                    self.name, sf.relpath, guard_line,
+                    "include guard '%s' does not match the canonical "
+                    "'%s'" % (guard, expected)))
+            elif not any(
+                    re.match(r"#\s*define\s+%s\b" % re.escape(guard),
+                             t.value) for t in pps):
+                out.append(Finding(
+                    self.name, sf.relpath, guard_line,
+                    "include guard '%s' is never #defined" % guard))
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "ident" and t.value == "using" and \
+                    i + 1 < len(toks) and \
+                    toks[i + 1].value == "namespace":
+                out.append(Finding(
+                    self.name, sf.relpath, t.line,
+                    "`using namespace` in a header leaks into every "
+                    "includer; qualify names instead"))
+        return out
+
+
+class NakedNewRule(Rule):
+    name = "naked-new"
+    description = ("no naked new/delete expressions; own memory with "
+                   "containers or std::make_unique")
+
+    def applies(self, relpath):
+        return (relpath.split("/", 1)[0] in ("src", "bench", "tools")
+                and relpath.endswith(CXX_EXTENSIONS))
+
+    def check_file(self, sf):
+        out = []
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            nxt = toks[i + 1] if i + 1 < n else None
+            prev = toks[i - 1] if i > 0 else None
+            if t.value == "new":
+                if nxt is None:
+                    continue
+                if nxt.kind == "ident" or nxt.value in ("(", "<",
+                                                        "::"):
+                    out.append(Finding(
+                        self.name, sf.relpath, t.line,
+                        "naked `new`; use std::make_unique, a "
+                        "container, or annotate the site"))
+            elif t.value == "delete":
+                # `= delete` (deleted members) is not a delete
+                # expression.
+                if prev is not None and prev.value == "=":
+                    continue
+                if nxt is not None and (nxt.kind == "ident"
+                                        or nxt.value in ("[", "(",
+                                                         "*", "::")):
+                    out.append(Finding(
+                        self.name, sf.relpath, t.line,
+                        "naked `delete`; owning types should release "
+                        "storage via RAII"))
+        return out
+
+
+class DeprecatedApiRule(Rule):
+    name = "deprecated-api"
+    description = ("forbid reintroduction of removed APIs: "
+                   "StatGroup::scalarValue() free-form string queries "
+                   "(read typed SimResult/SupplierStats fields or use "
+                   "StatVisitor visitation)")
+
+    BANNED = {
+        "scalarValue": "StatGroup::scalarValue() was removed; read "
+                       "typed SimResult/SupplierStats fields or "
+                       "visit() the group with a StatVisitor",
+    }
+
+    def check_file(self, sf):
+        return [Finding(self.name, sf.relpath, t.line,
+                        self.BANNED[t.value])
+                for t in _idents(sf) if t.value in self.BANNED]
+
+
+class RawThreadRule(Rule):
+    name = "raw-thread"
+    description = ("no raw std::thread/std::jthread construction "
+                   "outside src/sched/; submit tasks to the global "
+                   "work-stealing scheduler (sched/scheduler.hh) "
+                   "instead of growing private pools")
+
+    def applies(self, relpath):
+        return (not relpath.startswith("src/sched/")
+                and relpath.endswith(CXX_EXTENSIONS))
+
+    def check_file(self, sf):
+        out = []
+        toks = sf.tokens
+        n = len(toks)
+        thread_vecs = set()
+        # vector<std::thread> name  ->  emplace_back on `name` is a
+        # construction site.
+        for i, t in enumerate(toks):
+            if t.kind == "ident" and t.value == "vector" and \
+                    i + 5 < n and toks[i + 1].value == "<" and \
+                    toks[i + 2].value == "std" and \
+                    toks[i + 3].value == "::" and \
+                    toks[i + 4].value in ("thread", "jthread") and \
+                    toks[i + 5].value == ">" and \
+                    i + 6 < n and toks[i + 6].kind == "ident":
+                thread_vecs.add(toks[i + 6].value)
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            hit = False
+            line = t.line
+            if t.value in ("thread", "jthread") and i >= 2 and \
+                    toks[i - 1].value == "::" and \
+                    toks[i - 2].value == "std":
+                j = i + 1
+                if j < n and toks[j].kind == "ident":
+                    j += 1  # named object: std::thread t(...)
+                if j < n and toks[j].value in ("(", "{"):
+                    hit = True
+            elif t.value == "emplace_back" and i >= 2 and \
+                    toks[i - 1].value == "." and \
+                    toks[i - 2].kind == "ident" and \
+                    toks[i - 2].value in thread_vecs and \
+                    i + 1 < n and toks[i + 1].value == "(":
+                hit = True
+            if hit:
+                out.append(Finding(
+                    self.name, sf.relpath, line,
+                    "raw thread construction outside src/sched/; "
+                    "submit a task group to the global scheduler "
+                    "(sched/scheduler.hh) or annotate the site"))
+        return out
+
+
+class HotPathAllocRule(Rule):
+    name = "hot-path-alloc"
+    description = ("no heap allocation inside `// ubrc-lint: hot` "
+                   "regions or the designated hot files: new, "
+                   "make_unique/make_shared, container growth "
+                   "(push_back, resize, ...), std::string "
+                   "construction — the packed-SoA throughput win "
+                   "depends on allocation-free inner loops")
+
+    # Whole files whose every line is hot (the PR-8 SoA core). The
+    # Processor issue/retire paths carry `hot` region markers instead
+    # because the file also holds cold setup code.
+    HOT_FILES = frozenset({
+        "src/regcache/packed_cache.hh",
+    })
+
+    GROWTH = {"push_back", "emplace_back", "emplace", "emplace_front",
+              "push_front", "push", "insert", "resize", "reserve",
+              "assign", "append", "emplace_hint"}
+    MAKERS = {"make_unique", "make_shared"}
+
+    def applies(self, relpath):
+        return relpath.endswith(CXX_EXTENSIONS)
+
+    def check_file(self, sf):
+        ranges = sf.hot_ranges()
+        whole_file = sf.relpath in self.HOT_FILES
+        if not ranges and not whole_file:
+            return []
+
+        def in_hot(line):
+            if whole_file:
+                return True
+            return any(a <= line <= b for a, b in ranges)
+
+        out = []
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or not in_hot(t.line):
+                continue
+            nxt = toks[i + 1] if i + 1 < n else None
+            prev = toks[i - 1] if i > 0 else None
+            msg = None
+            if t.value == "new" and nxt is not None and \
+                    (nxt.kind == "ident" or nxt.value in ("(", "<",
+                                                          "::")):
+                msg = "`new` in a hot region"
+            elif t.value in self.MAKERS and nxt is not None and \
+                    nxt.value in ("<", "("):
+                msg = "std::%s in a hot region" % t.value
+            elif t.value in self.GROWTH and prev is not None and \
+                    prev.value in (".", "->") and nxt is not None \
+                    and nxt.value == "(":
+                msg = ("container growth call .%s() in a hot region"
+                       % t.value)
+            elif t.value == "string" and i >= 2 and \
+                    toks[i - 1].value == "::" and \
+                    toks[i - 2].value == "std" and nxt is not None:
+                # Construction only: `std::string s`, `std::string(`,
+                # `std::string{`. References, pointers, and template
+                # arguments don't allocate.
+                if nxt.kind == "ident" or nxt.value in ("(", "{"):
+                    msg = "std::string construction in a hot region"
+            elif t.value == "to_string" and nxt is not None and \
+                    nxt.value == "(":
+                msg = "std::to_string allocates in a hot region"
+            if msg:
+                out.append(Finding(
+                    self.name, sf.relpath, t.line,
+                    msg + "; hot paths must be allocation-free "
+                    "(hoist the storage or annotate a considered "
+                    "amortised site)"))
+        return out
+
+
+def string_value(tok):
+    """The contents of a string token (quotes and prefix stripped),
+    or None for raw strings / weird prefixes."""
+    v = tok.value
+    if tok.raw:
+        return None
+    for p in ("u8", "u", "U", "L"):
+        if v.startswith(p + '"'):
+            v = v[len(p):]
+            break
+    if len(v) >= 2 and v[0] == '"' and v[-1] == '"':
+        return v[1:-1]
+    return None
+
+
+FILE_RULES = [NondeterminismRule(), UnorderedIterRule(),
+              StatNamesRule(), HeaderHygieneRule(), NakedNewRule(),
+              DeprecatedApiRule(), RawThreadRule(),
+              HotPathAllocRule()]

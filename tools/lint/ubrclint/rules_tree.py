@@ -1,0 +1,555 @@
+"""Cross-file (tree) rules: exit-codes, trace-version, and the
+include-layering graph.
+
+Tree rules run once per lint with the full project model (every
+parsed SourceFile keyed by relpath) and may anchor findings in any
+file, including DESIGN.md — the human-facing registries there are
+cross-checked against the code the same way the code is checked
+against itself.
+"""
+
+import re
+
+from . import cppmodel
+from .rules_file import Rule
+from .source import Finding
+
+
+class TreeRule(Rule):
+    """A cross-file rule; runs once per tree with the full file map."""
+
+    def applies(self, relpath):
+        return False  # tree-only
+
+    def check_tree(self, root, files):
+        return []
+
+
+class ExitCodesRule(TreeRule):
+    name = "exit-codes"
+    description = ("SimError exit codes are unique, avoid reserved "
+                   "0/1, cover every ErrorKind, and match the "
+                   "DESIGN.md registry table")
+
+    ENUM_FILE = "src/sim/sim_error.hh"
+    MAP_FILE = "src/sim/sim_error.cc"
+    DOC_FILE = "DESIGN.md"
+
+    ROW_RE = re.compile(
+        r"^\|\s*`ErrorKind::(\w+)`\s*\|\s*(\d+)\s*\|")
+
+    def check_tree(self, root, files):
+        enum_sf = files.get(self.ENUM_FILE)
+        map_sf = files.get(self.MAP_FILE)
+        if enum_sf is None or map_sf is None:
+            return []
+        out = []
+
+        kinds = {name: line for name, _, line in
+                 cppmodel.enum_members(enum_sf, "ErrorKind")}
+
+        # The kind -> code mapping, from exitCodeFor()'s switch:
+        # `case ErrorKind::X: return N;` as a token pattern.
+        mapping = {}
+        toks = map_sf.tokens
+        n = len(toks)
+        for i in range(n - 7):
+            if not (toks[i].value == "case"
+                    and toks[i + 1].value == "ErrorKind"
+                    and toks[i + 2].value == "::"
+                    and toks[i + 3].kind == "ident"
+                    and toks[i + 4].value == ":"
+                    and toks[i + 5].value == "return"
+                    and toks[i + 6].kind == "num"
+                    and toks[i + 7].value == ";"):
+                continue
+            kind = toks[i + 3].value
+            code = int(toks[i + 6].value, 0)
+            lineno = toks[i].line
+            if code in (0, 1):
+                out.append(Finding(
+                    self.name, map_sf.relpath, lineno,
+                    "exit code %d is reserved (0 = success, "
+                    "1 = fatal())" % code))
+            dup = [k for k, (c, _) in mapping.items() if c == code]
+            if dup:
+                out.append(Finding(
+                    self.name, map_sf.relpath, lineno,
+                    "duplicate exit code %d (already used by "
+                    "ErrorKind::%s)" % (code, dup[0])))
+            if kind not in mapping:
+                mapping[kind] = (code, lineno)
+
+        for kind, lineno in sorted(kinds.items()):
+            if kind not in mapping:
+                out.append(Finding(
+                    self.name, enum_sf.relpath, lineno,
+                    "ErrorKind::%s has no exit code in exitCodeFor()"
+                    % kind))
+
+        # Cross-check the human-facing registry in DESIGN.md.
+        doc_sf = files.get(self.DOC_FILE)
+        if doc_sf is not None:
+            rows = {}
+            for lineno, line in enumerate(doc_sf.lines, 1):
+                m = self.ROW_RE.match(line.strip())
+                if m:
+                    rows[m.group(1)] = (int(m.group(2)), lineno)
+            if not rows:
+                out.append(Finding(
+                    self.name, doc_sf.relpath, 1,
+                    "no exit-code registry table found (rows of the "
+                    "form `| \\`ErrorKind::X\\` | N | ... |`)"))
+            else:
+                for kind, (code, _) in sorted(mapping.items()):
+                    if kind not in rows:
+                        out.append(Finding(
+                            self.name, doc_sf.relpath, 1,
+                            "registry table is missing "
+                            "ErrorKind::%s (exit %d)" % (kind, code)))
+                    elif rows[kind][0] != code:
+                        out.append(Finding(
+                            self.name, doc_sf.relpath, rows[kind][1],
+                            "registry records exit code %d for "
+                            "ErrorKind::%s, but exitCodeFor() "
+                            "returns %d"
+                            % (rows[kind][0], kind, code)))
+                for kind, (code, lineno) in sorted(rows.items()):
+                    if kind not in mapping and kind in kinds:
+                        continue  # flagged as missing case above
+                    if kind not in kinds:
+                        out.append(Finding(
+                            self.name, doc_sf.relpath, lineno,
+                            "registry row names unknown "
+                            "ErrorKind::%s" % kind))
+        return out
+
+
+class TraceVersionRule(TreeRule):
+    name = "trace-version"
+    description = ("trace EventKind wire codes are dense and "
+                   "append-only, numEventKinds/traceVersion agree, "
+                   "and the DESIGN.md event-vocabulary table matches "
+                   "the header")
+
+    HDR_FILE = "src/trace/trace_format.hh"
+    DOC_FILE = "DESIGN.md"
+
+    TABLE_RE = re.compile(r"^\|\s*Event kind\s*\|\s*Code\s*\|")
+    ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|\s*(\d+)\s*\|")
+    DOC_VERSION_RE = re.compile(r"`trace_version`\s+is\s+(\d+)")
+
+    def check_tree(self, root, files):
+        hdr = files.get(self.HDR_FILE)
+        if hdr is None:
+            return []
+        out = []
+
+        kinds = {}   # name -> (code, lineno), declaration order
+        prev_code = -1
+        for name, value, lineno in cppmodel.enum_members(hdr,
+                                                         "EventKind"):
+            code = value if value is not None else prev_code + 1
+            dup = [k for k, (c, _) in kinds.items() if c == code]
+            if dup:
+                out.append(Finding(
+                    self.name, hdr.relpath, lineno,
+                    "duplicate wire code %d (already used by %s)"
+                    % (code, dup[0])))
+            elif code != prev_code + 1:
+                out.append(Finding(
+                    self.name, hdr.relpath, lineno,
+                    "wire code %d after %d; codes are dense and "
+                    "append-only (expected %d)"
+                    % (code, prev_code, prev_code + 1)))
+            prev_code = max(prev_code, code)
+            if name not in kinds:
+                kinds[name] = (code, lineno)
+        if not kinds:
+            return out
+
+        version, _ = cppmodel.find_constant(hdr, "traceVersion")
+        count, count_line = cppmodel.find_constant(hdr,
+                                                   "numEventKinds")
+        if count is not None and count != prev_code + 1:
+            out.append(Finding(
+                self.name, hdr.relpath, count_line,
+                "numEventKinds is %d but the highest wire code "
+                "is %d (expected %d)"
+                % (count, prev_code, prev_code + 1)))
+        if version is None:
+            out.append(Finding(
+                self.name, hdr.relpath, 1,
+                "no `traceVersion = N` constant found"))
+
+        doc = files.get(self.DOC_FILE)
+        if doc is None:
+            return out
+
+        rows = {}
+        header_line = None
+        for lineno, line in enumerate(doc.lines, 1):
+            s = line.strip()
+            if header_line is None:
+                if self.TABLE_RE.match(s):
+                    header_line = lineno
+                continue
+            if not s.startswith("|"):
+                break
+            m = self.ROW_RE.match(s)
+            if m:
+                rows[m.group(1)] = (int(m.group(2)), lineno)
+        if header_line is None:
+            out.append(Finding(
+                self.name, doc.relpath, 1,
+                "no event-vocabulary table found (header `| Event "
+                "kind | Code | ... |`)"))
+        else:
+            for name, (code, _) in kinds.items():
+                if name not in rows:
+                    out.append(Finding(
+                        self.name, doc.relpath, header_line,
+                        "event table is missing %s (code %d)"
+                        % (name, code)))
+                elif rows[name][0] != code:
+                    out.append(Finding(
+                        self.name, doc.relpath, rows[name][1],
+                        "event table records code %d for %s, but the "
+                        "header says %d"
+                        % (rows[name][0], name, code)))
+            for name, (code, lineno) in rows.items():
+                if name not in kinds:
+                    out.append(Finding(
+                        self.name, doc.relpath, lineno,
+                        "event table row names unknown kind %s"
+                        % name))
+
+        doc_versions = []
+        for lineno, line in enumerate(doc.lines, 1):
+            m = self.DOC_VERSION_RE.search(line)
+            if m:
+                doc_versions.append((int(m.group(1)), lineno))
+        if version is not None:
+            if not doc_versions:
+                out.append(Finding(
+                    self.name, doc.relpath, 1,
+                    "no `trace_version` is N sentence found"))
+            for v, lineno in doc_versions:
+                if v != version:
+                    out.append(Finding(
+                        self.name, doc.relpath, lineno,
+                        "doc says `trace_version` is %d, but the "
+                        "header says %d" % (v, version)))
+        return out
+
+
+class IncludeLayeringRule(TreeRule):
+    name = "include-layering"
+    description = ("every quoted #include must follow the declared "
+                   "module-dependency table (DESIGN.md §10); "
+                   "cycles outside the sanctioned core/sim/storage/"
+                   "trace cluster, undeclared edges, and stale table "
+                   "rows are all findings")
+
+    # The authoritative allowed-dependency table. DESIGN.md §10 must
+    # list exactly these edges and the actual include graph must use
+    # exactly these edges — three-way agreement, like the exit-code
+    # registry. "*" means the module may include anything (tests).
+    ALLOWED_DEPS = {
+        "common": frozenset(),
+        "isa": frozenset({"common"}),
+        "mem": frozenset({"common"}),
+        "inject": frozenset({"common"}),
+        "regfile": frozenset({"common"}),
+        "sched": frozenset({"common"}),
+        "frontend": frozenset({"common", "isa"}),
+        "workload": frozenset({"common", "isa"}),
+        "regcache": frozenset({"common", "isa"}),
+        "storage": frozenset({"common", "regcache", "regfile",
+                              "sim"}),
+        "core": frozenset({"common", "frontend", "inject", "isa",
+                           "mem", "sim", "storage", "workload"}),
+        "sim": frozenset({"common", "core", "frontend", "inject",
+                          "isa", "mem", "regcache", "regfile",
+                          "sched", "trace", "workload"}),
+        "trace": frozenset({"common", "core", "regcache", "sim",
+                            "storage"}),
+        "server": frozenset({"common", "sched", "sim", "trace",
+                             "workload"}),
+        "bench": frozenset({"common", "core", "frontend", "regcache",
+                            "sched", "sim", "trace", "workload"}),
+        "tools": frozenset({"common", "isa", "sched", "server",
+                            "sim", "trace", "workload"}),
+        "tests": frozenset({"*"}),
+    }
+
+    # Module-level cycles that are sanctioned (and documented in
+    # DESIGN.md §10): the simulation kernel is one mutually-dependent
+    # cluster. Any other module-level cycle is a finding.
+    SANCTIONED_CLUSTERS = (frozenset({"core", "sim", "storage",
+                                      "trace"}),)
+
+    DOC_FILE = "DESIGN.md"
+    TABLE_RE = re.compile(r"^\|\s*Module\s*\|\s*May include\s*\|")
+    ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|\s*([^|]*)\|")
+
+    @staticmethod
+    def module_of(relpath):
+        """The layering module a file belongs to: its src/ subdir, or
+        the top-level dir for bench/tools/tests."""
+        parts = relpath.split("/")
+        if parts[0] == "src" and len(parts) > 2:
+            return parts[1]
+        if parts[0] in ("bench", "tools", "tests"):
+            return parts[0]
+        return None
+
+    def check_tree(self, root, files):
+        out = []
+
+        # -- collect the actual include graph ---------------------------
+        # module edge -> first (relpath, line, target) witness; plus a
+        # file-granularity graph for file-cycle detection.
+        mod_edges = {}
+        file_graph = {}
+        for relpath, sf in sorted(files.items()):
+            if not sf.is_cxx:
+                continue
+            mod = self.module_of(relpath)
+            if mod is None:
+                continue
+            for inc in cppmodel.includes(sf):
+                if not inc.quoted:
+                    continue  # system headers are out of scope
+                tmod = inc.target.split("/")[0]
+                # Quoted includes name headers module-first
+                # (e.g. "common/stats.hh"), rooted at src/.
+                target_rel = "src/" + inc.target
+                if target_rel not in files and inc.target in files:
+                    target_rel = inc.target
+                file_graph.setdefault(relpath, []).append(
+                    (target_rel, inc.line))
+                if tmod == mod:
+                    continue
+                if tmod not in self.ALLOWED_DEPS:
+                    out.append(Finding(
+                        self.name, relpath, inc.line,
+                        "include of unknown module '%s' (from %s)"
+                        % (tmod, inc.target)))
+                    continue
+                allowed = self.ALLOWED_DEPS.get(mod)
+                if allowed is None:
+                    continue  # file outside the modelled modules
+                key = (mod, tmod)
+                if key not in mod_edges:
+                    mod_edges[key] = (relpath, inc.line, inc.target)
+                if "*" in allowed or tmod in allowed:
+                    continue
+                out.append(Finding(
+                    self.name, relpath, inc.line,
+                    "forbidden edge %s -> %s: `#include \"%s\"` is "
+                    "not in the allowed-dependency table "
+                    "(DESIGN.md §10)" % (mod, tmod, inc.target)))
+
+        # -- unused declared edges --------------------------------------
+        # A declared edge nothing uses is a stale table row; the table
+        # must mirror reality exactly or it rots like any other doc.
+        # Only provable on a full tree: when some modules have no
+        # files at all (fixture mini-trees, subset runs), absence of
+        # an edge means nothing.
+        present = {self.module_of(rp)
+                   for rp, sf in files.items() if sf.is_cxx}
+        if not (set(self.ALLOWED_DEPS) - present):
+            for mod, allowed in sorted(self.ALLOWED_DEPS.items()):
+                if "*" in allowed:
+                    continue
+                for tmod in sorted(allowed):
+                    if (mod, tmod) not in mod_edges:
+                        out.append(Finding(
+                            self.name, self.DOC_FILE, 1,
+                            "declared edge %s -> %s is never used by "
+                            "any #include; drop it from the table "
+                            "and ALLOWED_DEPS" % (mod, tmod)))
+
+        # -- module-level cycles ----------------------------------------
+        for scc in self._sccs(mod_edges):
+            if len(scc) < 2:
+                continue
+            if any(scc <= cluster
+                   for cluster in self.SANCTIONED_CLUSTERS):
+                continue
+            members = sorted(scc)
+            witness = None
+            for (a, b), w in sorted(mod_edges.items()):
+                if a in scc and b in scc:
+                    witness = w
+                    break
+            rel, line, tgt = witness
+            out.append(Finding(
+                self.name, rel, line,
+                "module dependency cycle {%s} (via `#include "
+                "\"%s\"`); only the sanctioned core/sim/storage/"
+                "trace cluster may be mutually dependent"
+                % (", ".join(members), tgt)))
+
+        # -- file-level include cycles ----------------------------------
+        # Even inside the sanctioned cluster, header-to-header cycles
+        # are always bugs (they only compile by guard accident).
+        out.extend(self._file_cycles(file_graph))
+
+        # -- DESIGN.md table agreement ----------------------------------
+        doc = files.get(self.DOC_FILE)
+        if doc is not None:
+            out.extend(self._check_doc(doc))
+        return out
+
+    def _sccs(self, mod_edges):
+        """Strongly connected components of the module graph
+        (iterative Tarjan)."""
+        graph = {}
+        for (a, b) in mod_edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        index = {}
+        low = {}
+        on_stack = set()
+        stack = []
+        sccs = []
+        counter = [0]
+        for start in sorted(graph):
+            if start in index:
+                continue
+            work = [(start, iter(sorted(graph[start])))]
+            index[start] = low[start] = counter[0]
+            counter[0] += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(sorted(graph[nxt]))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.add(w)
+                        if w == node:
+                            break
+                    sccs.append(scc)
+        return sccs
+
+    def _file_cycles(self, file_graph):
+        out = []
+        color = {}  # 0 unvisited implicit, 1 in progress, 2 done
+        reported = set()
+
+        for start in sorted(file_graph):
+            if color.get(start):
+                continue
+            path = []
+            stack = [(start, iter(file_graph.get(start, [])))]
+            color[start] = 1
+            path.append(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for tgt, line in it:
+                    if tgt not in file_graph and color.get(tgt) != 1:
+                        continue
+                    c = color.get(tgt, 0)
+                    if c == 0:
+                        color[tgt] = 1
+                        path.append(tgt)
+                        stack.append(
+                            (tgt, iter(file_graph.get(tgt, []))))
+                        advanced = True
+                        break
+                    if c == 1:
+                        cyc = tuple(path[path.index(tgt):])
+                        key = frozenset(cyc)
+                        if key not in reported:
+                            reported.add(key)
+                            out.append(Finding(
+                                self.name, node, line,
+                                "file-level include cycle: %s"
+                                % " -> ".join(cyc + (tgt,))))
+                if advanced:
+                    continue
+                stack.pop()
+                color[node] = 2
+                path.pop()
+        return out
+
+    def _check_doc(self, doc):
+        """DESIGN.md §10 table rows must equal ALLOWED_DEPS exactly."""
+        out = []
+        rows = {}
+        header_line = None
+        for lineno, line in enumerate(doc.lines, 1):
+            s = line.strip()
+            if header_line is None:
+                if self.TABLE_RE.match(s):
+                    header_line = lineno
+                continue
+            if not s.startswith("|"):
+                break
+            m = self.ROW_RE.match(s)
+            if m:
+                deps = m.group(2).strip()
+                if deps in ("(any)", "*"):
+                    parsed = frozenset({"*"})
+                elif deps in ("—", "-", "(none)", ""):
+                    parsed = frozenset()
+                else:
+                    parsed = frozenset(
+                        d.strip().strip("`")
+                        for d in deps.split(",") if d.strip())
+                rows[m.group(1)] = (parsed, lineno)
+        if header_line is None:
+            out.append(Finding(
+                self.name, doc.relpath, 1,
+                "no module-layering table found (header `| Module | "
+                "May include |`)"))
+            return out
+        for mod, allowed in sorted(self.ALLOWED_DEPS.items()):
+            if mod not in rows:
+                out.append(Finding(
+                    self.name, doc.relpath, header_line,
+                    "layering table is missing module `%s`" % mod))
+            elif rows[mod][0] != allowed:
+                missing = sorted(allowed - rows[mod][0])
+                extra = sorted(rows[mod][0] - allowed)
+                detail = []
+                if missing:
+                    detail.append("missing: %s" % ", ".join(missing))
+                if extra:
+                    detail.append("extra: %s" % ", ".join(extra))
+                out.append(Finding(
+                    self.name, doc.relpath, rows[mod][1],
+                    "layering table row for `%s` disagrees with the "
+                    "lint's ALLOWED_DEPS (%s)"
+                    % (mod, "; ".join(detail))))
+        for mod, (_, lineno) in sorted(rows.items()):
+            if mod not in self.ALLOWED_DEPS:
+                out.append(Finding(
+                    self.name, doc.relpath, lineno,
+                    "layering table row names unknown module `%s`"
+                    % mod))
+        return out

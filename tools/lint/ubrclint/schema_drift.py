@@ -1,0 +1,447 @@
+"""schema-drift: cross-check the JSON keys the C++ serializers emit
+against the keys tools/check_results_json.py validates.
+
+Both sides are modelled statically:
+
+C++ side — every `field("k", ...)` / `key("k")` / `nullField("k")` /
+`section("k")` call and every `scalar("k")`/`mean("k")`/
+`distribution("k")` stat registration is a key emission. A
+`field("kind", "X")` literal anchors a document kind: the innermost
+brace block containing the anchor is that kind's emission region, and
+the emitted-key set is the region's keys plus the keys of every
+function the region calls, transitively (bare-name call resolution,
+same file preferred). A registration of the form `scalar("stem" + x)`
+is recorded as a dynamic *prefix* emission.
+
+Python side — tools/check_results_json.py is parsed with `ast`. The
+module-level KINDS dict maps each kind to its root checker; the
+validated-key set for a kind is the closure over module-function
+calls of: string literals in tuples passed directly as call
+arguments (expect_keys key lists and check_meta key tuples), tuple
+literals iterated by for-loops, literal subscripts (`doc["stats"]`),
+`.get("k")` calls, literal `"k" in obj` membership tests, and
+referenced module constants whose shape is a key table (a tuple of
+strings, or a dict mapping section names to field tuples).
+
+A key emitted but never validated, or validated but never emitted,
+is a finding for that kind. The universal envelope keys
+(schema_version, kind) are exempt, "sweep-request" is a request
+document (no results validator), and check_throughput_bench is
+excluded (it re-checks values of keys the generic checker already
+covers, using table-cell literals that are not keys).
+"""
+
+import ast
+
+from . import cppmodel
+from .rules_tree import TreeRule
+from .source import Finding
+
+KEY_FUNCS = ("field", "key", "nullField", "section")
+REG_FUNCS = ("scalar", "mean", "distribution")
+
+
+def _string_value(tok):
+    v = tok.value
+    if tok.raw:
+        return None
+    for p in ("u8", "u", "U", "L"):
+        if v.startswith(p + '"'):
+            v = v[len(p):]
+            break
+    if len(v) >= 2 and v[0] == '"' and v[-1] == '"':
+        return v[1:-1]
+    return None
+
+
+class _FnModel:
+    """Per-function emission summary."""
+
+    __slots__ = ("sf", "fn", "keys", "prefixes", "anchors", "calls")
+
+    def __init__(self, sf, fn):
+        self.sf = sf
+        self.fn = fn
+        self.keys = {}      # key -> line of first emission
+        self.prefixes = {}  # prefix -> line
+        self.anchors = []   # (kind, token_index, line)
+        self.calls = set()  # bare callee names
+        self._scan()
+
+    def _scan(self):
+        toks = self.sf.tokens
+        i = self.fn.body_start
+        end = self.fn.body_end
+        while i <= end:
+            t = toks[i]
+            if t.kind != "ident" or i + 1 > end or \
+                    toks[i + 1].value != "(":
+                i += 1
+                continue
+            name = t.value
+            arg = toks[i + 2] if i + 2 <= end else None
+            if name in KEY_FUNCS and arg is not None and \
+                    arg.kind == "str":
+                key = _string_value(arg)
+                if key is not None:
+                    self.keys.setdefault(key, arg.line)
+                    if name == "field" and key == "kind" and \
+                            i + 4 <= end and \
+                            toks[i + 3].value == "," and \
+                            toks[i + 4].kind == "str":
+                        kind = _string_value(toks[i + 4])
+                        if kind is not None:
+                            self.anchors.append((kind, i, t.line))
+                i += 3
+                continue
+            if name in REG_FUNCS and arg is not None and \
+                    arg.kind == "str":
+                key = _string_value(arg)
+                if key is not None:
+                    nxt = toks[i + 3] if i + 3 <= end else None
+                    if nxt is not None and nxt.value == "+":
+                        self.prefixes.setdefault(key, arg.line)
+                    else:
+                        self.keys.setdefault(key, arg.line)
+                i += 3
+                continue
+            if name not in KEY_FUNCS and name not in REG_FUNCS:
+                self.calls.add(name)
+            i += 1
+
+    def region_for(self, anchor_idx):
+        """Token span of the document emission: from the kind anchor
+        to the endObject()/endArray() that closes the document the
+        anchor opened. Tracking writer nesting rather than brace
+        blocks keeps unrelated code in the same function (reference
+        re-simulation, file writing) out of the kind's closure."""
+        toks = self.sf.tokens
+        depth = 1  # the anchor sits inside the document object
+        i = anchor_idx + 1
+        while i <= self.fn.body_end:
+            t = toks[i]
+            if t.kind == "ident":
+                if t.value in ("beginObject", "beginArray"):
+                    depth += 1
+                elif t.value in ("endObject", "endArray"):
+                    depth -= 1
+                    if depth == 0:
+                        return anchor_idx, i
+            i += 1
+        return anchor_idx, self.fn.body_end
+
+
+class _RegionScan:
+    """Keys/prefixes/calls restricted to one token span."""
+
+    def __init__(self, sf, lo, hi):
+        self.keys = {}
+        self.prefixes = {}
+        self.calls = set()
+        toks = sf.tokens
+        i = lo
+        while i <= hi:
+            t = toks[i]
+            if t.kind != "ident" or i + 1 > hi or \
+                    toks[i + 1].value != "(":
+                i += 1
+                continue
+            name = t.value
+            arg = toks[i + 2] if i + 2 <= hi else None
+            lit = _string_value(arg) if arg is not None and \
+                arg.kind == "str" else None
+            if name in KEY_FUNCS and lit is not None:
+                self.keys.setdefault(lit, arg.line)
+                i += 3
+                continue
+            if name in REG_FUNCS and lit is not None:
+                nxt = toks[i + 3] if i + 3 <= hi else None
+                if nxt is not None and nxt.value == "+":
+                    self.prefixes.setdefault(lit, arg.line)
+                else:
+                    self.keys.setdefault(lit, arg.line)
+                i += 3
+                continue
+            if name not in KEY_FUNCS and name not in REG_FUNCS:
+                self.calls.add(name)
+            i += 1
+
+
+class _ValidatorModel:
+    """ast model of tools/check_results_json.py."""
+
+    def __init__(self, sf, excluded_funcs):
+        self.ok = True
+        self.kind_roots = {}    # kind -> root function name
+        self.fn_keys = {}       # func -> {key: line}
+        self.fn_calls = {}      # func -> set of callee names
+        self.excluded = excluded_funcs
+        try:
+            tree = ast.parse(sf.text)
+        except SyntaxError:
+            self.ok = False
+            return
+        consts = {}  # module constant name -> {key: line}
+        func_nodes = {}
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                func_nodes[node.name] = node
+            elif isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if name == "KINDS" and isinstance(node.value,
+                                                  ast.Dict):
+                    for k, v in zip(node.value.keys,
+                                    node.value.values):
+                        if isinstance(k, ast.Constant) and \
+                                isinstance(k.value, str) and \
+                                isinstance(v, ast.Name):
+                            self.kind_roots[k.value] = v.id
+                else:
+                    keys = self._const_keys(node.value)
+                    if keys:
+                        consts[name] = keys
+        for name, node in func_nodes.items():
+            keys, calls = self._scan_func(node, consts, func_nodes)
+            self.fn_keys[name] = keys
+            self.fn_calls[name] = calls
+
+    @staticmethod
+    def _const_keys(value):
+        """Key table constants: a tuple of strings contributes its
+        elements; a dict of str -> tuple contributes keys and
+        elements. Anything else (int maps, sets) is not a key table."""
+        keys = {}
+        if isinstance(value, ast.Tuple):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and \
+                        isinstance(elt.value, str):
+                    keys.setdefault(elt.value, elt.lineno)
+                else:
+                    return {}
+        elif isinstance(value, ast.Dict):
+            for k, v in zip(value.keys, value.values):
+                if not (isinstance(k, ast.Constant)
+                        and isinstance(k.value, str)
+                        and isinstance(v, ast.Tuple)):
+                    return {}
+                keys.setdefault(k.value, k.lineno)
+                for elt in v.elts:
+                    if isinstance(elt, ast.Constant) and \
+                            isinstance(elt.value, str):
+                        keys.setdefault(elt.value, elt.lineno)
+        return keys
+
+    def _scan_func(self, node, consts, func_nodes):
+        keys = {}
+        calls = set()
+
+        def add(key, lineno):
+            keys.setdefault(key, lineno)
+
+        def add_tuple(t):
+            for elt in t.elts:
+                if isinstance(elt, ast.Constant) and \
+                        isinstance(elt.value, str):
+                    add(elt.value, elt.lineno)
+
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Subscript):
+                sl = sub.slice
+                if isinstance(sl, ast.Constant) and \
+                        isinstance(sl.value, str):
+                    add(sl.value, sl.lineno)
+            elif isinstance(sub, ast.Call):
+                if isinstance(sub.func, ast.Attribute) and \
+                        sub.func.attr == "get" and sub.args and \
+                        isinstance(sub.args[0], ast.Constant) and \
+                        isinstance(sub.args[0].value, str):
+                    add(sub.args[0].value, sub.args[0].lineno)
+                if isinstance(sub.func, ast.Name):
+                    if sub.func.id in func_nodes:
+                        calls.add(sub.func.id)
+                for a in sub.args:
+                    if isinstance(a, ast.Tuple):
+                        add_tuple(a)
+            elif isinstance(sub, ast.Compare):
+                if any(isinstance(op, (ast.In, ast.NotIn))
+                       for op in sub.ops) and \
+                        isinstance(sub.left, ast.Constant) and \
+                        isinstance(sub.left.value, str):
+                    add(sub.left.value, sub.left.lineno)
+            elif isinstance(sub, ast.For):
+                if isinstance(sub.iter, ast.Tuple):
+                    add_tuple(sub.iter)
+            elif isinstance(sub, ast.Name) and \
+                    isinstance(sub.ctx, ast.Load) and \
+                    sub.id in consts:
+                for key, lineno in consts[sub.id].items():
+                    add(key, lineno)
+        return keys, calls
+
+    def kind_keys(self, kind):
+        """Validated keys for a kind: closure over function calls
+        from its root checker."""
+        root = self.kind_roots.get(kind)
+        if root is None:
+            return None
+        keys = {}
+        seen = set()
+        work = [root]
+        while work:
+            fn = work.pop()
+            if fn in seen or fn in self.excluded:
+                continue
+            seen.add(fn)
+            for key, lineno in self.fn_keys.get(fn, {}).items():
+                keys.setdefault(key, lineno)
+            work.extend(self.fn_calls.get(fn, ()))
+        return keys
+
+
+class SchemaDriftRule(TreeRule):
+    name = "schema-drift"
+    description = ("JSON keys emitted by the C++ serializers must be "
+                   "validated by tools/check_results_json.py and "
+                   "vice versa, per document kind")
+
+    VALIDATOR = "tools/check_results_json.py"
+    UNIVERSAL_KEYS = frozenset({"schema_version", "kind"})
+    # Request documents flow client -> server; there is no results
+    # validator for them by design.
+    IGNORED_KINDS = frozenset({"sweep-request"})
+    # Value-level re-checks of keys the generic checker already
+    # covers; its table-cell literals are not keys.
+    EXCLUDED_VALIDATOR_FUNCS = frozenset({"check_throughput_bench"})
+
+    def check_tree(self, root, files):
+        val_sf = files.get(self.VALIDATOR)
+        if val_sf is None:
+            return []
+        model = _ValidatorModel(val_sf, self.EXCLUDED_VALIDATOR_FUNCS)
+        if not model.ok:
+            return [Finding(self.name, self.VALIDATOR, 1,
+                            "validator does not parse as Python; "
+                            "cannot cross-check schemas")]
+
+        # Index every C++ function by bare name.
+        fn_models = []
+        index = {}
+        for relpath, sf in sorted(files.items()):
+            if not sf.is_cxx:
+                continue
+            for fn in cppmodel.functions(sf):
+                fm = _FnModel(sf, fn)
+                fn_models.append(fm)
+                index.setdefault(fn.name, []).append(fm)
+
+        # A function that anchors kind K must not leak its keys into
+        # another kind's closure.
+        anchored_kind = {}
+        for fm in fn_models:
+            kinds = {k for k, _, _ in fm.anchors}
+            if len(kinds) == 1:
+                anchored_kind[id(fm)] = next(iter(kinds))
+
+        def resolve(name, from_sf):
+            cands = index.get(name, ())
+            same = [fm for fm in cands if fm.sf is from_sf]
+            return same if same else list(cands)
+
+        def close_over(calls, from_sf, kind, keys, prefixes, seen):
+            work = [(c, from_sf) for c in sorted(calls)]
+            while work:
+                name, src = work.pop()
+                for fm in resolve(name, src):
+                    if id(fm) in seen:
+                        continue
+                    ak = anchored_kind.get(id(fm))
+                    if ak is not None and ak != kind:
+                        continue
+                    seen.add(id(fm))
+                    for k, line in fm.keys.items():
+                        keys.setdefault(k, (fm.sf.relpath, line))
+                    for k, line in fm.prefixes.items():
+                        prefixes.setdefault(k,
+                                            (fm.sf.relpath, line))
+                    work.extend((c, fm.sf) for c in sorted(fm.calls))
+
+        # Emitted keys per kind, from every anchored region.
+        emitted = {}   # kind -> {key: (relpath, line)}
+        prefixes = {}  # kind -> {prefix: (relpath, line)}
+        anchor_site = {}
+        for fm in fn_models:
+            for kind, anchor_idx, line in fm.anchors:
+                if kind in self.IGNORED_KINDS:
+                    continue
+                anchor_site.setdefault(kind,
+                                       (fm.sf.relpath, line))
+                keys = emitted.setdefault(kind, {})
+                pfx = prefixes.setdefault(kind, {})
+                lo, hi = fm.region_for(anchor_idx)
+                region = _RegionScan(fm.sf, lo, hi)
+                for k, ln in region.keys.items():
+                    keys.setdefault(k, (fm.sf.relpath, ln))
+                for k, ln in region.prefixes.items():
+                    pfx.setdefault(k, (fm.sf.relpath, ln))
+                seen = {id(fm)}
+                close_over(region.calls, fm.sf, kind, keys, pfx,
+                           seen)
+
+        out = []
+
+        # Kind coverage both ways.
+        for kind in sorted(model.kind_roots):
+            if kind not in emitted:
+                out.append(Finding(
+                    self.name, self.VALIDATOR, 1,
+                    "validator handles kind '%s' but no C++ "
+                    "serializer emits `field(\"kind\", \"%s\")`"
+                    % (kind, kind)))
+        for kind in sorted(emitted):
+            if kind not in model.kind_roots:
+                rel, line = anchor_site[kind]
+                out.append(Finding(
+                    self.name, rel, line,
+                    "document kind '%s' is emitted here but %s has "
+                    "no checker for it" % (kind, self.VALIDATOR)))
+
+        # Key agreement per kind.
+        for kind in sorted(emitted):
+            validated = model.kind_keys(kind)
+            if validated is None:
+                continue
+            vkeys = set(validated)
+            ekeys = emitted[kind]
+            epfx = prefixes[kind]
+            for key in sorted(ekeys):
+                if key in self.UNIVERSAL_KEYS or key in vkeys:
+                    continue
+                rel, line = ekeys[key]
+                out.append(Finding(
+                    self.name, rel, line,
+                    "key '%s' of kind '%s' is emitted here but "
+                    "never validated by %s"
+                    % (key, kind, self.VALIDATOR)))
+            for key in sorted(epfx):
+                if key in self.UNIVERSAL_KEYS or key in vkeys:
+                    continue
+                rel, line = epfx[key]
+                out.append(Finding(
+                    self.name, rel, line,
+                    "dynamic key prefix '%s' of kind '%s' is "
+                    "emitted here but no validated key covers it"
+                    % (key, kind)))
+            for key in sorted(vkeys):
+                if key in self.UNIVERSAL_KEYS or key in ekeys:
+                    continue
+                if any(key == p or key.startswith(p)
+                       for p in epfx):
+                    continue
+                out.append(Finding(
+                    self.name, self.VALIDATOR, validated[key],
+                    "key '%s' of kind '%s' is validated here but "
+                    "never emitted by any C++ serializer"
+                    % (key, kind)))
+        return out

@@ -1,0 +1,136 @@
+"""Fixture-driven self-test.
+
+tests/lint/bad/ is a miniature repository where every marked line
+carries a `LINT-EXPECT: rule[, rule...]` comment naming the rule(s)
+that must flag it — the expected and actual finding sets must match
+exactly. tests/lint/good/ is a clean miniature repository that must
+produce zero findings; its files declare `LINT-NEGATIVE: rule[, ...]`
+markers naming the rules they negatively exercise, and every rule
+must have at least one positive (bad) and one negative (good)
+fixture.
+
+The misparse probe replays the v1 line-regex patterns over the good
+fixtures' raw text: each probed rule's naive pattern must match
+somewhere (inside a raw string, a spliced comment, or a block
+comment), proving the old checker would have false-positived where
+the tokenizer does not.
+"""
+
+import os
+import re
+import sys
+
+from . import RULE_NAMES
+from .engine import discover, lint_tree
+
+EXPECT_RE = re.compile(r"LINT-EXPECT:\s*([\w-]+(?:\s*,\s*[\w-]+)*)")
+NEG_RE = re.compile(r"LINT-NEGATIVE:\s*([\w-]+(?:\s*,\s*[\w-]+)*)")
+
+# The v1 rule patterns, verbatim in spirit: applied to raw physical
+# lines with no lexical awareness. Each listed rule must false-
+# positive somewhere in the good fixtures.
+NAIVE_PATTERNS = {
+    "nondeterminism": re.compile(
+        r"(?<![\w.])s?rand\s*\(|\brandom_device\b|\bsystem_clock\b"),
+    "stat-names": re.compile(
+        r"[.\->]\s*(?:scalar|mean|distribution)\s*\(\s*\"([A-Z][^\"]*)\""),
+    "header-hygiene": re.compile(r"\busing\s+namespace\b"),
+    "naked-new": re.compile(r"(?<![\w.])new\s+[\w:(<]"),
+    "raw-thread": re.compile(r"\bstd\s*::\s*j?thread\s*(?:\w+\s*)?[({]"),
+    "deprecated-api": re.compile(r"\bscalarValue\b"),
+}
+
+
+def _scan_markers(root, marker_re):
+    found = set()
+    for relpath in discover(root, exclude_fixture_dir=False):
+        full = os.path.join(root, relpath)
+        with open(full, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                m = marker_re.search(line)
+                if m:
+                    for rule in re.split(r"\s*,\s*", m.group(1)):
+                        found.add((relpath, lineno, rule))
+    return found
+
+
+def self_test(repo_root, err=sys.stderr):
+    fixture_root = os.path.join(repo_root, "tests", "lint")
+    bad_root = os.path.join(fixture_root, "bad")
+    good_root = os.path.join(fixture_root, "good")
+    for d in (bad_root, good_root):
+        if not os.path.isdir(d):
+            print("ubrc-lint: missing fixture dir %s" % d, file=err)
+            return 2
+    status = 0
+
+    # -- bad fixtures: expected == actual, exactly -----------------
+    expected = _scan_markers(bad_root, EXPECT_RE)
+    bad_rules = {rule for (_, _, rule) in expected}
+    unknown = bad_rules - RULE_NAMES - {"pragma"}
+    for rule in sorted(unknown):
+        print("self-test: LINT-EXPECT names unknown rule '%s'"
+              % rule, file=err)
+        status = 1
+
+    actual = {f.key() for f in lint_tree(bad_root,
+                                         exclude_fixture_dir=False)}
+    for key in sorted(expected - actual):
+        print("self-test: MISSING expected finding %s:%d [%s]" % key,
+              file=err)
+        status = 1
+    for key in sorted(actual - expected):
+        print("self-test: UNEXPECTED finding %s:%d [%s]" % key,
+              file=err)
+        status = 1
+
+    for rule in sorted(RULE_NAMES - bad_rules):
+        print("self-test: rule '%s' has no bad (positive) fixture"
+              % rule, file=err)
+        status = 1
+
+    # -- good fixtures: clean, and negative coverage ---------------
+    good = lint_tree(good_root, exclude_fixture_dir=False)
+    for f in good:
+        print("self-test: clean fixture flagged: %s" % f, file=err)
+        status = 1
+
+    negative = {rule for (_, _, rule)
+                in _scan_markers(good_root, NEG_RE)}
+    for rule in sorted(negative - RULE_NAMES):
+        print("self-test: LINT-NEGATIVE names unknown rule '%s'"
+              % rule, file=err)
+        status = 1
+    for rule in sorted(RULE_NAMES - negative):
+        print("self-test: rule '%s' has no good (negative) fixture"
+              % rule, file=err)
+        status = 1
+
+    # -- misparse probe --------------------------------------------
+    # The naive v1 patterns must trip over the good fixtures' raw
+    # text; the tokenizer rules above already proved they do not.
+    naive_hits = {rule: 0 for rule in NAIVE_PATTERNS}
+    for relpath in discover(good_root, exclude_fixture_dir=False):
+        if not relpath.endswith((".cc", ".hh", ".cpp", ".hpp")):
+            continue
+        with open(os.path.join(good_root, relpath),
+                  encoding="utf-8") as f:
+            for line in f:
+                for rule, pat in NAIVE_PATTERNS.items():
+                    if pat.search(line):
+                        naive_hits[rule] += 1
+    for rule, hits in sorted(naive_hits.items()):
+        if not hits:
+            print("self-test: misparse probe: naive '%s' pattern "
+                  "never matched a good fixture — the trap fixture "
+                  "for the v1 regex false positive is gone" % rule,
+                  file=err)
+            status = 1
+
+    if status == 0:
+        probe_total = sum(naive_hits.values())
+        print("self-test: ok (%d rules, %d expected findings, "
+              "clean fixtures clean, %d naive-regex false "
+              "positives caught by the tokenizer)"
+              % (len(RULE_NAMES), len(expected), probe_total))
+    return status

@@ -1,0 +1,176 @@
+"""Parsed-file model: tokens, comments, waiver pragmas, hot regions.
+
+A waiver is always an in-source pragma, written in a comment on the
+offending line or the line directly above it:
+
+    // ubrc-lint: allow(rule-name)
+
+Variants:
+
+    // ubrc-lint: allow-file(rule)   whole file
+    // ubrc-lint: allow-fn(rule)     rest of the enclosing function
+                                     (or brace block), for setup code
+                                     inside designated hot files
+
+Hot-path regions for the hot-path-alloc rule are delimited the same
+way:
+
+    // ubrc-lint: hot                start a hot region
+    // ubrc-lint: hot-end            end it
+
+In non-C++ files (DESIGN.md, the Python validator) pragmas are
+recognised on raw lines, since those files are not tokenized.
+"""
+
+import re
+
+from . import lexer
+
+CXX_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp")
+
+PRAGMA_RE = re.compile(
+    r"ubrc-lint:\s*(allow|allow-file|allow-fn)\(([^)]*)\)")
+HOT_RE = re.compile(r"ubrc-lint:\s*hot(-end)?\b")
+
+
+class Finding:
+    __slots__ = ("rule", "relpath", "line", "message")
+
+    def __init__(self, rule, relpath, line, message):
+        self.rule = rule
+        self.relpath = relpath
+        self.line = line
+        self.message = message
+
+    def key(self):
+        return (self.relpath, self.line, self.rule)
+
+    def sort_key(self):
+        return (self.relpath, self.line, self.rule, self.message)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.relpath, self.line, self.rule,
+                                   self.message)
+
+
+class SourceFile:
+    """A parsed file: raw text, token stream (C++ only), comments,
+    allow pragmas, and hot-region markers."""
+
+    def __init__(self, path, relpath, rule_names):
+        self.path = path
+        self.relpath = relpath
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.is_cxx = relpath.endswith(CXX_EXTENSIONS)
+        if self.is_cxx:
+            self.tokens, self.comments = lexer.lex(self.text)
+        else:
+            self.tokens = []
+            self.comments = []
+        # lineno -> set of rules allowed on that line (covers the
+        # pragma's own line and the one below it).
+        self.line_allows = {}
+        self.file_allows = set()
+        # allow-fn pragmas: list of (lineno, rules); resolved into
+        # ranges lazily because they need brace structure.
+        self._fn_allows = []
+        self._fn_ranges = None
+        self.pragma_errors = []
+        self.hot_marks = []  # (lineno, is_end)
+        self._scan_pragmas(rule_names)
+
+    # -- pragma scanning -------------------------------------------------
+
+    def _pragma_rows(self):
+        if self.is_cxx:
+            for c in self.comments:
+                for lineno, text in c.rows:
+                    yield lineno, text
+        else:
+            for lineno, text in enumerate(self.lines, 1):
+                yield lineno, text
+
+    def _scan_pragmas(self, rule_names):
+        for lineno, text in self._pragma_rows():
+            for m in HOT_RE.finditer(text):
+                self.hot_marks.append((lineno, bool(m.group(1))))
+            for m in PRAGMA_RE.finditer(text):
+                names = {s.strip() for s in m.group(2).split(",")
+                         if s.strip()}
+                bad = names - rule_names
+                if bad or not names:
+                    self.pragma_errors.append(Finding(
+                        "pragma", self.relpath, lineno,
+                        "unknown rule(s) %s in ubrc-lint pragma "
+                        "(valid: %s)"
+                        % (sorted(bad) if bad else "<none>",
+                           ", ".join(sorted(rule_names)))))
+                    continue
+                kind = m.group(1)
+                if kind == "allow-file":
+                    self.file_allows |= names
+                elif kind == "allow-fn":
+                    self._fn_allows.append((lineno, names))
+                else:
+                    self.line_allows.setdefault(
+                        lineno, set()).update(names)
+                    self.line_allows.setdefault(
+                        lineno + 1, set()).update(names)
+
+    def _resolve_fn_ranges(self):
+        """allow-fn(rule) waives from the pragma to the close of the
+        innermost brace block containing the pragma line."""
+        if self._fn_ranges is not None:
+            return self._fn_ranges
+        self._fn_ranges = []
+        if not self._fn_allows:
+            return self._fn_ranges
+        # Brace events in token order: (line, +1/-1).
+        events = [(t.line, 1 if t.value == "{" else -1)
+                  for t in self.tokens
+                  if t.kind == "punct" and t.value in "{}"]
+        for start, rules in self._fn_allows:
+            # The first close brace after `start` that drops below the
+            # depth at `start` closes the enclosing block.
+            end = len(self.lines) or start
+            depth = 0
+            base = None
+            for line, delta in events:
+                if base is None and line > start:
+                    base = depth
+                depth += delta
+                if base is not None and depth < base:
+                    end = line
+                    break
+            self._fn_ranges.append((start, end, rules))
+        return self._fn_ranges
+
+    # -- queries ---------------------------------------------------------
+
+    def allowed(self, rule, lineno):
+        if rule in self.file_allows:
+            return True
+        if rule in self.line_allows.get(lineno, set()):
+            return True
+        for start, end, rules in self._resolve_fn_ranges():
+            if rule in rules and start <= lineno <= end:
+                return True
+        return False
+
+    def hot_ranges(self):
+        """Sorted (start_line, end_line) hot regions from markers. An
+        unclosed `hot` extends to end of file."""
+        out = []
+        start = None
+        for lineno, is_end in sorted(self.hot_marks):
+            if is_end:
+                if start is not None:
+                    out.append((start, lineno))
+                    start = None
+            elif start is None:
+                start = lineno
+        if start is not None:
+            out.append((start, len(self.lines) or start))
+        return out
